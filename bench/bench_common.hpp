@@ -1,0 +1,44 @@
+#pragma once
+// Shared scaffolding for the bench binaries: every bench first prints the
+// reproduced paper artifact (table or figure) to stdout, then hands over
+// to google-benchmark for the fine-grained runtime measurements that
+// support Section 4.3's execution-time claims.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/registry.hpp"
+#include "experiments/runner.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/suite.hpp"
+
+namespace elpc::bench {
+
+/// Runs the full 20-case suite with the paper's three algorithms.
+inline std::vector<experiments::CaseOutcome> run_default_suite() {
+  util::ThreadPool pool;
+  return experiments::run_suite(workload::default_suite(),
+                                workload::SuiteConfig{},
+                                experiments::RunnerOptions{}, pool);
+}
+
+/// Prints a banner so bench outputs are self-describing in logs.
+inline void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Standard tail: run google-benchmark on whatever the binary registered.
+inline int run_registered_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace elpc::bench

@@ -1,0 +1,55 @@
+// E1 — reproduces the paper's Fig. 2: the 20-case comparison table of
+// minimum end-to-end delay (node reuse) and maximum frame rate (no node
+// reuse) for ELPC, Streamline, and Greedy, followed by the shape checks
+// the paper's conclusions imply.  google-benchmark then times one full
+// case execution at three problem scales.
+
+#include "bench_common.hpp"
+
+#include "experiments/report.hpp"
+
+namespace {
+
+using namespace elpc;
+
+void print_table() {
+  bench::banner("Fig. 2 — mapping performance comparison (20 cases)");
+  const std::vector<experiments::CaseOutcome> outcomes =
+      bench::run_default_suite();
+  std::printf("%s\n", experiments::fig2_table(outcomes).render().c_str());
+  std::printf("delay in ms (node reuse enabled); fps = frames/second "
+              "(node reuse disabled); '-' = no feasible mapping found\n\n");
+
+  bench::banner("shape checks (paper conclusions)");
+  bool all = true;
+  for (const experiments::ShapeCheck& check :
+       experiments::shape_checks(outcomes)) {
+    std::printf("[%s] %s\n", check.pass ? "PASS" : "FAIL",
+                check.description.c_str());
+    all = all && check.pass;
+  }
+  std::printf("%s\n", all ? "all shape checks passed"
+                          : "SOME SHAPE CHECKS FAILED");
+}
+
+/// Times one complete case (three algorithms, both objectives).
+void BM_RunCase(benchmark::State& state) {
+  const auto specs = workload::default_suite();
+  const auto& spec = specs[static_cast<std::size_t>(state.range(0))];
+  const workload::Scenario scenario = workload::build_scenario(spec);
+  const auto mappers = experiments::paper_mappers();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        experiments::run_case(scenario, mappers));
+  }
+  state.SetLabel(spec.name + " (m=" + std::to_string(spec.modules) +
+                 ", n=" + std::to_string(spec.nodes) + ")");
+}
+BENCHMARK(BM_RunCase)->Arg(0)->Arg(9)->Arg(19)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  return elpc::bench::run_registered_benchmarks(argc, argv);
+}

@@ -1,0 +1,116 @@
+// E2/E3 — reproduces the paper's Figs. 3 and 4: the mapping ELPC selects
+// on the small illustrative instance (5 modules, 6 nodes) for each
+// objective, with the per-stage cost breakdown that makes the figures'
+// story visible in text:
+//   Fig. 3 — minimum delay: modules group (first two on the source node,
+//            the two heavy middle stages on the fast compute node);
+//   Fig. 4 — maximum frame rate: a simple path of five distinct nodes,
+//            with the bottleneck location called out.
+
+#include "bench_common.hpp"
+
+#include "core/elpc.hpp"
+#include "mapping/evaluator.hpp"
+#include "workload/small_case.hpp"
+
+namespace {
+
+using namespace elpc;
+
+void print_breakdown(const workload::Scenario& scenario,
+                     const mapping::Problem& problem,
+                     const mapping::Mapping& mapping) {
+  const pipeline::CostModel model = problem.model();
+  const std::size_t n = scenario.pipeline.module_count();
+  double worst = 0.0;
+  std::string worst_where;
+  for (std::size_t j = 1; j < n; ++j) {
+    const graph::NodeId prev = mapping.node_of(j - 1);
+    const graph::NodeId cur = mapping.node_of(j);
+    if (prev != cur) {
+      const double t = model.input_transport_time(j, prev, cur);
+      std::printf("    link %zu -> %zu : transfer %5.1f Mb   %7.2f ms\n",
+                  prev, cur, scenario.pipeline.input_mb(j), t * 1e3);
+      if (t > worst) {
+        worst = t;
+        worst_where = "link " + std::to_string(prev) + " -> " +
+                      std::to_string(cur);
+      }
+    }
+    const double c = model.computing_time(j, cur);
+    std::printf("    node %zu      : %-14s          %7.2f ms\n", cur,
+                scenario.pipeline.module(j).name.c_str(), c * 1e3);
+    if (c > worst) {
+      worst = c;
+      worst_where = "node " + std::to_string(cur) + " (" +
+                    scenario.pipeline.module(j).name + ")";
+    }
+  }
+  std::printf("    worst single term: %s (%.2f ms)\n", worst_where.c_str(),
+              worst * 1e3);
+}
+
+void print_paths() {
+  const workload::Scenario scenario = workload::small_case();
+  const core::ElpcMapper elpc;
+
+  bench::banner("small instance (cf. paper Figs. 3/4)");
+  std::printf("pipeline: %s\n", scenario.pipeline.to_string().c_str());
+  std::printf("network : %zu nodes, %zu directed links; source=node%zu, "
+              "destination=node%zu\n",
+              scenario.network.node_count(), scenario.network.link_count(),
+              scenario.source, scenario.destination);
+
+  bench::banner("Fig. 3 — optimal path, minimum end-to-end delay");
+  {
+    const mapping::Problem problem = scenario.problem();
+    const mapping::MapResult r = elpc.min_delay(problem);
+    std::printf("  mapping : %s\n", r.mapping.to_string().c_str());
+    std::printf("  path    : %s\n",
+                r.mapping.group_path().to_string().c_str());
+    std::printf("  delay   : %.1f ms\n", r.seconds * 1e3);
+    print_breakdown(scenario, problem, r.mapping);
+  }
+
+  bench::banner("Fig. 4 — optimal path, maximum frame rate");
+  {
+    const mapping::Problem problem =
+        scenario.problem({.include_link_delay = false});
+    const mapping::MapResult r = elpc.max_frame_rate(problem);
+    std::printf("  mapping : %s\n", r.mapping.to_string().c_str());
+    std::printf("  path    : %s (simple: %s)\n",
+                r.mapping.group_path().to_string().c_str(),
+                r.mapping.group_path().is_simple() ? "yes" : "no");
+    std::printf("  rate    : %.2f frames/s (bottleneck %.2f ms)\n",
+                r.frame_rate(), r.seconds * 1e3);
+    print_breakdown(scenario, problem, r.mapping);
+  }
+}
+
+void BM_ElpcMinDelaySmall(benchmark::State& state) {
+  const workload::Scenario scenario = workload::small_case();
+  const mapping::Problem problem = scenario.problem();
+  const core::ElpcMapper elpc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elpc.min_delay(problem));
+  }
+}
+BENCHMARK(BM_ElpcMinDelaySmall)->Unit(benchmark::kMicrosecond);
+
+void BM_ElpcFrameRateSmall(benchmark::State& state) {
+  const workload::Scenario scenario = workload::small_case();
+  const mapping::Problem problem =
+      scenario.problem({.include_link_delay = false});
+  const core::ElpcMapper elpc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elpc.max_frame_rate(problem));
+  }
+}
+BENCHMARK(BM_ElpcFrameRateSmall)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_paths();
+  return elpc::bench::run_registered_benchmarks(argc, argv);
+}

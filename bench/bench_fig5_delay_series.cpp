@@ -1,0 +1,56 @@
+// E4 — reproduces the paper's Fig. 5: minimum end-to-end delay over the
+// 20 evaluation cases for the three algorithms, as an ASCII chart plus
+// the underlying CSV series.  The paper's observation to reproduce: the
+// delay grows with problem size (longer pipelines accumulate more
+// computing and transport terms) and ELPC is the lowest curve
+// everywhere.
+
+#include "bench_common.hpp"
+
+#include "core/elpc.hpp"
+#include "experiments/report.hpp"
+
+namespace {
+
+using namespace elpc;
+
+void print_series() {
+  bench::banner(
+      "Fig. 5 — minimum end-to-end delay across the 20 cases");
+  const std::vector<experiments::CaseOutcome> outcomes =
+      bench::run_default_suite();
+  std::printf("%s\n", experiments::fig5_chart(outcomes).c_str());
+
+  std::printf("series (CSV):\ncase,ELPC_ms,Streamline_ms,Greedy_ms\n");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    auto cell = [&](const char* algo) {
+      const auto& a = o.of(algo);
+      return a.delay.feasible ? std::to_string(a.delay_ms()) : "NA";
+    };
+    std::printf("%zu,%s,%s,%s\n", i + 1, cell("ELPC").c_str(),
+                cell("Streamline").c_str(), cell("Greedy").c_str());
+  }
+}
+
+/// ELPC min-delay runtime vs problem scale (supports the O(n*|E|) claim).
+void BM_ElpcMinDelay(benchmark::State& state) {
+  const auto specs = workload::default_suite();
+  const auto& spec = specs[static_cast<std::size_t>(state.range(0))];
+  const workload::Scenario scenario = workload::build_scenario(spec);
+  const mapping::Problem problem = scenario.problem();
+  const core::ElpcMapper elpc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elpc.min_delay(problem));
+  }
+  state.SetLabel(spec.name);
+  state.counters["n_x_E"] = static_cast<double>(spec.modules * spec.links);
+}
+BENCHMARK(BM_ElpcMinDelay)->DenseRange(0, 19, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  return elpc::bench::run_registered_benchmarks(argc, argv);
+}

@@ -1,0 +1,56 @@
+// E5 — reproduces the paper's Fig. 6: maximum frame rate over the 20
+// evaluation cases for the three algorithms.  The observations to
+// reproduce: ELPC is the top curve (almost) everywhere, and — unlike the
+// delay series — frame rate shows no monotone trend in problem size,
+// because it is the reciprocal of a single bottleneck term rather than a
+// sum over the path.
+
+#include "bench_common.hpp"
+
+#include "core/elpc.hpp"
+#include "experiments/report.hpp"
+
+namespace {
+
+using namespace elpc;
+
+void print_series() {
+  bench::banner("Fig. 6 — maximum frame rate across the 20 cases");
+  const std::vector<experiments::CaseOutcome> outcomes =
+      bench::run_default_suite();
+  std::printf("%s\n", experiments::fig6_chart(outcomes).c_str());
+
+  std::printf("series (CSV):\ncase,ELPC_fps,Streamline_fps,Greedy_fps\n");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    auto cell = [&](const char* algo) {
+      const auto& a = o.of(algo);
+      return a.framerate.feasible ? std::to_string(a.fps()) : "NA";
+    };
+    std::printf("%zu,%s,%s,%s\n", i + 1, cell("ELPC").c_str(),
+                cell("Streamline").c_str(), cell("Greedy").c_str());
+  }
+}
+
+/// ELPC frame-rate heuristic runtime vs problem scale (the visited-set
+/// bookkeeping makes it heavier than the delay DP).
+void BM_ElpcFrameRate(benchmark::State& state) {
+  const auto specs = workload::default_suite();
+  const auto& spec = specs[static_cast<std::size_t>(state.range(0))];
+  const workload::Scenario scenario = workload::build_scenario(spec);
+  const mapping::Problem problem =
+      scenario.problem({.include_link_delay = false});
+  const core::ElpcMapper elpc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elpc.max_frame_rate(problem));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_ElpcFrameRate)->DenseRange(0, 19, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  return elpc::bench::run_registered_benchmarks(argc, argv);
+}

@@ -1,0 +1,94 @@
+// E7 — optimality-gap ablation.  Two claims from Section 3.1:
+//  * the delay DP is optimal ("the final solution is optimal for a given
+//    mapping problem") — verified against exhaustive search;
+//  * the frame-rate heuristic's misses are "extremely rare" — quantified
+//    as the fraction of small random instances where the heuristic fails
+//    to find the exact exact-n-hop widest-path optimum.
+// The google-benchmark section times the heuristic against the
+// exponential exact searcher to show why the heuristic matters at all.
+
+#include "bench_common.hpp"
+
+#include "core/elpc.hpp"
+#include "core/exhaustive.hpp"
+#include "experiments/optimality.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace elpc;
+
+void print_gap_study() {
+  bench::banner("optimality gap vs exhaustive search (small instances)");
+  experiments::GapStudyConfig config;
+  config.instances = 300;
+  const experiments::GapStudyResult r = experiments::run_gap_study(config);
+
+  std::printf("instances: %zu (3-6 modules, 5-9 nodes, 70%% density)\n\n",
+              r.instances);
+  std::printf("min-delay DP vs exhaustive optimum:\n");
+  std::printf("  both feasible     : %zu\n", r.delay_both_feasible);
+  std::printf("  exact matches     : %zu\n", r.delay_matches);
+  std::printf("  max relative gap  : %.2e  (must be ~0: the DP is optimal)\n\n",
+              r.delay_max_rel_gap);
+  std::printf("frame-rate heuristic vs exact n-hop widest path:\n");
+  std::printf("  exact feasible    : %zu\n", r.framerate_exact_feasible);
+  std::printf("  heuristic feasible: %zu\n", r.framerate_heuristic_feasible);
+  std::printf("  optimum found     : %zu (%.1f%%)\n", r.framerate_matches,
+              r.framerate_match_fraction() * 100.0);
+  std::printf("  feasibility misses: %zu\n", r.framerate_misses);
+  std::printf("  mean rel. gap     : %.3f%% (over suboptimal instances)\n",
+              r.framerate_mean_rel_gap * 100.0);
+  std::printf("  max rel. gap      : %.3f%%\n",
+              r.framerate_max_rel_gap * 100.0);
+  std::printf("\npaper's claim: heuristic misses are \"extremely rare\" -> "
+              "%s\n",
+              r.framerate_match_fraction() > 0.9 ? "supported"
+                                                 : "NOT supported");
+}
+
+workload::Scenario gap_instance(std::size_t nodes) {
+  util::Rng rng(99 + nodes);
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, std::min<std::size_t>(6, nodes),
+                                         {});
+  s.network = graph::random_connected_network(
+      rng, nodes,
+      static_cast<std::size_t>(0.7 * static_cast<double>(nodes * (nodes - 1))),
+      {});
+  s.source = 0;
+  s.destination = nodes - 1;
+  return s;
+}
+
+void BM_HeuristicFrameRate(benchmark::State& state) {
+  const workload::Scenario s =
+      gap_instance(static_cast<std::size_t>(state.range(0)));
+  const mapping::Problem problem = s.problem({.include_link_delay = false});
+  const core::ElpcMapper elpc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elpc.max_frame_rate(problem));
+  }
+}
+BENCHMARK(BM_HeuristicFrameRate)->Arg(7)->Arg(9)->Unit(benchmark::kMicrosecond);
+
+void BM_ExactFrameRate(benchmark::State& state) {
+  const workload::Scenario s =
+      gap_instance(static_cast<std::size_t>(state.range(0)));
+  const mapping::Problem problem = s.problem({.include_link_delay = false});
+  const core::ExhaustiveMapper exact;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact.max_frame_rate(problem));
+  }
+}
+BENCHMARK(BM_ExactFrameRate)->Arg(7)->Arg(9)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_gap_study();
+  return elpc::bench::run_registered_benchmarks(argc, argv);
+}

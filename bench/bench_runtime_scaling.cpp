@@ -1,0 +1,84 @@
+// E6 — supports the paper's Section 4.3 execution-time claim ("varies
+// from milliseconds for small-scale problems to seconds for large-scale
+// ones") and the quoted complexities: O(n*|E|) for ELPC, O(m*n^2) for
+// Streamline (original), O(m*n) for Greedy.  Prints a wall-clock scaling
+// table over a size sweep, then runs google-benchmark timers per
+// algorithm at increasing scales so the growth curves can be read off
+// directly.
+
+#include "bench_common.hpp"
+
+#include "experiments/scaling.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace elpc;
+
+void print_scaling() {
+  bench::banner("algorithm runtime scaling (mean of 3 runs, both objectives)");
+  experiments::ScalingConfig config;
+  const auto points = experiments::run_scaling_study(config);
+  util::TextTable table({"modules", "nodes", "links", "ELPC ms",
+                         "Streamline ms", "Greedy ms"});
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.modules), std::to_string(p.nodes),
+                   std::to_string(p.links),
+                   util::format_double(p.runtime_ms[0], 3),
+                   util::format_double(p.runtime_ms[1], 3),
+                   util::format_double(p.runtime_ms[2], 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+workload::Scenario make_scaled(std::size_t modules, std::size_t nodes) {
+  util::Rng rng(1234 + modules * 7 + nodes);
+  const std::size_t links = std::min(
+      nodes * (nodes - 1),
+      static_cast<std::size_t>(0.6 * static_cast<double>(nodes) *
+                               static_cast<double>(nodes - 1)));
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, modules, {});
+  s.network = graph::random_connected_network(rng, nodes,
+                                              std::max(links, nodes), {});
+  s.source = 0;
+  s.destination = nodes - 1;
+  return s;
+}
+
+void BM_Algorithm(benchmark::State& state, const std::string& name) {
+  const auto modules = static_cast<std::size_t>(state.range(0));
+  const auto nodes = static_cast<std::size_t>(state.range(1));
+  const workload::Scenario scenario = make_scaled(modules, nodes);
+  const mapping::Problem problem = scenario.problem();
+  const mapping::MapperPtr mapper = experiments::make_mapper(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper->min_delay(problem));
+    benchmark::DoNotOptimize(mapper->max_frame_rate(problem));
+  }
+  state.counters["modules"] = static_cast<double>(modules);
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["links"] = static_cast<double>(scenario.network.link_count());
+}
+
+void register_benchmarks() {
+  for (const char* name : {"ELPC", "Streamline", "Greedy"}) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("BM_") + name).c_str(),
+        [name](benchmark::State& state) { BM_Algorithm(state, name); });
+    b->Args({5, 10})->Args({10, 25})->Args({20, 100})->Args({40, 400});
+    b->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling();
+  register_benchmarks();
+  return elpc::bench::run_registered_benchmarks(argc, argv);
+}

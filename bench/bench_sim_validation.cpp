@@ -1,0 +1,92 @@
+// E9 — validates the analytic cost models (the basis of every number in
+// Figs. 2/5/6) against discrete-event execution:
+//  * interactive: a single dataset's simulated end-to-end latency must
+//    equal Eq. 1 exactly;
+//  * streaming: the simulated steady-state output rate must match
+//    1 / Eq. 2-bottleneck (serialization-only transport term).
+// Run on the first ten suite cases plus the illustrative instance.
+// google-benchmark times the simulator itself (events/second).
+
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/elpc.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/small_case.hpp"
+
+namespace {
+
+using namespace elpc;
+
+void print_validation() {
+  bench::banner("analytic model vs discrete-event execution");
+  const core::ElpcMapper elpc;
+
+  std::vector<workload::Scenario> scenarios;
+  scenarios.push_back(workload::small_case());
+  const auto specs = workload::default_suite();
+  for (std::size_t i = 0; i < 10; ++i) {
+    scenarios.push_back(workload::build_scenario(specs[i]));
+  }
+
+  util::TextTable table({"case", "analytic delay ms", "simulated ms",
+                         "analytic fps", "simulated fps", "max err %"});
+  double worst = 0.0;
+  for (const auto& s : scenarios) {
+    // Interactive: one dataset, full transport model (MLD included).
+    const mapping::Problem dp = s.problem({.include_link_delay = true});
+    const auto delay = elpc.min_delay(dp);
+    const sim::SimReport one =
+        sim::simulate(dp, delay.mapping, sim::SimConfig{.frames = 1});
+    const double delay_err =
+        std::abs(one.first_frame_latency_s() / delay.seconds - 1.0);
+
+    // Streaming: saturated source, serialization-only transport term.
+    const mapping::Problem fp = s.problem({.include_link_delay = false});
+    const auto rate = elpc.max_frame_rate(fp);
+    double rate_err = 0.0;
+    double sim_fps = 0.0;
+    if (rate.feasible) {
+      const sim::SimReport stream = sim::simulate(
+          fp, rate.mapping, sim::SimConfig{.frames = 400});
+      sim_fps = stream.throughput_fps;
+      rate_err = std::abs(sim_fps / rate.frame_rate() - 1.0);
+    }
+    const double err = std::max(delay_err, rate_err) * 100.0;
+    worst = std::max(worst, err);
+    table.add_row({s.name,
+                   util::format_double(delay.seconds * 1e3, 2),
+                   util::format_double(one.first_frame_latency_s() * 1e3, 2),
+                   util::format_double(rate.feasible ? rate.frame_rate() : 0, 2),
+                   util::format_double(sim_fps, 2),
+                   util::format_double(err, 4)});
+  }
+  std::printf("%s\nworst relative error: %.4f%% -> analytic models %s the "
+              "simulator\n",
+              table.render().c_str(), worst,
+              worst < 1.0 ? "MATCH" : "DO NOT MATCH");
+}
+
+void BM_SimulateStream(benchmark::State& state) {
+  const workload::Scenario s = workload::small_case();
+  const mapping::Problem p = s.problem({.include_link_delay = false});
+  const auto rate = core::ElpcMapper().max_frame_rate(p);
+  const auto frames = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate(p, rate.mapping, sim::SimConfig{.frames = frames}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frames));
+}
+BENCHMARK(BM_SimulateStream)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_validation();
+  return elpc::bench::run_registered_benchmarks(argc, argv);
+}

@@ -1,0 +1,67 @@
+// Measurement-driven mapping: the full deployment loop the paper
+// sketches in Section 1 — estimate link bandwidth and minimum link delay
+// with the active-probing linear-regression technique of reference [14],
+// annotate the network graph with the estimates, and map the pipeline
+// against the *estimated* graph.
+//
+// The example quantifies the consequence of measurement noise: the
+// mapping chosen from estimated attributes is re-scored against the
+// ground-truth network and compared with the mapping chosen under
+// perfect information.
+
+#include <cstdio>
+
+#include "core/elpc.hpp"
+#include "graph/generators.hpp"
+#include "mapping/evaluator.hpp"
+#include "netmeasure/netmeasure.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+int main() {
+  using namespace elpc;
+  util::Rng rng(2008);
+
+  // Ground truth: a 15-node overlay the operator cannot see directly.
+  workload::Scenario truth;
+  truth.name = "measured-overlay";
+  truth.pipeline = pipeline::random_pipeline(rng, 8, {});
+  truth.network = graph::random_connected_network(rng, 15, 120, {});
+  truth.source = 0;
+  truth.destination = 14;
+
+  const core::ElpcMapper elpc;
+  const mapping::Problem exact_problem = truth.problem();
+  const mapping::MapResult oracle = elpc.min_delay(exact_problem);
+  std::printf("oracle (true attributes):    %7.2f ms\n",
+              oracle.seconds * 1e3);
+
+  for (const double noise : {0.01, 0.05, 0.15}) {
+    // Measure every link with 20 noisy probes and rebuild the graph from
+    // the regression estimates.
+    netmeasure::ProbePlan plan;
+    plan.probes = 20;
+    plan.relative_noise = noise;
+    util::Rng probe_rng = rng.split(static_cast<std::uint64_t>(noise * 1e3));
+    const graph::Network measured =
+        netmeasure::measure_network(probe_rng, truth.network, plan);
+
+    const mapping::Problem measured_problem(truth.pipeline, measured,
+                                            truth.source, truth.destination);
+    const mapping::MapResult planned = elpc.min_delay(measured_problem);
+
+    // What the operator *thinks* they get vs what the network delivers.
+    const mapping::Evaluation actual =
+        mapping::evaluate_total_delay(exact_problem, planned.mapping);
+    std::printf(
+        "probe noise %4.0f%%: planned %7.2f ms, actually %7.2f ms "
+        "(regret %+.2f%%)\n",
+        noise * 100.0, planned.seconds * 1e3, actual.seconds * 1e3,
+        (actual.seconds / oracle.seconds - 1.0) * 100.0);
+  }
+  std::printf(
+      "\nTakeaway: regression-estimated attributes keep the chosen mapping "
+      "within a few percent of the oracle until probe noise gets large.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "baselines/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace elpc::baselines {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kUnreach = std::numeric_limits<std::size_t>::max();
+
+using graph::Edge;
+using graph::NodeId;
+using mapping::MapResult;
+using mapping::Mapping;
+using mapping::Problem;
+
+}  // namespace
+
+MapResult GreedyMapper::min_delay(const Problem& problem) const {
+  problem.validate();
+  const pipeline::CostModel model = problem.model();
+  const graph::Network& net = *problem.network;
+  const std::size_t n = problem.pipeline->module_count();
+  const auto to_dest = graph::hops_to_target(net, problem.destination);
+
+  std::vector<NodeId> assignment(n);
+  assignment[0] = problem.source;
+  double total = 0.0;
+
+  for (std::size_t j = 1; j < n; ++j) {
+    const NodeId cur = assignment[j - 1];
+    const std::size_t modules_left = n - 1 - j;  // hops available after j
+    double best = kInf;
+    NodeId best_node = graph::kInvalidNode;
+
+    // Option: keep module j on the current node (reuse; zero transport).
+    if (to_dest[cur] != kUnreach && to_dest[cur] <= modules_left) {
+      best = model.computing_time(j, cur);
+      best_node = cur;
+    }
+    // Option: hop to an out-neighbour.
+    const double input_mb = problem.pipeline->input_mb(j);
+    for (const Edge& e : net.out_edges(cur)) {
+      if (to_dest[e.to] == kUnreach || to_dest[e.to] > modules_left) {
+        continue;
+      }
+      const double cand = model.transport_time(input_mb, e.attr) +
+                          model.computing_time(j, e.to);
+      if (cand < best) {
+        best = cand;
+        best_node = e.to;
+      }
+    }
+    if (best_node == graph::kInvalidNode) {
+      return MapResult::infeasible(
+          "greedy walk cannot reach the destination in the remaining hops");
+    }
+    assignment[j] = best_node;
+    total += best;
+  }
+
+  MapResult result;
+  result.feasible = true;
+  result.seconds = total;
+  result.mapping = Mapping(std::move(assignment));
+  return result;
+}
+
+MapResult GreedyMapper::max_frame_rate(const Problem& problem) const {
+  problem.validate();
+  const pipeline::CostModel model = problem.model();
+  const graph::Network& net = *problem.network;
+  const std::size_t n = problem.pipeline->module_count();
+  if (n > net.node_count()) {
+    return MapResult::infeasible(
+        "pipeline longer than the node count; no one-to-one mapping exists");
+  }
+  if (problem.source == problem.destination) {
+    return MapResult::infeasible(
+        "source equals destination; no simple n-node path exists");
+  }
+  const auto to_dest = graph::hops_to_target(net, problem.destination);
+
+  std::vector<NodeId> assignment(n);
+  std::vector<bool> used(net.node_count(), false);
+  assignment[0] = problem.source;
+  used[problem.source] = true;
+  double bottleneck = 0.0;
+
+  for (std::size_t j = 1; j < n; ++j) {
+    const NodeId cur = assignment[j - 1];
+    const std::size_t modules_left = n - 1 - j;
+    const bool final_module = j + 1 == n;
+    double best = kInf;
+    NodeId best_node = graph::kInvalidNode;
+    const double input_mb = problem.pipeline->input_mb(j);
+
+    for (const Edge& e : net.out_edges(cur)) {
+      const NodeId v = e.to;
+      if (used[v]) {
+        continue;  // strict no-reuse
+      }
+      if (final_module && v != problem.destination) {
+        continue;  // the sink module is pinned to the destination
+      }
+      if (!final_module &&
+          (v == problem.destination || to_dest[v] == kUnreach ||
+           to_dest[v] > modules_left)) {
+        continue;  // keep the destination reachable (and unconsumed)
+      }
+      const double cand =
+          std::max({bottleneck, model.transport_time(input_mb, e.attr),
+                    model.computing_time(j, v)});
+      if (cand < best) {
+        best = cand;
+        best_node = v;
+      }
+    }
+    if (best_node == graph::kInvalidNode) {
+      return MapResult::infeasible(
+          "greedy walk ran out of unused nodes towards the destination");
+    }
+    assignment[j] = best_node;
+    used[best_node] = true;
+    bottleneck = best;
+  }
+
+  MapResult result;
+  result.feasible = true;
+  result.seconds = bottleneck;
+  result.mapping = Mapping(std::move(assignment));
+  return result;
+}
+
+}  // namespace elpc::baselines

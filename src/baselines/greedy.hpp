@@ -1,0 +1,34 @@
+#pragma once
+// Greedy baseline (paper Section 3.3).
+//
+// Walks the pipeline in order and maps each new module to whichever
+// candidate — the current node (when reuse is allowed) or one of its
+// out-neighbours — yields the greatest immediate gain: the smallest added
+// delay, or the smallest resulting bottleneck for the frame-rate
+// problem.  "This greedy algorithm makes a mapping decision at each step
+// only based on current information without considering the effect of
+// this local decision on the mapping performance in later steps."
+// Complexity O(m * n).
+//
+// Adaptation detail: the paper designates a destination node, so a
+// completely myopic walk can dead-end.  Candidates that cannot reach the
+// destination within the hops the remaining modules afford (precomputed
+// reverse-BFS distances) are excluded; this keeps the baseline honest
+// without giving it any cost foresight.
+
+#include "mapping/mapper.hpp"
+
+namespace elpc::baselines {
+
+class GreedyMapper final : public mapping::Mapper {
+ public:
+  [[nodiscard]] std::string name() const override { return "Greedy"; }
+
+  [[nodiscard]] mapping::MapResult min_delay(
+      const mapping::Problem& problem) const override;
+
+  [[nodiscard]] mapping::MapResult max_frame_rate(
+      const mapping::Problem& problem) const override;
+};
+
+}  // namespace elpc::baselines

@@ -1,0 +1,163 @@
+#include "baselines/streamline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace elpc::baselines {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using graph::NodeId;
+using mapping::MapResult;
+using mapping::Mapping;
+using mapping::Problem;
+using pipeline::ModuleId;
+
+}  // namespace
+
+MapResult StreamlineMapper::place(const Problem& problem,
+                                  bool allow_reuse) const {
+  problem.validate();
+  const pipeline::CostModel model = problem.model();
+  const graph::Network& net = *problem.network;
+  const std::size_t n = problem.pipeline->module_count();
+  const std::size_t k = net.node_count();
+  if (!allow_reuse && n > k) {
+    return MapResult::infeasible(
+        "pipeline longer than the node count; no one-to-one mapping exists");
+  }
+  const double mean_bw = net.mean_bandwidth_mbps();
+
+  // --- Stage needs -------------------------------------------------------
+  // Computation need: work units.  Communication need: bytes in + out.
+  // Both are normalized by their pipeline-wide means so the mix is
+  // dimensionless; comm_weight tilts the ranking (E8 ablation).
+  std::vector<double> comp_need(n, 0.0);
+  std::vector<double> comm_need(n, 0.0);
+  for (ModuleId j = 0; j < n; ++j) {
+    comp_need[j] = problem.pipeline->work_units(j);
+    comm_need[j] = (j > 0 ? problem.pipeline->input_mb(j) : 0.0) +
+                   (j + 1 < n ? problem.pipeline->module(j).output_mb : 0.0);
+  }
+  const double mean_comp = std::max(
+      1e-12, std::accumulate(comp_need.begin(), comp_need.end(), 0.0) /
+                 static_cast<double>(n));
+  const double mean_comm = std::max(
+      1e-12, std::accumulate(comm_need.begin(), comm_need.end(), 0.0) /
+                 static_cast<double>(n));
+
+  std::vector<ModuleId> order;
+  for (ModuleId j = 1; j + 1 < n; ++j) {
+    order.push_back(j);  // endpoints are pinned and not ranked
+  }
+  std::stable_sort(order.begin(), order.end(), [&](ModuleId a, ModuleId b) {
+    const double need_a = comp_need[a] / mean_comp +
+                          options_.comm_weight * comm_need[a] / mean_comm;
+    const double need_b = comp_need[b] / mean_comp +
+                          options_.comm_weight * comm_need[b] / mean_comm;
+    return need_a > need_b;
+  });
+
+  // --- Placement ---------------------------------------------------------
+  std::vector<NodeId> assignment(n, graph::kInvalidNode);
+  std::vector<bool> used(k, false);
+  assignment[0] = problem.source;
+  assignment[n - 1] = problem.destination;
+  if (!allow_reuse) {
+    used[problem.source] = true;
+    // source == destination is caught by the evaluator downstream.
+    used[problem.destination] = true;
+  }
+
+  // Transport estimate between the stage and one pipeline neighbour.
+  const auto transport_estimate = [&](double megabits, NodeId from,
+                                      NodeId to) {
+    if (from == to) {
+      return 0.0;  // co-located stages exchange data in memory
+    }
+    if (const auto link = net.find_link(from, to); link.has_value()) {
+      return model.transport_time(megabits, *link);
+    }
+    return options_.missing_link_penalty * megabits / mean_bw;
+  };
+
+  for (ModuleId j : order) {
+    double best = kInf;
+    NodeId best_node = graph::kInvalidNode;
+    for (NodeId v = 0; v < k; ++v) {
+      if (!allow_reuse && used[v]) {
+        continue;
+      }
+      double score = model.computing_time(j, v);
+      // Upstream neighbour: placed -> real link estimate; unplaced ->
+      // expected transport at mean bandwidth.
+      if (assignment[j - 1] != graph::kInvalidNode) {
+        score += transport_estimate(problem.pipeline->input_mb(j),
+                                    assignment[j - 1], v);
+      } else {
+        score += problem.pipeline->input_mb(j) / mean_bw;
+      }
+      const double out_mb = problem.pipeline->module(j).output_mb;
+      if (assignment[j + 1] != graph::kInvalidNode) {
+        score += transport_estimate(out_mb, v, assignment[j + 1]);
+      } else {
+        score += out_mb / mean_bw;
+      }
+      if (score < best) {
+        best = score;
+        best_node = v;
+      }
+    }
+    if (best_node == graph::kInvalidNode) {
+      return MapResult::infeasible("streamline ran out of candidate nodes");
+    }
+    ELPC_LOG(util::LogLevel::kDebug)
+        << "streamline: stage " << j << " -> node " << best_node
+        << " (score " << best << ")";
+    assignment[j] = best_node;
+    used[best_node] = true;
+  }
+
+  MapResult result;
+  result.feasible = true;
+  result.mapping = Mapping(std::move(assignment));
+  return result;
+}
+
+MapResult StreamlineMapper::min_delay(const Problem& problem) const {
+  MapResult result = place(problem, /*allow_reuse=*/true);
+  if (!result.feasible) {
+    return result;
+  }
+  const mapping::Evaluation eval =
+      mapping::evaluate_total_delay(problem, result.mapping);
+  if (!eval.feasible) {
+    return MapResult::infeasible("streamline placement infeasible: " +
+                                 eval.reason);
+  }
+  result.seconds = eval.seconds;
+  return result;
+}
+
+MapResult StreamlineMapper::max_frame_rate(const Problem& problem) const {
+  MapResult result = place(problem, /*allow_reuse=*/false);
+  if (!result.feasible) {
+    return result;
+  }
+  const mapping::Evaluation eval = mapping::evaluate_bottleneck(
+      problem, result.mapping, /*enforce_no_reuse=*/true);
+  if (!eval.feasible) {
+    return MapResult::infeasible("streamline placement infeasible: " +
+                                 eval.reason);
+  }
+  result.seconds = eval.seconds;
+  return result;
+}
+
+}  // namespace elpc::baselines

@@ -1,0 +1,370 @@
+#include "core/elpc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/node_set.hpp"
+
+namespace elpc::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using graph::Edge;
+using graph::kInvalidNode;
+using graph::NodeId;
+using mapping::MapResult;
+using mapping::Mapping;
+using mapping::Problem;
+
+/// Reconstructs the per-module assignment from column-parent pointers:
+/// parent[j * k + v] is the node running module j-1 when module j runs
+/// on v along the best partial solution ending at cell (j, v).
+Mapping reconstruct(const std::vector<NodeId>& parent, std::size_t n,
+                    std::size_t k, NodeId destination) {
+  std::vector<NodeId> assignment(n, kInvalidNode);
+  assignment[n - 1] = destination;
+  for (std::size_t j = n - 1; j > 0; --j) {
+    assignment[j - 1] = parent[j * k + assignment[j]];
+  }
+  return Mapping(std::move(assignment));
+}
+
+}  // namespace
+
+MapResult ElpcMapper::min_delay(const Problem& problem) const {
+  problem.validate();
+  const pipeline::CostModel model = problem.model();
+  const graph::Network& net = *problem.network;
+  const std::size_t n = problem.pipeline->module_count();
+  const std::size_t k = net.node_count();
+
+  // T^j(v): minimal delay mapping modules 0..j onto a walk source -> v.
+  // Two rolling columns plus a full parent table for reconstruction.
+  std::vector<double> prev(k, kInf);
+  std::vector<double> cur(k, kInf);
+  std::vector<NodeId> parent(n * k, kInvalidNode);
+
+  prev[problem.source] = 0.0;  // module 0 (source stage) computes nothing
+
+  for (std::size_t j = 1; j < n; ++j) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const double input_mb = problem.pipeline->input_mb(j);
+    for (NodeId v = 0; v < k; ++v) {
+      const double comp = model.computing_time(j, v);
+      // Sub-case (i): module j joins module j-1's node (grouping).
+      double best = prev[v] == kInf ? kInf : prev[v] + comp;
+      NodeId best_parent = v;
+      // Sub-case (ii): module j-1 ran on an in-neighbour u of v.
+      for (const Edge& e : net.in_edges(v)) {
+        if (prev[e.from] == kInf) {
+          continue;
+        }
+        const double cand =
+            prev[e.from] + model.transport_time(input_mb, e.attr) + comp;
+        if (cand < best) {
+          best = cand;
+          best_parent = e.from;
+        }
+      }
+      cur[v] = best;
+      parent[j * k + v] = best_parent;
+    }
+    std::swap(prev, cur);
+  }
+
+  if (prev[problem.destination] == kInf) {
+    return MapResult::infeasible(
+        "destination unreachable from source within the pipeline length");
+  }
+  MapResult result;
+  result.feasible = true;
+  result.seconds = prev[problem.destination];
+  result.mapping = reconstruct(parent, n, k, problem.destination);
+  return result;
+}
+
+namespace {
+
+/// One surviving partial path at a frame-rate DP cell.
+struct Label {
+  double bottleneck = kInf;
+  /// Sum of all cost terms; the (ablatable) secondary criterion.
+  double sum = kInf;
+  NodeId parent_node = kInvalidNode;
+  std::uint32_t parent_label = 0;
+  NodeSet used;
+};
+
+/// Sorting criterion: bottleneck first, then (optionally) the sum.
+bool label_before(const Label& a, const Label& b, bool sum_tiebreak) {
+  if (a.bottleneck != b.bottleneck) {
+    return a.bottleneck < b.bottleneck;
+  }
+  return sum_tiebreak && a.sum < b.sum;
+}
+
+/// Bottleneck-targeted 1-swap local search on a one-to-one mapping.
+/// Repeatedly replaces one interior path node with an unused node (both
+/// adjacent links must exist) when that strictly lowers the bottleneck.
+void improve_by_node_swaps(const Problem& problem,
+                           const pipeline::CostModel& model,
+                           std::vector<NodeId>& assignment,
+                           double& bottleneck) {
+  const graph::Network& net = *problem.network;
+  const std::size_t n = assignment.size();
+  const std::size_t k = net.node_count();
+  if (n < 3) {
+    return;
+  }
+
+  // Cost terms along the path: term[2j-1] = transport into module j,
+  // term[2j] = computing of module j (j = 1..n-1).
+  const std::size_t terms = 2 * n - 1;
+  std::vector<double> term(terms, 0.0);
+  auto recompute_terms = [&]() {
+    for (std::size_t j = 1; j < n; ++j) {
+      term[2 * j - 1] = model.input_transport_time(j, assignment[j - 1],
+                                                   assignment[j]);
+      term[2 * j] = model.computing_time(j, assignment[j]);
+    }
+  };
+
+  std::vector<bool> used(k, false);
+  for (NodeId v : assignment) {
+    used[v] = true;
+  }
+
+  // Bounded rounds; each accepted swap strictly lowers the bottleneck,
+  // and the value is bounded below, so this terminates early in practice.
+  for (int round = 0; round < 64; ++round) {
+    recompute_terms();
+    // Prefix/suffix maxima let us evaluate "bottleneck excluding the
+    // three terms around position j" in O(1).
+    std::vector<double> prefix(terms + 1, 0.0);
+    std::vector<double> suffix(terms + 1, 0.0);
+    for (std::size_t t = 0; t < terms; ++t) {
+      prefix[t + 1] = std::max(prefix[t], term[t]);
+    }
+    for (std::size_t t = terms; t > 0; --t) {
+      suffix[t - 1] = std::max(suffix[t], term[t - 1]);
+    }
+    bottleneck = prefix[terms];
+
+    double best = bottleneck;
+    std::size_t best_pos = 0;
+    NodeId best_node = kInvalidNode;
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      // Terms affected by replacing assignment[j]: transport in (2j-1),
+      // compute (2j), transport out (2j+1).
+      const double others = std::max(prefix[2 * j - 1], suffix[2 * j + 2]);
+      if (others >= best) {
+        continue;  // replacement cannot improve past the rest of the path
+      }
+      const NodeId before = assignment[j - 1];
+      const NodeId after = assignment[j + 1];
+      for (const Edge& e : net.out_edges(before)) {
+        const NodeId x = e.to;
+        if (used[x]) {
+          continue;
+        }
+        const auto out_link = net.find_link(x, after);
+        if (!out_link.has_value()) {
+          continue;
+        }
+        const double cand = std::max(
+            {others,
+             model.transport_time(problem.pipeline->input_mb(j), e.attr),
+             model.computing_time(j, x),
+             model.transport_time(problem.pipeline->input_mb(j + 1),
+                                  *out_link)});
+        if (cand < best) {
+          best = cand;
+          best_pos = j;
+          best_node = x;
+        }
+      }
+    }
+    if (best_node != kInvalidNode) {
+      used[assignment[best_pos]] = false;
+      used[best_node] = true;
+      assignment[best_pos] = best_node;
+      bottleneck = best;
+      continue;
+    }
+
+    // No single-node replacement helps; try exchanging two interior path
+    // positions (a heavy stage may simply sit on the wrong fast node).
+    bool exchanged = false;
+    for (std::size_t a = 1; a + 1 < n && !exchanged; ++a) {
+      for (std::size_t b = a + 1; b + 1 < n && !exchanged; ++b) {
+        std::swap(assignment[a], assignment[b]);
+        bool valid = true;
+        for (std::size_t t : {a, a + 1, b, b + 1}) {
+          if (t < 1 || t >= n) {
+            continue;
+          }
+          if (!net.has_link(assignment[t - 1], assignment[t])) {
+            valid = false;
+            break;
+          }
+        }
+        if (valid) {
+          double cand = 0.0;
+          for (std::size_t j2 = 1; j2 < n; ++j2) {
+            cand = std::max(
+                {cand,
+                 model.input_transport_time(j2, assignment[j2 - 1],
+                                            assignment[j2]),
+                 model.computing_time(j2, assignment[j2])});
+          }
+          if (cand < bottleneck * (1.0 - 1e-12)) {
+            bottleneck = cand;
+            exchanged = true;
+            break;
+          }
+        }
+        std::swap(assignment[a], assignment[b]);  // revert
+      }
+    }
+    if (!exchanged) {
+      return;  // local optimum under both move types
+    }
+  }
+}
+
+}  // namespace
+
+MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
+  problem.validate();
+  const pipeline::CostModel model = problem.model();
+  const graph::Network& net = *problem.network;
+  const std::size_t n = problem.pipeline->module_count();
+  const std::size_t k = net.node_count();
+  const std::size_t beam = std::max<std::size_t>(1, options_.framerate_beam_width);
+
+  if (n > k) {
+    return MapResult::infeasible(
+        "pipeline longer than the node count; no one-to-one mapping exists");
+  }
+  if (problem.source == problem.destination) {
+    return MapResult::infeasible(
+        "source equals destination; no simple n-node path exists");
+  }
+
+  // B^j(v) of the paper's Fig. 1 table, generalized to a beam: cell
+  // (j, v) holds up to `beam` surviving partial paths (modules 0..j
+  // mapped one-to-one onto a simple path source -> v), each carrying the
+  // node set it consumed so extensions honour the no-reuse constraint.
+  // Width 1 is exactly the published recursion (Eq. 5).
+  std::vector<std::vector<std::vector<Label>>> table(
+      n, std::vector<std::vector<Label>>(k));
+
+  {
+    Label start;
+    start.bottleneck = 0.0;
+    start.sum = 0.0;
+    start.used = NodeSet(k);
+    start.used.insert(problem.source);
+    table[0][problem.source].push_back(std::move(start));
+  }
+
+  std::vector<Label> candidates;
+  for (std::size_t j = 1; j < n; ++j) {
+    const double input_mb = problem.pipeline->input_mb(j);
+    // Only the destination cell matters in the final column; other nodes
+    // would strand the sink module elsewhere.  Conversely, intermediate
+    // modules must stay OFF the destination: a simple path that consumes
+    // the destination mid-way can never host the pinned sink module, so
+    // such cells are dead ends that would only displace viable
+    // candidates.
+    for (NodeId v = 0; v < k; ++v) {
+      if (j + 1 == n && v != problem.destination) {
+        continue;
+      }
+      if (j + 1 < n && v == problem.destination) {
+        continue;
+      }
+      const double comp = model.computing_time(j, v);
+      candidates.clear();
+      for (const Edge& e : net.in_edges(v)) {
+        const NodeId u = e.from;
+        const std::vector<Label>& labels = table[j - 1][u];
+        const double transport = model.transport_time(input_mb, e.attr);
+        for (std::uint32_t b = 0; b < labels.size(); ++b) {
+          const Label& from = labels[b];
+          if (options_.framerate_visited_check && from.used.contains(v)) {
+            continue;  // node already consumed by this partial path
+          }
+          Label cand;
+          cand.bottleneck = std::max({from.bottleneck, transport, comp});
+          cand.sum = from.sum + transport + comp;
+          cand.parent_node = u;
+          cand.parent_label = b;
+          candidates.push_back(std::move(cand));
+        }
+      }
+      if (candidates.empty()) {
+        continue;
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [&](const Label& a, const Label& b) {
+                  return label_before(a, b, options_.framerate_sum_tiebreak);
+                });
+      // Keep the best `beam` survivors, preferring distinct predecessor
+      // nodes for diversity (identical-parent survivors have highly
+      // correlated visited sets and add little).
+      std::vector<Label>& cell = table[j][v];
+      for (const Label& cand : candidates) {
+        if (cell.size() >= beam) {
+          break;
+        }
+        bool parent_taken = false;
+        for (const Label& kept : cell) {
+          if (kept.parent_node == cand.parent_node) {
+            parent_taken = true;
+            break;
+          }
+        }
+        if (parent_taken) {
+          continue;
+        }
+        Label kept = cand;
+        kept.used = table[j - 1][cand.parent_node][cand.parent_label].used;
+        kept.used.insert(v);
+        cell.push_back(std::move(kept));
+      }
+    }
+  }
+
+  const std::vector<Label>& final_cell = table[n - 1][problem.destination];
+  if (final_cell.empty()) {
+    return MapResult::infeasible(
+        "no simple path of the pipeline's length reaches the destination "
+        "(heuristic may also have exhausted candidate nodes)");
+  }
+
+  // Reconstruct the best survivor's assignment by walking parent labels.
+  std::vector<NodeId> assignment(n, kInvalidNode);
+  assignment[n - 1] = problem.destination;
+  const Label* label = &final_cell.front();
+  for (std::size_t j = n - 1; j > 0; --j) {
+    assignment[j - 1] = label->parent_node;
+    label = &table[j - 1][label->parent_node][label->parent_label];
+  }
+
+  double bottleneck = final_cell.front().bottleneck;
+  if (options_.framerate_local_search) {
+    improve_by_node_swaps(problem, model, assignment, bottleneck);
+  }
+
+  MapResult result;
+  result.feasible = true;
+  result.seconds = bottleneck;
+  result.mapping = Mapping(std::move(assignment));
+  return result;
+}
+
+}  // namespace elpc::core

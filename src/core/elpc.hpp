@@ -1,0 +1,82 @@
+#pragma once
+// ELPC — Efficient Linear Pipeline Configuration (paper Section 3.1).
+//
+// Two dynamic programs over the 2-D table T^j(v_i) of Fig. 1 ("the first
+// j modules mapped to a path from the source to node v_i"):
+//
+//  * min_delay (Section 3.1.1): provably OPTIMAL, polynomial.  Each cell
+//    is the minimum of sub-case (i) — run module j on the same node as
+//    module j-1 (node reuse / grouping; no transport cost) — and
+//    sub-case (ii) — pull module j-1's result over an incoming link from
+//    a neighbour's cell in the previous column.  Complexity
+//    O(n * (|V| + |E|)) for n modules.
+//
+//  * max_frame_rate (Section 3.1.2): the exact problem (exact-n-hop
+//    widest path) is NP-complete, so this is the paper's HEURISTIC: the
+//    same column sweep, minimizing the path bottleneck
+//    max(T^{j-1}(u), transport, computing) instead of the sum, with a
+//    per-cell visited-node set enforcing the no-reuse constraint.  It
+//    can miss the optimum when every neighbour of a node has already
+//    consumed it ("extremely rare" per the paper; quantified by the E7
+//    optimality-gap bench).
+
+#include "mapping/mapper.hpp"
+
+namespace elpc::core {
+
+/// Tuning knobs for the ELPC mapper (defaults reproduce the paper).
+struct ElpcOptions {
+  /// When true, the frame-rate DP skips candidate predecessors whose
+  /// partial path already contains the target node.  Turning this off
+  /// (ablation) lets the DP pick node-repeating paths, which the strict
+  /// evaluator then rejects — isolating the value of the visited-set
+  /// bookkeeping.
+  bool framerate_visited_check = true;
+  /// Secondary criterion for the frame-rate DP.  Bottleneck values tie
+  /// constantly (a heavy shared prefix term dominates many partial
+  /// paths), and on a tie the paper's recursion leaves the predecessor —
+  /// and therefore the visited set that constrains the rest of the
+  /// search — arbitrary.  With this on, ties are broken towards the
+  /// partial path with the smaller *sum* of cost terms
+  /// ("widest-shortest"), which keeps more capable nodes unconsumed.
+  /// Off reproduces the bare Eq. 5 recursion (ablation A5).
+  bool framerate_sum_tiebreak = true;
+  /// Number of candidate partial paths kept per DP cell.  The paper's
+  /// recursion keeps exactly one (width 1), which it concedes can "miss
+  /// an optimal solution ... when a node has been selected by all its
+  /// neighbor nodes at previous optimization steps": the lone survivor's
+  /// visited set can block every good completion.  A small beam keeps a
+  /// few diverse-predecessor candidates per cell and removes nearly all
+  /// such misses at a proportional cost in time and memory (ablation A5
+  /// sweeps the width).
+  std::size_t framerate_beam_width = 4;
+  /// Post-pass on the DP's path: repeatedly try to swap one interior
+  /// path node for an unused node (links permitting) when that lowers
+  /// the bottleneck.  Directly attacks the residual left-to-right
+  /// blindness of the column sweep: the DP commits to nodes before it
+  /// knows which ones the suffix will need.  O(rounds * n * k); off
+  /// reproduces the bare published heuristic (ablation A5).
+  bool framerate_local_search = true;
+};
+
+/// The paper's algorithm pair behind the common Mapper interface.
+class ElpcMapper final : public mapping::Mapper {
+ public:
+  ElpcMapper() = default;
+  explicit ElpcMapper(ElpcOptions options) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "ELPC"; }
+
+  /// Optimal minimum end-to-end delay with node reuse (Eq. 3 recursion).
+  [[nodiscard]] mapping::MapResult min_delay(
+      const mapping::Problem& problem) const override;
+
+  /// Heuristic maximum frame rate without node reuse (Eq. 5 recursion).
+  [[nodiscard]] mapping::MapResult max_frame_rate(
+      const mapping::Problem& problem) const override;
+
+ private:
+  ElpcOptions options_;
+};
+
+}  // namespace elpc::core

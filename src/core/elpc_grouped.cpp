@@ -1,0 +1,136 @@
+#include "core/elpc_grouped.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/elpc.hpp"
+#include "core/node_set.hpp"
+
+namespace elpc::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using graph::Edge;
+using graph::kInvalidNode;
+using graph::NodeId;
+using mapping::MapResult;
+using mapping::Mapping;
+using mapping::Problem;
+
+}  // namespace
+
+MapResult ElpcGroupedMapper::min_delay(const Problem& problem) const {
+  return ElpcMapper().min_delay(problem);
+}
+
+MapResult ElpcGroupedMapper::max_frame_rate(const Problem& problem) const {
+  problem.validate();
+  const pipeline::CostModel model = problem.model();
+  const graph::Network& net = *problem.network;
+  const std::size_t n = problem.pipeline->module_count();
+  const std::size_t k = net.node_count();
+
+  // D[j][v]: best bottleneck for modules 0..j with module j's group on v.
+  // group_start[j][v] and parent[j][v] record the chosen split for
+  // reconstruction.  Full tables (not rolling) because transitions reach
+  // back to arbitrary earlier columns.
+  std::vector<double> value(n * k, kInf);
+  std::vector<std::size_t> group_start(n * k, 0);
+  std::vector<NodeId> parent(n * k, kInvalidNode);
+  std::vector<NodeSet> used(n * k);
+
+  auto at = [k](std::size_t j, NodeId v) { return j * k + v; };
+
+  // First group: modules 0..j on the source node.  Its bottleneck term is
+  // the sum of those modules' computing times on the source.
+  {
+    double group_comp = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      group_comp += model.computing_time(j, problem.source);
+      value[at(j, problem.source)] = group_comp;
+      group_start[at(j, problem.source)] = 0;
+      parent[at(j, problem.source)] = kInvalidNode;
+      used[at(j, problem.source)] = NodeSet(k);
+      used[at(j, problem.source)].insert(problem.source);
+    }
+  }
+
+  // Later groups: modules i..j on node v, fed over link u -> v where u
+  // closed the previous group at module i-1.
+  for (std::size_t j = 1; j < n; ++j) {
+    for (NodeId v = 0; v < k; ++v) {
+      if (v == problem.source) {
+        continue;  // the source cell is exactly the first-group case
+      }
+      // A group closing on the destination before the sink module is a
+      // dead end: the path cannot leave and return (simple path), so the
+      // sink could never be placed.  Mirrors the no-reuse DP.
+      if (v == problem.destination && j + 1 < n) {
+        continue;
+      }
+      double best = value[at(j, v)];
+      std::size_t best_start = 0;
+      NodeId best_parent = kInvalidNode;
+      // Accumulate the group computing sum backwards from j to i.
+      double group_comp = 0.0;
+      for (std::size_t i = j; i >= 1; --i) {
+        group_comp += model.computing_time(i, v);
+        const double input_mb = problem.pipeline->input_mb(i);
+        for (const Edge& e : net.in_edges(v)) {
+          const NodeId u = e.from;
+          const double prev = value[at(i - 1, u)];
+          if (prev == kInf || used[at(i - 1, u)].contains(v)) {
+            continue;
+          }
+          const double cand = std::max(
+              {prev, model.transport_time(input_mb, e.attr), group_comp});
+          if (cand < best) {
+            best = cand;
+            best_start = i;
+            best_parent = u;
+          }
+        }
+      }
+      if (best_parent == kInvalidNode) {
+        continue;
+      }
+      value[at(j, v)] = best;
+      group_start[at(j, v)] = best_start;
+      parent[at(j, v)] = best_parent;
+      used[at(j, v)] = used[at(best_start - 1, best_parent)];
+      used[at(j, v)].insert(v);
+    }
+  }
+
+  if (value[at(n - 1, problem.destination)] == kInf) {
+    return MapResult::infeasible(
+        "no grouped simple path reaches the destination");
+  }
+
+  // Reconstruct: walk group boundaries back from (n-1, destination).
+  std::vector<NodeId> assignment(n, kInvalidNode);
+  std::size_t j = n - 1;
+  NodeId v = problem.destination;
+  while (true) {
+    const std::size_t start = group_start[at(j, v)];
+    for (std::size_t t = start; t <= j; ++t) {
+      assignment[t] = v;
+    }
+    if (start == 0) {
+      break;
+    }
+    v = parent[at(j, v)];
+    j = start - 1;
+  }
+
+  MapResult result;
+  result.feasible = true;
+  result.seconds = value[at(n - 1, problem.destination)];
+  result.mapping = Mapping(std::move(assignment));
+  return result;
+}
+
+}  // namespace elpc::core

@@ -1,0 +1,44 @@
+#pragma once
+// Extension: maximum frame rate WITH contiguous node reuse — the open
+// problem the paper leaves as future work ("study the pipeline mapping
+// problem for maximum frame rate in the case of node reuse",
+// Section 5).
+//
+// Semantics: modules may be grouped onto shared nodes exactly as in the
+// delay problem, but in steady-state streaming a node hosting a group
+// serves every frame for the *sum* of its modules' computing times, so a
+// group contributes one bottleneck term equal to that sum (this is the
+// node-sharing model the evaluator implements with
+// enforce_no_reuse = false).  Distinct groups must still land on
+// distinct nodes (no loops) so that the path is simple.
+//
+// Algorithm: a group-boundary dynamic program over cells D^j(v) = "best
+// bottleneck mapping modules 0..j with the group containing module j
+// ending (closed) on node v", extended per (group start, incoming link).
+// Like the paper's no-reuse DP it carries per-cell visited sets and is a
+// heuristic for the same reason; complexity O(n^2 * |E|).
+
+#include "mapping/mapper.hpp"
+
+namespace elpc::core {
+
+/// Grouped-reuse frame-rate mapper.  min_delay delegates to the same DP
+/// as ElpcMapper (grouping changes nothing for the delay objective, where
+/// reuse is already allowed), so this class is primarily interesting for
+/// max_frame_rate.
+class ElpcGroupedMapper final : public mapping::Mapper {
+ public:
+  [[nodiscard]] std::string name() const override { return "ELPC-grouped"; }
+
+  [[nodiscard]] mapping::MapResult min_delay(
+      const mapping::Problem& problem) const override;
+
+  /// Heuristic maximum frame rate with contiguous node reuse.  Its
+  /// bottleneck is measured by evaluate_bottleneck(.., false); because
+  /// grouping strictly enlarges the feasible set, the result is never
+  /// worse than an (exact) no-reuse optimum on the same instance.
+  [[nodiscard]] mapping::MapResult max_frame_rate(
+      const mapping::Problem& problem) const override;
+};
+
+}  // namespace elpc::core

@@ -1,0 +1,127 @@
+#include "core/exhaustive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "mapping/evaluator.hpp"
+
+namespace elpc::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using graph::Edge;
+using graph::NodeId;
+using mapping::MapResult;
+using mapping::Mapping;
+using mapping::Problem;
+
+std::string limits_reason(const Problem& problem,
+                          const ExhaustiveLimits& limits) {
+  if (problem.network->node_count() > limits.max_nodes) {
+    return "instance exceeds exhaustive-search node limit (" +
+           std::to_string(limits.max_nodes) + ")";
+  }
+  if (problem.pipeline->module_count() > limits.max_modules) {
+    return "instance exceeds exhaustive-search module limit (" +
+           std::to_string(limits.max_modules) + ")";
+  }
+  return {};
+}
+
+}  // namespace
+
+MapResult ExhaustiveMapper::min_delay(const Problem& problem) const {
+  problem.validate();
+  if (const std::string why = limits_reason(problem, limits_); !why.empty()) {
+    return MapResult::infeasible(why);
+  }
+  const pipeline::CostModel model = problem.model();
+  const graph::Network& net = *problem.network;
+  const std::size_t n = problem.pipeline->module_count();
+
+  double best = kInf;
+  std::vector<NodeId> assignment(n, graph::kInvalidNode);
+  std::vector<NodeId> best_assignment;
+  assignment[0] = problem.source;
+
+  // dfs(j, cost): modules 0..j-1 assigned with accumulated delay `cost`.
+  const std::function<void(std::size_t, double)> dfs = [&](std::size_t j,
+                                                           double cost) {
+    if (cost >= best) {
+      return;  // all remaining terms are non-negative
+    }
+    if (j == n) {
+      if (assignment[n - 1] == problem.destination) {
+        best = cost;
+        best_assignment = assignment;
+      }
+      return;
+    }
+    const NodeId prev = assignment[j - 1];
+    // Stay on the previous node (grouping; no transport).
+    assignment[j] = prev;
+    dfs(j + 1, cost + model.computing_time(j, prev));
+    // Or hop over any outgoing link.
+    const double input_mb = problem.pipeline->input_mb(j);
+    for (const Edge& e : net.out_edges(prev)) {
+      assignment[j] = e.to;
+      dfs(j + 1, cost + model.transport_time(input_mb, e.attr) +
+                     model.computing_time(j, e.to));
+    }
+    assignment[j] = graph::kInvalidNode;
+  };
+  dfs(1, 0.0);
+
+  if (best_assignment.empty()) {
+    return MapResult::infeasible("no feasible walk reaches the destination");
+  }
+  MapResult result;
+  result.feasible = true;
+  result.seconds = best;
+  result.mapping = Mapping(std::move(best_assignment));
+  return result;
+}
+
+MapResult ExhaustiveMapper::max_frame_rate(const Problem& problem) const {
+  problem.validate();
+  if (const std::string why = limits_reason(problem, limits_); !why.empty()) {
+    return MapResult::infeasible(why);
+  }
+  const std::size_t n = problem.pipeline->module_count();
+  if (problem.source == problem.destination) {
+    return MapResult::infeasible(
+        "source equals destination; no simple n-node path exists");
+  }
+
+  double best = kInf;
+  Mapping best_mapping;
+  graph::for_each_simple_path(
+      *problem.network, problem.source, problem.destination, n,
+      [&](const graph::Path& path) {
+        const Mapping candidate(path.nodes());
+        const mapping::Evaluation eval =
+            mapping::evaluate_bottleneck(problem, candidate,
+                                         /*enforce_no_reuse=*/true);
+        if (eval.feasible && eval.seconds < best) {
+          best = eval.seconds;
+          best_mapping = candidate;
+        }
+        return true;  // keep enumerating
+      });
+
+  if (best == kInf) {
+    return MapResult::infeasible(
+        "no simple path with exactly n nodes connects source to destination");
+  }
+  MapResult result;
+  result.feasible = true;
+  result.seconds = best;
+  result.mapping = std::move(best_mapping);
+  return result;
+}
+
+}  // namespace elpc::core

@@ -1,0 +1,49 @@
+#pragma once
+// Exhaustive ground-truth searchers.
+//
+// These compute certified optima by enumeration and exist to validate the
+// polynomial algorithms:
+//  * the delay searcher confirms the ELPC DP's optimality proof
+//    empirically (they must agree exactly);
+//  * the frame-rate searcher solves the NP-complete exact-n-hop widest
+//    path problem by simple-path enumeration, quantifying how often the
+//    paper's heuristic misses the optimum (claimed "extremely rare").
+//
+// Both are exponential and refuse instances beyond configured limits.
+
+#include "mapping/mapper.hpp"
+
+namespace elpc::core {
+
+/// Instance-size guards; enumeration beyond these would be unreasonably
+/// slow, so map() returns infeasible with an explanatory reason instead.
+struct ExhaustiveLimits {
+  std::size_t max_nodes = 12;
+  std::size_t max_modules = 10;
+};
+
+/// Brute-force optimal mapper (branch-and-bound; exact).
+class ExhaustiveMapper final : public mapping::Mapper {
+ public:
+  ExhaustiveMapper() = default;
+  explicit ExhaustiveMapper(ExhaustiveLimits limits) : limits_(limits) {}
+
+  [[nodiscard]] std::string name() const override { return "Exhaustive"; }
+
+  /// Exact minimum end-to-end delay with node reuse: depth-first
+  /// assignment of modules to (stay | out-neighbour) with partial-cost
+  /// pruning.  Pruning never cuts the optimum because all cost terms are
+  /// non-negative.
+  [[nodiscard]] mapping::MapResult min_delay(
+      const mapping::Problem& problem) const override;
+
+  /// Exact maximum frame rate without node reuse: enumerates every
+  /// simple path with exactly n nodes and evaluates Eq. 2 on each.
+  [[nodiscard]] mapping::MapResult max_frame_rate(
+      const mapping::Problem& problem) const override;
+
+ private:
+  ExhaustiveLimits limits_;
+};
+
+}  // namespace elpc::core

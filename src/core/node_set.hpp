@@ -1,0 +1,46 @@
+#pragma once
+// Fixed-capacity bitset over node ids, used by the frame-rate DP to track
+// the nodes a partial path has already consumed (paper Section 3.1.2:
+// "at each step, we ensure that the current node has not been used
+// previously in the path").  std::vector<bool> would work but this keeps
+// the per-cell copies cheap and branch-free.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace elpc::core {
+
+/// Dense bitset sized at construction for a network's node count.
+class NodeSet {
+ public:
+  NodeSet() = default;
+  explicit NodeSet(std::size_t capacity)
+      : words_((capacity + 63) / 64, 0), capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void insert(std::size_t v) { words_[v >> 6] |= (std::uint64_t{1} << (v & 63)); }
+
+  [[nodiscard]] bool contains(std::size_t v) const {
+    return (words_[v >> 6] & (std::uint64_t{1} << (v & 63))) != 0;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (std::uint64_t w : words_) {
+      total += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
+    return total;
+  }
+
+  friend bool operator==(const NodeSet& a, const NodeSet& b) {
+    return a.words_ == b.words_;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace elpc::core

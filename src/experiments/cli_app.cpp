@@ -1,0 +1,198 @@
+#include "experiments/cli_app.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "core/elpc.hpp"
+#include "experiments/registry.hpp"
+#include "experiments/report.hpp"
+#include "experiments/runner.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/file_io.hpp"
+#include "util/strings.hpp"
+#include "workload/small_case.hpp"
+#include "workload/suite.hpp"
+
+namespace elpc::experiments {
+
+namespace {
+
+const char* kUsage =
+    "usage: elpc <generate|map|simulate|suite|algorithms> [options]\n"
+    "  elpc generate --case 3 --out scenario.json\n"
+    "  elpc generate --modules 8 --nodes 12 --links 90 --seed 7\n"
+    "  elpc map --in scenario.json --algorithm ELPC --objective framerate\n"
+    "  elpc simulate --in scenario.json --frames 200\n"
+    "  elpc suite\n";
+
+workload::Scenario load_scenario(const std::string& path) {
+  return workload::scenario_from_json(
+      util::Json::parse(util::read_text_file(path)));
+}
+
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out) {
+  util::ArgParser parser("elpc generate");
+  parser.add_int("case", 0, "suite case number 1..20 (0 = use sizes below)");
+  parser.add_int("modules", 6, "pipeline length");
+  parser.add_int("nodes", 10, "network size");
+  parser.add_int("links", 60, "directed link count");
+  parser.add_int("seed", 1, "rng stream");
+  parser.add_string("out", "", "write JSON here (default: stdout)");
+  parser.parse(args);
+
+  workload::Scenario scenario;
+  if (parser.get_int("case") > 0) {
+    const auto suite = workload::default_suite();
+    const auto index = static_cast<std::size_t>(parser.get_int("case")) - 1;
+    if (index >= suite.size()) {
+      throw std::invalid_argument("--case must be 1.." +
+                                  std::to_string(suite.size()));
+    }
+    scenario = workload::build_scenario(suite[index]);
+  } else {
+    workload::CaseSpec spec;
+    spec.name = "custom";
+    spec.modules = static_cast<std::size_t>(parser.get_int("modules"));
+    spec.nodes = static_cast<std::size_t>(parser.get_int("nodes"));
+    spec.links = static_cast<std::size_t>(parser.get_int("links"));
+    spec.stream = static_cast<std::uint64_t>(parser.get_int("seed"));
+    scenario = workload::build_scenario(spec);
+  }
+  const std::string doc = workload::to_json(scenario).dump(2);
+  if (parser.get_string("out").empty()) {
+    out << doc << "\n";
+  } else {
+    util::write_text_file(parser.get_string("out"), doc);
+    out << "wrote " << parser.get_string("out") << "\n";
+  }
+  return 0;
+}
+
+int cmd_map(const std::vector<std::string>& args, std::ostream& out) {
+  util::ArgParser parser("elpc map");
+  parser.add_string("in", "", "scenario JSON (empty = built-in small case)");
+  parser.add_string("algorithm", "ELPC", "registry name");
+  parser.add_string("objective", "delay", "delay | framerate");
+  parser.parse(args);
+
+  const workload::Scenario scenario = parser.get_string("in").empty()
+                                          ? workload::small_case()
+                                          : load_scenario(parser.get_string("in"));
+  const mapping::MapperPtr mapper = make_mapper(parser.get_string("algorithm"));
+  const std::string objective = parser.get_string("objective");
+
+  mapping::MapResult result;
+  if (objective == "delay") {
+    result = mapper->min_delay(scenario.problem());
+  } else if (objective == "framerate") {
+    result = mapper->max_frame_rate(
+        scenario.problem({.include_link_delay = false}));
+  } else {
+    throw std::invalid_argument("--objective must be delay or framerate");
+  }
+
+  out << "scenario : " << scenario.name << " (" << scenario.pipeline.module_count()
+      << " modules, " << scenario.network.node_count() << " nodes)\n";
+  out << "algorithm: " << mapper->name() << "\n";
+  if (!result.feasible) {
+    out << "infeasible: " << result.reason << "\n";
+    return 2;
+  }
+  out << "mapping  : " << result.mapping.to_string() << "\n";
+  out << "path     : " << result.mapping.group_path().to_string() << "\n";
+  if (objective == "delay") {
+    out << "delay    : " << util::format_double(result.seconds * 1e3, 2)
+        << " ms\n";
+  } else {
+    out << "rate     : " << util::format_double(result.frame_rate(), 2)
+        << " frames/s (bottleneck "
+        << util::format_double(result.seconds * 1e3, 2) << " ms)\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
+  util::ArgParser parser("elpc simulate");
+  parser.add_string("in", "", "scenario JSON (empty = built-in small case)");
+  parser.add_int("frames", 100, "frames to stream");
+  parser.add_double("interval", 0.0, "injection interval seconds (0 = saturate)");
+  parser.parse(args);
+
+  const workload::Scenario scenario = parser.get_string("in").empty()
+                                          ? workload::small_case()
+                                          : load_scenario(parser.get_string("in"));
+  const mapping::Problem problem =
+      scenario.problem({.include_link_delay = false});
+  const mapping::MapResult mapped = core::ElpcMapper().max_frame_rate(problem);
+  if (!mapped.feasible) {
+    out << "infeasible: " << mapped.reason << "\n";
+    return 2;
+  }
+  sim::SimConfig config;
+  config.frames = static_cast<std::size_t>(parser.get_int("frames"));
+  config.injection_interval_s = parser.get_double("interval");
+  const sim::SimReport report = sim::simulate(problem, mapped.mapping, config);
+  out << "mapping            : " << mapped.mapping.to_string() << "\n";
+  out << "analytic bound     : "
+      << util::format_double(mapped.frame_rate(), 2) << " frames/s\n";
+  out << "simulated rate     : "
+      << util::format_double(report.throughput_fps, 2) << " frames/s\n";
+  out << "first-frame latency: "
+      << util::format_double(report.first_frame_latency_s() * 1e3, 2)
+      << " ms\n";
+  out << "events executed    : " << report.events << "\n";
+  return 0;
+}
+
+int cmd_suite(std::ostream& out) {
+  util::ThreadPool pool;
+  const auto outcomes = run_suite(workload::default_suite(),
+                                  workload::SuiteConfig{}, RunnerOptions{},
+                                  pool);
+  out << fig2_table(outcomes).render();
+  for (const ShapeCheck& check : shape_checks(outcomes)) {
+    out << (check.pass ? "[PASS] " : "[FAIL] ") << check.description << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 1;
+  }
+  const std::string command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "generate") {
+      return cmd_generate(rest, out);
+    }
+    if (command == "map") {
+      return cmd_map(rest, out);
+    }
+    if (command == "simulate") {
+      return cmd_simulate(rest, out);
+    }
+    if (command == "suite") {
+      return cmd_suite(out);
+    }
+    if (command == "algorithms") {
+      out << util::join(registered_names(), "\n") << "\n";
+      return 0;
+    }
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "failure: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace elpc::experiments

@@ -1,0 +1,27 @@
+#pragma once
+// The `elpc` command-line application, exposed as a library function so
+// the test suite can drive it without spawning processes.
+//
+// Subcommands:
+//   generate  --case <1..20> | --modules/--nodes/--links --seed
+//             [--out scenario.json]            emit a scenario document
+//   map       --in scenario.json --algorithm ELPC|Streamline|Greedy|...
+//             [--objective delay|framerate]    map and print the result
+//   simulate  --in scenario.json [--frames N] [--interval s]
+//             map with ELPC, execute in the discrete-event simulator
+//   suite                                      run the 20-case Fig. 2 table
+//   algorithms                                 list registry names
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace elpc::experiments {
+
+/// Runs one CLI invocation; `args` excludes the program name.  Writes
+/// human output to `out`, errors/usage to `err`; returns a process exit
+/// code (0 success, 1 usage error, 2 runtime failure).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace elpc::experiments

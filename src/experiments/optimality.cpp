@@ -1,0 +1,123 @@
+#include "experiments/optimality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/elpc.hpp"
+#include "core/exhaustive.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace elpc::experiments {
+
+GapStudyResult run_gap_study(const GapStudyConfig& config) {
+  if (config.min_modules < 2 || config.max_modules < config.min_modules ||
+      config.min_nodes < 2 || config.max_nodes < config.min_nodes) {
+    throw std::invalid_argument("GapStudyConfig: bad size ranges");
+  }
+  if (config.density <= 0.0 || config.density > 1.0) {
+    throw std::invalid_argument("GapStudyConfig: density must be in (0,1]");
+  }
+
+  util::Rng master(config.seed);
+  const core::ElpcMapper elpc;
+  const core::ExhaustiveMapper exact(core::ExhaustiveLimits{
+      config.max_nodes, config.max_modules});
+
+  GapStudyResult result;
+  result.instances = config.instances;
+  double framerate_gap_sum = 0.0;
+  std::size_t framerate_gap_count = 0;
+
+  for (std::size_t i = 0; i < config.instances; ++i) {
+    util::Rng rng = master.split(i + 1);
+    const std::size_t n_nodes = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.min_nodes),
+        static_cast<std::int64_t>(config.max_nodes)));
+    // Cap modules at the node count so frame-rate instances can be
+    // feasible at all.
+    const std::size_t max_modules = std::min(config.max_modules, n_nodes);
+    const std::size_t n_modules = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(std::min(config.min_modules, max_modules)),
+        static_cast<std::int64_t>(max_modules)));
+    const std::size_t max_links = n_nodes * (n_nodes - 1);
+    const std::size_t n_links = std::clamp(
+        static_cast<std::size_t>(config.density *
+                                 static_cast<double>(max_links)),
+        n_nodes, max_links);
+
+    workload::Scenario scenario;
+    scenario.name = "gap" + std::to_string(i);
+    scenario.pipeline =
+        pipeline::random_pipeline(rng, n_modules, pipeline::PipelineRanges{});
+    scenario.network = graph::random_connected_network(
+        rng, n_nodes, n_links, graph::AttributeRanges{});
+    scenario.source = rng.index(n_nodes);
+    do {
+      scenario.destination = rng.index(n_nodes);
+    } while (scenario.destination == scenario.source);
+
+    const mapping::Problem problem = scenario.problem(config.cost);
+
+    // --- Delay: the DP must reproduce the exhaustive optimum exactly.
+    const mapping::MapResult dp_delay = elpc.min_delay(problem);
+    const mapping::MapResult ex_delay = exact.min_delay(problem);
+    if (dp_delay.feasible != ex_delay.feasible) {
+      throw std::logic_error(
+          "gap study: DP and exhaustive disagree on delay feasibility");
+    }
+    if (dp_delay.feasible) {
+      ++result.delay_both_feasible;
+      const double rel =
+          std::abs(dp_delay.seconds - ex_delay.seconds) /
+          std::max(1e-12, ex_delay.seconds);
+      result.delay_max_rel_gap = std::max(result.delay_max_rel_gap, rel);
+      if (rel < 1e-9) {
+        ++result.delay_matches;
+      }
+    }
+
+    // --- Frame rate: heuristic vs exact optimum.
+    const mapping::MapResult heur = elpc.max_frame_rate(problem);
+    const mapping::MapResult opt = exact.max_frame_rate(problem);
+    if (heur.feasible) {
+      ++result.framerate_heuristic_feasible;
+    }
+    if (opt.feasible) {
+      ++result.framerate_exact_feasible;
+      if (!heur.feasible) {
+        ++result.framerate_misses;
+      } else {
+        const double rel = (heur.seconds - opt.seconds) /
+                           std::max(1e-12, opt.seconds);
+        if (rel < -1e-9) {
+          throw std::logic_error(
+              "gap study: heuristic beat the exact optimum — evaluator or "
+              "searcher bug");
+        }
+        result.framerate_max_rel_gap =
+            std::max(result.framerate_max_rel_gap, rel);
+        if (rel < 1e-9) {
+          ++result.framerate_matches;
+        } else {
+          framerate_gap_sum += rel;
+          ++framerate_gap_count;
+        }
+      }
+    } else if (heur.feasible) {
+      throw std::logic_error(
+          "gap study: heuristic feasible where exhaustive found nothing");
+    }
+  }
+
+  result.framerate_mean_rel_gap =
+      framerate_gap_count == 0
+          ? 0.0
+          : framerate_gap_sum / static_cast<double>(framerate_gap_count);
+  return result;
+}
+
+}  // namespace elpc::experiments

@@ -1,0 +1,56 @@
+#pragma once
+// E7: optimality-gap study.
+//
+// On small random instances where exhaustive search is tractable:
+//  * the ELPC delay DP must equal the exhaustive optimum exactly (the
+//    paper proves optimality; this is the empirical check);
+//  * the ELPC frame-rate heuristic is compared against the exact
+//    exact-n-hop widest path optimum, quantifying the paper's claim that
+//    heuristic misses are "extremely rare".
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pipeline/cost_model.hpp"
+
+namespace elpc::experiments {
+
+struct GapStudyConfig {
+  std::size_t instances = 200;
+  std::size_t min_modules = 3;
+  std::size_t max_modules = 6;
+  std::size_t min_nodes = 5;
+  std::size_t max_nodes = 9;
+  /// Link density in (0, 1]; the link count is density * n * (n-1),
+  /// clamped to the connected minimum.
+  double density = 0.7;
+  std::uint64_t seed = 7;
+  pipeline::CostOptions cost{.include_link_delay = false};
+};
+
+struct GapStudyResult {
+  std::size_t instances = 0;
+  // Delay: DP vs exhaustive.
+  std::size_t delay_both_feasible = 0;
+  std::size_t delay_matches = 0;
+  double delay_max_rel_gap = 0.0;
+  // Frame rate: heuristic vs exact.
+  std::size_t framerate_exact_feasible = 0;
+  std::size_t framerate_heuristic_feasible = 0;
+  std::size_t framerate_matches = 0;  ///< heuristic found the exact optimum
+  double framerate_mean_rel_gap = 0.0;  ///< over feasible-but-suboptimal
+  double framerate_max_rel_gap = 0.0;
+  std::size_t framerate_misses = 0;  ///< exact feasible, heuristic not
+
+  [[nodiscard]] double framerate_match_fraction() const {
+    return framerate_exact_feasible == 0
+               ? 1.0
+               : static_cast<double>(framerate_matches) /
+                     static_cast<double>(framerate_exact_feasible);
+  }
+};
+
+/// Runs the study; deterministic in config.seed.
+[[nodiscard]] GapStudyResult run_gap_study(const GapStudyConfig& config);
+
+}  // namespace elpc::experiments

@@ -1,0 +1,90 @@
+#include "experiments/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace elpc::experiments {
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartConfig& config) {
+  if (series.empty() || series.front().values.empty()) {
+    throw std::invalid_argument("render_chart: nothing to plot");
+  }
+  const std::size_t points = series.front().values.size();
+  for (const Series& s : series) {
+    if (s.values.size() != points) {
+      throw std::invalid_argument("render_chart: series length mismatch");
+    }
+  }
+  const std::size_t height = std::max<std::size_t>(4, config.height);
+
+  double max_value = 0.0;
+  for (const Series& s : series) {
+    for (double v : s.values) {
+      if (!std::isnan(v)) {
+        max_value = std::max(max_value, v);
+      }
+    }
+  }
+  if (max_value <= 0.0) {
+    max_value = 1.0;
+  }
+  max_value *= 1.05;
+
+  // Each case index occupies 3 columns so adjacent markers don't merge.
+  const std::size_t plot_width = points * 3;
+  std::vector<std::string> rows(height, std::string(plot_width, ' '));
+  for (const Series& s : series) {
+    for (std::size_t x = 0; x < points; ++x) {
+      const double v = s.values[x];
+      if (std::isnan(v)) {
+        continue;
+      }
+      const auto y = static_cast<std::size_t>(std::min(
+          static_cast<double>(height - 1),
+          std::floor(v / max_value * static_cast<double>(height))));
+      rows[height - 1 - y][x * 3 + 1] = s.marker;
+    }
+  }
+
+  // y-axis labels on the left of each plot row.
+  std::string out;
+  const std::size_t label_width = 10;
+  for (std::size_t r = 0; r < height; ++r) {
+    const double row_value = max_value *
+                             static_cast<double>(height - r) /
+                             static_cast<double>(height);
+    std::string label;
+    // Print a tick every 3 rows and on the top row.
+    if (r % 3 == 0) {
+      label = util::format_double(row_value, 1);
+    }
+    label.insert(0, label_width - std::min(label_width, label.size()), ' ');
+    out += label + " |" + rows[r] + "\n";
+  }
+  out += std::string(label_width, ' ') + " +" +
+         std::string(plot_width, '-') + "\n";
+  // x-axis tick labels every 2 cases.
+  std::string ticks(plot_width, ' ');
+  for (std::size_t x = 0; x < points; x += 2) {
+    const std::string t = std::to_string(x + 1);
+    for (std::size_t c = 0; c < t.size() && x * 3 + 1 + c < plot_width; ++c) {
+      ticks[x * 3 + 1 + c] = t[c];
+    }
+  }
+  out += std::string(label_width, ' ') + "  " + ticks + "  (" +
+         config.x_label + ")\n";
+  out += "\n  y: " + config.y_label + ";  legend: ";
+  std::vector<std::string> legend;
+  legend.reserve(series.size());
+  for (const Series& s : series) {
+    legend.push_back(std::string(1, s.marker) + " = " + s.label);
+  }
+  out += util::join(legend, ", ") + "\n";
+  return out;
+}
+
+}  // namespace elpc::experiments

@@ -1,0 +1,31 @@
+#pragma once
+// ASCII line charts for the Fig. 5 / Fig. 6 reproductions: each series is
+// plotted over the case index with a one-character marker, axes labelled
+// with the value range, so "who is on top, by how much, with what trend"
+// is visible directly in the bench output.
+
+#include <string>
+#include <vector>
+
+namespace elpc::experiments {
+
+/// One plotted series.
+struct Series {
+  std::string label;
+  char marker = '*';
+  std::vector<double> values;  ///< y value per x position (NaN = gap)
+};
+
+/// Chart geometry.
+struct ChartConfig {
+  std::size_t height = 18;     ///< plot rows (excluding axes)
+  std::string x_label = "case";
+  std::string y_label;
+};
+
+/// Renders the chart.  All series must have equal length >= 1; y range is
+/// [0, max] padded 5%.  Collisions print the later series' marker.
+[[nodiscard]] std::string render_chart(const std::vector<Series>& series,
+                                       const ChartConfig& config);
+
+}  // namespace elpc::experiments

@@ -1,0 +1,46 @@
+#include "experiments/registry.hpp"
+
+#include <stdexcept>
+
+#include "baselines/greedy.hpp"
+#include "baselines/streamline.hpp"
+#include "core/elpc.hpp"
+#include "core/elpc_grouped.hpp"
+#include "core/exhaustive.hpp"
+#include "util/strings.hpp"
+
+namespace elpc::experiments {
+
+mapping::MapperPtr make_mapper(const std::string& name) {
+  if (name == "ELPC") {
+    return std::make_unique<core::ElpcMapper>();
+  }
+  if (name == "ELPC-grouped") {
+    return std::make_unique<core::ElpcGroupedMapper>();
+  }
+  if (name == "Streamline") {
+    return std::make_unique<baselines::StreamlineMapper>();
+  }
+  if (name == "Greedy") {
+    return std::make_unique<baselines::GreedyMapper>();
+  }
+  if (name == "Exhaustive") {
+    return std::make_unique<core::ExhaustiveMapper>();
+  }
+  throw std::invalid_argument("unknown mapper '" + name + "'; known: " +
+                              util::join(registered_names(), ", "));
+}
+
+std::vector<mapping::MapperPtr> paper_mappers() {
+  std::vector<mapping::MapperPtr> mappers;
+  mappers.push_back(make_mapper("ELPC"));
+  mappers.push_back(make_mapper("Streamline"));
+  mappers.push_back(make_mapper("Greedy"));
+  return mappers;
+}
+
+std::vector<std::string> registered_names() {
+  return {"ELPC", "ELPC-grouped", "Streamline", "Greedy", "Exhaustive"};
+}
+
+}  // namespace elpc::experiments

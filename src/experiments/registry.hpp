@@ -1,0 +1,23 @@
+#pragma once
+// Central algorithm registry so benches and examples can select mappers
+// by name ("ELPC", "Streamline", "Greedy", "ELPC-grouped", "Exhaustive").
+
+#include <string>
+#include <vector>
+
+#include "mapping/mapper.hpp"
+
+namespace elpc::experiments {
+
+/// Creates a mapper by registry name; throws std::invalid_argument for
+/// unknown names (the message lists the known ones).
+[[nodiscard]] mapping::MapperPtr make_mapper(const std::string& name);
+
+/// The paper's three compared algorithms, in the paper's column order:
+/// ELPC, Streamline, Greedy.
+[[nodiscard]] std::vector<mapping::MapperPtr> paper_mappers();
+
+/// All registered names.
+[[nodiscard]] std::vector<std::string> registered_names();
+
+}  // namespace elpc::experiments

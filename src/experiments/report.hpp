@@ -1,0 +1,47 @@
+#pragma once
+// Builds the paper-shaped artifacts from suite outcomes: the Fig. 2
+// comparison table, the Fig. 5/6 series (table + ASCII chart), and JSON
+// export for archival diffing.
+
+#include <string>
+#include <vector>
+
+#include "experiments/runner.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace elpc::experiments {
+
+/// Fig. 2: one row per case — sizes, then minimum end-to-end delay (ms)
+/// and maximum frame rate (frames/s) for ELPC, Streamline, Greedy.
+/// Infeasible entries print "-".
+[[nodiscard]] util::TextTable fig2_table(
+    const std::vector<CaseOutcome>& outcomes);
+
+/// Fig. 5 series: per-case minimum end-to-end delay (ms) per algorithm.
+[[nodiscard]] std::string fig5_chart(const std::vector<CaseOutcome>& outcomes);
+
+/// Fig. 6 series: per-case maximum frame rate (fps) per algorithm.
+[[nodiscard]] std::string fig6_chart(const std::vector<CaseOutcome>& outcomes);
+
+/// Per-case algorithm runtimes (ms), supporting the Section 4.3 claim
+/// that execution times range from milliseconds to seconds.
+[[nodiscard]] util::TextTable runtime_table(
+    const std::vector<CaseOutcome>& outcomes);
+
+/// Machine-readable export of everything above.
+[[nodiscard]] util::Json outcomes_to_json(
+    const std::vector<CaseOutcome>& outcomes);
+
+/// Shape checks the paper's conclusions imply (returned as a list of
+/// human-readable PASS/FAIL lines; used by benches and integration
+/// tests): ELPC never loses on delay, (almost) never loses on frame
+/// rate, and the delay series grows with the case index overall.
+struct ShapeCheck {
+  std::string description;
+  bool pass = false;
+};
+[[nodiscard]] std::vector<ShapeCheck> shape_checks(
+    const std::vector<CaseOutcome>& outcomes);
+
+}  // namespace elpc::experiments

@@ -1,0 +1,99 @@
+#include "experiments/runner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "experiments/registry.hpp"
+#include "mapping/evaluator.hpp"
+#include "util/timer.hpp"
+
+namespace elpc::experiments {
+
+namespace {
+
+/// Re-scores a feasible result with the shared evaluator and insists the
+/// algorithm's claimed objective matches (1e-9 relative tolerance).
+void cross_check(const mapping::Problem& problem,
+                 const mapping::MapResult& result, bool framerate,
+                 const std::string& algorithm) {
+  if (!result.feasible) {
+    return;
+  }
+  const mapping::Evaluation eval =
+      framerate ? mapping::evaluate_bottleneck(problem, result.mapping,
+                                               /*enforce_no_reuse=*/true)
+                : mapping::evaluate_total_delay(problem, result.mapping);
+  if (!eval.feasible) {
+    throw std::logic_error(algorithm + " returned an infeasible mapping: " +
+                           eval.reason);
+  }
+  const double tolerance = 1e-9 * std::max(1.0, std::abs(eval.seconds));
+  if (std::abs(eval.seconds - result.seconds) > tolerance) {
+    throw std::logic_error(algorithm +
+                           " mis-scored its mapping: claimed " +
+                           std::to_string(result.seconds) + "s, evaluator " +
+                           std::to_string(eval.seconds) + "s");
+  }
+}
+
+}  // namespace
+
+const AlgoOutcome& CaseOutcome::of(const std::string& algorithm) const {
+  for (const AlgoOutcome& a : algos) {
+    if (a.algorithm == algorithm) {
+      return a;
+    }
+  }
+  throw std::out_of_range("CaseOutcome: no algorithm '" + algorithm + "'");
+}
+
+CaseOutcome run_case(const workload::Scenario& scenario,
+                     const std::vector<mapping::MapperPtr>& mappers,
+                     const RunnerOptions& options) {
+  CaseOutcome outcome;
+  outcome.case_name = scenario.name;
+  outcome.modules = scenario.pipeline.module_count();
+  outcome.nodes = scenario.network.node_count();
+  outcome.links = scenario.network.link_count();
+
+  const mapping::Problem delay_problem = scenario.problem(options.delay_cost);
+  const mapping::Problem framerate_problem =
+      scenario.problem(options.framerate_cost);
+
+  for (const mapping::MapperPtr& mapper : mappers) {
+    AlgoOutcome algo;
+    algo.algorithm = mapper->name();
+
+    util::WallTimer timer;
+    algo.delay = mapper->min_delay(delay_problem);
+    algo.delay_runtime_ms = timer.elapsed_ms();
+    cross_check(delay_problem, algo.delay, /*framerate=*/false,
+                algo.algorithm);
+
+    timer.reset();
+    algo.framerate = mapper->max_frame_rate(framerate_problem);
+    algo.framerate_runtime_ms = timer.elapsed_ms();
+    cross_check(framerate_problem, algo.framerate, /*framerate=*/true,
+                algo.algorithm);
+
+    outcome.algos.push_back(std::move(algo));
+  }
+  return outcome;
+}
+
+std::vector<CaseOutcome> run_suite(
+    const std::vector<workload::CaseSpec>& specs,
+    const workload::SuiteConfig& config, const RunnerOptions& options,
+    util::ThreadPool& pool) {
+  std::vector<CaseOutcome> outcomes(specs.size());
+  pool.parallel_for(specs.size(), [&](std::size_t i) {
+    const workload::Scenario scenario =
+        workload::build_scenario(specs[i], config);
+    // Each task constructs its own mappers: they are stateless, but this
+    // keeps the tasks share-nothing.
+    outcomes[i] = run_case(scenario, paper_mappers(), options);
+  });
+  return outcomes;
+}
+
+}  // namespace elpc::experiments

@@ -1,0 +1,69 @@
+#pragma once
+// Experiment runner: executes the compared algorithms on scenarios for
+// both objectives and collects the measurements the paper tabulates.
+//
+// Objective-specific cost conventions (see DESIGN.md section 2):
+//  * min-delay uses the full Section 2.2 transport model (MLD included):
+//    a single dataset really pays the propagation delay on every hop;
+//  * max-frame-rate excludes the MLD by default: propagation delay adds
+//    latency, not a throughput limit (the discrete-event simulator
+//    confirms this), which matches Eq. 2's m/b transport term.
+// Both choices are configurable for the E8 ablation.
+
+#include <vector>
+
+#include "mapping/mapper.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/scenario.hpp"
+#include "workload/suite.hpp"
+
+namespace elpc::experiments {
+
+/// Cost conventions per objective.
+struct RunnerOptions {
+  pipeline::CostOptions delay_cost{.include_link_delay = true};
+  pipeline::CostOptions framerate_cost{.include_link_delay = false};
+};
+
+/// One algorithm's measurements on one case.
+struct AlgoOutcome {
+  std::string algorithm;
+  mapping::MapResult delay;      ///< seconds = end-to-end delay
+  mapping::MapResult framerate;  ///< seconds = bottleneck period
+  double delay_runtime_ms = 0.0;
+  double framerate_runtime_ms = 0.0;
+
+  [[nodiscard]] double delay_ms() const {
+    return delay.feasible ? delay.seconds * 1e3 : 0.0;
+  }
+  [[nodiscard]] double fps() const { return framerate.frame_rate(); }
+};
+
+/// All algorithms' measurements on one case.
+struct CaseOutcome {
+  std::string case_name;
+  std::size_t modules = 0;
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  std::vector<AlgoOutcome> algos;
+
+  /// Outcome of a given algorithm; throws when absent.
+  [[nodiscard]] const AlgoOutcome& of(const std::string& algorithm) const;
+};
+
+/// Runs the given mappers on one scenario (both objectives), verifying
+/// every feasible result against the shared evaluator (throws
+/// std::logic_error on a mismatch — an algorithm may not self-score).
+[[nodiscard]] CaseOutcome run_case(
+    const workload::Scenario& scenario,
+    const std::vector<mapping::MapperPtr>& mappers,
+    const RunnerOptions& options = {});
+
+/// Materializes and runs the whole suite, one case per pool task.
+/// Results are in suite order regardless of scheduling.
+[[nodiscard]] std::vector<CaseOutcome> run_suite(
+    const std::vector<workload::CaseSpec>& specs,
+    const workload::SuiteConfig& config, const RunnerOptions& options,
+    util::ThreadPool& pool);
+
+}  // namespace elpc::experiments

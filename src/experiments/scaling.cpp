@@ -1,0 +1,63 @@
+#include "experiments/scaling.hpp"
+
+#include <algorithm>
+
+#include "experiments/registry.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "workload/scenario.hpp"
+
+namespace elpc::experiments {
+
+std::vector<std::string> scaling_algorithm_names() {
+  return {"ELPC", "Streamline", "Greedy"};
+}
+
+std::vector<ScalingPoint> run_scaling_study(const ScalingConfig& config) {
+  util::Rng master(config.seed);
+  const std::vector<std::string> names = scaling_algorithm_names();
+  std::vector<ScalingPoint> points;
+
+  for (std::size_t s = 0; s < config.sizes.size(); ++s) {
+    const auto [modules, nodes] = config.sizes[s];
+    const std::size_t max_links = nodes * (nodes - 1);
+    const std::size_t links = std::clamp(
+        static_cast<std::size_t>(config.density *
+                                 static_cast<double>(max_links)),
+        nodes, max_links);
+
+    util::Rng rng = master.split(s + 1);
+    workload::Scenario scenario;
+    scenario.name = "scale" + std::to_string(s);
+    scenario.pipeline =
+        pipeline::random_pipeline(rng, modules, pipeline::PipelineRanges{});
+    scenario.network = graph::random_connected_network(
+        rng, nodes, links, graph::AttributeRanges{});
+    scenario.source = rng.index(nodes);
+    do {
+      scenario.destination = rng.index(nodes);
+    } while (scenario.destination == scenario.source);
+    const mapping::Problem problem = scenario.problem();
+
+    ScalingPoint point;
+    point.modules = modules;
+    point.nodes = nodes;
+    point.links = links;
+    for (const std::string& name : names) {
+      const mapping::MapperPtr mapper = make_mapper(name);
+      util::WallTimer timer;
+      for (std::size_t r = 0; r < config.repeats; ++r) {
+        (void)mapper->min_delay(problem);
+        (void)mapper->max_frame_rate(problem);
+      }
+      point.runtime_ms.push_back(timer.elapsed_ms() /
+                                 static_cast<double>(config.repeats));
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace elpc::experiments

@@ -1,0 +1,89 @@
+#pragma once
+// Graph algorithms backing the mapping layer and its ground-truth tests.
+//
+// Besides the standard reachability/shortest-path kit, this header
+// provides the two problems the paper's Section 3.1.2 builds on:
+//   * the exact-h-hop shortest/widest path problem (ENSP), which the
+//     paper proves NP-complete — solved here *exactly* with a
+//     visited-bitmask DP that is exponential in node count and therefore
+//     only admissible for small networks (tests, optimality-gap bench);
+//   * simple-path enumeration, used by the exhaustive frame-rate
+//     searcher.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "graph/path.hpp"
+
+namespace elpc::graph {
+
+/// Nodes reachable from `start` following out-edges (BFS); index = node id.
+[[nodiscard]] std::vector<bool> reachable_from(const Network& net,
+                                               NodeId start);
+
+/// Minimum hop counts from every node *to* `target` following links
+/// forward (computed by BFS on reversed edges).  Unreachable nodes get
+/// SIZE_MAX.  Used by the Greedy baseline to avoid dead-ending before the
+/// destination.
+[[nodiscard]] std::vector<std::size_t> hops_to_target(const Network& net,
+                                                      NodeId target);
+
+/// True when every node is reachable from node 0 and node 0 is reachable
+/// from every node (strong connectivity).
+[[nodiscard]] bool is_strongly_connected(const Network& net);
+
+/// Per-edge weight functor for the generic path searches.
+using EdgeWeight = std::function<double(const Edge&)>;
+
+/// Dijkstra with a non-negative weight functor; returns the path and its
+/// cost, or nullopt when `to` is unreachable.
+struct WeightedPath {
+  Path path;
+  double cost = 0.0;
+};
+[[nodiscard]] std::optional<WeightedPath> shortest_path(
+    const Network& net, NodeId from, NodeId to, const EdgeWeight& weight);
+
+/// Maximum-bottleneck ("widest") path: maximizes the minimum edge weight
+/// along the path.  Returns nullopt when unreachable.  `width` is the
+/// bottleneck value of the returned path.
+struct WidestPath {
+  Path path;
+  double width = 0.0;
+};
+[[nodiscard]] std::optional<WidestPath> widest_path(const Network& net,
+                                                    NodeId from, NodeId to,
+                                                    const EdgeWeight& weight);
+
+/// Exact solution of the NP-complete exact-h-hop problems via a
+/// (node, visited-set) dynamic program; cost is O(2^k * k * h).  Only
+/// call for k = node_count <= max_nodes (default 20); throws
+/// std::invalid_argument beyond that.
+///
+/// Finds a *simple* path from `from` to `to` with exactly `hops` edges
+/// minimizing the sum of edge weights.
+[[nodiscard]] std::optional<WeightedPath> exact_hop_shortest_path(
+    const Network& net, NodeId from, NodeId to, std::size_t hops,
+    const EdgeWeight& weight, std::size_t max_nodes = 20);
+
+/// Same but maximizing the minimum edge weight (exact-h-hop *widest*).
+[[nodiscard]] std::optional<WidestPath> exact_hop_widest_path(
+    const Network& net, NodeId from, NodeId to, std::size_t hops,
+    const EdgeWeight& weight, std::size_t max_nodes = 20);
+
+/// Enumerates every simple path from `from` to `to` with exactly
+/// `node_count` nodes, invoking `visit` for each.  Returning false from
+/// `visit` aborts the enumeration early.  Exponential; intended for
+/// ground-truth searches on small instances.
+void for_each_simple_path(const Network& net, NodeId from, NodeId to,
+                          std::size_t node_count,
+                          const std::function<bool(const Path&)>& visit);
+
+/// Counts simple paths with exactly `node_count` nodes (test helper).
+[[nodiscard]] std::size_t count_simple_paths(const Network& net, NodeId from,
+                                             NodeId to,
+                                             std::size_t node_count);
+
+}  // namespace elpc::graph

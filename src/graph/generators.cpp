@@ -1,0 +1,162 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace elpc::graph {
+
+void AttributeRanges::validate() const {
+  if (min_power <= 0.0 || max_power < min_power) {
+    throw std::invalid_argument("AttributeRanges: bad power range");
+  }
+  if (min_bandwidth_mbps <= 0.0 || max_bandwidth_mbps < min_bandwidth_mbps) {
+    throw std::invalid_argument("AttributeRanges: bad bandwidth range");
+  }
+  if (min_link_delay_s < 0.0 || max_link_delay_s < min_link_delay_s) {
+    throw std::invalid_argument("AttributeRanges: bad link delay range");
+  }
+}
+
+NodeAttr random_node_attr(util::Rng& rng, const AttributeRanges& ranges) {
+  NodeAttr attr;
+  attr.processing_power = rng.uniform_real(ranges.min_power, ranges.max_power);
+  return attr;
+}
+
+LinkAttr random_link_attr(util::Rng& rng, const AttributeRanges& ranges) {
+  LinkAttr attr;
+  attr.bandwidth_mbps =
+      rng.uniform_real(ranges.min_bandwidth_mbps, ranges.max_bandwidth_mbps);
+  attr.min_delay_s =
+      rng.uniform_real(ranges.min_link_delay_s, ranges.max_link_delay_s);
+  return attr;
+}
+
+namespace {
+
+/// Adds nodes with random attributes and a random directed Hamiltonian
+/// cycle (guaranteeing strong connectivity); returns the cycle order.
+std::vector<NodeId> seed_cycle(Network& net, util::Rng& rng,
+                               std::size_t nodes,
+                               const AttributeRanges& ranges) {
+  for (std::size_t i = 0; i < nodes; ++i) {
+    net.add_node(random_node_attr(rng, ranges));
+  }
+  std::vector<NodeId> order(nodes);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    net.add_link(order[i], order[(i + 1) % nodes],
+                 random_link_attr(rng, ranges));
+  }
+  return order;
+}
+
+}  // namespace
+
+Network random_connected_network(util::Rng& rng, std::size_t nodes,
+                                 std::size_t links,
+                                 const AttributeRanges& ranges) {
+  ranges.validate();
+  if (nodes < 2) {
+    throw std::invalid_argument("random_connected_network: need >= 2 nodes");
+  }
+  const std::size_t max_links = nodes * (nodes - 1);
+  if (links < nodes || links > max_links) {
+    throw std::invalid_argument(
+        "random_connected_network: links must be in [nodes, nodes*(nodes-1)]");
+  }
+  Network net;
+  seed_cycle(net, rng, nodes, ranges);
+
+  // Place the remaining links on distinct random ordered pairs.  With the
+  // requested density possibly close to complete, rejection sampling can
+  // stall, so fall back to a shuffled list of all free pairs.
+  std::size_t remaining = links - nodes;
+  const double density =
+      static_cast<double>(links) / static_cast<double>(max_links);
+  if (density < 0.5) {
+    while (remaining > 0) {
+      const NodeId a = rng.index(nodes);
+      const NodeId b = rng.index(nodes);
+      if (a == b || net.has_link(a, b)) {
+        continue;
+      }
+      net.add_link(a, b, random_link_attr(rng, ranges));
+      --remaining;
+    }
+  } else {
+    std::vector<std::pair<NodeId, NodeId>> free_pairs;
+    free_pairs.reserve(max_links - nodes);
+    for (NodeId a = 0; a < nodes; ++a) {
+      for (NodeId b = 0; b < nodes; ++b) {
+        if (a != b && !net.has_link(a, b)) {
+          free_pairs.emplace_back(a, b);
+        }
+      }
+    }
+    rng.shuffle(free_pairs);
+    for (std::size_t i = 0; i < remaining; ++i) {
+      net.add_link(free_pairs[i].first, free_pairs[i].second,
+                   random_link_attr(rng, ranges));
+    }
+  }
+  return net;
+}
+
+Network complete_network(util::Rng& rng, std::size_t nodes,
+                         const AttributeRanges& ranges) {
+  ranges.validate();
+  if (nodes < 2) {
+    throw std::invalid_argument("complete_network: need >= 2 nodes");
+  }
+  Network net;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    net.add_node(random_node_attr(rng, ranges));
+  }
+  for (NodeId a = 0; a < nodes; ++a) {
+    for (NodeId b = 0; b < nodes; ++b) {
+      if (a != b) {
+        net.add_link(a, b, random_link_attr(rng, ranges));
+      }
+    }
+  }
+  return net;
+}
+
+Network waxman_network(util::Rng& rng, std::size_t nodes, double alpha,
+                       double beta, const AttributeRanges& ranges) {
+  ranges.validate();
+  if (nodes < 2) {
+    throw std::invalid_argument("waxman_network: need >= 2 nodes");
+  }
+  if (alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0) {
+    throw std::invalid_argument("waxman_network: alpha/beta must be in (0,1]");
+  }
+  Network net;
+  seed_cycle(net, rng, nodes, ranges);
+
+  std::vector<std::pair<double, double>> pos(nodes);
+  for (auto& p : pos) {
+    p = {rng.uniform_real(0.0, 1.0), rng.uniform_real(0.0, 1.0)};
+  }
+  const double scale = beta * std::sqrt(2.0);
+  for (NodeId a = 0; a < nodes; ++a) {
+    for (NodeId b = 0; b < nodes; ++b) {
+      if (a == b || net.has_link(a, b)) {
+        continue;
+      }
+      const double dx = pos[a].first - pos[b].first;
+      const double dy = pos[a].second - pos[b].second;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (rng.bernoulli(alpha * std::exp(-dist / scale))) {
+        net.add_link(a, b, random_link_attr(rng, ranges));
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace elpc::graph

@@ -1,0 +1,63 @@
+#pragma once
+// Random network generators for the simulation studies.
+//
+// The paper evaluates on "a large set of simulated ... computing
+// networks" generated "by randomly varying ... the number of nodes, node
+// processing power, number of links, link bandwidth, and minimum link
+// delay" (Section 4.1).  These generators implement that scheme: a
+// strongly-connected random topology with attributes drawn uniformly from
+// configured ranges, plus complete and geometric (Waxman-style)
+// topologies used by tests and ablations.
+
+#include "graph/network.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::graph {
+
+/// Uniform sampling ranges for node/link attributes.
+struct AttributeRanges {
+  double min_power = 1.0;         ///< node processing power, abstract/s
+  double max_power = 10.0;
+  double min_bandwidth_mbps = 100.0;
+  double max_bandwidth_mbps = 1000.0;
+  double min_link_delay_s = 0.0001;  ///< 0.1 ms
+  double max_link_delay_s = 0.005;   ///< 5 ms
+
+  /// Throws std::invalid_argument when any range is empty or negative.
+  void validate() const;
+};
+
+/// Draws node and link attributes from the ranges.
+[[nodiscard]] NodeAttr random_node_attr(util::Rng& rng,
+                                        const AttributeRanges& ranges);
+[[nodiscard]] LinkAttr random_link_attr(util::Rng& rng,
+                                        const AttributeRanges& ranges);
+
+/// Strongly-connected random directed network with `nodes` nodes and
+/// exactly `links` directed links.
+///
+/// Construction: a random directed Hamiltonian cycle guarantees strong
+/// connectivity using `nodes` links, then the remaining links are placed
+/// on distinct random ordered pairs.  Requires
+///   nodes >= 2  and  nodes <= links <= nodes*(nodes-1).
+[[nodiscard]] Network random_connected_network(util::Rng& rng,
+                                               std::size_t nodes,
+                                               std::size_t links,
+                                               const AttributeRanges& ranges);
+
+/// Complete directed network (every ordered pair linked) — the paper's
+/// "fully heterogeneous platform" special case and the topology
+/// Streamline was originally defined on.
+[[nodiscard]] Network complete_network(util::Rng& rng, std::size_t nodes,
+                                       const AttributeRanges& ranges);
+
+/// Waxman-style geometric random graph: nodes placed uniformly in the
+/// unit square; an ordered pair is linked with probability
+/// alpha * exp(-dist / (beta * sqrt(2))).  A Hamiltonian cycle is added
+/// first so the result stays strongly connected.  Models wide-area
+/// locality (nearby sites are better connected).
+[[nodiscard]] Network waxman_network(util::Rng& rng, std::size_t nodes,
+                                     double alpha, double beta,
+                                     const AttributeRanges& ranges);
+
+}  // namespace elpc::graph

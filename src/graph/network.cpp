@@ -1,0 +1,130 @@
+#include "graph/network.hpp"
+
+#include <stdexcept>
+
+namespace elpc::graph {
+
+NodeId Network::add_node(NodeAttr attr) {
+  if (attr.processing_power <= 0.0) {
+    throw std::invalid_argument("Network: processing_power must be > 0");
+  }
+  if (nodes_.size() >= (1ULL << 32)) {
+    throw std::invalid_argument("Network: too many nodes");
+  }
+  const NodeId id = nodes_.size();
+  if (attr.name.empty()) {
+    attr.name = "node" + std::to_string(id);
+  }
+  nodes_.push_back(std::move(attr));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+void Network::add_link(NodeId from, NodeId to, LinkAttr attr) {
+  check_node(from);
+  check_node(to);
+  if (from == to) {
+    throw std::invalid_argument("Network: self-loops are not allowed");
+  }
+  if (attr.bandwidth_mbps <= 0.0) {
+    throw std::invalid_argument("Network: bandwidth must be > 0");
+  }
+  if (attr.min_delay_s < 0.0) {
+    throw std::invalid_argument("Network: min link delay must be >= 0");
+  }
+  if (has_link(from, to)) {
+    throw std::invalid_argument("Network: duplicate link");
+  }
+  link_map_.emplace(key(from, to), attr);
+  out_[from].push_back(Edge{from, to, attr});
+  in_[to].push_back(Edge{from, to, attr});
+  ++links_;
+}
+
+void Network::add_duplex_link(NodeId a, NodeId b, LinkAttr attr) {
+  add_link(a, b, attr);
+  add_link(b, a, attr);
+}
+
+const NodeAttr& Network::node(NodeId id) const {
+  check_node(id);
+  return nodes_[id];
+}
+
+bool Network::has_link(NodeId from, NodeId to) const {
+  return link_map_.count(key(from, to)) > 0;
+}
+
+const LinkAttr& Network::link(NodeId from, NodeId to) const {
+  const auto it = link_map_.find(key(from, to));
+  if (it == link_map_.end()) {
+    throw std::out_of_range("Network: no link " + std::to_string(from) +
+                            " -> " + std::to_string(to));
+  }
+  return it->second;
+}
+
+std::optional<LinkAttr> Network::find_link(NodeId from, NodeId to) const {
+  const auto it = link_map_.find(key(from, to));
+  if (it == link_map_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::vector<Edge>& Network::out_edges(NodeId id) const {
+  check_node(id);
+  return out_[id];
+}
+
+const std::vector<Edge>& Network::in_edges(NodeId id) const {
+  check_node(id);
+  return in_[id];
+}
+
+double Network::mean_bandwidth_mbps() const {
+  if (links_ == 0) {
+    throw std::logic_error("Network: no links");
+  }
+  double sum = 0.0;
+  for (const auto& [k, attr] : link_map_) {
+    (void)k;
+    sum += attr.bandwidth_mbps;
+  }
+  return sum / static_cast<double>(links_);
+}
+
+void Network::validate() const {
+  std::size_t out_total = 0;
+  std::size_t in_total = 0;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    out_total += out_[v].size();
+    in_total += in_[v].size();
+    for (const Edge& e : out_[v]) {
+      if (e.from != v || e.to >= node_count() || e.to == v) {
+        throw std::logic_error("Network: corrupt out-adjacency");
+      }
+      if (!has_link(e.from, e.to)) {
+        throw std::logic_error("Network: adjacency/link-map mismatch");
+      }
+    }
+    for (const Edge& e : in_[v]) {
+      if (e.to != v || e.from >= node_count() || e.from == v) {
+        throw std::logic_error("Network: corrupt in-adjacency");
+      }
+    }
+  }
+  if (out_total != links_ || in_total != links_) {
+    throw std::logic_error("Network: link count mismatch");
+  }
+}
+
+void Network::check_node(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::invalid_argument("Network: node id " + std::to_string(id) +
+                                " out of range");
+  }
+}
+
+}  // namespace elpc::graph

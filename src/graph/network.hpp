@@ -1,0 +1,115 @@
+#pragma once
+// Transport-network model: the paper's graph G = (V, E).
+//
+// Nodes are computing hosts with a normalized processing power p_i
+// (Section 2.2: a scalar abstracting CPU frequency, memory, bus speed).
+// Links are *directed* and carry two attributes: bandwidth b_{i,j} and
+// minimum link delay (MLD) d_{i,j}, matching the paper's per-link
+// parameters LinkBWInMbps / LinkDelayInMilliseconds.  The topology is
+// arbitrary (Internet-like), not necessarily complete, and is stored as
+// both out- and in-adjacency so the mapping DPs can sweep incoming edges.
+//
+// Units used throughout the library:
+//   time        seconds
+//   data size   megabits (Mb)
+//   bandwidth   megabits per second (Mbps)
+//   power       abstract "complexity units" per second; a module of
+//               complexity c processing m megabits costs m*c/p seconds
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace elpc::graph {
+
+/// Index of a node inside its Network (dense, 0-based).
+using NodeId = std::size_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Host attributes (paper: NodeID, NodeIP, ProcessingPower).
+struct NodeAttr {
+  /// Human-readable label; generators fill in "node<k>".
+  std::string name;
+  /// Normalized processing power p_i (> 0), abstract units per second.
+  double processing_power = 1.0;
+};
+
+/// Directed-link attributes (paper: LinkBWInMbps, LinkDelayInMilliseconds,
+/// converted to base units).
+struct LinkAttr {
+  /// Bandwidth b_{i,j} in Mbps (> 0).
+  double bandwidth_mbps = 1.0;
+  /// Minimum link delay d_{i,j} in seconds (>= 0).
+  double min_delay_s = 0.0;
+};
+
+/// One outgoing or incoming edge as seen from a node's adjacency list.
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  LinkAttr attr;
+};
+
+/// Directed network with O(1) link lookup and per-node adjacency.
+///
+/// Invariants: node ids are dense [0, node_count()); at most one link per
+/// ordered (from, to) pair; no self-loops (a module staying on the same
+/// node is modelled by the mapping layer as zero-cost, per the paper's
+/// "inter-module transport time within one group is negligible").
+class Network {
+ public:
+  /// Adds a node and returns its id.
+  NodeId add_node(NodeAttr attr);
+
+  /// Adds a directed link.  Throws std::invalid_argument on unknown
+  /// endpoints, self-loops, duplicate links, bandwidth <= 0, or negative
+  /// delay.
+  void add_link(NodeId from, NodeId to, LinkAttr attr);
+
+  /// Adds links in both directions with the same attributes.
+  void add_duplex_link(NodeId a, NodeId b, LinkAttr attr);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_; }
+
+  [[nodiscard]] const NodeAttr& node(NodeId id) const;
+  [[nodiscard]] bool has_link(NodeId from, NodeId to) const;
+  /// Throws std::out_of_range when the link does not exist.
+  [[nodiscard]] const LinkAttr& link(NodeId from, NodeId to) const;
+  /// Empty optional when the link does not exist.
+  [[nodiscard]] std::optional<LinkAttr> find_link(NodeId from,
+                                                  NodeId to) const;
+
+  /// Outgoing / incoming edges of a node (stable order of insertion).
+  [[nodiscard]] const std::vector<Edge>& out_edges(NodeId id) const;
+  [[nodiscard]] const std::vector<Edge>& in_edges(NodeId id) const;
+
+  /// Mean bandwidth over all links (used by baseline heuristics as the
+  /// "expected" cost of an unplaced neighbour); throws on empty networks.
+  [[nodiscard]] double mean_bandwidth_mbps() const;
+
+  /// Checks all invariants hold (cheap; used by tests and loaders).
+  void validate() const;
+
+ private:
+  void check_node(NodeId id) const;
+  [[nodiscard]] static std::uint64_t key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) |
+           static_cast<std::uint64_t>(to);
+  }
+
+  std::vector<NodeAttr> nodes_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  std::unordered_map<std::uint64_t, LinkAttr> link_map_;
+  std::size_t links_ = 0;
+};
+
+}  // namespace elpc::graph

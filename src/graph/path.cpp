@@ -1,0 +1,67 @@
+#include "graph/path.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace elpc::graph {
+
+bool Path::is_valid_walk(const Network& net) const {
+  for (NodeId v : nodes_) {
+    if (v >= net.node_count()) {
+      return false;
+    }
+  }
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i] == nodes_[i - 1]) {
+      continue;  // stay on the node
+    }
+    if (!net.has_link(nodes_[i - 1], nodes_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Path::is_simple() const {
+  std::unordered_set<NodeId> seen;
+  for (NodeId v : nodes_) {
+    if (!seen.insert(v).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeId> Path::distinct_nodes() const {
+  std::vector<NodeId> out;
+  std::unordered_set<NodeId> seen;
+  for (NodeId v : nodes_) {
+    if (seen.insert(v).second) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Path Path::collapse_stays() const {
+  Path out;
+  for (NodeId v : nodes_) {
+    if (out.empty() || out.back() != v) {
+      out.append(v);
+    }
+  }
+  return out;
+}
+
+std::string Path::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) {
+      out += " -> ";
+    }
+    out += std::to_string(nodes_[i]);
+  }
+  return out;
+}
+
+}  // namespace elpc::graph

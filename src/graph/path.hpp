@@ -1,0 +1,61 @@
+#pragma once
+// Walks and simple paths through a Network.
+//
+// The paper's mapping selects "a sequence of unnecessarily distinct
+// nodes" (Section 2.3): with node reuse the selected path may contain
+// loops (a walk); without reuse it must be a simple path.  Path wraps the
+// node sequence and provides the validity checks both cases need.
+
+#include <string>
+#include <vector>
+
+#include "graph/network.hpp"
+
+namespace elpc::graph {
+
+/// A node sequence v[0..h].  Consecutive equal entries are allowed and
+/// mean "stay on the node" (no link traversed).
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {}
+
+  [[nodiscard]] const std::vector<NodeId>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] std::size_t length() const noexcept { return nodes_.size(); }
+
+  void append(NodeId v) { nodes_.push_back(v); }
+
+  [[nodiscard]] NodeId front() const { return nodes_.front(); }
+  [[nodiscard]] NodeId back() const { return nodes_.back(); }
+
+  /// True when every consecutive pair is either equal (stay) or a link of
+  /// the network.
+  [[nodiscard]] bool is_valid_walk(const Network& net) const;
+
+  /// True when all entries are pairwise distinct (and hence the walk is a
+  /// simple path).
+  [[nodiscard]] bool is_simple() const;
+
+  /// Distinct nodes in first-visit order (the "physical" route for a walk
+  /// with stays collapsed).
+  [[nodiscard]] std::vector<NodeId> distinct_nodes() const;
+
+  /// Collapses consecutive duplicates: (0,0,4,4,5) -> (0,4,5).  This is
+  /// the hop sequence actually traversed.
+  [[nodiscard]] Path collapse_stays() const;
+
+  /// "0 -> 4 -> 5" rendering for logs and the Fig. 3/4 bench.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.nodes_ == b.nodes_;
+  }
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace elpc::graph

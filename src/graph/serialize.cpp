@@ -1,0 +1,63 @@
+#include "graph/serialize.hpp"
+
+namespace elpc::graph {
+
+util::Json to_json(const Network& net) {
+  util::JsonArray nodes;
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    util::Json n;
+    n.set("name", net.node(v).name);
+    n.set("power", net.node(v).processing_power);
+    nodes.push_back(std::move(n));
+  }
+  util::JsonArray links;
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    for (const Edge& e : net.out_edges(v)) {
+      util::Json l;
+      l.set("from", e.from);
+      l.set("to", e.to);
+      l.set("bandwidth_mbps", e.attr.bandwidth_mbps);
+      l.set("min_delay_s", e.attr.min_delay_s);
+      links.push_back(std::move(l));
+    }
+  }
+  util::Json doc;
+  doc.set("nodes", util::Json(std::move(nodes)));
+  doc.set("links", util::Json(std::move(links)));
+  return doc;
+}
+
+Network network_from_json(const util::Json& doc) {
+  Network net;
+  for (const util::Json& n : doc.at("nodes").as_array()) {
+    NodeAttr attr;
+    attr.name = n.at("name").as_string();
+    attr.processing_power = n.at("power").as_number();
+    net.add_node(std::move(attr));
+  }
+  for (const util::Json& l : doc.at("links").as_array()) {
+    LinkAttr attr;
+    attr.bandwidth_mbps = l.at("bandwidth_mbps").as_number();
+    attr.min_delay_s = l.at("min_delay_s").as_number();
+    net.add_link(static_cast<NodeId>(l.at("from").as_int()),
+                 static_cast<NodeId>(l.at("to").as_int()), attr);
+  }
+  net.validate();
+  return net;
+}
+
+std::string to_adjacency_matrix(const Network& net) {
+  std::string out;
+  for (NodeId a = 0; a < net.node_count(); ++a) {
+    for (NodeId b = 0; b < net.node_count(); ++b) {
+      if (b > 0) {
+        out += ' ';
+      }
+      out += net.has_link(a, b) ? '1' : '0';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace elpc::graph

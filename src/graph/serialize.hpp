@@ -1,0 +1,25 @@
+#pragma once
+// JSON (de)serialization of networks, plus the adjacency-matrix view the
+// paper describes ("arbitrary in topology described in the form of an
+// adjacency matrix", Section 4.1).
+
+#include <string>
+
+#include "graph/network.hpp"
+#include "util/json.hpp"
+
+namespace elpc::graph {
+
+/// Serializes a network to a JSON object:
+/// {"nodes":[{"name","power"}...],
+///  "links":[{"from","to","bandwidth_mbps","min_delay_s"}...]}
+[[nodiscard]] util::Json to_json(const Network& net);
+
+/// Inverse of to_json; validates and throws util::JsonError /
+/// std::invalid_argument on malformed documents.
+[[nodiscard]] Network network_from_json(const util::Json& doc);
+
+/// 0/1 adjacency matrix as text, one row per line ("0 1 1\n1 0 0\n...").
+[[nodiscard]] std::string to_adjacency_matrix(const Network& net);
+
+}  // namespace elpc::graph

@@ -1,0 +1,56 @@
+#pragma once
+// Analytic evaluation of a candidate mapping against the paper's two
+// objectives.  This is the single source of truth for what a mapping is
+// worth: every algorithm's claimed objective value is re-checked against
+// the evaluator in tests, and the comparison tables are built from
+// evaluator output only, so no algorithm can score itself with a
+// different formula.
+
+#include <string>
+
+#include "mapping/mapping.hpp"
+#include "mapping/problem.hpp"
+
+namespace elpc::mapping {
+
+/// Result of evaluating one mapping.
+struct Evaluation {
+  bool feasible = false;
+  /// Human-readable reason when infeasible ("no link 3->7", ...).
+  std::string reason;
+  /// Objective value in seconds: total end-to-end delay (Eq. 1) or the
+  /// bottleneck period (Eq. 2).  Meaningless when infeasible.
+  double seconds = 0.0;
+
+  /// Frames per second for a bottleneck evaluation (1 / seconds).
+  [[nodiscard]] double frame_rate() const {
+    return seconds > 0.0 ? 1.0 / seconds : 0.0;
+  }
+};
+
+/// Structural requirements every mapping must meet: module 0 on the
+/// source, the last module on the destination, and a network link for
+/// every group transition.  Returns an infeasible Evaluation describing
+/// the first violation, or feasible with seconds = 0.
+[[nodiscard]] Evaluation check_structure(const Problem& problem,
+                                         const Mapping& mapping);
+
+/// Eq. 1: total computing plus transport delay along the pipeline.  Node
+/// reuse (contiguous or looped) is legal — interactive applications run
+/// one module at a time.
+[[nodiscard]] Evaluation evaluate_total_delay(const Problem& problem,
+                                              const Mapping& mapping);
+
+/// Eq. 2: the bottleneck period of the pipelined (streaming) execution —
+/// the slowest of all per-group computing times and per-transition
+/// transport times.  `enforce_no_reuse` additionally rejects mappings
+/// assigning two modules to one node (the paper's restricted problem);
+/// with it false, a node's groups each contribute their own computing
+/// term *plus* the node term is the sum over all modules it runs, since
+/// concurrent frames share the processor (used by the grouped-reuse
+/// extension).
+[[nodiscard]] Evaluation evaluate_bottleneck(const Problem& problem,
+                                             const Mapping& mapping,
+                                             bool enforce_no_reuse = true);
+
+}  // namespace elpc::mapping

@@ -1,0 +1,59 @@
+#pragma once
+// Uniform interface every mapping algorithm implements (ELPC, Streamline,
+// Greedy, and the exhaustive ground-truth searchers), so the experiment
+// harness can sweep algorithms generically.
+
+#include <memory>
+#include <string>
+
+#include "mapping/evaluator.hpp"
+#include "mapping/mapping.hpp"
+#include "mapping/problem.hpp"
+
+namespace elpc::mapping {
+
+/// Outcome of one algorithm run on one problem.
+struct MapResult {
+  bool feasible = false;
+  /// Why no mapping was produced (only when !feasible).
+  std::string reason;
+  Mapping mapping;
+  /// Objective in seconds: end-to-end delay, or bottleneck period for the
+  /// frame-rate problem (frame rate = 1 / seconds).
+  double seconds = 0.0;
+
+  [[nodiscard]] double frame_rate() const {
+    return feasible && seconds > 0.0 ? 1.0 / seconds : 0.0;
+  }
+
+  static MapResult infeasible(std::string why) {
+    MapResult r;
+    r.reason = std::move(why);
+    return r;
+  }
+};
+
+/// Abstract pipeline-mapping algorithm.
+///
+/// Contract (checked by the conformance test suite): a feasible result's
+/// mapping must pass the structural checks of the evaluator, its
+/// `seconds` must equal the evaluator's value for the respective
+/// objective, and for max_frame_rate the mapping must be one-to-one.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Algorithm name as printed in the comparison tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Interactive objective: minimize end-to-end delay, node reuse allowed.
+  [[nodiscard]] virtual MapResult min_delay(const Problem& problem) const = 0;
+
+  /// Streaming objective: maximize frame rate, strict no node reuse.
+  [[nodiscard]] virtual MapResult max_frame_rate(
+      const Problem& problem) const = 0;
+};
+
+using MapperPtr = std::unique_ptr<Mapper>;
+
+}  // namespace elpc::mapping

@@ -1,0 +1,79 @@
+#include "mapping/mapping.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace elpc::mapping {
+
+Mapping::Mapping(std::vector<graph::NodeId> assignment)
+    : assignment_(std::move(assignment)) {
+  if (assignment_.empty()) {
+    throw std::invalid_argument("Mapping: empty assignment");
+  }
+}
+
+graph::NodeId Mapping::node_of(pipeline::ModuleId j) const {
+  if (j >= assignment_.size()) {
+    throw std::out_of_range("Mapping: module index out of range");
+  }
+  return assignment_[j];
+}
+
+std::vector<Group> Mapping::groups() const {
+  std::vector<Group> out;
+  for (std::size_t j = 0; j < assignment_.size(); ++j) {
+    if (out.empty() || out.back().node != assignment_[j]) {
+      out.push_back(Group{j, j, assignment_[j]});
+    } else {
+      out.back().last = j;
+    }
+  }
+  return out;
+}
+
+graph::Path Mapping::group_path() const {
+  graph::Path path;
+  for (const Group& g : groups()) {
+    path.append(g.node);
+  }
+  return path;
+}
+
+bool Mapping::is_one_to_one() const {
+  std::unordered_set<graph::NodeId> seen;
+  for (graph::NodeId v : assignment_) {
+    if (!seen.insert(v).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Mapping::has_no_group_reuse() const {
+  std::unordered_set<graph::NodeId> seen;
+  for (const Group& g : groups()) {
+    if (!seen.insert(g.node).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Mapping::to_string() const {
+  std::string out;
+  for (const Group& g : groups()) {
+    if (!out.empty()) {
+      out += " | ";
+    }
+    for (pipeline::ModuleId j = g.first; j <= g.last; ++j) {
+      if (j > g.first) {
+        out += ",";
+      }
+      out += "M" + std::to_string(j);
+    }
+    out += " -> node" + std::to_string(g.node);
+  }
+  return out;
+}
+
+}  // namespace elpc::mapping

@@ -1,0 +1,69 @@
+#pragma once
+// A mapping assigns every pipeline module to a network node (paper
+// Section 2.3: decompose the pipeline into q groups g_1..g_q and map them
+// onto a path of q "unnecessarily distinct" nodes).
+//
+// We store the per-module assignment; the grouping and the selected path
+// are derived: a *group* is a maximal run of consecutive modules on the
+// same node, and the path is the per-group node sequence.
+
+#include <string>
+#include <vector>
+
+#include "graph/network.hpp"
+#include "graph/path.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace elpc::mapping {
+
+/// One derived module group: modules [first, last] run on `node`.
+struct Group {
+  pipeline::ModuleId first = 0;
+  pipeline::ModuleId last = 0;
+  graph::NodeId node = graph::kInvalidNode;
+
+  friend bool operator==(const Group&, const Group&) = default;
+};
+
+/// Module -> node assignment.
+class Mapping {
+ public:
+  Mapping() = default;
+  /// `assignment[j]` = node running module j; must be non-empty.
+  explicit Mapping(std::vector<graph::NodeId> assignment);
+
+  [[nodiscard]] std::size_t module_count() const noexcept {
+    return assignment_.size();
+  }
+  [[nodiscard]] graph::NodeId node_of(pipeline::ModuleId j) const;
+  [[nodiscard]] const std::vector<graph::NodeId>& assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// Maximal contiguous runs of equal nodes, in pipeline order.
+  [[nodiscard]] std::vector<Group> groups() const;
+
+  /// The selected network path: one entry per group (paper's
+  /// v_P[1..q]).  May repeat nodes when non-contiguous reuse occurs.
+  [[nodiscard]] graph::Path group_path() const;
+
+  /// True when every node runs at most one module (the strict
+  /// no-node-reuse constraint of the frame-rate problem).
+  [[nodiscard]] bool is_one_to_one() const;
+
+  /// True when every node appears in at most one *group* (contiguous
+  /// reuse allowed, loops not).
+  [[nodiscard]] bool has_no_group_reuse() const;
+
+  /// "M0,M1 -> node0 | M2,M3 -> node4 | M4 -> node5" rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Mapping& a, const Mapping& b) {
+    return a.assignment_ == b.assignment_;
+  }
+
+ private:
+  std::vector<graph::NodeId> assignment_;
+};
+
+}  // namespace elpc::mapping

@@ -1,0 +1,22 @@
+#include "mapping/problem.hpp"
+
+#include <stdexcept>
+
+namespace elpc::mapping {
+
+void Problem::validate() const {
+  if (pipeline == nullptr || network == nullptr) {
+    throw std::invalid_argument("Problem: pipeline and network are required");
+  }
+  if (source >= network->node_count()) {
+    throw std::invalid_argument("Problem: source node out of range");
+  }
+  if (destination >= network->node_count()) {
+    throw std::invalid_argument("Problem: destination node out of range");
+  }
+  if (pipeline->module_count() < 2) {
+    throw std::invalid_argument("Problem: pipeline must have >= 2 modules");
+  }
+}
+
+}  // namespace elpc::mapping

@@ -1,0 +1,44 @@
+#pragma once
+// The pipeline-mapping problem instance shared by every algorithm.
+//
+// The paper designates a fixed source node (where the raw data lives;
+// runs M_0) and a fixed destination node (where the end user sits; runs
+// M_{n-1}) — "the system knows where the raw data is stored and where an
+// end user is located" (Section 4.1).
+
+#include "graph/network.hpp"
+#include "pipeline/cost_model.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace elpc::mapping {
+
+/// Non-owning view of one problem instance.  The referenced pipeline and
+/// network must outlive the Problem.
+struct Problem {
+  const pipeline::Pipeline* pipeline = nullptr;
+  const graph::Network* network = nullptr;
+  graph::NodeId source = graph::kInvalidNode;
+  graph::NodeId destination = graph::kInvalidNode;
+  pipeline::CostOptions cost;
+
+  Problem() = default;
+  Problem(const pipeline::Pipeline& p, const graph::Network& n,
+          graph::NodeId src, graph::NodeId dst,
+          pipeline::CostOptions options = {})
+      : pipeline(&p), network(&n), source(src), destination(dst),
+        cost(options) {}
+
+  /// Cost model bound to this instance.
+  [[nodiscard]] pipeline::CostModel model() const {
+    return pipeline::CostModel(*pipeline, *network, cost);
+  }
+
+  /// Throws std::invalid_argument when endpoints are out of range or the
+  /// pipeline/network pointers are missing.  source == destination is
+  /// legal for the delay problem (the paper's q = 1 "single computer"
+  /// degenerate case) and simply infeasible for strict no-reuse
+  /// frame-rate mapping with >= 2 modules.
+  void validate() const;
+};
+
+}  // namespace elpc::mapping

@@ -1,0 +1,85 @@
+#include "netmeasure/netmeasure.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace elpc::netmeasure {
+
+void ProbePlan::validate() const {
+  if (probes < 2) {
+    throw std::invalid_argument("ProbePlan: need >= 2 probes");
+  }
+  if (min_size_mb <= 0.0 || max_size_mb <= min_size_mb) {
+    throw std::invalid_argument("ProbePlan: bad size range");
+  }
+  if (relative_noise < 0.0) {
+    throw std::invalid_argument("ProbePlan: negative noise");
+  }
+}
+
+std::vector<Probe> synthesize_probes(util::Rng& rng,
+                                     const graph::LinkAttr& truth,
+                                     const ProbePlan& plan) {
+  plan.validate();
+  std::vector<Probe> probes;
+  probes.reserve(plan.probes);
+  const double span = plan.max_size_mb - plan.min_size_mb;
+  for (std::size_t i = 0; i < plan.probes; ++i) {
+    // Stratified sizes: evenly spaced base points with uniform jitter
+    // inside each stratum keep the regression well-conditioned even for
+    // small rounds.
+    const double stratum =
+        span * static_cast<double>(i) / static_cast<double>(plan.probes);
+    const double size = plan.min_size_mb + stratum +
+                        rng.uniform_real(0.0, span / static_cast<double>(
+                                                        plan.probes));
+    const double ideal = size / truth.bandwidth_mbps + truth.min_delay_s;
+    const double factor =
+        std::max(1e-6, rng.normal(1.0, plan.relative_noise));
+    probes.push_back(Probe{size, ideal * factor});
+  }
+  return probes;
+}
+
+LinkEstimate estimate_link(const std::vector<Probe>& probes) {
+  std::vector<double> sizes;
+  std::vector<double> times;
+  sizes.reserve(probes.size());
+  times.reserve(probes.size());
+  for (const Probe& p : probes) {
+    sizes.push_back(p.size_mb);
+    times.push_back(p.time_s);
+  }
+  const util::LineFit fit = util::fit_line(sizes, times);
+  if (fit.slope <= 0.0) {
+    throw std::invalid_argument(
+        "estimate_link: non-positive slope; probes do not look like a "
+        "bandwidth-limited channel");
+  }
+  LinkEstimate estimate;
+  estimate.attr.bandwidth_mbps = 1.0 / fit.slope;
+  estimate.attr.min_delay_s = std::max(0.0, fit.intercept);
+  estimate.r_squared = fit.r_squared;
+  return estimate;
+}
+
+graph::Network measure_network(util::Rng& rng, const graph::Network& truth,
+                               const ProbePlan& plan) {
+  plan.validate();
+  graph::Network measured;
+  for (graph::NodeId v = 0; v < truth.node_count(); ++v) {
+    measured.add_node(truth.node(v));
+  }
+  for (graph::NodeId v = 0; v < truth.node_count(); ++v) {
+    for (const graph::Edge& e : truth.out_edges(v)) {
+      const std::vector<Probe> probes = synthesize_probes(rng, e.attr, plan);
+      const LinkEstimate estimate = estimate_link(probes);
+      measured.add_link(e.from, e.to, estimate.attr);
+    }
+  }
+  return measured;
+}
+
+}  // namespace elpc::netmeasure

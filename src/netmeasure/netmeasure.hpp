@@ -1,0 +1,70 @@
+#pragma once
+// Active network measurement with linear-regression estimation.
+//
+// The paper points out that "the bandwidth of a network transport path
+// can be measured using active traffic measurement technique based on a
+// linear regression model described in [14]" (Wu & Rao, IPCCC 2005).
+// The model: the transfer time of an m-megabit probe over a link is
+//
+//     t(m) = m / b + d + noise
+//
+// i.e. linear in m with slope 1/b and intercept d.  A measurement round
+// sends probes of varied sizes, records noisy transfer times, and fits a
+// line by ordinary least squares; the estimated bandwidth is 1/slope and
+// the estimated MLD is the intercept.
+//
+// We cannot send real probes in a simulation study, so ProbeChannel
+// *synthesizes* them from ground-truth link attributes plus configurable
+// noise — exercising exactly the estimation code path a deployment would
+// run, as DESIGN.md's substitution table records.
+
+#include <vector>
+
+#include "graph/network.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::netmeasure {
+
+/// One probe observation.
+struct Probe {
+  double size_mb = 0.0;  ///< probe message size, megabits
+  double time_s = 0.0;   ///< observed transfer time, seconds
+};
+
+/// Noise and sizing knobs for a measurement round.
+struct ProbePlan {
+  std::size_t probes = 20;
+  double min_size_mb = 1.0;
+  double max_size_mb = 50.0;
+  /// Multiplicative jitter: each observation is scaled by a factor drawn
+  /// from N(1, relative_noise), truncated at a minimum of 1e-6.
+  double relative_noise = 0.02;
+
+  void validate() const;
+};
+
+/// Synthesizes a round of probes over a link with the given ground-truth
+/// attributes (sizes are spread uniformly over the configured range so
+/// the regression is well-conditioned).
+[[nodiscard]] std::vector<Probe> synthesize_probes(
+    util::Rng& rng, const graph::LinkAttr& truth, const ProbePlan& plan);
+
+/// Result of estimating a link from probe data.
+struct LinkEstimate {
+  graph::LinkAttr attr;   ///< estimated bandwidth / MLD
+  double r_squared = 0.0; ///< regression fit quality
+};
+
+/// Fits the linear model to probes; throws std::invalid_argument on
+/// fewer than two probes, non-positive estimated bandwidth, or all-equal
+/// sizes.  A negative intercept (possible under noise) is clamped to 0.
+[[nodiscard]] LinkEstimate estimate_link(const std::vector<Probe>& probes);
+
+/// Measures every link of `truth` and returns a new network with the
+/// same topology and node attributes but *estimated* link attributes —
+/// the "annotated graph" the mapper would consume in a deployment.
+[[nodiscard]] graph::Network measure_network(util::Rng& rng,
+                                             const graph::Network& truth,
+                                             const ProbePlan& plan);
+
+}  // namespace elpc::netmeasure

@@ -1,0 +1,69 @@
+#pragma once
+// Analytical cost models (paper Section 2.2).
+//
+//   T_computing(M_j, v) = m_{j-1} * c_j / p_v
+//   T_transport(m, L)   = m / b_L + d_L
+//
+// The printed objective functions (Eqs. 1, 3, 5) drop the MLD term d_L,
+// while the Section 2.2 transport model includes it.  CostOptions makes
+// the convention explicit; the default (include_link_delay = true)
+// follows the Section 2.2 model, and the ablation bench E8 re-runs the
+// suite with it disabled.  Every algorithm and the evaluator take the
+// same CostOptions, so comparisons are always internally consistent.
+
+#include "graph/network.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace elpc::pipeline {
+
+/// Conventions applied uniformly across algorithms and evaluation.
+struct CostOptions {
+  /// Whether T_transport includes the per-message minimum link delay d.
+  bool include_link_delay = true;
+};
+
+/// Evaluates the two cost models against a concrete network.  Stateless
+/// beyond the references it holds; cheap to copy.
+class CostModel {
+ public:
+  CostModel(const Pipeline& pipeline, const graph::Network& network,
+            CostOptions options = {})
+      : pipeline_(&pipeline), network_(&network), options_(options) {}
+
+  [[nodiscard]] const CostOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Computing time of module j on node v, in seconds.  Zero for the
+  /// source module (j = 0), which performs no computation.
+  [[nodiscard]] double computing_time(ModuleId j, graph::NodeId v) const;
+
+  /// Transport time of `megabits` over the directed link from -> to, in
+  /// seconds.  Throws std::out_of_range when the link does not exist.
+  [[nodiscard]] double transport_time(double megabits, graph::NodeId from,
+                                      graph::NodeId to) const;
+
+  /// Transport time over an explicit link attribute (no lookup).
+  [[nodiscard]] double transport_time(double megabits,
+                                      const graph::LinkAttr& link) const;
+
+  /// Transport time of module j's *input* (m_{j-1}) over from -> to: the
+  /// cost of handing module j its data when it runs on a different node
+  /// than module j-1.  j must be >= 1.
+  [[nodiscard]] double input_transport_time(ModuleId j, graph::NodeId from,
+                                            graph::NodeId to) const;
+
+  [[nodiscard]] const Pipeline& pipeline() const noexcept {
+    return *pipeline_;
+  }
+  [[nodiscard]] const graph::Network& network() const noexcept {
+    return *network_;
+  }
+
+ private:
+  const Pipeline* pipeline_;
+  const graph::Network* network_;
+  CostOptions options_;
+};
+
+}  // namespace elpc::pipeline

@@ -1,0 +1,40 @@
+#include "pipeline/generator.hpp"
+
+#include <stdexcept>
+
+namespace elpc::pipeline {
+
+void PipelineRanges::validate() const {
+  if (min_complexity < 0.0 || max_complexity < min_complexity) {
+    throw std::invalid_argument("PipelineRanges: bad complexity range");
+  }
+  if (min_data_mb <= 0.0 || max_data_mb < min_data_mb) {
+    throw std::invalid_argument("PipelineRanges: bad data size range");
+  }
+}
+
+Pipeline random_pipeline(util::Rng& rng, std::size_t modules,
+                         const PipelineRanges& ranges) {
+  ranges.validate();
+  if (modules < 2) {
+    throw std::invalid_argument("random_pipeline: need >= 2 modules");
+  }
+  std::vector<ModuleSpec> specs;
+  specs.reserve(modules);
+  ModuleSpec source;
+  source.name = "source";
+  source.complexity = 0.0;
+  source.output_mb = rng.uniform_real(ranges.min_data_mb, ranges.max_data_mb);
+  specs.push_back(source);
+  for (std::size_t j = 1; j < modules; ++j) {
+    ModuleSpec m;
+    m.name = j + 1 == modules ? "sink" : "stage" + std::to_string(j);
+    m.complexity =
+        rng.uniform_real(ranges.min_complexity, ranges.max_complexity);
+    m.output_mb = rng.uniform_real(ranges.min_data_mb, ranges.max_data_mb);
+    specs.push_back(m);
+  }
+  return Pipeline(std::move(specs));
+}
+
+}  // namespace elpc::pipeline

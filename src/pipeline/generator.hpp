@@ -1,0 +1,30 @@
+#pragma once
+// Random pipeline generator (paper Section 4.1: "randomly varying ... the
+// number of modules, module complexities, input data sizes, and output
+// data sizes in a pipeline").
+
+#include "pipeline/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::pipeline {
+
+/// Uniform ranges for module attributes.  Defaults are the calibration
+/// used by the 20-case evaluation suite: with node powers of 1..10
+/// abstract-units/s and bandwidths of 100..1000 Mbps they produce
+/// end-to-end delays of roughly 0.1..2.2 s and frame rates up to ~45
+/// frames/s — the ranges visible in the paper's Figs. 5 and 6.
+struct PipelineRanges {
+  double min_complexity = 0.002;  ///< work units per megabit
+  double max_complexity = 0.02;
+  double min_data_mb = 2.0;       ///< stage output, megabits
+  double max_data_mb = 40.0;
+
+  void validate() const;
+};
+
+/// Generates a pipeline with `modules` stages (>= 2): a zero-complexity
+/// source followed by random compute stages.
+[[nodiscard]] Pipeline random_pipeline(util::Rng& rng, std::size_t modules,
+                                       const PipelineRanges& ranges);
+
+}  // namespace elpc::pipeline

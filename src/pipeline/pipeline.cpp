@@ -1,0 +1,76 @@
+#include "pipeline/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace elpc::pipeline {
+
+Pipeline::Pipeline(std::vector<ModuleSpec> modules)
+    : modules_(std::move(modules)) {
+  if (modules_.size() < 2) {
+    throw std::invalid_argument(
+        "Pipeline: need at least a source and a sink module");
+  }
+  if (modules_[0].complexity != 0.0) {
+    throw std::invalid_argument(
+        "Pipeline: the source module performs no computation (c_0 must be 0)");
+  }
+  for (std::size_t j = 0; j < modules_.size(); ++j) {
+    if (modules_[j].complexity < 0.0) {
+      throw std::invalid_argument("Pipeline: negative complexity at module " +
+                                  std::to_string(j));
+    }
+    if (modules_[j].output_mb <= 0.0) {
+      throw std::invalid_argument(
+          "Pipeline: output size must be > 0 at module " + std::to_string(j));
+    }
+    if (modules_[j].name.empty()) {
+      modules_[j].name = "M" + std::to_string(j);
+    }
+  }
+}
+
+const ModuleSpec& Pipeline::module(ModuleId j) const {
+  if (j >= modules_.size()) {
+    throw std::out_of_range("Pipeline: module index out of range");
+  }
+  return modules_[j];
+}
+
+double Pipeline::input_mb(ModuleId j) const {
+  if (j == 0) {
+    throw std::invalid_argument("Pipeline: the source module has no input");
+  }
+  if (j >= modules_.size()) {
+    throw std::out_of_range("Pipeline: module index out of range");
+  }
+  return modules_[j - 1].output_mb;
+}
+
+double Pipeline::work_units(ModuleId j) const {
+  if (j == 0) {
+    return 0.0;
+  }
+  return module(j).complexity * input_mb(j);
+}
+
+double Pipeline::total_work_units() const {
+  double sum = 0.0;
+  for (ModuleId j = 1; j < modules_.size(); ++j) {
+    sum += work_units(j);
+  }
+  return sum;
+}
+
+std::string Pipeline::to_string() const {
+  std::vector<std::string> parts;
+  parts.reserve(modules_.size());
+  for (const ModuleSpec& m : modules_) {
+    parts.push_back(m.name + "(c=" + util::format_double(m.complexity, 1) +
+                    ",out=" + util::format_double(m.output_mb, 1) + "Mb)");
+  }
+  return util::join(parts, " -> ");
+}
+
+}  // namespace elpc::pipeline

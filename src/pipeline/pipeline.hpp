@@ -1,0 +1,72 @@
+#pragma once
+// Linear computing pipeline model (paper Section 2.1/2.3).
+//
+// A pipeline is a sequence of n modules M_0..M_{n-1} (paper indices
+// 1..n).  M_0 is the data source: it performs no computation and only
+// emits the raw dataset.  Each later module M_j applies a computation of
+// complexity c_j to the m_{j-1} megabits received from M_{j-1} and emits
+// m_j megabits.  The last module is the end user's stage; it computes but
+// its output is displayed locally, never transferred.
+//
+// Per-module parameters follow the paper's simulation schema:
+//   ModuleID, ModuleComplexity, InputDataInBytes (implied by the
+//   predecessor's output), OutputDataInBytes.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace elpc::pipeline {
+
+/// Index of a module within its pipeline (0-based; 0 is the source).
+using ModuleId = std::size_t;
+
+/// One pipeline stage.
+struct ModuleSpec {
+  /// Human-readable stage label ("isosurface extraction", ...).
+  std::string name;
+  /// Computational complexity c_j: abstract work units per megabit of
+  /// input.  Must be 0 for the source module and >= 0 elsewhere.
+  double complexity = 0.0;
+  /// Output data size m_j in megabits (> 0).  For the sink this is the
+  /// size of the final result (kept for bookkeeping; never transferred).
+  double output_mb = 1.0;
+};
+
+/// Immutable-after-build linear pipeline.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  /// Builds and validates; throws std::invalid_argument on violations
+  /// (fewer than 2 modules, source with nonzero complexity, nonpositive
+  /// data sizes, negative complexity).
+  explicit Pipeline(std::vector<ModuleSpec> modules);
+
+  [[nodiscard]] std::size_t module_count() const noexcept {
+    return modules_.size();
+  }
+  [[nodiscard]] const ModuleSpec& module(ModuleId j) const;
+  [[nodiscard]] const std::vector<ModuleSpec>& modules() const noexcept {
+    return modules_;
+  }
+
+  /// Input size of module j in megabits: the output of M_{j-1}.  The
+  /// source (j = 0) has no input; calling with j = 0 throws.
+  [[nodiscard]] double input_mb(ModuleId j) const;
+
+  /// Work units performed by module j: complexity_j * input_mb(j).
+  /// Zero for the source.
+  [[nodiscard]] double work_units(ModuleId j) const;
+
+  /// Sum of work units over all modules (a size measure used by
+  /// generators and reports).
+  [[nodiscard]] double total_work_units() const;
+
+  /// One-line "name(c=..,out=..) -> ..." summary for logs.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<ModuleSpec> modules_;
+};
+
+}  // namespace elpc::pipeline

@@ -1,0 +1,16 @@
+#pragma once
+// JSON (de)serialization of pipelines.
+
+#include "pipeline/pipeline.hpp"
+#include "util/json.hpp"
+
+namespace elpc::pipeline {
+
+/// {"modules":[{"name","complexity","output_mb"}...]}
+[[nodiscard]] util::Json to_json(const Pipeline& pipeline);
+
+/// Inverse of to_json; throws on malformed documents (the Pipeline
+/// constructor re-validates all invariants).
+[[nodiscard]] Pipeline pipeline_from_json(const util::Json& doc);
+
+}  // namespace elpc::pipeline

@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace elpc::sim {
+
+void EventQueue::schedule(SimTime when, std::function<void()> action) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(SimTime delay, std::function<void()> action) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventQueue: negative delay");
+  }
+  schedule(now_ + delay, std::move(action));
+}
+
+void EventQueue::run(std::uint64_t max_events) {
+  while (!heap_.empty()) {
+    if (executed_ >= max_events) {
+      throw std::runtime_error("EventQueue: event budget exceeded");
+    }
+    // Move the action out before popping so the entry's storage is stable
+    // while the action runs (it may schedule more events).
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = entry.when;
+    ++executed_;
+    entry.action();
+  }
+}
+
+}  // namespace elpc::sim

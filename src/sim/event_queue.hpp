@@ -1,0 +1,60 @@
+#pragma once
+// Discrete-event engine: a time-ordered queue of callbacks.
+//
+// Ties are broken by insertion sequence so simultaneous events run in the
+// order they were scheduled, which keeps FIFO service disciplines
+// deterministic (two frames "arriving at the same instant" never swap).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace elpc::sim {
+
+/// Simulation clock value in seconds.
+using SimTime = double;
+
+/// Min-heap of (time, sequence) ordered events.
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `when` (must be >= now()).
+  void schedule(SimTime when, std::function<void()> action);
+
+  /// Schedules `action` `delay` seconds after now().
+  void schedule_in(SimTime delay, std::function<void()> action);
+
+  /// Current simulation time (the timestamp of the last executed event).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Total number of events executed so far.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Runs events until the queue drains.  `max_events` guards against
+  /// runaway schedules; exceeding it throws std::runtime_error.
+  void run(std::uint64_t max_events = 100'000'000);
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace elpc::sim

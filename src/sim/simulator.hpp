@@ -1,0 +1,70 @@
+#pragma once
+// Discrete-event execution of a mapped pipeline.
+//
+// The analytic cost models of Section 2.2 predict performance; this
+// simulator *executes* a mapping and measures it, closing the loop the
+// paper closes with real testbed measurements in its companion work
+// [13][14].  Entities:
+//
+//  * one FIFO processor per network node — a node runs one module
+//    instance at a time (matching the paper's interactive-case
+//    assumption, and producing the summed-service-time behaviour of
+//    shared nodes in the streaming case);
+//  * one FIFO transmitter per directed link — a message occupies the
+//    link for its serialization time m/b (bandwidth is consumed), then
+//    arrives after the additional propagation delay d (latency that does
+//    NOT consume bandwidth; back-to-back messages pipeline through d).
+//
+// Consequences checked by the validation suite (E9):
+//  * a single frame's end-to-end latency equals Eq. 1 exactly (with the
+//    MLD term included);
+//  * the steady-state output rate of a saturated stream equals
+//    1 / Eq. 2-bottleneck computed WITHOUT the MLD term — propagation
+//    delay adds latency, not a throughput limit, which is why Eq. 2
+//    omits d in the paper.
+
+#include <vector>
+
+#include "mapping/mapping.hpp"
+#include "mapping/problem.hpp"
+
+namespace elpc::sim {
+
+/// Streaming workload description.
+struct SimConfig {
+  /// Number of frames pushed through the pipeline (>= 1).
+  std::size_t frames = 1;
+  /// Inter-injection gap at the source, seconds.  0 saturates the
+  /// pipeline (every frame ready immediately), which is how steady-state
+  /// throughput is measured.
+  double injection_interval_s = 0.0;
+  /// Fraction of the *leading* frames discarded from throughput
+  /// statistics as warm-up (pipeline fill).  In [0, 1).
+  double warmup_fraction = 0.5;
+};
+
+/// Measurements of one simulated run.
+struct SimReport {
+  /// Per-frame end-to-end latency: completion minus injection, seconds.
+  std::vector<double> latencies_s;
+  /// Per-frame completion timestamps at the destination, seconds.
+  std::vector<double> completions_s;
+  /// Steady-state output rate (frames/s) over the post-warm-up window;
+  /// 0 when fewer than two frames survive the warm-up cut.
+  double throughput_fps = 0.0;
+  /// Total number of simulator events executed.
+  std::uint64_t events = 0;
+
+  [[nodiscard]] double first_frame_latency_s() const {
+    return latencies_s.empty() ? 0.0 : latencies_s.front();
+  }
+};
+
+/// Runs the mapped pipeline.  The mapping must be structurally feasible
+/// (checked; throws std::invalid_argument otherwise — simulate only what
+/// could actually be deployed).
+[[nodiscard]] SimReport simulate(const mapping::Problem& problem,
+                                 const mapping::Mapping& mapping,
+                                 const SimConfig& config);
+
+}  // namespace elpc::sim

@@ -1,0 +1,151 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace elpc::util {
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::kFlag, help};
+}
+
+void ArgParser::add_int(const std::string& name, std::int64_t def,
+                        const std::string& help) {
+  Option opt{Kind::kInt, help};
+  opt.int_value = def;
+  options_[name] = std::move(opt);
+}
+
+void ArgParser::add_double(const std::string& name, double def,
+                           const std::string& help) {
+  Option opt{Kind::kDouble, help};
+  opt.double_value = def;
+  options_[name] = std::move(opt);
+}
+
+void ArgParser::add_string(const std::string& name, const std::string& def,
+                           const std::string& help) {
+  Option opt{Kind::kString, help};
+  opt.string_value = def;
+  options_[name] = std::move(opt);
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--") {
+      positionals_.insert(positionals_.end(), args.begin() + i + 1,
+                          args.end());
+      break;
+    }
+    if (!starts_with(arg, "--")) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown option --" + name + "\n" + usage());
+    }
+    if (it->second.kind == Kind::kFlag) {
+      if (value.has_value()) {
+        throw std::invalid_argument("flag --" + name + " takes no value");
+      }
+      it->second.flag_value = true;
+      continue;
+    }
+    if (!value.has_value()) {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("option --" + name + " needs a value");
+      }
+      value = args[++i];
+    }
+    set_value(name, *value);
+  }
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  parse(args);
+}
+
+void ArgParser::set_value(const std::string& name, const std::string& raw) {
+  Option& opt = options_.at(name);
+  try {
+    switch (opt.kind) {
+      case Kind::kInt:
+        opt.int_value = std::stoll(raw);
+        break;
+      case Kind::kDouble:
+        opt.double_value = std::stod(raw);
+        break;
+      case Kind::kString:
+        opt.string_value = raw;
+        break;
+      case Kind::kFlag:
+        break;  // handled by caller
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad value '" + raw + "' for --" + name);
+  }
+}
+
+const ArgParser::Option& ArgParser::require(const std::string& name,
+                                            Kind kind) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind) {
+    throw std::invalid_argument("option --" + name +
+                                " not registered with that type");
+  }
+  return it->second;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  return require(name, Kind::kFlag).flag_value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return require(name, Kind::kInt).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return require(name, Kind::kDouble).double_value;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return require(name, Kind::kString).string_value;
+}
+
+std::string ArgParser::usage() const {
+  std::string out = "usage: " + program_ + " [options]\n";
+  for (const auto& [name, opt] : options_) {
+    out += "  --" + name;
+    switch (opt.kind) {
+      case Kind::kFlag:
+        break;
+      case Kind::kInt:
+        out += " <int=" + std::to_string(opt.int_value) + ">";
+        break;
+      case Kind::kDouble:
+        out += " <float=" + format_double(opt.double_value, 3) + ">";
+        break;
+      case Kind::kString:
+        out += " <str=" + opt.string_value + ">";
+        break;
+    }
+    out += "  " + opt.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace elpc::util

@@ -1,0 +1,69 @@
+#pragma once
+// Tiny command-line option parser for the bench and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` forms.
+// Unknown options raise an error listing the registered names, so typos in
+// a benchmark invocation fail loudly instead of silently using defaults.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace elpc::util {
+
+/// Declarative option set bound to argc/argv.
+class ArgParser {
+ public:
+  /// `program` is used in the usage text.
+  explicit ArgParser(std::string program) : program_(std::move(program)) {}
+
+  /// Registers options with defaults; call before parse().
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, std::int64_t def,
+               const std::string& help);
+  void add_double(const std::string& name, double def,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& def,
+                  const std::string& help);
+
+  /// Parses the vector of arguments (argv[1..]).  Throws
+  /// std::invalid_argument on unknown names or malformed values.
+  /// Arguments after a literal "--" are collected as positionals.
+  void parse(const std::vector<std::string>& args);
+  /// Convenience overload over argc/argv (skips argv[0]).
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  /// Human-readable usage text listing all options and defaults.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+
+  struct Option {
+    Kind kind;
+    std::string help;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  const Option& require(const std::string& name, Kind kind) const;
+  void set_value(const std::string& name, const std::string& raw);
+
+  std::string program_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace elpc::util

@@ -1,0 +1,33 @@
+#include "util/file_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace elpc::util {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("read failed: " + path);
+  }
+  return buffer.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  out << content;
+  if (!out.good()) {
+    throw std::runtime_error("write failed: " + path);
+  }
+}
+
+}  // namespace elpc::util

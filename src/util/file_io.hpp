@@ -1,0 +1,14 @@
+#pragma once
+// Whole-file text I/O for scenario and result persistence.
+
+#include <string>
+
+namespace elpc::util {
+
+/// Reads an entire file; throws std::runtime_error when unreadable.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+/// Writes (truncates) a file; throws std::runtime_error on failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace elpc::util

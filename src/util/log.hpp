@@ -1,0 +1,50 @@
+#pragma once
+// Leveled stderr logging.  Intentionally minimal: the library itself is
+// silent at default level; generators and experiment drivers log progress
+// at Info, algorithm internals at Debug (useful when diagnosing why a
+// mapping came out infeasible).
+
+#include <sstream>
+#include <string>
+
+namespace elpc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr with a level prefix (thread-safe).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style one-shot message builder: LOG(kInfo) << "x=" << x;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace elpc::util
+
+#define ELPC_LOG(level)                                              \
+  if (static_cast<int>(level) < static_cast<int>(::elpc::util::log_level())) \
+    ;                                                                \
+  else                                                               \
+    ::elpc::util::detail::LogMessage(level)

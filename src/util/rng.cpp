@@ -1,0 +1,58 @@
+#include "util/rng.hpp"
+
+namespace elpc::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  }
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("Rng::index: n must be positive");
+  }
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Rng::uniform_real: lo > hi");
+  }
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Rng::bernoulli: p outside [0,1]");
+  }
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (stddev < 0.0) {
+    throw std::invalid_argument("Rng::normal: stddev must be >= 0");
+  }
+  if (stddev == 0.0) {
+    return mean;
+  }
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+Rng Rng::split(std::uint64_t stream_id) {
+  // SplitMix64-style finalizer over (parent seed, stream id, fresh draw)
+  // decorrelates child streams even for adjacent ids.
+  std::uint64_t z = seed_ ^ (stream_id * 0x9E3779B97F4A7C15ULL) ^ engine_();
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= (z >> 31);
+  return Rng(z);
+}
+
+}  // namespace elpc::util

@@ -1,0 +1,59 @@
+#pragma once
+// Descriptive statistics and ordinary least squares.
+//
+// OLS is the estimation technique the paper's reference [14] (Wu & Rao,
+// IPCCC 2005) uses to recover link bandwidth and minimum link delay from
+// active transport measurements: transfer time is modelled as
+// t = m / b + d, i.e. linear in message size m with slope 1/b and
+// intercept d.  The netmeasure subsystem builds on fit_line().
+
+#include <cstddef>
+#include <vector>
+
+namespace elpc::util {
+
+/// Incremental mean/variance accumulator (Welford's algorithm); numerically
+/// stable for long streams such as per-frame simulator latencies.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of a simple linear regression y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect fit.
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares over paired samples.  Throws
+/// std::invalid_argument when sizes differ, fewer than two points are
+/// given, or all x values coincide (slope undefined).
+[[nodiscard]] LineFit fit_line(const std::vector<double>& x,
+                               const std::vector<double>& y);
+
+/// p-th percentile (p in [0,100]) by linear interpolation between order
+/// statistics.  Throws std::invalid_argument on an empty sample or p
+/// outside [0,100].  The input is copied; the original order is preserved.
+[[nodiscard]] double percentile(std::vector<double> sample, double p);
+
+/// Arithmetic mean; throws std::invalid_argument on an empty sample.
+[[nodiscard]] double mean_of(const std::vector<double>& sample);
+
+}  // namespace elpc::util

@@ -1,0 +1,30 @@
+#pragma once
+// Small string helpers shared across the library (no locale dependence).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace elpc::util {
+
+/// Splits on a single-character delimiter; adjacent delimiters produce
+/// empty fields ("a,,b" -> {"a", "", "b"}).  An empty input yields one
+/// empty field, matching CSV semantics.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Fixed-precision decimal formatting (printf "%.*f") without stream
+/// locale surprises.
+[[nodiscard]] std::string format_double(double value, int precision);
+
+/// Joins items with a separator: join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+}  // namespace elpc::util

@@ -1,0 +1,116 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace elpc::util {
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: header must be non-empty");
+  }
+  aligns_.assign(header_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size()) {
+    throw std::invalid_argument("TextTable: column out of range");
+  }
+  aligns_[column] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        line += "  ";
+      }
+      const std::size_t pad = widths[c] - row[c].size();
+      if (aligns_[c] == Align::kRight) {
+        line.append(pad, ' ');
+        line += row[c];
+      } else {
+        line += row[c];
+        line.append(pad, ' ');
+      }
+    }
+    // Trim trailing spaces from left-aligned last columns.
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  out += '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += csv_escape(row[c]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out;
+}
+
+}  // namespace elpc::util

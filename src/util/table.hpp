@@ -1,0 +1,48 @@
+#pragma once
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary reproduces a paper table/figure as text; TextTable
+// keeps the formatting (column sizing, alignment, separators) in one
+// place so all reproduced artifacts look consistent.
+
+#include <string>
+#include <vector>
+
+namespace elpc::util {
+
+enum class Align { kLeft, kRight };
+
+/// Column-aligned plain-text table with a header row.
+///
+/// Usage:
+///   TextTable t({"case", "ELPC", "Greedy"});
+///   t.add_row({"1", "120.3", "190.7"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; throws std::invalid_argument when the cell count does
+  /// not match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Sets the alignment of one column (default: left for the first column,
+  /// right for the rest — the common "label + numbers" layout).
+  void set_align(std::size_t column, Align align);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders rows as CSV (header first); cells containing commas or
+  /// quotes are quoted per RFC 4180.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+}  // namespace elpc::util

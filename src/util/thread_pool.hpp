@@ -1,0 +1,67 @@
+#pragma once
+// Fixed-size worker pool used to parallelize experiment sweeps (the 20-case
+// suite runs each case's three algorithms independently) and randomized
+// property-test batches.  Algorithms themselves stay single-threaded: the
+// paper's DP has a strict column-to-column dependency, so parallelism pays
+// off across *cases*, not within one.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace elpc::util {
+
+/// Work-queue thread pool; join semantics on destruction (all queued work
+/// finishes before the destructor returns).
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (at least one).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Enqueues a task and returns its future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, n), blocking until all complete.  Exceptions
+  /// from tasks propagate (the first one encountered is rethrown).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace elpc::util

@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timing for the runtime-scaling experiment (E6): the paper
+// reports algorithm execution times from "milliseconds for small-scale
+// problems to seconds for large-scale ones".
+
+#include <chrono>
+
+namespace elpc::util {
+
+/// Monotonic stopwatch started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace elpc::util

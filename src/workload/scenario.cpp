@@ -1,0 +1,33 @@
+#include "workload/scenario.hpp"
+
+#include "graph/serialize.hpp"
+#include "pipeline/serialize.hpp"
+
+namespace elpc::workload {
+
+util::Json to_json(const Scenario& scenario) {
+  util::Json doc;
+  doc.set("name", scenario.name);
+  doc.set("pipeline", pipeline::to_json(scenario.pipeline));
+  doc.set("network", graph::to_json(scenario.network));
+  doc.set("source", scenario.source);
+  doc.set("destination", scenario.destination);
+  return doc;
+}
+
+Scenario scenario_from_json(const util::Json& doc) {
+  Scenario scenario;
+  scenario.name = doc.at("name").as_string();
+  scenario.pipeline = pipeline::pipeline_from_json(doc.at("pipeline"));
+  scenario.network = graph::network_from_json(doc.at("network"));
+  scenario.source = static_cast<graph::NodeId>(doc.at("source").as_int());
+  scenario.destination =
+      static_cast<graph::NodeId>(doc.at("destination").as_int());
+  if (scenario.source >= scenario.network.node_count() ||
+      scenario.destination >= scenario.network.node_count()) {
+    throw util::JsonError("scenario: endpoint out of range");
+  }
+  return scenario;
+}
+
+}  // namespace elpc::workload

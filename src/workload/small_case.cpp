@@ -1,0 +1,60 @@
+#include "workload/small_case.hpp"
+
+namespace elpc::workload {
+
+Scenario small_case() {
+  Scenario scenario;
+  scenario.name = "small-5mod-6node";
+  scenario.source = 0;
+  scenario.destination = 5;
+
+  // Pipeline: light filter at the source, two heavy middle stages, a
+  // light display stage at the terminal (the remote-visualization shape
+  // the paper's Fig. 3/4 caption describes: data source -> three data
+  // operations -> terminal).
+  // The filter shrinks the dataset 4x, which is what makes grouping it
+  // onto the source node optimal (ship 4 Mb instead of 16 Mb); the
+  // isosurface stage *expands* data (extraction can), keeping the two
+  // heavy middle stages glued to the fast compute node.
+  scenario.pipeline = pipeline::Pipeline({
+      {"source", 0.0, 16.0},       // emits the 16 Mb raw dataset
+      {"filter", 0.004, 4.0},      // cheap, shrinking: groups on source
+      {"isosurface", 0.300, 10.0},  // heavy, expanding
+      {"render", 0.200, 4.0},       // heavy
+      {"display", 0.010, 1.0},      // cheap terminal stage
+  });
+
+  // Network: node 4 is the computational workhorse; node 2 is weak.
+  graph::Network& net = scenario.network;
+  net.add_node({"source-host", 3.0});   // 0
+  net.add_node({"relay-a", 4.0});       // 1
+  net.add_node({"weak-box", 1.0});      // 2
+  net.add_node({"relay-b", 3.5});       // 3
+  net.add_node({"compute-farm", 10.0}); // 4
+  net.add_node({"terminal", 5.0});      // 5
+
+  // 28 directed links: every ordered pair except 0 -> 5 and 5 -> 0.
+  // Bandwidths favour the 0 -> {3,4} ingress and the 4 -> 5 egress.
+  struct L {
+    graph::NodeId from, to;
+    double bw_mbps;
+    double mld_ms;
+  };
+  const L links[] = {
+      {0, 1, 500, 0.8}, {1, 0, 500, 0.8}, {0, 2, 150, 2.0}, {2, 0, 150, 2.0},
+      {0, 3, 700, 0.6}, {3, 0, 700, 0.6}, {0, 4, 600, 1.0}, {4, 0, 600, 1.0},
+      {1, 2, 200, 1.5}, {2, 1, 200, 1.5}, {1, 3, 450, 1.0}, {3, 1, 450, 1.0},
+      {1, 4, 800, 0.5}, {4, 1, 800, 0.5}, {1, 5, 400, 1.2}, {5, 1, 400, 1.2},
+      {2, 3, 250, 1.8}, {3, 2, 250, 1.8}, {2, 4, 300, 1.5}, {4, 2, 300, 1.5},
+      {2, 5, 100, 3.0}, {5, 2, 100, 3.0}, {3, 4, 650, 0.7}, {4, 3, 650, 0.7},
+      {3, 5, 350, 1.4}, {5, 3, 350, 1.4}, {4, 5, 900, 0.4}, {5, 4, 900, 0.4},
+  };
+  for (const L& l : links) {
+    net.add_link(l.from, l.to,
+                 graph::LinkAttr{l.bw_mbps, l.mld_ms / 1000.0});
+  }
+  net.validate();
+  return scenario;
+}
+
+}  // namespace elpc::workload

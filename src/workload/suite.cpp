@@ -1,0 +1,77 @@
+#include "workload/suite.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace elpc::workload {
+
+void CaseSpec::validate() const {
+  if (modules < 2) {
+    throw std::invalid_argument("CaseSpec: need >= 2 modules");
+  }
+  if (nodes < 2 || links < nodes || links > nodes * (nodes - 1)) {
+    throw std::invalid_argument("CaseSpec: bad node/link sizes");
+  }
+}
+
+std::vector<CaseSpec> default_suite() {
+  // (modules, nodes, links): module counts and node counts both grow
+  // roughly geometrically; link counts keep the density around 55-95%,
+  // matching the dense mesh of the paper's illustrated case.
+  const std::vector<std::array<std::size_t, 3>> sizes = {
+      {5, 6, 28},        {5, 8, 44},        {6, 10, 66},
+      {8, 12, 100},      {8, 15, 158},      {10, 18, 230},
+      {10, 20, 285},     {12, 25, 450},     {12, 30, 650},
+      {15, 35, 890},     {15, 40, 1170},    {18, 50, 1840},
+      {20, 60, 2660},    {20, 70, 3620},    {25, 80, 4740},
+      {25, 100, 7430},   {30, 120, 10700},  {35, 140, 14600},
+      {40, 170, 21600},  {50, 200, 29900},
+  };
+  std::vector<CaseSpec> suite;
+  suite.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    CaseSpec spec;
+    spec.name = "case" + std::to_string(i + 1);
+    spec.modules = sizes[i][0];
+    spec.nodes = sizes[i][1];
+    spec.links = sizes[i][2];
+    spec.stream = i + 1;
+    spec.validate();
+    suite.push_back(std::move(spec));
+  }
+  return suite;
+}
+
+Scenario build_scenario(const CaseSpec& spec, const SuiteConfig& config) {
+  spec.validate();
+  util::Rng master(config.base_seed);
+  util::Rng rng = master.split(spec.stream);
+
+  Scenario scenario;
+  scenario.name = spec.name;
+  scenario.pipeline =
+      pipeline::random_pipeline(rng, spec.modules, config.pipeline_ranges);
+  scenario.network = graph::random_connected_network(
+      rng, spec.nodes, spec.links, config.network_ranges);
+
+  // Distinct endpoints.  The generated network is strongly connected, so
+  // any pair admits a delay mapping; density makes an n-node simple path
+  // for the frame-rate problem overwhelmingly likely.
+  scenario.source = rng.index(spec.nodes);
+  do {
+    scenario.destination = rng.index(spec.nodes);
+  } while (scenario.destination == scenario.source);
+  return scenario;
+}
+
+std::vector<Scenario> build_suite(const SuiteConfig& config) {
+  std::vector<Scenario> scenarios;
+  for (const CaseSpec& spec : default_suite()) {
+    scenarios.push_back(build_scenario(spec, config));
+  }
+  return scenarios;
+}
+
+}  // namespace elpc::workload

@@ -1,0 +1,137 @@
+#include "baselines/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/elpc.hpp"
+#include "graph/generators.hpp"
+#include "mapping/evaluator.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace elpc::baselines {
+namespace {
+
+using mapping::MapResult;
+using mapping::Problem;
+
+workload::Scenario random_instance(std::uint64_t seed, std::size_t modules,
+                                   std::size_t nodes, std::size_t links) {
+  util::Rng rng(seed);
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, modules, {});
+  s.network = graph::random_connected_network(rng, nodes, links, {});
+  s.source = 0;
+  s.destination = nodes - 1;
+  return s;
+}
+
+TEST(Greedy, DelayResultPassesEvaluator) {
+  const workload::Scenario s = random_instance(1, 6, 10, 60);
+  const Problem p = s.problem();
+  const MapResult r = GreedyMapper().min_delay(p);
+  ASSERT_TRUE(r.feasible);
+  const mapping::Evaluation e = mapping::evaluate_total_delay(p, r.mapping);
+  ASSERT_TRUE(e.feasible);
+  EXPECT_NEAR(e.seconds, r.seconds, 1e-12 + 1e-9 * e.seconds);
+}
+
+TEST(Greedy, DelayNeverBeatsElpc) {
+  // ELPC's delay DP is optimal, so Greedy can match but never win.
+  for (std::uint64_t seed = 10; seed < 40; ++seed) {
+    const workload::Scenario s = random_instance(seed, 6, 10, 55);
+    const Problem p = s.problem();
+    const MapResult greedy = GreedyMapper().min_delay(p);
+    const MapResult elpc = core::ElpcMapper().min_delay(p);
+    ASSERT_TRUE(elpc.feasible);
+    if (greedy.feasible) {
+      EXPECT_GE(greedy.seconds, elpc.seconds * (1.0 - 1e-9))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Greedy, EndpointsPinned) {
+  const workload::Scenario s = random_instance(2, 5, 9, 45);
+  const MapResult r = GreedyMapper().min_delay(s.problem());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.mapping.node_of(0), s.source);
+  EXPECT_EQ(r.mapping.node_of(4), s.destination);
+}
+
+TEST(Greedy, ReachabilityGuardPreventsDeadEnds) {
+  // A trap topology: a tempting fast node with no route onward.  The
+  // guard must route around it.
+  workload::Scenario s;
+  s.pipeline = pipeline::Pipeline(
+      {{"src", 0.0, 10.0}, {"a", 0.5, 10.0}, {"sink", 0.5, 1.0}});
+  s.network.add_node({"src", 1.0});    // 0
+  s.network.add_node({"trap", 100.0});  // 1: fast but dead-end
+  s.network.add_node({"slow", 1.0});   // 2
+  s.network.add_node({"dst", 1.0});    // 3
+  s.network.add_link(0, 1, {1000.0, 0.0});  // into the trap
+  s.network.add_link(0, 2, {100.0, 0.0});
+  s.network.add_link(2, 3, {100.0, 0.0});
+  s.source = 0;
+  s.destination = 3;
+  const MapResult r = GreedyMapper().min_delay(s.problem());
+  ASSERT_TRUE(r.feasible);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NE(r.mapping.node_of(j), 1u) << "walked into the trap";
+  }
+}
+
+TEST(Greedy, FrameRateResultIsOneToOne) {
+  const workload::Scenario s = random_instance(3, 5, 10, 70);
+  const Problem p = s.problem({.include_link_delay = false});
+  const MapResult r = GreedyMapper().max_frame_rate(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.mapping.is_one_to_one());
+  const mapping::Evaluation e =
+      mapping::evaluate_bottleneck(p, r.mapping, true);
+  ASSERT_TRUE(e.feasible);
+  EXPECT_NEAR(e.seconds, r.seconds, 1e-12 + 1e-9 * e.seconds);
+}
+
+TEST(Greedy, FrameRateInfeasibleWhenPipelineTooLong) {
+  const workload::Scenario s = random_instance(4, 9, 6, 25);
+  EXPECT_FALSE(GreedyMapper()
+                   .max_frame_rate(s.problem({.include_link_delay = false}))
+                   .feasible);
+}
+
+TEST(Greedy, FrameRateSourceEqualsDestinationInfeasible) {
+  workload::Scenario s = random_instance(5, 4, 8, 40);
+  s.destination = s.source;
+  EXPECT_FALSE(GreedyMapper().max_frame_rate(s.problem()).feasible);
+}
+
+TEST(Greedy, MyopiaCanLoseToElpcOnDelay) {
+  // Construct the classic greedy trap: a cheap first hop leading into an
+  // expensive region.  Greedy takes the bait; ELPC does not.
+  workload::Scenario s;
+  s.pipeline = pipeline::Pipeline(
+      {{"src", 0.0, 20.0}, {"a", 0.1, 20.0}, {"sink", 0.1, 1.0}});
+  s.network.add_node({"src", 1.0});    // 0
+  s.network.add_node({"bait", 10.0});  // 1: great compute, awful egress
+  s.network.add_node({"solid", 8.0});  // 2
+  s.network.add_node({"dst", 5.0});    // 3
+  s.network.add_link(0, 1, {2000.0, 0.0001});  // tempting
+  s.network.add_link(1, 3, {10.0, 0.005});     // awful egress
+  s.network.add_link(0, 2, {500.0, 0.001});
+  s.network.add_link(2, 3, {500.0, 0.001});
+  s.source = 0;
+  s.destination = 3;
+  const Problem p = s.problem();
+  const MapResult greedy = GreedyMapper().min_delay(p);
+  const MapResult elpc = core::ElpcMapper().min_delay(p);
+  ASSERT_TRUE(greedy.feasible);
+  ASSERT_TRUE(elpc.feasible);
+  EXPECT_GT(greedy.seconds, elpc.seconds * 1.5)
+      << "greedy should fall for the bait node";
+  EXPECT_EQ(greedy.mapping.node_of(1), 1u);
+  EXPECT_NE(elpc.mapping.node_of(1), 1u);
+}
+
+}  // namespace
+}  // namespace elpc::baselines

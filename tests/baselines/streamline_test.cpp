@@ -1,0 +1,152 @@
+#include "baselines/streamline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/elpc.hpp"
+#include "graph/generators.hpp"
+#include "mapping/evaluator.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace elpc::baselines {
+namespace {
+
+using mapping::MapResult;
+using mapping::Problem;
+
+workload::Scenario random_instance(std::uint64_t seed, std::size_t modules,
+                                   std::size_t nodes, std::size_t links) {
+  util::Rng rng(seed);
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, modules, {});
+  s.network = graph::random_connected_network(rng, nodes, links, {});
+  s.source = 0;
+  s.destination = nodes - 1;
+  return s;
+}
+
+TEST(Streamline, DelayResultPassesEvaluator) {
+  const workload::Scenario s = random_instance(1, 6, 10, 70);
+  const Problem p = s.problem();
+  const MapResult r = StreamlineMapper().min_delay(p);
+  if (r.feasible) {
+    const mapping::Evaluation e = mapping::evaluate_total_delay(p, r.mapping);
+    ASSERT_TRUE(e.feasible);
+    EXPECT_NEAR(e.seconds, r.seconds, 1e-12 + 1e-9 * e.seconds);
+  }
+}
+
+TEST(Streamline, DelayNeverBeatsElpc) {
+  for (std::uint64_t seed = 10; seed < 40; ++seed) {
+    const workload::Scenario s = random_instance(seed, 6, 10, 60);
+    const Problem p = s.problem();
+    const MapResult streamline = StreamlineMapper().min_delay(p);
+    const MapResult elpc = core::ElpcMapper().min_delay(p);
+    ASSERT_TRUE(elpc.feasible);
+    if (streamline.feasible) {
+      EXPECT_GE(streamline.seconds, elpc.seconds * (1.0 - 1e-9))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Streamline, EndpointsPinned) {
+  const workload::Scenario s = random_instance(2, 6, 9, 55);
+  const MapResult r = StreamlineMapper().min_delay(s.problem());
+  if (r.feasible) {
+    EXPECT_EQ(r.mapping.node_of(0), s.source);
+    EXPECT_EQ(r.mapping.node_of(5), s.destination);
+  }
+}
+
+TEST(Streamline, FrameRateResultIsOneToOne) {
+  const workload::Scenario s = random_instance(3, 5, 12, 100);
+  const Problem p = s.problem({.include_link_delay = false});
+  const MapResult r = StreamlineMapper().max_frame_rate(p);
+  if (r.feasible) {
+    EXPECT_TRUE(r.mapping.is_one_to_one());
+    const mapping::Evaluation e =
+        mapping::evaluate_bottleneck(p, r.mapping, true);
+    ASSERT_TRUE(e.feasible);
+    EXPECT_NEAR(e.seconds, r.seconds, 1e-12 + 1e-9 * e.seconds);
+  }
+}
+
+TEST(Streamline, FrameRateInfeasibleWhenPipelineTooLong) {
+  const workload::Scenario s = random_instance(4, 9, 6, 25);
+  EXPECT_FALSE(StreamlineMapper()
+                   .max_frame_rate(s.problem({.include_link_delay = false}))
+                   .feasible);
+}
+
+TEST(Streamline, MostlyFeasibleOnDenseNetworks) {
+  // The adapted heuristic has no feasibility guarantee on sparse graphs
+  // (the original assumed a full mesh); on dense ones it should almost
+  // always produce a valid placement.
+  std::size_t feasible = 0;
+  const std::size_t trials = 30;
+  for (std::uint64_t seed = 50; seed < 50 + trials; ++seed) {
+    const workload::Scenario s = random_instance(seed, 6, 12, 110);
+    if (StreamlineMapper().min_delay(s.problem()).feasible) {
+      ++feasible;
+    }
+  }
+  EXPECT_GE(feasible, trials * 8 / 10);
+}
+
+TEST(Streamline, CanFailOnSparseWansGracefully) {
+  // A hub-and-spoke WAN where co-locating stages on a fast node strands
+  // the placement (the behaviour observed in the remote-visualization
+  // example).  Whatever happens, the result must be explicit, not a
+  // silently wrong mapping.
+  workload::Scenario s;
+  util::Rng rng(6);
+  s.pipeline = pipeline::random_pipeline(rng, 5, {});
+  s.network.add_node({"a", 1.0});
+  s.network.add_node({"fast", 50.0});
+  s.network.add_node({"b", 1.0});
+  s.network.add_node({"dst", 1.0});
+  s.network.add_duplex_link(0, 1, {1000.0, 0.001});
+  s.network.add_duplex_link(0, 2, {100.0, 0.001});
+  s.network.add_duplex_link(2, 3, {100.0, 0.001});
+  s.source = 0;
+  s.destination = 3;
+  const MapResult r = StreamlineMapper().min_delay(s.problem());
+  if (!r.feasible) {
+    EXPECT_FALSE(r.reason.empty());
+  } else {
+    EXPECT_TRUE(
+        mapping::evaluate_total_delay(s.problem(), r.mapping).feasible);
+  }
+}
+
+TEST(Streamline, CommWeightZeroRanksByComputeOnly) {
+  // With comm_weight = 0 the ranking ignores data volumes; both variants
+  // must still return evaluator-consistent results.
+  const workload::Scenario s = random_instance(7, 7, 11, 80);
+  const Problem p = s.problem();
+  const StreamlineMapper comp_only(StreamlineOptions{.comm_weight = 0.0});
+  const MapResult r = comp_only.min_delay(p);
+  if (r.feasible) {
+    EXPECT_TRUE(mapping::evaluate_total_delay(p, r.mapping).feasible);
+  }
+}
+
+TEST(Streamline, PenaltyDiscouragesMissingLinks) {
+  // With a huge penalty, placements over missing links should be rare on
+  // this mesh; with zero penalty the heuristic is blind to topology.
+  const workload::Scenario s = random_instance(8, 6, 10, 45);
+  const StreamlineMapper strong(
+      StreamlineOptions{.missing_link_penalty = 1e6});
+  const StreamlineMapper blind(StreamlineOptions{.missing_link_penalty = 0.0});
+  const MapResult a = strong.min_delay(s.problem());
+  const MapResult b = blind.min_delay(s.problem());
+  // The penalized variant must be at least as often feasible.
+  if (b.feasible) {
+    EXPECT_TRUE(a.feasible);
+  }
+}
+
+}  // namespace
+}  // namespace elpc::baselines

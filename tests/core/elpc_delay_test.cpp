@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "core/elpc.hpp"
+#include "core/exhaustive.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "mapping/evaluator.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+#include "workload/small_case.hpp"
+
+namespace elpc::core {
+namespace {
+
+using mapping::MapResult;
+using mapping::Problem;
+
+workload::Scenario random_instance(std::uint64_t seed, std::size_t modules,
+                                   std::size_t nodes, std::size_t links) {
+  util::Rng rng(seed);
+  workload::Scenario s;
+  s.name = "t" + std::to_string(seed);
+  s.pipeline = pipeline::random_pipeline(rng, modules, {});
+  s.network = graph::random_connected_network(rng, nodes, links, {});
+  s.source = 0;
+  s.destination = nodes - 1;
+  return s;
+}
+
+TEST(ElpcDelay, FeasibleOnConnectedNetwork) {
+  const workload::Scenario s = random_instance(1, 6, 8, 30);
+  const MapResult r = ElpcMapper().min_delay(s.problem());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(ElpcDelay, ResultPassesEvaluatorWithSameValue) {
+  const workload::Scenario s = random_instance(2, 7, 9, 40);
+  const Problem p = s.problem();
+  const MapResult r = ElpcMapper().min_delay(p);
+  ASSERT_TRUE(r.feasible);
+  const mapping::Evaluation e = mapping::evaluate_total_delay(p, r.mapping);
+  ASSERT_TRUE(e.feasible);
+  EXPECT_NEAR(e.seconds, r.seconds, 1e-12);
+}
+
+TEST(ElpcDelay, EndpointsPinned) {
+  const workload::Scenario s = random_instance(3, 5, 8, 30);
+  const MapResult r = ElpcMapper().min_delay(s.problem());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.mapping.node_of(0), s.source);
+  EXPECT_EQ(r.mapping.node_of(4), s.destination);
+}
+
+TEST(ElpcDelay, SourceEqualsDestinationUsesOneComputer) {
+  // The paper's q = 1 degenerate case: "the path reduces to a single
+  // computer when q = 1" — legal for the delay problem.
+  workload::Scenario s = random_instance(4, 4, 6, 20);
+  s.destination = s.source;
+  const MapResult r = ElpcMapper().min_delay(s.problem());
+  ASSERT_TRUE(r.feasible);
+  // All-on-source is feasible; the optimum can still hop out and back,
+  // but must start and end at the source.
+  EXPECT_EQ(r.mapping.node_of(0), s.source);
+  EXPECT_EQ(r.mapping.node_of(3), s.source);
+}
+
+TEST(ElpcDelay, UnreachableDestinationInfeasible) {
+  workload::Scenario s;
+  util::Rng rng(5);
+  s.pipeline = pipeline::random_pipeline(rng, 3, {});
+  s.network.add_node({});
+  s.network.add_node({});
+  s.network.add_node({});
+  s.network.add_link(0, 1, {100.0, 0.0});  // node 2 unreachable
+  s.source = 0;
+  s.destination = 2;
+  const MapResult r = ElpcMapper().min_delay(s.problem());
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(ElpcDelay, PipelineShorterThanShortestPathInfeasible) {
+  // 0 -> 1 -> 2 line, but only 2 modules: module 1 must sit on node 2
+  // one hop from module 0 on node 0 — impossible.
+  workload::Scenario s;
+  s.pipeline = pipeline::Pipeline({{"src", 0.0, 1.0}, {"sink", 0.1, 1.0}});
+  s.network.add_node({});
+  s.network.add_node({});
+  s.network.add_node({});
+  s.network.add_link(0, 1, {100.0, 0.0});
+  s.network.add_link(1, 2, {100.0, 0.0});
+  s.source = 0;
+  s.destination = 2;
+  EXPECT_FALSE(ElpcMapper().min_delay(s.problem()).feasible);
+}
+
+TEST(ElpcDelay, PrefersGroupingOnFastNode) {
+  // Two heavy modules and a fast well-connected middle node: the optimal
+  // mapping groups both on the fast node (the Fig. 3 behaviour).
+  const workload::Scenario s = workload::small_case();
+  const MapResult r = ElpcMapper().min_delay(s.problem());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.mapping.to_string(),
+            "M0,M1 -> node0 | M2,M3 -> node4 | M4 -> node5");
+}
+
+TEST(ElpcDelay, MatchesExhaustiveOnRandomInstances) {
+  // Empirical check of the paper's optimality proof (Section 3.1.1).
+  for (std::uint64_t seed = 10; seed < 40; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t nodes = 4 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    const std::size_t modules =
+        3 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const std::size_t max_links = nodes * (nodes - 1);
+    const std::size_t links =
+        std::max(nodes, static_cast<std::size_t>(0.6 * max_links));
+    const workload::Scenario s =
+        random_instance(seed * 7, modules, nodes, links);
+    const Problem p = s.problem();
+    const MapResult dp = ElpcMapper().min_delay(p);
+    const MapResult exact = ExhaustiveMapper().min_delay(p);
+    ASSERT_EQ(dp.feasible, exact.feasible) << "seed " << seed;
+    if (dp.feasible) {
+      EXPECT_NEAR(dp.seconds, exact.seconds, 1e-9 * exact.seconds)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ElpcDelay, MldOptionChangesObjectiveConsistently) {
+  const workload::Scenario s = random_instance(6, 6, 10, 60);
+  const MapResult with =
+      ElpcMapper().min_delay(s.problem({.include_link_delay = true}));
+  const MapResult without =
+      ElpcMapper().min_delay(s.problem({.include_link_delay = false}));
+  ASSERT_TRUE(with.feasible);
+  ASSERT_TRUE(without.feasible);
+  // MLD only adds cost, and the without-MLD optimum lower-bounds the
+  // with-MLD optimum.
+  EXPECT_LE(without.seconds, with.seconds);
+}
+
+TEST(ElpcDelay, MoreBandwidthNeverHurts) {
+  // Monotonicity property: scaling every link's bandwidth up by 2x can
+  // only lower (or keep) the optimal delay.
+  const workload::Scenario s = random_instance(7, 6, 9, 45);
+  graph::Network boosted;
+  for (graph::NodeId v = 0; v < s.network.node_count(); ++v) {
+    boosted.add_node(s.network.node(v));
+  }
+  for (graph::NodeId v = 0; v < s.network.node_count(); ++v) {
+    for (const graph::Edge& e : s.network.out_edges(v)) {
+      boosted.add_link(e.from, e.to,
+                       {e.attr.bandwidth_mbps * 2.0, e.attr.min_delay_s});
+    }
+  }
+  const MapResult base = ElpcMapper().min_delay(s.problem());
+  const MapResult fast = ElpcMapper().min_delay(
+      Problem(s.pipeline, boosted, s.source, s.destination));
+  ASSERT_TRUE(base.feasible);
+  ASSERT_TRUE(fast.feasible);
+  EXPECT_LE(fast.seconds, base.seconds + 1e-12);
+}
+
+TEST(ElpcDelay, LongPipelineOnTinyNetworkUsesReuse) {
+  // 10 modules on 3 nodes: node reuse is the only way.
+  const workload::Scenario s = random_instance(8, 10, 3, 6);
+  const MapResult r = ElpcMapper().min_delay(s.problem());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_FALSE(r.mapping.is_one_to_one());
+}
+
+class ElpcDelaySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ElpcDelaySweep, AlwaysFeasibleAndEvaluatorConsistent) {
+  const auto [modules, nodes] = GetParam();
+  const std::size_t links = std::max(
+      nodes, static_cast<std::size_t>(0.5 * nodes * (nodes - 1)));
+  const workload::Scenario s =
+      random_instance(modules * 100 + nodes, modules, nodes, links);
+  const Problem p = s.problem();
+  const MapResult r = ElpcMapper().min_delay(p);
+  // A mapping exists iff the destination is within modules-1 hops of the
+  // source (each module past the first affords at most one hop).
+  const auto hops = graph::hops_to_target(s.network, s.destination);
+  const bool reachable = hops[s.source] <= modules - 1;
+  ASSERT_EQ(r.feasible, reachable);
+  if (!reachable) {
+    return;
+  }
+  const mapping::Evaluation e = mapping::evaluate_total_delay(p, r.mapping);
+  ASSERT_TRUE(e.feasible);
+  EXPECT_NEAR(e.seconds, r.seconds, 1e-12 + 1e-9 * e.seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ElpcDelaySweep,
+    ::testing::Combine(::testing::Values(2, 5, 12, 30),
+                       ::testing::Values(5, 12, 40)));
+
+}  // namespace
+}  // namespace elpc::core

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "core/elpc.hpp"
+#include "core/exhaustive.hpp"
+#include "graph/generators.hpp"
+#include "mapping/evaluator.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+#include "workload/small_case.hpp"
+
+namespace elpc::core {
+namespace {
+
+using mapping::MapResult;
+using mapping::Problem;
+
+workload::Scenario random_instance(std::uint64_t seed, std::size_t modules,
+                                   std::size_t nodes, std::size_t links) {
+  util::Rng rng(seed);
+  workload::Scenario s;
+  s.name = "t" + std::to_string(seed);
+  s.pipeline = pipeline::random_pipeline(rng, modules, {});
+  s.network = graph::random_connected_network(rng, nodes, links, {});
+  s.source = 0;
+  s.destination = nodes - 1;
+  return s;
+}
+
+pipeline::CostOptions no_mld() { return {.include_link_delay = false}; }
+
+TEST(ElpcFrameRate, ResultIsOneToOneSimplePath) {
+  const workload::Scenario s = random_instance(1, 5, 9, 45);
+  const MapResult r = ElpcMapper().max_frame_rate(s.problem(no_mld()));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.mapping.is_one_to_one());
+  EXPECT_TRUE(r.mapping.group_path().is_simple());
+  EXPECT_EQ(r.mapping.group_path().length(), 5u);
+}
+
+TEST(ElpcFrameRate, ResultPassesStrictEvaluator) {
+  const workload::Scenario s = random_instance(2, 6, 10, 60);
+  const Problem p = s.problem(no_mld());
+  const MapResult r = ElpcMapper().max_frame_rate(p);
+  ASSERT_TRUE(r.feasible);
+  const mapping::Evaluation e =
+      mapping::evaluate_bottleneck(p, r.mapping, /*enforce_no_reuse=*/true);
+  ASSERT_TRUE(e.feasible);
+  EXPECT_NEAR(e.seconds, r.seconds, 1e-12 + 1e-9 * e.seconds);
+}
+
+TEST(ElpcFrameRate, PipelineLongerThanNodesInfeasible) {
+  const workload::Scenario s = random_instance(3, 8, 5, 15);
+  const MapResult r = ElpcMapper().max_frame_rate(s.problem(no_mld()));
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.reason.find("longer"), std::string::npos);
+}
+
+TEST(ElpcFrameRate, SourceEqualsDestinationInfeasible) {
+  workload::Scenario s = random_instance(4, 4, 8, 40);
+  s.destination = s.source;
+  EXPECT_FALSE(ElpcMapper().max_frame_rate(s.problem(no_mld())).feasible);
+}
+
+TEST(ElpcFrameRate, NeverBeatsExactOptimum) {
+  // Sanity: the heuristic's bottleneck can never be smaller than the
+  // exhaustive optimum (which would indicate an evaluator bug).
+  for (std::uint64_t seed = 20; seed < 45; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t nodes =
+        5 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const std::size_t modules =
+        3 + static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(std::min<std::size_t>(
+                       3, nodes - 3))));
+    const std::size_t links =
+        static_cast<std::size_t>(0.7 * nodes * (nodes - 1));
+    const workload::Scenario s =
+        random_instance(seed * 13, modules, nodes, std::max(nodes, links));
+    const Problem p = s.problem(no_mld());
+    const MapResult heur = ElpcMapper().max_frame_rate(p);
+    const MapResult exact = ExhaustiveMapper().max_frame_rate(p);
+    if (exact.feasible && heur.feasible) {
+      EXPECT_GE(heur.seconds, exact.seconds * (1.0 - 1e-9))
+          << "seed " << seed;
+    }
+    if (heur.feasible) {
+      EXPECT_TRUE(exact.feasible)
+          << "heuristic found a path exhaustive search missed";
+    }
+  }
+}
+
+TEST(ElpcFrameRate, FindsExactOptimumOnMostSmallInstances) {
+  // The paper claims heuristic misses are "extremely rare".
+  std::size_t matched = 0;
+  std::size_t comparable = 0;
+  for (std::uint64_t seed = 100; seed < 160; ++seed) {
+    const workload::Scenario s = random_instance(seed, 4, 7, 29);
+    const Problem p = s.problem(no_mld());
+    const MapResult heur = ElpcMapper().max_frame_rate(p);
+    const MapResult exact = ExhaustiveMapper().max_frame_rate(p);
+    if (exact.feasible && heur.feasible) {
+      ++comparable;
+      if (heur.seconds <= exact.seconds * (1.0 + 1e-9)) {
+        ++matched;
+      }
+    }
+  }
+  ASSERT_GT(comparable, 40u);
+  EXPECT_GE(static_cast<double>(matched) / static_cast<double>(comparable),
+            0.9);
+}
+
+TEST(ElpcFrameRate, SmallCaseMatchesExactOptimum) {
+  const workload::Scenario s = workload::small_case();
+  const Problem p = s.problem(no_mld());
+  const MapResult heur = ElpcMapper().max_frame_rate(p);
+  const MapResult exact = ExhaustiveMapper().max_frame_rate(p);
+  ASSERT_TRUE(heur.feasible);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_NEAR(heur.seconds, exact.seconds, 1e-12);
+}
+
+TEST(ElpcFrameRate, IntermediateModulesAvoidDestination) {
+  // Regression test for the dead-end bug: partial paths that consume the
+  // destination mid-way can never host the pinned sink module.
+  for (std::uint64_t seed = 300; seed < 320; ++seed) {
+    const workload::Scenario s = random_instance(seed, 5, 8, 40);
+    const MapResult r = ElpcMapper().max_frame_rate(s.problem(no_mld()));
+    if (!r.feasible) {
+      continue;
+    }
+    for (std::size_t j = 1; j + 1 < 5; ++j) {
+      EXPECT_NE(r.mapping.node_of(j), s.destination);
+    }
+  }
+}
+
+TEST(ElpcFrameRate, BeamWidthOneReproducesBareHeuristic) {
+  ElpcOptions bare;
+  bare.framerate_beam_width = 1;
+  bare.framerate_sum_tiebreak = false;
+  bare.framerate_local_search = false;
+  const ElpcMapper plain(bare);
+  const ElpcMapper full;
+  std::size_t improved = 0;
+  for (std::uint64_t seed = 400; seed < 430; ++seed) {
+    const workload::Scenario s = random_instance(seed, 6, 12, 90);
+    const Problem p = s.problem(no_mld());
+    const MapResult a = plain.max_frame_rate(p);
+    const MapResult b = full.max_frame_rate(p);
+    if (a.feasible && b.feasible) {
+      // The refined configuration never does worse.
+      EXPECT_LE(b.seconds, a.seconds * (1.0 + 1e-9)) << "seed " << seed;
+      if (b.seconds < a.seconds * (1.0 - 1e-9)) {
+        ++improved;
+      }
+    }
+    if (a.feasible) {
+      EXPECT_TRUE(b.feasible) << "refinements must not lose feasibility";
+    }
+  }
+  // The refinements exist because they help on some instances.
+  EXPECT_GT(improved, 0u);
+}
+
+TEST(ElpcFrameRate, DisablingVisitedCheckCanProduceInvalidPaths) {
+  // Ablation A3: without the visited check, the DP may propose
+  // node-repeating paths that the strict evaluator rejects.
+  ElpcOptions options;
+  options.framerate_visited_check = false;
+  options.framerate_local_search = false;
+  const ElpcMapper unchecked(options);
+  std::size_t invalid = 0;
+  for (std::uint64_t seed = 500; seed < 540; ++seed) {
+    const workload::Scenario s = random_instance(seed, 6, 8, 42);
+    const Problem p = s.problem(no_mld());
+    const MapResult r = unchecked.max_frame_rate(p);
+    if (r.feasible && !r.mapping.is_one_to_one()) {
+      ++invalid;
+    }
+  }
+  EXPECT_GT(invalid, 0u)
+      << "with the check disabled some instance should exhibit reuse";
+}
+
+TEST(ElpcFrameRate, DenseNetworkNearCapacityFeasible) {
+  // n modules on exactly n nodes: a Hamiltonian-path-like instance; on a
+  // complete digraph it is always feasible.
+  util::Rng rng(77);
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, 7, {});
+  s.network = graph::complete_network(rng, 7, {});
+  s.source = 0;
+  s.destination = 6;
+  const MapResult r = ElpcMapper().max_frame_rate(s.problem(no_mld()));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.mapping.is_one_to_one());
+}
+
+}  // namespace
+}  // namespace elpc::core

@@ -1,0 +1,121 @@
+#include "core/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mapping/evaluator.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace elpc::core {
+namespace {
+
+using mapping::MapResult;
+
+workload::Scenario tiny_line() {
+  // 0 -> 1 -> 2 with distinctive costs so the optimum is hand-checkable.
+  workload::Scenario s;
+  s.pipeline = pipeline::Pipeline(
+      {{"src", 0.0, 10.0}, {"mid", 0.4, 6.0}, {"sink", 0.5, 1.0}});
+  s.network.add_node({"n0", 2.0});
+  s.network.add_node({"n1", 4.0});
+  s.network.add_node({"n2", 5.0});
+  s.network.add_link(0, 1, {100.0, 0.010});
+  s.network.add_link(1, 2, {200.0, 0.005});
+  s.source = 0;
+  s.destination = 2;
+  return s;
+}
+
+TEST(Exhaustive, DelayOnLineGraphIsHandValue) {
+  const workload::Scenario s = tiny_line();
+  const MapResult r = ExhaustiveMapper().min_delay(s.problem());
+  ASSERT_TRUE(r.feasible);
+  // Candidate mappings: (0,1,2) or (0,1,1)->no, sink must be on 2;
+  // (0,0,?) impossible (no 0->2 link); so compare (0,1,2) only... plus
+  // grouping mid on destination is impossible without link 0->2.
+  EXPECT_NEAR(r.seconds, 0.110 + 1.000 + 0.035 + 0.600, 1e-12);
+  EXPECT_EQ(r.mapping.assignment(), (std::vector<graph::NodeId>{0, 1, 2}));
+}
+
+TEST(Exhaustive, FrameRateOnLineGraphIsHandValue) {
+  const workload::Scenario s = tiny_line();
+  const MapResult r = ExhaustiveMapper().max_frame_rate(
+      s.problem({.include_link_delay = false}));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.seconds, 1.0);  // mid on n1 dominates
+}
+
+TEST(Exhaustive, RespectsNodeLimit) {
+  util::Rng rng(3);
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, 4, {});
+  s.network = graph::complete_network(rng, 14, {});
+  s.source = 0;
+  s.destination = 13;
+  const ExhaustiveMapper limited(ExhaustiveLimits{.max_nodes = 12});
+  const MapResult r = limited.min_delay(s.problem());
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.reason.find("limit"), std::string::npos);
+}
+
+TEST(Exhaustive, RespectsModuleLimit) {
+  util::Rng rng(4);
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, 12, {});
+  s.network = graph::complete_network(rng, 5, {});
+  s.source = 0;
+  s.destination = 4;
+  const ExhaustiveMapper limited(
+      ExhaustiveLimits{.max_nodes = 12, .max_modules = 10});
+  EXPECT_FALSE(limited.min_delay(s.problem()).feasible);
+}
+
+TEST(Exhaustive, FrameRateInfeasibleWithoutLongEnoughPath) {
+  // Star topology: no simple 3-node path from one leaf to another
+  // exists... actually leaf -> hub -> leaf works; use 4 modules instead.
+  workload::Scenario s;
+  util::Rng rng(5);
+  s.pipeline = pipeline::random_pipeline(rng, 4, {});
+  s.network.add_node({});  // hub
+  s.network.add_node({});
+  s.network.add_node({});
+  s.network.add_duplex_link(0, 1, {100.0, 0.0});
+  s.network.add_duplex_link(0, 2, {100.0, 0.0});
+  s.source = 1;
+  s.destination = 2;
+  // 4 modules need 4 distinct nodes; only 3 exist.
+  EXPECT_FALSE(ExhaustiveMapper().max_frame_rate(s.problem()).feasible);
+}
+
+TEST(Exhaustive, DelayPruningDoesNotCutOptimum) {
+  // Compare branch-and-bound result against a no-pruning reference
+  // (the evaluator applied to every mapping the searcher can emit is
+  // implicitly covered by the ELPC-vs-exhaustive property test; here we
+  // at least confirm determinism).
+  util::Rng rng(6);
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, 5, {});
+  s.network = graph::random_connected_network(rng, 7, 30, {});
+  s.source = 0;
+  s.destination = 6;
+  const MapResult a = ExhaustiveMapper().min_delay(s.problem());
+  const MapResult b = ExhaustiveMapper().min_delay(s.problem());
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.mapping, b.mapping);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(NodeLimitDefaultsAreUsable, SmallInstanceRuns) {
+  util::Rng rng(7);
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, 6, {});
+  s.network = graph::random_connected_network(rng, 9, 50, {});
+  s.source = 0;
+  s.destination = 8;
+  EXPECT_TRUE(ExhaustiveMapper().min_delay(s.problem()).feasible);
+}
+
+}  // namespace
+}  // namespace elpc::core

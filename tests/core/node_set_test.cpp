@@ -1,0 +1,67 @@
+#include "core/node_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::core {
+namespace {
+
+TEST(NodeSet, StartsEmpty) {
+  NodeSet s(100);
+  EXPECT_EQ(s.capacity(), 100u);
+  EXPECT_EQ(s.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(s.contains(i));
+  }
+}
+
+TEST(NodeSet, InsertAndContains) {
+  NodeSet s(70);
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);  // crosses the word boundary
+  s.insert(69);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(69));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.contains(65));
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(NodeSet, InsertIsIdempotent) {
+  NodeSet s(10);
+  s.insert(3);
+  s.insert(3);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(NodeSet, CopiesAreIndependent) {
+  NodeSet a(10);
+  a.insert(1);
+  NodeSet b = a;
+  b.insert(2);
+  EXPECT_TRUE(b.contains(1));
+  EXPECT_TRUE(b.contains(2));
+  EXPECT_FALSE(a.contains(2));
+}
+
+TEST(NodeSet, Equality) {
+  NodeSet a(10);
+  NodeSet b(10);
+  EXPECT_TRUE(a == b);
+  a.insert(5);
+  EXPECT_FALSE(a == b);
+  b.insert(5);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(NodeSet, ExactWordBoundaryCapacity) {
+  NodeSet s(64);
+  s.insert(63);
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_EQ(s.count(), 1u);
+}
+
+}  // namespace
+}  // namespace elpc::core

@@ -1,0 +1,137 @@
+#include "experiments/cli_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/file_io.hpp"
+
+namespace elpc::experiments {
+namespace {
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun result;
+  result.code = run_cli(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+/// Temp file that cleans up after itself.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Cli, NoArgumentsPrintsUsage) {
+  const CliRun r = run({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliRun r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, AlgorithmsListsRegistry) {
+  const CliRun r = run({"algorithms"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("ELPC"), std::string::npos);
+  EXPECT_NE(r.out.find("Streamline"), std::string::npos);
+  EXPECT_NE(r.out.find("Greedy"), std::string::npos);
+}
+
+TEST(Cli, GenerateToStdout) {
+  const CliRun r = run({"generate", "--case", "1"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("\"pipeline\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"network\""), std::string::npos);
+}
+
+TEST(Cli, GenerateCaseOutOfRangeFails) {
+  const CliRun r = run({"generate", "--case", "21"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--case"), std::string::npos);
+}
+
+TEST(Cli, GenerateMapSimulateRoundTrip) {
+  TempFile file("cli_scenario.json");
+  const CliRun gen = run({"generate", "--modules", "5", "--nodes", "8",
+                          "--links", "44", "--seed", "3", "--out",
+                          file.path()});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+
+  const CliRun mapped =
+      run({"map", "--in", file.path(), "--algorithm", "ELPC"});
+  ASSERT_EQ(mapped.code, 0) << mapped.err;
+  EXPECT_NE(mapped.out.find("delay"), std::string::npos);
+  EXPECT_NE(mapped.out.find("mapping"), std::string::npos);
+
+  const CliRun streamed = run({"simulate", "--in", file.path(), "--frames",
+                               "50"});
+  ASSERT_EQ(streamed.code, 0) << streamed.err;
+  EXPECT_NE(streamed.out.find("simulated rate"), std::string::npos);
+}
+
+TEST(Cli, MapDefaultsToSmallCaseAndPaperPath) {
+  const CliRun r = run({"map", "--objective", "framerate"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("frames/s"), std::string::npos);
+  EXPECT_NE(r.out.find("path"), std::string::npos);
+}
+
+TEST(Cli, MapRejectsBadObjective) {
+  const CliRun r = run({"map", "--objective", "banana"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("objective"), std::string::npos);
+}
+
+TEST(Cli, MapRejectsUnknownAlgorithm) {
+  const CliRun r = run({"map", "--algorithm", "nope"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST(Cli, MapMissingFileReportsFailure) {
+  const CliRun r = run({"map", "--in", "/nonexistent/x.json"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("failure"), std::string::npos);
+}
+
+TEST(Cli, SimulateDefaultsRun) {
+  const CliRun r = run({"simulate", "--frames", "20"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("events executed"), std::string::npos);
+}
+
+TEST(FileIo, RoundTrip) {
+  TempFile file("file_io.txt");
+  util::write_text_file(file.path(), "hello\nworld");
+  EXPECT_EQ(util::read_text_file(file.path()), "hello\nworld");
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW((void)util::read_text_file("/nonexistent/nope"),
+               std::runtime_error);
+  EXPECT_THROW(util::write_text_file("/nonexistent/dir/nope", "x"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace elpc::experiments

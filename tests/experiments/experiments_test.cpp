@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "experiments/optimality.hpp"
+#include "experiments/plot.hpp"
+#include "experiments/registry.hpp"
+#include "experiments/report.hpp"
+#include "experiments/runner.hpp"
+#include "experiments/scaling.hpp"
+#include "workload/small_case.hpp"
+
+namespace elpc::experiments {
+namespace {
+
+TEST(Registry, KnowsAllAlgorithms) {
+  for (const std::string& name : registered_names()) {
+    const mapping::MapperPtr mapper = make_mapper(name);
+    ASSERT_NE(mapper, nullptr);
+    EXPECT_EQ(mapper->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrowsListingKnownOnes) {
+  try {
+    (void)make_mapper("nope");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ELPC"), std::string::npos);
+  }
+}
+
+TEST(Registry, PaperMappersInPaperOrder) {
+  const auto mappers = paper_mappers();
+  ASSERT_EQ(mappers.size(), 3u);
+  EXPECT_EQ(mappers[0]->name(), "ELPC");
+  EXPECT_EQ(mappers[1]->name(), "Streamline");
+  EXPECT_EQ(mappers[2]->name(), "Greedy");
+}
+
+TEST(Runner, RunCaseCoversBothObjectives) {
+  const workload::Scenario s = workload::small_case();
+  const CaseOutcome outcome = run_case(s, paper_mappers());
+  EXPECT_EQ(outcome.case_name, s.name);
+  EXPECT_EQ(outcome.modules, 5u);
+  EXPECT_EQ(outcome.nodes, 6u);
+  ASSERT_EQ(outcome.algos.size(), 3u);
+  const AlgoOutcome& elpc = outcome.of("ELPC");
+  EXPECT_TRUE(elpc.delay.feasible);
+  EXPECT_TRUE(elpc.framerate.feasible);
+  EXPECT_GT(elpc.delay_ms(), 0.0);
+  EXPECT_GT(elpc.fps(), 0.0);
+  EXPECT_GE(elpc.delay_runtime_ms, 0.0);
+}
+
+TEST(Runner, OfThrowsForUnknownAlgorithm) {
+  const workload::Scenario s = workload::small_case();
+  const CaseOutcome outcome = run_case(s, paper_mappers());
+  EXPECT_THROW((void)outcome.of("nope"), std::out_of_range);
+}
+
+TEST(Runner, SuiteRunsInOrderAcrossThreads) {
+  // First three cases only, to keep the test quick.
+  auto specs = workload::default_suite();
+  specs.resize(3);
+  util::ThreadPool pool(2);
+  const auto outcomes =
+      run_suite(specs, workload::SuiteConfig{}, RunnerOptions{}, pool);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].case_name, "case1");
+  EXPECT_EQ(outcomes[2].case_name, "case3");
+}
+
+std::vector<CaseOutcome> small_outcomes() {
+  auto specs = workload::default_suite();
+  specs.resize(4);
+  util::ThreadPool pool(2);
+  return run_suite(specs, workload::SuiteConfig{}, RunnerOptions{}, pool);
+}
+
+TEST(Report, Fig2TableHasOneRowPerCase) {
+  const auto outcomes = small_outcomes();
+  const util::TextTable table = fig2_table(outcomes);
+  EXPECT_EQ(table.row_count(), outcomes.size());
+  const std::string text = table.render();
+  EXPECT_NE(text.find("case1"), std::string::npos);
+  EXPECT_NE(text.find("delay:ELPC"), std::string::npos);
+}
+
+TEST(Report, ChartsRenderWithLegend) {
+  const auto outcomes = small_outcomes();
+  const std::string fig5 = fig5_chart(outcomes);
+  EXPECT_NE(fig5.find("E = ELPC"), std::string::npos);
+  EXPECT_NE(fig5.find("delay"), std::string::npos);
+  const std::string fig6 = fig6_chart(outcomes);
+  EXPECT_NE(fig6.find("frame rate"), std::string::npos);
+}
+
+TEST(Report, RuntimeTableCoversAlgorithms) {
+  const auto outcomes = small_outcomes();
+  const std::string text = runtime_table(outcomes).render();
+  EXPECT_NE(text.find("t(ELPC) ms"), std::string::npos);
+}
+
+TEST(Report, JsonExportRoundTripsThroughParser) {
+  const auto outcomes = small_outcomes();
+  const util::Json doc = outcomes_to_json(outcomes);
+  const util::Json parsed = util::Json::parse(doc.dump());
+  ASSERT_TRUE(parsed.contains("cases"));
+  EXPECT_EQ(parsed.at("cases").as_array().size(), outcomes.size());
+  const util::Json& first = parsed.at("cases").as_array().front();
+  EXPECT_EQ(first.at("case").as_string(), "case1");
+  EXPECT_EQ(first.at("algorithms").as_array().size(), 3u);
+}
+
+TEST(Report, ShapeChecksProduceVerdicts) {
+  const auto outcomes = small_outcomes();
+  const auto checks = shape_checks(outcomes);
+  EXPECT_GE(checks.size(), 3u);
+  for (const ShapeCheck& check : checks) {
+    EXPECT_FALSE(check.description.empty());
+  }
+}
+
+TEST(Plot, RendersSeriesMarkers) {
+  Series s1{"alpha", 'A', {1.0, 2.0, 3.0}};
+  Series s2{"beta", 'B', {3.0, 2.0, 1.0}};
+  const std::string chart = render_chart({s1, s2}, ChartConfig{.y_label = "y"});
+  EXPECT_NE(chart.find('A'), std::string::npos);
+  EXPECT_NE(chart.find('B'), std::string::npos);
+  EXPECT_NE(chart.find("A = alpha"), std::string::npos);
+}
+
+TEST(Plot, RejectsEmptyAndMismatchedSeries) {
+  EXPECT_THROW((void)render_chart({}, ChartConfig{}), std::invalid_argument);
+  Series a{"a", 'a', {1.0, 2.0}};
+  Series b{"b", 'b', {1.0}};
+  EXPECT_THROW((void)render_chart({a, b}, ChartConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Plot, HandlesNanGaps) {
+  Series s{"s", 's', {1.0, std::nan(""), 2.0}};
+  EXPECT_NO_THROW((void)render_chart({s}, ChartConfig{}));
+}
+
+TEST(Optimality, TinyStudyRunsCleanly) {
+  GapStudyConfig config;
+  config.instances = 25;
+  config.max_nodes = 7;
+  config.max_modules = 5;
+  const GapStudyResult r = run_gap_study(config);
+  EXPECT_EQ(r.instances, 25u);
+  EXPECT_EQ(r.delay_matches, r.delay_both_feasible)
+      << "the delay DP must always match the exhaustive optimum";
+  EXPECT_LT(r.delay_max_rel_gap, 1e-9);
+  EXPECT_GE(r.framerate_match_fraction(), 0.85);
+}
+
+TEST(Optimality, ConfigValidation) {
+  GapStudyConfig bad;
+  bad.density = 0.0;
+  EXPECT_THROW((void)run_gap_study(bad), std::invalid_argument);
+  bad = GapStudyConfig{};
+  bad.min_modules = 5;
+  bad.max_modules = 3;
+  EXPECT_THROW((void)run_gap_study(bad), std::invalid_argument);
+}
+
+TEST(Scaling, StudyProducesOnePointPerSize) {
+  ScalingConfig config;
+  config.sizes = {{4, 8}, {6, 15}};
+  config.repeats = 1;
+  const auto points = run_scaling_study(config);
+  ASSERT_EQ(points.size(), 2u);
+  for (const ScalingPoint& p : points) {
+    EXPECT_EQ(p.runtime_ms.size(), scaling_algorithm_names().size());
+    for (double ms : p.runtime_ms) {
+      EXPECT_GE(ms, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elpc::experiments

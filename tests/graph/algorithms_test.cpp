@@ -1,0 +1,211 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::graph {
+namespace {
+
+const EdgeWeight kBandwidthWeight = [](const Edge& e) {
+  return e.attr.bandwidth_mbps;
+};
+const EdgeWeight kUnitWeight = [](const Edge&) { return 1.0; };
+
+/// Diamond: 0 -> {1, 2} -> 3, plus a slow direct 0 -> 3.
+Network diamond() {
+  Network net;
+  for (int i = 0; i < 4; ++i) {
+    net.add_node({});
+  }
+  net.add_link(0, 1, {500.0, 0.0});
+  net.add_link(1, 3, {400.0, 0.0});
+  net.add_link(0, 2, {300.0, 0.0});
+  net.add_link(2, 3, {600.0, 0.0});
+  net.add_link(0, 3, {100.0, 0.0});
+  return net;
+}
+
+TEST(Reachability, ForwardBfs) {
+  Network net;
+  for (int i = 0; i < 3; ++i) {
+    net.add_node({});
+  }
+  net.add_link(0, 1, {100.0, 0.0});
+  const auto seen = reachable_from(net, 0);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_FALSE(seen[2]);
+}
+
+TEST(Reachability, HopsToTarget) {
+  const Network net = diamond();
+  const auto hops = hops_to_target(net, 3);
+  EXPECT_EQ(hops[3], 0u);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], 1u);
+  EXPECT_EQ(hops[0], 1u);  // direct link 0 -> 3
+}
+
+TEST(Reachability, HopsToUnreachableIsMax) {
+  Network net;
+  net.add_node({});
+  net.add_node({});
+  net.add_link(0, 1, {100.0, 0.0});
+  const auto hops = hops_to_target(net, 0);
+  EXPECT_EQ(hops[1], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Reachability, StrongConnectivity) {
+  Network net;
+  for (int i = 0; i < 3; ++i) {
+    net.add_node({});
+  }
+  net.add_link(0, 1, {100.0, 0.0});
+  net.add_link(1, 2, {100.0, 0.0});
+  EXPECT_FALSE(is_strongly_connected(net));
+  net.add_link(2, 0, {100.0, 0.0});
+  EXPECT_TRUE(is_strongly_connected(net));
+}
+
+TEST(ShortestPath, PicksMinimumTotalWeight) {
+  const Network net = diamond();
+  // Weight = 1/bandwidth: the widest series of links wins.
+  const auto result = shortest_path(
+      net, 0, 3, [](const Edge& e) { return 1.0 / e.attr.bandwidth_mbps; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->cost, 1.0 / 500 + 1.0 / 400, 1e-12);
+  EXPECT_EQ(result->path, Path({0, 1, 3}));
+}
+
+TEST(ShortestPath, UnitWeightsCountHops) {
+  const Network net = diamond();
+  const auto result = shortest_path(net, 0, 3, kUnitWeight);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->cost, 1.0);  // direct 0 -> 3
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Network net;
+  net.add_node({});
+  net.add_node({});
+  EXPECT_FALSE(shortest_path(net, 0, 1, kUnitWeight).has_value());
+}
+
+TEST(ShortestPath, NegativeWeightThrows) {
+  const Network net = diamond();
+  EXPECT_THROW(
+      (void)shortest_path(net, 0, 3, [](const Edge&) { return -1.0; }),
+      std::invalid_argument);
+}
+
+TEST(WidestPath, MaximizesBottleneck) {
+  const Network net = diamond();
+  const auto result = widest_path(net, 0, 3, kBandwidthWeight);
+  ASSERT_TRUE(result.has_value());
+  // 0->1->3 width 400; 0->2->3 width 300; 0->3 width 100.
+  EXPECT_DOUBLE_EQ(result->width, 400.0);
+  EXPECT_EQ(result->path, Path({0, 1, 3}));
+}
+
+TEST(WidestPath, SourceEqualsTarget) {
+  const Network net = diamond();
+  const auto result = widest_path(net, 0, 0, kBandwidthWeight);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->path.length(), 1u);
+}
+
+TEST(ExactHop, ShortestWithExactHops) {
+  const Network net = diamond();
+  // Exactly 2 hops: must use a middle node even though 0->3 is 1 hop.
+  const auto result = exact_hop_shortest_path(net, 0, 3, 2, kUnitWeight);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->cost, 2.0);
+  EXPECT_EQ(result->path.length(), 3u);
+}
+
+TEST(ExactHop, InfeasibleHopCountReturnsNullopt) {
+  const Network net = diamond();
+  EXPECT_FALSE(exact_hop_shortest_path(net, 0, 3, 3, kUnitWeight).has_value());
+  // More hops than a simple path can have:
+  EXPECT_FALSE(exact_hop_shortest_path(net, 0, 3, 5, kUnitWeight).has_value());
+}
+
+TEST(ExactHop, WidestWithExactHops) {
+  const Network net = diamond();
+  const auto result = exact_hop_widest_path(net, 0, 3, 2, kBandwidthWeight);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->width, 400.0);
+  const auto one_hop = exact_hop_widest_path(net, 0, 3, 1, kBandwidthWeight);
+  ASSERT_TRUE(one_hop.has_value());
+  EXPECT_DOUBLE_EQ(one_hop->width, 100.0);
+}
+
+TEST(ExactHop, RefusesLargeNetworks) {
+  util::Rng rng(1);
+  const Network net = complete_network(rng, 25, AttributeRanges{});
+  EXPECT_THROW(
+      (void)exact_hop_shortest_path(net, 0, 1, 3, kUnitWeight, /*max=*/20),
+      std::invalid_argument);
+}
+
+TEST(ExactHop, AgreesWithDijkstraWhenHopCountMatches) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    util::Rng sub = rng.split(trial);
+    const Network net = random_connected_network(sub, 7, 25, {});
+    const auto dij = shortest_path(net, 0, 6, kUnitWeight);
+    ASSERT_TRUE(dij.has_value());
+    const auto hops = static_cast<std::size_t>(dij->cost);
+    const auto exact = exact_hop_shortest_path(net, 0, 6, hops, kUnitWeight);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_DOUBLE_EQ(exact->cost, dij->cost);
+  }
+}
+
+TEST(SimplePaths, EnumeratesAllOfKnownGraph) {
+  const Network net = diamond();
+  EXPECT_EQ(count_simple_paths(net, 0, 3, 3), 2u);  // via 1 or via 2
+  EXPECT_EQ(count_simple_paths(net, 0, 3, 2), 1u);  // direct
+  EXPECT_EQ(count_simple_paths(net, 0, 3, 4), 0u);
+}
+
+TEST(SimplePaths, SingleNodePath) {
+  const Network net = diamond();
+  EXPECT_EQ(count_simple_paths(net, 2, 2, 1), 1u);
+  EXPECT_EQ(count_simple_paths(net, 0, 2, 1), 0u);
+}
+
+TEST(SimplePaths, VisitorCanAbort) {
+  const Network net = diamond();
+  std::size_t visits = 0;
+  for_each_simple_path(net, 0, 3, 3, [&](const Path&) {
+    ++visits;
+    return false;  // stop after the first
+  });
+  EXPECT_EQ(visits, 1u);
+}
+
+TEST(SimplePaths, AllEnumeratedPathsAreValidAndSimple) {
+  util::Rng rng(23);
+  const Network net = random_connected_network(rng, 6, 20, {});
+  for_each_simple_path(net, 0, 5, 4, [&](const Path& p) {
+    EXPECT_TRUE(p.is_simple());
+    EXPECT_TRUE(p.is_valid_walk(net));
+    EXPECT_EQ(p.length(), 4u);
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 5u);
+    return true;
+  });
+}
+
+TEST(SimplePaths, CompleteGraphCountMatchesFormula) {
+  util::Rng rng(29);
+  const Network net = complete_network(rng, 6, {});
+  // Paths 0 -> 5 with 4 nodes: choose and order 2 middles from {1,2,3,4}.
+  EXPECT_EQ(count_simple_paths(net, 0, 5, 4), 4u * 3u);
+}
+
+}  // namespace
+}  // namespace elpc::graph

@@ -1,0 +1,130 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace elpc::graph {
+namespace {
+
+TEST(AttributeRanges, ValidatesItself) {
+  AttributeRanges ok;
+  EXPECT_NO_THROW(ok.validate());
+  AttributeRanges bad = ok;
+  bad.min_power = -1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.max_bandwidth_mbps = bad.min_bandwidth_mbps - 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.min_link_delay_s = -0.001;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(RandomAttrs, DrawnWithinRanges) {
+  util::Rng rng(1);
+  AttributeRanges ranges;
+  for (int i = 0; i < 200; ++i) {
+    const NodeAttr n = random_node_attr(rng, ranges);
+    EXPECT_GE(n.processing_power, ranges.min_power);
+    EXPECT_LE(n.processing_power, ranges.max_power);
+    const LinkAttr l = random_link_attr(rng, ranges);
+    EXPECT_GE(l.bandwidth_mbps, ranges.min_bandwidth_mbps);
+    EXPECT_LE(l.bandwidth_mbps, ranges.max_bandwidth_mbps);
+    EXPECT_GE(l.min_delay_s, ranges.min_link_delay_s);
+    EXPECT_LE(l.min_delay_s, ranges.max_link_delay_s);
+  }
+}
+
+class RandomNetworkTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RandomNetworkTest, ExactSizesAndStrongConnectivity) {
+  const auto [nodes, links] = GetParam();
+  util::Rng rng(7 + nodes + links);
+  const Network net = random_connected_network(rng, nodes, links, {});
+  EXPECT_EQ(net.node_count(), nodes);
+  EXPECT_EQ(net.link_count(), links);
+  EXPECT_TRUE(is_strongly_connected(net));
+  EXPECT_NO_THROW(net.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSweep, RandomNetworkTest,
+    ::testing::Values(std::make_tuple(2, 2), std::make_tuple(5, 8),
+                      std::make_tuple(6, 30),    // complete
+                      std::make_tuple(10, 20),   // sparse
+                      std::make_tuple(10, 85),   // dense
+                      std::make_tuple(40, 500)));
+
+TEST(RandomNetwork, Deterministic) {
+  util::Rng a(55);
+  util::Rng b(55);
+  const Network n1 = random_connected_network(a, 8, 30, {});
+  const Network n2 = random_connected_network(b, 8, 30, {});
+  ASSERT_EQ(n1.link_count(), n2.link_count());
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_DOUBLE_EQ(n1.node(v).processing_power,
+                     n2.node(v).processing_power);
+    ASSERT_EQ(n1.out_edges(v).size(), n2.out_edges(v).size());
+    for (std::size_t e = 0; e < n1.out_edges(v).size(); ++e) {
+      EXPECT_EQ(n1.out_edges(v)[e].to, n2.out_edges(v)[e].to);
+      EXPECT_DOUBLE_EQ(n1.out_edges(v)[e].attr.bandwidth_mbps,
+                       n2.out_edges(v)[e].attr.bandwidth_mbps);
+    }
+  }
+}
+
+TEST(RandomNetwork, RejectsBadSizes) {
+  util::Rng rng(1);
+  EXPECT_THROW((void)random_connected_network(rng, 1, 1, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)random_connected_network(rng, 5, 4, {}),
+               std::invalid_argument);  // fewer links than the cycle needs
+  EXPECT_THROW((void)random_connected_network(rng, 5, 21, {}),
+               std::invalid_argument);  // more than n*(n-1)
+}
+
+TEST(CompleteNetwork, HasAllOrderedPairs) {
+  util::Rng rng(2);
+  const Network net = complete_network(rng, 5, {});
+  EXPECT_EQ(net.link_count(), 20u);
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId b = 0; b < 5; ++b) {
+      EXPECT_EQ(net.has_link(a, b), a != b);
+    }
+  }
+}
+
+TEST(CompleteNetwork, RejectsTooFewNodes) {
+  util::Rng rng(2);
+  EXPECT_THROW((void)complete_network(rng, 1, {}), std::invalid_argument);
+}
+
+TEST(WaxmanNetwork, StronglyConnectedAndValid) {
+  util::Rng rng(3);
+  const Network net = waxman_network(rng, 20, 0.8, 0.5, {});
+  EXPECT_EQ(net.node_count(), 20u);
+  EXPECT_GE(net.link_count(), 20u);  // at least the seeded cycle
+  EXPECT_TRUE(is_strongly_connected(net));
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(WaxmanNetwork, HigherAlphaGivesMoreLinks) {
+  util::Rng a(4);
+  util::Rng b(4);
+  const Network sparse = waxman_network(a, 30, 0.2, 0.3, {});
+  const Network dense = waxman_network(b, 30, 1.0, 1.0, {});
+  EXPECT_GT(dense.link_count(), sparse.link_count());
+}
+
+TEST(WaxmanNetwork, RejectsBadParameters) {
+  util::Rng rng(5);
+  EXPECT_THROW((void)waxman_network(rng, 10, 0.0, 0.5, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)waxman_network(rng, 10, 0.5, 1.5, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace elpc::graph

@@ -1,0 +1,139 @@
+#include "graph/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::graph {
+namespace {
+
+Network two_nodes() {
+  Network net;
+  net.add_node({"a", 2.0});
+  net.add_node({"b", 3.0});
+  return net;
+}
+
+TEST(Network, AddNodeAssignsDenseIds) {
+  Network net;
+  EXPECT_EQ(net.add_node({"x", 1.0}), 0u);
+  EXPECT_EQ(net.add_node({"y", 1.0}), 1u);
+  EXPECT_EQ(net.node_count(), 2u);
+}
+
+TEST(Network, EmptyNameGetsDefault) {
+  Network net;
+  const NodeId id = net.add_node({"", 1.0});
+  EXPECT_EQ(net.node(id).name, "node0");
+}
+
+TEST(Network, NodeAttributesStored) {
+  Network net = two_nodes();
+  EXPECT_EQ(net.node(0).name, "a");
+  EXPECT_DOUBLE_EQ(net.node(1).processing_power, 3.0);
+}
+
+TEST(Network, RejectsNonPositivePower) {
+  Network net;
+  EXPECT_THROW(net.add_node({"bad", 0.0}), std::invalid_argument);
+  EXPECT_THROW(net.add_node({"bad", -1.0}), std::invalid_argument);
+}
+
+TEST(Network, NodeOutOfRangeThrows) {
+  Network net = two_nodes();
+  EXPECT_THROW((void)net.node(2), std::invalid_argument);
+}
+
+TEST(Network, AddLinkIsDirected) {
+  Network net = two_nodes();
+  net.add_link(0, 1, {100.0, 0.001});
+  EXPECT_TRUE(net.has_link(0, 1));
+  EXPECT_FALSE(net.has_link(1, 0));
+  EXPECT_EQ(net.link_count(), 1u);
+}
+
+TEST(Network, LinkAttributesStored) {
+  Network net = two_nodes();
+  net.add_link(0, 1, {250.0, 0.002});
+  EXPECT_DOUBLE_EQ(net.link(0, 1).bandwidth_mbps, 250.0);
+  EXPECT_DOUBLE_EQ(net.link(0, 1).min_delay_s, 0.002);
+}
+
+TEST(Network, DuplexLinkAddsBothDirections) {
+  Network net = two_nodes();
+  net.add_duplex_link(0, 1, {100.0, 0.0});
+  EXPECT_TRUE(net.has_link(0, 1));
+  EXPECT_TRUE(net.has_link(1, 0));
+  EXPECT_EQ(net.link_count(), 2u);
+}
+
+TEST(Network, RejectsSelfLoops) {
+  Network net = two_nodes();
+  EXPECT_THROW(net.add_link(0, 0, {100.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Network, RejectsDuplicateLinks) {
+  Network net = two_nodes();
+  net.add_link(0, 1, {100.0, 0.0});
+  EXPECT_THROW(net.add_link(0, 1, {200.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Network, RejectsBadLinkAttributes) {
+  Network net = two_nodes();
+  EXPECT_THROW(net.add_link(0, 1, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 1, {100.0, -0.1}), std::invalid_argument);
+}
+
+TEST(Network, RejectsUnknownEndpoints) {
+  Network net = two_nodes();
+  EXPECT_THROW(net.add_link(0, 5, {100.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(net.add_link(5, 0, {100.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Network, MissingLinkLookupThrows) {
+  Network net = two_nodes();
+  EXPECT_THROW((void)net.link(0, 1), std::out_of_range);
+}
+
+TEST(Network, FindLinkReturnsOptional) {
+  Network net = two_nodes();
+  EXPECT_FALSE(net.find_link(0, 1).has_value());
+  net.add_link(0, 1, {123.0, 0.0});
+  ASSERT_TRUE(net.find_link(0, 1).has_value());
+  EXPECT_DOUBLE_EQ(net.find_link(0, 1)->bandwidth_mbps, 123.0);
+}
+
+TEST(Network, AdjacencyListsTrackLinks) {
+  Network net;
+  for (int i = 0; i < 4; ++i) {
+    net.add_node({});
+  }
+  net.add_link(0, 1, {100.0, 0.0});
+  net.add_link(0, 2, {100.0, 0.0});
+  net.add_link(3, 0, {100.0, 0.0});
+  EXPECT_EQ(net.out_edges(0).size(), 2u);
+  EXPECT_EQ(net.in_edges(0).size(), 1u);
+  EXPECT_EQ(net.in_edges(1).size(), 1u);
+  EXPECT_EQ(net.out_edges(1).size(), 0u);
+  EXPECT_EQ(net.in_edges(0)[0].from, 3u);
+  EXPECT_EQ(net.out_edges(0)[1].to, 2u);
+}
+
+TEST(Network, MeanBandwidth) {
+  Network net = two_nodes();
+  net.add_link(0, 1, {100.0, 0.0});
+  net.add_link(1, 0, {300.0, 0.0});
+  EXPECT_DOUBLE_EQ(net.mean_bandwidth_mbps(), 200.0);
+}
+
+TEST(Network, MeanBandwidthThrowsWithoutLinks) {
+  Network net = two_nodes();
+  EXPECT_THROW((void)net.mean_bandwidth_mbps(), std::logic_error);
+}
+
+TEST(Network, ValidatePassesOnWellFormedGraph) {
+  Network net = two_nodes();
+  net.add_duplex_link(0, 1, {100.0, 0.001});
+  EXPECT_NO_THROW(net.validate());
+}
+
+}  // namespace
+}  // namespace elpc::graph

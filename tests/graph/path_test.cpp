@@ -1,0 +1,92 @@
+#include "graph/path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::graph {
+namespace {
+
+Network line_graph() {
+  // 0 -> 1 -> 2 (plus the reverse 2 -> 1)
+  Network net;
+  for (int i = 0; i < 3; ++i) {
+    net.add_node({});
+  }
+  net.add_link(0, 1, {100.0, 0.0});
+  net.add_link(1, 2, {100.0, 0.0});
+  net.add_link(2, 1, {100.0, 0.0});
+  return net;
+}
+
+TEST(Path, BasicAccessors) {
+  Path p({0, 1, 2});
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.front(), 0u);
+  EXPECT_EQ(p.back(), 2u);
+  EXPECT_FALSE(p.empty());
+  EXPECT_TRUE(Path().empty());
+}
+
+TEST(Path, AppendGrows) {
+  Path p;
+  p.append(4);
+  p.append(7);
+  EXPECT_EQ(p.nodes(), (std::vector<NodeId>{4, 7}));
+}
+
+TEST(Path, ValidWalkFollowsLinks) {
+  const Network net = line_graph();
+  EXPECT_TRUE(Path({0, 1, 2}).is_valid_walk(net));
+  EXPECT_FALSE(Path({0, 2}).is_valid_walk(net));  // no direct link
+}
+
+TEST(Path, StaysAreValidWalkSteps) {
+  const Network net = line_graph();
+  EXPECT_TRUE(Path({0, 0, 1, 1, 2}).is_valid_walk(net));
+}
+
+TEST(Path, WalkWithLoopIsValidButNotSimple) {
+  const Network net = line_graph();
+  const Path p({0, 1, 2, 1});
+  EXPECT_TRUE(p.is_valid_walk(net));
+  EXPECT_FALSE(p.is_simple());
+}
+
+TEST(Path, OutOfRangeNodeInvalidatesWalk) {
+  const Network net = line_graph();
+  EXPECT_FALSE(Path({0, 9}).is_valid_walk(net));
+}
+
+TEST(Path, SimpleDetection) {
+  EXPECT_TRUE(Path({0, 1, 2}).is_simple());
+  EXPECT_FALSE(Path({0, 1, 0}).is_simple());
+  EXPECT_TRUE(Path().is_simple());
+}
+
+TEST(Path, DistinctNodesFirstVisitOrder) {
+  const Path p({3, 1, 3, 2, 1});
+  EXPECT_EQ(p.distinct_nodes(), (std::vector<NodeId>{3, 1, 2}));
+}
+
+TEST(Path, CollapseStays) {
+  const Path p({0, 0, 4, 4, 4, 5});
+  EXPECT_EQ(p.collapse_stays().nodes(), (std::vector<NodeId>{0, 4, 5}));
+}
+
+TEST(Path, CollapseStaysKeepsLoops) {
+  const Path p({0, 1, 1, 0});
+  EXPECT_EQ(p.collapse_stays().nodes(), (std::vector<NodeId>{0, 1, 0}));
+}
+
+TEST(Path, ToString) {
+  EXPECT_EQ(Path({0, 4, 5}).to_string(), "0 -> 4 -> 5");
+  EXPECT_EQ(Path({7}).to_string(), "7");
+  EXPECT_EQ(Path().to_string(), "");
+}
+
+TEST(Path, Equality) {
+  EXPECT_EQ(Path({1, 2}), Path({1, 2}));
+  EXPECT_FALSE(Path({1, 2}) == Path({2, 1}));
+}
+
+}  // namespace
+}  // namespace elpc::graph

@@ -1,0 +1,159 @@
+// Cross-module integration tests: the full flows a user of the library
+// would run, stitched together exactly as the examples and benches do.
+
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.hpp"
+#include "baselines/streamline.hpp"
+#include "core/elpc.hpp"
+#include "core/elpc_grouped.hpp"
+#include "experiments/registry.hpp"
+#include "experiments/report.hpp"
+#include "experiments/runner.hpp"
+#include "mapping/evaluator.hpp"
+#include "netmeasure/netmeasure.hpp"
+#include "sim/simulator.hpp"
+#include "workload/small_case.hpp"
+#include "workload/suite.hpp"
+
+namespace elpc {
+namespace {
+
+TEST(EndToEnd, MapThenSimulateInteractive) {
+  // Scenario -> ELPC min-delay -> discrete-event execution -> the
+  // simulated latency confirms the analytic objective.
+  const workload::Scenario s = workload::small_case();
+  const mapping::Problem p = s.problem();
+  const mapping::MapResult r = core::ElpcMapper().min_delay(p);
+  ASSERT_TRUE(r.feasible);
+  const sim::SimReport report =
+      sim::simulate(p, r.mapping, sim::SimConfig{.frames = 1});
+  EXPECT_NEAR(report.first_frame_latency_s(), r.seconds, 1e-12);
+}
+
+TEST(EndToEnd, MapThenSimulateStreaming) {
+  const workload::Scenario s = workload::small_case();
+  const mapping::Problem p = s.problem({.include_link_delay = false});
+  const mapping::MapResult r = core::ElpcMapper().max_frame_rate(p);
+  ASSERT_TRUE(r.feasible);
+  const sim::SimReport report =
+      sim::simulate(p, r.mapping, sim::SimConfig{.frames = 300});
+  EXPECT_NEAR(report.throughput_fps, r.frame_rate(),
+              0.01 * r.frame_rate());
+}
+
+TEST(EndToEnd, MeasurementDrivenMappingStaysNearOracle) {
+  // netmeasure -> annotated graph -> ELPC -> re-score on ground truth.
+  const workload::Scenario truth = workload::small_case();
+  util::Rng rng(1);
+  netmeasure::ProbePlan plan;
+  plan.probes = 50;
+  plan.relative_noise = 0.02;
+  const graph::Network measured =
+      netmeasure::measure_network(rng, truth.network, plan);
+
+  const mapping::Problem exact = truth.problem();
+  const mapping::Problem estimated(truth.pipeline, measured, truth.source,
+                                   truth.destination);
+  const mapping::MapResult oracle = core::ElpcMapper().min_delay(exact);
+  const mapping::MapResult planned = core::ElpcMapper().min_delay(estimated);
+  ASSERT_TRUE(oracle.feasible);
+  ASSERT_TRUE(planned.feasible);
+  const mapping::Evaluation actual =
+      mapping::evaluate_total_delay(exact, planned.mapping);
+  ASSERT_TRUE(actual.feasible);
+  EXPECT_LE(actual.seconds, oracle.seconds * 1.10)
+      << "2% probe noise should cost at most a few percent of delay";
+}
+
+TEST(EndToEnd, ScenarioSurvivesJsonPersistence) {
+  // Persist a generated scenario, reload it, and confirm every algorithm
+  // produces identical objective values on the reloaded copy.
+  const workload::Scenario original =
+      workload::build_scenario(workload::default_suite()[1]);
+  const workload::Scenario reloaded =
+      workload::scenario_from_json(workload::to_json(original));
+  for (const std::string& name : {std::string("ELPC"), std::string("Greedy"),
+                                  std::string("Streamline")}) {
+    const mapping::MapperPtr mapper = experiments::make_mapper(name);
+    const mapping::MapResult a = mapper->min_delay(original.problem());
+    const mapping::MapResult b = mapper->min_delay(reloaded.problem());
+    ASSERT_EQ(a.feasible, b.feasible) << name;
+    if (a.feasible) {
+      EXPECT_NEAR(a.seconds, b.seconds, 1e-12) << name;
+    }
+  }
+}
+
+TEST(EndToEnd, AllMappersSatisfyTheConformanceContract) {
+  // Every registered mapper, on a batch of generated scenarios, must
+  // return evaluator-consistent, endpoint-pinned results (the Mapper
+  // interface contract).
+  auto specs = workload::default_suite();
+  specs.resize(5);
+  for (const auto& spec : specs) {
+    const workload::Scenario s = workload::build_scenario(spec);
+    for (const std::string& name : experiments::registered_names()) {
+      if (name == "Exhaustive" && spec.nodes > 12) {
+        continue;  // refuses large instances by design
+      }
+      const mapping::MapperPtr mapper = experiments::make_mapper(name);
+      const mapping::Problem dp = s.problem();
+      const mapping::MapResult delay = mapper->min_delay(dp);
+      if (delay.feasible) {
+        const auto eval = mapping::evaluate_total_delay(dp, delay.mapping);
+        ASSERT_TRUE(eval.feasible) << name << " on " << spec.name;
+        EXPECT_NEAR(eval.seconds, delay.seconds,
+                    1e-12 + 1e-9 * eval.seconds)
+            << name << " on " << spec.name;
+      }
+      const mapping::Problem fp = s.problem({.include_link_delay = false});
+      const mapping::MapResult rate = mapper->max_frame_rate(fp);
+      if (rate.feasible) {
+        const bool strict = name != "ELPC-grouped";
+        const auto eval =
+            mapping::evaluate_bottleneck(fp, rate.mapping, strict);
+        ASSERT_TRUE(eval.feasible) << name << " on " << spec.name;
+        EXPECT_NEAR(eval.seconds, rate.seconds,
+                    1e-12 + 1e-9 * eval.seconds)
+            << name << " on " << spec.name;
+      }
+    }
+  }
+}
+
+TEST(EndToEnd, SuiteShapeChecksHoldOnAPrefix) {
+  // The full-suite shape checks run in the fig2 bench; here a 6-case
+  // prefix keeps CI fast while still exercising the whole machinery.
+  auto specs = workload::default_suite();
+  specs.resize(6);
+  util::ThreadPool pool(2);
+  const auto outcomes = experiments::run_suite(
+      specs, workload::SuiteConfig{}, experiments::RunnerOptions{}, pool);
+  const auto& elpc_vs_rest = experiments::shape_checks(outcomes);
+  // Check #1 (delay optimality) must hold on any subset.
+  ASSERT_FALSE(elpc_vs_rest.empty());
+  EXPECT_TRUE(elpc_vs_rest[0].pass) << elpc_vs_rest[0].description;
+}
+
+TEST(EndToEnd, GroupedExtensionCoversLongPipelines) {
+  // The future-work extension handles what the strict problem cannot:
+  // map a 10-stage pipeline across 6 nodes and actually stream it.
+  util::Rng rng(9);
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, 10, {});
+  s.network = graph::random_connected_network(rng, 6, 26, {});
+  s.source = 0;
+  s.destination = 5;
+  const mapping::Problem p = s.problem({.include_link_delay = false});
+  ASSERT_FALSE(core::ElpcMapper().max_frame_rate(p).feasible);
+  const mapping::MapResult r = core::ElpcGroupedMapper().max_frame_rate(p);
+  ASSERT_TRUE(r.feasible);
+  const sim::SimReport report =
+      sim::simulate(p, r.mapping, sim::SimConfig{.frames = 200});
+  EXPECT_NEAR(report.throughput_fps, r.frame_rate(),
+              0.02 * r.frame_rate());
+}
+
+}  // namespace
+}  // namespace elpc

@@ -1,0 +1,170 @@
+#include "mapping/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::mapping {
+namespace {
+
+/// 3-node line with fully specified costs so every expected value can be
+/// computed by hand:
+///   nodes: p = {2, 4, 5}; links 0->1 (100 Mbps, 10 ms), 1->2 (200, 5 ms)
+///   pipeline: src (out 10 Mb), mid (c=0.4, out 6), sink (c=0.5, out 1)
+struct Fixture {
+  pipeline::Pipeline pipeline{
+      {{"src", 0.0, 10.0}, {"mid", 0.4, 6.0}, {"sink", 0.5, 1.0}}};
+  graph::Network network;
+
+  Fixture() {
+    network.add_node({"n0", 2.0});
+    network.add_node({"n1", 4.0});
+    network.add_node({"n2", 5.0});
+    network.add_link(0, 1, {100.0, 0.010});
+    network.add_link(1, 2, {200.0, 0.005});
+  }
+
+  [[nodiscard]] Problem problem(pipeline::CostOptions cost = {}) const {
+    return Problem(pipeline, network, 0, 2, cost);
+  }
+};
+
+TEST(CheckStructure, AcceptsWellFormedMapping) {
+  Fixture f;
+  const Evaluation e = check_structure(f.problem(), Mapping({0, 1, 2}));
+  EXPECT_TRUE(e.feasible);
+}
+
+TEST(CheckStructure, RejectsSizeMismatch) {
+  Fixture f;
+  EXPECT_FALSE(check_structure(f.problem(), Mapping({0, 2})).feasible);
+}
+
+TEST(CheckStructure, RejectsWrongEndpoints) {
+  Fixture f;
+  const Evaluation e1 = check_structure(f.problem(), Mapping({1, 1, 2}));
+  EXPECT_FALSE(e1.feasible);
+  EXPECT_NE(e1.reason.find("source"), std::string::npos);
+  const Evaluation e2 = check_structure(f.problem(), Mapping({0, 1, 1}));
+  EXPECT_FALSE(e2.feasible);
+  EXPECT_NE(e2.reason.find("destination"), std::string::npos);
+}
+
+TEST(CheckStructure, RejectsMissingLink) {
+  Fixture f;
+  // 0 -> 2 has no direct link.
+  const Evaluation e = check_structure(f.problem(), Mapping({0, 0, 2}));
+  EXPECT_TRUE(check_structure(f.problem(), Mapping({0, 1, 2})).feasible);
+  // Mapping module 1 on node 0, module 2 on node 2 requires link 0->2.
+  const Evaluation bad = check_structure(f.problem(), Mapping({0, 0, 2}));
+  EXPECT_FALSE(bad.feasible);
+  EXPECT_NE(bad.reason.find("no link"), std::string::npos);
+  (void)e;
+}
+
+TEST(CheckStructure, RejectsOutOfRangeNode) {
+  Fixture f;
+  EXPECT_FALSE(check_structure(f.problem(), Mapping({0, 9, 2})).feasible);
+}
+
+TEST(TotalDelay, HandComputedValue) {
+  Fixture f;
+  // Eq. 1 on mapping (0, 1, 2):
+  //   transport 10 Mb over 0->1: 10/100 + 0.010        = 0.110
+  //   compute mid on n1: 10 * 0.4 / 4                  = 1.000
+  //   transport 6 Mb over 1->2: 6/200 + 0.005          = 0.035
+  //   compute sink on n2: 6 * 0.5 / 5                  = 0.600
+  const Evaluation e = evaluate_total_delay(f.problem(), Mapping({0, 1, 2}));
+  ASSERT_TRUE(e.feasible);
+  EXPECT_NEAR(e.seconds, 0.110 + 1.000 + 0.035 + 0.600, 1e-12);
+}
+
+TEST(TotalDelay, MldExcludedWhenConfigured) {
+  Fixture f;
+  const Evaluation e = evaluate_total_delay(
+      f.problem({.include_link_delay = false}), Mapping({0, 1, 2}));
+  ASSERT_TRUE(e.feasible);
+  EXPECT_NEAR(e.seconds, 0.100 + 1.000 + 0.030 + 0.600, 1e-12);
+}
+
+TEST(TotalDelay, GroupingSkipsTransport) {
+  Fixture f;
+  // mid co-located with src on n0: no 0->1 transport for it, but mid is
+  // slower on n0 (p=2).
+  const Evaluation e = evaluate_total_delay(f.problem(), Mapping({0, 0, 2}));
+  EXPECT_FALSE(e.feasible);  // 0->2 missing; use a reachable variant:
+  const Evaluation e2 =
+      evaluate_total_delay(f.problem(), Mapping({0, 1, 2}));
+  const Evaluation e3 = evaluate_total_delay(
+      Problem(f.pipeline, f.network, 0, 2), Mapping({0, 1, 2}));
+  EXPECT_DOUBLE_EQ(e2.seconds, e3.seconds);
+}
+
+TEST(TotalDelay, InfeasibleMappingReportsReason) {
+  Fixture f;
+  const Evaluation e = evaluate_total_delay(f.problem(), Mapping({0, 0, 2}));
+  EXPECT_FALSE(e.feasible);
+  EXPECT_FALSE(e.reason.empty());
+}
+
+TEST(Bottleneck, HandComputedValue) {
+  Fixture f;
+  // Eq. 2 terms on mapping (0, 1, 2) without MLD:
+  //   transport 0->1: 0.100 ; compute mid: 1.000 ;
+  //   transport 1->2: 0.030 ; compute sink: 0.600
+  const Evaluation e = evaluate_bottleneck(
+      f.problem({.include_link_delay = false}), Mapping({0, 1, 2}));
+  ASSERT_TRUE(e.feasible);
+  EXPECT_DOUBLE_EQ(e.seconds, 1.000);
+  EXPECT_NEAR(e.frame_rate(), 1.0, 1e-12);
+}
+
+TEST(Bottleneck, NoReuseEnforcedWhenRequested) {
+  Fixture f;
+  // Add the 0 -> 2 link so the mapping is structurally sound and the
+  // *reuse* check is what rejects it.
+  f.network.add_link(0, 2, {1000.0, 0.001});
+  const Mapping shared({0, 0, 2});
+  const Evaluation strict =
+      evaluate_bottleneck(f.problem(), shared, /*enforce_no_reuse=*/true);
+  EXPECT_FALSE(strict.feasible);
+  EXPECT_NE(strict.reason.find("reuse"), std::string::npos);
+}
+
+TEST(Bottleneck, SharedNodeLoadSumsWithoutEnforcement) {
+  // With reuse allowed, a node hosting two modules serves each frame for
+  // the SUM of their computing times.
+  Fixture f;
+  f.network.add_link(0, 2, {1000.0, 0.001});
+  const Mapping shared({0, 0, 2});
+  const Evaluation e = evaluate_bottleneck(
+      f.problem({.include_link_delay = false}), shared,
+      /*enforce_no_reuse=*/false);
+  ASSERT_TRUE(e.feasible);
+  // Node 0 load: mid = 10*0.4/2 = 2.0 (src computes nothing).
+  // Transport 0->2: 6/1000 = 0.006; sink on n2: 0.6.
+  EXPECT_DOUBLE_EQ(e.seconds, 2.0);
+}
+
+TEST(Bottleneck, FrameRateIsReciprocal) {
+  Evaluation e;
+  e.feasible = true;
+  e.seconds = 0.04;
+  EXPECT_DOUBLE_EQ(e.frame_rate(), 25.0);
+  e.seconds = 0.0;
+  EXPECT_DOUBLE_EQ(e.frame_rate(), 0.0);
+}
+
+TEST(Problem, ValidateCatchesBadInstances) {
+  Fixture f;
+  Problem p = f.problem();
+  EXPECT_NO_THROW(p.validate());
+  p.source = 99;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = f.problem();
+  p.destination = 99;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = Problem();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace elpc::mapping

@@ -1,0 +1,76 @@
+#include "mapping/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::mapping {
+namespace {
+
+TEST(Mapping, BasicAccessors) {
+  const Mapping m({0, 0, 4, 4, 5});
+  EXPECT_EQ(m.module_count(), 5u);
+  EXPECT_EQ(m.node_of(0), 0u);
+  EXPECT_EQ(m.node_of(4), 5u);
+  EXPECT_THROW((void)m.node_of(5), std::out_of_range);
+}
+
+TEST(Mapping, RejectsEmptyAssignment) {
+  EXPECT_THROW(Mapping(std::vector<graph::NodeId>{}), std::invalid_argument);
+}
+
+TEST(Mapping, GroupsAreMaximalRuns) {
+  // The paper's Fig. 3 shape: {M0,M1} on node 0, {M2,M3} on node 4,
+  // {M4} on node 5.
+  const Mapping m({0, 0, 4, 4, 5});
+  const std::vector<Group> groups = m.groups();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (Group{0, 1, 0}));
+  EXPECT_EQ(groups[1], (Group{2, 3, 4}));
+  EXPECT_EQ(groups[2], (Group{4, 4, 5}));
+}
+
+TEST(Mapping, SingleGroupWhenAllColocated) {
+  const Mapping m({3, 3, 3});
+  ASSERT_EQ(m.groups().size(), 1u);
+  EXPECT_EQ(m.groups()[0], (Group{0, 2, 3}));
+}
+
+TEST(Mapping, GroupPathIsOneNodePerGroup) {
+  const Mapping m({0, 0, 4, 4, 5});
+  EXPECT_EQ(m.group_path().nodes(), (std::vector<graph::NodeId>{0, 4, 5}));
+}
+
+TEST(Mapping, NonContiguousReuseCreatesLoopedPath) {
+  // "two or more modules, either contiguous or non-contiguous (the
+  // selected path P contains a loop) ... are allowed to run on the same
+  // node" — delay-problem semantics.
+  const Mapping m({0, 1, 0, 2});
+  EXPECT_EQ(m.groups().size(), 4u);
+  EXPECT_FALSE(m.group_path().is_simple());
+  EXPECT_FALSE(m.has_no_group_reuse());
+}
+
+TEST(Mapping, OneToOneDetection) {
+  EXPECT_TRUE(Mapping({0, 1, 2}).is_one_to_one());
+  EXPECT_FALSE(Mapping({0, 1, 1}).is_one_to_one());
+  EXPECT_FALSE(Mapping({0, 1, 0}).is_one_to_one());
+}
+
+TEST(Mapping, GroupReuseVsOneToOne) {
+  // Contiguous sharing violates one-to-one but not group-level reuse.
+  const Mapping m({0, 0, 1});
+  EXPECT_FALSE(m.is_one_to_one());
+  EXPECT_TRUE(m.has_no_group_reuse());
+}
+
+TEST(Mapping, ToStringShowsGroups) {
+  const Mapping m({0, 0, 4});
+  EXPECT_EQ(m.to_string(), "M0,M1 -> node0 | M2 -> node4");
+}
+
+TEST(Mapping, Equality) {
+  EXPECT_EQ(Mapping({1, 2}), Mapping({1, 2}));
+  EXPECT_FALSE(Mapping({1, 2}) == Mapping({2, 1}));
+}
+
+}  // namespace
+}  // namespace elpc::mapping

@@ -1,0 +1,117 @@
+#include "netmeasure/netmeasure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace elpc::netmeasure {
+namespace {
+
+TEST(ProbePlan, Validation) {
+  ProbePlan ok;
+  EXPECT_NO_THROW(ok.validate());
+  ProbePlan bad = ok;
+  bad.probes = 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.min_size_mb = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.relative_noise = -0.1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(SynthesizeProbes, NoiselessProbesLieOnTheModelLine) {
+  util::Rng rng(1);
+  const graph::LinkAttr truth{200.0, 0.004};
+  ProbePlan plan;
+  plan.relative_noise = 0.0;
+  const auto probes = synthesize_probes(rng, truth, plan);
+  ASSERT_EQ(probes.size(), plan.probes);
+  for (const Probe& p : probes) {
+    EXPECT_NEAR(p.time_s, p.size_mb / 200.0 + 0.004, 1e-12);
+    EXPECT_GE(p.size_mb, plan.min_size_mb);
+    EXPECT_LE(p.size_mb, plan.max_size_mb);
+  }
+}
+
+TEST(EstimateLink, RecoversExactAttributesWithoutNoise) {
+  util::Rng rng(2);
+  const graph::LinkAttr truth{850.0, 0.0015};
+  ProbePlan plan;
+  plan.relative_noise = 0.0;
+  const LinkEstimate est = estimate_link(synthesize_probes(rng, truth, plan));
+  EXPECT_NEAR(est.attr.bandwidth_mbps, 850.0, 1e-6);
+  EXPECT_NEAR(est.attr.min_delay_s, 0.0015, 1e-9);
+  EXPECT_NEAR(est.r_squared, 1.0, 1e-9);
+}
+
+TEST(EstimateLink, RecoversApproximatelyUnderNoise) {
+  util::Rng rng(3);
+  const graph::LinkAttr truth{400.0, 0.003};
+  ProbePlan plan;
+  plan.probes = 200;
+  plan.relative_noise = 0.05;
+  const LinkEstimate est = estimate_link(synthesize_probes(rng, truth, plan));
+  EXPECT_NEAR(est.attr.bandwidth_mbps, 400.0, 40.0);
+  EXPECT_NEAR(est.attr.min_delay_s, 0.003, 0.002);
+  EXPECT_GT(est.r_squared, 0.95);
+}
+
+TEST(EstimateLink, NegativeInterceptClampedToZero) {
+  // Hand-crafted probes whose OLS intercept is negative.
+  const std::vector<Probe> probes = {{1.0, 0.0009}, {2.0, 0.0021},
+                                     {3.0, 0.0030}, {4.0, 0.0041}};
+  const LinkEstimate est = estimate_link(probes);
+  EXPECT_GE(est.attr.min_delay_s, 0.0);
+  EXPECT_GT(est.attr.bandwidth_mbps, 0.0);
+}
+
+TEST(EstimateLink, RejectsNonChannelData) {
+  // Decreasing time with size -> negative slope -> not a channel.
+  const std::vector<Probe> probes = {{1.0, 0.010}, {10.0, 0.001}};
+  EXPECT_THROW((void)estimate_link(probes), std::invalid_argument);
+}
+
+TEST(EstimateLink, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)estimate_link({}), std::invalid_argument);
+  EXPECT_THROW((void)estimate_link({{1.0, 0.1}}), std::invalid_argument);
+}
+
+TEST(MeasureNetwork, PreservesTopologyAndNodes) {
+  util::Rng rng(4);
+  const graph::Network truth =
+      graph::random_connected_network(rng, 8, 30, {});
+  util::Rng probe_rng(5);
+  const graph::Network measured =
+      measure_network(probe_rng, truth, ProbePlan{});
+  ASSERT_EQ(measured.node_count(), truth.node_count());
+  ASSERT_EQ(measured.link_count(), truth.link_count());
+  for (graph::NodeId v = 0; v < truth.node_count(); ++v) {
+    EXPECT_DOUBLE_EQ(measured.node(v).processing_power,
+                     truth.node(v).processing_power);
+    for (const graph::Edge& e : truth.out_edges(v)) {
+      EXPECT_TRUE(measured.has_link(e.from, e.to));
+    }
+  }
+}
+
+TEST(MeasureNetwork, EstimatesNearTruth) {
+  util::Rng rng(6);
+  const graph::Network truth =
+      graph::random_connected_network(rng, 6, 20, {});
+  util::Rng probe_rng(7);
+  ProbePlan plan;
+  plan.probes = 100;
+  plan.relative_noise = 0.02;
+  const graph::Network measured = measure_network(probe_rng, truth, plan);
+  for (graph::NodeId v = 0; v < truth.node_count(); ++v) {
+    for (const graph::Edge& e : truth.out_edges(v)) {
+      const double est = measured.link(e.from, e.to).bandwidth_mbps;
+      EXPECT_NEAR(est, e.attr.bandwidth_mbps, 0.15 * e.attr.bandwidth_mbps);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elpc::netmeasure

@@ -1,0 +1,87 @@
+#include "pipeline/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::pipeline {
+namespace {
+
+struct Fixture {
+  Pipeline pipeline{{{"src", 0.0, 16.0}, {"mid", 0.5, 8.0},
+                     {"sink", 0.25, 1.0}}};
+  graph::Network network;
+
+  Fixture() {
+    network.add_node({"a", 2.0});
+    network.add_node({"b", 8.0});
+    network.add_link(0, 1, {100.0, 0.010});
+    network.add_link(1, 0, {400.0, 0.002});
+  }
+};
+
+TEST(CostModel, ComputingTimeFollowsEquation) {
+  // T_computing(M_i, v_j) = m_{i-1} * c_i / p_j
+  Fixture f;
+  const CostModel model(f.pipeline, f.network);
+  EXPECT_DOUBLE_EQ(model.computing_time(1, 0), 16.0 * 0.5 / 2.0);
+  EXPECT_DOUBLE_EQ(model.computing_time(1, 1), 16.0 * 0.5 / 8.0);
+  EXPECT_DOUBLE_EQ(model.computing_time(2, 0), 8.0 * 0.25 / 2.0);
+}
+
+TEST(CostModel, SourceModuleComputesNothing) {
+  Fixture f;
+  const CostModel model(f.pipeline, f.network);
+  EXPECT_DOUBLE_EQ(model.computing_time(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.computing_time(0, 1), 0.0);
+}
+
+TEST(CostModel, TransportTimeIncludesMld) {
+  // T_transport(m, L) = m / b + d  (default options)
+  Fixture f;
+  const CostModel model(f.pipeline, f.network);
+  EXPECT_DOUBLE_EQ(model.transport_time(20.0, 0, 1), 20.0 / 100.0 + 0.010);
+  EXPECT_DOUBLE_EQ(model.transport_time(20.0, 1, 0), 20.0 / 400.0 + 0.002);
+}
+
+TEST(CostModel, TransportTimeWithoutMld) {
+  Fixture f;
+  const CostModel model(f.pipeline, f.network,
+                        CostOptions{.include_link_delay = false});
+  EXPECT_DOUBLE_EQ(model.transport_time(20.0, 0, 1), 0.2);
+}
+
+TEST(CostModel, TransportByAttributeMatchesLookup) {
+  Fixture f;
+  const CostModel model(f.pipeline, f.network);
+  EXPECT_DOUBLE_EQ(model.transport_time(10.0, f.network.link(0, 1)),
+                   model.transport_time(10.0, 0, 1));
+}
+
+TEST(CostModel, InputTransportUsesPredecessorOutput) {
+  Fixture f;
+  const CostModel model(f.pipeline, f.network);
+  // Module 1 receives m_0 = 16 Mb.
+  EXPECT_DOUBLE_EQ(model.input_transport_time(1, 0, 1), 16.0 / 100.0 + 0.010);
+  // Module 2 receives m_1 = 8 Mb.
+  EXPECT_DOUBLE_EQ(model.input_transport_time(2, 1, 0), 8.0 / 400.0 + 0.002);
+}
+
+TEST(CostModel, MissingLinkThrows) {
+  Fixture f;
+  graph::Network isolated;
+  isolated.add_node({});
+  isolated.add_node({});
+  const CostModel model(f.pipeline, isolated);
+  EXPECT_THROW((void)model.transport_time(1.0, 0, 1), std::out_of_range);
+}
+
+TEST(CostModel, FasterNodeIsAlwaysCheaper) {
+  Fixture f;
+  const CostModel model(f.pipeline, f.network);
+  for (ModuleId j = 1; j < f.pipeline.module_count(); ++j) {
+    EXPECT_LT(model.computing_time(j, 1), model.computing_time(j, 0))
+        << "node 1 has 4x the power of node 0";
+  }
+}
+
+}  // namespace
+}  // namespace elpc::pipeline

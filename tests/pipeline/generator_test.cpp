@@ -1,0 +1,69 @@
+#include "pipeline/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::pipeline {
+namespace {
+
+TEST(PipelineRanges, Validation) {
+  PipelineRanges ok;
+  EXPECT_NO_THROW(ok.validate());
+  PipelineRanges bad = ok;
+  bad.min_complexity = -1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.min_data_mb = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.max_data_mb = bad.min_data_mb / 2;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+class RandomPipelineTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomPipelineTest, WellFormedAtEverySize) {
+  util::Rng rng(100 + GetParam());
+  const PipelineRanges ranges;
+  const Pipeline p = random_pipeline(rng, GetParam(), ranges);
+  EXPECT_EQ(p.module_count(), GetParam());
+  EXPECT_DOUBLE_EQ(p.module(0).complexity, 0.0);
+  for (ModuleId j = 0; j < p.module_count(); ++j) {
+    EXPECT_GT(p.module(j).output_mb, 0.0);
+    EXPECT_GE(p.module(j).output_mb, ranges.min_data_mb);
+    EXPECT_LE(p.module(j).output_mb, ranges.max_data_mb);
+    if (j > 0) {
+      EXPECT_GE(p.module(j).complexity, ranges.min_complexity);
+      EXPECT_LE(p.module(j).complexity, ranges.max_complexity);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomPipelineTest,
+                         ::testing::Values(2, 3, 5, 10, 50, 100));
+
+TEST(RandomPipeline, Deterministic) {
+  util::Rng a(5);
+  util::Rng b(5);
+  const Pipeline p1 = random_pipeline(a, 8, {});
+  const Pipeline p2 = random_pipeline(b, 8, {});
+  for (ModuleId j = 0; j < 8; ++j) {
+    EXPECT_DOUBLE_EQ(p1.module(j).complexity, p2.module(j).complexity);
+    EXPECT_DOUBLE_EQ(p1.module(j).output_mb, p2.module(j).output_mb);
+  }
+}
+
+TEST(RandomPipeline, NamesFollowConvention) {
+  util::Rng rng(6);
+  const Pipeline p = random_pipeline(rng, 4, {});
+  EXPECT_EQ(p.module(0).name, "source");
+  EXPECT_EQ(p.module(1).name, "stage1");
+  EXPECT_EQ(p.module(3).name, "sink");
+}
+
+TEST(RandomPipeline, RejectsTooFewModules) {
+  util::Rng rng(7);
+  EXPECT_THROW((void)random_pipeline(rng, 1, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace elpc::pipeline

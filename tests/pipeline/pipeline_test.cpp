@@ -1,0 +1,90 @@
+#include "pipeline/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::pipeline {
+namespace {
+
+Pipeline three_stage() {
+  return Pipeline({{"src", 0.0, 10.0}, {"mid", 0.5, 4.0}, {"sink", 0.2, 1.0}});
+}
+
+TEST(Pipeline, BasicAccessors) {
+  const Pipeline p = three_stage();
+  EXPECT_EQ(p.module_count(), 3u);
+  EXPECT_EQ(p.module(0).name, "src");
+  EXPECT_DOUBLE_EQ(p.module(1).complexity, 0.5);
+  EXPECT_DOUBLE_EQ(p.module(2).output_mb, 1.0);
+}
+
+TEST(Pipeline, InputIsPredecessorOutput) {
+  const Pipeline p = three_stage();
+  EXPECT_DOUBLE_EQ(p.input_mb(1), 10.0);
+  EXPECT_DOUBLE_EQ(p.input_mb(2), 4.0);
+}
+
+TEST(Pipeline, SourceHasNoInput) {
+  const Pipeline p = three_stage();
+  EXPECT_THROW((void)p.input_mb(0), std::invalid_argument);
+}
+
+TEST(Pipeline, WorkUnits) {
+  const Pipeline p = three_stage();
+  EXPECT_DOUBLE_EQ(p.work_units(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.work_units(1), 0.5 * 10.0);
+  EXPECT_DOUBLE_EQ(p.work_units(2), 0.2 * 4.0);
+  EXPECT_DOUBLE_EQ(p.total_work_units(), 5.0 + 0.8);
+}
+
+TEST(Pipeline, RejectsTooFewModules) {
+  EXPECT_THROW(Pipeline({{"only", 0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(Pipeline(std::vector<ModuleSpec>{}), std::invalid_argument);
+}
+
+TEST(Pipeline, RejectsComputingSource) {
+  EXPECT_THROW(Pipeline({{"src", 0.1, 1.0}, {"sink", 0.1, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, RejectsNegativeComplexity) {
+  EXPECT_THROW(Pipeline({{"src", 0.0, 1.0}, {"sink", -0.1, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, RejectsNonPositiveDataSizes) {
+  EXPECT_THROW(Pipeline({{"src", 0.0, 0.0}, {"sink", 0.1, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(Pipeline({{"src", 0.0, 1.0}, {"sink", 0.1, -2.0}}),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, DefaultNamesAssigned) {
+  const Pipeline p({{"", 0.0, 1.0}, {"", 0.1, 1.0}});
+  EXPECT_EQ(p.module(0).name, "M0");
+  EXPECT_EQ(p.module(1).name, "M1");
+}
+
+TEST(Pipeline, OutOfRangeModuleThrows) {
+  const Pipeline p = three_stage();
+  EXPECT_THROW((void)p.module(3), std::out_of_range);
+  EXPECT_THROW((void)p.input_mb(3), std::out_of_range);
+}
+
+TEST(Pipeline, ToStringMentionsAllStages) {
+  const std::string s = three_stage().to_string();
+  EXPECT_NE(s.find("src"), std::string::npos);
+  EXPECT_NE(s.find("mid"), std::string::npos);
+  EXPECT_NE(s.find("sink"), std::string::npos);
+  EXPECT_NE(s.find(" -> "), std::string::npos);
+}
+
+TEST(Pipeline, TwoModuleClientServerDegenerateCase) {
+  // "a computing pipeline with only two end modules reduces to a
+  // traditional client/server based computing paradigm"
+  const Pipeline p({{"client", 0.0, 5.0}, {"server", 0.3, 1.0}});
+  EXPECT_EQ(p.module_count(), 2u);
+  EXPECT_DOUBLE_EQ(p.work_units(1), 1.5);
+}
+
+}  // namespace
+}  // namespace elpc::pipeline

@@ -1,0 +1,43 @@
+#include "pipeline/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::pipeline {
+namespace {
+
+TEST(PipelineJson, RoundTrip) {
+  util::Rng rng(11);
+  const Pipeline original = random_pipeline(rng, 7, {});
+  const Pipeline restored = pipeline_from_json(to_json(original));
+  ASSERT_EQ(restored.module_count(), original.module_count());
+  for (ModuleId j = 0; j < original.module_count(); ++j) {
+    EXPECT_EQ(restored.module(j).name, original.module(j).name);
+    EXPECT_DOUBLE_EQ(restored.module(j).complexity,
+                     original.module(j).complexity);
+    EXPECT_DOUBLE_EQ(restored.module(j).output_mb,
+                     original.module(j).output_mb);
+  }
+}
+
+TEST(PipelineJson, InvariantsRevalidatedOnLoad) {
+  // A document violating the c_0 = 0 invariant must be rejected by the
+  // Pipeline constructor during deserialization.
+  const util::Json doc = util::Json::parse(
+      R"({"modules":[{"name":"s","complexity":1.0,"output_mb":1.0},
+                     {"name":"t","complexity":0.1,"output_mb":1.0}]})");
+  EXPECT_THROW((void)pipeline_from_json(doc), std::invalid_argument);
+}
+
+TEST(PipelineJson, MalformedDocumentThrows) {
+  EXPECT_THROW((void)pipeline_from_json(util::Json::parse("{}")),
+               util::JsonError);
+  EXPECT_THROW((void)pipeline_from_json(util::Json::parse(
+                   R"({"modules":[{"name":"s"}]})")),
+               util::JsonError);
+}
+
+}  // namespace
+}  // namespace elpc::pipeline

@@ -1,0 +1,94 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&]() { order.push_back(3); });
+  q.schedule(1.0, [&]() { order.push_back(1); });
+  q.schedule(2.0, [&]() { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&]() { order.push_back(1); });
+  q.schedule(1.0, [&]() { order.push_back(2); });
+  q.schedule(1.0, [&]() { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(2.5, [&]() { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&]() {
+    times.push_back(q.now());
+    q.schedule_in(0.5, [&]() { times.push_back(q.now()); });
+  });
+  q.run();
+  EXPECT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule(5.0, [&]() {
+    EXPECT_THROW(q.schedule(1.0, []() {}), std::invalid_argument);
+  });
+  q.run();
+}
+
+TEST(EventQueue, RejectsNegativeDelay) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_in(-1.0, []() {}), std::invalid_argument);
+}
+
+TEST(EventQueue, CountsExecutedEvents) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(i, []() {});
+  }
+  EXPECT_EQ(q.pending(), 10u);
+  q.run();
+  EXPECT_EQ(q.executed(), 10u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventBudgetGuardsAgainstRunaway) {
+  EventQueue q;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&]() { q.schedule_in(1.0, loop); };
+  q.schedule(0.0, loop);
+  EXPECT_THROW(q.run(/*max_events=*/100), std::runtime_error);
+}
+
+TEST(EventQueue, SimultaneousCascadesStayDeterministic) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&]() {
+    order.push_back(1);
+    q.schedule(1.0, [&]() { order.push_back(3); });  // same timestamp
+  });
+  q.schedule(1.0, [&]() { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace elpc::sim

@@ -1,0 +1,175 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/elpc.hpp"
+#include "graph/generators.hpp"
+#include "mapping/evaluator.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+#include "workload/small_case.hpp"
+
+namespace elpc::sim {
+namespace {
+
+using mapping::Mapping;
+using mapping::Problem;
+
+workload::Scenario random_instance(std::uint64_t seed, std::size_t modules,
+                                   std::size_t nodes, std::size_t links) {
+  util::Rng rng(seed);
+  workload::Scenario s;
+  s.pipeline = pipeline::random_pipeline(rng, modules, {});
+  s.network = graph::random_connected_network(rng, nodes, links, {});
+  s.source = 0;
+  s.destination = nodes - 1;
+  return s;
+}
+
+TEST(Simulator, SingleFrameLatencyEqualsEq1Exactly) {
+  // The core validation: one dataset through the pipeline costs exactly
+  // the analytic total delay (including MLD terms).
+  for (std::uint64_t seed = 1; seed < 15; ++seed) {
+    const workload::Scenario s = random_instance(seed, 6, 9, 50);
+    const Problem p = s.problem({.include_link_delay = true});
+    const auto best = core::ElpcMapper().min_delay(p);
+    ASSERT_TRUE(best.feasible);
+    const SimReport report =
+        simulate(p, best.mapping, SimConfig{.frames = 1});
+    ASSERT_EQ(report.latencies_s.size(), 1u);
+    EXPECT_NEAR(report.latencies_s[0], best.seconds,
+                1e-9 * best.seconds + 1e-12)
+        << "seed " << seed;
+  }
+}
+
+TEST(Simulator, SaturatedThroughputEqualsReciprocalBottleneck) {
+  // Steady-state rate = 1 / Eq. 2 bottleneck (serialization-only
+  // transport: propagation delay does not limit throughput).
+  for (std::uint64_t seed = 30; seed < 40; ++seed) {
+    const workload::Scenario s = random_instance(seed, 5, 9, 55);
+    const Problem p = s.problem({.include_link_delay = false});
+    const auto best = core::ElpcMapper().max_frame_rate(p);
+    if (!best.feasible) {
+      continue;
+    }
+    const SimReport report =
+        simulate(p, best.mapping, SimConfig{.frames = 300});
+    EXPECT_NEAR(report.throughput_fps, best.frame_rate(),
+                0.01 * best.frame_rate())
+        << "seed " << seed;
+  }
+}
+
+TEST(Simulator, GroupedMappingThroughputMatchesSharedLoadModel) {
+  // A node running two modules serves each frame for the sum of their
+  // computing times; the relaxed evaluator predicts the simulator.
+  workload::Scenario s;
+  s.pipeline = pipeline::Pipeline(
+      {{"src", 0.0, 10.0}, {"a", 0.2, 10.0}, {"b", 0.3, 8.0},
+       {"sink", 0.05, 1.0}});
+  s.network.add_node({"n0", 2.0});
+  s.network.add_node({"n1", 5.0});
+  s.network.add_node({"n2", 4.0});
+  s.network.add_duplex_link(0, 1, {500.0, 0.001});
+  s.network.add_duplex_link(1, 2, {500.0, 0.001});
+  s.source = 0;
+  s.destination = 2;
+  const Problem p = s.problem({.include_link_delay = false});
+  const Mapping grouped({0, 1, 1, 2});
+  const auto eval =
+      mapping::evaluate_bottleneck(p, grouped, /*enforce_no_reuse=*/false);
+  ASSERT_TRUE(eval.feasible);
+  const SimReport report = simulate(p, grouped, SimConfig{.frames = 400});
+  EXPECT_NEAR(report.throughput_fps, 1.0 / eval.seconds,
+              0.01 / eval.seconds);
+}
+
+TEST(Simulator, ThrottledInjectionLimitsThroughput) {
+  const workload::Scenario s = workload::small_case();
+  const Problem p = s.problem({.include_link_delay = false});
+  const auto best = core::ElpcMapper().max_frame_rate(p);
+  ASSERT_TRUE(best.feasible);
+  // Inject at half the sustainable rate: output rate == injection rate.
+  const double interval = 2.0 * best.seconds;
+  const SimReport report = simulate(
+      p, best.mapping,
+      SimConfig{.frames = 200, .injection_interval_s = interval});
+  EXPECT_NEAR(report.throughput_fps, 1.0 / interval, 0.02 / interval);
+}
+
+TEST(Simulator, ThrottledLatencyStaysAtSingleFrameLatency) {
+  // Below saturation no queueing builds up: every frame's latency equals
+  // the first frame's.
+  const workload::Scenario s = workload::small_case();
+  const Problem p = s.problem({.include_link_delay = true});
+  const auto best = core::ElpcMapper().min_delay(p);
+  ASSERT_TRUE(best.feasible);
+  const SimReport report = simulate(
+      p, best.mapping,
+      SimConfig{.frames = 50, .injection_interval_s = best.seconds * 3.0});
+  for (double latency : report.latencies_s) {
+    EXPECT_NEAR(latency, report.latencies_s.front(), 1e-9);
+  }
+}
+
+TEST(Simulator, SaturatedLatencyGrowsWithQueueing) {
+  // At saturation, later frames wait behind earlier ones at the
+  // bottleneck: latency must be non-decreasing.
+  const workload::Scenario s = workload::small_case();
+  const Problem p = s.problem({.include_link_delay = false});
+  const auto best = core::ElpcMapper().max_frame_rate(p);
+  ASSERT_TRUE(best.feasible);
+  const SimReport report =
+      simulate(p, best.mapping, SimConfig{.frames = 100});
+  for (std::size_t f = 1; f < report.latencies_s.size(); ++f) {
+    EXPECT_GE(report.latencies_s[f], report.latencies_s[f - 1] - 1e-9);
+  }
+}
+
+TEST(Simulator, CompletionsArriveInFrameOrder) {
+  const workload::Scenario s = random_instance(77, 5, 8, 40);
+  const Problem p = s.problem();
+  const auto best = core::ElpcMapper().min_delay(p);
+  ASSERT_TRUE(best.feasible);
+  const SimReport report =
+      simulate(p, best.mapping, SimConfig{.frames = 60});
+  for (std::size_t f = 1; f < report.completions_s.size(); ++f) {
+    EXPECT_GE(report.completions_s[f], report.completions_s[f - 1]);
+  }
+}
+
+TEST(Simulator, RejectsInfeasibleMapping) {
+  const workload::Scenario s = random_instance(5, 4, 6, 20);
+  const Problem p = s.problem();
+  // Wrong endpoints.
+  EXPECT_THROW(
+      (void)simulate(p, Mapping({1, 1, 1, 1}), SimConfig{.frames = 1}),
+      std::invalid_argument);
+}
+
+TEST(Simulator, RejectsBadConfig) {
+  const workload::Scenario s = workload::small_case();
+  const Problem p = s.problem();
+  const auto best = core::ElpcMapper().min_delay(p);
+  EXPECT_THROW((void)simulate(p, best.mapping, SimConfig{.frames = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate(p, best.mapping,
+                              SimConfig{.frames = 1, .warmup_fraction = 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, EventCountScalesWithFrames) {
+  const workload::Scenario s = workload::small_case();
+  const Problem p = s.problem();
+  const auto best = core::ElpcMapper().min_delay(p);
+  const SimReport small = simulate(p, best.mapping, SimConfig{.frames = 10});
+  const SimReport large = simulate(p, best.mapping, SimConfig{.frames = 100});
+  EXPECT_GT(large.events, small.events);
+  EXPECT_EQ(large.events % large.latencies_s.size(), 0u)
+      << "per-frame event count should be uniform for a fixed mapping";
+}
+
+}  // namespace
+}  // namespace elpc::sim

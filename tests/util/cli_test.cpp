@@ -1,0 +1,111 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("prog");
+  parser.add_flag("verbose", "enable chatter");
+  parser.add_int("count", 10, "how many");
+  parser.add_double("rate", 1.5, "speed");
+  parser.add_string("name", "default", "label");
+  return parser;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser p = make_parser();
+  p.parse({});
+  EXPECT_FALSE(p.flag("verbose"));
+  EXPECT_EQ(p.get_int("count"), 10);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 1.5);
+  EXPECT_EQ(p.get_string("name"), "default");
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  ArgParser p = make_parser();
+  p.parse({"--count", "42", "--name", "abc"});
+  EXPECT_EQ(p.get_int("count"), 42);
+  EXPECT_EQ(p.get_string("name"), "abc");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  ArgParser p = make_parser();
+  p.parse({"--rate=2.75", "--name=x=y"});
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 2.75);
+  EXPECT_EQ(p.get_string("name"), "x=y");
+}
+
+TEST(ArgParser, FlagsToggle) {
+  ArgParser p = make_parser();
+  p.parse({"--verbose"});
+  EXPECT_TRUE(p.flag("verbose"));
+}
+
+TEST(ArgParser, FlagRejectsValue) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(p.parse({"--verbose=1"}), std::invalid_argument);
+}
+
+TEST(ArgParser, UnknownOptionThrowsWithUsage) {
+  ArgParser p = make_parser();
+  try {
+    p.parse({"--bogus"});
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--count"), std::string::npos)
+        << "error should list known options";
+  }
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(p.parse({"--count"}), std::invalid_argument);
+}
+
+TEST(ArgParser, BadNumberThrows) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(p.parse({"--count", "abc"}), std::invalid_argument);
+  ArgParser q = make_parser();
+  EXPECT_THROW(q.parse({"--rate", "x"}), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalsCollected) {
+  ArgParser p = make_parser();
+  p.parse({"file1", "--count", "2", "file2"});
+  EXPECT_EQ(p.positionals(), (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(ArgParser, DoubleDashStopsOptionParsing) {
+  ArgParser p = make_parser();
+  p.parse({"--", "--count", "5"});
+  EXPECT_EQ(p.get_int("count"), 10);  // untouched
+  EXPECT_EQ(p.positionals(),
+            (std::vector<std::string>{"--count", "5"}));
+}
+
+TEST(ArgParser, ArgcArgvOverloadSkipsProgramName) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--count", "3"};
+  p.parse(3, argv);
+  EXPECT_EQ(p.get_int("count"), 3);
+}
+
+TEST(ArgParser, TypeMismatchedAccessThrows) {
+  ArgParser p = make_parser();
+  p.parse({});
+  EXPECT_THROW((void)p.get_int("rate"), std::invalid_argument);
+  EXPECT_THROW((void)p.flag("count"), std::invalid_argument);
+}
+
+TEST(ArgParser, UsageListsOptionsAndDefaults) {
+  ArgParser p = make_parser();
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("int=10"), std::string::npos);
+  EXPECT_NE(usage.find("str=default"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elpc::util

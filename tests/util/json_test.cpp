@@ -1,0 +1,137 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_EQ(Json::parse("-17").as_int(), -17);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, ScientificNotation) {
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5E-2").as_number(), -0.025);
+}
+
+TEST(JsonParse, Arrays) {
+  const Json v = Json::parse("[1, 2, 3]");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 3u);
+  EXPECT_EQ(v.as_array()[2].as_int(), 3);
+}
+
+TEST(JsonParse, NestedObjects) {
+  const Json v = Json::parse(R"({"a": {"b": [true, null]}, "c": "x"})");
+  EXPECT_TRUE(v.at("a").at("b").as_array()[0].as_bool());
+  EXPECT_TRUE(v.at("a").at("b").as_array()[1].is_null());
+  EXPECT_EQ(v.at("c").as_string(), "x");
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(Json::parse("[]").as_array().empty());
+  EXPECT_TRUE(Json::parse("{}").as_object().empty());
+}
+
+TEST(JsonParse, StringEscapes) {
+  const Json v = Json::parse(R"("a\"b\\c\nd\te")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  // U+00E9 (e-acute) encodes as two UTF-8 bytes.
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  const Json v = Json::parse("  {\n\t\"k\" :  1 }  ");
+  EXPECT_EQ(v.at("k").as_int(), 1);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)Json::parse(""), JsonError);
+  EXPECT_THROW((void)Json::parse("{"), JsonError);
+  EXPECT_THROW((void)Json::parse("[1,]"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW((void)Json::parse("tru"), JsonError);
+  EXPECT_THROW((void)Json::parse("1 2"), JsonError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), JsonError);
+}
+
+TEST(JsonAccess, TypeMismatchThrows) {
+  const Json v = Json::parse("[1]");
+  EXPECT_THROW((void)v.as_object(), JsonError);
+  EXPECT_THROW((void)v.as_string(), JsonError);
+  EXPECT_THROW((void)v.at("k"), JsonError);
+}
+
+TEST(JsonAccess, MissingKeyThrows) {
+  const Json v = Json::parse("{\"a\":1}");
+  EXPECT_THROW((void)v.at("b"), JsonError);
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("b"));
+}
+
+TEST(JsonAccess, NonIntegralNumberRejectedByAsInt) {
+  EXPECT_THROW((void)Json::parse("1.5").as_int(), JsonError);
+}
+
+TEST(JsonBuild, SetAndPushBack) {
+  Json obj;
+  obj.set("x", 1).set("y", "two");
+  obj.set("list", Json(JsonArray{}));
+  Json list;
+  list.push_back(1).push_back(2);
+  obj.set("list", std::move(list));
+  EXPECT_EQ(obj.at("x").as_int(), 1);
+  EXPECT_EQ(obj.at("list").as_array().size(), 2u);
+}
+
+TEST(JsonDump, CanonicalCompactForm) {
+  Json obj;
+  obj.set("b", 2).set("a", 1);
+  // std::map sorts keys.
+  EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(JsonDump, PrettyPrintIndents) {
+  Json obj;
+  obj.set("a", Json(JsonArray{Json(1), Json(2)}));
+  const std::string out = obj.dump(2);
+  EXPECT_NE(out.find("{\n  \"a\": [\n    1,\n    2\n  ]\n}"),
+            std::string::npos);
+}
+
+TEST(JsonDump, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(JsonDump, StringsAreEscaped) {
+  EXPECT_EQ(Json("a\"b\n").dump(), "\"a\\\"b\\n\"");
+}
+
+TEST(JsonRoundTrip, ParseDumpParseIsIdentity) {
+  const std::string doc =
+      R"({"arr":[1,2.5,"s",null,true],"nested":{"k":[{"deep":-7}]}})";
+  const Json v1 = Json::parse(doc);
+  const Json v2 = Json::parse(v1.dump());
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(JsonRoundTrip, PreciseDoublesSurvive) {
+  const double value = 0.1234567890123456;
+  Json v;
+  v.set("x", value);
+  const Json back = Json::parse(v.dump());
+  EXPECT_DOUBLE_EQ(back.at("x").as_number(), value);
+}
+
+}  // namespace
+}  // namespace elpc::util

@@ -1,0 +1,73 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/timer.hpp"
+
+namespace elpc::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, MacroCompilesAndRespectsThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Nothing observable to assert without capturing stderr; this verifies
+  // the macro's statement form composes with control flow.
+  if (true)
+    ELPC_LOG(LogLevel::kInfo) << "suppressed " << 42;
+  ELPC_LOG(LogLevel::kError) << "also suppressed at kOff";
+  SUCCEED();
+}
+
+TEST(Log, BelowThresholdSkipsMessageConstruction) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  bool evaluated = false;
+  auto expensive = [&evaluated]() {
+    evaluated = true;
+    return std::string("payload");
+  };
+  ELPC_LOG(LogLevel::kDebug) << expensive();
+  EXPECT_FALSE(evaluated) << "suppressed levels must not evaluate operands";
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer timer;
+  // Busy-wait a tiny amount to get a non-zero reading.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + 1e-9;
+  }
+  EXPECT_GE(timer.elapsed_seconds(), 0.0);
+  EXPECT_GE(timer.elapsed_ms(), timer.elapsed_seconds());  // ms >= s scale
+}
+
+TEST(Timer, ResetRestartsClock) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + 1e-9;
+  }
+  const double before = timer.elapsed_seconds();
+  timer.reset();
+  EXPECT_LE(timer.elapsed_seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace elpc::util

@@ -1,0 +1,185 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace elpc::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    any_diff = any_diff || (a.next_u64() != b.next_u64());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.uniform_int(0, 4));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, IndexWithinBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.index(10), 10u);
+  }
+}
+
+TEST(Rng, IndexRejectsZero) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealWithinBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformRealMeanIsCentred) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform_real(0.0, 1.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliProbabilityRespected) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliRejectsBadProbability) {
+  Rng rng(17);
+  EXPECT_THROW((void)rng.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)rng.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, NormalZeroStddevIsDeterministic) {
+  Rng rng(19);
+  EXPECT_EQ(rng.normal(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(19);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, PickReturnsElement) {
+  Rng rng(23);
+  const std::vector<int> items = {1, 2, 3};
+  for (int i = 0; i < 50; ++i) {
+    const int v = rng.pick(items);
+    EXPECT_TRUE(v == 1 || v == 2 || v == 3);
+  }
+}
+
+TEST(Rng, PickRejectsEmpty) {
+  Rng rng(23);
+  const std::vector<int> empty;
+  EXPECT_THROW((void)rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> items(20);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(items, shuffled);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(31);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(items, shuffled);  // probability of identity is ~1/50!
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(101);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    differ = differ || (a.next_u64() != b.next_u64());
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, SplitIsDeterministicGivenParentState) {
+  Rng p1(202);
+  Rng p2(202);
+  Rng a = p1.split(5);
+  Rng b = p2.split(5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace elpc::util

@@ -1,0 +1,126 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace elpc::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.5);
+  EXPECT_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesDirectComputationOnRandomData) {
+  Rng rng(5);
+  RunningStats s;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(rng.uniform_real(-10, 10));
+    s.add(values.back());
+  }
+  const double mean = mean_of(values);
+  double var = 0.0;
+  for (double v : values) {
+    var += (v - mean) * (v - mean);
+  }
+  var /= static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(FitLine, ExactLineRecovered) {
+  // y = 3x + 2 exactly.
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {5, 8, 11, 14, 17};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineApproximatelyRecovered) {
+  Rng rng(6);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double xv = rng.uniform_real(0, 100);
+    x.push_back(xv);
+    y.push_back(0.5 * xv + 7.0 + rng.normal(0.0, 1.0));
+  }
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 7.0, 0.5);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(FitLine, ConstantYHasUnitR2) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {4, 4, 4};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_EQ(fit.r_squared, 1.0);
+}
+
+TEST(FitLine, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)fit_line({1}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)fit_line({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)fit_line({2, 2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 75), 7.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> sample = {5, 1, 9, 3};
+  EXPECT_EQ(percentile(sample, 0), 1.0);
+  EXPECT_EQ(percentile(sample, 100), 9.0);
+}
+
+TEST(Percentile, RejectsBadInputs) {
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1}, -1), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1}, 101), std::invalid_argument);
+}
+
+TEST(MeanOf, Basic) {
+  EXPECT_DOUBLE_EQ(mean_of({1, 2, 3, 4}), 2.5);
+  EXPECT_THROW((void)mean_of({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace elpc::util

@@ -1,0 +1,68 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::util {
+namespace {
+
+TEST(Split, Basic) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, AdjacentDelimitersGiveEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Split, LeadingAndTrailingDelimiters) {
+  EXPECT_EQ(split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Split, NoDelimiter) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello\t\n"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) {
+  EXPECT_EQ(trim(" \t\r\n "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Trim, InteriorWhitespacePreserved) {
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-flag", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatDouble, Rounds) {
+  EXPECT_EQ(format_double(1.005, 1), "1.0");
+  EXPECT_EQ(format_double(1.95, 1), "1.9");  // banker-ish via printf
+  EXPECT_EQ(format_double(1.96, 1), "2.0");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"only"}, ","), "only");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace elpc::util

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t({"c1", "c2"});
+  t.add_row({"long-label", "7"});
+  t.add_row({"x", "1234"});
+  const std::string out = t.render();
+  // All lines (except possibly the last trimmed column) share the same
+  // position for the second column: check the numbers are right-aligned.
+  EXPECT_NE(out.find("   7"), std::string::npos);
+  EXPECT_NE(out.find("1234"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, SetAlignValidatesColumn) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.set_align(1, Align::kLeft), std::invalid_argument);
+  t.set_align(0, Align::kRight);  // no throw
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTableCsv, Basic) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTableCsv, EscapesSpecialCharacters) {
+  TextTable t({"a"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elpc::util

@@ -1,0 +1,93 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace elpc::util {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, WorkerCountDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter]() { ++counter; }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallel_for(50, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 3) {
+                                     throw std::logic_error("bad index");
+                                   }
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      (void)pool.submit([&done]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++done;
+      });
+    }
+  }  // destructor joins
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, ResultsArriveFromConcurrentWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::future<std::size_t>> futures;
+  for (std::size_t i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+}  // namespace
+}  // namespace elpc::util

@@ -1,0 +1,17 @@
+// Thin process wrapper around experiments::run_cli (see cli_app.hpp for
+// the subcommand reference; the logic lives in the library so the test
+// suite can exercise it in-process).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments/cli_app.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  return elpc::experiments::run_cli(args, std::cout, std::cerr);
+}
