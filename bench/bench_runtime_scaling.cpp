@@ -11,6 +11,8 @@
 #include "experiments/scaling.hpp"
 #include "graph/generators.hpp"
 #include "pipeline/generator.hpp"
+#include "util/file_io.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -19,6 +21,35 @@ namespace {
 
 using namespace elpc;
 
+constexpr const char* kJsonPath = "BENCH_runtime_scaling.json";
+
+/// Persists the sweep as the machine-readable perf trajectory future PRs
+/// regress against: one record per (scale, algorithm) with the mean
+/// per-objective milliseconds.
+void write_scaling_json(const std::vector<experiments::ScalingPoint>& points,
+                        const std::vector<std::string>& names) {
+  util::JsonArray records;
+  for (const auto& p : points) {
+    for (std::size_t a = 0; a < names.size(); ++a) {
+      util::Json record = util::JsonObject{};
+      record.set("modules", p.modules);
+      record.set("nodes", p.nodes);
+      record.set("links", p.links);
+      record.set("algorithm", names[a]);
+      record.set("min_delay_mean_ms", p.min_delay_ms[a]);
+      record.set("max_frame_rate_mean_ms", p.max_frame_rate_ms[a]);
+      record.set("total_mean_ms", p.min_delay_ms[a] + p.max_frame_rate_ms[a]);
+      records.push_back(std::move(record));
+    }
+  }
+  util::Json doc = util::JsonObject{};
+  doc.set("bench", "runtime_scaling");
+  doc.set("unit", "milliseconds");
+  doc.set("records", util::Json(std::move(records)));
+  util::write_text_file(kJsonPath, doc.dump(2) + "\n");
+  std::printf("wrote %s\n", kJsonPath);
+}
+
 void print_scaling() {
   bench::banner("algorithm runtime scaling (mean of 3 runs, both objectives)");
   experiments::ScalingConfig config;
@@ -26,13 +57,16 @@ void print_scaling() {
   util::TextTable table({"modules", "nodes", "links", "ELPC ms",
                          "Streamline ms", "Greedy ms"});
   for (const auto& p : points) {
+    const auto total = [&p](std::size_t a) {
+      return p.min_delay_ms[a] + p.max_frame_rate_ms[a];
+    };
     table.add_row({std::to_string(p.modules), std::to_string(p.nodes),
-                   std::to_string(p.links),
-                   util::format_double(p.runtime_ms[0], 3),
-                   util::format_double(p.runtime_ms[1], 3),
-                   util::format_double(p.runtime_ms[2], 3)});
+                   std::to_string(p.links), util::format_double(total(0), 3),
+                   util::format_double(total(1), 3),
+                   util::format_double(total(2), 3)});
   }
   std::printf("%s\n", table.render().c_str());
+  write_scaling_json(points, experiments::scaling_algorithm_names());
 }
 
 workload::Scenario make_scaled(std::size_t modules, std::size_t nodes) {

@@ -1,10 +1,15 @@
 #include "core/elpc.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
 #include <limits>
+#include <thread>
 #include <vector>
 
-#include "core/node_set.hpp"
+#include "core/framerate_arena.hpp"
+#include "graph/algorithms.hpp"
+#include "util/thread_pool.hpp"
 
 namespace elpc::core {
 
@@ -18,6 +23,35 @@ using graph::NodeId;
 using mapping::MapResult;
 using mapping::Mapping;
 using mapping::Problem;
+
+/// Shared worker pool for the per-column node sweep, built on first use.
+/// ThreadPool::parallel_for is safe for concurrent callers, so mapper
+/// instances running on different threads share these workers.
+util::ThreadPool& sweep_pool() {
+  static util::ThreadPool pool;
+  return pool;
+}
+
+/// Parallel sweeps only pay off with real hardware parallelism.  A
+/// hardware_concurrency() of 0 means "unknown" — but ThreadPool sizes
+/// its default worker count from the same call (max(1, hc)), so the pool
+/// would have one worker there anyway and gating off is consistent.
+bool multicore() {
+  return std::thread::hardware_concurrency() > 1;
+}
+
+/// Backward hop prune for the frame-rate DP (its transitions all cross a
+/// link): cell (j, v) is dead when v cannot reach the destination within
+/// the modules that remain.  A link u -> v bounds
+/// to_dest[u] <= 1 + to_dest[v], so a dead cell can never feed a live
+/// one — skipping dead cells is exactly result-preserving there.
+/// min_delay does NOT use it: its grouping sub-case (stay on the node
+/// while j advances) needs a separate argument, and the BFS did not pay
+/// for itself when measured.
+inline bool cell_dead(const std::vector<std::size_t>& to_dest, NodeId v,
+                      std::size_t j, std::size_t n) {
+  return to_dest[v] > n - 1 - j;  // unreachable is SIZE_MAX, always dead
+}
 
 /// Reconstructs the per-module assignment from column-parent pointers:
 /// parent[j * k + v] is the node running module j-1 when module j runs
@@ -41,36 +75,128 @@ MapResult ElpcMapper::min_delay(const Problem& problem) const {
   const std::size_t n = problem.pipeline->module_count();
   const std::size_t k = net.node_count();
 
+  // The CSR view must exist before worker threads start sweeping it.
+  net.finalize();
+  util::ThreadPool* pool = nullptr;
+  std::size_t chunks = 1;
+  if (options_.parallel_sweep && multicore() && n >= 3 && k >= 128 &&
+      net.link_count() >= 16384) {
+    pool = &sweep_pool();
+    chunks = std::min(k, 4 * pool->worker_count());
+  }
+
   // T^j(v): minimal delay mapping modules 0..j onto a walk source -> v.
   // Two rolling columns plus a full parent table for reconstruction.
   std::vector<double> prev(k, kInf);
   std::vector<double> cur(k, kInf);
   std::vector<NodeId> parent(n * k, kInvalidNode);
+  std::vector<double> comp_col(k);
+  std::vector<NodeId> frontier;
+  frontier.reserve(k);
+  bool sparse_head = true;
+
+  // Hoisted flat CSR pointers: the cell kernels index these local
+  // variables instead of calling the per-row accessors, which measurably
+  // improves the generated inner loops.
+  const Edge* const in_edges = net.in_edges_flat().data();
+  const std::size_t* const in_off = net.in_row_offsets().data();
+  const Edge* const out_edges = net.out_edges_flat().data();
+  const std::size_t* const out_off = net.out_row_offsets().data();
 
   prev[problem.source] = 0.0;  // module 0 (source stage) computes nothing
 
   for (std::size_t j = 1; j < n; ++j) {
-    std::fill(cur.begin(), cur.end(), kInf);
     const double input_mb = problem.pipeline->input_mb(j);
+    // Hoist the per-node computing times (one division each) out of the
+    // edge sweep, and collect the reachable frontier: early columns touch
+    // only a few nodes, and a frontier scatter skips every edge whose
+    // source cell is infinite.  Both sweeps evaluate the same candidate
+    // set with the same operations, so cell values are bit-identical
+    // either way (only tie-broken parents may differ).
     for (NodeId v = 0; v < k; ++v) {
-      const double comp = model.computing_time(j, v);
-      // Sub-case (i): module j joins module j-1's node (grouping).
-      double best = prev[v] == kInf ? kInf : prev[v] + comp;
-      NodeId best_parent = v;
-      // Sub-case (ii): module j-1 ran on an in-neighbour u of v.
-      for (const Edge& e : net.in_edges(v)) {
-        if (prev[e.from] == kInf) {
+      comp_col[v] = model.computing_time(j, v);
+    }
+    bool use_scatter = false;
+    if (sparse_head) {
+      // The forward-reachable set only grows, so once the frontier is
+      // dense it stays dense: stop scanning for it (abort mid-scan the
+      // moment it crosses the threshold).
+      frontier.clear();
+      std::size_t frontier_out_edges = 0;
+      use_scatter = true;
+      for (NodeId v = 0; v < k; ++v) {
+        if (prev[v] == kInf) {
           continue;
         }
-        const double cand =
-            prev[e.from] + model.transport_time(input_mb, e.attr) + comp;
-        if (cand < best) {
-          best = cand;
-          best_parent = e.from;
+        frontier.push_back(v);
+        frontier_out_edges += out_off[v + 1] - out_off[v];
+        if (frontier_out_edges * 2 >= net.link_count()) {
+          use_scatter = false;
+          sparse_head = false;
+          break;
         }
       }
-      cur[v] = best;
-      parent[j * k + v] = best_parent;
+    }
+
+    if (use_scatter) {
+      // Sparse frontier: scatter along its out-edges only.
+      for (NodeId v = 0; v < k; ++v) {
+        // Sub-case (i): module j joins module j-1's node (grouping).
+        cur[v] = prev[v] == kInf ? kInf : prev[v] + comp_col[v];
+        parent[j * k + v] = v;
+      }
+      for (const NodeId u : frontier) {
+        const double from_cost = prev[u];
+        for (std::size_t i = out_off[u]; i < out_off[u + 1]; ++i) {
+          const Edge& e = out_edges[i];
+          const double cand = from_cost +
+                              model.transport_time(input_mb, e.attr) +
+                              comp_col[e.to];
+          if (cand < cur[e.to]) {
+            cur[e.to] = cand;
+            parent[j * k + e.to] = u;
+          }
+        }
+      }
+    } else {
+      // Dense frontier: gather per cell.  Each cell reads only the
+      // previous column and writes its own slots, so the column sweep
+      // parallelizes without changing a single floating-point operation
+      // — parallel and serial results are bit-identical.
+      const auto sweep_cell = [&](NodeId v) {
+        const double comp = comp_col[v];
+        // Sub-case (i): module j joins module j-1's node (grouping).
+        double best = prev[v] == kInf ? kInf : prev[v] + comp;
+        NodeId best_parent = v;
+        // Sub-case (ii): module j-1 ran on an in-neighbour u of v.
+        for (std::size_t i = in_off[v]; i < in_off[v + 1]; ++i) {
+          const Edge& e = in_edges[i];
+          if (prev[e.from] == kInf) {
+            continue;
+          }
+          const double cand =
+              prev[e.from] + model.transport_time(input_mb, e.attr) + comp;
+          if (cand < best) {
+            best = cand;
+            best_parent = e.from;
+          }
+        }
+        cur[v] = best;
+        parent[j * k + v] = best_parent;
+      };
+      if (pool != nullptr) {
+        pool->parallel_for(chunks, [&](std::size_t c) {
+          const NodeId lo = static_cast<NodeId>(c * k / chunks);
+          const NodeId hi = static_cast<NodeId>((c + 1) * k / chunks);
+          for (NodeId v = lo; v < hi; ++v) {
+            sweep_cell(v);
+          }
+        });
+      } else {
+        for (NodeId v = 0; v < k; ++v) {
+          sweep_cell(v);
+        }
+      }
     }
     std::swap(prev, cur);
   }
@@ -88,22 +214,17 @@ MapResult ElpcMapper::min_delay(const Problem& problem) const {
 
 namespace {
 
-/// One surviving partial path at a frame-rate DP cell.
-struct Label {
-  double bottleneck = kInf;
-  /// Sum of all cost terms; the (ablatable) secondary criterion.
-  double sum = kInf;
-  NodeId parent_node = kInvalidNode;
-  std::uint32_t parent_label = 0;
-  NodeSet used;
-};
+using FrameLabel = FrameRateArena::Label;
+using Candidate = FrameRateArena::Candidate;
+using ParentRec = FrameRateArena::ParentRec;
 
-/// Sorting criterion: bottleneck first, then (optionally) the sum.
-bool label_before(const Label& a, const Label& b, bool sum_tiebreak) {
-  if (a.bottleneck != b.bottleneck) {
-    return a.bottleneck < b.bottleneck;
+/// Ordering criterion: bottleneck first, then (optionally) the sum.
+inline bool candidate_before(double bn_a, double sum_a, double bn_b,
+                             double sum_b, bool sum_tiebreak) {
+  if (bn_a != bn_b) {
+    return bn_a < bn_b;
   }
-  return sum_tiebreak && a.sum < b.sum;
+  return sum_tiebreak && sum_a < sum_b;
 }
 
 /// Bottleneck-targeted 1-swap local search on a one-to-one mapping.
@@ -243,7 +364,8 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   const graph::Network& net = *problem.network;
   const std::size_t n = problem.pipeline->module_count();
   const std::size_t k = net.node_count();
-  const std::size_t beam = std::max<std::size_t>(1, options_.framerate_beam_width);
+  const std::size_t beam =
+      std::max<std::size_t>(1, options_.framerate_beam_width);
 
   if (n > k) {
     return MapResult::infeasible(
@@ -254,108 +376,228 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
         "source equals destination; no simple n-node path exists");
   }
 
+  // The CSR view must exist before worker threads start sweeping it.
+  net.finalize();
+
+  // The parallel sweep pays for its task dispatch only when a column
+  // carries real work; below the threshold the serial sweep wins.
+  util::ThreadPool* pool = nullptr;
+  std::size_t chunks = 1;
+  if (options_.parallel_sweep && multicore() && n >= 3 && k >= 128 &&
+      net.link_count() * beam >= 16384) {
+    pool = &sweep_pool();
+    chunks = std::min(k, 4 * pool->worker_count());
+  }
+
   // B^j(v) of the paper's Fig. 1 table, generalized to a beam: cell
   // (j, v) holds up to `beam` surviving partial paths (modules 0..j
   // mapped one-to-one onto a simple path source -> v), each carrying the
   // node set it consumed so extensions honour the no-reuse constraint.
-  // Width 1 is exactly the published recursion (Eq. 5).
-  std::vector<std::vector<std::vector<Label>>> table(
-      n, std::vector<std::vector<Label>>(k));
+  // Width 1 is exactly the published recursion (Eq. 5).  Only two label
+  // columns are live at a time; the arena (reused across calls on this
+  // thread) makes the steady state allocation-free.
+  // NB: thread_local variables are not captured by lambdas — worker
+  // threads would silently touch their own empty arenas — so the sweep
+  // closes over this ordinary reference instead.
+  thread_local FrameRateArena tls_arena;
+  FrameRateArena& arena = tls_arena;
+  arena.setup(k, beam, n, chunks);
+  const std::size_t W = arena.words_per_set();
+  const std::size_t realloc_baseline = arena.reallocations();
 
+  // Backward hop distances for the dead-cell prune: a cell that cannot
+  // reach the destination on a simple path within the remaining modules
+  // can never feed a live cell (see cell_dead), so skipping it changes
+  // nothing but the work done.
+  const std::vector<std::size_t> to_dest =
+      graph::hops_to_target(net, problem.destination);
+
+  // Hoisted flat CSR pointers (see min_delay): local variables give the
+  // cell kernel measurably better code than per-row accessor calls.
+  const Edge* const in_edges = net.in_edges_flat().data();
+  const std::size_t* const in_off = net.in_row_offsets().data();
+
+  int prev_p = 0;
+  int cur_p = 1;
+  arena.clear_column(prev_p);
   {
-    Label start;
+    FrameLabel& start = arena.labels(prev_p)[problem.source * beam];
     start.bottleneck = 0.0;
     start.sum = 0.0;
-    start.used = NodeSet(k);
-    start.used.insert(problem.source);
-    table[0][problem.source].push_back(std::move(start));
+    if (W == 0) {
+      start.used_inline = std::uint64_t{1} << problem.source;
+    } else {
+      std::uint64_t* words = arena.words(prev_p) + problem.source * beam * W;
+      std::memset(words, 0, W * sizeof(std::uint64_t));
+      words[problem.source >> 6] |=
+          std::uint64_t{1} << (problem.source & 63);
+    }
+    arena.counts(prev_p)[problem.source] = 1;
   }
 
-  std::vector<Label> candidates;
-  for (std::size_t j = 1; j < n; ++j) {
-    const double input_mb = problem.pipeline->input_mb(j);
+  // Computes cell (j, v) of the current column: scans incoming edges,
+  // keeps the top `beam` extensions, and materializes the survivors'
+  // visited sets and parent records.  Each predecessor node contributes
+  // at most its best extendable label, so survivors automatically have
+  // distinct predecessors — the diversity rule of the beam (identical-
+  // parent survivors have highly correlated visited sets and add little).
+  const auto sweep_cell = [&](std::size_t j, NodeId v, double input_mb,
+                              Candidate* cand) {
     // Only the destination cell matters in the final column; other nodes
     // would strand the sink module elsewhere.  Conversely, intermediate
     // modules must stay OFF the destination: a simple path that consumes
     // the destination mid-way can never host the pinned sink module, so
     // such cells are dead ends that would only displace viable
     // candidates.
-    for (NodeId v = 0; v < k; ++v) {
-      if (j + 1 == n && v != problem.destination) {
+    if (j + 1 == n && v != problem.destination) {
+      return;
+    }
+    if (j + 1 < n && v == problem.destination) {
+      return;
+    }
+    if (cell_dead(to_dest, v, j, n)) {
+      return;  // cannot reach the destination in the remaining columns
+    }
+    const double comp = model.computing_time(j, v);
+    const FrameLabel* prev_labels = arena.labels(prev_p);
+    const std::uint32_t* prev_counts = arena.counts(prev_p);
+    const std::uint64_t* prev_words = arena.words(prev_p);
+    const bool tiebreak = options_.framerate_sum_tiebreak;
+    std::size_t kept = 0;
+    for (std::size_t i = in_off[v]; i < in_off[v + 1]; ++i) {
+      const Edge& e = in_edges[i];
+      const NodeId u = e.from;
+      const std::uint32_t count = prev_counts[u];
+      if (count == 0) {
         continue;
       }
-      if (j + 1 < n && v == problem.destination) {
-        continue;
-      }
-      const double comp = model.computing_time(j, v);
-      candidates.clear();
-      for (const Edge& e : net.in_edges(v)) {
-        const NodeId u = e.from;
-        const std::vector<Label>& labels = table[j - 1][u];
-        const double transport = model.transport_time(input_mb, e.attr);
-        for (std::uint32_t b = 0; b < labels.size(); ++b) {
-          const Label& from = labels[b];
-          if (options_.framerate_visited_check && from.used.contains(v)) {
+      const double transport = model.transport_time(input_mb, e.attr);
+      double best_bn = kInf;
+      double best_sum = kInf;
+      std::uint32_t best_slot = 0;
+      bool found = false;
+      for (std::uint32_t s = 0; s < count; ++s) {
+        const FrameLabel& from = prev_labels[u * beam + s];
+        if (options_.framerate_visited_check) {
+          const bool visited =
+              W == 0 ? ((from.used_inline >> v) & 1) != 0
+                     : ((prev_words[(u * beam + s) * W + (v >> 6)] >>
+                         (v & 63)) &
+                        1) != 0;
+          if (visited) {
             continue;  // node already consumed by this partial path
           }
-          Label cand;
-          cand.bottleneck = std::max({from.bottleneck, transport, comp});
-          cand.sum = from.sum + transport + comp;
-          cand.parent_node = u;
-          cand.parent_label = b;
-          candidates.push_back(std::move(cand));
+        }
+        const double bn = std::max({from.bottleneck, transport, comp});
+        const double sum = from.sum + transport + comp;
+        if (!found ||
+            candidate_before(bn, sum, best_bn, best_sum, tiebreak)) {
+          found = true;
+          best_bn = bn;
+          best_sum = sum;
+          best_slot = s;
         }
       }
-      if (candidates.empty()) {
+      if (!found) {
         continue;
       }
-      std::sort(candidates.begin(), candidates.end(),
-                [&](const Label& a, const Label& b) {
-                  return label_before(a, b, options_.framerate_sum_tiebreak);
-                });
-      // Keep the best `beam` survivors, preferring distinct predecessor
-      // nodes for diversity (identical-parent survivors have highly
-      // correlated visited sets and add little).
-      std::vector<Label>& cell = table[j][v];
-      for (const Label& cand : candidates) {
-        if (cell.size() >= beam) {
-          break;
+      // Bounded insertion keeps cand[0..kept) sorted best-first; no full
+      // sort of the candidate set ever happens.
+      std::size_t pos;
+      if (kept < beam) {
+        pos = kept++;
+      } else if (candidate_before(best_bn, best_sum,
+                                  cand[beam - 1].bottleneck,
+                                  cand[beam - 1].sum, tiebreak)) {
+        pos = beam - 1;
+      } else {
+        continue;
+      }
+      while (pos > 0 && candidate_before(best_bn, best_sum,
+                                         cand[pos - 1].bottleneck,
+                                         cand[pos - 1].sum, tiebreak)) {
+        cand[pos] = cand[pos - 1];
+        --pos;
+      }
+      cand[pos] = Candidate{best_bn, best_sum, static_cast<std::uint32_t>(u),
+                            best_slot};
+    }
+    if (kept == 0) {
+      return;
+    }
+    FrameLabel* cur_labels = arena.labels(cur_p);
+    std::uint64_t* cur_words = arena.words(cur_p);
+    ParentRec* parents = arena.parents();
+    for (std::size_t s = 0; s < kept; ++s) {
+      FrameLabel& label = cur_labels[v * beam + s];
+      label.bottleneck = cand[s].bottleneck;
+      label.sum = cand[s].sum;
+      const std::size_t from_slot = cand[s].node * beam + cand[s].slot;
+      if (W == 0) {
+        label.used_inline =
+            prev_labels[from_slot].used_inline | (std::uint64_t{1} << v);
+      } else {
+        const std::uint64_t* src = prev_words + from_slot * W;
+        std::uint64_t* dst = cur_words + (v * beam + s) * W;
+        std::memcpy(dst, src, W * sizeof(std::uint64_t));
+        dst[v >> 6] |= std::uint64_t{1} << (v & 63);
+      }
+      parents[(j * k + v) * beam + s] = ParentRec{cand[s].node, cand[s].slot};
+    }
+    arena.counts(cur_p)[v] = static_cast<std::uint32_t>(kept);
+  };
+
+  for (std::size_t j = 1; j < n; ++j) {
+    arena.clear_column(cur_p);
+    const double input_mb = problem.pipeline->input_mb(j);
+    if (pool != nullptr && j + 1 < n) {
+      pool->parallel_for(chunks, [&](std::size_t c) {
+        const NodeId lo = static_cast<NodeId>(c * k / chunks);
+        const NodeId hi = static_cast<NodeId>((c + 1) * k / chunks);
+        Candidate* cand = arena.scratch(c);
+        for (NodeId v = lo; v < hi; ++v) {
+          sweep_cell(j, v, input_mb, cand);
         }
-        bool parent_taken = false;
-        for (const Label& kept : cell) {
-          if (kept.parent_node == cand.parent_node) {
-            parent_taken = true;
-            break;
-          }
-        }
-        if (parent_taken) {
-          continue;
-        }
-        Label kept = cand;
-        kept.used = table[j - 1][cand.parent_node][cand.parent_label].used;
-        kept.used.insert(v);
-        cell.push_back(std::move(kept));
+      });
+    } else if (j + 1 == n) {
+      sweep_cell(j, problem.destination, input_mb, arena.scratch(0));
+    } else {
+      Candidate* cand = arena.scratch(0);
+      for (NodeId v = 0; v < k; ++v) {
+        sweep_cell(j, v, input_mb, cand);
       }
     }
+    std::swap(prev_p, cur_p);
   }
 
-  const std::vector<Label>& final_cell = table[n - 1][problem.destination];
-  if (final_cell.empty()) {
+  // Steady-state guarantee: extending labels touched only setup()-sized
+  // buffers, never the allocator.
+  assert(arena.reallocations() == realloc_baseline);
+  static_cast<void>(realloc_baseline);
+
+  if (arena.counts(prev_p)[problem.destination] == 0) {
     return MapResult::infeasible(
         "no simple path of the pipeline's length reaches the destination "
         "(heuristic may also have exhausted candidate nodes)");
   }
 
-  // Reconstruct the best survivor's assignment by walking parent labels.
+  // Reconstruct the best survivor (slot 0) by walking parent records.
   std::vector<NodeId> assignment(n, kInvalidNode);
   assignment[n - 1] = problem.destination;
-  const Label* label = &final_cell.front();
-  for (std::size_t j = n - 1; j > 0; --j) {
-    assignment[j - 1] = label->parent_node;
-    label = &table[j - 1][label->parent_node][label->parent_label];
+  {
+    const ParentRec* parents = arena.parents();
+    NodeId v = problem.destination;
+    std::uint32_t slot = 0;
+    for (std::size_t j = n - 1; j > 0; --j) {
+      const ParentRec rec = parents[(j * k + v) * beam + slot];
+      assignment[j - 1] = rec.node;
+      v = rec.node;
+      slot = rec.slot;
+    }
   }
 
-  double bottleneck = final_cell.front().bottleneck;
+  double bottleneck =
+      arena.labels(prev_p)[problem.destination * beam].bottleneck;
   if (options_.framerate_local_search) {
     improve_by_node_swaps(problem, model, assignment, bottleneck);
   }

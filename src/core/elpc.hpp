@@ -57,6 +57,13 @@ struct ElpcOptions {
   /// knows which ones the suffix will need.  O(rounds * n * k); off
   /// reproduces the bare published heuristic (ablation A5).
   bool framerate_local_search = true;
+  /// Spread each DP column's node sweep (both objectives) over the shared
+  /// worker pool on large instances.  Columns have a strict j -> j+1
+  /// dependency, but the cells within one column are independent and
+  /// write disjoint slots, so the result is bit-identical to the serial
+  /// sweep.  Off forces the serial sweep (useful when the caller already
+  /// saturates the machine with concurrent mapper runs).
+  bool parallel_sweep = true;
 };
 
 /// The paper's algorithm pair behind the common Mapper interface.

@@ -1,0 +1,131 @@
+#pragma once
+// FrameRateArena — flat, reusable storage for the rolling-column
+// frame-rate DP (see src/core/README.md for the architecture).
+//
+// The DP keeps two label columns (previous / current) instead of the full
+// n x k table: column j only ever reads column j-1.  Each cell (column,
+// node) holds up to `beam` labels.  A label's visited-node set lives in
+// one of two places: inline in the label as a single 64-bit word when the
+// network has <= 64 nodes (the common case and the fast path), or in a
+// pooled word buffer at a fixed per-(node, slot) offset otherwise.
+// Parent links needed for path reconstruction are stored separately as
+// compact 8-byte records for *all* columns, so rolling the label columns
+// loses nothing.
+//
+// All buffers are sized once in setup() and indexed thereafter: extending
+// a label is pure pointer arithmetic, never an allocation.  setup()
+// counts buffer growths, so tests can assert that a reused arena (or a
+// second setup at the same dimensions) performs zero heap allocations —
+// the steady-state guarantee the DP relies on.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace elpc::core {
+
+class FrameRateArena {
+ public:
+  /// One surviving partial path at a DP cell.  Parent links live in
+  /// ParentRec (kept for every column); visited sets larger than 64 nodes
+  /// live in the pooled word buffer at the label's (node, slot) offset.
+  struct Label {
+    double bottleneck = 0.0;
+    /// Sum of all cost terms; the (ablatable) secondary criterion.
+    double sum = 0.0;
+    /// The full visited set when words_per_set() == 0; unused otherwise.
+    std::uint64_t used_inline = 0;
+  };
+
+  /// Reconstruction record for the label at (column, node, slot): the
+  /// predecessor node and the slot within its cell one column earlier.
+  struct ParentRec {
+    std::uint32_t node = 0;
+    std::uint32_t slot = 0;
+  };
+
+  /// Candidate scratch used during per-cell top-beam selection; one
+  /// beam-sized row per parallel chunk.
+  struct Candidate {
+    double bottleneck = 0.0;
+    double sum = 0.0;
+    std::uint32_t node = 0;
+    std::uint32_t slot = 0;
+  };
+
+  /// Sizes every buffer for `columns` DP columns over `node_count` nodes
+  /// with `beam` labels per cell and `chunks` parallel workers.  This is
+  /// the only place the arena allocates; reusing an arena whose capacity
+  /// already covers the requested dimensions allocates nothing.
+  void setup(std::size_t node_count, std::size_t beam, std::size_t columns,
+             std::size_t chunks) {
+    node_count_ = node_count;
+    beam_ = beam;
+    words_per_set_ = node_count <= 64 ? 0 : (node_count + 63) / 64;
+    const std::size_t cells = node_count * beam;
+    for (int p = 0; p < 2; ++p) {
+      reserve_exact(labels_[p], cells);
+      reserve_exact(counts_[p], node_count);
+      reserve_exact(words_[p], cells * words_per_set_);
+    }
+    reserve_exact(parents_, columns * cells);
+    reserve_exact(scratch_, chunks * beam);
+  }
+
+  [[nodiscard]] std::size_t words_per_set() const noexcept {
+    return words_per_set_;
+  }
+  [[nodiscard]] bool uses_inline_set() const noexcept {
+    return words_per_set_ == 0;
+  }
+  [[nodiscard]] std::size_t beam() const noexcept { return beam_; }
+
+  /// Rolling-column accessors; `parity` alternates 0/1 per column.
+  [[nodiscard]] Label* labels(int parity) noexcept {
+    return labels_[parity].data();
+  }
+  [[nodiscard]] std::uint32_t* counts(int parity) noexcept {
+    return counts_[parity].data();
+  }
+  [[nodiscard]] std::uint64_t* words(int parity) noexcept {
+    return words_[parity].data();
+  }
+  [[nodiscard]] ParentRec* parents() noexcept { return parents_.data(); }
+  [[nodiscard]] Candidate* scratch(std::size_t chunk) noexcept {
+    return scratch_.data() + chunk * beam_;
+  }
+
+  /// Zeroes a column's cell counts (labels/words need no clearing: a
+  /// cell's contents are dead until its count says otherwise).
+  void clear_column(int parity) noexcept {
+    std::fill(counts_[parity].begin(), counts_[parity].end(), 0u);
+  }
+
+  /// Number of buffer growths across all setup() calls.  Stable between
+  /// two observations <=> no arena allocation happened in between.
+  [[nodiscard]] std::size_t reallocations() const noexcept {
+    return reallocations_;
+  }
+
+ private:
+  template <typename T>
+  void reserve_exact(std::vector<T>& buffer, std::size_t n) {
+    if (buffer.capacity() < n) {
+      ++reallocations_;
+    }
+    buffer.resize(n);
+  }
+
+  std::size_t node_count_ = 0;
+  std::size_t beam_ = 0;
+  std::size_t words_per_set_ = 0;
+  std::size_t reallocations_ = 0;
+  std::vector<Label> labels_[2];
+  std::vector<std::uint32_t> counts_[2];
+  std::vector<std::uint64_t> words_[2];
+  std::vector<ParentRec> parents_;
+  std::vector<Candidate> scratch_;
+};
+
+}  // namespace elpc::core

@@ -31,9 +31,11 @@ mapping::MapperPtr make_mapper(const std::string& name) {
                               util::join(registered_names(), ", "));
 }
 
-std::vector<mapping::MapperPtr> paper_mappers() {
+std::vector<mapping::MapperPtr> paper_mappers(bool parallel_sweep) {
+  core::ElpcOptions elpc_options;
+  elpc_options.parallel_sweep = parallel_sweep;
   std::vector<mapping::MapperPtr> mappers;
-  mappers.push_back(make_mapper("ELPC"));
+  mappers.push_back(std::make_unique<core::ElpcMapper>(elpc_options));
   mappers.push_back(make_mapper("Streamline"));
   mappers.push_back(make_mapper("Greedy"));
   return mappers;

@@ -14,8 +14,12 @@ namespace elpc::experiments {
 [[nodiscard]] mapping::MapperPtr make_mapper(const std::string& name);
 
 /// The paper's three compared algorithms, in the paper's column order:
-/// ELPC, Streamline, Greedy.
-[[nodiscard]] std::vector<mapping::MapperPtr> paper_mappers();
+/// ELPC, Streamline, Greedy.  `parallel_sweep` forwards to ElpcOptions:
+/// pass false when the caller already runs cases concurrently
+/// (run_suite), so timed mapper calls do not contend for the shared
+/// sweep pool.
+[[nodiscard]] std::vector<mapping::MapperPtr> paper_mappers(
+    bool parallel_sweep = true);
 
 /// All registered names.
 [[nodiscard]] std::vector<std::string> registered_names();

@@ -19,8 +19,11 @@ struct ScalingPoint {
   std::size_t nodes = 0;
   std::size_t links = 0;
   /// Mean wall-clock per algorithm over `repeats` runs, milliseconds;
-  /// index-aligned with algorithm_names().
-  std::vector<double> runtime_ms;
+  /// index-aligned with scaling_algorithm_names().  Per objective; sum
+  /// the two for a combined figure.  These feed the machine-readable
+  /// BENCH_runtime_scaling.json perf trajectory.
+  std::vector<double> min_delay_ms;
+  std::vector<double> max_frame_rate_ms;
 };
 
 struct ScalingConfig {

@@ -1,5 +1,6 @@
 #include "graph/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace elpc::graph {
@@ -8,6 +9,8 @@ NodeId Network::add_node(NodeAttr attr) {
   if (attr.processing_power <= 0.0) {
     throw std::invalid_argument("Network: processing_power must be > 0");
   }
+  // The DP layers store node ids in 32-bit slots (FrameRateArena's
+  // Candidate/ParentRec); fail loudly rather than truncate silently.
   if (nodes_.size() >= (1ULL << 32)) {
     throw std::invalid_argument("Network: too many nodes");
   }
@@ -16,8 +19,8 @@ NodeId Network::add_node(NodeAttr attr) {
     attr.name = "node" + std::to_string(id);
   }
   nodes_.push_back(std::move(attr));
-  out_.emplace_back();
-  in_.emplace_back();
+  out_index_.emplace_back();
+  finalized_ = false;
   return id;
 }
 
@@ -33,13 +36,21 @@ void Network::add_link(NodeId from, NodeId to, LinkAttr attr) {
   if (attr.min_delay_s < 0.0) {
     throw std::invalid_argument("Network: min link delay must be >= 0");
   }
-  if (has_link(from, to)) {
+  if (links_.size() >= std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("Network: too many links");
+  }
+  // Sorted insertion into the neighbor index doubles as the duplicate
+  // check: O(log deg) search plus an O(deg) shift.
+  std::vector<std::uint32_t>& index = out_index_[from];
+  const auto pos = std::lower_bound(
+      index.begin(), index.end(), to,
+      [this](std::uint32_t e, NodeId target) { return links_[e].to < target; });
+  if (pos != index.end() && links_[*pos].to == to) {
     throw std::invalid_argument("Network: duplicate link");
   }
-  link_map_.emplace(key(from, to), attr);
-  out_[from].push_back(Edge{from, to, attr});
-  in_[to].push_back(Edge{from, to, attr});
-  ++links_;
+  index.insert(pos, static_cast<std::uint32_t>(links_.size()));
+  links_.push_back(Edge{from, to, attr});
+  finalized_ = false;
 }
 
 void Network::add_duplex_link(NodeId a, NodeId b, LinkAttr attr) {
@@ -47,84 +58,122 @@ void Network::add_duplex_link(NodeId a, NodeId b, LinkAttr attr) {
   add_link(b, a, attr);
 }
 
-const NodeAttr& Network::node(NodeId id) const {
-  check_node(id);
-  return nodes_[id];
+void Network::finalize() const {
+  if (finalized_) {
+    return;
+  }
+  const std::size_t k = nodes_.size();
+  const std::size_t m = links_.size();
+  out_off_.assign(k + 1, 0);
+  in_off_.assign(k + 1, 0);
+  for (const Edge& e : links_) {
+    ++out_off_[e.from + 1];
+    ++in_off_[e.to + 1];
+  }
+  for (std::size_t v = 0; v < k; ++v) {
+    out_off_[v + 1] += out_off_[v];
+    in_off_[v + 1] += in_off_[v];
+  }
+  out_csr_.resize(m);
+  in_csr_.resize(m);
+  // Out rows come straight from the sorted-neighbor index.  Scattering in
+  // ascending source order makes each in row ascending in `from`.
+  std::vector<std::size_t> in_cursor(in_off_.begin(), in_off_.end() - 1);
+  std::size_t out_pos = 0;
+  for (NodeId v = 0; v < k; ++v) {
+    for (const std::uint32_t idx : out_index_[v]) {
+      const Edge& e = links_[idx];
+      out_csr_[out_pos++] = e;
+      in_csr_[in_cursor[e.to]++] = e;
+    }
+  }
+  finalized_ = true;
+}
+
+const Edge* Network::find_edge(NodeId from, NodeId to) const {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return nullptr;
+  }
+  const std::vector<std::uint32_t>& index = out_index_[from];
+  const auto pos = std::lower_bound(
+      index.begin(), index.end(), to,
+      [this](std::uint32_t e, NodeId target) { return links_[e].to < target; });
+  if (pos == index.end() || links_[*pos].to != to) {
+    return nullptr;
+  }
+  return &links_[*pos];
 }
 
 bool Network::has_link(NodeId from, NodeId to) const {
-  return link_map_.count(key(from, to)) > 0;
+  return find_edge(from, to) != nullptr;
 }
 
 const LinkAttr& Network::link(NodeId from, NodeId to) const {
-  const auto it = link_map_.find(key(from, to));
-  if (it == link_map_.end()) {
+  const Edge* edge = find_edge(from, to);
+  if (edge == nullptr) {
     throw std::out_of_range("Network: no link " + std::to_string(from) +
                             " -> " + std::to_string(to));
   }
-  return it->second;
+  return edge->attr;
 }
 
 std::optional<LinkAttr> Network::find_link(NodeId from, NodeId to) const {
-  const auto it = link_map_.find(key(from, to));
-  if (it == link_map_.end()) {
+  const Edge* edge = find_edge(from, to);
+  if (edge == nullptr) {
     return std::nullopt;
   }
-  return it->second;
-}
-
-const std::vector<Edge>& Network::out_edges(NodeId id) const {
-  check_node(id);
-  return out_[id];
-}
-
-const std::vector<Edge>& Network::in_edges(NodeId id) const {
-  check_node(id);
-  return in_[id];
+  return edge->attr;
 }
 
 double Network::mean_bandwidth_mbps() const {
-  if (links_ == 0) {
+  if (links_.empty()) {
     throw std::logic_error("Network: no links");
   }
   double sum = 0.0;
-  for (const auto& [k, attr] : link_map_) {
-    (void)k;
-    sum += attr.bandwidth_mbps;
+  for (const Edge& e : links_) {
+    sum += e.attr.bandwidth_mbps;
   }
-  return sum / static_cast<double>(links_);
+  return sum / static_cast<double>(links_.size());
 }
 
 void Network::validate() const {
   std::size_t out_total = 0;
   std::size_t in_total = 0;
   for (NodeId v = 0; v < node_count(); ++v) {
-    out_total += out_[v].size();
-    in_total += in_[v].size();
-    for (const Edge& e : out_[v]) {
+    const auto out = out_edges(v);
+    const auto in = in_edges(v);
+    out_total += out.size();
+    in_total += in.size();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const Edge& e = out[i];
       if (e.from != v || e.to >= node_count() || e.to == v) {
         throw std::logic_error("Network: corrupt out-adjacency");
       }
+      if (i > 0 && out[i - 1].to >= e.to) {
+        throw std::logic_error("Network: out-adjacency not sorted/unique");
+      }
       if (!has_link(e.from, e.to)) {
-        throw std::logic_error("Network: adjacency/link-map mismatch");
+        throw std::logic_error("Network: adjacency/index mismatch");
       }
     }
-    for (const Edge& e : in_[v]) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const Edge& e = in[i];
       if (e.to != v || e.from >= node_count() || e.from == v) {
         throw std::logic_error("Network: corrupt in-adjacency");
       }
+      if (i > 0 && in[i - 1].from >= e.from) {
+        throw std::logic_error("Network: in-adjacency not sorted/unique");
+      }
     }
   }
-  if (out_total != links_ || in_total != links_) {
+  if (out_total != link_count() || in_total != link_count()) {
     throw std::logic_error("Network: link count mismatch");
   }
 }
 
-void Network::check_node(NodeId id) const {
-  if (id >= nodes_.size()) {
-    throw std::invalid_argument("Network: node id " + std::to_string(id) +
-                                " out of range");
-  }
+void Network::throw_bad_node(NodeId id) const {
+  throw std::invalid_argument("Network: node id " + std::to_string(id) +
+                              " out of range");
 }
 
 }  // namespace elpc::graph

@@ -6,8 +6,21 @@
 // Links are *directed* and carry two attributes: bandwidth b_{i,j} and
 // minimum link delay (MLD) d_{i,j}, matching the paper's per-link
 // parameters LinkBWInMbps / LinkDelayInMilliseconds.  The topology is
-// arbitrary (Internet-like), not necessarily complete, and is stored as
-// both out- and in-adjacency so the mapping DPs can sweep incoming edges.
+// arbitrary (Internet-like), not necessarily complete.
+//
+// Storage is two-phase.  While links are being added, edges live in a
+// flat insertion-order list plus a per-node sorted-neighbor index (the
+// index also answers has_link/find_link in O(log deg) at every phase —
+// there is no hash map, and no packed 64-bit key to truncate node ids).
+// finalize() then builds a CSR (compressed sparse row) view: one
+// contiguous Edge array per direction with per-node offset spans, rows
+// sorted by neighbor id, which is what every algorithm sweeps.
+// Adjacency queries (out_edges/in_edges/degrees/the flat views) finalize
+// lazily, so single-threaded callers never notice the phase split.  Link
+// lookups (has_link/find_link/link) use the sorted-neighbor index and do
+// NOT finalize; code that shares a Network across threads must therefore
+// call finalize() (or one adjacency query) once before fanning out (see
+// src/core/README.md).
 //
 // Units used throughout the library:
 //   time        seconds
@@ -17,10 +30,11 @@
 //               complexity c processing m megabits costs m*c/p seconds
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace elpc::graph {
@@ -48,19 +62,21 @@ struct LinkAttr {
   double min_delay_s = 0.0;
 };
 
-/// One outgoing or incoming edge as seen from a node's adjacency list.
+/// One outgoing or incoming edge as seen from a node's adjacency span.
 struct Edge {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
   LinkAttr attr;
 };
 
-/// Directed network with O(1) link lookup and per-node adjacency.
+/// Directed network with O(log deg) link lookup and CSR adjacency.
 ///
 /// Invariants: node ids are dense [0, node_count()); at most one link per
 /// ordered (from, to) pair; no self-loops (a module staying on the same
 /// node is modelled by the mapping layer as zero-cost, per the paper's
 /// "inter-module transport time within one group is negligible").
+/// Adjacency spans are sorted by neighbor id: out_edges(v) ascending in
+/// `to`, in_edges(v) ascending in `from`.
 class Network {
  public:
   /// Adds a node and returns its id.
@@ -68,28 +84,85 @@ class Network {
 
   /// Adds a directed link.  Throws std::invalid_argument on unknown
   /// endpoints, self-loops, duplicate links, bandwidth <= 0, or negative
-  /// delay.
+  /// delay.  Invalidates the CSR view until the next finalize().
   void add_link(NodeId from, NodeId to, LinkAttr attr);
 
   /// Adds links in both directions with the same attributes.
   void add_duplex_link(NodeId a, NodeId b, LinkAttr attr);
 
+  /// Builds the CSR adjacency view.  Idempotent and cheap when already
+  /// built; called lazily by the adjacency accessors.  Must be invoked
+  /// (directly or via any query) before the Network is shared across
+  /// threads.
+  void finalize() const;
+
+  /// True when the CSR view is current (no add_* since the last build).
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
   }
-  [[nodiscard]] std::size_t link_count() const noexcept { return links_; }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
 
-  [[nodiscard]] const NodeAttr& node(NodeId id) const;
+  [[nodiscard]] const NodeAttr& node(NodeId id) const {
+    check_node(id);
+    return nodes_[id];
+  }
   [[nodiscard]] bool has_link(NodeId from, NodeId to) const;
-  /// Throws std::out_of_range when the link does not exist.
+  /// Throws std::out_of_range when the link does not exist.  The
+  /// returned reference is invalidated by a later add_link (the backing
+  /// edge list may reallocate) — unlike the old hash-map storage, do not
+  /// hold it across mutations; find_link copies and has no such hazard.
   [[nodiscard]] const LinkAttr& link(NodeId from, NodeId to) const;
   /// Empty optional when the link does not exist.
   [[nodiscard]] std::optional<LinkAttr> find_link(NodeId from,
                                                   NodeId to) const;
 
-  /// Outgoing / incoming edges of a node (stable order of insertion).
-  [[nodiscard]] const std::vector<Edge>& out_edges(NodeId id) const;
-  [[nodiscard]] const std::vector<Edge>& in_edges(NodeId id) const;
+  /// Outgoing / incoming edges of a node as contiguous CSR spans, sorted
+  /// by neighbor id.  Finalizes lazily.  Inline: the DP cell sweeps call
+  /// these once per cell.
+  [[nodiscard]] std::span<const Edge> out_edges(NodeId id) const {
+    check_node(id);
+    ensure_finalized();
+    return {out_csr_.data() + out_off_[id], out_off_[id + 1] - out_off_[id]};
+  }
+  [[nodiscard]] std::span<const Edge> in_edges(NodeId id) const {
+    check_node(id);
+    ensure_finalized();
+    return {in_csr_.data() + in_off_[id], in_off_[id + 1] - in_off_[id]};
+  }
+
+  /// Degree lookups (O(1) once finalized; finalize lazily like the spans).
+  [[nodiscard]] std::size_t out_degree(NodeId id) const {
+    return out_edges(id).size();
+  }
+  [[nodiscard]] std::size_t in_degree(NodeId id) const {
+    return in_edges(id).size();
+  }
+
+  /// Whole-graph CSR views: every row concatenated, with row v spanning
+  /// [offsets[v], offsets[v + 1]) of the edge array.  DP kernels hoist
+  /// these into local pointers once per call — going through the per-row
+  /// accessors inside a hot cell loop costs measurable codegen quality
+  /// (the compiler re-derives member state per cell).
+  [[nodiscard]] std::span<const Edge> in_edges_flat() const {
+    ensure_finalized();
+    return {in_csr_.data(), in_csr_.size()};
+  }
+  [[nodiscard]] std::span<const std::size_t> in_row_offsets() const {
+    ensure_finalized();
+    return {in_off_.data(), in_off_.size()};
+  }
+  [[nodiscard]] std::span<const Edge> out_edges_flat() const {
+    ensure_finalized();
+    return {out_csr_.data(), out_csr_.size()};
+  }
+  [[nodiscard]] std::span<const std::size_t> out_row_offsets() const {
+    ensure_finalized();
+    return {out_off_.data(), out_off_.size()};
+  }
 
   /// Mean bandwidth over all links (used by baseline heuristics as the
   /// "expected" cost of an unplaced neighbour); throws on empty networks.
@@ -99,17 +172,38 @@ class Network {
   void validate() const;
 
  private:
-  void check_node(NodeId id) const;
-  [[nodiscard]] static std::uint64_t key(NodeId from, NodeId to) {
-    return (static_cast<std::uint64_t>(from) << 32) |
-           static_cast<std::uint64_t>(to);
+  void check_node(NodeId id) const {
+    if (id >= nodes_.size()) {
+      throw_bad_node(id);  // cold path kept out of line
+    }
   }
+  void ensure_finalized() const {
+    if (!finalized_) {
+      finalize();  // cold path kept out of line
+    }
+  }
+  [[noreturn]] void throw_bad_node(NodeId id) const;
+  /// Pointer into links_ for the (from, to) link, or nullptr.  Works in
+  /// both phases via the sorted-neighbor index.
+  [[nodiscard]] const Edge* find_edge(NodeId from, NodeId to) const;
 
   std::vector<NodeAttr> nodes_;
-  std::vector<std::vector<Edge>> out_;
-  std::vector<std::vector<Edge>> in_;
-  std::unordered_map<std::uint64_t, LinkAttr> link_map_;
-  std::size_t links_ = 0;
+  /// All links in insertion order; never reordered, so Edge pointers
+  /// from find_edge stay valid across finalize() — but NOT across
+  /// add_link, which may reallocate the vector.
+  std::vector<Edge> links_;
+  /// Per-node indices into links_, sorted by target id: the permanent
+  /// sorted-neighbor lookup index (valid in both phases).
+  std::vector<std::vector<std::uint32_t>> out_index_;
+
+  // CSR view, (re)built by finalize(): row v of out_csr_ spans
+  // [out_off_[v], out_off_[v + 1]), sorted by `to`; likewise in_csr_ by
+  // `from`.  Mutable so const queries can build it lazily.
+  mutable std::vector<Edge> out_csr_;
+  mutable std::vector<Edge> in_csr_;
+  mutable std::vector<std::size_t> out_off_;
+  mutable std::vector<std::size_t> in_off_;
+  mutable bool finalized_ = false;
 };
 
 }  // namespace elpc::graph

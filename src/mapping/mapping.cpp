@@ -69,9 +69,11 @@ std::string Mapping::to_string() const {
       if (j > g.first) {
         out += ",";
       }
-      out += "M" + std::to_string(j);
+      out += "M";
+      out += std::to_string(j);
     }
-    out += " -> node" + std::to_string(g.node);
+    out += " -> node";
+    out += std::to_string(g.node);
   }
   return out;
 }

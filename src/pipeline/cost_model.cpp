@@ -2,26 +2,9 @@
 
 namespace elpc::pipeline {
 
-double CostModel::computing_time(ModuleId j, graph::NodeId v) const {
-  const double work = pipeline_->work_units(j);  // m_{j-1} * c_j
-  if (work == 0.0) {
-    return 0.0;
-  }
-  return work / network_->node(v).processing_power;
-}
-
 double CostModel::transport_time(double megabits, graph::NodeId from,
                                  graph::NodeId to) const {
   return transport_time(megabits, network_->link(from, to));
-}
-
-double CostModel::transport_time(double megabits,
-                                 const graph::LinkAttr& link) const {
-  double t = megabits / link.bandwidth_mbps;
-  if (options_.include_link_delay) {
-    t += link.min_delay_s;
-  }
-  return t;
 }
 
 double CostModel::input_transport_time(ModuleId j, graph::NodeId from,

@@ -35,8 +35,16 @@ class CostModel {
   }
 
   /// Computing time of module j on node v, in seconds.  Zero for the
-  /// source module (j = 0), which performs no computation.
-  [[nodiscard]] double computing_time(ModuleId j, graph::NodeId v) const;
+  /// source module (j = 0), which performs no computation.  Inline: this
+  /// and transport_time(megabits, link) are the innermost operations of
+  /// every DP cell sweep.
+  [[nodiscard]] double computing_time(ModuleId j, graph::NodeId v) const {
+    const double work = pipeline_->work_units(j);  // m_{j-1} * c_j
+    if (work == 0.0) {
+      return 0.0;
+    }
+    return work / network_->node(v).processing_power;
+  }
 
   /// Transport time of `megabits` over the directed link from -> to, in
   /// seconds.  Throws std::out_of_range when the link does not exist.
@@ -45,7 +53,13 @@ class CostModel {
 
   /// Transport time over an explicit link attribute (no lookup).
   [[nodiscard]] double transport_time(double megabits,
-                                      const graph::LinkAttr& link) const;
+                                      const graph::LinkAttr& link) const {
+    double t = megabits / link.bandwidth_mbps;
+    if (options_.include_link_delay) {
+      t += link.min_delay_s;
+    }
+    return t;
+  }
 
   /// Transport time of module j's *input* (m_{j-1}) over from -> to: the
   /// cost of handing module j its data when it runs on a different node

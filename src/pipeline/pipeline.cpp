@@ -31,28 +31,12 @@ Pipeline::Pipeline(std::vector<ModuleSpec> modules)
   }
 }
 
-const ModuleSpec& Pipeline::module(ModuleId j) const {
-  if (j >= modules_.size()) {
-    throw std::out_of_range("Pipeline: module index out of range");
-  }
-  return modules_[j];
+void Pipeline::throw_bad_module() {
+  throw std::out_of_range("Pipeline: module index out of range");
 }
 
-double Pipeline::input_mb(ModuleId j) const {
-  if (j == 0) {
-    throw std::invalid_argument("Pipeline: the source module has no input");
-  }
-  if (j >= modules_.size()) {
-    throw std::out_of_range("Pipeline: module index out of range");
-  }
-  return modules_[j - 1].output_mb;
-}
-
-double Pipeline::work_units(ModuleId j) const {
-  if (j == 0) {
-    return 0.0;
-  }
-  return module(j).complexity * input_mb(j);
+void Pipeline::throw_no_input() {
+  throw std::invalid_argument("Pipeline: the source module has no input");
 }
 
 double Pipeline::total_work_units() const {

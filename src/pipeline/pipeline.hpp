@@ -45,18 +45,34 @@ class Pipeline {
   [[nodiscard]] std::size_t module_count() const noexcept {
     return modules_.size();
   }
-  [[nodiscard]] const ModuleSpec& module(ModuleId j) const;
+  [[nodiscard]] const ModuleSpec& module(ModuleId j) const {
+    check_module(j);
+    return modules_[j];
+  }
   [[nodiscard]] const std::vector<ModuleSpec>& modules() const noexcept {
     return modules_;
   }
 
   /// Input size of module j in megabits: the output of M_{j-1}.  The
-  /// source (j = 0) has no input; calling with j = 0 throws.
-  [[nodiscard]] double input_mb(ModuleId j) const;
+  /// source (j = 0) has no input; calling with j = 0 throws.  Inline
+  /// together with module()/work_units(): the DP cell sweeps call these
+  /// in their innermost loops.
+  [[nodiscard]] double input_mb(ModuleId j) const {
+    if (j == 0) {
+      throw_no_input();
+    }
+    check_module(j);
+    return modules_[j - 1].output_mb;
+  }
 
   /// Work units performed by module j: complexity_j * input_mb(j).
   /// Zero for the source.
-  [[nodiscard]] double work_units(ModuleId j) const;
+  [[nodiscard]] double work_units(ModuleId j) const {
+    if (j == 0) {
+      return 0.0;
+    }
+    return module(j).complexity * input_mb(j);
+  }
 
   /// Sum of work units over all modules (a size measure used by
   /// generators and reports).
@@ -66,6 +82,14 @@ class Pipeline {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  void check_module(ModuleId j) const {
+    if (j >= modules_.size()) {
+      throw_bad_module();  // cold path kept out of line
+    }
+  }
+  [[noreturn]] static void throw_bad_module();
+  [[noreturn]] static void throw_no_input();
+
   std::vector<ModuleSpec> modules_;
 };
 

@@ -7,26 +7,35 @@
 namespace elpc::util {
 
 void ArgParser::add_flag(const std::string& name, const std::string& help) {
-  options_[name] = Option{Kind::kFlag, help};
+  Option opt;
+  opt.kind = Kind::kFlag;
+  opt.help = help;
+  options_[name] = std::move(opt);
 }
 
 void ArgParser::add_int(const std::string& name, std::int64_t def,
                         const std::string& help) {
-  Option opt{Kind::kInt, help};
+  Option opt;
+  opt.kind = Kind::kInt;
+  opt.help = help;
   opt.int_value = def;
   options_[name] = std::move(opt);
 }
 
 void ArgParser::add_double(const std::string& name, double def,
                            const std::string& help) {
-  Option opt{Kind::kDouble, help};
+  Option opt;
+  opt.kind = Kind::kDouble;
+  opt.help = help;
   opt.double_value = def;
   options_[name] = std::move(opt);
 }
 
 void ArgParser::add_string(const std::string& name, const std::string& def,
                            const std::string& help) {
-  Option opt{Kind::kString, help};
+  Option opt;
+  opt.kind = Kind::kString;
+  opt.help = help;
   opt.string_value = def;
   options_[name] = std::move(opt);
 }

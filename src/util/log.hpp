@@ -39,12 +39,22 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows a built LogMessage so the ELPC_LOG ternary has type void on
+/// both arms.  operator& binds looser than operator<<, so the whole
+/// stream chain is built (or skipped) first.
+struct LogVoidify {
+  void operator&(const LogMessage&) {}
+};
+
 }  // namespace detail
 
 }  // namespace elpc::util
 
-#define ELPC_LOG(level)                                              \
-  if (static_cast<int>(level) < static_cast<int>(::elpc::util::log_level())) \
-    ;                                                                \
-  else                                                               \
-    ::elpc::util::detail::LogMessage(level)
+// Expression-shaped (no if/else): composes as a single statement inside
+// unbraced control flow without dangling-else ambiguity, and the message
+// chain is never evaluated below the threshold.
+#define ELPC_LOG(level)                                                      \
+  (static_cast<int>(level) < static_cast<int>(::elpc::util::log_level()))    \
+      ? (void)0                                                              \
+      : ::elpc::util::detail::LogVoidify() &                                 \
+            ::elpc::util::detail::LogMessage(level)

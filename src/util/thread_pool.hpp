@@ -1,9 +1,12 @@
 #pragma once
 // Fixed-size worker pool used to parallelize experiment sweeps (the 20-case
-// suite runs each case's three algorithms independently) and randomized
-// property-test batches.  Algorithms themselves stay single-threaded: the
-// paper's DP has a strict column-to-column dependency, so parallelism pays
-// off across *cases*, not within one.
+// suite runs each case's three algorithms independently), randomized
+// property-test batches, and — since the CSR/arena rewrite — the DP column
+// sweeps inside core::ElpcMapper (columns are strictly sequential, but the
+// cells within one column are independent; see src/core/README.md).
+// parallel_for is safe for concurrent callers, so several mapper runs can
+// share one pool; callers that already saturate the machine with
+// case-level parallelism should disable ElpcOptions::parallel_sweep.
 
 #include <condition_variable>
 #include <cstddef>

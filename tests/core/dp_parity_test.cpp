@@ -1,0 +1,200 @@
+// Parity guarantees for the CSR + arena performance core (see
+// src/core/README.md):
+//
+//  * min_delay must be BIT-IDENTICAL to the textbook Eq. 3 recursion —
+//    the CSR switch and the scatter/gather sweeps reorder candidate
+//    enumeration, and reordering a min over the same candidate multiset
+//    must not change the value by even one ulp.
+//  * the arena-based frame-rate DP at beam width 1 reproduces the
+//    published heuristic's semantics: never better than the exhaustive
+//    optimum, exactly optimal on most small instances.
+//  * the parallel column sweep (when hardware parallelism exists) is
+//    bit-identical to the serial sweep.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/elpc.hpp"
+#include "core/exhaustive.hpp"
+#include "graph/generators.hpp"
+#include "mapping/evaluator.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace elpc::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using graph::NodeId;
+using mapping::MapResult;
+using mapping::Problem;
+
+workload::Scenario random_instance(std::uint64_t seed, std::size_t modules,
+                                   std::size_t nodes, std::size_t links) {
+  util::Rng rng(seed);
+  workload::Scenario s;
+  s.name = "parity" + std::to_string(seed);
+  s.pipeline = pipeline::random_pipeline(rng, modules, {});
+  s.network = graph::random_connected_network(rng, nodes, links, {});
+  s.source = 0;
+  s.destination = nodes - 1;
+  return s;
+}
+
+/// Textbook Eq. 3 recursion, deliberately independent of the adjacency
+/// representation: iterates ALL ordered node pairs through find_link.
+/// Any CSR/sweep reordering bug in the production DP shows up as a
+/// bitwise difference against this.
+double reference_min_delay(const Problem& problem) {
+  const pipeline::CostModel model = problem.model();
+  const graph::Network& net = *problem.network;
+  const std::size_t n = problem.pipeline->module_count();
+  const std::size_t k = net.node_count();
+  std::vector<double> prev(k, kInf);
+  std::vector<double> cur(k, kInf);
+  prev[problem.source] = 0.0;
+  for (std::size_t j = 1; j < n; ++j) {
+    const double input_mb = problem.pipeline->input_mb(j);
+    for (NodeId v = 0; v < k; ++v) {
+      const double comp = model.computing_time(j, v);
+      double best = prev[v] == kInf ? kInf : prev[v] + comp;
+      for (NodeId u = 0; u < k; ++u) {
+        if (prev[u] == kInf || u == v) {
+          continue;
+        }
+        const auto link = net.find_link(u, v);
+        if (!link.has_value()) {
+          continue;
+        }
+        const double cand =
+            prev[u] + model.transport_time(input_mb, *link) + comp;
+        if (cand < best) {
+          best = cand;
+        }
+      }
+      cur[v] = best;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[problem.destination];
+}
+
+TEST(DpParity, MinDelayBitIdenticalToReference) {
+  for (std::uint64_t seed = 1000; seed < 1040; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t nodes =
+        4 + static_cast<std::size_t>(rng.uniform_int(0, 12));
+    const std::size_t modules =
+        3 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+    const std::size_t links = std::max(
+        nodes, static_cast<std::size_t>(0.5 * nodes * (nodes - 1)));
+    const workload::Scenario s =
+        random_instance(seed, modules, nodes, links);
+    const Problem p = s.problem();
+    const MapResult r = ElpcMapper().min_delay(p);
+    const double expected = reference_min_delay(p);
+    if (expected == kInf) {
+      EXPECT_FALSE(r.feasible) << "seed " << seed;
+      continue;
+    }
+    ASSERT_TRUE(r.feasible) << "seed " << seed;
+    // Exact equality on purpose: same candidate multiset, same arithmetic
+    // per candidate, so the minima must agree to the last bit.
+    EXPECT_EQ(r.seconds, expected) << "seed " << seed;
+  }
+}
+
+TEST(DpParity, MinDelayMappingStillEvaluatorExact) {
+  for (std::uint64_t seed = 1100; seed < 1120; ++seed) {
+    const workload::Scenario s = random_instance(seed, 6, 9, 40);
+    const Problem p = s.problem();
+    const MapResult r = ElpcMapper().min_delay(p);
+    if (!r.feasible) {
+      continue;
+    }
+    const mapping::Evaluation eval = mapping::evaluate_total_delay(p, r.mapping);
+    ASSERT_TRUE(eval.feasible) << "seed " << seed;
+    EXPECT_EQ(eval.seconds, r.seconds) << "seed " << seed;
+  }
+}
+
+TEST(DpParity, BeamOneArenaDpNeverBeatsExhaustive) {
+  ElpcOptions bare;
+  bare.framerate_beam_width = 1;
+  bare.framerate_sum_tiebreak = false;
+  bare.framerate_local_search = false;
+  const ElpcMapper plain(bare);
+  std::size_t matched = 0;
+  std::size_t comparable = 0;
+  for (std::uint64_t seed = 1200; seed < 1260; ++seed) {
+    const workload::Scenario s = random_instance(seed, 4, 7, 30);
+    const Problem p = s.problem();
+    const MapResult heur = plain.max_frame_rate(p);
+    const MapResult exact = ExhaustiveMapper().max_frame_rate(p);
+    if (heur.feasible) {
+      // The heuristic only ever proposes real simple paths, so exhaustive
+      // search must find at least as good a one.
+      ASSERT_TRUE(exact.feasible) << "seed " << seed;
+      EXPECT_GE(heur.seconds, exact.seconds * (1.0 - 1e-12))
+          << "seed " << seed;
+      const mapping::Evaluation eval = mapping::evaluate_bottleneck(
+          p, heur.mapping, /*enforce_no_reuse=*/true);
+      ASSERT_TRUE(eval.feasible) << "seed " << seed;
+    }
+    if (heur.feasible && exact.feasible) {
+      ++comparable;
+      if (heur.seconds <= exact.seconds * (1.0 + 1e-12)) {
+        ++matched;
+      }
+    }
+  }
+  // "Extremely rare" misses (paper Section 3.1.2): the bare width-1
+  // recursion must still be exactly optimal on the vast majority.
+  ASSERT_GT(comparable, 40u);
+  EXPECT_GE(static_cast<double>(matched), 0.85 * comparable);
+}
+
+TEST(DpParity, ParallelSweepBitIdenticalToSerial) {
+  // Large enough to cross the parallel thresholds on multicore machines;
+  // on single-core machines both configurations take the serial path and
+  // the assertion is trivially exact either way.
+  const workload::Scenario s = random_instance(77, 12, 160, 18000);
+  const Problem p = s.problem();
+  ElpcOptions serial;
+  serial.parallel_sweep = false;
+  const MapResult a = ElpcMapper(serial).min_delay(p);
+  const MapResult b = ElpcMapper().min_delay(p);
+  ASSERT_EQ(a.feasible, b.feasible);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.seconds, b.seconds);
+
+  const MapResult fa = ElpcMapper(serial).max_frame_rate(p);
+  const MapResult fb = ElpcMapper().max_frame_rate(p);
+  ASSERT_EQ(fa.feasible, fb.feasible);
+  if (fa.feasible) {
+    EXPECT_EQ(fa.seconds, fb.seconds);
+  }
+}
+
+TEST(DpParity, RepeatedCallsAreDeterministic) {
+  // The thread_local arena is reused across calls; stale state from a
+  // previous (larger) instance must never leak into a later run.
+  const workload::Scenario big = random_instance(5, 8, 30, 400);
+  const workload::Scenario small = random_instance(6, 4, 8, 30);
+  const ElpcMapper mapper;
+  const MapResult first = mapper.max_frame_rate(small.problem());
+  (void)mapper.max_frame_rate(big.problem());
+  const MapResult again = mapper.max_frame_rate(small.problem());
+  ASSERT_EQ(first.feasible, again.feasible);
+  if (first.feasible) {
+    EXPECT_EQ(first.seconds, again.seconds);
+    EXPECT_EQ(first.mapping.assignment(), again.mapping.assignment());
+  }
+}
+
+}  // namespace
+}  // namespace elpc::core

@@ -1,0 +1,79 @@
+#include "core/framerate_arena.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elpc::core {
+namespace {
+
+TEST(FrameRateArena, SetupSizesBuffers) {
+  FrameRateArena arena;
+  arena.setup(/*node_count=*/10, /*beam=*/3, /*columns=*/5, /*chunks=*/2);
+  EXPECT_EQ(arena.beam(), 3u);
+  EXPECT_TRUE(arena.uses_inline_set());
+  EXPECT_EQ(arena.words_per_set(), 0u);
+  EXPECT_NE(arena.labels(0), nullptr);
+  EXPECT_NE(arena.labels(1), nullptr);
+  EXPECT_NE(arena.counts(0), nullptr);
+  EXPECT_NE(arena.parents(), nullptr);
+  EXPECT_NE(arena.scratch(1), nullptr);
+}
+
+TEST(FrameRateArena, PooledWordsAboveSixtyFourNodes) {
+  FrameRateArena arena;
+  arena.setup(/*node_count=*/65, /*beam=*/2, /*columns=*/3, /*chunks=*/1);
+  EXPECT_FALSE(arena.uses_inline_set());
+  EXPECT_EQ(arena.words_per_set(), 2u);  // ceil(65 / 64)
+  EXPECT_NE(arena.words(0), nullptr);
+  EXPECT_NE(arena.words(1), nullptr);
+}
+
+TEST(FrameRateArena, ReusedSetupAllocatesNothing) {
+  // The steady-state guarantee the DP relies on: once the arena covers an
+  // instance's dimensions, running that instance again (or any smaller
+  // one) must not touch the allocator.
+  FrameRateArena arena;
+  arena.setup(200, 4, 30, 8);
+  const std::size_t after_first = arena.reallocations();
+  const auto* labels0 = arena.labels(0);
+  const auto* words0 = arena.words(0);
+  const auto* parents0 = arena.parents();
+
+  arena.setup(200, 4, 30, 8);  // identical dimensions
+  EXPECT_EQ(arena.reallocations(), after_first);
+  arena.setup(100, 4, 20, 8);  // strictly smaller
+  EXPECT_EQ(arena.reallocations(), after_first);
+  arena.setup(200, 4, 30, 8);  // back up within existing capacity
+  EXPECT_EQ(arena.reallocations(), after_first);
+
+  EXPECT_EQ(arena.labels(0), labels0);
+  EXPECT_EQ(arena.words(0), words0);
+  EXPECT_EQ(arena.parents(), parents0);
+}
+
+TEST(FrameRateArena, GrowingSetupIsCounted) {
+  FrameRateArena arena;
+  arena.setup(50, 2, 10, 1);
+  const std::size_t baseline = arena.reallocations();
+  arena.setup(500, 2, 10, 1);  // larger node count must grow buffers
+  EXPECT_GT(arena.reallocations(), baseline);
+}
+
+TEST(FrameRateArena, ClearColumnZeroesOnlyCounts) {
+  FrameRateArena arena;
+  arena.setup(8, 2, 4, 1);
+  arena.counts(0)[3] = 2;
+  arena.counts(1)[5] = 1;
+  arena.clear_column(0);
+  EXPECT_EQ(arena.counts(0)[3], 0u);
+  EXPECT_EQ(arena.counts(1)[5], 1u);  // other parity untouched
+}
+
+TEST(FrameRateArena, ScratchRowsAreDisjoint) {
+  FrameRateArena arena;
+  arena.setup(8, 3, 4, 4);
+  EXPECT_EQ(arena.scratch(1), arena.scratch(0) + 3);
+  EXPECT_EQ(arena.scratch(3), arena.scratch(0) + 9);
+}
+
+}  // namespace
+}  // namespace elpc::core

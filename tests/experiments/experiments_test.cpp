@@ -172,9 +172,11 @@ TEST(Scaling, StudyProducesOnePointPerSize) {
   const auto points = run_scaling_study(config);
   ASSERT_EQ(points.size(), 2u);
   for (const ScalingPoint& p : points) {
-    EXPECT_EQ(p.runtime_ms.size(), scaling_algorithm_names().size());
-    for (double ms : p.runtime_ms) {
-      EXPECT_GE(ms, 0.0);
+    EXPECT_EQ(p.min_delay_ms.size(), scaling_algorithm_names().size());
+    EXPECT_EQ(p.max_frame_rate_ms.size(), scaling_algorithm_names().size());
+    for (std::size_t a = 0; a < p.min_delay_ms.size(); ++a) {
+      EXPECT_GE(p.min_delay_ms[a], 0.0);
+      EXPECT_GE(p.max_frame_rate_ms[a], 0.0);
     }
   }
 }

@@ -135,5 +135,97 @@ TEST(Network, ValidatePassesOnWellFormedGraph) {
   EXPECT_NO_THROW(net.validate());
 }
 
+TEST(Network, FinalizeIsLazyAndIdempotent) {
+  Network net = two_nodes();
+  net.add_link(0, 1, {100.0, 0.0});
+  EXPECT_FALSE(net.finalized());
+  EXPECT_EQ(net.out_edges(0).size(), 1u);  // query triggers finalize
+  EXPECT_TRUE(net.finalized());
+  net.finalize();  // idempotent
+  EXPECT_TRUE(net.finalized());
+}
+
+TEST(Network, MutationInvalidatesCsrAndRebuilds) {
+  Network net = two_nodes();
+  net.add_link(0, 1, {100.0, 0.0});
+  EXPECT_EQ(net.out_edges(0).size(), 1u);
+  const NodeId c = net.add_node({"c", 1.0});
+  EXPECT_FALSE(net.finalized());
+  net.add_link(0, c, {50.0, 0.0});
+  EXPECT_EQ(net.out_edges(0).size(), 2u);  // rebuilt view sees both links
+  EXPECT_EQ(net.in_edges(c).size(), 1u);
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(Network, AdjacencySpansSortedByNeighbor) {
+  Network net;
+  for (int i = 0; i < 5; ++i) {
+    net.add_node({});
+  }
+  // Insert out of order; spans must come back sorted by neighbor id.
+  net.add_link(0, 4, {100.0, 0.0});
+  net.add_link(0, 1, {100.0, 0.0});
+  net.add_link(0, 3, {100.0, 0.0});
+  net.add_link(2, 1, {100.0, 0.0});
+  const auto out = net.out_edges(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].to, 1u);
+  EXPECT_EQ(out[1].to, 3u);
+  EXPECT_EQ(out[2].to, 4u);
+  const auto in = net.in_edges(1);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(in[0].from, 0u);
+  EXPECT_EQ(in[1].from, 2u);
+}
+
+TEST(Network, DegreeAccessors) {
+  Network net;
+  for (int i = 0; i < 3; ++i) {
+    net.add_node({});
+  }
+  net.add_link(0, 1, {100.0, 0.0});
+  net.add_link(0, 2, {100.0, 0.0});
+  net.add_link(1, 2, {100.0, 0.0});
+  EXPECT_EQ(net.out_degree(0), 2u);
+  EXPECT_EQ(net.in_degree(2), 2u);
+  EXPECT_EQ(net.out_degree(2), 0u);
+}
+
+TEST(Network, FlatCsrViewsMatchPerRowSpans) {
+  Network net;
+  for (int i = 0; i < 6; ++i) {
+    net.add_node({});
+  }
+  net.add_link(0, 1, {10.0, 0.0});
+  net.add_link(2, 1, {20.0, 0.0});
+  net.add_link(1, 5, {30.0, 0.0});
+  net.add_link(4, 5, {40.0, 0.0});
+  const auto flat = net.in_edges_flat();
+  const auto off = net.in_row_offsets();
+  ASSERT_EQ(off.size(), net.node_count() + 1);
+  ASSERT_EQ(flat.size(), net.link_count());
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    const auto row = net.in_edges(v);
+    ASSERT_EQ(row.size(), off[v + 1] - off[v]);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      EXPECT_EQ(flat[off[v] + i].from, row[i].from);
+      EXPECT_EQ(flat[off[v] + i].to, row[i].to);
+    }
+  }
+}
+
+TEST(Network, LookupWorksInBothPhases) {
+  Network net = two_nodes();
+  net.add_link(0, 1, {123.0, 0.0});
+  // Before finalize.
+  EXPECT_TRUE(net.has_link(0, 1));
+  EXPECT_DOUBLE_EQ(net.link(0, 1).bandwidth_mbps, 123.0);
+  net.finalize();
+  // After finalize.
+  EXPECT_TRUE(net.has_link(0, 1));
+  EXPECT_FALSE(net.has_link(1, 0));
+  EXPECT_DOUBLE_EQ(net.find_link(0, 1)->bandwidth_mbps, 123.0);
+}
+
 }  // namespace
 }  // namespace elpc::graph
