@@ -1,0 +1,105 @@
+#pragma once
+// ArenaPool — a lease-based pool of FrameRateArenas for callers that run
+// many mapper solves across a fixed set of workers (the service-layer
+// BatchEngine shards).
+//
+// ElpcMapper's default arena is thread_local, which is the right
+// amortization for ad-hoc callers but the wrong one for a serving layer:
+// pool worker threads are long-lived and shared by *every* engine in the
+// process, so thread-local arenas sized for one engine's largest network
+// would pin that memory for all of them, and their reuse would be
+// invisible to tests.  A lease makes the ownership explicit: a shard
+// acquires an arena for the duration of its job run and returns it on
+// scope exit, so arenas cycle between shards instead of multiplying, and
+// ArenaPool::created() observably bounds the total.
+//
+// acquire()/release are mutex-guarded (shards acquire concurrently); the
+// arena itself is handed to exactly one lease at a time, so its use is
+// single-threaded as FrameRateArena requires.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/framerate_arena.hpp"
+
+namespace elpc::core {
+
+class ArenaPool {
+ public:
+  /// RAII handle to one pooled arena; returns it on destruction.
+  /// Move-only, and must not outlive the pool.
+  class Lease {
+   public:
+    Lease(ArenaPool* pool, std::unique_ptr<FrameRateArena> arena)
+        : pool_(pool), arena_(std::move(arena)) {}
+    ~Lease() {
+      if (arena_ != nullptr) {
+        pool_->release(std::move(arena_));
+      }
+    }
+    Lease(Lease&& other) noexcept = default;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] FrameRateArena& operator*() const noexcept {
+      return *arena_;
+    }
+    [[nodiscard]] FrameRateArena* operator->() const noexcept {
+      return arena_.get();
+    }
+    [[nodiscard]] FrameRateArena* get() const noexcept {
+      return arena_.get();
+    }
+
+   private:
+    ArenaPool* pool_;
+    std::unique_ptr<FrameRateArena> arena_;
+  };
+
+  /// Hands out a free arena, creating one only when none is available.
+  [[nodiscard]] Lease acquire() {
+    std::unique_ptr<FrameRateArena> arena;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (free_.empty()) {
+        ++created_;
+      } else {
+        arena = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    if (arena == nullptr) {
+      arena = std::make_unique<FrameRateArena>();
+    }
+    return Lease(this, std::move(arena));
+  }
+
+  /// Arenas ever constructed; with leases bounded by the shard count this
+  /// never exceeds the peak number of concurrent shards.
+  [[nodiscard]] std::size_t created() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return created_;
+  }
+
+  /// Arenas currently sitting in the pool (not leased out).
+  [[nodiscard]] std::size_t available() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  void release(std::unique_ptr<FrameRateArena> arena) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(arena));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<FrameRateArena>> free_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace elpc::core

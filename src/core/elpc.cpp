@@ -400,7 +400,8 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   // threads would silently touch their own empty arenas — so the sweep
   // closes over this ordinary reference instead.
   thread_local FrameRateArena tls_arena;
-  FrameRateArena& arena = tls_arena;
+  FrameRateArena& arena =
+      options_.arena != nullptr ? *options_.arena : tls_arena;
   arena.setup(k, beam, n, chunks);
   const std::size_t W = arena.words_per_set();
   const std::size_t realloc_baseline = arena.reallocations();

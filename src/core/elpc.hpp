@@ -24,6 +24,8 @@
 
 namespace elpc::core {
 
+class FrameRateArena;
+
 /// Tuning knobs for the ELPC mapper (defaults reproduce the paper).
 struct ElpcOptions {
   /// When true, the frame-rate DP skips candidate predecessors whose
@@ -64,6 +66,13 @@ struct ElpcOptions {
   /// sweep.  Off forces the serial sweep (useful when the caller already
   /// saturates the machine with concurrent mapper runs).
   bool parallel_sweep = true;
+  /// Externally-owned DP arena for the frame-rate solve (see
+  /// core::ArenaPool).  Null uses a thread-local arena — right for
+  /// ad-hoc callers, wrong for a serving layer whose long-lived shared
+  /// worker threads would pin one arena per engine per thread.  The
+  /// arena must be used by one solve at a time; it never affects
+  /// results, only where the DP's scratch memory lives.
+  FrameRateArena* arena = nullptr;
 };
 
 /// The paper's algorithm pair behind the common Mapper interface.

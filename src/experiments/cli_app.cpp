@@ -7,6 +7,8 @@
 #include "experiments/registry.hpp"
 #include "experiments/report.hpp"
 #include "experiments/runner.hpp"
+#include "service/batch_engine.hpp"
+#include "service/serialize.hpp"
 #include "sim/simulator.hpp"
 #include "util/cli.hpp"
 #include "util/file_io.hpp"
@@ -19,10 +21,11 @@ namespace elpc::experiments {
 namespace {
 
 const char* kUsage =
-    "usage: elpc <generate|map|simulate|suite|algorithms> [options]\n"
+    "usage: elpc <generate|map|batch|simulate|suite|algorithms> [options]\n"
     "  elpc generate --case 3 --out scenario.json\n"
     "  elpc generate --modules 8 --nodes 12 --links 90 --seed 7\n"
     "  elpc map --in scenario.json --algorithm ELPC --objective framerate\n"
+    "  elpc batch --jobs jobs.json --out results.json --threads 4\n"
     "  elpc simulate --in scenario.json --frames 200\n"
     "  elpc suite\n";
 
@@ -112,6 +115,53 @@ int cmd_map(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_batch(const std::vector<std::string>& args, std::ostream& out) {
+  util::ArgParser parser("elpc batch");
+  parser.add_string("jobs", "", "batch job file (schema: src/service/serialize.hpp)");
+  parser.add_string("out", "", "write results JSON here (default: stdout)");
+  parser.add_int("threads", 0, "worker threads / shards (0 = hardware)");
+  parser.add_flag("timing",
+                  "include per-job timing + shard metadata "
+                  "(non-deterministic fields)");
+  parser.parse(args);
+  if (parser.get_string("jobs").empty()) {
+    throw std::invalid_argument("elpc batch: --jobs is required");
+  }
+
+  const std::int64_t threads = parser.get_int("threads");
+  if (threads < 0) {
+    throw std::invalid_argument("elpc batch: --threads must be >= 0");
+  }
+
+  service::BatchSpec spec = service::batch_spec_from_json(
+      util::Json::parse(util::read_text_file(parser.get_string("jobs"))));
+  service::BatchEngineOptions engine_options;
+  engine_options.threads = static_cast<std::size_t>(threads);
+  engine_options.shards = engine_options.threads;
+  engine_options.factory = engine_mapper_factory();
+  service::BatchEngine engine(engine_options);
+  for (auto& [id, network] : spec.networks) {
+    engine.register_network(id, std::move(network));
+  }
+  const std::vector<service::SolveResult> results = engine.solve(spec.jobs);
+
+  const std::string doc =
+      service::results_to_json(results, parser.flag("timing")).dump(2) + "\n";
+  if (parser.get_string("out").empty()) {
+    out << doc;
+  } else {
+    util::write_text_file(parser.get_string("out"), doc);
+    out << "wrote " << parser.get_string("out") << " (" << results.size()
+        << " results)\n";
+  }
+  for (const service::SolveResult& r : results) {
+    if (!r.error.empty()) {
+      return 2;  // a job failed outright (not merely infeasible)
+    }
+  }
+  return 0;
+}
+
 int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
   util::ArgParser parser("elpc simulate");
   parser.add_string("in", "", "scenario JSON (empty = built-in small case)");
@@ -173,6 +223,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     if (command == "map") {
       return cmd_map(rest, out);
+    }
+    if (command == "batch") {
+      return cmd_batch(rest, out);
     }
     if (command == "simulate") {
       return cmd_simulate(rest, out);

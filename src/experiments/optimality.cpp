@@ -4,14 +4,47 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/elpc.hpp"
 #include "core/exhaustive.hpp"
 #include "graph/generators.hpp"
 #include "pipeline/generator.hpp"
+#include "service/batch_engine.hpp"
+#include "service/serialize.hpp"
 #include "util/rng.hpp"
 #include "workload/scenario.hpp"
 
 namespace elpc::experiments {
+
+namespace {
+
+/// The study's mapper set: the paper's DP/heuristic pair plus the
+/// exhaustive searcher with the study's instance-size limits (the
+/// registry default limits may be tighter than a custom config asks
+/// for).
+service::MapperFactory gap_mapper_factory(const GapStudyConfig& config) {
+  const core::ExhaustiveLimits limits{config.max_nodes, config.max_modules};
+  return [limits](const service::SolveJob& job,
+                  const service::MapperContext& ctx) -> mapping::MapperPtr {
+    if (job.algorithm == "ELPC") {
+      return service::make_engine_elpc(ctx);
+    }
+    if (job.algorithm == "Exhaustive") {
+      return std::make_unique<core::ExhaustiveMapper>(limits);
+    }
+    throw std::invalid_argument("gap study: unexpected algorithm '" +
+                                job.algorithm + "'");
+  };
+}
+
+/// Solved value of one result, insisting the solve itself succeeded.
+const mapping::MapResult& checked(const service::SolveResult& r) {
+  if (!r.error.empty()) {
+    throw std::logic_error("gap study: job '" + r.job_id +
+                           "' failed: " + r.error);
+  }
+  return r.result;
+}
+
+}  // namespace
 
 GapStudyResult run_gap_study(const GapStudyConfig& config) {
   if (config.min_modules < 2 || config.max_modules < config.min_modules ||
@@ -23,15 +56,18 @@ GapStudyResult run_gap_study(const GapStudyConfig& config) {
   }
 
   util::Rng master(config.seed);
-  const core::ElpcMapper elpc;
-  const core::ExhaustiveMapper exact(core::ExhaustiveLimits{
-      config.max_nodes, config.max_modules});
 
-  GapStudyResult result;
-  result.instances = config.instances;
-  double framerate_gap_sum = 0.0;
-  std::size_t framerate_gap_count = 0;
+  // All instances run through one engine: each instance's network is a
+  // session (finalized once, shared by the four solves on it), and the
+  // jobs shard across the engine pool instead of running strictly
+  // serially.  Aggregation below indexes results in job order, so
+  // scheduling cannot change the outcome.
+  service::BatchEngineOptions engine_options;
+  engine_options.factory = gap_mapper_factory(config);
+  service::BatchEngine engine(engine_options);
 
+  std::vector<service::SolveJob> jobs;
+  jobs.reserve(config.instances * 4);
   for (std::size_t i = 0; i < config.instances; ++i) {
     util::Rng rng = master.split(i + 1);
     const std::size_t n_nodes = static_cast<std::size_t>(rng.uniform_int(
@@ -60,11 +96,42 @@ GapStudyResult run_gap_study(const GapStudyConfig& config) {
       scenario.destination = rng.index(n_nodes);
     } while (scenario.destination == scenario.source);
 
-    const mapping::Problem problem = scenario.problem(config.cost);
+    engine.register_network(scenario.name, std::move(scenario.network));
+    for (const std::string algorithm : {"ELPC", "Exhaustive"}) {
+      for (const service::Objective objective :
+           {service::Objective::kMinDelay,
+            service::Objective::kMaxFrameRate}) {
+        service::SolveJob job;
+        job.id = scenario.name + "/" + algorithm + "/" +
+                 service::objective_name(objective);
+        job.network = scenario.name;
+        job.pipeline = scenario.pipeline;
+        job.source = scenario.source;
+        job.destination = scenario.destination;
+        job.objective = objective;
+        job.algorithm = algorithm;
+        job.cost = config.cost;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  const std::vector<service::SolveResult> results = engine.solve(jobs);
+
+  GapStudyResult result;
+  result.instances = config.instances;
+  double framerate_gap_sum = 0.0;
+  std::size_t framerate_gap_count = 0;
+
+  for (std::size_t i = 0; i < config.instances; ++i) {
+    // Job order per instance: ELPC delay, ELPC framerate, exhaustive
+    // delay, exhaustive framerate.
+    const mapping::MapResult& dp_delay = checked(results[4 * i]);
+    const mapping::MapResult& heur = checked(results[4 * i + 1]);
+    const mapping::MapResult& ex_delay = checked(results[4 * i + 2]);
+    const mapping::MapResult& opt = checked(results[4 * i + 3]);
 
     // --- Delay: the DP must reproduce the exhaustive optimum exactly.
-    const mapping::MapResult dp_delay = elpc.min_delay(problem);
-    const mapping::MapResult ex_delay = exact.min_delay(problem);
     if (dp_delay.feasible != ex_delay.feasible) {
       throw std::logic_error(
           "gap study: DP and exhaustive disagree on delay feasibility");
@@ -81,8 +148,6 @@ GapStudyResult run_gap_study(const GapStudyConfig& config) {
     }
 
     // --- Frame rate: heuristic vs exact optimum.
-    const mapping::MapResult heur = elpc.max_frame_rate(problem);
-    const mapping::MapResult opt = exact.max_frame_rate(problem);
     if (heur.feasible) {
       ++result.framerate_heuristic_feasible;
     }

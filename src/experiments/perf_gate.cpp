@@ -1,0 +1,76 @@
+#include "experiments/perf_gate.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace elpc::experiments {
+
+namespace {
+
+/// (modules, nodes, links, algorithm) -> total_mean_ms, keyed textually
+/// so the report can print the key as-is.
+std::map<std::string, double> index_records(const util::Json& doc) {
+  if (!doc.contains("records")) {
+    throw std::invalid_argument(
+        "perf gate: document has no 'records' array (not a "
+        "runtime_scaling bench output?)");
+  }
+  std::map<std::string, double> index;
+  for (const util::Json& record : doc.at("records").as_array()) {
+    const std::string key =
+        "modules=" + std::to_string(record.at("modules").as_int()) +
+        " nodes=" + std::to_string(record.at("nodes").as_int()) +
+        " links=" + std::to_string(record.at("links").as_int()) +
+        " algorithm=" + record.at("algorithm").as_string();
+    index[key] = record.at("total_mean_ms").as_number();
+  }
+  return index;
+}
+
+}  // namespace
+
+std::string PerfGateReport::render() const {
+  std::string out;
+  for (const PerfRegression& r : regressions) {
+    out += "[FAIL] " + r.key + ": " + util::format_double(r.candidate_ms, 3) +
+           " ms vs reference " + util::format_double(r.reference_ms, 3) +
+           " ms (" + util::format_double(r.ratio(), 2) + "x)\n";
+  }
+  for (const std::string& key : missing) {
+    out += "[FAIL] " + key + ": missing from candidate\n";
+  }
+  if (pass()) {
+    out += "[PASS] " + std::to_string(compared) +
+           " records within tolerance\n";
+  }
+  return out;
+}
+
+PerfGateReport compare_runtime_scaling(const util::Json& reference,
+                                       const util::Json& candidate,
+                                       const PerfGateOptions& options) {
+  if (options.tolerance < 1.0) {
+    throw std::invalid_argument("perf gate: tolerance must be >= 1");
+  }
+  const std::map<std::string, double> ref = index_records(reference);
+  const std::map<std::string, double> cand = index_records(candidate);
+
+  PerfGateReport report;
+  for (const auto& [key, ref_ms] : ref) {
+    const auto it = cand.find(key);
+    if (it == cand.end()) {
+      report.missing.push_back(key);
+      continue;
+    }
+    ++report.compared;
+    const double cand_ms = it->second;
+    if (cand_ms > options.min_ms && cand_ms > options.tolerance * ref_ms) {
+      report.regressions.push_back(PerfRegression{key, ref_ms, cand_ms});
+    }
+  }
+  return report;
+}
+
+}  // namespace elpc::experiments

@@ -1,0 +1,63 @@
+#pragma once
+// Perf regression gate over BENCH_runtime_scaling.json documents.
+//
+// The scaling bench persists one record per (scale, algorithm) with the
+// mean wall-clock per objective.  CI compares the fresh run against the
+// checked-in reference (bench/reference/BENCH_runtime_scaling.json) and
+// fails the build when any per-scale mean regresses beyond a tolerance.
+//
+// Cross-machine wall-clock comparisons are noisy, so the gate is tuned
+// to catch *large* regressions (an accidentally quadratic sweep, a
+// dropped arena) rather than percent-level drift: a record only fails
+// when it is BOTH slower than `tolerance` times the reference AND above
+// an absolute floor `min_ms` (sub-floor times are timer noise at these
+// scales).  Records present in the reference but missing from the
+// candidate also fail — a silently dropped scale must not pass the gate.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace elpc::experiments {
+
+struct PerfGateOptions {
+  /// Allowed candidate/reference slowdown ratio per record.
+  double tolerance = 3.0;
+  /// Records faster than this (ms) never fail, whatever the ratio.
+  double min_ms = 10.0;
+};
+
+/// One record that breached the gate.
+struct PerfRegression {
+  std::string key;  ///< "modules=40 nodes=400 algorithm=ELPC"
+  double reference_ms = 0.0;
+  double candidate_ms = 0.0;
+
+  [[nodiscard]] double ratio() const {
+    return reference_ms > 0.0 ? candidate_ms / reference_ms : 0.0;
+  }
+};
+
+struct PerfGateReport {
+  std::size_t compared = 0;
+  std::vector<PerfRegression> regressions;
+  /// Reference records with no candidate counterpart.
+  std::vector<std::string> missing;
+
+  [[nodiscard]] bool pass() const {
+    return regressions.empty() && missing.empty();
+  }
+  /// Human-readable verdict, one line per finding.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Compares two runtime-scaling documents record by record (keyed on
+/// modules/nodes/links/algorithm, using total_mean_ms).  Throws
+/// util::JsonError / std::invalid_argument on malformed documents.
+[[nodiscard]] PerfGateReport compare_runtime_scaling(
+    const util::Json& reference, const util::Json& candidate,
+    const PerfGateOptions& options = {});
+
+}  // namespace elpc::experiments

@@ -45,4 +45,14 @@ std::vector<std::string> registered_names() {
   return {"ELPC", "ELPC-grouped", "Streamline", "Greedy", "Exhaustive"};
 }
 
+service::MapperFactory engine_mapper_factory() {
+  return [](const service::SolveJob& job,
+            const service::MapperContext& ctx) -> mapping::MapperPtr {
+    if (job.algorithm == "ELPC") {
+      return service::make_engine_elpc(ctx);
+    }
+    return make_mapper(job.algorithm);
+  };
+}
+
 }  // namespace elpc::experiments

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mapping/mapper.hpp"
+#include "service/batch_engine.hpp"
 
 namespace elpc::experiments {
 
@@ -23,5 +24,11 @@ namespace elpc::experiments {
 
 /// All registered names.
 [[nodiscard]] std::vector<std::string> registered_names();
+
+/// Mapper factory for service::BatchEngine resolving this registry's
+/// names.  "ELPC" keeps the engine configuration (shard-leased arena,
+/// column sweep off — see service::make_engine_elpc); every other name
+/// goes through make_mapper.
+[[nodiscard]] service::MapperFactory engine_mapper_factory();
 
 }  // namespace elpc::experiments

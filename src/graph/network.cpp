@@ -21,7 +21,17 @@ NodeId Network::add_node(NodeAttr attr) {
   nodes_.push_back(std::move(attr));
   out_index_.emplace_back();
   finalized_ = false;
+  ++version_;
   return id;
+}
+
+void Network::check_link_attr(const LinkAttr& attr) {
+  if (attr.bandwidth_mbps <= 0.0) {
+    throw std::invalid_argument("Network: bandwidth must be > 0");
+  }
+  if (attr.min_delay_s < 0.0) {
+    throw std::invalid_argument("Network: min link delay must be >= 0");
+  }
 }
 
 void Network::add_link(NodeId from, NodeId to, LinkAttr attr) {
@@ -30,12 +40,7 @@ void Network::add_link(NodeId from, NodeId to, LinkAttr attr) {
   if (from == to) {
     throw std::invalid_argument("Network: self-loops are not allowed");
   }
-  if (attr.bandwidth_mbps <= 0.0) {
-    throw std::invalid_argument("Network: bandwidth must be > 0");
-  }
-  if (attr.min_delay_s < 0.0) {
-    throw std::invalid_argument("Network: min link delay must be >= 0");
-  }
+  check_link_attr(attr);
   if (links_.size() >= std::numeric_limits<std::uint32_t>::max()) {
     throw std::invalid_argument("Network: too many links");
   }
@@ -51,11 +56,60 @@ void Network::add_link(NodeId from, NodeId to, LinkAttr attr) {
   index.insert(pos, static_cast<std::uint32_t>(links_.size()));
   links_.push_back(Edge{from, to, attr});
   finalized_ = false;
+  ++version_;
 }
 
 void Network::add_duplex_link(NodeId a, NodeId b, LinkAttr attr) {
   add_link(a, b, attr);
   add_link(b, a, attr);
+}
+
+void Network::update_link(NodeId from, NodeId to, const LinkAttr& attr) {
+  check_link_attr(attr);
+  Edge* edge = const_cast<Edge*>(find_edge(from, to));
+  if (edge == nullptr) {
+    throw std::out_of_range("Network: no link " + std::to_string(from) +
+                            " -> " + std::to_string(to));
+  }
+  edge->attr = attr;
+  if (finalized_) {
+    // Patch the CSR copies in place: the out row of `from` is sorted by
+    // `to`, the in row of `to` by `from`, so each copy is one binary
+    // search away and the view stays current without a rebuild.
+    const auto out_row = out_csr_.begin() + static_cast<std::ptrdiff_t>(
+        out_off_[from]);
+    const auto out_end = out_csr_.begin() + static_cast<std::ptrdiff_t>(
+        out_off_[from + 1]);
+    const auto out_pos = std::lower_bound(
+        out_row, out_end, to,
+        [](const Edge& e, NodeId target) { return e.to < target; });
+    out_pos->attr = attr;
+    const auto in_row = in_csr_.begin() + static_cast<std::ptrdiff_t>(
+        in_off_[to]);
+    const auto in_end = in_csr_.begin() + static_cast<std::ptrdiff_t>(
+        in_off_[to + 1]);
+    const auto in_pos = std::lower_bound(
+        in_row, in_end, from,
+        [](const Edge& e, NodeId source) { return e.from < source; });
+    in_pos->attr = attr;
+  }
+  ++version_;
+}
+
+void Network::apply_link_updates(std::span<const LinkUpdate> updates) {
+  // Validate the whole batch before touching anything: update_link
+  // commits immediately, and a mid-batch throw must not leave the
+  // network half-refreshed.
+  for (const LinkUpdate& u : updates) {
+    check_link_attr(u.attr);
+    if (find_edge(u.from, u.to) == nullptr) {
+      throw std::out_of_range("Network: no link " + std::to_string(u.from) +
+                              " -> " + std::to_string(u.to));
+    }
+  }
+  for (const LinkUpdate& u : updates) {
+    update_link(u.from, u.to, u.attr);
+  }
 }
 
 void Network::finalize() const {
@@ -88,6 +142,7 @@ void Network::finalize() const {
     }
   }
   finalized_ = true;
+  ++finalize_builds_;
 }
 
 const Edge* Network::find_edge(NodeId from, NodeId to) const {

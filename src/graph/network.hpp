@@ -20,7 +20,10 @@
 // lookups (has_link/find_link/link) use the sorted-neighbor index and do
 // NOT finalize; code that shares a Network across threads must therefore
 // call finalize() (or one adjacency query) once before fanning out (see
-// src/core/README.md).
+// src/core/README.md).  Metric deltas (update_link) change attributes
+// without touching the topology, so they patch the CSR view in place
+// instead of invalidating it — a finalized network never rebuilds for a
+// measurement refresh.
 //
 // Units used throughout the library:
 //   time        seconds
@@ -62,6 +65,14 @@ struct LinkAttr {
   double min_delay_s = 0.0;
 };
 
+/// One metric change for an existing link — the delta format network
+/// monitoring (netmeasure) feeds into update_link / service sessions.
+struct LinkUpdate {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  LinkAttr attr;
+};
+
 /// One outgoing or incoming edge as seen from a node's adjacency span.
 struct Edge {
   NodeId from = kInvalidNode;
@@ -90,6 +101,20 @@ class Network {
   /// Adds links in both directions with the same attributes.
   void add_duplex_link(NodeId a, NodeId b, LinkAttr attr);
 
+  /// Replaces the attributes of an existing link (a metric delta: the
+  /// topology is unchanged).  Throws std::out_of_range when the link does
+  /// not exist and std::invalid_argument on bad attribute values.  When
+  /// the CSR view is current it is patched in place — O(log deg), no
+  /// rebuild — so a finalized network stays finalized.  NOT safe against
+  /// concurrent readers of the same object; share-then-update callers go
+  /// through service::NetworkSession, which swaps whole snapshots.
+  void update_link(NodeId from, NodeId to, const LinkAttr& attr);
+
+  /// Applies a batch of metric deltas via update_link — all-or-nothing:
+  /// the whole batch is validated first, so a bad record throws without
+  /// leaving the network half-refreshed.
+  void apply_link_updates(std::span<const LinkUpdate> updates);
+
   /// Builds the CSR adjacency view.  Idempotent and cheap when already
   /// built; called lazily by the adjacency accessors.  Must be invoked
   /// (directly or via any query) before the Network is shared across
@@ -98,6 +123,19 @@ class Network {
 
   /// True when the CSR view is current (no add_* since the last build).
   [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// Number of times finalize() actually (re)built the CSR view.  Stable
+  /// across no-op finalize() calls and in-place update_link patches, so
+  /// callers amortizing the build (service sessions, the batch engine
+  /// tests) can assert "finalized exactly once".
+  [[nodiscard]] std::size_t finalize_build_count() const noexcept {
+    return finalize_builds_;
+  }
+
+  /// Monotonic mutation counter: bumped by every add_node / add_link /
+  /// update_link.  Lets caches detect that a network they annotated has
+  /// changed underneath them.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
@@ -183,11 +221,15 @@ class Network {
     }
   }
   [[noreturn]] void throw_bad_node(NodeId id) const;
+  /// Shared attribute validation of add_link / update_link /
+  /// apply_link_updates; throws std::invalid_argument.
+  static void check_link_attr(const LinkAttr& attr);
   /// Pointer into links_ for the (from, to) link, or nullptr.  Works in
   /// both phases via the sorted-neighbor index.
   [[nodiscard]] const Edge* find_edge(NodeId from, NodeId to) const;
 
   std::vector<NodeAttr> nodes_;
+  std::uint64_t version_ = 0;
   /// All links in insertion order; never reordered, so Edge pointers
   /// from find_edge stay valid across finalize() — but NOT across
   /// add_link, which may reallocate the vector.
@@ -204,6 +246,7 @@ class Network {
   mutable std::vector<std::size_t> out_off_;
   mutable std::vector<std::size_t> in_off_;
   mutable bool finalized_ = false;
+  mutable std::size_t finalize_builds_ = 0;
 };
 
 }  // namespace elpc::graph

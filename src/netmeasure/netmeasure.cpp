@@ -65,20 +65,37 @@ LinkEstimate estimate_link(const std::vector<Probe>& probes) {
   return estimate;
 }
 
+std::vector<graph::LinkUpdate> measure_link_updates(
+    util::Rng& rng, const graph::Network& truth, const ProbePlan& plan) {
+  plan.validate();
+  std::vector<graph::LinkUpdate> updates;
+  updates.reserve(truth.link_count());
+  for (graph::NodeId v = 0; v < truth.node_count(); ++v) {
+    for (const graph::Edge& e : truth.out_edges(v)) {
+      const std::vector<Probe> probes = synthesize_probes(rng, e.attr, plan);
+      const LinkEstimate estimate = estimate_link(probes);
+      updates.push_back(graph::LinkUpdate{e.from, e.to, estimate.attr});
+    }
+  }
+  return updates;
+}
+
 graph::Network measure_network(util::Rng& rng, const graph::Network& truth,
                                const ProbePlan& plan) {
-  plan.validate();
+  // Copy the topology, then overwrite every attribute from the same
+  // delta feed a session consumes — one estimation loop, two consumers.
+  const std::vector<graph::LinkUpdate> updates =
+      measure_link_updates(rng, truth, plan);
   graph::Network measured;
   for (graph::NodeId v = 0; v < truth.node_count(); ++v) {
     measured.add_node(truth.node(v));
   }
   for (graph::NodeId v = 0; v < truth.node_count(); ++v) {
     for (const graph::Edge& e : truth.out_edges(v)) {
-      const std::vector<Probe> probes = synthesize_probes(rng, e.attr, plan);
-      const LinkEstimate estimate = estimate_link(probes);
-      measured.add_link(e.from, e.to, estimate.attr);
+      measured.add_link(e.from, e.to, e.attr);
     }
   }
+  measured.apply_link_updates(updates);
   return measured;
 }
 

@@ -60,6 +60,13 @@ struct LinkEstimate {
 /// sizes.  A negative intercept (possible under noise) is clamped to 0.
 [[nodiscard]] LinkEstimate estimate_link(const std::vector<Probe>& probes);
 
+/// Measures every link of `truth` and returns the result as a batch of
+/// metric deltas in deterministic (node, sorted-neighbor) order — the
+/// feed a service::NetworkSession consumes to refresh an annotated graph
+/// in place of rebuilding it.
+[[nodiscard]] std::vector<graph::LinkUpdate> measure_link_updates(
+    util::Rng& rng, const graph::Network& truth, const ProbePlan& plan);
+
 /// Measures every link of `truth` and returns a new network with the
 /// same topology and node attributes but *estimated* link attributes —
 /// the "annotated graph" the mapper would consume in a deployment.

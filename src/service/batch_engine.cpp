@@ -1,0 +1,215 @@
+#include "service/batch_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/elpc.hpp"
+#include "util/timer.hpp"
+
+namespace elpc::service {
+
+pipeline::CostOptions default_cost(Objective objective) {
+  return pipeline::CostOptions{
+      .include_link_delay = objective == Objective::kMinDelay};
+}
+
+mapping::MapperPtr make_engine_elpc(const MapperContext& ctx) {
+  core::ElpcOptions options;
+  options.parallel_sweep = false;
+  options.arena = ctx.arena;
+  return std::make_unique<core::ElpcMapper>(options);
+}
+
+namespace {
+
+mapping::MapperPtr builtin_factory(const SolveJob& job,
+                                   const MapperContext& ctx) {
+  if (job.algorithm == "ELPC") {
+    return make_engine_elpc(ctx);
+  }
+  throw std::invalid_argument(
+      "BatchEngine: unknown algorithm '" + job.algorithm +
+      "'; install a MapperFactory (experiments::engine_mapper_factory "
+      "resolves the full registry)");
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(BatchEngineOptions options)
+    : options_(std::move(options)) {
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    pool_ = owned_pool_.get();
+  }
+  if (!options_.factory) {
+    options_.factory = builtin_factory;
+  }
+}
+
+NetworkSession& BatchEngine::register_network(std::string id,
+                                              graph::Network network) {
+  auto session =
+      std::make_unique<NetworkSession>(id, std::move(network));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      sessions_.emplace(std::move(id), std::move(session));
+  if (!inserted) {
+    throw std::invalid_argument("BatchEngine: network '" + it->first +
+                                "' already registered");
+  }
+  return *it->second;
+}
+
+NetworkSession* BatchEngine::find_session(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+bool BatchEngine::has_network(const std::string& id) const {
+  return find_session(id) != nullptr;
+}
+
+NetworkSession& BatchEngine::session(const std::string& id) const {
+  NetworkSession* session = find_session(id);
+  if (session == nullptr) {
+    throw std::out_of_range("BatchEngine: no network '" + id +
+                            "' registered");
+  }
+  return *session;
+}
+
+std::vector<SolveResult> BatchEngine::solve(
+    const std::vector<SolveJob>& jobs) {
+  std::vector<NetworkSession::Current> snapshots;
+  snapshots.reserve(jobs.size());
+  for (const SolveJob& job : jobs) {
+    NetworkSession* session = find_session(job.network);
+    if (session == nullptr) {
+      throw std::invalid_argument("BatchEngine: job '" + job.id +
+                                  "' names unregistered network '" +
+                                  job.network + "'");
+    }
+    snapshots.push_back(session->current());
+  }
+  std::vector<SolveResult> results =
+      run_sharded(std::span<const SolveJob>(jobs), snapshots);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const SolveJob& job : jobs) {
+      // Re-submitting a job replaces (or, with resolve_on_update off,
+      // removes) its subscription: without this, a client re-sending the
+      // same job file would multiply every future re-solve, and turning
+      // the flag off would have no way to stop them.
+      const auto existing = std::find_if(
+          subscriptions_.begin(), subscriptions_.end(),
+          [&job](const SolveJob& s) {
+            return s.id == job.id && s.network == job.network;
+          });
+      if (job.resolve_on_update) {
+        if (existing == subscriptions_.end()) {
+          subscriptions_.push_back(job);
+        } else {
+          *existing = job;
+        }
+      } else if (existing != subscriptions_.end()) {
+        subscriptions_.erase(existing);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<SolveResult> BatchEngine::apply_link_updates(
+    const std::string& id, std::span<const graph::LinkUpdate> updates) {
+  NetworkSession& session = this->session(id);
+  session.apply_link_updates(updates);
+  std::vector<SolveJob> subscribed;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const SolveJob& job : subscriptions_) {
+      if (job.network == id) {
+        subscribed.push_back(job);
+      }
+    }
+  }
+  const std::vector<NetworkSession::Current> snapshots(
+      subscribed.size(), session.current());
+  return run_sharded(std::span<const SolveJob>(subscribed), snapshots);
+}
+
+std::size_t BatchEngine::subscription_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return subscriptions_.size();
+}
+
+std::vector<SolveResult> BatchEngine::run_sharded(
+    std::span<const SolveJob> jobs,
+    std::span<const NetworkSession::Current> snapshots) {
+  std::vector<SolveResult> results(jobs.size());
+  if (jobs.empty()) {
+    return results;
+  }
+  const std::size_t shards = std::min(
+      jobs.size(),
+      options_.shards == 0 ? pool_->worker_count() : options_.shards);
+  util::JobGroup group(*pool_);
+  for (std::size_t s = 0; s < shards; ++s) {
+    group.submit([this, s, shards, jobs, snapshots, &results]() {
+      // One arena per live shard; leases recycle through the pool, so
+      // the engine never holds more arenas than its peak shard count.
+      const core::ArenaPool::Lease lease = arenas_.acquire();
+      const MapperContext ctx{lease.get()};
+      const std::size_t lo = s * jobs.size() / shards;
+      const std::size_t hi = (s + 1) * jobs.size() / shards;
+      for (std::size_t i = lo; i < hi; ++i) {
+        solve_one(jobs[i], snapshots[i], ctx, s, results[i]);
+      }
+    });
+  }
+  group.wait();
+  return results;
+}
+
+void BatchEngine::solve_one(const SolveJob& job,
+                            const NetworkSession::Current& snap,
+                            const MapperContext& ctx, std::size_t shard,
+                            SolveResult& out) {
+  out.job_id = job.id;
+  out.network = job.network;
+  out.algorithm = job.algorithm;
+  out.objective = job.objective;
+  out.shard = shard;
+  out.network_revision = snap.revision;
+  try {
+    const mapping::MapperPtr mapper = options_.factory(job, ctx);
+    const mapping::Problem problem(job.pipeline, *snap.network, job.source,
+                                   job.destination, job.cost);
+    const bool framerate = job.objective == Objective::kMaxFrameRate;
+    const auto run = [&]() {
+      return framerate ? mapper->max_frame_rate(problem)
+                       : mapper->min_delay(problem);
+    };
+    const std::size_t repeats = std::max<std::size_t>(1, job.repeats);
+    if (job.warmup) {
+      (void)run();  // untimed, excluded from mean_runtime_ms
+    }
+    util::WallTimer timer;
+    mapping::MapResult result;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      result = run();
+    }
+    out.mean_runtime_ms =
+        timer.elapsed_ms() / static_cast<double>(repeats);
+    out.result = std::move(result);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    out.result = mapping::MapResult::infeasible(std::string("error: ") +
+                                                e.what());
+  }
+}
+
+}  // namespace elpc::service

@@ -1,0 +1,192 @@
+#pragma once
+// BatchEngine — the serving layer over the mapping algorithms: many
+// (network, pipeline, objective) solve jobs per call, amortizing what
+// the per-call API pays per solve.
+//
+// Cost amortization, by lifetime:
+//   * per engine   — one worker pool (never one pool per suite run) and
+//     one ArenaPool whose arenas cycle between shards;
+//   * per network  — one NetworkSession: registered once, finalized
+//     once, shared read-only by every job and every revision delta
+//     (see network_session.hpp);
+//   * per batch    — jobs are split into contiguous shards; each shard
+//     leases one arena and solves its jobs serially on one worker.
+//
+// Determinism: results are indexed by job order, each job is solved by
+// an identical mapper configuration regardless of shard count, and the
+// serialized result form (service/serialize.hpp) excludes timing and
+// shard metadata by default — so the same job list produces
+// byte-identical JSON on 1 worker and on N, and values bit-identical to
+// direct Mapper calls.  Pinned by tests/service/batch_engine_test.cpp.
+//
+// Delta-driven re-solves: a job with resolve_on_update = true is
+// retained as a subscription; apply_link_updates(network, deltas)
+// publishes the new revision and immediately re-solves the subscribed
+// jobs against it, returning those results.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/arena_pool.hpp"
+#include "graph/network.hpp"
+#include "mapping/mapper.hpp"
+#include "pipeline/cost_model.hpp"
+#include "pipeline/pipeline.hpp"
+#include "service/network_session.hpp"
+#include "util/thread_pool.hpp"
+
+namespace elpc::service {
+
+enum class Objective { kMinDelay, kMaxFrameRate };
+
+/// The experiment harness's per-objective cost conventions (see
+/// experiments/runner.hpp): delay pays the per-hop MLD, frame rate does
+/// not (propagation adds latency, not a throughput limit).
+[[nodiscard]] pipeline::CostOptions default_cost(Objective objective);
+
+/// One queued solve: which session, what pipeline, which objective.
+struct SolveJob {
+  /// Caller-chosen identifier echoed in the result.
+  std::string id;
+  /// Id of a registered network session.
+  std::string network;
+  pipeline::Pipeline pipeline;
+  graph::NodeId source = graph::kInvalidNode;
+  graph::NodeId destination = graph::kInvalidNode;
+  Objective objective = Objective::kMinDelay;
+  /// Mapper name resolved by the engine's factory ("ELPC" built in).
+  std::string algorithm = "ELPC";
+  pipeline::CostOptions cost;
+  /// Timed solve repetitions (benchmark use).  The reported result is
+  /// the last run's — all runs are identical — and mean_runtime_ms
+  /// averages the timed ones.
+  std::size_t repeats = 1;
+  /// Run one untimed solve before the timed ones (benchmark-style:
+  /// excludes first-call arena growth and cold caches from the mean).
+  /// Serving jobs leave this off — a job must not run twice.
+  bool warmup = false;
+  /// Retain this job as a subscription: apply_link_updates on its
+  /// network re-solves it against the new revision.
+  bool resolve_on_update = false;
+};
+
+/// One job's outcome plus serving metadata.
+struct SolveResult {
+  std::string job_id;
+  std::string network;
+  /// Session revision the solve ran against.
+  std::uint64_t network_revision = 0;
+  std::string algorithm;
+  Objective objective = Objective::kMinDelay;
+  mapping::MapResult result;
+  /// Non-empty when the solve failed outright (unknown algorithm, mapper
+  /// exception) rather than returning an infeasible-but-valid answer.
+  std::string error;
+  // Non-deterministic metadata, excluded from canonical serialization:
+  double mean_runtime_ms = 0.0;
+  std::size_t shard = 0;
+};
+
+/// Per-shard context the mapper factory may use: the shard's leased DP
+/// arena (single-threaded for the shard's lifetime).
+struct MapperContext {
+  core::FrameRateArena* arena = nullptr;
+};
+
+/// Resolves a job's algorithm name to a mapper instance.  Called once
+/// per (job, run) inside the shard; must be thread-safe (pure).
+using MapperFactory =
+    std::function<mapping::MapperPtr(const SolveJob&, const MapperContext&)>;
+
+/// The ELPC mapper as the engine configures it: shard-leased arena, DP
+/// column sweep off (shards already own the machine's parallelism —
+/// results are identical either way).  Exposed so custom factories keep
+/// the same configuration for "ELPC".
+[[nodiscard]] mapping::MapperPtr make_engine_elpc(const MapperContext& ctx);
+
+struct BatchEngineOptions {
+  /// Worker threads of the engine-owned pool when `pool` is null
+  /// (0 = hardware concurrency).  Ignored with an external pool.
+  std::size_t threads = 0;
+  /// Shards per batch (0 = the pool's worker count).  Shard count never
+  /// changes results, only scheduling.
+  std::size_t shards = 0;
+  /// External pool to share with other engines/suites; not owned.
+  util::ThreadPool* pool = nullptr;
+  /// Algorithm resolution; empty = built-in factory ("ELPC" only; other
+  /// names fail the job with an error.  experiments::
+  /// engine_mapper_factory() resolves the full registry).
+  MapperFactory factory;
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(BatchEngineOptions options = {});
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// Registers (and finalizes) a network under `id`; throws
+  /// std::invalid_argument on duplicates.
+  NetworkSession& register_network(std::string id, graph::Network network);
+
+  [[nodiscard]] bool has_network(const std::string& id) const;
+
+  /// The session registered under `id`; throws std::out_of_range when
+  /// absent.
+  [[nodiscard]] NetworkSession& session(const std::string& id) const;
+
+  /// Solves a batch: shards the jobs over the pool, one arena lease per
+  /// shard, and returns results in job order.  Jobs naming an
+  /// unregistered network throw std::invalid_argument before anything
+  /// runs; per-job solver failures are captured in SolveResult::error.
+  /// Jobs with resolve_on_update are additionally retained as
+  /// subscriptions, keyed on (id, network): re-submitting a job replaces
+  /// its subscription instead of duplicating it, and re-submitting with
+  /// resolve_on_update off removes it (the unsubscribe path).
+  std::vector<SolveResult> solve(const std::vector<SolveJob>& jobs);
+
+  /// Applies metric deltas to a session (publishing its next revision)
+  /// and re-solves the jobs subscribed to it, returning their results in
+  /// subscription order.
+  std::vector<SolveResult> apply_link_updates(
+      const std::string& id, std::span<const graph::LinkUpdate> updates);
+
+  /// Jobs currently retained for delta-driven re-solves.
+  [[nodiscard]] std::size_t subscription_count() const;
+
+  /// Arenas the engine ever constructed (bounded by peak shard count).
+  [[nodiscard]] std::size_t arenas_created() const {
+    return arenas_.created();
+  }
+
+ private:
+  [[nodiscard]] NetworkSession* find_session(const std::string& id) const;
+  /// `snapshots` is index-aligned with `jobs`: every job's session state
+  /// is resolved once, up front, on the calling thread — workers never
+  /// touch the engine mutex, and all jobs of one batch solve against the
+  /// revisions current at submission.
+  std::vector<SolveResult> run_sharded(
+      std::span<const SolveJob> jobs,
+      std::span<const NetworkSession::Current> snapshots);
+  void solve_one(const SolveJob& job, const NetworkSession::Current& snap,
+                 const MapperContext& ctx, std::size_t shard,
+                 SolveResult& out);
+
+  BatchEngineOptions options_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_;
+  core::ArenaPool arenas_;
+  mutable std::mutex mutex_;  // guards sessions_ and subscriptions_
+  std::map<std::string, std::unique_ptr<NetworkSession>> sessions_;
+  std::vector<SolveJob> subscriptions_;
+};
+
+}  // namespace elpc::service

@@ -1,0 +1,47 @@
+#include "service/network_session.hpp"
+
+#include <utility>
+
+namespace elpc::service {
+
+NetworkSession::NetworkSession(std::string id, graph::Network network)
+    : id_(std::move(id)) {
+  network.finalize();
+  current_ = std::make_shared<const graph::Network>(std::move(network));
+}
+
+NetworkSnapshot NetworkSession::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t NetworkSession::revision() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return revision_;
+}
+
+NetworkSession::Current NetworkSession::current() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return Current{current_, revision_};
+}
+
+std::size_t NetworkSession::finalize_builds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return current_->finalize_build_count();
+}
+
+void NetworkSession::apply_link_updates(
+    std::span<const graph::LinkUpdate> updates) {
+  // The clone is private until published and the source snapshot stays
+  // immutable, so readers holding older snapshots are unaffected.  The
+  // lock spans the whole clone-patch-publish step so concurrent delta
+  // batches linearize instead of cloning from the same base and losing
+  // one another's updates.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto next = std::make_shared<graph::Network>(*current_);
+  next->apply_link_updates(updates);  // in-place CSR patch, no rebuild
+  current_ = std::move(next);
+  ++revision_;
+}
+
+}  // namespace elpc::service

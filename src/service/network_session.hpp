@@ -1,0 +1,77 @@
+#pragma once
+// NetworkSession — one registered network, finalized once, shared
+// read-only across many solves, refreshed by metric deltas.
+//
+// The session holds the current network behind a shared_ptr snapshot.
+// Readers (batch solve shards) take a snapshot and keep it for the
+// duration of a job: the pointed-to Network is immutable from their
+// side, so any number of concurrent solves can sweep its CSR view.
+//
+// apply_link_updates never mutates a published snapshot (that would race
+// with readers).  It clones the current network — the copy carries the
+// built CSR view, so no re-finalize happens — patches the clone's link
+// attributes in place via graph::Network::update_link, and atomically
+// publishes the clone.  In-flight solves finish against the snapshot
+// they started with; later solves see the new revision.  Across the
+// whole session lifecycle the CSR view is therefore built exactly once
+// (finalize_builds() pins this), no matter how many jobs run or deltas
+// arrive.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "graph/network.hpp"
+
+namespace elpc::service {
+
+/// Refcounted immutable view of a session's network at one revision.
+using NetworkSnapshot = std::shared_ptr<const graph::Network>;
+
+class NetworkSession {
+ public:
+  /// Takes ownership of the network and finalizes it (the session's one
+  /// CSR build, unless the caller already built it).
+  NetworkSession(std::string id, graph::Network network);
+
+  NetworkSession(const NetworkSession&) = delete;
+  NetworkSession& operator=(const NetworkSession&) = delete;
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+
+  /// The current finalized network.  Hold the returned snapshot for the
+  /// duration of a solve; it stays valid (and immutable) even if deltas
+  /// publish newer revisions meanwhile.
+  [[nodiscard]] NetworkSnapshot snapshot() const;
+
+  /// Number of delta batches applied so far (0 = as registered).
+  [[nodiscard]] std::uint64_t revision() const;
+
+  /// A snapshot paired with the revision it belongs to, read atomically
+  /// (snapshot() then revision() could straddle a concurrent delta).
+  struct Current {
+    NetworkSnapshot network;
+    std::uint64_t revision = 0;
+  };
+  [[nodiscard]] Current current() const;
+
+  /// Total CSR builds across every snapshot this session ever published.
+  /// Stays 1 for a session registered unfinalized: deltas clone + patch,
+  /// they never rebuild.
+  [[nodiscard]] std::size_t finalize_builds() const;
+
+  /// Applies one batch of metric deltas copy-on-write and publishes the
+  /// result as the next revision.  Throws (and publishes nothing) when
+  /// any update names a missing link or carries invalid attributes.
+  void apply_link_updates(std::span<const graph::LinkUpdate> updates);
+
+ private:
+  const std::string id_;
+  mutable std::mutex mutex_;
+  NetworkSnapshot current_;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace elpc::service

@@ -1,0 +1,142 @@
+#include "service/serialize.hpp"
+
+#include <stdexcept>
+
+#include "graph/serialize.hpp"
+#include "pipeline/serialize.hpp"
+
+namespace elpc::service {
+
+std::string objective_name(Objective objective) {
+  return objective == Objective::kMinDelay ? "delay" : "framerate";
+}
+
+Objective objective_from_name(const std::string& name) {
+  if (name == "delay") {
+    return Objective::kMinDelay;
+  }
+  if (name == "framerate") {
+    return Objective::kMaxFrameRate;
+  }
+  throw std::invalid_argument("objective must be 'delay' or 'framerate', got '" +
+                              name + "'");
+}
+
+util::Json to_json(const SolveJob& job) {
+  util::Json doc = util::JsonObject{};
+  doc.set("id", job.id);
+  doc.set("network", job.network);
+  doc.set("objective", objective_name(job.objective));
+  doc.set("algorithm", job.algorithm);
+  doc.set("pipeline", pipeline::to_json(job.pipeline));
+  doc.set("source", job.source);
+  doc.set("destination", job.destination);
+  doc.set("include_link_delay", job.cost.include_link_delay);
+  doc.set("repeats", job.repeats);
+  doc.set("warmup", job.warmup);
+  doc.set("resolve_on_update", job.resolve_on_update);
+  return doc;
+}
+
+SolveJob job_from_json(const util::Json& doc) {
+  SolveJob job;
+  job.id = doc.at("id").as_string();
+  job.network = doc.at("network").as_string();
+  job.objective = objective_from_name(doc.at("objective").as_string());
+  job.pipeline = pipeline::pipeline_from_json(doc.at("pipeline"));
+  job.source = static_cast<graph::NodeId>(doc.at("source").as_int());
+  job.destination =
+      static_cast<graph::NodeId>(doc.at("destination").as_int());
+  if (const util::Json* algorithm = doc.find("algorithm")) {
+    job.algorithm = algorithm->as_string();
+  }
+  job.cost = default_cost(job.objective);
+  if (const util::Json* mld = doc.find("include_link_delay")) {
+    job.cost.include_link_delay = mld->as_bool();
+  }
+  if (const util::Json* repeats = doc.find("repeats")) {
+    const std::int64_t n = repeats->as_int();
+    if (n < 1) {
+      throw std::invalid_argument("job '" + job.id +
+                                  "': repeats must be >= 1");
+    }
+    job.repeats = static_cast<std::size_t>(n);
+  }
+  if (const util::Json* warmup = doc.find("warmup")) {
+    job.warmup = warmup->as_bool();
+  }
+  if (const util::Json* resolve = doc.find("resolve_on_update")) {
+    job.resolve_on_update = resolve->as_bool();
+  }
+  return job;
+}
+
+util::Json to_json(const BatchSpec& spec) {
+  util::JsonArray networks;
+  for (const auto& [id, network] : spec.networks) {
+    util::Json entry = util::JsonObject{};
+    entry.set("id", id);
+    entry.set("network", graph::to_json(network));
+    networks.push_back(std::move(entry));
+  }
+  util::JsonArray jobs;
+  for (const SolveJob& job : spec.jobs) {
+    jobs.push_back(to_json(job));
+  }
+  util::Json doc = util::JsonObject{};
+  doc.set("networks", util::Json(std::move(networks)));
+  doc.set("jobs", util::Json(std::move(jobs)));
+  return doc;
+}
+
+BatchSpec batch_spec_from_json(const util::Json& doc) {
+  BatchSpec spec;
+  for (const util::Json& entry : doc.at("networks").as_array()) {
+    spec.networks.emplace_back(entry.at("id").as_string(),
+                               graph::network_from_json(entry.at("network")));
+  }
+  for (const util::Json& entry : doc.at("jobs").as_array()) {
+    spec.jobs.push_back(job_from_json(entry));
+  }
+  return spec;
+}
+
+util::Json results_to_json(std::span<const SolveResult> results,
+                           bool include_timing) {
+  util::JsonArray entries;
+  for (const SolveResult& r : results) {
+    util::Json entry = util::JsonObject{};
+    entry.set("job", r.job_id);
+    entry.set("network", r.network);
+    entry.set("revision", r.network_revision);
+    entry.set("algorithm", r.algorithm);
+    entry.set("objective", objective_name(r.objective));
+    entry.set("feasible", r.result.feasible);
+    if (!r.error.empty()) {
+      entry.set("error", r.error);
+    }
+    if (r.result.feasible) {
+      entry.set("seconds", r.result.seconds);
+      if (r.objective == Objective::kMaxFrameRate) {
+        entry.set("frame_rate", r.result.frame_rate());
+      }
+      util::JsonArray assignment;
+      for (const graph::NodeId v : r.result.mapping.assignment()) {
+        assignment.push_back(v);
+      }
+      entry.set("mapping", util::Json(std::move(assignment)));
+    } else if (r.error.empty()) {
+      entry.set("reason", r.result.reason);
+    }
+    if (include_timing) {
+      entry.set("mean_runtime_ms", r.mean_runtime_ms);
+      entry.set("shard", r.shard);
+    }
+    entries.push_back(std::move(entry));
+  }
+  util::Json doc = util::JsonObject{};
+  doc.set("results", util::Json(std::move(entries)));
+  return doc;
+}
+
+}  // namespace elpc::service

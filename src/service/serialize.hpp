@@ -1,0 +1,54 @@
+#pragma once
+// JSON schema of the batch mapping service: the job file the `batch`
+// CLI subcommand consumes and the canonical result document it emits.
+//
+// Job file:
+//   {"networks": [{"id": "...", "network": {<graph/serialize.hpp>}}],
+//    "jobs": [{"id", "network", "objective": "delay"|"framerate",
+//              "pipeline": {<pipeline/serialize.hpp>}, "source",
+//              "destination",
+//              optional: "algorithm" (default "ELPC"),
+//                        "include_link_delay" (default per objective),
+//                        "repeats" (default 1), "warmup" (default false),
+//                        "resolve_on_update" (default false)}]}
+//
+// Result document ({"results": [...]}, one entry per job, job order):
+// canonical by construction — sorted object keys, no timing or shard
+// metadata unless include_timing is set — so two runs of the same job
+// file are byte-identical regardless of worker count (pinned by
+// tests/service/batch_engine_test.cpp).
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/batch_engine.hpp"
+#include "util/json.hpp"
+
+namespace elpc::service {
+
+/// Wire name of an objective ("delay" / "framerate").
+[[nodiscard]] std::string objective_name(Objective objective);
+/// Inverse of objective_name; throws std::invalid_argument otherwise.
+[[nodiscard]] Objective objective_from_name(const std::string& name);
+
+/// Everything a batch run needs: networks to register plus the queue.
+struct BatchSpec {
+  std::vector<std::pair<std::string, graph::Network>> networks;
+  std::vector<SolveJob> jobs;
+};
+
+[[nodiscard]] util::Json to_json(const SolveJob& job);
+[[nodiscard]] SolveJob job_from_json(const util::Json& doc);
+
+[[nodiscard]] util::Json to_json(const BatchSpec& spec);
+[[nodiscard]] BatchSpec batch_spec_from_json(const util::Json& doc);
+
+/// Results in job order.  `include_timing` adds the mean_runtime_ms and
+/// shard fields — useful interactively, excluded from the canonical
+/// (deterministic) form.
+[[nodiscard]] util::Json results_to_json(
+    std::span<const SolveResult> results, bool include_timing = false);
+
+}  // namespace elpc::service

@@ -64,6 +64,15 @@ bool Json::contains(const std::string& key) const {
   return is_object() && as_object().count(key) > 0;
 }
 
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const auto& obj = std::get<JsonObject>(value_);
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
 Json& Json::set(const std::string& key, Json value) {
   if (!is_object()) {
     value_ = JsonObject{};

@@ -62,6 +62,9 @@ class Json {
   [[nodiscard]] const Json& at(const std::string& key) const;
   /// True when this is an object containing `key`.
   [[nodiscard]] bool contains(const std::string& key) const;
+  /// Pointer to the member, or nullptr when absent (or not an object) —
+  /// single-lookup access to optional fields.
+  [[nodiscard]] const Json* find(const std::string& key) const;
 
   /// Mutable object/array builders.
   Json& set(const std::string& key, Json value);

@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace elpc::util {
 
@@ -41,16 +43,52 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: post after shutdown");
+    }
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
+  JobGroup group(*this);
   for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i]() { fn(i); }));
+    group.submit([&fn, i]() { fn(i); });
   }
-  for (auto& f : futures) {
-    f.get();  // rethrows the first task exception, if any
+  group.wait();  // rethrows the first task exception, if any
+}
+
+JobGroup::~JobGroup() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this]() { return pending_ == 0; });
+}
+
+void JobGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this]() { return pending_ == 0; });
+  if (first_error_ != nullptr) {
+    const std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
   }
+}
+
+void JobGroup::finish_one(std::exception_ptr error) {
+  // Notify while still holding the lock: a waiter may destroy the group
+  // the instant it observes pending_ == 0, so the cv must not be touched
+  // after the mutex is released (the waiter cannot re-acquire and return
+  // until this scope exits).
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (error != nullptr && first_error_ == nullptr) {
+    first_error_ = error;
+  }
+  --pending_;
+  cv_.notify_all();
 }
 
 }  // namespace elpc::util

@@ -53,6 +53,12 @@ class ThreadPool {
     return result;
   }
 
+  /// Fire-and-forget enqueue: no future, no packaged_task — one queue
+  /// entry.  The task must handle its own exceptions (an escaping one
+  /// would terminate the worker); JobGroup's wrapper does, which is the
+  /// intended caller.
+  void post(std::function<void()> task);
+
   /// Runs fn(i) for i in [0, n), blocking until all complete.  Exceptions
   /// from tasks propagate (the first one encountered is rethrown).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
@@ -65,6 +71,63 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+/// A batch of related tasks on a shared pool, waited on as one unit.
+///
+/// Unlike collecting futures, a group costs one queue entry and one
+/// counter increment per task — no promise/future machinery — and is
+/// reusable: submit, wait, submit again.  Several groups can
+/// target the same pool concurrently — this is how independent callers
+/// (BatchEngine solves, suite runs) share one set of workers instead of
+/// each constructing a pool.  wait() blocks until every submitted task
+/// finished and rethrows the first captured task exception, if any.
+/// Destruction waits for stragglers (without rethrowing), so a group
+/// abandoned by an exception elsewhere never leaves tasks touching a
+/// dead frame.
+class JobGroup {
+ public:
+  explicit JobGroup(ThreadPool& pool) : pool_(&pool) {}
+  ~JobGroup();
+
+  JobGroup(const JobGroup&) = delete;
+  JobGroup& operator=(const JobGroup&) = delete;
+
+  /// Enqueues one task of the group.
+  template <typename F>
+  void submit(F&& fn) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++pending_;
+    }
+    try {
+      pool_->post([this, task = std::forward<F>(fn)]() mutable {
+        std::exception_ptr error;
+        try {
+          task();
+        } catch (...) {
+          error = std::current_exception();
+        }
+        finish_one(error);
+      });
+    } catch (...) {
+      finish_one(nullptr);
+      throw;
+    }
+  }
+
+  /// Blocks until all submitted tasks completed; rethrows the first task
+  /// exception (clearing it, so the group can be reused).
+  void wait();
+
+ private:
+  void finish_one(std::exception_ptr error);
+
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace elpc::util

@@ -5,7 +5,12 @@
 #include <cstdio>
 #include <sstream>
 
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "service/serialize.hpp"
 #include "util/file_io.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace elpc::experiments {
 namespace {
@@ -118,6 +123,72 @@ TEST(Cli, SimulateDefaultsRun) {
   const CliRun r = run({"simulate", "--frames", "20"});
   ASSERT_EQ(r.code, 0) << r.err;
   EXPECT_NE(r.out.find("events executed"), std::string::npos);
+}
+
+std::string write_batch_jobs(const std::string& path) {
+  util::Rng rng(31);
+  service::BatchSpec spec;
+  spec.networks.emplace_back(
+      "net", graph::random_connected_network(rng, 7, 30, {}));
+  for (std::size_t j = 0; j < 4; ++j) {
+    service::SolveJob job;
+    job.id = "job" + std::to_string(j);
+    job.network = "net";
+    job.pipeline = pipeline::random_pipeline(rng, 4, {});
+    job.source = 0;
+    job.destination = 6;
+    job.objective = j % 2 == 0 ? service::Objective::kMinDelay
+                               : service::Objective::kMaxFrameRate;
+    job.cost = service::default_cost(job.objective);
+    spec.jobs.push_back(std::move(job));
+  }
+  const std::string doc = service::to_json(spec).dump(2);
+  util::write_text_file(path, doc);
+  return doc;
+}
+
+TEST(Cli, BatchRunsJobFileAndEmitsCanonicalResults) {
+  TempFile jobs("batch_jobs.json");
+  write_batch_jobs(jobs.path());
+
+  const CliRun serial =
+      run({"batch", "--jobs", jobs.path(), "--threads", "1"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  const util::Json doc = util::Json::parse(serial.out);
+  ASSERT_EQ(doc.at("results").as_array().size(), 4u);
+  for (const util::Json& entry : doc.at("results").as_array()) {
+    EXPECT_TRUE(entry.at("feasible").as_bool());
+    EXPECT_FALSE(entry.contains("mean_runtime_ms"));  // canonical form
+  }
+
+  // Same file, more threads: byte-identical document.
+  const CliRun sharded =
+      run({"batch", "--jobs", jobs.path(), "--threads", "4"});
+  ASSERT_EQ(sharded.code, 0) << sharded.err;
+  EXPECT_EQ(serial.out, sharded.out);
+}
+
+TEST(Cli, BatchTimingFlagAddsMetadataAndOutWritesFile) {
+  TempFile jobs("batch_jobs_timing.json");
+  write_batch_jobs(jobs.path());
+  TempFile results("batch_results.json");
+
+  const CliRun r = run({"batch", "--jobs", jobs.path(), "--timing", "--out",
+                        results.path()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote"), std::string::npos);
+  const util::Json doc =
+      util::Json::parse(util::read_text_file(results.path()));
+  for (const util::Json& entry : doc.at("results").as_array()) {
+    EXPECT_TRUE(entry.contains("mean_runtime_ms"));
+    EXPECT_TRUE(entry.contains("shard"));
+  }
+}
+
+TEST(Cli, BatchRequiresJobsFile) {
+  const CliRun r = run({"batch"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--jobs"), std::string::npos);
 }
 
 TEST(FileIo, RoundTrip) {

@@ -1,0 +1,98 @@
+#include "experiments/perf_gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace elpc::experiments {
+namespace {
+
+util::Json make_doc(std::initializer_list<std::pair<const char*, double>>
+                        algorithm_to_total_ms) {
+  util::JsonArray records;
+  for (const auto& [algorithm, total_ms] : algorithm_to_total_ms) {
+    util::Json record = util::JsonObject{};
+    record.set("modules", 10);
+    record.set("nodes", 25);
+    record.set("links", 360);
+    record.set("algorithm", algorithm);
+    record.set("min_delay_mean_ms", total_ms / 2.0);
+    record.set("max_frame_rate_mean_ms", total_ms / 2.0);
+    record.set("total_mean_ms", total_ms);
+    records.push_back(std::move(record));
+  }
+  util::Json doc = util::JsonObject{};
+  doc.set("bench", "runtime_scaling");
+  doc.set("unit", "milliseconds");
+  doc.set("records", util::Json(std::move(records)));
+  return doc;
+}
+
+TEST(PerfGate, IdenticalDocumentsPass) {
+  const util::Json doc = make_doc({{"ELPC", 40.0}, {"Greedy", 12.0}});
+  const PerfGateReport report = compare_runtime_scaling(doc, doc);
+  EXPECT_TRUE(report.pass());
+  EXPECT_EQ(report.compared, 2u);
+  EXPECT_NE(report.render().find("[PASS]"), std::string::npos);
+}
+
+TEST(PerfGate, LargeRegressionFails) {
+  const util::Json reference = make_doc({{"ELPC", 40.0}});
+  const util::Json candidate = make_doc({{"ELPC", 400.0}});
+  const PerfGateReport report =
+      compare_runtime_scaling(reference, candidate);
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_FALSE(report.pass());
+  EXPECT_DOUBLE_EQ(report.regressions[0].ratio(), 10.0);
+  EXPECT_NE(report.render().find("[FAIL]"), std::string::npos);
+}
+
+TEST(PerfGate, SubFloorTimesNeverFailWhateverTheRatio) {
+  // 0.01 ms -> 5 ms is a 500x ratio but below the noise floor.
+  const util::Json reference = make_doc({{"ELPC", 0.01}});
+  const util::Json candidate = make_doc({{"ELPC", 5.0}});
+  EXPECT_TRUE(compare_runtime_scaling(reference, candidate).pass());
+}
+
+TEST(PerfGate, WithinToleranceSlowdownPasses) {
+  const util::Json reference = make_doc({{"ELPC", 40.0}});
+  const util::Json candidate = make_doc({{"ELPC", 100.0}});
+  PerfGateOptions options;
+  options.tolerance = 3.0;
+  EXPECT_TRUE(
+      compare_runtime_scaling(reference, candidate, options).pass());
+  options.tolerance = 2.0;
+  EXPECT_FALSE(
+      compare_runtime_scaling(reference, candidate, options).pass());
+}
+
+TEST(PerfGate, MissingRecordFails) {
+  const util::Json reference = make_doc({{"ELPC", 40.0}, {"Greedy", 12.0}});
+  const util::Json candidate = make_doc({{"ELPC", 40.0}});
+  const PerfGateReport report =
+      compare_runtime_scaling(reference, candidate);
+  EXPECT_FALSE(report.pass());
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_NE(report.missing[0].find("Greedy"), std::string::npos);
+}
+
+TEST(PerfGate, ExtraCandidateRecordsAreFine) {
+  // New scales added by a later PR must not break the gate.
+  const util::Json reference = make_doc({{"ELPC", 40.0}});
+  const util::Json candidate = make_doc({{"ELPC", 40.0}, {"Greedy", 12.0}});
+  EXPECT_TRUE(compare_runtime_scaling(reference, candidate).pass());
+}
+
+TEST(PerfGate, RejectsMalformedDocumentsAndBadOptions) {
+  const util::Json doc = make_doc({{"ELPC", 40.0}});
+  EXPECT_THROW(
+      (void)compare_runtime_scaling(util::Json(util::JsonObject{}), doc),
+      std::invalid_argument);
+  PerfGateOptions options;
+  options.tolerance = 0.5;
+  EXPECT_THROW((void)compare_runtime_scaling(doc, doc, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace elpc::experiments

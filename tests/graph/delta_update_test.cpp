@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/network.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::graph {
+namespace {
+
+Network triangle() {
+  Network net;
+  for (int i = 0; i < 3; ++i) {
+    net.add_node(NodeAttr{"", 1.0});
+  }
+  net.add_duplex_link(0, 1, LinkAttr{100.0, 0.010});
+  net.add_duplex_link(1, 2, LinkAttr{50.0, 0.020});
+  net.add_link(0, 2, LinkAttr{10.0, 0.050});
+  return net;
+}
+
+TEST(DeltaUpdate, UpdatesLookupAndBothCsrDirections) {
+  Network net = triangle();
+  net.finalize();
+
+  net.update_link(1, 2, LinkAttr{75.0, 0.015});
+
+  EXPECT_DOUBLE_EQ(net.link(1, 2).bandwidth_mbps, 75.0);
+  EXPECT_DOUBLE_EQ(net.link(1, 2).min_delay_s, 0.015);
+  // The reverse direction of the duplex pair is a distinct link and must
+  // be untouched.
+  EXPECT_DOUBLE_EQ(net.link(2, 1).bandwidth_mbps, 50.0);
+
+  bool seen_out = false;
+  for (const Edge& e : net.out_edges(1)) {
+    if (e.to == 2) {
+      seen_out = true;
+      EXPECT_DOUBLE_EQ(e.attr.bandwidth_mbps, 75.0);
+    }
+  }
+  bool seen_in = false;
+  for (const Edge& e : net.in_edges(2)) {
+    if (e.from == 1) {
+      seen_in = true;
+      EXPECT_DOUBLE_EQ(e.attr.min_delay_s, 0.015);
+    }
+  }
+  EXPECT_TRUE(seen_out);
+  EXPECT_TRUE(seen_in);
+  net.validate();
+}
+
+TEST(DeltaUpdate, FinalizedViewIsPatchedNotRebuilt) {
+  Network net = triangle();
+  net.finalize();
+  ASSERT_TRUE(net.finalized());
+  ASSERT_EQ(net.finalize_build_count(), 1u);
+
+  net.update_link(0, 2, LinkAttr{20.0, 0.040});
+
+  EXPECT_TRUE(net.finalized());  // attr deltas never invalidate the CSR
+  EXPECT_EQ(net.finalize_build_count(), 1u);
+  EXPECT_DOUBLE_EQ(net.out_edges(0).back().attr.bandwidth_mbps, 20.0);
+}
+
+TEST(DeltaUpdate, WorksBeforeFinalizeToo) {
+  Network net = triangle();
+  net.update_link(0, 1, LinkAttr{200.0, 0.001});
+  EXPECT_DOUBLE_EQ(net.link(0, 1).bandwidth_mbps, 200.0);
+  net.finalize();
+  EXPECT_DOUBLE_EQ(net.out_edges(0).front().attr.bandwidth_mbps, 200.0);
+  net.validate();
+}
+
+TEST(DeltaUpdate, VersionBumpsOnEveryMutation) {
+  Network net;
+  const std::uint64_t v0 = net.version();
+  net.add_node(NodeAttr{});
+  net.add_node(NodeAttr{});
+  EXPECT_GT(net.version(), v0);
+  net.add_link(0, 1, LinkAttr{});
+  const std::uint64_t v1 = net.version();
+  net.update_link(0, 1, LinkAttr{2.0, 0.0});
+  EXPECT_GT(net.version(), v1);
+  const std::uint64_t v2 = net.version();
+  net.finalize();  // a view build is not a mutation
+  EXPECT_EQ(net.version(), v2);
+}
+
+TEST(DeltaUpdate, RejectsMissingLinksAndBadAttributes) {
+  Network net = triangle();
+  EXPECT_THROW(net.update_link(2, 0, LinkAttr{1.0, 0.0}), std::out_of_range);
+  EXPECT_THROW(net.update_link(0, 1, LinkAttr{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(net.update_link(0, 1, LinkAttr{1.0, -0.1}),
+               std::invalid_argument);
+  // Failed updates leave the link untouched.
+  EXPECT_DOUBLE_EQ(net.link(0, 1).bandwidth_mbps, 100.0);
+}
+
+TEST(DeltaUpdate, BatchApplyIsAllOrNothing) {
+  Network net = triangle();
+  net.finalize();
+  const std::vector<LinkUpdate> batch = {
+      LinkUpdate{0, 1, LinkAttr{42.0, 0.0}},   // valid
+      LinkUpdate{2, 0, LinkAttr{1.0, 0.0}}};   // no such link
+  EXPECT_THROW(net.apply_link_updates(batch), std::out_of_range);
+  // The valid first record must not have been applied.
+  EXPECT_DOUBLE_EQ(net.link(0, 1).bandwidth_mbps, 100.0);
+}
+
+TEST(DeltaUpdate, BatchApplyMatchesRebuildFromScratch) {
+  util::Rng rng(99);
+  Network net = random_connected_network(rng, 20, 120, AttributeRanges{});
+  net.finalize();
+
+  std::vector<LinkUpdate> updates;
+  std::size_t i = 0;
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    for (const Edge& e : net.out_edges(v)) {
+      if (++i % 3 == 0) {
+        updates.push_back(LinkUpdate{
+            e.from, e.to,
+            LinkAttr{e.attr.bandwidth_mbps * 0.5,
+                     e.attr.min_delay_s + 0.001}});
+      }
+    }
+  }
+  ASSERT_FALSE(updates.empty());
+  net.apply_link_updates(updates);
+  net.validate();
+  EXPECT_EQ(net.finalize_build_count(), 1u);
+  for (const LinkUpdate& u : updates) {
+    EXPECT_DOUBLE_EQ(net.link(u.from, u.to).bandwidth_mbps,
+                     u.attr.bandwidth_mbps);
+    EXPECT_DOUBLE_EQ(net.link(u.from, u.to).min_delay_s,
+                     u.attr.min_delay_s);
+  }
+}
+
+}  // namespace
+}  // namespace elpc::graph

@@ -113,5 +113,35 @@ TEST(MeasureNetwork, EstimatesNearTruth) {
   }
 }
 
+TEST(MeasureLinkUpdates, CoversEveryLinkInDeterministicOrder) {
+  util::Rng rng(6);
+  const graph::Network truth =
+      graph::random_connected_network(rng, 6, 20, {});
+  ProbePlan plan;
+  plan.relative_noise = 0.0;  // noiseless: estimates recover the truth
+
+  util::Rng probe_rng(7);
+  const std::vector<graph::LinkUpdate> updates =
+      measure_link_updates(probe_rng, truth, plan);
+  ASSERT_EQ(updates.size(), truth.link_count());
+
+  std::size_t i = 0;
+  for (graph::NodeId v = 0; v < truth.node_count(); ++v) {
+    for (const graph::Edge& e : truth.out_edges(v)) {
+      EXPECT_EQ(updates[i].from, e.from);
+      EXPECT_EQ(updates[i].to, e.to);
+      EXPECT_NEAR(updates[i].attr.bandwidth_mbps, e.attr.bandwidth_mbps,
+                  1e-6 * e.attr.bandwidth_mbps);
+      ++i;
+    }
+  }
+
+  // The delta feed applies cleanly onto a copy of the measured network.
+  graph::Network annotated = truth;
+  annotated.finalize();
+  annotated.apply_link_updates(updates);
+  annotated.validate();
+}
+
 }  // namespace
 }  // namespace elpc::netmeasure

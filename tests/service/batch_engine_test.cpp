@@ -1,0 +1,317 @@
+#include "service/batch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/elpc.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "service/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::service {
+namespace {
+
+graph::Network make_network(std::uint64_t seed, std::size_t nodes,
+                            std::size_t links) {
+  util::Rng rng(seed);
+  return graph::random_connected_network(rng, nodes, links,
+                                         graph::AttributeRanges{});
+}
+
+pipeline::Pipeline make_pipeline(std::uint64_t seed, std::size_t modules) {
+  util::Rng rng(seed);
+  return pipeline::random_pipeline(rng, modules,
+                                   pipeline::PipelineRanges{});
+}
+
+/// Twelve ELPC jobs over one 12-node network: both objectives, three
+/// pipelines, two endpoint pairs.
+std::vector<SolveJob> shared_network_jobs() {
+  std::vector<SolveJob> jobs;
+  std::size_t n = 0;
+  for (std::uint64_t pseed : {21u, 22u, 23u}) {
+    for (const auto& [src, dst] : {std::pair<std::size_t, std::size_t>{0, 11},
+                                   {3, 8}}) {
+      for (const Objective objective :
+           {Objective::kMinDelay, Objective::kMaxFrameRate}) {
+        SolveJob job;
+        job.id = "job" + std::to_string(n++);
+        job.network = "shared";
+        job.pipeline = make_pipeline(pseed, 5);
+        job.source = src;
+        job.destination = dst;
+        job.objective = objective;
+        job.cost = default_cost(objective);
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  return jobs;
+}
+
+TEST(BatchEngine, BatchOverOneNetworkFinalizesExactlyOnce) {
+  BatchEngine engine;
+  engine.register_network("shared", make_network(5, 12, 70));
+
+  const std::vector<SolveJob> jobs = shared_network_jobs();
+  ASSERT_GE(jobs.size(), 8u);
+  const std::vector<SolveResult> results = engine.solve(jobs);
+
+  ASSERT_EQ(results.size(), jobs.size());
+  for (const SolveResult& r : results) {
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_TRUE(r.result.feasible) << r.result.reason;
+  }
+  // The acceptance pin: >= 8 jobs sharing one network, one CSR build.
+  EXPECT_EQ(engine.session("shared").finalize_builds(), 1u);
+}
+
+TEST(BatchEngine, ResultsBitIdenticalToDirectMapperCalls) {
+  BatchEngine engine;
+  graph::Network net = make_network(5, 12, 70);
+  const graph::Network direct_net = net;  // independent copy
+  engine.register_network("shared", std::move(net));
+
+  const std::vector<SolveJob> jobs = shared_network_jobs();
+  const std::vector<SolveResult> results = engine.solve(jobs);
+
+  const core::ElpcMapper direct;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const mapping::Problem problem(jobs[i].pipeline, direct_net,
+                                   jobs[i].source, jobs[i].destination,
+                                   jobs[i].cost);
+    const mapping::MapResult expected =
+        jobs[i].objective == Objective::kMaxFrameRate
+            ? direct.max_frame_rate(problem)
+            : direct.min_delay(problem);
+    ASSERT_EQ(results[i].result.feasible, expected.feasible);
+    // Bit-identical, not approximately equal: the engine runs the same
+    // kernels on the same inputs, sharding must not perturb them.
+    EXPECT_EQ(results[i].result.seconds, expected.seconds) << jobs[i].id;
+    EXPECT_EQ(results[i].result.mapping, expected.mapping) << jobs[i].id;
+  }
+}
+
+TEST(BatchEngine, CanonicalJsonByteIdenticalAcrossShardCounts) {
+  const std::vector<SolveJob> jobs = shared_network_jobs();
+
+  std::string serial_doc;
+  std::string sharded_doc;
+  {
+    BatchEngineOptions options;
+    options.threads = 1;
+    options.shards = 1;
+    BatchEngine engine(options);
+    engine.register_network("shared", make_network(5, 12, 70));
+    serial_doc = results_to_json(engine.solve(jobs)).dump(2);
+  }
+  {
+    BatchEngineOptions options;
+    options.threads = 4;
+    options.shards = 4;
+    BatchEngine engine(options);
+    engine.register_network("shared", make_network(5, 12, 70));
+    sharded_doc = results_to_json(engine.solve(jobs)).dump(2);
+  }
+  EXPECT_EQ(serial_doc, sharded_doc);
+}
+
+TEST(BatchEngine, ArenaLeasesAreBoundedByShardCount) {
+  BatchEngineOptions options;
+  options.threads = 4;
+  options.shards = 4;
+  BatchEngine engine(options);
+  engine.register_network("shared", make_network(5, 12, 70));
+  const std::vector<SolveJob> jobs = shared_network_jobs();
+  for (int round = 0; round < 3; ++round) {
+    (void)engine.solve(jobs);
+  }
+  // Leases recycle across batches: repeated solves never grow the pool
+  // past the peak concurrent shard count.
+  EXPECT_LE(engine.arenas_created(), 4u);
+}
+
+TEST(BatchEngine, UnknownNetworkRejectsWholeBatchUpFront) {
+  BatchEngine engine;
+  engine.register_network("shared", make_network(5, 12, 70));
+  std::vector<SolveJob> jobs = shared_network_jobs();
+  jobs.back().network = "nope";
+  EXPECT_THROW((void)engine.solve(jobs), std::invalid_argument);
+}
+
+TEST(BatchEngine, UnknownAlgorithmFailsOnlyThatJob) {
+  BatchEngine engine;  // built-in factory: ELPC only
+  engine.register_network("shared", make_network(5, 12, 70));
+  std::vector<SolveJob> jobs = shared_network_jobs();
+  jobs[2].algorithm = "Streamline";
+  const std::vector<SolveResult> results = engine.solve(jobs);
+  EXPECT_FALSE(results[2].error.empty());
+  EXPECT_FALSE(results[2].result.feasible);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i != 2) {
+      EXPECT_TRUE(results[i].error.empty()) << results[i].error;
+    }
+  }
+}
+
+TEST(BatchEngine, DuplicateRegistrationThrows) {
+  BatchEngine engine;
+  engine.register_network("shared", make_network(5, 12, 70));
+  EXPECT_THROW(engine.register_network("shared", make_network(6, 5, 12)),
+               std::invalid_argument);
+}
+
+TEST(BatchEngine, DeltaUpdatesResolveSubscribedJobs) {
+  BatchEngine engine;
+  graph::Network net = make_network(9, 12, 70);
+  engine.register_network("shared", std::move(net));
+
+  std::vector<SolveJob> jobs = shared_network_jobs();
+  for (SolveJob& job : jobs) {
+    job.resolve_on_update = job.objective == Objective::kMaxFrameRate;
+  }
+  const std::vector<SolveResult> first = engine.solve(jobs);
+  EXPECT_EQ(engine.subscription_count(), jobs.size() / 2);
+  // Re-submitting replaces subscriptions (keyed on id + network) rather
+  // than duplicating them.
+  (void)engine.solve(jobs);
+  EXPECT_EQ(engine.subscription_count(), jobs.size() / 2);
+  // Re-submitting one job with the flag off unsubscribes it.
+  {
+    std::vector<SolveJob> unsubscribe(1, jobs[1]);
+    unsubscribe[0].resolve_on_update = false;
+    (void)engine.solve(unsubscribe);
+    EXPECT_EQ(engine.subscription_count(), jobs.size() / 2 - 1);
+    (void)engine.solve(std::vector<SolveJob>(1, jobs[1]));  // restore
+    EXPECT_EQ(engine.subscription_count(), jobs.size() / 2);
+  }
+
+  // Throttle every link the first frame-rate solution used: its
+  // bottleneck must degrade, and the re-solve must see revision 1.
+  const NetworkSnapshot snap = engine.session("shared").snapshot();
+  std::vector<graph::LinkUpdate> updates;
+  for (graph::NodeId v = 0; v < snap->node_count(); ++v) {
+    for (const graph::Edge& e : snap->out_edges(v)) {
+      updates.push_back(graph::LinkUpdate{
+          e.from, e.to,
+          graph::LinkAttr{e.attr.bandwidth_mbps * 0.01,
+                          e.attr.min_delay_s}});
+    }
+  }
+  const std::vector<SolveResult> resolved =
+      engine.apply_link_updates("shared", updates);
+
+  ASSERT_EQ(resolved.size(), jobs.size() / 2);
+  std::size_t f = 0;
+  for (const SolveResult& r : resolved) {
+    EXPECT_EQ(r.network_revision, 1u);
+    // Find the matching first-pass result by job id.
+    while (first[f].job_id != r.job_id) {
+      ++f;
+    }
+    ASSERT_TRUE(r.result.feasible);
+    EXPECT_GT(r.result.seconds, first[f].result.seconds);
+  }
+  // A 100x bandwidth cut leaves the session still at one CSR build.
+  EXPECT_EQ(engine.session("shared").finalize_builds(), 1u);
+}
+
+TEST(BatchEngine, RepeatsReportTimingWithoutChangingResults) {
+  BatchEngine engine;
+  engine.register_network("shared", make_network(5, 12, 70));
+  std::vector<SolveJob> jobs = shared_network_jobs();
+  jobs.resize(2);
+  jobs[0].repeats = 5;
+  const std::vector<SolveResult> timed = engine.solve(jobs);
+
+  BatchEngine plain;
+  plain.register_network("shared", make_network(5, 12, 70));
+  std::vector<SolveJob> once = jobs;
+  once[0].repeats = 1;
+  const std::vector<SolveResult> single = plain.solve(once);
+
+  EXPECT_EQ(timed[0].result.seconds, single[0].result.seconds);
+  EXPECT_EQ(timed[0].result.mapping, single[0].result.mapping);
+  EXPECT_GE(timed[0].mean_runtime_ms, 0.0);
+}
+
+TEST(BatchSerialize, JobRoundTripsThroughJson) {
+  SolveJob job;
+  job.id = "j7";
+  job.network = "netA";
+  job.pipeline = make_pipeline(3, 4);
+  job.source = 1;
+  job.destination = 5;
+  job.objective = Objective::kMaxFrameRate;
+  job.algorithm = "Greedy";
+  job.cost = pipeline::CostOptions{.include_link_delay = true};
+  job.repeats = 4;
+  job.warmup = true;
+  job.resolve_on_update = true;
+
+  const SolveJob back = job_from_json(to_json(job));
+  EXPECT_EQ(back.id, job.id);
+  EXPECT_EQ(back.network, job.network);
+  EXPECT_EQ(back.objective, job.objective);
+  EXPECT_EQ(back.algorithm, job.algorithm);
+  EXPECT_EQ(back.source, job.source);
+  EXPECT_EQ(back.destination, job.destination);
+  EXPECT_EQ(back.cost.include_link_delay, job.cost.include_link_delay);
+  EXPECT_EQ(back.repeats, job.repeats);
+  EXPECT_EQ(back.warmup, job.warmup);
+  EXPECT_EQ(back.resolve_on_update, job.resolve_on_update);
+  EXPECT_EQ(back.pipeline.module_count(), job.pipeline.module_count());
+}
+
+TEST(BatchSerialize, ObjectiveDependentCostDefaults) {
+  SolveJob job;
+  job.id = "j";
+  job.network = "n";
+  job.pipeline = make_pipeline(3, 3);
+  job.source = 0;
+  job.destination = 1;
+
+  job.objective = Objective::kMinDelay;
+  util::Json delay_doc = to_json(job);
+  // Drop the explicit field to exercise the default.
+  util::Json stripped = util::JsonObject{};
+  for (const auto& [key, value] : delay_doc.as_object()) {
+    if (key != "include_link_delay") {
+      stripped.set(key, value);
+    }
+  }
+  EXPECT_TRUE(job_from_json(stripped).cost.include_link_delay);
+
+  stripped.set("objective", "framerate");
+  EXPECT_FALSE(job_from_json(stripped).cost.include_link_delay);
+}
+
+TEST(BatchSerialize, SpecRoundTripAndUnknownObjectiveRejected) {
+  BatchSpec spec;
+  spec.networks.emplace_back("netA", make_network(4, 6, 20));
+  SolveJob job;
+  job.id = "j0";
+  job.network = "netA";
+  job.pipeline = make_pipeline(3, 3);
+  job.source = 0;
+  job.destination = 5;
+  job.cost = default_cost(job.objective);
+  spec.jobs.push_back(job);
+
+  const BatchSpec back = batch_spec_from_json(to_json(spec));
+  ASSERT_EQ(back.networks.size(), 1u);
+  EXPECT_EQ(back.networks[0].first, "netA");
+  EXPECT_EQ(back.networks[0].second.link_count(),
+            spec.networks[0].second.link_count());
+  ASSERT_EQ(back.jobs.size(), 1u);
+  EXPECT_EQ(back.jobs[0].id, "j0");
+
+  EXPECT_THROW((void)objective_from_name("latency"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace elpc::service

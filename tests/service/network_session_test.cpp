@@ -1,0 +1,131 @@
+#include "service/network_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "netmeasure/netmeasure.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::service {
+namespace {
+
+using graph::LinkAttr;
+using graph::LinkUpdate;
+using graph::Network;
+
+Network small_network() {
+  util::Rng rng(7);
+  return graph::random_connected_network(rng, 10, 50,
+                                         graph::AttributeRanges{});
+}
+
+TEST(NetworkSession, RegistersAndFinalizesOnce) {
+  NetworkSession session("net", small_network());
+  EXPECT_EQ(session.id(), "net");
+  EXPECT_EQ(session.revision(), 0u);
+  const NetworkSnapshot snap = session.snapshot();
+  EXPECT_TRUE(snap->finalized());
+  EXPECT_EQ(session.finalize_builds(), 1u);
+}
+
+TEST(NetworkSession, DeltasPublishNewRevisionWithoutRebuilding) {
+  NetworkSession session("net", small_network());
+  const NetworkSnapshot before = session.snapshot();
+  const graph::Edge edge = before->out_edges(0).front();
+
+  const std::vector<LinkUpdate> updates = {
+      LinkUpdate{edge.from, edge.to, LinkAttr{edge.attr.bandwidth_mbps * 2.0,
+                                              edge.attr.min_delay_s}}};
+  session.apply_link_updates(updates);
+
+  EXPECT_EQ(session.revision(), 1u);
+  const NetworkSnapshot after = session.snapshot();
+  EXPECT_NE(before.get(), after.get());  // copy-on-write, not in-place
+  // The already-published snapshot is immutable...
+  EXPECT_DOUBLE_EQ(before->link(edge.from, edge.to).bandwidth_mbps,
+                   edge.attr.bandwidth_mbps);
+  // ...the new one carries the delta, still without any CSR rebuild.
+  EXPECT_DOUBLE_EQ(after->link(edge.from, edge.to).bandwidth_mbps,
+                   edge.attr.bandwidth_mbps * 2.0);
+  EXPECT_EQ(session.finalize_builds(), 1u);
+  after->validate();
+}
+
+TEST(NetworkSession, FailedDeltaPublishesNothing) {
+  NetworkSession session("net", small_network());
+  const std::vector<LinkUpdate> bad = {
+      LinkUpdate{0, 0, LinkAttr{1.0, 0.0}}};  // self-loop: no such link
+  EXPECT_THROW(session.apply_link_updates(bad), std::out_of_range);
+  EXPECT_EQ(session.revision(), 0u);
+}
+
+TEST(NetworkSession, ConsumesNetmeasureDeltas) {
+  Network truth = small_network();
+  NetworkSession session("net", truth);
+
+  util::Rng rng(11);
+  netmeasure::ProbePlan plan;
+  plan.relative_noise = 0.0;  // noiseless probes recover the truth
+  const std::vector<LinkUpdate> updates =
+      netmeasure::measure_link_updates(rng, truth, plan);
+  ASSERT_EQ(updates.size(), truth.link_count());
+  session.apply_link_updates(updates);
+
+  const NetworkSnapshot snap = session.snapshot();
+  for (const LinkUpdate& u : updates) {
+    EXPECT_NEAR(snap->link(u.from, u.to).bandwidth_mbps,
+                truth.link(u.from, u.to).bandwidth_mbps, 1e-6);
+  }
+}
+
+TEST(NetworkSession, ConcurrentReadersSurviveDeltaStorm) {
+  NetworkSession session("net", small_network());
+  const graph::Edge edge = session.snapshot()->out_edges(0).front();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Hold a snapshot across a full sweep, as a solve shard would.
+        const NetworkSnapshot snap = session.snapshot();
+        double sum = 0.0;
+        for (graph::NodeId v = 0; v < snap->node_count(); ++v) {
+          for (const graph::Edge& e : snap->out_edges(v)) {
+            sum += e.attr.bandwidth_mbps;
+          }
+        }
+        ASSERT_GT(sum, 0.0);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int i = 1; i <= 200; ++i) {
+    const std::vector<LinkUpdate> updates = {LinkUpdate{
+        edge.from, edge.to, LinkAttr{static_cast<double>(i), 0.001}}};
+    session.apply_link_updates(updates);
+  }
+  // On a single-CPU box the delta loop can outrun reader scheduling;
+  // insist every reader completed at least one full sweep (so reads
+  // genuinely overlapped or followed the storm) before stopping them.
+  while (reads.load(std::memory_order_relaxed) < 4) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(session.revision(), 200u);
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_DOUBLE_EQ(
+      session.snapshot()->link(edge.from, edge.to).bandwidth_mbps, 200.0);
+}
+
+}  // namespace
+}  // namespace elpc::service

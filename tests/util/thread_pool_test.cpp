@@ -89,5 +89,76 @@ TEST(ThreadPool, ResultsArriveFromConcurrentWorkers) {
   }
 }
 
+TEST(JobGroup, WaitsForAllSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  JobGroup group(pool);
+  for (int i = 0; i < 100; ++i) {
+    group.submit([&counter]() { ++counter; });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(JobGroup, IsReusableAfterWait) {
+  ThreadPool pool(2);
+  JobGroup group(pool);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      group.submit([&counter]() { ++counter; });
+    }
+    group.wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(JobGroup, RethrowsFirstTaskExceptionAndClearsIt) {
+  ThreadPool pool(2);
+  JobGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.submit([i]() {
+      if (i == 5) {
+        throw std::runtime_error("task 5 failed");
+      }
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The error was consumed: the group works again.
+  group.submit([]() {});
+  group.wait();
+}
+
+TEST(JobGroup, SeveralGroupsShareOnePool) {
+  ThreadPool pool(4);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  JobGroup ga(pool);
+  JobGroup gb(pool);
+  for (int i = 0; i < 50; ++i) {
+    ga.submit([&a]() { ++a; });
+    gb.submit([&b]() { ++b; });
+  }
+  ga.wait();
+  gb.wait();
+  EXPECT_EQ(a.load(), 50);
+  EXPECT_EQ(b.load(), 50);
+}
+
+TEST(JobGroup, DestructorDrainsOutstandingTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  {
+    JobGroup group(pool);
+    for (int i = 0; i < 10; ++i) {
+      group.submit([&done]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++done;
+      });
+    }
+  }  // destructor waits; tasks must not outlive the group's captures
+  EXPECT_EQ(done.load(), 10);
+}
+
 }  // namespace
 }  // namespace elpc::util

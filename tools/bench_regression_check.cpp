@@ -1,0 +1,48 @@
+// Perf regression gate CLI: compares a fresh BENCH_runtime_scaling.json
+// against the checked-in reference and exits nonzero when any per-scale
+// mean regressed beyond tolerance (see experiments/perf_gate.hpp for
+// the comparison rules).  Run by CI after the scaling bench smoke-run:
+//
+//   bench_regression_check --reference bench/reference/<...>.json
+//                          --candidate BENCH_runtime_scaling.json
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "experiments/perf_gate.hpp"
+#include "util/cli.hpp"
+#include "util/file_io.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace elpc;
+  util::ArgParser parser("bench_regression_check");
+  parser.add_string("reference", "bench/reference/BENCH_runtime_scaling.json",
+                    "checked-in reference bench JSON");
+  parser.add_string("candidate", "BENCH_runtime_scaling.json",
+                    "freshly produced bench JSON");
+  parser.add_double("tolerance", 3.0,
+                    "allowed candidate/reference slowdown ratio");
+  parser.add_double("min-ms", 10.0,
+                    "records faster than this never fail (timer noise)");
+  try {
+    parser.parse(argc, argv);
+    experiments::PerfGateOptions options;
+    options.tolerance = parser.get_double("tolerance");
+    options.min_ms = parser.get_double("min-ms");
+    const util::Json reference = util::Json::parse(
+        util::read_text_file(parser.get_string("reference")));
+    const util::Json candidate = util::Json::parse(
+        util::read_text_file(parser.get_string("candidate")));
+    const experiments::PerfGateReport report =
+        experiments::compare_runtime_scaling(reference, candidate, options);
+    std::fputs(report.render().c_str(), stdout);
+    return report.pass() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_regression_check: %s\n%s", e.what(),
+                 parser.usage().c_str());
+    return 2;
+  }
+}
