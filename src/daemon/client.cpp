@@ -1,0 +1,92 @@
+#include "daemon/client.hpp"
+
+#include <utility>
+
+#include "graph/serialize.hpp"
+#include "service/serialize.hpp"
+
+namespace elpc::daemon {
+
+namespace {
+
+util::Json verb_frame(const std::string& verb) {
+  util::Json frame = util::JsonObject{};
+  frame.set("verb", verb);
+  return frame;
+}
+
+}  // namespace
+
+DaemonClient::DaemonClient(const std::string& socket_path)
+    : socket_(util::UnixSocket::connect(socket_path)) {}
+
+util::Json DaemonClient::request(const util::Json& frame) {
+  socket_.send_line(frame.dump());
+  const std::optional<std::string> line = socket_.recv_line();
+  if (!line.has_value()) {
+    throw util::SocketError("daemon closed the connection mid-request");
+  }
+  return util::Json::parse(*line);
+}
+
+util::Json DaemonClient::checked(util::Json frame) {
+  util::Json response = request(frame);
+  if (!response.at("ok").as_bool()) {
+    throw DaemonError(response.at("error").as_string());
+  }
+  return response;
+}
+
+void DaemonClient::register_network(const std::string& id,
+                                    const graph::Network& network) {
+  util::Json frame = verb_frame("register_network");
+  frame.set("id", id);
+  frame.set("network", graph::to_json(network));
+  (void)checked(std::move(frame));
+}
+
+Ticket DaemonClient::submit(const service::SolveJob& job, int priority) {
+  util::Json frame = verb_frame("submit");
+  frame.set("job", service::to_json(job));
+  frame.set("priority", priority);
+  return static_cast<Ticket>(
+      checked(std::move(frame)).at("ticket").as_int());
+}
+
+util::Json DaemonClient::poll(Ticket ticket) {
+  util::Json frame = verb_frame("poll");
+  frame.set("ticket", ticket);
+  return checked(std::move(frame));
+}
+
+util::Json DaemonClient::wait(Ticket ticket) {
+  util::Json frame = verb_frame("wait");
+  frame.set("ticket", ticket);
+  return checked(std::move(frame));
+}
+
+bool DaemonClient::cancel(Ticket ticket) {
+  util::Json frame = verb_frame("cancel");
+  frame.set("ticket", ticket);
+  return checked(std::move(frame)).at("cancelled").as_bool();
+}
+
+std::vector<util::Json> DaemonClient::apply_link_updates(
+    const std::string& network, std::span<const graph::LinkUpdate> updates) {
+  util::Json frame = verb_frame("apply_link_updates");
+  frame.set("network", network);
+  frame.set("updates", service::link_updates_to_json(updates));
+  return checked(std::move(frame)).at("results").as_array();
+}
+
+void DaemonClient::pause() { (void)checked(verb_frame("pause")); }
+
+void DaemonClient::resume() { (void)checked(verb_frame("resume")); }
+
+util::Json DaemonClient::stats() { return checked(verb_frame("stats")); }
+
+void DaemonClient::shutdown_server() {
+  (void)checked(verb_frame("shutdown"));
+}
+
+}  // namespace elpc::daemon

@@ -1,0 +1,64 @@
+#pragma once
+// DaemonClient — the in-repo client of the mapping daemon's socket
+// protocol, used by `elpc client` and the end-to-end tests.  One client
+// holds one connection; requests on it are strictly request→response
+// (the protocol has no server pushes).
+//
+// Typed helpers cover every verb.  They throw DaemonError when the
+// server answers ok=false (carrying the server's diagnostic) and
+// util::SocketError on transport failures; request() is the raw escape
+// hatch returning the response frame verbatim.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "daemon/job_manager.hpp"
+#include "graph/network.hpp"
+#include "service/batch_engine.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace elpc::daemon {
+
+/// The server answered ok=false; what() is the server's error text.
+class DaemonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class DaemonClient {
+ public:
+  /// Connects immediately; throws util::SocketError when no daemon
+  /// listens at `socket_path`.
+  explicit DaemonClient(const std::string& socket_path);
+
+  /// Sends one frame and returns the response frame as-is (ok=false is
+  /// NOT raised here — callers inspecting raw responses want the error
+  /// payload, not an exception).
+  [[nodiscard]] util::Json request(const util::Json& frame);
+
+  void register_network(const std::string& id, const graph::Network& network);
+  [[nodiscard]] Ticket submit(const service::SolveJob& job, int priority = 0);
+  /// Non-blocking status; "result" present once terminal.
+  [[nodiscard]] util::Json poll(Ticket ticket);
+  /// Blocks server-side until the job is terminal.
+  [[nodiscard]] util::Json wait(Ticket ticket);
+  [[nodiscard]] bool cancel(Ticket ticket);
+  /// Returns the re-solved subscription result entries.
+  [[nodiscard]] std::vector<util::Json> apply_link_updates(
+      const std::string& network, std::span<const graph::LinkUpdate> updates);
+  void pause();
+  void resume();
+  [[nodiscard]] util::Json stats();
+  void shutdown_server();
+
+ private:
+  /// request() + raise DaemonError on ok=false.
+  util::Json checked(util::Json frame);
+
+  util::UnixSocket socket_;
+};
+
+}  // namespace elpc::daemon

@@ -1,0 +1,289 @@
+#include "daemon/job_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace elpc::daemon {
+
+namespace {
+
+/// The uniform result of a job that never ran (queue-side cancellation
+/// or a batch-level failure): identity fields from the job, no outcome.
+service::SolveResult unsolved_result(const service::SolveJob& job,
+                                     std::string error) {
+  service::SolveResult result;
+  result.job_id = job.id;
+  result.network = job.network;
+  result.algorithm = job.algorithm;
+  result.objective = job.objective;
+  result.result = mapping::MapResult::infeasible(error);
+  result.error = std::move(error);
+  return result;
+}
+
+}  // namespace
+
+std::string job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(service::BatchEngine& engine,
+                       JobManagerOptions options)
+    : engine_(&engine),
+      options_(options),
+      paused_(options.start_paused),
+      dispatcher_([this]() { dispatch_loop(); }) {}
+
+JobManager::~JobManager() { stop(); }
+
+Ticket JobManager::submit(service::SolveJob job, int priority) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Ticket ticket = next_ticket_++;
+  Record record;
+  record.job = std::move(job);
+  record.priority = priority;
+  records_.emplace(ticket, std::move(record));
+  queue_.push_back(ticket);
+  ++submitted_;
+  dispatch_cv_.notify_one();
+  return ticket;
+}
+
+JobStatus JobManager::poll(Ticket ticket) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(ticket);
+  if (it == records_.end()) {
+    throw std::out_of_range("JobManager: unknown ticket " +
+                            std::to_string(ticket));
+  }
+  JobStatus status;
+  status.ticket = ticket;
+  status.state = it->second.state;
+  status.priority = it->second.priority;
+  status.result = it->second.result;
+  return status;
+}
+
+JobStatus JobManager::wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (records_.find(ticket) == records_.end()) {
+    throw std::out_of_range("JobManager: unknown ticket " +
+                            std::to_string(ticket));
+  }
+  // Re-find per wake: the retention cap may evict the record while this
+  // thread sleeps, so a held iterator could dangle.  A stopped manager
+  // will never run the remaining queue; return the non-terminal status
+  // instead of blocking forever.
+  done_cv_.wait(lock, [&]() {
+    const auto it = records_.find(ticket);
+    if (it == records_.end()) {
+      return true;  // evicted — it was terminal
+    }
+    const JobState s = it->second.state;
+    return s == JobState::kDone || s == JobState::kFailed ||
+           s == JobState::kCancelled || stopping_;
+  });
+  const auto it = records_.find(ticket);
+  if (it == records_.end()) {
+    throw std::out_of_range(
+        "JobManager: ticket " + std::to_string(ticket) +
+        " completed but its record was evicted (max_retained_results)");
+  }
+  JobStatus status;
+  status.ticket = ticket;
+  status.state = it->second.state;
+  status.priority = it->second.priority;
+  status.result = it->second.result;
+  return status;
+}
+
+bool JobManager::cancel(Ticket ticket) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(ticket);
+  if (it == records_.end()) {
+    throw std::out_of_range("JobManager: unknown ticket " +
+                            std::to_string(ticket));
+  }
+  Record& record = it->second;
+  switch (record.state) {
+    case JobState::kQueued:
+      queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+      record.result = unsolved_result(record.job, service::kCancelledError);
+      record.cancel_requested = true;
+      mark_terminal(ticket, record, JobState::kCancelled);
+      done_cv_.notify_all();
+      return true;
+    case JobState::kRunning:
+      record.cancel_requested = true;  // engine checks at the job boundary
+      return true;
+    case JobState::kDone:
+    case JobState::kFailed:
+    case JobState::kCancelled:
+      return false;  // already terminal: cancellation is a no-op
+  }
+  return false;
+}
+
+void JobManager::pause() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void JobManager::resume() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = false;
+  dispatch_cv_.notify_one();
+}
+
+JobManagerStats JobManager::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JobManagerStats stats;
+  stats.submitted = submitted_;
+  stats.paused = paused_;
+  stats.queued = queue_.size();
+  stats.running = running_count_;
+  stats.done = done_total_;
+  stats.failed = failed_total_;
+  stats.cancelled = cancelled_total_;
+  return stats;
+}
+
+void JobManager::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+    dispatch_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+}
+
+std::vector<Ticket> JobManager::pop_batch() {
+  // Highest priority first, FIFO within a priority (tickets increase
+  // monotonically, so the ticket is the submission order).
+  std::sort(queue_.begin(), queue_.end(), [this](Ticket a, Ticket b) {
+    const int pa = records_.at(a).priority;
+    const int pb = records_.at(b).priority;
+    return pa != pb ? pa > pb : a < b;
+  });
+  const std::size_t take = options_.max_batch == 0
+                               ? queue_.size()
+                               : std::min(options_.max_batch, queue_.size());
+  std::vector<Ticket> batch(queue_.begin(),
+                            queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  queue_.erase(queue_.begin(),
+               queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  for (const Ticket ticket : batch) {
+    records_.at(ticket).state = JobState::kRunning;
+  }
+  running_count_ += batch.size();
+  return batch;
+}
+
+void JobManager::mark_terminal(Ticket ticket, Record& record,
+                               JobState state) {
+  record.state = state;
+  switch (state) {
+    case JobState::kDone:
+      ++done_total_;
+      break;
+    case JobState::kFailed:
+      ++failed_total_;
+      break;
+    case JobState::kCancelled:
+      ++cancelled_total_;
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;  // not terminal; callers never pass these
+  }
+  terminal_order_.push_back(ticket);
+  if (options_.max_retained_results > 0) {
+    while (terminal_order_.size() > options_.max_retained_results) {
+      records_.erase(terminal_order_.front());
+      terminal_order_.pop_front();
+    }
+  }
+}
+
+void JobManager::dispatch_loop() {
+  for (;;) {
+    std::vector<Ticket> batch;
+    std::vector<service::SolveJob> jobs;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      dispatch_cv_.wait(lock, [this]() {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) {
+        return;
+      }
+      batch = pop_batch();
+      jobs.reserve(batch.size());
+      for (const Ticket ticket : batch) {
+        jobs.push_back(records_.at(ticket).job);
+      }
+    }
+
+    // The solve runs outside the manager mutex: poll/submit/cancel stay
+    // responsive for the whole batch.  The cancel predicate re-takes it
+    // per job boundary — a handful of uncontended acquisitions per batch.
+    std::vector<service::SolveResult> results;
+    std::string batch_error;
+    try {
+      results = engine_->solve(jobs, [this, &batch](std::size_t i) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return records_.at(batch[i]).cancel_requested;
+      });
+    } catch (const std::exception& e) {
+      // Batch-level rejection (e.g. a job naming an unregistered
+      // network aborts the engine batch up front): every job of the
+      // batch fails with the same diagnostic.
+      batch_error = e.what();
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      running_count_ -= batch.size();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        Record& record = records_.at(batch[i]);
+        JobState state;
+        if (!batch_error.empty()) {
+          state = JobState::kFailed;
+          record.result = unsolved_result(record.job, batch_error);
+        } else if (results[i].error == service::kCancelledError) {
+          state = JobState::kCancelled;
+          record.result = std::move(results[i]);
+        } else if (!results[i].error.empty()) {
+          state = JobState::kFailed;
+          record.result = std::move(results[i]);
+        } else {
+          state = JobState::kDone;
+          record.result = std::move(results[i]);
+        }
+        mark_terminal(batch[i], record, state);
+      }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace elpc::daemon

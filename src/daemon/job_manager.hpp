@@ -1,0 +1,184 @@
+#pragma once
+// JobManager — the asynchronous admission layer of the mapping daemon.
+//
+// service::BatchEngine::solve(jobs) is a blocking call: the caller hands
+// over a batch and waits.  A serving process needs the opposite shape —
+// accept work immediately, answer "how is it going?" cheaply, and let
+// callers walk away (cancel).  JobManager provides that as a facade over
+// one BatchEngine:
+//
+//   submit(job, priority)  -> Ticket, immediately; the job enters a
+//                             priority queue (higher first, FIFO within
+//                             a priority)
+//   poll(ticket)           -> QUEUED / RUNNING / DONE / FAILED /
+//                             CANCELLED, plus the result once terminal
+//   cancel(ticket)         -> removes a queued job outright; a running
+//                             job is flagged and skipped at the next job
+//                             boundary within its shard (a solve already
+//                             past its boundary check runs to
+//                             completion)
+//   wait(ticket)           -> blocks until terminal (the daemon's `wait`
+//                             verb; poll is the non-blocking form)
+//
+// One dispatcher thread drains the queue: each cycle it pops up to
+// max_batch highest-priority jobs, marks them RUNNING, and runs them as
+// one engine batch (which shards over the engine's pool — the dispatcher
+// serializes admission, not solving).  Results are identical to calling
+// BatchEngine::solve directly with the same jobs: the manager adds
+// scheduling, never configuration (pinned by tests/daemon/).
+//
+// pause()/resume() gate dispatch (drain-for-maintenance, deterministic
+// tests); stop() (and the destructor) finishes the in-flight batch,
+// leaves still-queued jobs QUEUED, and joins the dispatcher.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/batch_engine.hpp"
+
+namespace elpc::daemon {
+
+/// Opaque handle for a submitted job (monotonically increasing from 1).
+using Ticket = std::uint64_t;
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+/// Wire name of a state ("queued", "running", "done", "failed",
+/// "cancelled").
+[[nodiscard]] std::string job_state_name(JobState state);
+
+/// One poll() answer: where the job stands, and its outcome once
+/// terminal (kDone / kFailed — for kCancelled the result carries only
+/// the cancellation marker).
+struct JobStatus {
+  Ticket ticket = 0;
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  service::SolveResult result;
+
+  [[nodiscard]] bool terminal() const {
+    return state == JobState::kDone || state == JobState::kFailed ||
+           state == JobState::kCancelled;
+  }
+};
+
+struct JobManagerOptions {
+  /// Jobs per dispatch cycle (0 = drain everything queued).  1 gives
+  /// strict priority order end to end; larger batches amortize engine
+  /// sharding over more jobs at the cost of coarser preemption.
+  std::size_t max_batch = 0;
+  /// Start with dispatch gated (resume() opens it) — submissions queue
+  /// up but nothing runs.  Used by tests and maintenance restarts.
+  bool start_paused = false;
+  /// Terminal records retained for poll-after-completion, oldest evicted
+  /// first (0 = unlimited).  A serving daemon must not grow per answered
+  /// job forever; polling an evicted ticket reports it as unknown.
+  std::size_t max_retained_results = 10000;
+};
+
+/// Queue/throughput counters (daemon `stats` verb).  The terminal
+/// counters are cumulative since start — they keep counting after the
+/// records themselves are evicted by max_retained_results.
+struct JobManagerStats {
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t submitted = 0;
+  bool paused = false;
+};
+
+class JobManager {
+ public:
+  /// The engine is borrowed and must outlive the manager.
+  explicit JobManager(service::BatchEngine& engine,
+                      JobManagerOptions options = {});
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Enqueues the job and returns its ticket immediately.  Higher
+  /// priority dispatches first; ties dispatch in submission order.
+  /// Unknown networks are NOT rejected here (registration may race
+  /// admission); the job fails at dispatch instead.
+  Ticket submit(service::SolveJob job, int priority = 0);
+
+  /// Where the job stands.  Throws std::out_of_range for a ticket that
+  /// was never issued — or whose terminal record was already evicted by
+  /// the max_retained_results cap; within the cap, polling after
+  /// completion keeps working.
+  [[nodiscard]] JobStatus poll(Ticket ticket) const;
+
+  /// Blocks until the job reaches a terminal state and returns it.
+  JobStatus wait(Ticket ticket);
+
+  /// True when the request was accepted: a queued job is cancelled
+  /// outright (terminal immediately); a running one is flagged, and the
+  /// engine skips it if its shard has not yet passed the job boundary —
+  /// poll() then reports kCancelled, or kDone if the solve won the race.
+  /// False — a no-op — when the job was already terminal.  Throws
+  /// std::out_of_range for a ticket that was never issued.
+  bool cancel(Ticket ticket);
+
+  /// Gate / reopen dispatch.  Pausing does not interrupt the in-flight
+  /// batch; it stops the next one from starting.
+  void pause();
+  void resume();
+
+  [[nodiscard]] JobManagerStats stats() const;
+
+  /// Stops the dispatcher: finishes the in-flight batch, leaves queued
+  /// jobs QUEUED, joins the thread.  Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct Record {
+    service::SolveJob job;
+    int priority = 0;
+    JobState state = JobState::kQueued;
+    bool cancel_requested = false;
+    service::SolveResult result;
+  };
+
+  void dispatch_loop();
+  /// Pops the next batch by (priority desc, ticket asc) and marks it
+  /// RUNNING.  Caller holds mutex_.
+  [[nodiscard]] std::vector<Ticket> pop_batch();
+  /// Marks a record terminal: bumps the cumulative counter, queues it
+  /// for retention-cap eviction, prunes over-cap records.  Caller holds
+  /// mutex_ and notifies done_cv_ afterwards.
+  void mark_terminal(Ticket ticket, Record& record, JobState state);
+
+  service::BatchEngine* engine_;
+  const JobManagerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable dispatch_cv_;  // queue non-empty / resume / stop
+  std::condition_variable done_cv_;      // any job reached terminal state
+  std::map<Ticket, Record> records_;
+  std::vector<Ticket> queue_;  // tickets in QUEUED state, unordered
+  /// Terminal tickets in completion order — the eviction queue for
+  /// max_retained_results.
+  std::deque<Ticket> terminal_order_;
+  Ticket next_ticket_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::size_t running_count_ = 0;
+  std::uint64_t done_total_ = 0;
+  std::uint64_t failed_total_ = 0;
+  std::uint64_t cancelled_total_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::thread dispatcher_;  // last member: joins before state tears down
+};
+
+}  // namespace elpc::daemon

@@ -1,0 +1,217 @@
+#include "daemon/socket_server.hpp"
+
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/serialize.hpp"
+#include "service/serialize.hpp"
+
+namespace elpc::daemon {
+
+namespace {
+
+util::Json ok_response() {
+  util::Json response = util::JsonObject{};
+  response.set("ok", true);
+  return response;
+}
+
+util::Json error_response(const std::string& message) {
+  util::Json response = util::JsonObject{};
+  response.set("ok", false);
+  response.set("error", message);
+  return response;
+}
+
+/// {"ok", "ticket", "state", "priority", "result"?} — the poll/wait
+/// payload.  The result entry appears once the job is terminal.
+util::Json status_response(const JobStatus& status) {
+  util::Json response = ok_response();
+  response.set("ticket", status.ticket);
+  response.set("state", job_state_name(status.state));
+  response.set("priority", status.priority);
+  if (status.terminal()) {
+    response.set("result", service::result_entry_to_json(status.result));
+  }
+  return response;
+}
+
+Ticket ticket_field(const util::Json& request) {
+  const std::int64_t raw = request.at("ticket").as_int();
+  if (raw < 0) {
+    throw std::invalid_argument("ticket must be >= 0");
+  }
+  return static_cast<Ticket>(raw);
+}
+
+}  // namespace
+
+SocketServer::SocketServer(std::string socket_path,
+                           SocketServerOptions options)
+    : listener_(socket_path) {
+  service::BatchEngineOptions engine_options;
+  engine_options.threads = options.threads;
+  engine_options.shards = options.threads;
+  engine_options.factory = std::move(options.factory);
+  engine_options.session_history_bytes = options.session_history_bytes;
+  engine_ = std::make_unique<service::BatchEngine>(engine_options);
+
+  JobManagerOptions manager_options;
+  manager_options.max_batch = options.max_batch;
+  manager_options.start_paused = options.start_paused;
+  manager_ = std::make_unique<JobManager>(*engine_, manager_options);
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  manager_->stop();  // releases any still-blocked `wait` verbs
+}
+
+void SocketServer::serve() {
+  std::vector<std::thread> handlers;
+  while (!shutdown_requested_.load(std::memory_order_acquire)) {
+    std::optional<util::UnixSocket> connection = listener_.accept();
+    if (!connection.has_value()) {
+      break;  // stop() or the shutdown verb closed the listener
+    }
+    // The receive timeout is the handler's shutdown poll: an idle client
+    // holding its connection open wakes the handler every interval to
+    // re-check the flag, so every handler thread exits promptly after
+    // shutdown and the joins below cannot hang.
+    connection->set_recv_timeout(/*milliseconds=*/200);
+    handlers.emplace_back(
+        [this, conn = std::move(*connection)]() mutable {
+          handle_connection(std::move(conn));
+        });
+  }
+  listener_.close();
+  // Releases handler threads blocked in the `wait` verb (they answer
+  // with the job's current, possibly non-terminal, status).
+  manager_->stop();
+  for (std::thread& handler : handlers) {
+    handler.join();
+  }
+}
+
+void SocketServer::stop() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  listener_.close();
+}
+
+void SocketServer::handle_connection(util::UnixSocket connection) {
+  try {
+    while (!shutdown_requested_.load(std::memory_order_acquire)) {
+      std::optional<std::string> line;
+      try {
+        line = connection.recv_line();
+      } catch (const util::SocketTimeout&) {
+        continue;  // idle interval — re-check the shutdown flag
+      }
+      if (!line.has_value()) {
+        return;  // client closed its end
+      }
+      util::Json response;
+      try {
+        response = handle(util::Json::parse(*line));
+      } catch (const util::JsonError& e) {
+        response = error_response(std::string("malformed request: ") +
+                                  e.what());
+      }
+      connection.send_line(response.dump());
+    }
+  } catch (const util::SocketError&) {
+    // A client vanishing mid-exchange must not take the daemon down;
+    // drop the connection and keep serving.
+  }
+}
+
+util::Json SocketServer::handle(const util::Json& request) {
+  try {
+    const std::string verb = request.at("verb").as_string();
+    if (verb == "register_network") {
+      (void)engine_->register_network(
+          request.at("id").as_string(),
+          graph::network_from_json(request.at("network")));
+      return ok_response();
+    }
+    if (verb == "submit") {
+      const service::SolveJob job =
+          service::job_from_json(request.at("job"));
+      int priority = 0;
+      if (const util::Json* p = request.find("priority")) {
+        priority = static_cast<int>(p->as_int());
+      }
+      const Ticket ticket = manager_->submit(job, priority);
+      util::Json response = ok_response();
+      response.set("ticket", ticket);
+      return response;
+    }
+    if (verb == "poll") {
+      return status_response(manager_->poll(ticket_field(request)));
+    }
+    if (verb == "wait") {
+      return status_response(manager_->wait(ticket_field(request)));
+    }
+    if (verb == "cancel") {
+      const bool cancelled = manager_->cancel(ticket_field(request));
+      util::Json response = ok_response();
+      response.set("cancelled", cancelled);
+      return response;
+    }
+    if (verb == "apply_link_updates") {
+      const std::vector<graph::LinkUpdate> updates =
+          service::link_updates_from_json(request.at("updates"));
+      const std::vector<service::SolveResult> resolved =
+          engine_->apply_link_updates(request.at("network").as_string(),
+                                      updates);
+      util::Json response = ok_response();
+      util::JsonArray results;
+      for (const service::SolveResult& r : resolved) {
+        results.push_back(service::result_entry_to_json(r));
+      }
+      response.set("results", util::Json(std::move(results)));
+      return response;
+    }
+    if (verb == "pause") {
+      manager_->pause();
+      return ok_response();
+    }
+    if (verb == "resume") {
+      manager_->resume();
+      return ok_response();
+    }
+    if (verb == "stats") {
+      const JobManagerStats jobs = manager_->stats();
+      const service::EngineStats engine = engine_->stats();
+      util::Json response = ok_response();
+      response.set("queued", jobs.queued);
+      response.set("running", jobs.running);
+      response.set("done", jobs.done);
+      response.set("failed", jobs.failed);
+      response.set("cancelled", jobs.cancelled);
+      response.set("submitted", jobs.submitted);
+      response.set("paused", jobs.paused);
+      response.set("sessions", engine.sessions);
+      response.set("subscriptions", engine.subscriptions);
+      response.set("arenas_created", engine.arenas_created);
+      response.set("cached_revisions", engine.cached_revisions);
+      response.set("cached_bytes", engine.cached_bytes);
+      response.set("cache_evictions", engine.cache_evictions);
+      return response;
+    }
+    if (verb == "shutdown") {
+      shutdown_requested_.store(true, std::memory_order_release);
+      // The accept loop may be blocked with no further connections
+      // coming; closing the listener is what actually wakes it.
+      listener_.close();
+      return ok_response();
+    }
+    return error_response("unknown verb '" + verb + "'");
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+}  // namespace elpc::daemon

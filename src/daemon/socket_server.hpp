@@ -1,0 +1,97 @@
+#pragma once
+// SocketServer — the mapping daemon's wire front end: line-delimited
+// JSON request/response frames over a Unix-domain socket, one verb per
+// line, dispatched onto a JobManager + BatchEngine pair the server owns.
+//
+// Request:  {"verb": "...", ...verb fields}
+// Response: {"ok": true, ...payload} | {"ok": false, "error": "..."}
+//
+// Verbs (full field reference in src/daemon/README.md):
+//   register_network {id, network}        -> {}
+//   submit           {job, priority?}     -> {ticket}
+//   poll             {ticket}             -> {state, result?}
+//   wait             {ticket}             -> {state, result?} (blocking)
+//   cancel           {ticket}             -> {cancelled}
+//   apply_link_updates {network, updates} -> {results: [...]}  (re-solved
+//                                            subscriptions)
+//   pause | resume   {}                   -> {}  (gate dispatch)
+//   stats            {}                   -> queue/engine/cache counters
+//   shutdown         {}                   -> {} and the server exits
+//
+// A malformed or failing request answers ok=false on that frame; the
+// connection (and the daemon) stays up — clients must never be able to
+// crash the server with bad input.  Each connection gets its own
+// handler thread, so an idle persistent client or one blocked in the
+// `wait` verb never stalls other clients (or the shutdown path — a
+// paused daemon must still accept the `resume`).  Handler threads poll
+// the shutdown flag via a receive timeout and are joined before serve()
+// returns; request handling itself is thread-safe (JobManager and
+// BatchEngine carry their own locks).
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "daemon/job_manager.hpp"
+#include "service/batch_engine.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace elpc::daemon {
+
+struct SocketServerOptions {
+  /// Forwarded to the owned BatchEngine.
+  std::size_t threads = 0;
+  std::size_t session_history_bytes = 0;
+  /// Forwarded to the owned JobManager.
+  std::size_t max_batch = 0;
+  bool start_paused = false;
+  /// Mapper resolution for the engine (empty = built-in "ELPC" only;
+  /// the CLI installs the full registry).
+  service::MapperFactory factory;
+};
+
+class SocketServer {
+ public:
+  /// Binds `socket_path` immediately (throws util::SocketError when the
+  /// path is unusable); serving starts with serve().
+  SocketServer(std::string socket_path, SocketServerOptions options = {});
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Accept-and-handle loop; returns after a `shutdown` verb or stop().
+  void serve();
+
+  /// Unblocks serve() from another thread (idempotent).
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return listener_.path();
+  }
+
+  /// The owned engine/manager, exposed for in-process tests that compare
+  /// daemon answers against direct calls.
+  [[nodiscard]] service::BatchEngine& engine() { return *engine_; }
+  [[nodiscard]] JobManager& manager() { return *manager_; }
+
+  /// Handles one already-parsed request and returns the response frame —
+  /// the protocol's pure core, shared by the handler threads and direct
+  /// tests (thread-safe).  Never throws; failures become
+  /// {"ok": false, "error": ...}.
+  [[nodiscard]] util::Json handle(const util::Json& request);
+
+ private:
+  void handle_connection(util::UnixSocket connection);
+
+  util::UnixListener listener_;
+  std::unique_ptr<service::BatchEngine> engine_;
+  std::unique_ptr<JobManager> manager_;
+  /// Set by the shutdown verb (any handler thread); read by all of them
+  /// and the accept loop.
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace elpc::daemon

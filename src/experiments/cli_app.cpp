@@ -2,8 +2,11 @@
 
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/elpc.hpp"
+#include "daemon/client.hpp"
+#include "daemon/socket_server.hpp"
 #include "experiments/registry.hpp"
 #include "experiments/report.hpp"
 #include "experiments/runner.hpp"
@@ -21,11 +24,15 @@ namespace elpc::experiments {
 namespace {
 
 const char* kUsage =
-    "usage: elpc <generate|map|batch|simulate|suite|algorithms> [options]\n"
+    "usage: elpc "
+    "<generate|map|batch|serve|client|simulate|suite|algorithms> [options]\n"
     "  elpc generate --case 3 --out scenario.json\n"
     "  elpc generate --modules 8 --nodes 12 --links 90 --seed 7\n"
     "  elpc map --in scenario.json --algorithm ELPC --objective framerate\n"
     "  elpc batch --jobs jobs.json --out results.json --threads 4\n"
+    "  elpc serve --socket /tmp/elpc.sock --threads 4\n"
+    "  elpc client <load|poll|wait|cancel|update|stats|pause|resume|"
+    "shutdown> --socket /tmp/elpc.sock [options]\n"
     "  elpc simulate --in scenario.json --frames 200\n"
     "  elpc suite\n";
 
@@ -133,8 +140,17 @@ int cmd_batch(const std::vector<std::string>& args, std::ostream& out) {
     throw std::invalid_argument("elpc batch: --threads must be >= 0");
   }
 
-  service::BatchSpec spec = service::batch_spec_from_json(
-      util::Json::parse(util::read_text_file(parser.get_string("jobs"))));
+  // Malformed input is an operator mistake, not a crash: surface one
+  // clear diagnostic naming the file instead of a raw parse/shape
+  // exception (covered by tests/experiments/cli_app_test.cpp).
+  service::BatchSpec spec;
+  try {
+    spec = service::batch_spec_from_json(
+        util::Json::parse(util::read_text_file(parser.get_string("jobs"))));
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("elpc batch: cannot load job file '" +
+                                parser.get_string("jobs") + "': " + e.what());
+  }
   service::BatchEngineOptions engine_options;
   engine_options.threads = static_cast<std::size_t>(threads);
   engine_options.shards = engine_options.threads;
@@ -143,7 +159,14 @@ int cmd_batch(const std::vector<std::string>& args, std::ostream& out) {
   for (auto& [id, network] : spec.networks) {
     engine.register_network(id, std::move(network));
   }
-  const std::vector<service::SolveResult> results = engine.solve(spec.jobs);
+  std::vector<service::SolveResult> results;
+  try {
+    results = engine.solve(spec.jobs);
+  } catch (const std::invalid_argument& e) {
+    // A job naming a session the file never registered rejects the whole
+    // batch up front; re-anchor the engine's message to the subcommand.
+    throw std::invalid_argument(std::string("elpc batch: ") + e.what());
+  }
 
   const std::string doc =
       service::results_to_json(results, parser.flag("timing")).dump(2) + "\n";
@@ -160,6 +183,171 @@ int cmd_batch(const std::vector<std::string>& args, std::ostream& out) {
     }
   }
   return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
+  util::ArgParser parser("elpc serve");
+  parser.add_string("socket", "", "Unix-domain socket path (required)");
+  parser.add_int("threads", 0, "engine worker threads / shards (0 = hardware)");
+  parser.add_int("max-batch", 0,
+                 "jobs per dispatch cycle (0 = drain the queue; 1 = strict "
+                 "priority order)");
+  parser.add_int("session-cache-bytes", 0,
+                 "per-session revision-history budget in bytes "
+                 "(0 = keep no unpinned history)");
+  parser.parse(args);
+  if (parser.get_string("socket").empty()) {
+    throw std::invalid_argument("elpc serve: --socket is required");
+  }
+  if (parser.get_int("session-cache-bytes") < 0 ||
+      parser.get_int("threads") < 0 || parser.get_int("max-batch") < 0) {
+    throw std::invalid_argument("elpc serve: options must be >= 0");
+  }
+
+  daemon::SocketServerOptions options;
+  options.threads = static_cast<std::size_t>(parser.get_int("threads"));
+  options.max_batch = static_cast<std::size_t>(parser.get_int("max-batch"));
+  options.session_history_bytes =
+      static_cast<std::size_t>(parser.get_int("session-cache-bytes"));
+  options.factory = engine_mapper_factory();
+  daemon::SocketServer server(parser.get_string("socket"), options);
+  out << "elpc daemon listening on " << server.socket_path() << "\n"
+      << std::flush;
+  server.serve();  // returns on the shutdown verb
+  out << "elpc daemon shut down\n";
+  return 0;
+}
+
+/// `elpc client <verb> --socket S [options]`: thin shell over
+/// daemon::DaemonClient.  `load` is the batch-shaped convenience — it
+/// registers a job file's networks, submits its jobs, and with --wait
+/// emits the same canonical results document `elpc batch` prints, so the
+/// two paths can be diffed byte-for-byte.
+int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty()) {
+    throw std::invalid_argument(
+        "elpc client: missing verb (load|poll|wait|cancel|update|stats|"
+        "pause|resume|shutdown)");
+  }
+  const std::string verb = args.front();
+  util::ArgParser parser("elpc client " + verb);
+  parser.add_string("socket", "", "daemon socket path (required)");
+  parser.add_string("jobs", "", "load: batch job file (networks + jobs)");
+  parser.add_int("priority", 0, "load: priority for all submitted jobs");
+  parser.add_flag("wait", "load: wait for every job and print results");
+  parser.add_flag("no-register",
+                  "load: submit the file's jobs without registering its "
+                  "networks (they are already registered)");
+  parser.add_int("ticket", -1, "poll/wait/cancel: job ticket");
+  parser.add_string("network", "", "update: session id");
+  parser.add_string("updates", "", "update: JSON file with link deltas");
+  parser.parse({args.begin() + 1, args.end()});
+  if (parser.get_string("socket").empty()) {
+    throw std::invalid_argument("elpc client: --socket is required");
+  }
+  daemon::DaemonClient client(parser.get_string("socket"));
+
+  const auto require_ticket = [&parser]() -> daemon::Ticket {
+    if (parser.get_int("ticket") < 0) {
+      throw std::invalid_argument("elpc client: --ticket is required");
+    }
+    return static_cast<daemon::Ticket>(parser.get_int("ticket"));
+  };
+
+  if (verb == "load") {
+    if (parser.get_string("jobs").empty()) {
+      throw std::invalid_argument("elpc client load: --jobs is required");
+    }
+    service::BatchSpec spec;
+    try {
+      spec = service::batch_spec_from_json(
+          util::Json::parse(util::read_text_file(parser.get_string("jobs"))));
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("elpc client load: cannot load job file '" +
+                                  parser.get_string("jobs") + "': " +
+                                  e.what());
+    }
+    if (!parser.flag("no-register")) {
+      for (const auto& [id, network] : spec.networks) {
+        client.register_network(id, network);
+      }
+    }
+    std::vector<daemon::Ticket> tickets;
+    for (const service::SolveJob& job : spec.jobs) {
+      tickets.push_back(client.submit(
+          job, static_cast<int>(parser.get_int("priority"))));
+    }
+    if (!parser.flag("wait")) {
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        out << "ticket " << tickets[i] << " " << spec.jobs[i].id << "\n";
+      }
+      return 0;
+    }
+    util::JsonArray entries;
+    bool any_failed = false;
+    for (const daemon::Ticket ticket : tickets) {
+      const util::Json status = client.wait(ticket);
+      const util::Json& entry = status.at("result");
+      any_failed = any_failed || entry.contains("error");
+      entries.push_back(entry);
+    }
+    util::Json doc = util::JsonObject{};
+    doc.set("results", util::Json(std::move(entries)));
+    out << doc.dump(2) << "\n";
+    return any_failed ? 2 : 0;
+  }
+  if (verb == "poll") {
+    out << client.poll(require_ticket()).dump(2) << "\n";
+    return 0;
+  }
+  if (verb == "wait") {
+    out << client.wait(require_ticket()).dump(2) << "\n";
+    return 0;
+  }
+  if (verb == "cancel") {
+    const bool cancelled = client.cancel(require_ticket());
+    out << (cancelled ? "cancelled\n" : "no-op (already terminal)\n");
+    return 0;
+  }
+  if (verb == "update") {
+    if (parser.get_string("network").empty() ||
+        parser.get_string("updates").empty()) {
+      throw std::invalid_argument(
+          "elpc client update: --network and --updates are required");
+    }
+    const std::vector<graph::LinkUpdate> updates =
+        service::link_updates_from_json(util::Json::parse(
+            util::read_text_file(parser.get_string("updates"))));
+    util::JsonArray entries;
+    for (util::Json& entry :
+         client.apply_link_updates(parser.get_string("network"), updates)) {
+      entries.push_back(std::move(entry));
+    }
+    util::Json doc = util::JsonObject{};
+    doc.set("results", util::Json(std::move(entries)));
+    out << doc.dump(2) << "\n";
+    return 0;
+  }
+  if (verb == "stats") {
+    out << client.stats().dump(2) << "\n";
+    return 0;
+  }
+  if (verb == "pause") {
+    client.pause();
+    out << "paused\n";
+    return 0;
+  }
+  if (verb == "resume") {
+    client.resume();
+    out << "resumed\n";
+    return 0;
+  }
+  if (verb == "shutdown") {
+    client.shutdown_server();
+    out << "daemon shut down\n";
+    return 0;
+  }
+  throw std::invalid_argument("elpc client: unknown verb '" + verb + "'");
 }
 
 int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
@@ -226,6 +414,12 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     if (command == "batch") {
       return cmd_batch(rest, out);
+    }
+    if (command == "serve") {
+      return cmd_serve(rest, out);
+    }
+    if (command == "client") {
+      return cmd_client(rest, out);
     }
     if (command == "simulate") {
       return cmd_simulate(rest, out);

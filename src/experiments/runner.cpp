@@ -5,6 +5,7 @@
 
 #include "experiments/registry.hpp"
 #include "mapping/evaluator.hpp"
+#include "service/batch_engine.hpp"
 #include "util/timer.hpp"
 
 namespace elpc::experiments {
@@ -90,18 +91,87 @@ std::vector<CaseOutcome> run_suite(
     const std::vector<workload::CaseSpec>& specs,
     const workload::SuiteConfig& config, const RunnerOptions& options,
     util::ThreadPool& pool) {
-  std::vector<CaseOutcome> outcomes(specs.size());
+  // The suite runs through the batch service, not per-case mapper
+  // construction: one engine on the caller's pool, each case's network
+  // registered (and finalized) once, jobs sharded over shared arenas.
+  // The engine factory keeps the column sweep off for ELPC — the shards
+  // already own the machine's parallelism — which is the same
+  // configuration the old per-case path used, so results are unchanged.
+  std::vector<workload::Scenario> scenarios(specs.size());
   pool.parallel_for(specs.size(), [&](std::size_t i) {
-    const workload::Scenario scenario =
-        workload::build_scenario(specs[i], config);
-    // Each task constructs its own mappers: they are stateless, but this
-    // keeps the tasks share-nothing.  Case-level parallelism already
-    // saturates the machine, so the in-algorithm column sweep is off —
-    // otherwise the timed calls would contend for the shared sweep pool
-    // and distort the recorded runtimes.
-    outcomes[i] = run_case(scenario, paper_mappers(/*parallel_sweep=*/false),
-                           options);
+    scenarios[i] = workload::build_scenario(specs[i], config);
   });
+
+  service::BatchEngineOptions engine_options;
+  engine_options.pool = &pool;
+  engine_options.factory = engine_mapper_factory();
+  service::BatchEngine engine(engine_options);
+
+  std::vector<CaseOutcome> outcomes(specs.size());
+  std::vector<service::SolveJob> jobs;
+  const std::vector<std::string> algorithms = {"ELPC", "Streamline",
+                                               "Greedy"};
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    workload::Scenario& scenario = scenarios[i];
+    outcomes[i].case_name = scenario.name;
+    outcomes[i].modules = scenario.pipeline.module_count();
+    outcomes[i].nodes = scenario.network.node_count();
+    outcomes[i].links = scenario.network.link_count();
+    // Session ids carry the case index: caller-supplied specs may reuse
+    // names, registration must not.
+    const std::string session = std::to_string(i) + "/" + scenario.name;
+    engine.register_network(session, std::move(scenario.network));
+    for (const std::string& algorithm : algorithms) {
+      for (const bool framerate : {false, true}) {
+        service::SolveJob job;
+        job.id = session + "/" + algorithm + (framerate ? "/fps" : "/delay");
+        job.network = session;
+        job.pipeline = scenario.pipeline;
+        job.source = scenario.source;
+        job.destination = scenario.destination;
+        job.objective = framerate ? service::Objective::kMaxFrameRate
+                                  : service::Objective::kMinDelay;
+        job.algorithm = algorithm;
+        job.cost = framerate ? options.framerate_cost : options.delay_cost;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  const std::vector<service::SolveResult> results = engine.solve(jobs);
+
+  // Unpack in submission order (case-major, algorithm, delay then frame
+  // rate) and re-run the evaluator cross-check the per-case path always
+  // applied — an algorithm may not self-score, batched or not.
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const std::string session = std::to_string(i) + "/" + outcomes[i].case_name;
+    const service::NetworkSnapshot net = engine.session(session).snapshot();
+    for (const std::string& algorithm : algorithms) {
+      AlgoOutcome algo;
+      algo.algorithm = algorithm;
+      for (const bool framerate : {false, true}) {
+        const service::SolveResult& result = results[r++];
+        if (!result.error.empty()) {
+          throw std::runtime_error("run_suite: job '" + result.job_id +
+                                   "' failed: " + result.error);
+        }
+        const mapping::Problem problem(
+            scenarios[i].pipeline, *net, scenarios[i].source,
+            scenarios[i].destination,
+            framerate ? options.framerate_cost : options.delay_cost);
+        cross_check(problem, result.result, framerate, algorithm);
+        if (framerate) {
+          algo.framerate = result.result;
+          algo.framerate_runtime_ms = result.mean_runtime_ms;
+        } else {
+          algo.delay = result.result;
+          algo.delay_runtime_ms = result.mean_runtime_ms;
+        }
+      }
+      outcomes[i].algos.push_back(std::move(algo));
+    }
+  }
   return outcomes;
 }
 

@@ -59,7 +59,11 @@ struct CaseOutcome {
     const std::vector<mapping::MapperPtr>& mappers,
     const RunnerOptions& options = {});
 
-/// Materializes and runs the whole suite, one case per pool task.
+/// Materializes the suite and runs it through one service::BatchEngine
+/// on the given pool: networks register (and finalize) once, all
+/// case × algorithm × objective jobs shard over shared arenas, and every
+/// feasible result is re-scored by the evaluator (throws
+/// std::logic_error on a mismatch, std::runtime_error on a job failure).
 /// Results are in suite order regardless of scheduling.
 [[nodiscard]] std::vector<CaseOutcome> run_suite(
     const std::vector<workload::CaseSpec>& specs,

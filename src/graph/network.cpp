@@ -191,6 +191,22 @@ double Network::mean_bandwidth_mbps() const {
   return sum / static_cast<double>(links_.size());
 }
 
+std::size_t Network::approx_bytes() const {
+  std::size_t bytes = sizeof(Network);
+  bytes += nodes_.capacity() * sizeof(NodeAttr);
+  for (const NodeAttr& node : nodes_) {
+    bytes += node.name.capacity();
+  }
+  bytes += links_.capacity() * sizeof(Edge);
+  bytes += out_index_.capacity() * sizeof(std::vector<std::uint32_t>);
+  for (const std::vector<std::uint32_t>& row : out_index_) {
+    bytes += row.capacity() * sizeof(std::uint32_t);
+  }
+  bytes += (out_csr_.capacity() + in_csr_.capacity()) * sizeof(Edge);
+  bytes += (out_off_.capacity() + in_off_.capacity()) * sizeof(std::size_t);
+  return bytes;
+}
+
 void Network::validate() const {
   std::size_t out_total = 0;
   std::size_t in_total = 0;

@@ -206,6 +206,12 @@ class Network {
   /// "expected" cost of an unplaced neighbour); throws on empty networks.
   [[nodiscard]] double mean_bandwidth_mbps() const;
 
+  /// Approximate heap footprint in bytes (node/link storage, lookup
+  /// index, CSR views, name payloads).  Counts capacities, not sizes, so
+  /// it tracks what the allocator actually holds.  Used by the service
+  /// layer's session-cache budgets; O(nodes + links).
+  [[nodiscard]] std::size_t approx_bytes() const;
+
   /// Checks all invariants hold (cheap; used by tests and loaders).
   void validate() const;
 

@@ -1,6 +1,7 @@
 #include "service/batch_engine.hpp"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -51,8 +52,8 @@ BatchEngine::BatchEngine(BatchEngineOptions options)
 
 NetworkSession& BatchEngine::register_network(std::string id,
                                               graph::Network network) {
-  auto session =
-      std::make_unique<NetworkSession>(id, std::move(network));
+  auto session = std::make_unique<NetworkSession>(
+      id, std::move(network), options_.session_history_bytes);
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] =
       sessions_.emplace(std::move(id), std::move(session));
@@ -82,8 +83,8 @@ NetworkSession& BatchEngine::session(const std::string& id) const {
   return *session;
 }
 
-std::vector<SolveResult> BatchEngine::solve(
-    const std::vector<SolveJob>& jobs) {
+std::vector<SolveResult> BatchEngine::solve(const std::vector<SolveJob>& jobs,
+                                            const CancelFn& cancelled) {
   std::vector<NetworkSession::Current> snapshots;
   snapshots.reserve(jobs.size());
   for (const SolveJob& job : jobs) {
@@ -96,24 +97,33 @@ std::vector<SolveResult> BatchEngine::solve(
     snapshots.push_back(session->current());
   }
   std::vector<SolveResult> results =
-      run_sharded(std::span<const SolveJob>(jobs), snapshots);
+      run_sharded(std::span<const SolveJob>(jobs), snapshots, cancelled);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    for (const SolveJob& job : jobs) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const SolveJob& job = jobs[i];
+      // A cancelled job never ran, so it must not install or replace a
+      // subscription either.
+      if (results[i].error == kCancelledError) {
+        continue;
+      }
       // Re-submitting a job replaces (or, with resolve_on_update off,
       // removes) its subscription: without this, a client re-sending the
       // same job file would multiply every future re-solve, and turning
       // the flag off would have no way to stop them.
       const auto existing = std::find_if(
           subscriptions_.begin(), subscriptions_.end(),
-          [&job](const SolveJob& s) {
-            return s.id == job.id && s.network == job.network;
+          [&job](const Subscription& s) {
+            return s.job.id == job.id && s.job.network == job.network;
           });
       if (job.resolve_on_update) {
+        // Pinning the solved-against snapshot keeps that revision in the
+        // session cache for as long as the subscription is current.
+        Subscription entry{job, snapshots[i].network};
         if (existing == subscriptions_.end()) {
-          subscriptions_.push_back(job);
+          subscriptions_.push_back(std::move(entry));
         } else {
-          *existing = job;
+          *existing = std::move(entry);
         }
       } else if (existing != subscriptions_.end()) {
         subscriptions_.erase(existing);
@@ -130,15 +140,37 @@ std::vector<SolveResult> BatchEngine::apply_link_updates(
   std::vector<SolveJob> subscribed;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    for (const SolveJob& job : subscriptions_) {
-      if (job.network == id) {
-        subscribed.push_back(job);
+    for (const Subscription& sub : subscriptions_) {
+      if (sub.job.network == id) {
+        subscribed.push_back(sub.job);
       }
     }
   }
-  const std::vector<NetworkSession::Current> snapshots(
-      subscribed.size(), session.current());
-  return run_sharded(std::span<const SolveJob>(subscribed), snapshots);
+  const NetworkSession::Current now = session.current();
+  const std::vector<NetworkSession::Current> snapshots(subscribed.size(),
+                                                       now);
+  std::vector<SolveResult> results =
+      run_sharded(std::span<const SolveJob>(subscribed), snapshots, nullptr);
+  {
+    // Re-pin exactly the subscriptions this call re-solved, releasing
+    // their hold on the previous revision.  Matching on the captured
+    // job ids (not just the network) matters: a concurrent solve() may
+    // have installed a new subscription for this network meanwhile,
+    // pinned to the revision *it* solved against — blanket re-pinning
+    // would drop that revision's only pin while a live subscription's
+    // latest result still cites it.
+    std::set<std::string> resolved_ids;
+    for (const SolveJob& job : subscribed) {
+      resolved_ids.insert(job.id);
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (Subscription& sub : subscriptions_) {
+      if (sub.job.network == id && resolved_ids.count(sub.job.id) != 0) {
+        sub.pinned = now.network;
+      }
+    }
+  }
+  return results;
 }
 
 std::size_t BatchEngine::subscription_count() const {
@@ -146,9 +178,35 @@ std::size_t BatchEngine::subscription_count() const {
   return subscriptions_.size();
 }
 
+EngineStats BatchEngine::stats() const {
+  EngineStats stats;
+  stats.arenas_created = arenas_.created();
+  // Collect the sessions first: cache_stats() takes each session's own
+  // mutex and runs its budget sweep, which must not happen under the
+  // engine mutex a concurrent register_network needs.
+  std::vector<NetworkSession*> sessions;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats.sessions = sessions_.size();
+    stats.subscriptions = subscriptions_.size();
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+      sessions.push_back(session.get());
+    }
+  }
+  for (const NetworkSession* session : sessions) {
+    const SessionCacheStats cache = session->cache_stats();
+    stats.cached_revisions += cache.cached_revisions;
+    stats.cached_bytes += cache.cached_bytes;
+    stats.cache_evictions += cache.evictions;
+  }
+  return stats;
+}
+
 std::vector<SolveResult> BatchEngine::run_sharded(
     std::span<const SolveJob> jobs,
-    std::span<const NetworkSession::Current> snapshots) {
+    std::span<const NetworkSession::Current> snapshots,
+    const CancelFn& cancelled) {
   std::vector<SolveResult> results(jobs.size());
   if (jobs.empty()) {
     return results;
@@ -158,7 +216,8 @@ std::vector<SolveResult> BatchEngine::run_sharded(
       options_.shards == 0 ? pool_->worker_count() : options_.shards);
   util::JobGroup group(*pool_);
   for (std::size_t s = 0; s < shards; ++s) {
-    group.submit([this, s, shards, jobs, snapshots, &results]() {
+    group.submit([this, s, shards, jobs, snapshots, &cancelled,
+                  &results]() {
       // One arena per live shard; leases recycle through the pool, so
       // the engine never holds more arenas than its peak shard count.
       const core::ArenaPool::Lease lease = arenas_.acquire();
@@ -166,6 +225,19 @@ std::vector<SolveResult> BatchEngine::run_sharded(
       const std::size_t lo = s * jobs.size() / shards;
       const std::size_t hi = (s + 1) * jobs.size() / shards;
       for (std::size_t i = lo; i < hi; ++i) {
+        if (cancelled && cancelled(i)) {
+          // The job-boundary cancellation point: skipped jobs report a
+          // uniform marker instead of a solver outcome.
+          results[i].job_id = jobs[i].id;
+          results[i].network = jobs[i].network;
+          results[i].algorithm = jobs[i].algorithm;
+          results[i].objective = jobs[i].objective;
+          results[i].network_revision = snapshots[i].revision;
+          results[i].shard = s;
+          results[i].error = kCancelledError;
+          results[i].result = mapping::MapResult::infeasible(kCancelledError);
+          continue;
+        }
         solve_one(jobs[i], snapshots[i], ctx, s, results[i]);
       }
     });

@@ -124,6 +124,30 @@ struct BatchEngineOptions {
   /// names fail the job with an error.  experiments::
   /// engine_mapper_factory() resolves the full registry).
   MapperFactory factory;
+  /// Per-session revision-cache budget (see NetworkSession): superseded
+  /// snapshots are retained up to this many bytes per session, LRU, with
+  /// pinned revisions exempt.  0 = keep no unpinned history.
+  std::size_t session_history_bytes = 0;
+};
+
+/// SolveResult::error of a job skipped by a cancellation predicate.
+inline constexpr const char* kCancelledError = "cancelled";
+
+/// Checked at job boundaries inside a shard: return true to skip solving
+/// the job at `job_index` (its result gets error = kCancelledError).
+/// Must be thread-safe; called concurrently from every shard.
+using CancelFn = std::function<bool(std::size_t job_index)>;
+
+/// Aggregate serving counters across the engine and all its sessions
+/// (what the daemon's `stats` verb reports).
+struct EngineStats {
+  std::size_t sessions = 0;
+  std::size_t subscriptions = 0;
+  std::size_t arenas_created = 0;
+  /// Session-cache totals, summed over sessions.
+  std::size_t cached_revisions = 0;
+  std::size_t cached_bytes = 0;
+  std::uint64_t cache_evictions = 0;
 };
 
 class BatchEngine {
@@ -151,7 +175,15 @@ class BatchEngine {
   /// subscriptions, keyed on (id, network): re-submitting a job replaces
   /// its subscription instead of duplicating it, and re-submitting with
   /// resolve_on_update off removes it (the unsubscribe path).
-  std::vector<SolveResult> solve(const std::vector<SolveJob>& jobs);
+  ///
+  /// `cancelled`, when set, is checked once per job at the job boundary
+  /// within its shard: a true return skips the solve and marks the
+  /// result with error = kCancelledError (a cancelled job also never
+  /// touches the subscription table).  This is the hook the daemon's
+  /// JobManager uses — a job already past its boundary check runs to
+  /// completion.
+  std::vector<SolveResult> solve(const std::vector<SolveJob>& jobs,
+                                 const CancelFn& cancelled = nullptr);
 
   /// Applies metric deltas to a session (publishing its next revision)
   /// and re-solves the jobs subscribed to it, returning their results in
@@ -167,7 +199,21 @@ class BatchEngine {
     return arenas_.created();
   }
 
+  /// Serving counters: session/subscription counts plus session-cache
+  /// occupancy and evictions summed over all sessions (each session runs
+  /// its budget sweep as part of reporting).
+  [[nodiscard]] EngineStats stats() const;
+
  private:
+  /// A retained resolve_on_update job.  `pinned` is the snapshot of the
+  /// revision the job last solved against: holding it keeps that
+  /// revision's session-cache entry pinned (never evicted) until the
+  /// subscription re-solves or is removed.
+  struct Subscription {
+    SolveJob job;
+    NetworkSnapshot pinned;
+  };
+
   [[nodiscard]] NetworkSession* find_session(const std::string& id) const;
   /// `snapshots` is index-aligned with `jobs`: every job's session state
   /// is resolved once, up front, on the calling thread — workers never
@@ -175,7 +221,8 @@ class BatchEngine {
   /// revisions current at submission.
   std::vector<SolveResult> run_sharded(
       std::span<const SolveJob> jobs,
-      std::span<const NetworkSession::Current> snapshots);
+      std::span<const NetworkSession::Current> snapshots,
+      const CancelFn& cancelled);
   void solve_one(const SolveJob& job, const NetworkSession::Current& snap,
                  const MapperContext& ctx, std::size_t shard,
                  SolveResult& out);
@@ -186,7 +233,7 @@ class BatchEngine {
   core::ArenaPool arenas_;
   mutable std::mutex mutex_;  // guards sessions_ and subscriptions_
   std::map<std::string, std::unique_ptr<NetworkSession>> sessions_;
-  std::vector<SolveJob> subscriptions_;
+  std::vector<Subscription> subscriptions_;
 };
 
 }  // namespace elpc::service

@@ -1,11 +1,13 @@
 #include "service/network_session.hpp"
 
 #include <utility>
+#include <vector>
 
 namespace elpc::service {
 
-NetworkSession::NetworkSession(std::string id, graph::Network network)
-    : id_(std::move(id)) {
+NetworkSession::NetworkSession(std::string id, graph::Network network,
+                               std::size_t history_budget_bytes)
+    : id_(std::move(id)), history_budget_bytes_(history_budget_bytes) {
   network.finalize();
   current_ = std::make_shared<const graph::Network>(std::move(network));
 }
@@ -40,8 +42,72 @@ void NetworkSession::apply_link_updates(
   const std::lock_guard<std::mutex> lock(mutex_);
   auto next = std::make_shared<graph::Network>(*current_);
   next->apply_link_updates(updates);  // in-place CSR patch, no rebuild
+  history_.emplace(revision_,
+                   CachedRevision{current_, current_->approx_bytes(),
+                                  ++touch_clock_});
   current_ = std::move(next);
   ++revision_;
+  evict_over_budget();
+}
+
+NetworkSnapshot NetworkSession::revision_snapshot(
+    std::uint64_t revision) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (revision == revision_) {
+    return current_;
+  }
+  const auto it = history_.find(revision);
+  if (it == history_.end()) {
+    return nullptr;
+  }
+  it->second.last_touch = ++touch_clock_;
+  return it->second.network;
+}
+
+SessionCacheStats NetworkSession::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  evict_over_budget();
+  SessionCacheStats stats;
+  stats.cached_revisions = history_.size();
+  for (const auto& [revision, entry] : history_) {
+    stats.cached_bytes += entry.bytes;
+  }
+  stats.current_bytes = current_->approx_bytes();
+  stats.evictions = evictions_;
+  return stats;
+}
+
+void NetworkSession::evict_over_budget() const {
+  // A cache entry whose snapshot is referenced by anyone else (in-flight
+  // solve, retained subscription) is pinned: evicting it would drop the
+  // map entry but not the memory, under-reporting what is actually held
+  // and breaking revision_snapshot for a revision that provably still
+  // exists.  use_count is read under the session mutex — a reader
+  // releasing concurrently merely delays that entry to the next sweep.
+  std::size_t unpinned_bytes = 0;
+  for (const auto& [revision, entry] : history_) {
+    if (entry.network.use_count() == 1) {
+      unpinned_bytes += entry.bytes;
+    }
+  }
+  while (unpinned_bytes > history_budget_bytes_) {
+    auto victim = history_.end();
+    for (auto it = history_.begin(); it != history_.end(); ++it) {
+      if (it->second.network.use_count() != 1) {
+        continue;
+      }
+      if (victim == history_.end() ||
+          it->second.last_touch < victim->second.last_touch) {
+        victim = it;
+      }
+    }
+    if (victim == history_.end()) {
+      break;  // everything left is pinned
+    }
+    unpinned_bytes -= victim->second.bytes;
+    history_.erase(victim);
+    ++evictions_;
+  }
 }
 
 }  // namespace elpc::service

@@ -16,8 +16,22 @@
 // whole session lifecycle the CSR view is therefore built exactly once
 // (finalize_builds() pins this), no matter how many jobs run or deltas
 // arrive.
+//
+// Revision history + memory budget: each superseded snapshot moves into
+// a per-session revision cache (keyed by revision number) so recent
+// revisions stay addressable — a long-running daemon needs that for
+// result provenance and late readers.  The cache is bounded: every
+// snapshot carries a byte size (graph::Network::approx_bytes) and
+// eviction keeps the total of *unpinned* cached revisions within
+// `history_budget_bytes`, dropping least-recently-touched entries
+// first.  A revision is pinned while anything outside the cache still
+// references its snapshot (an in-flight solve, a retained subscription):
+// pinned entries are never evicted, because dropping them would lie
+// about what memory is actually held.  Budget 0 (the default) retains
+// no unpinned history — the pre-daemon behavior.
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -30,11 +44,26 @@ namespace elpc::service {
 /// Refcounted immutable view of a session's network at one revision.
 using NetworkSnapshot = std::shared_ptr<const graph::Network>;
 
+/// Session-cache occupancy and eviction counters (see cache_stats()).
+struct SessionCacheStats {
+  /// Superseded revisions currently retained (excludes current).
+  std::size_t cached_revisions = 0;
+  /// Their total approx_bytes.
+  std::size_t cached_bytes = 0;
+  /// Approx_bytes of the current snapshot.
+  std::size_t current_bytes = 0;
+  /// Revisions dropped by the budget since registration.
+  std::uint64_t evictions = 0;
+};
+
 class NetworkSession {
  public:
   /// Takes ownership of the network and finalizes it (the session's one
   /// CSR build, unless the caller already built it).
-  NetworkSession(std::string id, graph::Network network);
+  /// `history_budget_bytes` bounds the unpinned revision cache (0 = keep
+  /// no unpinned history).
+  NetworkSession(std::string id, graph::Network network,
+                 std::size_t history_budget_bytes = 0);
 
   NetworkSession(const NetworkSession&) = delete;
   NetworkSession& operator=(const NetworkSession&) = delete;
@@ -63,15 +92,41 @@ class NetworkSession {
   [[nodiscard]] std::size_t finalize_builds() const;
 
   /// Applies one batch of metric deltas copy-on-write and publishes the
-  /// result as the next revision.  Throws (and publishes nothing) when
-  /// any update names a missing link or carries invalid attributes.
+  /// result as the next revision; the superseded snapshot moves into the
+  /// revision cache and the budget sweep runs.  Throws (and publishes
+  /// nothing) when any update names a missing link or carries invalid
+  /// attributes.
   void apply_link_updates(std::span<const graph::LinkUpdate> updates);
 
+  /// The snapshot of a past (or the current) revision, or null when it
+  /// was evicted / never existed.  Touching a cached revision refreshes
+  /// its LRU position.
+  [[nodiscard]] NetworkSnapshot revision_snapshot(std::uint64_t revision) const;
+
+  /// Re-runs the budget sweep (entries unpinned since the last delta can
+  /// only be reclaimed by a sweep) and reports occupancy.
+  [[nodiscard]] SessionCacheStats cache_stats() const;
+
  private:
+  struct CachedRevision {
+    NetworkSnapshot network;
+    std::size_t bytes = 0;
+    std::uint64_t last_touch = 0;
+  };
+
+  /// Drops least-recently-touched unpinned entries until their total is
+  /// within budget.  Caller holds mutex_.
+  void evict_over_budget() const;
+
   const std::string id_;
+  const std::size_t history_budget_bytes_;
   mutable std::mutex mutex_;
   NetworkSnapshot current_;
   std::uint64_t revision_ = 0;
+  /// Superseded revisions; mutable so const readers can run the sweep.
+  mutable std::map<std::uint64_t, CachedRevision> history_;
+  mutable std::uint64_t touch_clock_ = 0;
+  mutable std::uint64_t evictions_ = 0;
 };
 
 }  // namespace elpc::service

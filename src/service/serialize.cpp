@@ -101,42 +101,80 @@ BatchSpec batch_spec_from_json(const util::Json& doc) {
   return spec;
 }
 
+util::Json result_entry_to_json(const SolveResult& r, bool include_timing) {
+  util::Json entry = util::JsonObject{};
+  entry.set("job", r.job_id);
+  entry.set("network", r.network);
+  entry.set("revision", r.network_revision);
+  entry.set("algorithm", r.algorithm);
+  entry.set("objective", objective_name(r.objective));
+  entry.set("feasible", r.result.feasible);
+  if (!r.error.empty()) {
+    entry.set("error", r.error);
+  }
+  if (r.result.feasible) {
+    entry.set("seconds", r.result.seconds);
+    if (r.objective == Objective::kMaxFrameRate) {
+      entry.set("frame_rate", r.result.frame_rate());
+    }
+    util::JsonArray assignment;
+    for (const graph::NodeId v : r.result.mapping.assignment()) {
+      assignment.push_back(v);
+    }
+    entry.set("mapping", util::Json(std::move(assignment)));
+  } else if (r.error.empty()) {
+    entry.set("reason", r.result.reason);
+  }
+  if (include_timing) {
+    entry.set("mean_runtime_ms", r.mean_runtime_ms);
+    entry.set("shard", r.shard);
+  }
+  return entry;
+}
+
 util::Json results_to_json(std::span<const SolveResult> results,
                            bool include_timing) {
   util::JsonArray entries;
   for (const SolveResult& r : results) {
-    util::Json entry = util::JsonObject{};
-    entry.set("job", r.job_id);
-    entry.set("network", r.network);
-    entry.set("revision", r.network_revision);
-    entry.set("algorithm", r.algorithm);
-    entry.set("objective", objective_name(r.objective));
-    entry.set("feasible", r.result.feasible);
-    if (!r.error.empty()) {
-      entry.set("error", r.error);
-    }
-    if (r.result.feasible) {
-      entry.set("seconds", r.result.seconds);
-      if (r.objective == Objective::kMaxFrameRate) {
-        entry.set("frame_rate", r.result.frame_rate());
-      }
-      util::JsonArray assignment;
-      for (const graph::NodeId v : r.result.mapping.assignment()) {
-        assignment.push_back(v);
-      }
-      entry.set("mapping", util::Json(std::move(assignment)));
-    } else if (r.error.empty()) {
-      entry.set("reason", r.result.reason);
-    }
-    if (include_timing) {
-      entry.set("mean_runtime_ms", r.mean_runtime_ms);
-      entry.set("shard", r.shard);
-    }
-    entries.push_back(std::move(entry));
+    entries.push_back(result_entry_to_json(r, include_timing));
   }
   util::Json doc = util::JsonObject{};
   doc.set("results", util::Json(std::move(entries)));
   return doc;
+}
+
+util::Json to_json(const graph::LinkUpdate& update) {
+  util::Json doc = util::JsonObject{};
+  doc.set("from", update.from);
+  doc.set("to", update.to);
+  doc.set("bandwidth_mbps", update.attr.bandwidth_mbps);
+  doc.set("min_delay_s", update.attr.min_delay_s);
+  return doc;
+}
+
+graph::LinkUpdate link_update_from_json(const util::Json& doc) {
+  graph::LinkUpdate update;
+  update.from = static_cast<graph::NodeId>(doc.at("from").as_int());
+  update.to = static_cast<graph::NodeId>(doc.at("to").as_int());
+  update.attr.bandwidth_mbps = doc.at("bandwidth_mbps").as_number();
+  update.attr.min_delay_s = doc.at("min_delay_s").as_number();
+  return update;
+}
+
+util::Json link_updates_to_json(std::span<const graph::LinkUpdate> updates) {
+  util::JsonArray entries;
+  for (const graph::LinkUpdate& update : updates) {
+    entries.push_back(to_json(update));
+  }
+  return util::Json(std::move(entries));
+}
+
+std::vector<graph::LinkUpdate> link_updates_from_json(const util::Json& doc) {
+  std::vector<graph::LinkUpdate> updates;
+  for (const util::Json& entry : doc.as_array()) {
+    updates.push_back(link_update_from_json(entry));
+  }
+  return updates;
 }
 
 }  // namespace elpc::service

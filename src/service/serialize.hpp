@@ -45,10 +45,27 @@ struct BatchSpec {
 [[nodiscard]] util::Json to_json(const BatchSpec& spec);
 [[nodiscard]] BatchSpec batch_spec_from_json(const util::Json& doc);
 
-/// Results in job order.  `include_timing` adds the mean_runtime_ms and
-/// shard fields — useful interactively, excluded from the canonical
-/// (deterministic) form.
+/// One result as its canonical JSON entry (what results_to_json emits
+/// per job; also the daemon's poll/update response payload).
+/// `include_timing` adds the mean_runtime_ms and shard fields — useful
+/// interactively, excluded from the canonical (deterministic) form.
+[[nodiscard]] util::Json result_entry_to_json(const SolveResult& result,
+                                              bool include_timing = false);
+
+/// Results in job order, wrapped as {"results": [...]}.
 [[nodiscard]] util::Json results_to_json(
     std::span<const SolveResult> results, bool include_timing = false);
+
+/// Wire form of one metric delta:
+/// {"from", "to", "bandwidth_mbps", "min_delay_s"} — the link-update
+/// payload of the daemon's apply_link_updates verb.
+[[nodiscard]] util::Json to_json(const graph::LinkUpdate& update);
+[[nodiscard]] graph::LinkUpdate link_update_from_json(const util::Json& doc);
+
+/// An array of metric deltas ([{...}, ...]).
+[[nodiscard]] util::Json link_updates_to_json(
+    std::span<const graph::LinkUpdate> updates);
+[[nodiscard]] std::vector<graph::LinkUpdate> link_updates_from_json(
+    const util::Json& doc);
 
 }  // namespace elpc::service

@@ -1,0 +1,224 @@
+#include "util/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace elpc::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+/// Fills a sockaddr_un for `path`; rejects paths longer than sun_path
+/// (the silent-truncation alternative would bind somewhere unexpected).
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) {
+    throw SocketError("socket path too long (" + std::to_string(path.size()) +
+                      " bytes, max " +
+                      std::to_string(sizeof(address.sun_path) - 1) + "): " +
+                      path);
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+UnixSocket::~UnixSocket() { close(); }
+
+UnixSocket::UnixSocket(UnixSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+UnixSocket UnixSocket::connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno("socket");
+  }
+  const sockaddr_un address = make_address(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    throw_errno("connect " + path);
+  }
+  return UnixSocket(fd);
+}
+
+void UnixSocket::send_line(const std::string& message) {
+  if (!valid()) {
+    throw SocketError("send_line on closed socket");
+  }
+  const std::string framed = message + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> UnixSocket::recv_line() {
+  if (!valid()) {
+    throw SocketError("recv_line on closed socket");
+  }
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw SocketTimeout("recv timed out");  // SO_RCVTIMEO expired
+      }
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (!buffer_.empty()) {
+        throw SocketError("peer closed mid-message (" +
+                          std::to_string(buffer_.size()) +
+                          " unterminated bytes)");
+      }
+      return std::nullopt;  // clean EOF
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void UnixSocket::set_recv_timeout(int milliseconds) {
+  if (!valid()) {
+    throw SocketError("set_recv_timeout on closed socket");
+  }
+  timeval timeout{};
+  timeout.tv_sec = milliseconds / 1000;
+  timeout.tv_usec = (milliseconds % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                   sizeof(timeout)) != 0) {
+    throw_errno("setsockopt SO_RCVTIMEO");
+  }
+}
+
+void UnixSocket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw_errno("socket");
+  }
+  // A file already at the path is either a live daemon's endpoint or a
+  // crashed one's leftover.  A trial connect tells them apart: replace
+  // only the stale file — silently unlinking a live endpoint would
+  // orphan that daemon, and this listener's destructor would later
+  // delete the successor's socket too.
+  bool occupied = false;
+  try {
+    (void)UnixSocket::connect(path_);
+    occupied = true;
+  } catch (const SocketError&) {
+    // Nothing accepting there (ECONNREFUSED/ENOENT/...): safe to claim.
+  }
+  if (occupied) {
+    ::close(fd_);
+    fd_ = -1;
+    throw SocketError("bind " + path_ +
+                      ": another process is already listening here");
+  }
+  const sockaddr_un address = make_address(path_);
+  ::unlink(path_.c_str());  // a stale file from a crashed daemon blocks bind
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("bind " + path_);
+  }
+  if (::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+    throw_errno("listen " + path_);
+  }
+}
+
+UnixListener::~UnixListener() {
+  close();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::unlink(path_.c_str());
+}
+
+std::optional<UnixSocket> UnixListener::accept() {
+  while (!closed_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("poll");
+    }
+    if (ready == 0) {
+      continue;  // timeout: re-check the closed flag
+    }
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EINVAL) {
+        continue;  // EINVAL: a concurrent close() shut the listener down
+      }
+      throw_errno("accept");
+    }
+    return UnixSocket(client);
+  }
+  return std::nullopt;
+}
+
+void UnixListener::close() noexcept {
+  closed_.store(true, std::memory_order_release);
+  if (fd_ >= 0) {
+    // Wakes a blocked poll immediately instead of waiting out the
+    // interval; errors (e.g. ENOTCONN on some kernels) are harmless —
+    // the flag alone suffices within one poll period.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+}  // namespace elpc::util

@@ -1,0 +1,112 @@
+#pragma once
+// Minimal Unix-domain stream-socket primitives for the mapping daemon:
+// an RAII connection with newline-framed message IO and a listener whose
+// accept loop can be unblocked from another thread.
+//
+// Framing is one message per line (the daemon speaks line-delimited JSON
+// request/response pairs; JSON never contains a raw newline, so '\n' is
+// an unambiguous terminator).  recv_line strips the terminator and
+// returns nullopt on clean EOF.  All operations throw SocketError on OS
+// failures; SIGPIPE is avoided via MSG_NOSIGNAL, so a peer vanishing
+// mid-send surfaces as an exception, not a process kill.
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace elpc::util {
+
+/// Thrown on socket-layer failures (connect/bind/IO); carries errno text.
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by recv_line when a receive timeout (set_recv_timeout) expires
+/// before a full line arrived — the connection itself is still fine, the
+/// caller decides whether to retry or give up.
+class SocketTimeout : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
+/// One connected Unix-domain stream socket (either end).  Move-only.
+class UnixSocket {
+ public:
+  UnixSocket() = default;
+  /// Adopts an already-connected fd (listener accept path).
+  explicit UnixSocket(int fd) : fd_(fd) {}
+  ~UnixSocket();
+
+  UnixSocket(UnixSocket&& other) noexcept;
+  UnixSocket& operator=(UnixSocket&& other) noexcept;
+  UnixSocket(const UnixSocket&) = delete;
+  UnixSocket& operator=(const UnixSocket&) = delete;
+
+  /// Connects to the listener at `path`; throws SocketError when nothing
+  /// listens there.
+  [[nodiscard]] static UnixSocket connect(const std::string& path);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Sends `message` plus the '\n' terminator (message must not itself
+  /// contain '\n' — the framing invariant).
+  void send_line(const std::string& message);
+
+  /// Receives the next '\n'-terminated message (terminator stripped);
+  /// nullopt on clean EOF.  Throws SocketTimeout when a receive timeout
+  /// is set and expires, SocketError on IO errors or when the peer
+  /// closes mid-message.
+  [[nodiscard]] std::optional<std::string> recv_line();
+
+  /// Bounds every subsequent recv_line wait (SO_RCVTIMEO): on expiry it
+  /// throws SocketTimeout instead of blocking forever.  Lets a server
+  /// poll a shutdown flag while an idle client holds the connection.
+  void set_recv_timeout(int milliseconds);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last returned line
+};
+
+/// Listening Unix-domain socket bound to a filesystem path.  A stale
+/// socket file from a crashed daemon is unlinked before bind — but only
+/// after a trial connect proves nothing is accepting on it, so starting
+/// a second daemon on a live endpoint fails loudly instead of silently
+/// hijacking (and later deleting) the first one's socket.  The path is
+/// unlinked again on destruction.
+class UnixListener {
+ public:
+  /// Throws SocketError when the path is unusable or another process is
+  /// actively listening on it.
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Blocks for the next connection; nullopt once close() was called
+  /// (the shutdown path — accept polls, so a concurrent close() is seen
+  /// within the poll interval).
+  [[nodiscard]] std::optional<UnixSocket> accept();
+
+  /// Unblocks pending and future accept() calls; safe to call from a
+  /// thread other than the accept loop's, and idempotent.
+  void close() noexcept;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  /// Set by close(); the accept loop polls with a short timeout, so a
+  /// concurrent close is observed within one interval even if the
+  /// wake-up shutdown() is missed.
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace elpc::util

@@ -1,0 +1,260 @@
+#include "daemon/socket_server.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/client.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "service/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::daemon {
+namespace {
+
+graph::Network make_network(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::random_connected_network(rng, 10, 50,
+                                         graph::AttributeRanges{});
+}
+
+service::SolveJob make_job(const std::string& id, std::uint64_t pseed,
+                           service::Objective objective) {
+  util::Rng rng(pseed);
+  service::SolveJob job;
+  job.id = id;
+  job.network = "net";
+  job.pipeline = pipeline::random_pipeline(rng, 4, {});
+  job.source = 0;
+  job.destination = 9;
+  job.objective = objective;
+  job.cost = service::default_cost(objective);
+  return job;
+}
+
+/// A unique socket path per test (paths must fit sun_path and not
+/// collide across parallel test shards).
+std::string socket_path(const std::string& tag) {
+  return ::testing::TempDir() + "/elpc_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// The acceptance-criteria flow, end to end over a real socket:
+/// register → submit with mixed priorities → poll/wait to completion →
+/// cancel a queued job → apply_link_updates re-solving a subscription →
+/// stats → shutdown; results bit-identical to direct BatchEngine::solve.
+TEST(SocketServer, EndToEndFlowMatchesDirectEngine) {
+  SocketServerOptions options;
+  options.threads = 2;
+  options.max_batch = 1;       // strict priority order
+  options.start_paused = true;  // queue everything before dispatching
+  SocketServer server(socket_path("e2e"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  DaemonClient client(server.socket_path());
+  client.register_network("net", make_network(3));
+
+  std::vector<service::SolveJob> jobs;
+  jobs.push_back(make_job("delay0", 50, service::Objective::kMinDelay));
+  jobs.push_back(make_job("fps0", 51, service::Objective::kMaxFrameRate));
+  jobs.push_back(make_job("delay1", 52, service::Objective::kMinDelay));
+  jobs[1].resolve_on_update = true;  // the subscription
+
+  const Ticket t0 = client.submit(jobs[0], /*priority=*/1);
+  const Ticket t1 = client.submit(jobs[1], /*priority=*/3);
+  const Ticket t2 = client.submit(jobs[2], /*priority=*/2);
+  // A fourth job is cancelled while still queued: it must never run.
+  const Ticket doomed = client.submit(
+      make_job("doomed", 53, service::Objective::kMinDelay), /*priority=*/0);
+  EXPECT_TRUE(client.cancel(doomed));
+  EXPECT_EQ(client.poll(doomed).at("state").as_string(), "cancelled");
+
+  // Everything still queued; poll reports that before dispatch opens.
+  EXPECT_EQ(client.poll(t0).at("state").as_string(), "queued");
+  client.resume();
+
+  const util::Json done0 = client.wait(t0);
+  const util::Json done1 = client.wait(t1);
+  const util::Json done2 = client.wait(t2);
+  EXPECT_EQ(done0.at("state").as_string(), "done");
+  EXPECT_EQ(done1.at("state").as_string(), "done");
+  EXPECT_EQ(done2.at("state").as_string(), "done");
+
+  // Reference: the same jobs through a direct, in-process engine.
+  service::BatchEngine direct;
+  direct.register_network("net", make_network(3));
+  const std::vector<service::SolveResult> expected = direct.solve(jobs);
+  const std::vector<const util::Json*> answers = {&done0, &done1, &done2};
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    // Canonical entry JSON is the bit-identity pin: same seconds, same
+    // mapping, same revision, byte-for-byte.
+    EXPECT_EQ(answers[i]->at("result").dump(),
+              service::result_entry_to_json(expected[i]).dump())
+        << jobs[i].id;
+  }
+
+  // Deltas re-solve the subscription ("fps0") against revision 1, both
+  // via the daemon and directly; answers must again match bitwise.
+  std::vector<graph::LinkUpdate> updates;
+  {
+    const service::NetworkSnapshot snap = direct.session("net").snapshot();
+    for (graph::NodeId v = 0; v < snap->node_count(); ++v) {
+      for (const graph::Edge& e : snap->out_edges(v)) {
+        updates.push_back(graph::LinkUpdate{
+            e.from, e.to,
+            graph::LinkAttr{e.attr.bandwidth_mbps * 0.5,
+                            e.attr.min_delay_s}});
+      }
+    }
+  }
+  const std::vector<util::Json> resolved =
+      client.apply_link_updates("net", updates);
+  const std::vector<service::SolveResult> resolved_direct =
+      direct.apply_link_updates("net", updates);
+  ASSERT_EQ(resolved.size(), 1u);
+  ASSERT_EQ(resolved_direct.size(), 1u);
+  EXPECT_EQ(resolved[0].at("job").as_string(), "fps0");
+  EXPECT_EQ(resolved[0].at("revision").as_int(), 1);
+  EXPECT_EQ(resolved[0].dump(),
+            service::result_entry_to_json(resolved_direct[0]).dump());
+
+  const util::Json stats = client.stats();
+  EXPECT_EQ(stats.at("done").as_int(), 3);
+  EXPECT_EQ(stats.at("cancelled").as_int(), 1);
+  EXPECT_EQ(stats.at("queued").as_int(), 0);
+  EXPECT_EQ(stats.at("sessions").as_int(), 1);
+  EXPECT_EQ(stats.at("subscriptions").as_int(), 1);
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+TEST(SocketServer, BadRequestsAnswerErrorsWithoutKillingTheDaemon) {
+  SocketServer server(socket_path("err"), SocketServerOptions{});
+  std::thread serve_thread([&server]() { server.serve(); });
+  DaemonClient client(server.socket_path());
+
+  // Unknown ticket: an error response, not a crash.
+  util::Json poll_unknown = util::JsonObject{};
+  poll_unknown.set("verb", "poll");
+  poll_unknown.set("ticket", 12345);
+  const util::Json response = client.request(poll_unknown);
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_NE(response.at("error").as_string().find("ticket"),
+            std::string::npos);
+
+  // Unknown verb and missing fields answer errors too.
+  util::Json bad_verb = util::JsonObject{};
+  bad_verb.set("verb", "frobnicate");
+  EXPECT_FALSE(client.request(bad_verb).at("ok").as_bool());
+  util::Json no_verb = util::JsonObject{};
+  EXPECT_FALSE(client.request(no_verb).at("ok").as_bool());
+
+  // Unknown session for updates: error, daemon lives.
+  util::Json bad_update = util::JsonObject{};
+  bad_update.set("verb", "apply_link_updates");
+  bad_update.set("network", "nope");
+  bad_update.set("updates", util::Json(util::JsonArray{}));
+  EXPECT_FALSE(client.request(bad_update).at("ok").as_bool());
+
+  // The daemon still answers real work after all of the above.
+  client.register_network("net", make_network(3));
+  const Ticket ticket =
+      client.submit(make_job("ok", 60, service::Objective::kMinDelay));
+  EXPECT_EQ(client.wait(ticket).at("state").as_string(), "done");
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+TEST(SocketServer, BlockedWaitDoesNotStallOtherClients) {
+  SocketServerOptions options;
+  options.start_paused = true;  // the waited-on job cannot finish yet
+  SocketServer server(socket_path("wait"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  DaemonClient submitter(server.socket_path());
+  submitter.register_network("net", make_network(3));
+  const Ticket ticket = submitter.submit(
+      make_job("slow", 70, service::Objective::kMinDelay));
+
+  // Client A blocks in the wait verb on its own connection...
+  util::Json waited;
+  std::thread waiter([&server, ticket, &waited]() {
+    DaemonClient blocked(server.socket_path());
+    waited = blocked.wait(ticket);
+  });
+  // ...while client B's resume must still get through — with a serial
+  // front end this would deadlock the daemon permanently.
+  DaemonClient other(server.socket_path());
+  other.resume();
+  waiter.join();
+  EXPECT_EQ(waited.at("state").as_string(), "done");
+
+  other.shutdown_server();
+  serve_thread.join();
+}
+
+TEST(SocketServer, RefusesSocketPathOfALiveDaemon) {
+  const std::string path = socket_path("dup");
+  SocketServer first(path, SocketServerOptions{});
+  // A second daemon on the same path must fail loudly, not silently
+  // unlink the live endpoint.
+  EXPECT_THROW(SocketServer second(path, SocketServerOptions{}),
+               util::SocketError);
+  // The first daemon's endpoint survived the attempt.
+  std::thread serve_thread([&first]() { first.serve(); });
+  DaemonClient client(path);
+  EXPECT_TRUE(client.stats().at("ok").as_bool());
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+TEST(SocketServer, SessionBudgetBoundsRevisionsAndReportsEvictions) {
+  SocketServerOptions options;
+  // Budget sized for a handful of 10-node revisions: the delta stream
+  // below must evict, not accumulate.
+  options.session_history_bytes = 4 * make_network(3).approx_bytes();
+  SocketServer server(socket_path("evict"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+  DaemonClient client(server.socket_path());
+
+  client.register_network("net", make_network(3));
+  // An active subscription pins the revision it last solved against.
+  service::SolveJob sub = make_job("sub", 61,
+                                   service::Objective::kMaxFrameRate);
+  sub.resolve_on_update = true;
+  (void)client.wait(client.submit(sub));
+
+  std::vector<graph::LinkUpdate> delta;
+  {
+    service::BatchEngine probe;
+    probe.register_network("net", make_network(3));
+    const service::NetworkSnapshot snap = probe.session("net").snapshot();
+    const graph::Edge e = snap->out_edges(0).front();
+    delta.push_back(graph::LinkUpdate{e.from, e.to, e.attr});
+  }
+  for (int i = 1; i <= 50; ++i) {
+    delta[0].attr.bandwidth_mbps = static_cast<double>(i);
+    const std::vector<util::Json> resolved =
+        client.apply_link_updates("net", delta);
+    ASSERT_EQ(resolved.size(), 1u);  // the subscription re-solved each time
+  }
+
+  const util::Json stats = client.stats();
+  // Bounded: 50 deltas published 50 revisions, the cache holds only a
+  // budget's worth, and the evictions are visible in stats.
+  EXPECT_LE(stats.at("cached_revisions").as_int(), 8);
+  EXPECT_GE(stats.at("cache_evictions").as_int(), 40);
+  EXPECT_EQ(stats.at("subscriptions").as_int(), 1);
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+}  // namespace
+}  // namespace elpc::daemon

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <thread>
 
 #include "graph/generators.hpp"
 #include "pipeline/generator.hpp"
@@ -189,6 +191,102 @@ TEST(Cli, BatchRequiresJobsFile) {
   const CliRun r = run({"batch"});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("--jobs"), std::string::npos);
+}
+
+TEST(Cli, BatchMalformedJobFileGetsOneLineDiagnostic) {
+  TempFile jobs("batch_malformed.json");
+  util::write_text_file(jobs.path(), "{\"networks\": [,,,");
+  const CliRun r = run({"batch", "--jobs", jobs.path()});
+  EXPECT_EQ(r.code, 1);
+  // One clear diagnostic naming the file — not a raw parser exception.
+  EXPECT_NE(r.err.find("cannot load job file"), std::string::npos);
+  EXPECT_NE(r.err.find(jobs.path()), std::string::npos);
+}
+
+TEST(Cli, BatchJobFileWithWrongShapeGetsOneLineDiagnostic) {
+  TempFile jobs("batch_wrong_shape.json");
+  util::write_text_file(jobs.path(), "{\"networks\": 7}");  // valid JSON,
+                                                            // wrong schema
+  const CliRun r = run({"batch", "--jobs", jobs.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot load job file"), std::string::npos);
+}
+
+TEST(Cli, BatchUnknownSessionIdGetsOneLineDiagnostic) {
+  TempFile jobs("batch_unknown_net.json");
+  // A well-formed spec whose job names a session the file never
+  // registers.
+  const std::string doc = write_batch_jobs(jobs.path());
+  util::Json spec = util::Json::parse(doc);
+  util::Json patched = util::JsonObject{};
+  patched.set("networks", spec.at("networks"));
+  util::JsonArray jobs_array = spec.at("jobs").as_array();
+  jobs_array[0].set("network", "ghost");
+  patched.set("jobs", util::Json(std::move(jobs_array)));
+  util::write_text_file(jobs.path(), patched.dump(2));
+
+  const CliRun r = run({"batch", "--jobs", jobs.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("elpc batch"), std::string::npos);
+  EXPECT_NE(r.err.find("unregistered network 'ghost'"), std::string::npos);
+}
+
+TEST(Cli, ServeRequiresSocket) {
+  const CliRun r = run({"serve"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--socket"), std::string::npos);
+}
+
+TEST(Cli, ClientRequiresVerbAndSocket) {
+  EXPECT_EQ(run({"client"}).code, 1);
+  const CliRun r = run({"client", "stats"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--socket"), std::string::npos);
+}
+
+TEST(Cli, ServeAndClientLoadMatchBatchByteForByte) {
+  TempFile jobs("daemon_jobs.json");
+  write_batch_jobs(jobs.path());
+  const std::string socket =
+      ::testing::TempDir() + "/elpc_cli_daemon.sock";
+
+  // The daemon on its own thread; the client drives it to shutdown, so
+  // the thread joins cleanly.
+  CliRun served;
+  std::thread server([&served, &socket]() {
+    served = run({"serve", "--socket", socket, "--threads", "2"});
+  });
+  // The listener binds inside the serve thread; ping with a read-only
+  // verb until it is up, then load exactly once (a retried load would
+  // re-register its networks).
+  CliRun ping;
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    ping = run({"client", "stats", "--socket", socket});
+    if (ping.code == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(ping.code, 0) << ping.err;
+  const CliRun loaded = run({"client", "load", "--socket", socket, "--jobs",
+                             jobs.path(), "--wait"});
+  ASSERT_EQ(loaded.code, 0) << loaded.err;
+
+  const CliRun stats = run({"client", "stats", "--socket", socket});
+  ASSERT_EQ(stats.code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("\"done\": 4"), std::string::npos);
+
+  const CliRun down = run({"client", "shutdown", "--socket", socket});
+  EXPECT_EQ(down.code, 0) << down.err;
+  server.join();
+  EXPECT_EQ(served.code, 0) << served.err;
+  EXPECT_NE(served.out.find("listening"), std::string::npos);
+
+  // The daemon path and the in-process batch path emit the same
+  // canonical results document, byte for byte.
+  const CliRun batch = run({"batch", "--jobs", jobs.path()});
+  ASSERT_EQ(batch.code, 0) << batch.err;
+  EXPECT_EQ(loaded.out, batch.out);
 }
 
 TEST(FileIo, RoundTrip) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -206,18 +207,63 @@ TEST(BatchEngine, DeltaUpdatesResolveSubscribedJobs) {
       engine.apply_link_updates("shared", updates);
 
   ASSERT_EQ(resolved.size(), jobs.size() / 2);
-  std::size_t f = 0;
   for (const SolveResult& r : resolved) {
     EXPECT_EQ(r.network_revision, 1u);
-    // Find the matching first-pass result by job id.
-    while (first[f].job_id != r.job_id) {
-      ++f;
-    }
+    // Match the first-pass result by job id: the unsubscribe/resubscribe
+    // round above moved one subscription to the end of the table, so
+    // resolved order is not a subsequence of job order.
+    const auto match =
+        std::find_if(first.begin(), first.end(), [&r](const SolveResult& s) {
+          return s.job_id == r.job_id;
+        });
+    ASSERT_NE(match, first.end()) << r.job_id;
     ASSERT_TRUE(r.result.feasible);
-    EXPECT_GT(r.result.seconds, first[f].result.seconds);
+    EXPECT_GT(r.result.seconds, match->result.seconds);
   }
   // A 100x bandwidth cut leaves the session still at one CSR build.
   EXPECT_EQ(engine.session("shared").finalize_builds(), 1u);
+}
+
+TEST(BatchEngine, SubscriptionPinsItsRevisionAgainstEviction) {
+  BatchEngineOptions options;
+  options.session_history_bytes = 0;  // evict unpinned history eagerly
+  BatchEngine engine(options);
+  engine.register_network("shared", make_network(5, 12, 70));
+
+  std::vector<SolveJob> jobs = shared_network_jobs();
+  jobs.resize(1);
+  jobs[0].objective = Objective::kMaxFrameRate;
+  jobs[0].cost = default_cost(jobs[0].objective);
+  jobs[0].resolve_on_update = true;
+  ASSERT_TRUE(engine.solve(jobs)[0].error.empty());
+  ASSERT_EQ(engine.subscription_count(), 1u);
+
+  // Deltas applied on the session directly (no engine-driven re-solve):
+  // the subscription keeps pinning revision 0, which must survive every
+  // sweep while all other superseded revisions are evicted.
+  NetworkSession& session = engine.session("shared");
+  const graph::Edge edge = session.snapshot()->out_edges(0).front();
+  for (int i = 1; i <= 10; ++i) {
+    const std::vector<graph::LinkUpdate> updates = {graph::LinkUpdate{
+        edge.from, edge.to,
+        graph::LinkAttr{static_cast<double>(i), edge.attr.min_delay_s}}};
+    session.apply_link_updates(updates);
+  }
+  EXPECT_EQ(session.cache_stats().cached_revisions, 1u);
+  EXPECT_NE(session.revision_snapshot(0), nullptr);
+
+  // An engine-driven re-solve re-pins the subscription to the current
+  // revision; revision 0 becomes unpinned and the sweep reclaims it.
+  const std::vector<graph::LinkUpdate> final_update = {graph::LinkUpdate{
+      edge.from, edge.to, graph::LinkAttr{11.0, edge.attr.min_delay_s}}};
+  ASSERT_EQ(engine.apply_link_updates("shared", final_update).size(), 1u);
+  EXPECT_EQ(session.cache_stats().cached_revisions, 0u);
+  EXPECT_EQ(session.revision_snapshot(0), nullptr);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.sessions, 1u);
+  EXPECT_EQ(stats.subscriptions, 1u);
+  EXPECT_GE(stats.cache_evictions, 10u);
 }
 
 TEST(BatchEngine, RepeatsReportTimingWithoutChangingResults) {

@@ -127,5 +127,66 @@ TEST(NetworkSession, ConcurrentReadersSurviveDeltaStorm) {
       session.snapshot()->link(edge.from, edge.to).bandwidth_mbps, 200.0);
 }
 
+std::vector<LinkUpdate> one_delta(const NetworkSnapshot& snap, double bw) {
+  const graph::Edge edge = snap->out_edges(0).front();
+  return {LinkUpdate{edge.from, edge.to, LinkAttr{bw, edge.attr.min_delay_s}}};
+}
+
+TEST(SessionCache, DefaultBudgetRetainsNoUnpinnedHistory) {
+  NetworkSession session("net", small_network());  // budget 0
+  for (int i = 1; i <= 10; ++i) {
+    session.apply_link_updates(
+        one_delta(session.snapshot(), static_cast<double>(i)));
+  }
+  const SessionCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.cached_revisions, 0u);
+  EXPECT_EQ(stats.cached_bytes, 0u);
+  EXPECT_EQ(stats.evictions, 10u);
+  EXPECT_EQ(session.revision_snapshot(3), nullptr);
+}
+
+TEST(SessionCache, RevisionCountBoundedUnderDeltaStreamWithEvictions) {
+  const std::size_t one_revision = small_network().approx_bytes();
+  ASSERT_GT(one_revision, 0u);
+  // Room for roughly three retained revisions.
+  NetworkSession session("net", small_network(), 3 * one_revision);
+  for (int i = 1; i <= 100; ++i) {
+    session.apply_link_updates(
+        one_delta(session.snapshot(), static_cast<double>(i)));
+  }
+  const SessionCacheStats stats = session.cache_stats();
+  EXPECT_EQ(session.revision(), 100u);
+  EXPECT_GE(stats.cached_revisions, 1u);
+  // Bounded by the byte budget (a clone's footprint can undercut the
+  // generator-built original's, so bound revisions loosely), not 100.
+  EXPECT_LE(stats.cached_revisions, 6u);
+  EXPECT_LE(stats.cached_bytes, 3 * one_revision);
+  EXPECT_GE(stats.evictions, 90u);
+  // LRU keeps the most recent superseded revisions.
+  EXPECT_NE(session.revision_snapshot(99), nullptr);
+  EXPECT_EQ(session.revision_snapshot(1), nullptr);
+  // The current revision is always addressable, budget or not.
+  EXPECT_NE(session.revision_snapshot(100), nullptr);
+}
+
+TEST(SessionCache, PinnedRevisionSurvivesEvictionUntilReleased) {
+  NetworkSession session("net", small_network());  // budget 0: evict eagerly
+  NetworkSnapshot in_flight = session.snapshot();  // a solve holds rev 0
+  for (int i = 1; i <= 20; ++i) {
+    session.apply_link_updates(
+        one_delta(session.snapshot(), static_cast<double>(i)));
+  }
+  // Revision 0 is pinned by the in-flight reference: still addressable
+  // while every unpinned superseded revision was dropped.
+  EXPECT_EQ(session.cache_stats().cached_revisions, 1u);
+  ASSERT_NE(session.revision_snapshot(0), nullptr);
+  EXPECT_EQ(session.revision_snapshot(0).get(), in_flight.get());
+  EXPECT_EQ(session.revision_snapshot(10), nullptr);
+
+  in_flight.reset();  // the solve finishes
+  EXPECT_EQ(session.cache_stats().cached_revisions, 0u);
+  EXPECT_EQ(session.revision_snapshot(0), nullptr);
+}
+
 }  // namespace
 }  // namespace elpc::service

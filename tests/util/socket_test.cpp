@@ -1,0 +1,81 @@
+#include "util/socket.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace elpc::util {
+namespace {
+
+std::string socket_path(const std::string& tag) {
+  return ::testing::TempDir() + "/elpc_util_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(UnixSocket, LineFramedEchoRoundTrip) {
+  UnixListener listener(socket_path("echo"));
+  std::thread server([&listener]() {
+    std::optional<UnixSocket> peer = listener.accept();
+    ASSERT_TRUE(peer.has_value());
+    for (;;) {
+      const std::optional<std::string> line = peer->recv_line();
+      if (!line.has_value()) {
+        return;  // client closed
+      }
+      peer->send_line("echo:" + *line);
+    }
+  });
+
+  UnixSocket client = UnixSocket::connect(listener.path());
+  client.send_line("hello");
+  EXPECT_EQ(client.recv_line(), "echo:hello");
+  // Framing survives several messages on one connection, including
+  // payloads that arrive faster than the peer reads them.
+  for (int i = 0; i < 100; ++i) {
+    client.send_line("m" + std::to_string(i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(client.recv_line(), "echo:m" + std::to_string(i));
+  }
+  client.close();
+  server.join();
+}
+
+TEST(UnixSocket, ConnectToNothingThrows) {
+  EXPECT_THROW((void)UnixSocket::connect(socket_path("absent")),
+               SocketError);
+}
+
+TEST(UnixSocket, OverlongPathRejectedNotTruncated) {
+  EXPECT_THROW((void)UnixSocket::connect("/tmp/" + std::string(200, 'x')),
+               SocketError);
+}
+
+TEST(UnixListener, RebindsOverStaleSocketFile) {
+  const std::string path = socket_path("stale");
+  { UnixListener first(path); }  // unlinked on destroy, path reusable
+  {
+    // A stale file at the path (a crashed daemon's leftover) must not
+    // block the next bind.
+    std::ofstream(path) << "stale";
+    UnixListener second(path);
+    EXPECT_EQ(second.path(), path);
+  }
+  UnixListener third(path);
+  EXPECT_EQ(third.path(), path);
+}
+
+TEST(UnixListener, CloseUnblocksAccept) {
+  UnixListener listener(socket_path("close"));
+  std::thread acceptor([&listener]() {
+    EXPECT_FALSE(listener.accept().has_value());
+  });
+  listener.close();
+  acceptor.join();  // returns promptly instead of blocking forever
+}
+
+}  // namespace
+}  // namespace elpc::util
