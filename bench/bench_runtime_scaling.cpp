@@ -8,6 +8,8 @@
 
 #include "bench_common.hpp"
 
+#include "core/elpc.hpp"
+#include "core/kernels/framerate_kernel.hpp"
 #include "experiments/scaling.hpp"
 #include "graph/generators.hpp"
 #include "pipeline/generator.hpp"
@@ -99,11 +101,44 @@ void BM_Algorithm(benchmark::State& state, const std::string& name) {
   state.counters["links"] = static_cast<double>(scenario.network.link_count());
 }
 
+/// Per-kernel dimension: the frame-rate DP alone (the only code the row
+/// kernels serve), one benchmark per kernel this machine can run, at
+/// the same scale points as the algorithm sweep.  Comparing the largest
+/// point across kernels is the headline speedup number; the kernels are
+/// bit-identical (KernelParity tests + the CI parity job), so any delta
+/// is pure throughput.
+void BM_ElpcFramerateKernel(benchmark::State& state,
+                            core::kernels::Kind kind) {
+  const auto modules = static_cast<std::size_t>(state.range(0));
+  const auto nodes = static_cast<std::size_t>(state.range(1));
+  const workload::Scenario scenario = make_scaled(modules, nodes);
+  const mapping::Problem problem = scenario.problem();
+  core::ElpcOptions options;
+  options.framerate_kernel = kind;
+  const core::ElpcMapper mapper(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.max_frame_rate(problem));
+  }
+  state.counters["modules"] = static_cast<double>(modules);
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
 void register_benchmarks() {
   for (const char* name : {"ELPC", "Streamline", "Greedy"}) {
     auto* b = benchmark::RegisterBenchmark(
         (std::string("BM_") + name).c_str(),
         [name](benchmark::State& state) { BM_Algorithm(state, name); });
+    b->Args({5, 10})->Args({10, 25})->Args({20, 100})->Args({40, 400});
+    b->Unit(benchmark::kMillisecond);
+  }
+  for (const core::kernels::Kind kind : core::kernels::available_kernels()) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("BM_ELPC_framerate_kernel/") +
+         core::kernels::kind_name(kind))
+            .c_str(),
+        [kind](benchmark::State& state) {
+          BM_ElpcFramerateKernel(state, kind);
+        });
     b->Args({5, 10})->Args({10, 25})->Args({20, 100})->Args({40, 400});
     b->Unit(benchmark::kMillisecond);
   }

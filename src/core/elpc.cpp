@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstring>
 #include <limits>
 #include <thread>
 #include <vector>
 
 #include "core/framerate_arena.hpp"
+#include "core/kernels/framerate_kernel.hpp"
 #include "graph/algorithms.hpp"
 #include "util/thread_pool.hpp"
 
@@ -214,18 +214,8 @@ MapResult ElpcMapper::min_delay(const Problem& problem) const {
 
 namespace {
 
-using FrameLabel = FrameRateArena::Label;
 using Candidate = FrameRateArena::Candidate;
 using ParentRec = FrameRateArena::ParentRec;
-
-/// Ordering criterion: bottleneck first, then (optionally) the sum.
-inline bool candidate_before(double bn_a, double sum_a, double bn_b,
-                             double sum_b, bool sum_tiebreak) {
-  if (bn_a != bn_b) {
-    return bn_a < bn_b;
-  }
-  return sum_tiebreak && sum_a < sum_b;
-}
 
 /// Bottleneck-targeted 1-swap local search on a one-to-one mapping.
 /// Repeatedly replaces one interior path node with an unused node (both
@@ -406,6 +396,24 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   const std::size_t W = arena.words_per_set();
   const std::size_t realloc_baseline = arena.reallocations();
 
+  // The cell kernel computes one DP cell's candidate list per call (the
+  // edge scan, row scans, and top-beam insertion — the DP's entire
+  // inner loop); which variant runs is a per-solve constant, so the
+  // indirect call predicts perfectly.  All variants are bit-identical
+  // by contract — the choice never affects results, so a plain kAuto
+  // (no explicit option, no ELPC_FORCE_KERNEL) may downshift tiny
+  // instances to scalar: below ~4k label-row operations per column the
+  // vector kernels' per-cell setup costs more than their lanes win
+  // (measured at the E6 5x10 point; break-even near 10x25).
+  kernels::Kind kernel_kind =
+      kernels::resolve_kernel(options_.framerate_kernel);
+  if (options_.framerate_kernel == kernels::Kind::kAuto &&
+      !kernels::auto_kernel_env_forced() &&
+      net.link_count() * beam < 4096) {
+    kernel_kind = kernels::Kind::kScalar;
+  }
+  const kernels::CellKernelFn cell_kernel = kernels::kernel_fn(kernel_kind);
+
   // Backward hop distances for the dead-cell prune: a cell that cannot
   // reach the destination on a simple path within the remaining modules
   // can never feed a live cell (see cell_dead), so skipping it changes
@@ -422,17 +430,16 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   int cur_p = 1;
   arena.clear_column(prev_p);
   {
-    FrameLabel& start = arena.labels(prev_p)[problem.source * beam];
-    start.bottleneck = 0.0;
-    start.sum = 0.0;
-    if (W == 0) {
-      start.used_inline = std::uint64_t{1} << problem.source;
-    } else {
-      std::uint64_t* words = arena.words(prev_p) + problem.source * beam * W;
-      std::memset(words, 0, W * sizeof(std::uint64_t));
-      words[problem.source >> 6] |=
-          std::uint64_t{1} << (problem.source & 63);
+    const std::size_t start = problem.source * beam;
+    arena.bottleneck(prev_p)[start] = 0.0;
+    arena.sum(prev_p)[start] = 0.0;
+    std::uint64_t* words = arena.words(prev_p);
+    const std::size_t stride = arena.word_plane_stride();
+    for (std::size_t w = 0; w < W; ++w) {
+      words[w * stride + start] = 0;
     }
+    words[(problem.source >> 6) * stride + start] |=
+        std::uint64_t{1} << (problem.source & 63);
     arena.counts(prev_p)[problem.source] = 1;
   }
 
@@ -459,90 +466,47 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
     if (cell_dead(to_dest, v, j, n)) {
       return;  // cannot reach the destination in the remaining columns
     }
-    const double comp = model.computing_time(j, v);
-    const FrameLabel* prev_labels = arena.labels(prev_p);
-    const std::uint32_t* prev_counts = arena.counts(prev_p);
-    const std::uint64_t* prev_words = arena.words(prev_p);
-    const bool tiebreak = options_.framerate_sum_tiebreak;
-    std::size_t kept = 0;
-    for (std::size_t i = in_off[v]; i < in_off[v + 1]; ++i) {
-      const Edge& e = in_edges[i];
-      const NodeId u = e.from;
-      const std::uint32_t count = prev_counts[u];
-      if (count == 0) {
-        continue;
-      }
-      const double transport = model.transport_time(input_mb, e.attr);
-      double best_bn = kInf;
-      double best_sum = kInf;
-      std::uint32_t best_slot = 0;
-      bool found = false;
-      for (std::uint32_t s = 0; s < count; ++s) {
-        const FrameLabel& from = prev_labels[u * beam + s];
-        if (options_.framerate_visited_check) {
-          const bool visited =
-              W == 0 ? ((from.used_inline >> v) & 1) != 0
-                     : ((prev_words[(u * beam + s) * W + (v >> 6)] >>
-                         (v & 63)) &
-                        1) != 0;
-          if (visited) {
-            continue;  // node already consumed by this partial path
-          }
-        }
-        const double bn = std::max({from.bottleneck, transport, comp});
-        const double sum = from.sum + transport + comp;
-        if (!found ||
-            candidate_before(bn, sum, best_bn, best_sum, tiebreak)) {
-          found = true;
-          best_bn = bn;
-          best_sum = sum;
-          best_slot = s;
-        }
-      }
-      if (!found) {
-        continue;
-      }
-      // Bounded insertion keeps cand[0..kept) sorted best-first; no full
-      // sort of the candidate set ever happens.
-      std::size_t pos;
-      if (kept < beam) {
-        pos = kept++;
-      } else if (candidate_before(best_bn, best_sum,
-                                  cand[beam - 1].bottleneck,
-                                  cand[beam - 1].sum, tiebreak)) {
-        pos = beam - 1;
-      } else {
-        continue;
-      }
-      while (pos > 0 && candidate_before(best_bn, best_sum,
-                                         cand[pos - 1].bottleneck,
-                                         cand[pos - 1].sum, tiebreak)) {
-        cand[pos] = cand[pos - 1];
-        --pos;
-      }
-      cand[pos] = Candidate{best_bn, best_sum, static_cast<std::uint32_t>(u),
-                            best_slot};
-    }
+    kernels::CellInputs inputs;
+    inputs.edges = in_edges + in_off[v];
+    inputs.edge_count = in_off[v + 1] - in_off[v];
+    inputs.bottleneck = arena.bottleneck(prev_p);
+    inputs.sum = arena.sum(prev_p);
+    inputs.counts = arena.counts(prev_p);
+    // Node v's bit lives in word v >> 6 of every visited set; with the
+    // word-major layout that whole word plane is contiguous by slot.
+    const std::size_t word_index = v >> 6;
+    inputs.visited =
+        options_.framerate_visited_check
+            ? arena.words(prev_p) + word_index * arena.word_plane_stride()
+            : nullptr;
+    inputs.beam = beam;
+    inputs.bit = std::uint64_t{1} << (v & 63);
+    inputs.input_mb = input_mb;
+    inputs.comp = model.computing_time(j, v);
+    inputs.include_link_delay = model.options().include_link_delay;
+    inputs.sum_tiebreak = options_.framerate_sum_tiebreak;
+    const std::size_t kept = cell_kernel(inputs, cand);
     if (kept == 0) {
       return;
     }
-    FrameLabel* cur_labels = arena.labels(cur_p);
+    const std::uint64_t* prev_words = arena.words(prev_p);
+    double* cur_bn = arena.bottleneck(cur_p);
+    double* cur_sum = arena.sum(cur_p);
     std::uint64_t* cur_words = arena.words(cur_p);
+    const std::size_t stride = arena.word_plane_stride();
     ParentRec* parents = arena.parents();
     for (std::size_t s = 0; s < kept; ++s) {
-      FrameLabel& label = cur_labels[v * beam + s];
-      label.bottleneck = cand[s].bottleneck;
-      label.sum = cand[s].sum;
+      cur_bn[v * beam + s] = cand[s].bottleneck;
+      cur_sum[v * beam + s] = cand[s].sum;
+      // Copy the parent's visited set — W strided moves under the
+      // word-major layout, paid per survivor (<= beam per cell), not
+      // per scanned edge like the check the layout optimizes for.
       const std::size_t from_slot = cand[s].node * beam + cand[s].slot;
-      if (W == 0) {
-        label.used_inline =
-            prev_labels[from_slot].used_inline | (std::uint64_t{1} << v);
-      } else {
-        const std::uint64_t* src = prev_words + from_slot * W;
-        std::uint64_t* dst = cur_words + (v * beam + s) * W;
-        std::memcpy(dst, src, W * sizeof(std::uint64_t));
-        dst[v >> 6] |= std::uint64_t{1} << (v & 63);
+      const std::size_t to_slot = v * beam + s;
+      for (std::size_t w = 0; w < W; ++w) {
+        cur_words[w * stride + to_slot] = prev_words[w * stride + from_slot];
       }
+      cur_words[word_index * stride + to_slot] |= inputs.bit;
       parents[(j * k + v) * beam + s] = ParentRec{cand[s].node, cand[s].slot};
     }
     arena.counts(cur_p)[v] = static_cast<std::uint32_t>(kept);
@@ -598,7 +562,7 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   }
 
   double bottleneck =
-      arena.labels(prev_p)[problem.destination * beam].bottleneck;
+      arena.bottleneck(prev_p)[problem.destination * beam];
   if (options_.framerate_local_search) {
     improve_by_node_swaps(problem, model, assignment, bottleneck);
   }

@@ -20,6 +20,7 @@
 //    consumed it ("extremely rare" per the paper; quantified by the E7
 //    optimality-gap bench).
 
+#include "core/kernels/framerate_kernel.hpp"
 #include "mapping/mapper.hpp"
 
 namespace elpc::core {
@@ -66,6 +67,16 @@ struct ElpcOptions {
   /// sweep.  Off forces the serial sweep (useful when the caller already
   /// saturates the machine with concurrent mapper runs).
   bool parallel_sweep = true;
+  /// Which cell kernel the frame-rate DP's sweep runs (see
+  /// src/core/kernels/framerate_kernel.hpp).  kAuto = the
+  /// ELPC_FORCE_KERNEL environment variable when set, else the widest
+  /// kernel this build + CPU supports — except that a plain auto (no
+  /// env force) downshifts tiny instances to scalar, where the vector
+  /// kernels' per-cell setup outweighs their lane win.  Every kernel is
+  /// bit-identical by contract (CI proves it), so this knob only
+  /// affects speed — it exists for parity tests, benchmarks, and
+  /// forcing portability.
+  kernels::Kind framerate_kernel = kernels::Kind::kAuto;
   /// Externally-owned DP arena for the frame-rate solve (see
   /// core::ArenaPool).  Null uses a thread-local arena — right for
   /// ad-hoc callers, wrong for a serving layer whose long-lived shared

@@ -4,13 +4,17 @@
 //
 // The DP keeps two label columns (previous / current) instead of the full
 // n x k table: column j only ever reads column j-1.  Each cell (column,
-// node) holds up to `beam` labels.  A label's visited-node set lives in
-// one of two places: inline in the label as a single 64-bit word when the
-// network has <= 64 nodes (the common case and the fast path), or in a
-// pooled word buffer at a fixed per-(node, slot) offset otherwise.
-// Parent links needed for path reconstruction are stored separately as
-// compact 8-byte records for *all* columns, so rolling the label columns
-// loses nothing.
+// node) holds up to `beam` labels.  Label fields are stored
+// structure-of-arrays — one double array per field, indexed by
+// (node * beam + slot) — so the row kernels (src/core/kernels/) can load
+// a predecessor's slots as contiguous vectors; the AoS Label struct of
+// the original arena would force per-lane gathers in the hot loop.
+// A label's visited-node set lives in the pooled word buffer at a fixed
+// per-(node, slot) offset, words_per_set() words per slot (1 word for
+// networks up to 64 nodes — the common case, where copy-on-extend is a
+// single word move).  Parent links needed for path reconstruction are
+// stored separately as compact 8-byte records for *all* columns, so
+// rolling the label columns loses nothing.
 //
 // All buffers are sized once in setup() and indexed thereafter: extending
 // a label is pure pointer arithmetic, never an allocation.  setup()
@@ -27,17 +31,6 @@ namespace elpc::core {
 
 class FrameRateArena {
  public:
-  /// One surviving partial path at a DP cell.  Parent links live in
-  /// ParentRec (kept for every column); visited sets larger than 64 nodes
-  /// live in the pooled word buffer at the label's (node, slot) offset.
-  struct Label {
-    double bottleneck = 0.0;
-    /// Sum of all cost terms; the (ablatable) secondary criterion.
-    double sum = 0.0;
-    /// The full visited set when words_per_set() == 0; unused otherwise.
-    std::uint64_t used_inline = 0;
-  };
-
   /// Reconstruction record for the label at (column, node, slot): the
   /// predecessor node and the slot within its cell one column earlier.
   struct ParentRec {
@@ -54,6 +47,12 @@ class FrameRateArena {
     std::uint32_t slot = 0;
   };
 
+  /// Trailing slots kept readable past the last cell in the label and
+  /// word columns, so the row kernels can issue full-width vector loads
+  /// at any row start without bounds branches (dead lanes are masked
+  /// out, never used).  Matches the widest kernel's lane count.
+  static constexpr std::size_t kVectorPad = 8;
+
   /// Sizes every buffer for `columns` DP columns over `node_count` nodes
   /// with `beam` labels per cell and `chunks` parallel workers.  This is
   /// the only place the arena allocates; reusing an arena whose capacity
@@ -62,34 +61,53 @@ class FrameRateArena {
              std::size_t chunks) {
     node_count_ = node_count;
     beam_ = beam;
-    words_per_set_ = node_count <= 64 ? 0 : (node_count + 63) / 64;
+    words_per_set_ = std::max<std::size_t>(1, (node_count + 63) / 64);
     const std::size_t cells = node_count * beam;
+    plane_stride_ = cells + kVectorPad;
     for (int p = 0; p < 2; ++p) {
-      reserve_exact(labels_[p], cells);
+      reserve_exact(bottleneck_[p], cells + kVectorPad);
+      reserve_exact(sum_[p], cells + kVectorPad);
       reserve_exact(counts_[p], node_count);
-      reserve_exact(words_[p], cells * words_per_set_);
+      reserve_exact(words_[p], words_per_set_ * plane_stride_);
     }
     reserve_exact(parents_, columns * cells);
     reserve_exact(scratch_, chunks * beam);
   }
 
+  /// Words per visited set; always >= 1 (ceil(node_count / 64)).
   [[nodiscard]] std::size_t words_per_set() const noexcept {
     return words_per_set_;
   }
-  [[nodiscard]] bool uses_inline_set() const noexcept {
-    return words_per_set_ == 0;
-  }
   [[nodiscard]] std::size_t beam() const noexcept { return beam_; }
 
-  /// Rolling-column accessors; `parity` alternates 0/1 per column.
-  [[nodiscard]] Label* labels(int parity) noexcept {
-    return labels_[parity].data();
+  /// Rolling-column SoA accessors; `parity` alternates 0/1 per column.
+  /// Field of the label at (node, slot) lives at index node * beam + slot.
+  [[nodiscard]] double* bottleneck(int parity) noexcept {
+    return bottleneck_[parity].data();
+  }
+  [[nodiscard]] double* sum(int parity) noexcept {
+    return sum_[parity].data();
   }
   [[nodiscard]] std::uint32_t* counts(int parity) noexcept {
     return counts_[parity].data();
   }
+  /// Visited-set words, stored WORD-MAJOR: plane w (one of
+  /// words_per_set()) holds word w of every slot's set, contiguously by
+  /// slot index (node * beam + s).  A cell update tests one fixed word
+  /// index across every row it scans, so per edge the check reads one
+  /// contiguous run of a single plane — the hot-loop working set is one
+  /// plane (8 bytes/slot), not the whole set (words_per_set() *
+  /// 8 bytes/slot), which is what keeps the k > 64 DP in L1.  Slot
+  /// (node, s)'s word w lives at w * word_plane_stride() + node * beam
+  /// + s; copying a whole set is words_per_set() strided word moves
+  /// (survivor materialization only — far colder than the check).
   [[nodiscard]] std::uint64_t* words(int parity) noexcept {
     return words_[parity].data();
+  }
+  /// Distance in words between consecutive planes (cells + kVectorPad,
+  /// so full-width loads at the last row stay in bounds per plane).
+  [[nodiscard]] std::size_t word_plane_stride() const noexcept {
+    return plane_stride_;
   }
   [[nodiscard]] ParentRec* parents() noexcept { return parents_.data(); }
   [[nodiscard]] Candidate* scratch(std::size_t chunk) noexcept {
@@ -119,9 +137,11 @@ class FrameRateArena {
 
   std::size_t node_count_ = 0;
   std::size_t beam_ = 0;
-  std::size_t words_per_set_ = 0;
+  std::size_t words_per_set_ = 1;
+  std::size_t plane_stride_ = 0;
   std::size_t reallocations_ = 0;
-  std::vector<Label> labels_[2];
+  std::vector<double> bottleneck_[2];
+  std::vector<double> sum_[2];
   std::vector<std::uint32_t> counts_[2];
   std::vector<std::uint64_t> words_[2];
   std::vector<ParentRec> parents_;

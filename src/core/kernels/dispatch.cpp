@@ -1,0 +1,159 @@
+// Kernel dispatch — maps a requested kernels::Kind to a function
+// pointer the running CPU can execute.  Availability is the AND of
+// "compiled in" (the variant file got its -m flag; stubs return
+// nullptr) and "CPU supports it" (util::CpuFeatures, which also checks
+// the OS vector-state bits).  kAuto resolves once per process: the
+// ELPC_FORCE_KERNEL environment variable wins, then the widest
+// available variant.  Forcing an unavailable kernel throws — parity
+// and benchmark runs must never silently measure the wrong code.
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "core/kernels/framerate_kernel.hpp"
+#include "util/cpu_features.hpp"
+
+namespace elpc::core::kernels {
+
+// Adding a Kind must update kKindCount (and everything sized by it,
+// e.g. BatchEngine's per-kernel counters) in the same change.
+static_assert(static_cast<std::size_t>(Kind::kAvx512) + 1 == kKindCount,
+              "kKindCount out of sync with the Kind enum");
+
+namespace {
+
+bool kernel_available(Kind kind) {
+  const util::CpuFeatures& cpu = util::CpuFeatures::get();
+  switch (kind) {
+    case Kind::kScalar:
+      return true;
+    case Kind::kAvx2:
+      return avx2_cell_kernel() != nullptr && cpu.avx2;
+    case Kind::kAvx512:
+      return avx512_cell_kernel() != nullptr && cpu.avx512f;
+    case Kind::kAuto:
+      break;
+  }
+  return false;
+}
+
+Kind widest() {
+  if (kernel_available(Kind::kAvx512)) {
+    return Kind::kAvx512;
+  }
+  if (kernel_available(Kind::kAvx2)) {
+    return Kind::kAvx2;
+  }
+  return Kind::kScalar;
+}
+
+struct AutoResolution {
+  Kind kind = Kind::kScalar;
+  bool env_forced = false;
+};
+
+/// kAuto's process-wide answer, computed on first use.  Reading the
+/// environment once keeps every solve cheap and every layer (tests,
+/// engine, daemon) agreeing on what "auto" means for this process.
+const AutoResolution& auto_resolution() {
+  static const AutoResolution resolved = [] {
+    const char* forced = std::getenv("ELPC_FORCE_KERNEL");
+    if (forced != nullptr && *forced != '\0') {
+      const Kind kind = kind_from_name(forced);
+      if (kind != Kind::kAuto) {
+        if (!kernel_available(kind)) {
+          throw std::runtime_error(
+              std::string("ELPC_FORCE_KERNEL=") + forced +
+              ": kernel not available on this build/CPU");
+        }
+        return AutoResolution{kind, true};
+      }
+    }
+    return AutoResolution{widest(), false};
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kAuto:
+      return "auto";
+    case Kind::kScalar:
+      return "scalar";
+    case Kind::kAvx2:
+      return "avx2";
+    case Kind::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Kind kind_from_name(const std::string& name) {
+  if (name == "auto") {
+    return Kind::kAuto;
+  }
+  if (name == "scalar") {
+    return Kind::kScalar;
+  }
+  if (name == "avx2") {
+    return Kind::kAvx2;
+  }
+  if (name == "avx512") {
+    return Kind::kAvx512;
+  }
+  throw std::invalid_argument("unknown kernel '" + name +
+                              "' (expected auto|scalar|avx2|avx512)");
+}
+
+std::vector<Kind> available_kernels() {
+  std::vector<Kind> kinds{Kind::kScalar};
+  if (kernel_available(Kind::kAvx2)) {
+    kinds.push_back(Kind::kAvx2);
+  }
+  if (kernel_available(Kind::kAvx512)) {
+    kinds.push_back(Kind::kAvx512);
+  }
+  return kinds;
+}
+
+Kind resolve_kernel(Kind requested) {
+  if (requested == Kind::kAuto) {
+    return auto_resolution().kind;
+  }
+  if (!kernel_available(requested)) {
+    throw std::runtime_error(
+        std::string("frame-rate kernel '") + kind_name(requested) +
+        "' not available on this build/CPU (set ELPC_SIMD=ON and check "
+        "util::CpuFeatures)");
+  }
+  return requested;
+}
+
+bool auto_kernel_env_forced() { return auto_resolution().env_forced; }
+
+CellKernelFn kernel_fn(Kind resolved) {
+  switch (resolved) {
+    case Kind::kScalar:
+      return scalar_cell_kernel();
+    case Kind::kAvx2:
+      if (kernel_available(Kind::kAvx2)) {
+        return avx2_cell_kernel();
+      }
+      break;
+    case Kind::kAvx512:
+      if (kernel_available(Kind::kAvx512)) {
+        return avx512_cell_kernel();
+      }
+      break;
+    case Kind::kAuto:
+      break;
+  }
+  throw std::runtime_error(std::string("kernel_fn: '") +
+                           kind_name(resolved) +
+                           "' is not a resolved, available kernel");
+}
+
+}  // namespace elpc::core::kernels

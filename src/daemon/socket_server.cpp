@@ -56,6 +56,7 @@ SocketServer::SocketServer(std::string socket_path,
   engine_options.shards = options.threads;
   engine_options.factory = std::move(options.factory);
   engine_options.session_history_bytes = options.session_history_bytes;
+  engine_options.kernel = options.kernel;
   engine_ = std::make_unique<service::BatchEngine>(engine_options);
 
   JobManagerOptions manager_options;
@@ -199,6 +200,15 @@ util::Json SocketServer::handle(const util::Json& request) {
       response.set("cached_revisions", engine.cached_revisions);
       response.set("cached_bytes", engine.cached_bytes);
       response.set("cache_evictions", engine.cache_evictions);
+      // Which frame-rate kernel serves this engine's jobs, plus how many
+      // each kernel has served (operators check this after forcing a
+      // kernel via ELPC_FORCE_KERNEL or serve --kernel).
+      response.set("kernel", engine.kernel);
+      util::Json kernel_jobs = util::JsonObject{};
+      for (const auto& [name, served] : engine.kernel_jobs) {
+        kernel_jobs.set(name, served);
+      }
+      response.set("kernel_jobs", std::move(kernel_jobs));
       return response;
     }
     if (verb == "shutdown") {

@@ -44,6 +44,9 @@ struct SocketServerOptions {
   /// Forwarded to the owned BatchEngine.
   std::size_t threads = 0;
   std::size_t session_history_bytes = 0;
+  /// Frame-rate kernel for every ELPC solve (resolved at engine
+  /// construction; `stats` reports the result and per-kernel job counts).
+  core::kernels::Kind kernel = core::kernels::Kind::kAuto;
   /// Forwarded to the owned JobManager.
   std::size_t max_batch = 0;
   bool start_paused = false;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/elpc.hpp"
+#include "core/kernels/framerate_kernel.hpp"
 #include "daemon/client.hpp"
 #include "daemon/socket_server.hpp"
 #include "experiments/registry.hpp"
@@ -25,7 +26,8 @@ namespace {
 
 const char* kUsage =
     "usage: elpc "
-    "<generate|map|batch|serve|client|simulate|suite|algorithms> [options]\n"
+    "<generate|map|batch|serve|client|simulate|suite|algorithms|kernels> "
+    "[options]\n"
     "  elpc generate --case 3 --out scenario.json\n"
     "  elpc generate --modules 8 --nodes 12 --links 90 --seed 7\n"
     "  elpc map --in scenario.json --algorithm ELPC --objective framerate\n"
@@ -34,7 +36,8 @@ const char* kUsage =
     "  elpc client <load|poll|wait|cancel|update|stats|pause|resume|"
     "shutdown> --socket /tmp/elpc.sock [options]\n"
     "  elpc simulate --in scenario.json --frames 200\n"
-    "  elpc suite\n";
+    "  elpc suite\n"
+    "  elpc kernels   # frame-rate kernels this build+CPU can run\n";
 
 workload::Scenario load_scenario(const std::string& path) {
   return workload::scenario_from_json(
@@ -127,6 +130,9 @@ int cmd_batch(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_string("jobs", "", "batch job file (schema: src/service/serialize.hpp)");
   parser.add_string("out", "", "write results JSON here (default: stdout)");
   parser.add_int("threads", 0, "worker threads / shards (0 = hardware)");
+  parser.add_string("kernel", "auto",
+                    "frame-rate kernel (auto|scalar|avx2|avx512; auto = "
+                    "ELPC_FORCE_KERNEL env, else widest supported)");
   parser.add_flag("timing",
                   "include per-job timing + shard metadata "
                   "(non-deterministic fields)");
@@ -155,6 +161,8 @@ int cmd_batch(const std::vector<std::string>& args, std::ostream& out) {
   engine_options.threads = static_cast<std::size_t>(threads);
   engine_options.shards = engine_options.threads;
   engine_options.factory = engine_mapper_factory();
+  engine_options.kernel =
+      core::kernels::kind_from_name(parser.get_string("kernel"));
   service::BatchEngine engine(engine_options);
   for (auto& [id, network] : spec.networks) {
     engine.register_network(id, std::move(network));
@@ -195,6 +203,9 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_int("session-cache-bytes", 0,
                  "per-session revision-history budget in bytes "
                  "(0 = keep no unpinned history)");
+  parser.add_string("kernel", "auto",
+                    "frame-rate kernel (auto|scalar|avx2|avx512; auto = "
+                    "ELPC_FORCE_KERNEL env, else widest supported)");
   parser.parse(args);
   if (parser.get_string("socket").empty()) {
     throw std::invalid_argument("elpc serve: --socket is required");
@@ -209,9 +220,13 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   options.max_batch = static_cast<std::size_t>(parser.get_int("max-batch"));
   options.session_history_bytes =
       static_cast<std::size_t>(parser.get_int("session-cache-bytes"));
+  options.kernel = core::kernels::kind_from_name(parser.get_string("kernel"));
   options.factory = engine_mapper_factory();
   daemon::SocketServer server(parser.get_string("socket"), options);
-  out << "elpc daemon listening on " << server.socket_path() << "\n"
+  out << "elpc daemon listening on " << server.socket_path() << " (kernel "
+      << core::kernels::kind_name(
+             core::kernels::resolve_kernel(options.kernel))
+      << ")\n"
       << std::flush;
   server.serve();  // returns on the shutdown verb
   out << "elpc daemon shut down\n";
@@ -383,6 +398,20 @@ int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+/// One available kernel name per line (machine-consumable: the CI
+/// kernel-parity job loops over this to know what it can force on the
+/// runner it landed on), then the resolved default on a marked line.
+int cmd_kernels(std::ostream& out) {
+  for (const core::kernels::Kind kind : core::kernels::available_kernels()) {
+    out << core::kernels::kind_name(kind) << "\n";
+  }
+  out << "# default: "
+      << core::kernels::kind_name(
+             core::kernels::resolve_kernel(core::kernels::Kind::kAuto))
+      << "\n";
+  return 0;
+}
+
 int cmd_suite(std::ostream& out) {
   util::ThreadPool pool;
   const auto outcomes = run_suite(workload::default_suite(),
@@ -430,6 +459,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "algorithms") {
       out << util::join(registered_names(), "\n") << "\n";
       return 0;
+    }
+    if (command == "kernels") {
+      return cmd_kernels(out);
     }
     err << "unknown command '" << command << "'\n" << kUsage;
     return 1;

@@ -19,6 +19,7 @@ mapping::MapperPtr make_engine_elpc(const MapperContext& ctx) {
   core::ElpcOptions options;
   options.parallel_sweep = false;
   options.arena = ctx.arena;
+  options.framerate_kernel = ctx.kernel;
   return std::make_unique<core::ElpcMapper>(options);
 }
 
@@ -48,6 +49,10 @@ BatchEngine::BatchEngine(BatchEngineOptions options)
   if (!options_.factory) {
     options_.factory = builtin_factory;
   }
+  // Resolve the kernel once, up front: a forced-but-unavailable kernel
+  // fails engine construction loudly instead of failing the first job,
+  // and every shard/job sees the same concrete kind.
+  kernel_ = core::kernels::resolve_kernel(options_.kernel);
 }
 
 NetworkSession& BatchEngine::register_network(std::string id,
@@ -200,6 +205,16 @@ EngineStats BatchEngine::stats() const {
     stats.cached_bytes += cache.cached_bytes;
     stats.cache_evictions += cache.evictions;
   }
+  stats.kernel = core::kernels::kind_name(kernel_);
+  for (std::size_t i = 0; i < kernel_jobs_.size(); ++i) {
+    const std::uint64_t served =
+        kernel_jobs_[i].load(std::memory_order_relaxed);
+    if (served != 0) {
+      stats.kernel_jobs.emplace_back(
+          core::kernels::kind_name(static_cast<core::kernels::Kind>(i)),
+          served);
+    }
+  }
   return stats;
 }
 
@@ -221,7 +236,7 @@ std::vector<SolveResult> BatchEngine::run_sharded(
       // One arena per live shard; leases recycle through the pool, so
       // the engine never holds more arenas than its peak shard count.
       const core::ArenaPool::Lease lease = arenas_.acquire();
-      const MapperContext ctx{lease.get()};
+      const MapperContext ctx{lease.get(), kernel_};
       const std::size_t lo = s * jobs.size() / shards;
       const std::size_t hi = (s + 1) * jobs.size() / shards;
       for (std::size_t i = lo; i < hi; ++i) {
@@ -256,6 +271,14 @@ void BatchEngine::solve_one(const SolveJob& job,
   out.objective = job.objective;
   out.shard = shard;
   out.network_revision = snap.revision;
+  // Which kernel serves the job: the frame-rate row kernel only runs
+  // under ELPC's max_frame_rate DP, so only those jobs report (and
+  // count toward) a kernel.
+  const bool kernel_serves =
+      job.objective == Objective::kMaxFrameRate && job.algorithm == "ELPC";
+  if (kernel_serves) {
+    out.kernel = core::kernels::kind_name(ctx.kernel);
+  }
   try {
     const mapping::MapperPtr mapper = options_.factory(job, ctx);
     const mapping::Problem problem(job.pipeline, *snap.network, job.source,
@@ -277,6 +300,10 @@ void BatchEngine::solve_one(const SolveJob& job,
     out.mean_runtime_ms =
         timer.elapsed_ms() / static_cast<double>(repeats);
     out.result = std::move(result);
+    if (kernel_serves) {
+      kernel_jobs_[static_cast<std::size_t>(ctx.kernel)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
   } catch (const std::exception& e) {
     out.error = e.what();
     out.result = mapping::MapResult::infeasible(std::string("error: ") +

@@ -24,6 +24,8 @@
 // publishes the new revision and immediately re-solves the subscribed
 // jobs against it, returning those results.
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -32,9 +34,11 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/arena_pool.hpp"
+#include "core/kernels/framerate_kernel.hpp"
 #include "graph/network.hpp"
 #include "mapping/mapper.hpp"
 #include "pipeline/cost_model.hpp"
@@ -89,15 +93,23 @@ struct SolveResult {
   /// Non-empty when the solve failed outright (unknown algorithm, mapper
   /// exception) rather than returning an infeasible-but-valid answer.
   std::string error;
-  // Non-deterministic metadata, excluded from canonical serialization:
+  // Machine-dependent metadata, excluded from canonical serialization
+  // (which must stay byte-identical across worker counts AND kernels):
+  /// Row-kernel variant that served this solve ("scalar"/"avx2"/...);
+  /// set for ELPC frame-rate jobs, empty for algorithms/objectives the
+  /// kernel never runs under.
+  std::string kernel;
   double mean_runtime_ms = 0.0;
   std::size_t shard = 0;
 };
 
 /// Per-shard context the mapper factory may use: the shard's leased DP
-/// arena (single-threaded for the shard's lifetime).
+/// arena (single-threaded for the shard's lifetime) and the engine's
+/// resolved frame-rate kernel (never kAuto; identical for every shard,
+/// so results cannot depend on scheduling).
 struct MapperContext {
   core::FrameRateArena* arena = nullptr;
+  core::kernels::Kind kernel = core::kernels::Kind::kAuto;
 };
 
 /// Resolves a job's algorithm name to a mapper instance.  Called once
@@ -128,6 +140,11 @@ struct BatchEngineOptions {
   /// snapshots are retained up to this many bytes per session, LRU, with
   /// pinned revisions exempt.  0 = keep no unpinned history.
   std::size_t session_history_bytes = 0;
+  /// Frame-rate row kernel for every ELPC solve this engine runs
+  /// (core/kernels/framerate_kernel.hpp).  Resolved once at
+  /// construction — kAuto honours ELPC_FORCE_KERNEL, then the widest
+  /// supported variant; forcing an unavailable kernel throws there.
+  core::kernels::Kind kernel = core::kernels::Kind::kAuto;
 };
 
 /// SolveResult::error of a job skipped by a cancellation predicate.
@@ -148,6 +165,12 @@ struct EngineStats {
   std::size_t cached_revisions = 0;
   std::size_t cached_bytes = 0;
   std::uint64_t cache_evictions = 0;
+  /// The engine's resolved frame-rate kernel ("scalar"/"avx2"/...).
+  std::string kernel;
+  /// ELPC frame-rate solves served, per kernel name (only kernels that
+  /// served at least one job appear; an engine whose kernel option never
+  /// changes has at most one entry).
+  std::vector<std::pair<std::string, std::uint64_t>> kernel_jobs;
 };
 
 class BatchEngine {
@@ -204,6 +227,10 @@ class BatchEngine {
   /// its budget sweep as part of reporting).
   [[nodiscard]] EngineStats stats() const;
 
+  /// The concrete kernel this engine's ELPC frame-rate solves run
+  /// (options.kernel resolved at construction; never kAuto).
+  [[nodiscard]] core::kernels::Kind kernel() const { return kernel_; }
+
  private:
   /// A retained resolve_on_update job.  `pinned` is the snapshot of the
   /// revision the job last solved against: holding it keeps that
@@ -231,6 +258,12 @@ class BatchEngine {
   std::unique_ptr<util::ThreadPool> owned_pool_;
   util::ThreadPool* pool_;
   core::ArenaPool arenas_;
+  /// options_.kernel resolved once; what MapperContext hands factories.
+  core::kernels::Kind kernel_ = core::kernels::Kind::kScalar;
+  /// ELPC frame-rate solves per kernels::Kind (indexed by its integer
+  /// value); atomics because shards bump them concurrently.
+  std::array<std::atomic<std::uint64_t>, core::kernels::kKindCount>
+      kernel_jobs_{};
   mutable std::mutex mutex_;  // guards sessions_ and subscriptions_
   std::map<std::string, std::unique_ptr<NetworkSession>> sessions_;
   std::vector<Subscription> subscriptions_;

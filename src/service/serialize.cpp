@@ -126,6 +126,12 @@ util::Json result_entry_to_json(const SolveResult& r, bool include_timing) {
     entry.set("reason", r.result.reason);
   }
   if (include_timing) {
+    // Machine-dependent metadata lives only in this block: the kernel
+    // name varies by CPU, and the canonical form must stay byte-equal
+    // across kernels (the CI parity job cmp's exactly that).
+    if (!r.kernel.empty()) {
+      entry.set("kernel", r.kernel);
+    }
     entry.set("mean_runtime_ms", r.mean_runtime_ms);
     entry.set("shard", r.shard);
   }

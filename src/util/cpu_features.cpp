@@ -1,0 +1,24 @@
+#include "util/cpu_features.hpp"
+
+namespace elpc::util {
+
+CpuFeatures CpuFeatures::detect() {
+  CpuFeatures features;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports checks cpuid *and* the xgetbv OS-enabled
+  // state bits (xmm/ymm for AVX2, zmm for AVX-512), so a kernel variant
+  // it approves is actually executable, not merely advertised.
+  __builtin_cpu_init();
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+  features.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return features;
+}
+
+const CpuFeatures& CpuFeatures::get() {
+  static const CpuFeatures features = detect();
+  return features;
+}
+
+}  // namespace elpc::util

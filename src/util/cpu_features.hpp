@@ -1,0 +1,26 @@
+#pragma once
+// CpuFeatures — one-shot runtime detection of the SIMD instruction sets
+// the frame-rate kernels (src/core/kernels/) are compiled for.
+//
+// Detection is a process-wide constant: the first get() probes the CPU
+// (and, for AVX-512, that the OS saves the zmm state) and every later
+// call returns the same snapshot.  Non-x86 builds report everything
+// false, which makes the kernel dispatch collapse to the scalar
+// reference without any per-platform code at the call sites.
+
+namespace elpc::util {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  /// AVX-512 Foundation with OS zmm-state support (the only AVX-512
+  /// subset the kernels use).
+  bool avx512f = false;
+
+  /// The process-wide detection result (probed once, then cached).
+  [[nodiscard]] static const CpuFeatures& get();
+
+  /// Uncached probe; exposed so tests can check it agrees with get().
+  [[nodiscard]] static CpuFeatures detect();
+};
+
+}  // namespace elpc::util

@@ -9,11 +9,12 @@ TEST(FrameRateArena, SetupSizesBuffers) {
   FrameRateArena arena;
   arena.setup(/*node_count=*/10, /*beam=*/3, /*columns=*/5, /*chunks=*/2);
   EXPECT_EQ(arena.beam(), 3u);
-  EXPECT_TRUE(arena.uses_inline_set());
-  EXPECT_EQ(arena.words_per_set(), 0u);
-  EXPECT_NE(arena.labels(0), nullptr);
-  EXPECT_NE(arena.labels(1), nullptr);
+  EXPECT_EQ(arena.words_per_set(), 1u);  // <= 64 nodes fit one word
+  EXPECT_NE(arena.bottleneck(0), nullptr);
+  EXPECT_NE(arena.bottleneck(1), nullptr);
+  EXPECT_NE(arena.sum(0), nullptr);
   EXPECT_NE(arena.counts(0), nullptr);
+  EXPECT_NE(arena.words(0), nullptr);
   EXPECT_NE(arena.parents(), nullptr);
   EXPECT_NE(arena.scratch(1), nullptr);
 }
@@ -21,10 +22,28 @@ TEST(FrameRateArena, SetupSizesBuffers) {
 TEST(FrameRateArena, PooledWordsAboveSixtyFourNodes) {
   FrameRateArena arena;
   arena.setup(/*node_count=*/65, /*beam=*/2, /*columns=*/3, /*chunks=*/1);
-  EXPECT_FALSE(arena.uses_inline_set());
   EXPECT_EQ(arena.words_per_set(), 2u);  // ceil(65 / 64)
   EXPECT_NE(arena.words(0), nullptr);
   EXPECT_NE(arena.words(1), nullptr);
+}
+
+TEST(FrameRateArena, SoaFieldsAreContiguousPerRow) {
+  // The row kernels (src/core/kernels/) load a cell's slots as one
+  // contiguous vector: field of (node, slot) must live at
+  // node * beam + slot in each per-field array.
+  FrameRateArena arena;
+  arena.setup(/*node_count=*/6, /*beam=*/4, /*columns=*/3, /*chunks=*/1);
+  double* bn = arena.bottleneck(0);
+  for (std::size_t cell = 0; cell < 6 * 4; ++cell) {
+    bn[cell] = static_cast<double>(cell);
+  }
+  // Node 2's row is slots 8..11, adjacent in memory.
+  EXPECT_EQ(bn + 2 * 4 + 1, &bn[9]);
+  EXPECT_EQ(bn[2 * 4 + 3], 11.0);
+  // Visited words are word-major planes word_plane_stride() apart.
+  EXPECT_EQ(arena.words_per_set(), 1u);
+  EXPECT_EQ(arena.word_plane_stride(),
+            6 * 4 + FrameRateArena::kVectorPad);
 }
 
 TEST(FrameRateArena, ReusedSetupAllocatesNothing) {
@@ -34,7 +53,8 @@ TEST(FrameRateArena, ReusedSetupAllocatesNothing) {
   FrameRateArena arena;
   arena.setup(200, 4, 30, 8);
   const std::size_t after_first = arena.reallocations();
-  const auto* labels0 = arena.labels(0);
+  const auto* bottleneck0 = arena.bottleneck(0);
+  const auto* sum0 = arena.sum(0);
   const auto* words0 = arena.words(0);
   const auto* parents0 = arena.parents();
 
@@ -45,7 +65,8 @@ TEST(FrameRateArena, ReusedSetupAllocatesNothing) {
   arena.setup(200, 4, 30, 8);  // back up within existing capacity
   EXPECT_EQ(arena.reallocations(), after_first);
 
-  EXPECT_EQ(arena.labels(0), labels0);
+  EXPECT_EQ(arena.bottleneck(0), bottleneck0);
+  EXPECT_EQ(arena.sum(0), sum0);
   EXPECT_EQ(arena.words(0), words0);
   EXPECT_EQ(arena.parents(), parents0);
 }

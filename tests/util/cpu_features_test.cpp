@@ -1,0 +1,43 @@
+#include "util/cpu_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/kernels/framerate_kernel.hpp"
+
+namespace elpc::util {
+namespace {
+
+TEST(CpuFeatures, GetIsStableAndMatchesDetect) {
+  const CpuFeatures& first = CpuFeatures::get();
+  const CpuFeatures& second = CpuFeatures::get();
+  EXPECT_EQ(&first, &second);  // one process-wide snapshot
+  const CpuFeatures probed = CpuFeatures::detect();
+  EXPECT_EQ(first.avx2, probed.avx2);
+  EXPECT_EQ(first.avx512f, probed.avx512f);
+}
+
+TEST(CpuFeatures, KernelAvailabilityImpliesCpuSupport) {
+  // available_kernels() must never offer a kernel the CPU cannot run —
+  // that is the whole point of the runtime dispatch.
+  const CpuFeatures& cpu = CpuFeatures::get();
+  bool saw_scalar = false;
+  for (const core::kernels::Kind kind : core::kernels::available_kernels()) {
+    switch (kind) {
+      case core::kernels::Kind::kScalar:
+        saw_scalar = true;
+        break;
+      case core::kernels::Kind::kAvx2:
+        EXPECT_TRUE(cpu.avx2);
+        break;
+      case core::kernels::Kind::kAvx512:
+        EXPECT_TRUE(cpu.avx512f);
+        break;
+      case core::kernels::Kind::kAuto:
+        FAIL() << "kAuto is a request, never an available kernel";
+    }
+  }
+  EXPECT_TRUE(saw_scalar);  // the portable reference is unconditional
+}
+
+}  // namespace
+}  // namespace elpc::util
