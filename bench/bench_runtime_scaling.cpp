@@ -27,7 +27,11 @@ constexpr const char* kJsonPath = "BENCH_runtime_scaling.json";
 
 /// Persists the sweep as the machine-readable perf trajectory future PRs
 /// regress against: one record per (scale, algorithm) with the mean
-/// per-objective milliseconds.
+/// per-objective milliseconds, plus the delta-driven re-solve dimension
+/// as two pseudo-algorithm records per scale ("ELPC-resolve-full" /
+/// "ELPC-resolve-incremental" — frame-rate-only by construction, so the
+/// delay field is zero).  The nightly perf run uploads this document;
+/// the regression gate only compares keys present in its reference.
 void write_scaling_json(const std::vector<experiments::ScalingPoint>& points,
                         const std::vector<std::string>& names) {
   util::JsonArray records;
@@ -41,6 +45,20 @@ void write_scaling_json(const std::vector<experiments::ScalingPoint>& points,
       record.set("min_delay_mean_ms", p.min_delay_ms[a]);
       record.set("max_frame_rate_mean_ms", p.max_frame_rate_ms[a]);
       record.set("total_mean_ms", p.min_delay_ms[a] + p.max_frame_rate_ms[a]);
+      records.push_back(std::move(record));
+    }
+    for (const auto& [name, resolve_ms] :
+         {std::pair<const char*, double>{"ELPC-resolve-full",
+                                         p.elpc_resolve_full_ms},
+          {"ELPC-resolve-incremental", p.elpc_resolve_incremental_ms}}) {
+      util::Json record = util::JsonObject{};
+      record.set("modules", p.modules);
+      record.set("nodes", p.nodes);
+      record.set("links", p.links);
+      record.set("algorithm", name);
+      record.set("min_delay_mean_ms", 0.0);
+      record.set("max_frame_rate_mean_ms", resolve_ms);
+      record.set("total_mean_ms", resolve_ms);
       records.push_back(std::move(record));
     }
   }
@@ -68,6 +86,24 @@ void print_scaling() {
                    util::format_double(total(2), 3)});
   }
   std::printf("%s\n", table.render().c_str());
+
+  bench::banner(
+      "single-link delta re-solve (ELPC frame rate): full recompute vs "
+      "checkpoint column reuse — bit-identical answers");
+  util::TextTable resolve_table(
+      {"modules", "nodes", "full ms", "incremental ms", "speedup"});
+  for (const auto& p : points) {
+    const double speedup =
+        p.elpc_resolve_incremental_ms > 0.0
+            ? p.elpc_resolve_full_ms / p.elpc_resolve_incremental_ms
+            : 0.0;
+    resolve_table.add_row(
+        {std::to_string(p.modules), std::to_string(p.nodes),
+         util::format_double(p.elpc_resolve_full_ms, 3),
+         util::format_double(p.elpc_resolve_incremental_ms, 3),
+         util::format_double(speedup, 2) + "x"});
+  }
+  std::printf("%s\n", resolve_table.render().c_str());
   write_scaling_json(points, experiments::scaling_algorithm_names());
 }
 
@@ -123,7 +159,58 @@ void BM_ElpcFramerateKernel(benchmark::State& state,
   state.counters["nodes"] = static_cast<double>(nodes);
 }
 
+/// Delta re-solve dimension under the google-benchmark timers: one
+/// single-link bandwidth flip + frame-rate re-solve per iteration,
+/// either from scratch or through the retained column checkpoint.  The
+/// two variants produce bit-identical results (Incremental* tests + the
+/// CI incremental-parity job); the ratio at the largest point is the
+/// headline incremental speedup.
+void BM_ElpcDeltaResolve(benchmark::State& state, bool incremental) {
+  const auto modules = static_cast<std::size_t>(state.range(0));
+  const auto nodes = static_cast<std::size_t>(state.range(1));
+  workload::Scenario scenario = make_scaled(modules, nodes);
+  scenario.network.finalize();
+  const mapping::Problem problem = scenario.problem();
+  const graph::Edge edge = scenario.network.out_edges(nodes / 2).front();
+  std::vector<graph::LinkUpdate> updates = {
+      graph::LinkUpdate{edge.from, edge.to, edge.attr}};
+  std::size_t flips = 0;
+  const auto flip = [&]() {
+    updates[0].attr.bandwidth_mbps =
+        edge.attr.bandwidth_mbps * (flips++ % 2 == 0 ? 0.5 : 1.0);
+    scenario.network.apply_link_updates(updates);
+  };
+
+  core::IncrementalCheckpoint checkpoint;
+  core::ElpcOptions options;
+  if (incremental) {
+    options.checkpoint = &checkpoint;
+  }
+  const core::ElpcMapper capture_mapper(options);
+  (void)capture_mapper.max_frame_rate(problem);  // warm-up / capture
+  if (incremental) {
+    options.delta = &updates;
+  }
+  const core::ElpcMapper mapper(options);
+  for (auto _ : state) {
+    flip();
+    benchmark::DoNotOptimize(mapper.max_frame_rate(problem));
+  }
+  state.counters["modules"] = static_cast<double>(modules);
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
 void register_benchmarks() {
+  for (const bool incremental : {false, true}) {
+    auto* b = benchmark::RegisterBenchmark(
+        incremental ? "BM_ELPC_delta_resolve/incremental"
+                    : "BM_ELPC_delta_resolve/full",
+        [incremental](benchmark::State& state) {
+          BM_ElpcDeltaResolve(state, incremental);
+        });
+    b->Args({5, 10})->Args({10, 25})->Args({20, 100})->Args({40, 400});
+    b->Unit(benchmark::kMillisecond);
+  }
   for (const char* name : {"ELPC", "Streamline", "Greedy"}) {
     auto* b = benchmark::RegisterBenchmark(
         (std::string("BM_") + name).c_str(),

@@ -1,6 +1,7 @@
 #include "core/elpc.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <thread>
@@ -350,6 +351,9 @@ void improve_by_node_swaps(const Problem& problem,
 
 MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   problem.validate();
+  if (options_.incremental_stats != nullptr) {
+    *options_.incremental_stats = IncrementalStats{};  // early returns
+  }
   const pipeline::CostModel model = problem.model();
   const graph::Network& net = *problem.network;
   const std::size_t n = problem.pipeline->module_count();
@@ -395,6 +399,83 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   arena.setup(k, beam, n, chunks);
   const std::size_t W = arena.words_per_set();
   const std::size_t realloc_baseline = arena.reallocations();
+
+  // ---- incremental checkpoint decision (core/incremental.hpp) ------
+  // The fingerprint folds every non-link input of the DP — pipeline
+  // sizes, computing times (node powers included), endpoints, beam, and
+  // cost/tie-break conventions — so a checkpoint can only ever replay
+  // against a problem whose sole difference from the captured one is
+  // the link attributes `delta` accounts for.
+  IncrementalCheckpoint* const ckpt = options_.checkpoint;
+  IncrementalStats inc;
+  inc.columns_total = n;
+  inc.cells_total = n * k;
+  IncrementalCheckpoint::Fingerprint fp;
+  bool run_incremental = false;
+  std::vector<NodeId> delta_targets;  // distinct `to` nodes of the delta
+  if (ckpt != nullptr) {
+    inc.attempted = true;
+    fp.modules = n;
+    fp.nodes = k;
+    fp.beam = beam;
+    fp.words = W;
+    fp.source = problem.source;
+    fp.destination = problem.destination;
+    fp.visited_check = options_.framerate_visited_check;
+    fp.sum_tiebreak = options_.framerate_sum_tiebreak;
+    fp.include_link_delay = model.options().include_link_delay;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t j = 1; j < n; ++j) {
+      h = incremental_mix(
+          h, std::bit_cast<std::uint64_t>(problem.pipeline->input_mb(j)));
+      for (NodeId v = 0; v < k; ++v) {
+        h = incremental_mix(
+            h, std::bit_cast<std::uint64_t>(model.computing_time(j, v)));
+      }
+    }
+    fp.problem_hash = h;
+
+    const std::vector<graph::LinkUpdate>* delta = options_.delta;
+    if (!ckpt->valid()) {
+      inc.fallback = "no-checkpoint";
+    } else if (!ckpt->matches(fp)) {
+      inc.fallback = "fingerprint-mismatch";
+    } else if (delta == nullptr) {
+      inc.fallback = "no-delta";
+    } else if (net.version() != ckpt->network_version() + delta->size()) {
+      inc.fallback = "network-version-mismatch";
+    } else {
+      std::vector<std::uint8_t> is_target(k, 0);
+      bool links_ok = true;
+      for (const graph::LinkUpdate& u : *delta) {
+        if (u.from >= k || u.to >= k || !net.has_link(u.from, u.to)) {
+          links_ok = false;
+          break;
+        }
+        if (is_target[u.to] == 0) {
+          is_target[u.to] = 1;
+          delta_targets.push_back(u.to);
+        }
+      }
+      if (!links_ok) {
+        inc.fallback = "unknown-link";
+      } else if (static_cast<double>(delta_targets.size()) >
+                 options_.incremental_max_dirty_fraction *
+                     static_cast<double>(k)) {
+        inc.fallback = "wide-update";
+      } else {
+        run_incremental = true;
+      }
+    }
+    if (!run_incremental) {
+      ckpt->setup(fp);  // the full solve below recaptures from scratch
+    }
+  }
+  const auto publish_stats = [&]() {
+    if (options_.incremental_stats != nullptr) {
+      *options_.incremental_stats = inc;
+    }
+  };
 
   // The cell kernel computes one DP cell's candidate list per call (the
   // edge scan, row scans, and top-beam insertion — the DP's entire
@@ -512,27 +593,194 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
     arena.counts(cur_p)[v] = static_cast<std::uint32_t>(kept);
   };
 
-  for (std::size_t j = 1; j < n; ++j) {
-    arena.clear_column(cur_p);
-    const double input_mb = problem.pipeline->input_mb(j);
-    if (pool != nullptr && j + 1 < n) {
-      pool->parallel_for(chunks, [&](std::size_t c) {
-        const NodeId lo = static_cast<NodeId>(c * k / chunks);
-        const NodeId hi = static_cast<NodeId>((c + 1) * k / chunks);
-        Candidate* cand = arena.scratch(c);
-        for (NodeId v = lo; v < hi; ++v) {
-          sweep_cell(j, v, input_mb, cand);
-        }
-      });
-    } else if (j + 1 == n) {
-      sweep_cell(j, problem.destination, input_mb, arena.scratch(0));
-    } else {
-      Candidate* cand = arena.scratch(0);
-      for (NodeId v = 0; v < k; ++v) {
-        sweep_cell(j, v, input_mb, cand);
+  // ---- incremental helpers -----------------------------------------
+  // All close over the arena's SoA layout.  cell_digest is the ONE
+  // digest definition capture and compare share; a digest mismatch is
+  // proof of difference, and apparent equality is confirmed exactly by
+  // cell_matches_checkpoint below before a cell is treated as reused.
+  const std::size_t cells = k * beam;
+  const std::size_t word_stride = arena.word_plane_stride();
+  const auto cell_digest = [&](int p, NodeId v) {
+    const std::uint32_t count = arena.counts(p)[v];
+    const double* bn = arena.bottleneck(p);
+    const double* sm = arena.sum(p);
+    const std::uint64_t* words = arena.words(p);
+    std::uint64_t h = 0x84222325cbf29ce4ULL;
+    h = incremental_mix(h, count);
+    for (std::uint32_t s = 0; s < count; ++s) {
+      const std::size_t slot = v * beam + s;
+      h = incremental_mix(h, std::bit_cast<std::uint64_t>(bn[slot]));
+      h = incremental_mix(h, std::bit_cast<std::uint64_t>(sm[slot]));
+      for (std::size_t w = 0; w < W; ++w) {
+        h = incremental_mix(h, words[w * word_stride + slot]);
       }
     }
-    std::swap(prev_p, cur_p);
+    return h;
+  };
+  // Copies arena column `p` into checkpoint column j (tight layout,
+  // plane-major words) and digests every cell.
+  const auto capture_column = [&](int p, std::size_t j) {
+    std::copy_n(arena.bottleneck(p), cells, ckpt->bottleneck_col(j));
+    std::copy_n(arena.sum(p), cells, ckpt->sum_col(j));
+    std::copy_n(arena.counts(p), k, ckpt->counts_col(j));
+    std::uint64_t* to = ckpt->words_col(j);
+    const std::uint64_t* from = arena.words(p);
+    for (std::size_t w = 0; w < W; ++w) {
+      std::copy_n(from + w * word_stride, cells, to + w * cells);
+    }
+    std::uint64_t* digests = ckpt->digests_col(j);
+    for (NodeId v = 0; v < k; ++v) {
+      digests[v] = cell_digest(p, v);
+    }
+  };
+  // Loads checkpoint column j into arena column `p` (the arena's pad
+  // tail is left as-is: kernels may read it but never use the values).
+  const auto load_column = [&](int p, std::size_t j) {
+    std::copy_n(ckpt->bottleneck_col(j), cells, arena.bottleneck(p));
+    std::copy_n(ckpt->sum_col(j), cells, arena.sum(p));
+    std::copy_n(ckpt->counts_col(j), k, arena.counts(p));
+    const std::uint64_t* from = ckpt->words_col(j);
+    std::uint64_t* to = arena.words(p);
+    for (std::size_t w = 0; w < W; ++w) {
+      std::copy_n(from + w * cells, cells, to + w * word_stride);
+    }
+  };
+  // Exact live-slot comparison of arena cell (p, v) against checkpoint
+  // cell (j, v) — the proof behind frontier pruning.  The digest is
+  // only ever a sound fast-reject (different digests imply different
+  // state); equality must be confirmed here so a 64-bit collision can
+  // never smuggle a changed cell past the propagation.
+  const auto cell_matches_checkpoint = [&](int p, NodeId v, std::size_t j) {
+    const std::uint32_t count = arena.counts(p)[v];
+    if (count != ckpt->counts_col(j)[v]) {
+      return false;
+    }
+    const std::size_t base = v * beam;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      if (std::bit_cast<std::uint64_t>(arena.bottleneck(p)[base + s]) !=
+              std::bit_cast<std::uint64_t>(ckpt->bottleneck_col(j)[base + s]) ||
+          std::bit_cast<std::uint64_t>(arena.sum(p)[base + s]) !=
+              std::bit_cast<std::uint64_t>(ckpt->sum_col(j)[base + s])) {
+        return false;
+      }
+      for (std::size_t w = 0; w < W; ++w) {
+        if (arena.words(p)[w * word_stride + base + s] !=
+            ckpt->words_col(j)[w * cells + base + s]) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  if (!run_incremental) {
+    for (std::size_t j = 1; j < n; ++j) {
+      arena.clear_column(cur_p);
+      const double input_mb = problem.pipeline->input_mb(j);
+      if (pool != nullptr && j + 1 < n) {
+        pool->parallel_for(chunks, [&](std::size_t c) {
+          const NodeId lo = static_cast<NodeId>(c * k / chunks);
+          const NodeId hi = static_cast<NodeId>((c + 1) * k / chunks);
+          Candidate* cand = arena.scratch(c);
+          for (NodeId v = lo; v < hi; ++v) {
+            sweep_cell(j, v, input_mb, cand);
+          }
+        });
+      } else if (j + 1 == n) {
+        sweep_cell(j, problem.destination, input_mb, arena.scratch(0));
+      } else {
+        Candidate* cand = arena.scratch(0);
+        for (NodeId v = 0; v < k; ++v) {
+          sweep_cell(j, v, input_mb, cand);
+        }
+      }
+      if (ckpt != nullptr) {
+        capture_column(cur_p, j);  // column 0 is never read back
+      }
+      std::swap(prev_p, cur_p);
+    }
+    if (ckpt != nullptr) {
+      std::copy_n(arena.parents(), n * cells, ckpt->parents());
+      ckpt->set_network_version(net.version());
+      ckpt->set_valid();
+    }
+  } else {
+    // Column-reuse re-solve.  Invariant at the top of iteration j: the
+    // arena's prev column holds the NEW column j-1 (checkpoint cells
+    // patched with every recomputed difference), so dirty cells see
+    // exactly the inputs a from-scratch solve would.  A cell is dirty
+    // when an updated link points at it (the changed transport term can
+    // reach it in every column) or an in-neighbour's column-(j-1) state
+    // changed; everything else provably reproduces the checkpoint
+    // bit-for-bit and is replayed by a copy instead of a kernel run.
+    ckpt->invalidate();  // torn until the write-back below completes
+    inc.incremental = true;
+    inc.columns_reused = 1;  // column 0 is the fixed source init
+    const Edge* const out_edges = net.out_edges_flat().data();
+    const std::size_t* const out_off = net.out_row_offsets().data();
+    std::vector<std::uint8_t> dirty(k, 0);
+    std::vector<NodeId> dirty_list;
+    std::vector<NodeId> changed;  // cells of column j-1 whose state moved
+    std::vector<NodeId> next_changed;
+    ParentRec* const ckpt_parents = ckpt->parents();
+    for (std::size_t j = 1; j < n; ++j) {
+      load_column(cur_p, j);
+      dirty_list.clear();
+      for (const NodeId v : delta_targets) {
+        if (dirty[v] == 0) {
+          dirty[v] = 1;
+          dirty_list.push_back(v);
+        }
+      }
+      for (const NodeId u : changed) {
+        for (std::size_t i = out_off[u]; i < out_off[u + 1]; ++i) {
+          const NodeId v = out_edges[i].to;
+          if (dirty[v] == 0) {
+            dirty[v] = 1;
+            dirty_list.push_back(v);
+          }
+        }
+      }
+      const double input_mb = problem.pipeline->input_mb(j);
+      Candidate* cand = arena.scratch(0);
+      next_changed.clear();
+      for (const NodeId v : dirty_list) {
+        dirty[v] = 0;  // reset for the next column's frontier build
+        // sweep_cell's early-outs (dead cell, endpoint column rules)
+        // leave the count untouched, so clear the copied one first.
+        arena.counts(cur_p)[v] = 0;
+        sweep_cell(j, v, input_mb, cand);
+        ++inc.cells_recomputed;
+        const std::uint32_t kept = arena.counts(cur_p)[v];
+        // Parents are a pure function of the (possibly changed) inputs:
+        // write them back even when the labels digest the same — two
+        // predecessors can tie on every label field yet differ as nodes.
+        std::copy_n(arena.parents() + (j * k + v) * beam, kept,
+                    ckpt_parents + (j * k + v) * beam);
+        const std::uint64_t digest = cell_digest(cur_p, v);
+        if (digest != ckpt->digests_col(j)[v] ||
+            !cell_matches_checkpoint(cur_p, v, j)) {
+          next_changed.push_back(v);
+          ckpt->digests_col(j)[v] = digest;
+          ckpt->counts_col(j)[v] = kept;
+          std::copy_n(arena.bottleneck(cur_p) + v * beam, beam,
+                      ckpt->bottleneck_col(j) + v * beam);
+          std::copy_n(arena.sum(cur_p) + v * beam, beam,
+                      ckpt->sum_col(j) + v * beam);
+          for (std::size_t w = 0; w < W; ++w) {
+            std::copy_n(arena.words(cur_p) + w * word_stride + v * beam,
+                        beam, ckpt->words_col(j) + w * cells + v * beam);
+          }
+        }
+      }
+      if (next_changed.empty()) {
+        ++inc.columns_reused;
+      }
+      changed.swap(next_changed);
+      std::swap(prev_p, cur_p);
+    }
+    ckpt->set_network_version(net.version());
+    ckpt->set_valid();
   }
 
   // Steady-state guarantee: extending labels touched only setup()-sized
@@ -540,17 +788,21 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   assert(arena.reallocations() == realloc_baseline);
   static_cast<void>(realloc_baseline);
 
+  publish_stats();
   if (arena.counts(prev_p)[problem.destination] == 0) {
     return MapResult::infeasible(
         "no simple path of the pipeline's length reaches the destination "
         "(heuristic may also have exhausted candidate nodes)");
   }
 
-  // Reconstruct the best survivor (slot 0) by walking parent records.
+  // Reconstruct the best survivor (slot 0) by walking parent records —
+  // the arena's on a full solve, the checkpoint's merged table on a
+  // column-reuse re-solve (replayed cells never wrote arena parents).
   std::vector<NodeId> assignment(n, kInvalidNode);
   assignment[n - 1] = problem.destination;
   {
-    const ParentRec* parents = arena.parents();
+    const ParentRec* parents =
+        run_incremental ? ckpt->parents() : arena.parents();
     NodeId v = problem.destination;
     std::uint32_t slot = 0;
     for (std::size_t j = n - 1; j > 0; --j) {

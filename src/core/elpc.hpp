@@ -20,6 +20,9 @@
 //    consumed it ("extremely rare" per the paper; quantified by the E7
 //    optimality-gap bench).
 
+#include <vector>
+
+#include "core/incremental.hpp"
 #include "core/kernels/framerate_kernel.hpp"
 #include "mapping/mapper.hpp"
 
@@ -84,6 +87,27 @@ struct ElpcOptions {
   /// arena must be used by one solve at a time; it never affects
   /// results, only where the DP's scratch memory lives.
   FrameRateArena* arena = nullptr;
+  /// Incremental re-solve state (see core/incremental.hpp).  When set,
+  /// max_frame_rate reuses the checkpoint for a column-reuse re-solve if
+  /// it is valid for this exact problem and `delta` below applies, and
+  /// otherwise runs the full DP and (re)captures the checkpoint from it.
+  /// Either way the returned result is bit-identical to a plain full
+  /// solve.  The checkpoint must be used by one solve at a time.
+  IncrementalCheckpoint* checkpoint = nullptr;
+  /// The exact link updates applied to the network since `checkpoint`
+  /// was captured, in order (graph::Network::version() must equal the
+  /// checkpoint's recorded version plus the list length).  nullptr means
+  /// "unknown" and forces the full-solve path; an EMPTY list is valid
+  /// and replays every column.  Ignored without `checkpoint`.
+  const std::vector<graph::LinkUpdate>* delta = nullptr;
+  /// Reuse is skipped (full solve + recapture) when the delta's distinct
+  /// target nodes exceed this fraction of the network: a wide update
+  /// dirties most cells anyway, and the full sweep's streaming memory
+  /// order beats the scattered recompute.
+  double incremental_max_dirty_fraction = 0.25;
+  /// When non-null, filled with this solve's incremental outcome
+  /// (hit/fallback reason, columns replayed, cells recomputed).
+  IncrementalStats* incremental_stats = nullptr;
 };
 
 /// The paper's algorithm pair behind the common Mapper interface.

@@ -57,6 +57,7 @@ SocketServer::SocketServer(std::string socket_path,
   engine_options.factory = std::move(options.factory);
   engine_options.session_history_bytes = options.session_history_bytes;
   engine_options.kernel = options.kernel;
+  engine_options.incremental = options.incremental;
   engine_ = std::make_unique<service::BatchEngine>(engine_options);
 
   JobManagerOptions manager_options;
@@ -200,6 +201,20 @@ util::Json SocketServer::handle(const util::Json& request) {
       response.set("cached_revisions", engine.cached_revisions);
       response.set("cached_bytes", engine.cached_bytes);
       response.set("cache_evictions", engine.cache_evictions);
+      // Incremental re-solve health: reuse hit rate and how much DP
+      // work the checkpoints actually saved, plus their cache charge.
+      response.set("incremental_hits", engine.incremental_hits);
+      response.set("incremental_misses", engine.incremental_misses);
+      response.set("incremental_columns_reused",
+                   engine.incremental_columns_reused);
+      response.set("checkpoints", engine.checkpoints);
+      response.set("checkpoint_bytes", engine.checkpoint_bytes);
+      response.set("checkpoint_evictions", engine.checkpoint_evictions);
+      // Leak diagnostic: superseded revisions still pinned by outside
+      // references.  Steady state == subscriptions; monotonic growth
+      // means a solve hung and pins its revision forever.
+      response.set("pinned_revisions", engine.pinned_revisions);
+      response.set("pinned_bytes", engine.pinned_bytes);
       // Which frame-rate kernel serves this engine's jobs, plus how many
       // each kernel has served (operators check this after forcing a
       // kernel via ELPC_FORCE_KERNEL or serve --kernel).

@@ -44,6 +44,10 @@ struct SocketServerOptions {
   /// Forwarded to the owned BatchEngine.
   std::size_t threads = 0;
   std::size_t session_history_bytes = 0;
+  /// Incremental delta-driven re-solves for subscribed frame-rate jobs
+  /// (service::BatchEngineOptions::incremental); `stats` reports
+  /// hits/misses and columns reused.
+  bool incremental = false;
   /// Frame-rate kernel for every ELPC solve (resolved at engine
   /// construction; `stats` reports the result and per-kernel job counts).
   core::kernels::Kind kernel = core::kernels::Kind::kAuto;

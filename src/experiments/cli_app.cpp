@@ -11,6 +11,9 @@
 #include "experiments/registry.hpp"
 #include "experiments/report.hpp"
 #include "experiments/runner.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
 #include "service/batch_engine.hpp"
 #include "service/serialize.hpp"
 #include "sim/simulator.hpp"
@@ -26,15 +29,16 @@ namespace {
 
 const char* kUsage =
     "usage: elpc "
-    "<generate|map|batch|serve|client|simulate|suite|algorithms|kernels> "
-    "[options]\n"
+    "<generate|map|batch|serve|client|fuzz|simulate|suite|algorithms|"
+    "kernels> [options]\n"
     "  elpc generate --case 3 --out scenario.json\n"
     "  elpc generate --modules 8 --nodes 12 --links 90 --seed 7\n"
     "  elpc map --in scenario.json --algorithm ELPC --objective framerate\n"
     "  elpc batch --jobs jobs.json --out results.json --threads 4\n"
-    "  elpc serve --socket /tmp/elpc.sock --threads 4\n"
+    "  elpc serve --socket /tmp/elpc.sock --threads 4 --incremental\n"
     "  elpc client <load|poll|wait|cancel|update|stats|pause|resume|"
     "shutdown> --socket /tmp/elpc.sock [options]\n"
+    "  elpc fuzz --seed 7 --rounds 20 --incremental --out parity.json\n"
     "  elpc simulate --in scenario.json --frames 200\n"
     "  elpc suite\n"
     "  elpc kernels   # frame-rate kernels this build+CPU can run\n";
@@ -136,6 +140,9 @@ int cmd_batch(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_flag("timing",
                   "include per-job timing + shard metadata "
                   "(non-deterministic fields)");
+  parser.add_flag("incremental",
+                  "retain DP checkpoints for subscribed frame-rate jobs "
+                  "and re-solve deltas by column reuse (bit-identical)");
   parser.parse(args);
   if (parser.get_string("jobs").empty()) {
     throw std::invalid_argument("elpc batch: --jobs is required");
@@ -163,6 +170,7 @@ int cmd_batch(const std::vector<std::string>& args, std::ostream& out) {
   engine_options.factory = engine_mapper_factory();
   engine_options.kernel =
       core::kernels::kind_from_name(parser.get_string("kernel"));
+  engine_options.incremental = parser.flag("incremental");
   service::BatchEngine engine(engine_options);
   for (auto& [id, network] : spec.networks) {
     engine.register_network(id, std::move(network));
@@ -206,6 +214,9 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_string("kernel", "auto",
                     "frame-rate kernel (auto|scalar|avx2|avx512; auto = "
                     "ELPC_FORCE_KERNEL env, else widest supported)");
+  parser.add_flag("incremental",
+                  "retain DP checkpoints for subscribed frame-rate jobs "
+                  "and re-solve deltas by column reuse (bit-identical)");
   parser.parse(args);
   if (parser.get_string("socket").empty()) {
     throw std::invalid_argument("elpc serve: --socket is required");
@@ -221,6 +232,7 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   options.session_history_bytes =
       static_cast<std::size_t>(parser.get_int("session-cache-bytes"));
   options.kernel = core::kernels::kind_from_name(parser.get_string("kernel"));
+  options.incremental = parser.flag("incremental");
   options.factory = engine_mapper_factory();
   daemon::SocketServer server(parser.get_string("socket"), options);
   out << "elpc daemon listening on " << server.socket_path() << " (kernel "
@@ -253,6 +265,10 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_flag("no-register",
                   "load: submit the file's jobs without registering its "
                   "networks (they are already registered)");
+  parser.add_flag("incremental",
+                  "load: subscribe every submitted job to delta-driven "
+                  "re-solves (sets resolve_on_update; a daemon started "
+                  "with serve --incremental then reuses DP checkpoints)");
   parser.add_int("ticket", -1, "poll/wait/cancel: job ticket");
   parser.add_string("network", "", "update: session id");
   parser.add_string("updates", "", "update: JSON file with link deltas");
@@ -288,7 +304,10 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
       }
     }
     std::vector<daemon::Ticket> tickets;
-    for (const service::SolveJob& job : spec.jobs) {
+    for (service::SolveJob& job : spec.jobs) {
+      if (parser.flag("incremental")) {
+        job.resolve_on_update = true;
+      }
       tickets.push_back(client.submit(
           job, static_cast<int>(parser.get_int("priority"))));
     }
@@ -363,6 +382,135 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
     return 0;
   }
   throw std::invalid_argument("elpc client: unknown verb '" + verb + "'");
+}
+
+/// `elpc fuzz`: the incremental-parity fuzzer behind the CI
+/// incremental-parity job.  Builds seeded random topologies with
+/// subscribed mapping jobs, streams seeded random link-update rounds
+/// through BatchEngine::apply_link_updates, and emits every round's
+/// results in the canonical serialized form.  The random stream depends
+/// only on --seed/--rounds, so two runs that differ ONLY by
+/// --incremental must produce byte-identical documents — any divergence
+/// is a real incremental-DP bug.  --min-hits asserts the incremental
+/// run actually reused checkpoints (a parity pass that silently full-
+/// solved everything proves nothing).
+int cmd_fuzz(const std::vector<std::string>& args, std::ostream& out) {
+  util::ArgParser parser("elpc fuzz");
+  parser.add_int("seed", 7, "rng stream for topologies, jobs, and updates");
+  parser.add_int("rounds", 20, "link-update rounds across the topologies");
+  parser.add_int("threads", 2, "engine worker threads / shards");
+  parser.add_flag("incremental",
+                  "enable checkpoint column-reuse re-solves (the output "
+                  "must not change)");
+  parser.add_int("min-hits", 0,
+                 "fail unless at least this many re-solves reused a "
+                 "checkpoint");
+  parser.add_string("out", "", "write the parity JSON here (default: stdout)");
+  parser.parse(args);
+  if (parser.get_int("rounds") < 0 || parser.get_int("threads") < 0 ||
+      parser.get_int("min-hits") < 0) {
+    throw std::invalid_argument("elpc fuzz: options must be >= 0");
+  }
+
+  service::BatchEngineOptions engine_options;
+  engine_options.threads = static_cast<std::size_t>(parser.get_int("threads"));
+  engine_options.shards = engine_options.threads;
+  engine_options.factory = engine_mapper_factory();
+  engine_options.incremental = parser.flag("incremental");
+  service::BatchEngine engine(engine_options);
+
+  util::Rng master(static_cast<std::uint64_t>(parser.get_int("seed")));
+  std::vector<std::string> ids;
+  std::vector<service::SolveJob> jobs;
+  for (const auto& [nodes, links, modules] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{10, 54, 5},
+        {16, 120, 7},
+        {25, 300, 9}}) {
+    const std::string id = "t" + std::to_string(ids.size());
+    util::Rng rng = master.split(ids.size() + 1);
+    engine.register_network(
+        id, graph::random_connected_network(rng, nodes, links,
+                                            graph::AttributeRanges{}));
+    ids.push_back(id);
+    // Two subscribed frame-rate jobs per topology (the incremental
+    // path's clients) plus one subscribed min-delay job, which always
+    // re-solves fully — mixing pins that deltas serve both kinds.
+    for (const auto& [suffix, src, dst] :
+         {std::tuple<const char*, std::size_t, std::size_t>{"a", 0,
+                                                            nodes - 1},
+          {"b", 1, nodes - 2}}) {
+      service::SolveJob job;
+      job.id = id + "/framerate/" + suffix;
+      job.network = id;
+      job.pipeline =
+          pipeline::random_pipeline(rng, modules, pipeline::PipelineRanges{});
+      job.source = src;
+      job.destination = dst;
+      job.objective = service::Objective::kMaxFrameRate;
+      job.cost = service::default_cost(job.objective);
+      job.resolve_on_update = true;
+      jobs.push_back(std::move(job));
+    }
+    service::SolveJob delay = jobs.back();
+    delay.id = id + "/delay";
+    delay.objective = service::Objective::kMinDelay;
+    delay.cost = service::default_cost(delay.objective);
+    jobs.push_back(std::move(delay));
+  }
+
+  util::Json doc = util::JsonObject{};
+  doc.set("seed", parser.get_int("seed"));
+  doc.set("rounds", parser.get_int("rounds"));
+  doc.set("initial", service::results_to_json(engine.solve(jobs)).at("results"));
+
+  util::Rng update_rng = master.split(101);
+  util::JsonArray rounds;
+  for (std::int64_t round = 0; round < parser.get_int("rounds"); ++round) {
+    const std::string& id = ids[update_rng.index(ids.size())];
+    const service::NetworkSnapshot snap = engine.session(id).snapshot();
+    const std::size_t count = 1 + update_rng.index(3);
+    std::vector<graph::LinkUpdate> updates;
+    for (std::size_t i = 0; i < count; ++i) {
+      graph::NodeId from = update_rng.index(snap->node_count());
+      while (snap->out_degree(from) == 0) {
+        from = update_rng.index(snap->node_count());
+      }
+      const graph::Edge edge =
+          snap->out_edges(from)[update_rng.index(snap->out_degree(from))];
+      updates.push_back(graph::LinkUpdate{
+          edge.from, edge.to,
+          graph::LinkAttr{
+              edge.attr.bandwidth_mbps * update_rng.uniform_real(0.25, 4.0),
+              edge.attr.min_delay_s * update_rng.uniform_real(0.5, 2.0)}});
+    }
+    util::Json entry = util::JsonObject{};
+    entry.set("network", id);
+    entry.set("updates", service::link_updates_to_json(updates));
+    entry.set("results",
+              service::results_to_json(engine.apply_link_updates(id, updates))
+                  .at("results"));
+    rounds.push_back(std::move(entry));
+  }
+  doc.set("resolves", util::Json(std::move(rounds)));
+
+  const service::EngineStats stats = engine.stats();
+  const std::string text = doc.dump(2) + "\n";
+  if (parser.get_string("out").empty()) {
+    out << text;
+  } else {
+    util::write_text_file(parser.get_string("out"), text);
+    out << "wrote " << parser.get_string("out") << " (incremental hits "
+        << stats.incremental_hits << ", misses " << stats.incremental_misses
+        << ", columns reused " << stats.incremental_columns_reused << ")\n";
+  }
+  if (stats.incremental_hits <
+      static_cast<std::uint64_t>(parser.get_int("min-hits"))) {
+    throw std::runtime_error(
+        "elpc fuzz: incremental reuse engaged " +
+        std::to_string(stats.incremental_hits) + " time(s), below --min-hits " +
+        std::to_string(parser.get_int("min-hits")));
+  }
+  return 0;
 }
 
 int cmd_simulate(const std::vector<std::string>& args, std::ostream& out) {
@@ -449,6 +597,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     if (command == "client") {
       return cmd_client(rest, out);
+    }
+    if (command == "fuzz") {
+      return cmd_fuzz(rest, out);
     }
     if (command == "simulate") {
       return cmd_simulate(rest, out);

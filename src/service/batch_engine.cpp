@@ -20,6 +20,9 @@ mapping::MapperPtr make_engine_elpc(const MapperContext& ctx) {
   options.parallel_sweep = false;
   options.arena = ctx.arena;
   options.framerate_kernel = ctx.kernel;
+  options.checkpoint = ctx.checkpoint;
+  options.delta = ctx.delta;
+  options.incremental_stats = ctx.incremental_stats;
   return std::make_unique<core::ElpcMapper>(options);
 }
 
@@ -40,6 +43,12 @@ mapping::MapperPtr builtin_factory(const SolveJob& job,
 
 BatchEngine::BatchEngine(BatchEngineOptions options)
     : options_(std::move(options)) {
+  // An incremental engine with a zero-byte session budget would evict
+  // every checkpoint the moment its solve released it; give it a real
+  // budget unless the caller chose one explicitly.
+  if (options_.incremental && options_.session_history_bytes == 0) {
+    options_.session_history_bytes = kIncrementalDefaultHistoryBytes;
+  }
   if (options_.pool != nullptr) {
     pool_ = options_.pool;
   } else {
@@ -88,11 +97,19 @@ NetworkSession& BatchEngine::session(const std::string& id) const {
   return *session;
 }
 
+bool BatchEngine::incremental_job(const SolveJob& job) const {
+  return options_.incremental && job.resolve_on_update &&
+         job.objective == Objective::kMaxFrameRate &&
+         job.algorithm == "ELPC" && job.repeats <= 1 && !job.warmup;
+}
+
 std::vector<SolveResult> BatchEngine::solve(const std::vector<SolveJob>& jobs,
                                             const CancelFn& cancelled) {
   std::vector<NetworkSession::Current> snapshots;
+  std::vector<IncrementalBinding> bindings(jobs.size());
   snapshots.reserve(jobs.size());
-  for (const SolveJob& job : jobs) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SolveJob& job = jobs[i];
     NetworkSession* session = find_session(job.network);
     if (session == nullptr) {
       throw std::invalid_argument("BatchEngine: job '" + job.id +
@@ -100,9 +117,17 @@ std::vector<SolveResult> BatchEngine::solve(const std::vector<SolveJob>& jobs,
                                   job.network + "'");
     }
     snapshots.push_back(session->current());
+    bindings[i].session = session;
+    if (incremental_job(job)) {
+      // No delta on the plain solve path: a fresh entry captures; a
+      // retained one whose revision still matches replays for free
+      // (solve_one supplies the empty delta in that case).
+      bindings[i].key = job.id;
+      bindings[i].entry = session->checkpoint_entry(job.id);
+    }
   }
-  std::vector<SolveResult> results =
-      run_sharded(std::span<const SolveJob>(jobs), snapshots, cancelled);
+  std::vector<SolveResult> results = run_sharded(
+      std::span<const SolveJob>(jobs), snapshots, bindings, cancelled);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -132,6 +157,11 @@ std::vector<SolveResult> BatchEngine::solve(const std::vector<SolveJob>& jobs,
         }
       } else if (existing != subscriptions_.end()) {
         subscriptions_.erase(existing);
+        // The checkpoint belongs to the subscription; unsubscribing
+        // releases its bytes instead of waiting out the LRU.
+        if (options_.incremental) {
+          bindings[i].session->drop_checkpoint(job.id);
+        }
       }
     }
   }
@@ -154,8 +184,22 @@ std::vector<SolveResult> BatchEngine::apply_link_updates(
   const NetworkSession::Current now = session.current();
   const std::vector<NetworkSession::Current> snapshots(subscribed.size(),
                                                        now);
-  std::vector<SolveResult> results =
-      run_sharded(std::span<const SolveJob>(subscribed), snapshots, nullptr);
+  // The delta that justifies column reuse: shared by every subscribed
+  // job's binding (solve_one only applies it when the job's checkpoint
+  // was captured against exactly the superseded revision).
+  std::vector<IncrementalBinding> bindings(subscribed.size());
+  const auto delta = std::make_shared<const std::vector<graph::LinkUpdate>>(
+      updates.begin(), updates.end());
+  for (std::size_t i = 0; i < subscribed.size(); ++i) {
+    bindings[i].session = &session;
+    if (incremental_job(subscribed[i])) {
+      bindings[i].key = subscribed[i].id;
+      bindings[i].entry = session.checkpoint_entry(subscribed[i].id);
+      bindings[i].delta = delta;
+    }
+  }
+  std::vector<SolveResult> results = run_sharded(
+      std::span<const SolveJob>(subscribed), snapshots, bindings, nullptr);
   {
     // Re-pin exactly the subscriptions this call re-solved, releasing
     // their hold on the previous revision.  Matching on the captured
@@ -204,7 +248,17 @@ EngineStats BatchEngine::stats() const {
     stats.cached_revisions += cache.cached_revisions;
     stats.cached_bytes += cache.cached_bytes;
     stats.cache_evictions += cache.evictions;
+    stats.checkpoints += cache.checkpoints;
+    stats.checkpoint_bytes += cache.checkpoint_bytes;
+    stats.checkpoint_evictions += cache.checkpoint_evictions;
+    stats.pinned_revisions += cache.pinned_revisions;
+    stats.pinned_bytes += cache.pinned_bytes;
   }
+  stats.incremental_hits = incremental_hits_.load(std::memory_order_relaxed);
+  stats.incremental_misses =
+      incremental_misses_.load(std::memory_order_relaxed);
+  stats.incremental_columns_reused =
+      incremental_columns_reused_.load(std::memory_order_relaxed);
   stats.kernel = core::kernels::kind_name(kernel_);
   for (std::size_t i = 0; i < kernel_jobs_.size(); ++i) {
     const std::uint64_t served =
@@ -221,6 +275,7 @@ EngineStats BatchEngine::stats() const {
 std::vector<SolveResult> BatchEngine::run_sharded(
     std::span<const SolveJob> jobs,
     std::span<const NetworkSession::Current> snapshots,
+    std::span<const IncrementalBinding> bindings,
     const CancelFn& cancelled) {
   std::vector<SolveResult> results(jobs.size());
   if (jobs.empty()) {
@@ -231,7 +286,7 @@ std::vector<SolveResult> BatchEngine::run_sharded(
       options_.shards == 0 ? pool_->worker_count() : options_.shards);
   util::JobGroup group(*pool_);
   for (std::size_t s = 0; s < shards; ++s) {
-    group.submit([this, s, shards, jobs, snapshots, &cancelled,
+    group.submit([this, s, shards, jobs, snapshots, bindings, &cancelled,
                   &results]() {
       // One arena per live shard; leases recycle through the pool, so
       // the engine never holds more arenas than its peak shard count.
@@ -253,7 +308,8 @@ std::vector<SolveResult> BatchEngine::run_sharded(
           results[i].result = mapping::MapResult::infeasible(kCancelledError);
           continue;
         }
-        solve_one(jobs[i], snapshots[i], ctx, s, results[i]);
+        solve_one(jobs[i], snapshots[i], ctx, s,
+                  bindings.empty() ? nullptr : &bindings[i], results[i]);
       }
     });
   }
@@ -264,6 +320,7 @@ std::vector<SolveResult> BatchEngine::run_sharded(
 void BatchEngine::solve_one(const SolveJob& job,
                             const NetworkSession::Current& snap,
                             const MapperContext& ctx, std::size_t shard,
+                            const IncrementalBinding* binding,
                             SolveResult& out) {
   out.job_id = job.id;
   out.network = job.network;
@@ -279,8 +336,38 @@ void BatchEngine::solve_one(const SolveJob& job,
   if (kernel_serves) {
     out.kernel = core::kernels::kind_name(ctx.kernel);
   }
+  // Incremental wiring: only with the entry's solve lock won (a
+  // concurrent re-solve of the same subscription keeps its own full
+  // solve — never a shared, racing checkpoint).  The delta is offered
+  // to the DP only when the checkpoint provably corresponds to the
+  // revision the delta starts from; the DP re-verifies via the network
+  // version either way.
+  core::IncrementalStats inc_stats;
+  MapperContext job_ctx = ctx;
+  std::unique_lock<std::mutex> checkpoint_lock;
+  NetworkSession::CheckpointEntry* entry =
+      binding != nullptr ? binding->entry.get() : nullptr;
+  if (entry != nullptr) {
+    checkpoint_lock =
+        std::unique_lock<std::mutex>(entry->solve_mutex, std::try_to_lock);
+    if (checkpoint_lock.owns_lock()) {
+      job_ctx.checkpoint = &entry->state;
+      job_ctx.incremental_stats = &inc_stats;
+      if (entry->has_revision) {
+        if (binding->delta != nullptr &&
+            entry->revision + 1 == snap.revision) {
+          job_ctx.delta = binding->delta.get();
+        } else if (entry->revision == snap.revision) {
+          static const std::vector<graph::LinkUpdate> kNoUpdates;
+          job_ctx.delta = &kNoUpdates;  // same revision: pure replay
+        }
+      }
+    } else {
+      entry = nullptr;  // contended: plain full solve, no capture
+    }
+  }
   try {
-    const mapping::MapperPtr mapper = options_.factory(job, ctx);
+    const mapping::MapperPtr mapper = options_.factory(job, job_ctx);
     const mapping::Problem problem(job.pipeline, *snap.network, job.source,
                                    job.destination, job.cost);
     const bool framerate = job.objective == Objective::kMaxFrameRate;
@@ -304,10 +391,35 @@ void BatchEngine::solve_one(const SolveJob& job,
       kernel_jobs_[static_cast<std::size_t>(ctx.kernel)].fetch_add(
           1, std::memory_order_relaxed);
     }
+    if (entry != nullptr) {
+      // The checkpoint now reflects this revision's DP (captured or
+      // incrementally patched); a failed solve skips this, leaving the
+      // state invalidated so the next re-solve recaptures.
+      entry->revision = snap.revision;
+      entry->has_revision = true;
+    }
   } catch (const std::exception& e) {
     out.error = e.what();
     out.result = mapping::MapResult::infeasible(std::string("error: ") +
                                                 e.what());
+  }
+  if (binding != nullptr && binding->entry != nullptr) {
+    if (checkpoint_lock.owns_lock()) {
+      // Measure before releasing the lock — a contending solve may
+      // start resizing the state the instant it is free — then
+      // re-charge the (possibly grown) checkpoint against the session
+      // budget, which also re-runs the sweep that may evict it again.
+      const std::size_t bytes = binding->entry->state.approx_bytes();
+      checkpoint_lock.unlock();
+      binding->session->note_checkpoint_update(binding->key, bytes);
+    }
+    if (inc_stats.incremental) {
+      incremental_hits_.fetch_add(1, std::memory_order_relaxed);
+      incremental_columns_reused_.fetch_add(inc_stats.columns_reused,
+                                            std::memory_order_relaxed);
+    } else {
+      incremental_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

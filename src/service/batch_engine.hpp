@@ -106,10 +106,21 @@ struct SolveResult {
 /// Per-shard context the mapper factory may use: the shard's leased DP
 /// arena (single-threaded for the shard's lifetime) and the engine's
 /// resolved frame-rate kernel (never kAuto; identical for every shard,
-/// so results cannot depend on scheduling).
+/// so results cannot depend on scheduling).  The incremental fields are
+/// per-JOB: set only for a subscribed ELPC frame-rate job on an engine
+/// with incremental re-solves enabled, after its checkpoint entry's
+/// solve lock was won (see network_session.hpp).  None of them ever
+/// change results — only how much of the DP is recomputed.
 struct MapperContext {
   core::FrameRateArena* arena = nullptr;
   core::kernels::Kind kernel = core::kernels::Kind::kAuto;
+  /// The job's retained DP checkpoint (null = plain full solve).
+  core::IncrementalCheckpoint* checkpoint = nullptr;
+  /// Link updates since the checkpoint's capture (null = unknown,
+  /// forcing a full solve + recapture; empty = pure replay).
+  const std::vector<graph::LinkUpdate>* delta = nullptr;
+  /// Filled with the solve's incremental outcome when non-null.
+  core::IncrementalStats* incremental_stats = nullptr;
 };
 
 /// Resolves a job's algorithm name to a mapper instance.  Called once
@@ -145,7 +156,21 @@ struct BatchEngineOptions {
   /// construction — kAuto honours ELPC_FORCE_KERNEL, then the widest
   /// supported variant; forcing an unavailable kernel throws there.
   core::kernels::Kind kernel = core::kernels::Kind::kAuto;
+  /// Retain per-subscription incremental DP checkpoints in the session
+  /// cache and use them for column-reuse re-solves of subscribed ELPC
+  /// frame-rate jobs (apply_link_updates passes the delta through to
+  /// the DP).  Results stay bit-identical to full solves — pinned by
+  /// tests and the CI incremental-parity job.  When on and
+  /// session_history_bytes is 0, the budget defaults to
+  /// kIncrementalDefaultHistoryBytes so checkpoints actually survive
+  /// between re-solves.
+  bool incremental = false;
 };
+
+/// Session-cache budget an incremental engine gets when the caller left
+/// session_history_bytes at 0 (a zero budget would evict every
+/// checkpoint immediately, silently disabling the feature).
+inline constexpr std::size_t kIncrementalDefaultHistoryBytes = 64ull << 20;
 
 /// SolveResult::error of a job skipped by a cancellation predicate.
 inline constexpr const char* kCancelledError = "cancelled";
@@ -171,6 +196,23 @@ struct EngineStats {
   /// served at least one job appear; an engine whose kernel option never
   /// changes has at most one entry).
   std::vector<std::pair<std::string, std::uint64_t>> kernel_jobs;
+  /// Incremental re-solve counters (cumulative): solves that reused
+  /// checkpoint columns, eligible solves that fell back to a full solve
+  /// (missing/evicted/stale checkpoint, wide update, lock contention),
+  /// and the total DP columns replayed from checkpoints.
+  std::uint64_t incremental_hits = 0;
+  std::uint64_t incremental_misses = 0;
+  std::uint64_t incremental_columns_reused = 0;
+  /// Session checkpoint occupancy, summed over sessions.
+  std::size_t checkpoints = 0;
+  std::size_t checkpoint_bytes = 0;
+  std::uint64_t checkpoint_evictions = 0;
+  /// Superseded revisions currently pinned by outside references,
+  /// summed over sessions (see SessionCacheStats::pinned_revisions):
+  /// the steady state is the subscription count, so a value that only
+  /// climbs exposes a leaked pin — e.g. a solve that hung.
+  std::size_t pinned_revisions = 0;
+  std::size_t pinned_bytes = 0;
 };
 
 class BatchEngine {
@@ -241,18 +283,37 @@ class BatchEngine {
     NetworkSnapshot pinned;
   };
 
+  /// Per-job incremental wiring, resolved up front on the calling
+  /// thread like the snapshots: the session's checkpoint entry (held
+  /// shared_ptr = pinned against eviction for the solve's duration) and
+  /// the delta that justifies reuse.  Inert (entry == nullptr) for jobs
+  /// the incremental path does not apply to.
+  struct IncrementalBinding {
+    NetworkSession* session = nullptr;
+    std::string key;
+    NetworkSession::CheckpointEntryPtr entry;
+    std::shared_ptr<const std::vector<graph::LinkUpdate>> delta;
+  };
+
   [[nodiscard]] NetworkSession* find_session(const std::string& id) const;
-  /// `snapshots` is index-aligned with `jobs`: every job's session state
-  /// is resolved once, up front, on the calling thread — workers never
-  /// touch the engine mutex, and all jobs of one batch solve against the
-  /// revisions current at submission.
+  /// True when the engine retains/reuses a checkpoint for this job:
+  /// incremental engines, subscribed ELPC frame-rate jobs, single
+  /// plain run (repeats/warmup re-run the solve, which would make the
+  /// checkpoint's "last solved revision" bookkeeping ambiguous).
+  [[nodiscard]] bool incremental_job(const SolveJob& job) const;
+  /// `snapshots` (and `bindings`, when non-empty) are index-aligned
+  /// with `jobs`: every job's session state is resolved once, up front,
+  /// on the calling thread — workers never touch the engine mutex, and
+  /// all jobs of one batch solve against the revisions current at
+  /// submission.
   std::vector<SolveResult> run_sharded(
       std::span<const SolveJob> jobs,
       std::span<const NetworkSession::Current> snapshots,
+      std::span<const IncrementalBinding> bindings,
       const CancelFn& cancelled);
   void solve_one(const SolveJob& job, const NetworkSession::Current& snap,
                  const MapperContext& ctx, std::size_t shard,
-                 SolveResult& out);
+                 const IncrementalBinding* binding, SolveResult& out);
 
   BatchEngineOptions options_;
   std::unique_ptr<util::ThreadPool> owned_pool_;
@@ -264,6 +325,10 @@ class BatchEngine {
   /// value); atomics because shards bump them concurrently.
   std::array<std::atomic<std::uint64_t>, core::kernels::kKindCount>
       kernel_jobs_{};
+  /// Incremental serving counters; atomics for the same reason.
+  std::atomic<std::uint64_t> incremental_hits_{0};
+  std::atomic<std::uint64_t> incremental_misses_{0};
+  std::atomic<std::uint64_t> incremental_columns_reused_{0};
   mutable std::mutex mutex_;  // guards sessions_ and subscriptions_
   std::map<std::string, std::unique_ptr<NetworkSession>> sessions_;
   std::vector<Subscription> subscriptions_;

@@ -71,10 +71,49 @@ SessionCacheStats NetworkSession::cache_stats() const {
   stats.cached_revisions = history_.size();
   for (const auto& [revision, entry] : history_) {
     stats.cached_bytes += entry.bytes;
+    if (entry.network.use_count() > 1) {
+      ++stats.pinned_revisions;
+      stats.pinned_bytes += entry.bytes;
+    }
+  }
+  stats.checkpoints = checkpoints_.size();
+  for (const auto& [key, entry] : checkpoints_) {
+    stats.checkpoint_bytes += entry.bytes;
   }
   stats.current_bytes = current_->approx_bytes();
   stats.evictions = evictions_;
+  stats.checkpoint_evictions = checkpoint_evictions_;
   return stats;
+}
+
+NetworkSession::CheckpointEntryPtr NetworkSession::checkpoint_entry(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = checkpoints_.find(key);
+  if (it == checkpoints_.end()) {
+    CachedCheckpoint fresh;
+    fresh.entry = std::make_shared<CheckpointEntry>();
+    fresh.bytes = fresh.entry->state.approx_bytes();
+    it = checkpoints_.emplace(key, std::move(fresh)).first;
+  }
+  it->second.last_touch = ++touch_clock_;
+  return it->second.entry;
+}
+
+void NetworkSession::note_checkpoint_update(const std::string& key,
+                                            std::size_t bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = checkpoints_.find(key);
+  if (it != checkpoints_.end()) {
+    it->second.bytes = bytes;
+    it->second.last_touch = ++touch_clock_;
+  }
+  evict_over_budget();
+}
+
+void NetworkSession::drop_checkpoint(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  checkpoints_.erase(key);
 }
 
 void NetworkSession::evict_over_budget() const {
@@ -84,29 +123,59 @@ void NetworkSession::evict_over_budget() const {
   // and breaking revision_snapshot for a revision that provably still
   // exists.  use_count is read under the session mutex — a reader
   // releasing concurrently merely delays that entry to the next sweep.
+  // Checkpoints follow the same rule (a solve holds the entry while it
+  // reuses/recaptures it) and share the one byte budget: eviction picks
+  // the least-recently-touched UNPINNED entry across both maps.
   std::size_t unpinned_bytes = 0;
   for (const auto& [revision, entry] : history_) {
     if (entry.network.use_count() == 1) {
       unpinned_bytes += entry.bytes;
     }
   }
+  for (const auto& [key, entry] : checkpoints_) {
+    if (entry.entry.use_count() == 1) {
+      unpinned_bytes += entry.bytes;
+    }
+  }
   while (unpinned_bytes > history_budget_bytes_) {
-    auto victim = history_.end();
+    auto revision_victim = history_.end();
     for (auto it = history_.begin(); it != history_.end(); ++it) {
       if (it->second.network.use_count() != 1) {
         continue;
       }
-      if (victim == history_.end() ||
-          it->second.last_touch < victim->second.last_touch) {
-        victim = it;
+      if (revision_victim == history_.end() ||
+          it->second.last_touch < revision_victim->second.last_touch) {
+        revision_victim = it;
       }
     }
-    if (victim == history_.end()) {
+    auto checkpoint_victim = checkpoints_.end();
+    for (auto it = checkpoints_.begin(); it != checkpoints_.end(); ++it) {
+      if (it->second.entry.use_count() != 1) {
+        continue;
+      }
+      if (checkpoint_victim == checkpoints_.end() ||
+          it->second.last_touch < checkpoint_victim->second.last_touch) {
+        checkpoint_victim = it;
+      }
+    }
+    const bool have_revision = revision_victim != history_.end();
+    const bool have_checkpoint = checkpoint_victim != checkpoints_.end();
+    if (!have_revision && !have_checkpoint) {
       break;  // everything left is pinned
     }
-    unpinned_bytes -= victim->second.bytes;
-    history_.erase(victim);
-    ++evictions_;
+    const bool take_revision =
+        have_revision &&
+        (!have_checkpoint || revision_victim->second.last_touch <
+                                 checkpoint_victim->second.last_touch);
+    if (take_revision) {
+      unpinned_bytes -= revision_victim->second.bytes;
+      history_.erase(revision_victim);
+      ++evictions_;
+    } else {
+      unpinned_bytes -= checkpoint_victim->second.bytes;
+      checkpoints_.erase(checkpoint_victim);
+      ++checkpoint_evictions_;
+    }
   }
 }
 

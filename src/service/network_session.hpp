@@ -29,6 +29,24 @@
 // pinned entries are never evicted, because dropping them would lie
 // about what memory is actually held.  Budget 0 (the default) retains
 // no unpinned history — the pre-daemon behavior.
+//
+// Incremental checkpoints: the session also retains, keyed by
+// subscription id, the per-column DP state (core::IncrementalCheckpoint)
+// an incremental re-solve reuses.  Checkpoint bytes are charged against
+// the SAME budget and evicted by the same LRU sweep as revisions (an
+// entry held by an in-flight solve is pinned); losing one merely costs
+// the next re-solve a full recapture.  Each entry carries a solve mutex
+// — solvers try-lock it, so two concurrent re-solves of one
+// subscription never race on its checkpoint (the loser runs a plain
+// full solve).
+//
+// Pinned-revision diagnostics: cache_stats() reports how many
+// superseded revisions are currently pinned and their byte total.  The
+// steady state is the live subscription count; a pinned count that only
+// ever grows means a leaked snapshot — typically a solve that hung and
+// will pin its revision forever (the full lease/timeout story is a
+// ROADMAP item; this counter makes the leak visible in the daemon's
+// `stats` verb).
 
 #include <cstdint>
 #include <map>
@@ -37,6 +55,7 @@
 #include <span>
 #include <string>
 
+#include "core/incremental.hpp"
 #include "graph/network.hpp"
 
 namespace elpc::service {
@@ -54,6 +73,18 @@ struct SessionCacheStats {
   std::size_t current_bytes = 0;
   /// Revisions dropped by the budget since registration.
   std::uint64_t evictions = 0;
+  /// Incremental checkpoints retained / their byte total / dropped by
+  /// the budget since registration.
+  std::size_t checkpoints = 0;
+  std::size_t checkpoint_bytes = 0;
+  std::uint64_t checkpoint_evictions = 0;
+  /// Superseded revisions whose snapshot is still referenced outside
+  /// the cache (in-flight solve, retained subscription) and therefore
+  /// exempt from eviction, plus their bytes.  Steady state equals the
+  /// live subscription count; unbounded growth = a leaked pin (e.g. a
+  /// hung solve) — surfaced in the daemon `stats` verb.
+  std::size_t pinned_revisions = 0;
+  std::size_t pinned_bytes = 0;
 };
 
 class NetworkSession {
@@ -107,9 +138,41 @@ class NetworkSession {
   /// only be reclaimed by a sweep) and reports occupancy.
   [[nodiscard]] SessionCacheStats cache_stats() const;
 
+  /// One subscription's retained incremental-DP state.  Solvers must
+  /// hold solve_mutex (try_lock; fall back to a plain full solve on
+  /// contention) while touching `state`, and record the session
+  /// revision the state was left consistent with.
+  struct CheckpointEntry {
+    std::mutex solve_mutex;
+    core::IncrementalCheckpoint state;
+    /// Revision `state`'s columns were computed against; only
+    /// meaningful when has_revision (a fresh entry has solved nothing).
+    std::uint64_t revision = 0;
+    bool has_revision = false;
+  };
+  using CheckpointEntryPtr = std::shared_ptr<CheckpointEntry>;
+
+  /// The checkpoint slot for a subscription key, created empty when
+  /// absent; touches its LRU position.  The returned reference pins the
+  /// entry against eviction until released.
+  [[nodiscard]] CheckpointEntryPtr checkpoint_entry(const std::string& key);
+  /// Re-charges the entry at `bytes` after a solve grew/refreshed it
+  /// and runs the budget sweep.  The caller measures
+  /// state.approx_bytes() while still holding solve_mutex — this
+  /// method must not touch `state` itself, since another solve may
+  /// already be resizing it.  No-op when the entry was evicted.
+  void note_checkpoint_update(const std::string& key, std::size_t bytes);
+  /// Removes the slot outright (unsubscribe path).
+  void drop_checkpoint(const std::string& key);
+
  private:
   struct CachedRevision {
     NetworkSnapshot network;
+    std::size_t bytes = 0;
+    std::uint64_t last_touch = 0;
+  };
+  struct CachedCheckpoint {
+    CheckpointEntryPtr entry;
     std::size_t bytes = 0;
     std::uint64_t last_touch = 0;
   };
@@ -125,8 +188,11 @@ class NetworkSession {
   std::uint64_t revision_ = 0;
   /// Superseded revisions; mutable so const readers can run the sweep.
   mutable std::map<std::uint64_t, CachedRevision> history_;
+  /// Incremental checkpoints by subscription key, same budget + sweep.
+  mutable std::map<std::string, CachedCheckpoint> checkpoints_;
   mutable std::uint64_t touch_clock_ = 0;
   mutable std::uint64_t evictions_ = 0;
+  mutable std::uint64_t checkpoint_evictions_ = 0;
 };
 
 }  // namespace elpc::service

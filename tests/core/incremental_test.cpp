@@ -1,0 +1,330 @@
+// Incremental (delta-driven, column-reuse) frame-rate re-solves must be
+// BIT-IDENTICAL to from-scratch solves — same seconds, same mapping —
+// under arbitrary link-update sequences, and must fall back to a full
+// solve (recapturing the checkpoint) whenever the checkpoint cannot
+// prove reuse safe.  The CI incremental-parity job extends this suite
+// with per-kernel fuzzing over serialized batch results.
+
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/elpc.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::core {
+namespace {
+
+using graph::LinkAttr;
+using graph::LinkUpdate;
+using graph::Network;
+using graph::NodeId;
+
+Network make_network(std::uint64_t seed, std::size_t nodes,
+                     std::size_t links) {
+  util::Rng rng(seed);
+  return graph::random_connected_network(rng, nodes, links,
+                                         graph::AttributeRanges{});
+}
+
+pipeline::Pipeline make_pipeline(std::uint64_t seed, std::size_t modules) {
+  util::Rng rng(seed);
+  return pipeline::random_pipeline(rng, modules, pipeline::PipelineRanges{});
+}
+
+mapping::Problem framerate_problem(const pipeline::Pipeline& pipeline,
+                                   const Network& net, NodeId source,
+                                   NodeId destination) {
+  return mapping::Problem(pipeline, net, source, destination,
+                          pipeline::CostOptions{.include_link_delay = false});
+}
+
+/// Incremental-vs-scratch comparison for one state of `net`:
+/// `incremental` solves with the persistent checkpoint + delta, scratch
+/// runs a plain mapper on the same network.  Exact (==) equality.
+void expect_parity(const pipeline::Pipeline& pipeline, const Network& net,
+                   NodeId source, NodeId destination,
+                   IncrementalCheckpoint& ckpt,
+                   const std::vector<LinkUpdate>* delta,
+                   IncrementalStats* stats, const std::string& context) {
+  ElpcOptions inc_options;
+  inc_options.checkpoint = &ckpt;
+  inc_options.delta = delta;
+  inc_options.incremental_stats = stats;
+  const mapping::MapResult inc =
+      ElpcMapper(inc_options).max_frame_rate(
+          framerate_problem(pipeline, net, source, destination));
+  const mapping::MapResult scratch = ElpcMapper().max_frame_rate(
+      framerate_problem(pipeline, net, source, destination));
+  ASSERT_EQ(inc.feasible, scratch.feasible) << context;
+  if (scratch.feasible) {
+    EXPECT_EQ(inc.seconds, scratch.seconds) << context;
+    EXPECT_EQ(inc.mapping, scratch.mapping) << context;
+  }
+}
+
+/// 1..max_links random metric deltas on existing links.
+std::vector<LinkUpdate> random_updates(util::Rng& rng, const Network& net,
+                                       std::size_t max_links) {
+  const std::size_t count = 1 + rng.index(max_links);
+  std::vector<LinkUpdate> updates;
+  for (std::size_t i = 0; i < count; ++i) {
+    NodeId from = rng.index(net.node_count());
+    while (net.out_degree(from) == 0) {
+      from = rng.index(net.node_count());
+    }
+    const graph::Edge edge =
+        net.out_edges(from)[rng.index(net.out_degree(from))];
+    updates.push_back(LinkUpdate{
+        edge.from, edge.to,
+        LinkAttr{edge.attr.bandwidth_mbps * rng.uniform_real(0.3, 3.0),
+                 edge.attr.min_delay_s * rng.uniform_real(0.5, 2.0)}});
+  }
+  return updates;
+}
+
+TEST(Incremental, EmptyDeltaReplaysEveryColumn) {
+  const pipeline::Pipeline pipeline = make_pipeline(3, 5);
+  const Network net = make_network(7, 12, 70);
+  IncrementalCheckpoint ckpt;
+  IncrementalStats stats;
+
+  // First solve: nothing to reuse; captures.
+  expect_parity(pipeline, net, 0, 11, ckpt, nullptr, &stats, "capture");
+  EXPECT_TRUE(stats.attempted);
+  EXPECT_FALSE(stats.incremental);
+  EXPECT_STREQ(stats.fallback, "no-checkpoint");
+  EXPECT_TRUE(ckpt.valid());
+
+  // Unchanged network + empty delta: pure replay, zero kernel runs.
+  const std::vector<LinkUpdate> none;
+  expect_parity(pipeline, net, 0, 11, ckpt, &none, &stats, "replay");
+  EXPECT_TRUE(stats.incremental);
+  EXPECT_EQ(stats.fallback, nullptr);
+  EXPECT_EQ(stats.columns_reused, stats.columns_total);
+  EXPECT_EQ(stats.cells_recomputed, 0u);
+}
+
+TEST(Incremental, RandomUpdateSequencesMatchScratch) {
+  // The 80-node case crosses the 64-node boundary, so checkpoint
+  // columns carry multi-word visited planes (words_per_set == 2).
+  for (const auto& [net_seed, nodes, links, modules] :
+       {std::tuple<std::uint64_t, std::size_t, std::size_t, std::size_t>{
+            11, 12, 70, 5},
+        {12, 25, 300, 8},
+        {13, 16, 60, 9},
+        {14, 80, 900, 10}}) {
+    Network net = make_network(net_seed, nodes, links);
+    const pipeline::Pipeline pipeline = make_pipeline(net_seed + 50, modules);
+    IncrementalCheckpoint ckpt;
+    util::Rng rng(net_seed * 1000 + 1);
+
+    IncrementalStats stats;
+    expect_parity(pipeline, net, 0, nodes - 1, ckpt, nullptr, &stats,
+                  "initial");
+    std::size_t hits = 0;
+    for (int round = 0; round < 12; ++round) {
+      const std::vector<LinkUpdate> updates = random_updates(rng, net, 2);
+      net.apply_link_updates(updates);
+      expect_parity(pipeline, net, 0, nodes - 1, ckpt, &updates, &stats,
+                    "seed " + std::to_string(net_seed) + " round " +
+                        std::to_string(round));
+      hits += stats.incremental ? 1 : 0;
+    }
+    // Two-link updates on these sizes are always narrow enough to reuse.
+    EXPECT_EQ(hits, 12u) << net_seed;
+  }
+}
+
+TEST(Incremental, UpdateIntoDestinationReachesLastColumn) {
+  Network net = make_network(21, 14, 80);
+  const pipeline::Pipeline pipeline = make_pipeline(22, 6);
+  const NodeId destination = 13;
+  ASSERT_GT(net.in_degree(destination), 0u);
+  IncrementalCheckpoint ckpt;
+  IncrementalStats stats;
+  expect_parity(pipeline, net, 0, destination, ckpt, nullptr, &stats,
+                "initial");
+
+  // The only cell computed in the final column is the destination's;
+  // throttling a link INTO it must dirty exactly that frontier and stay
+  // bit-identical.
+  const graph::Edge edge = net.in_edges(destination).front();
+  for (const double factor : {0.05, 20.0, 1.0}) {
+    const std::vector<LinkUpdate> updates = {LinkUpdate{
+        edge.from, edge.to,
+        LinkAttr{edge.attr.bandwidth_mbps * factor, edge.attr.min_delay_s}}};
+    net.apply_link_updates(updates);
+    expect_parity(pipeline, net, 0, destination, ckpt, &updates, &stats,
+                  "factor " + std::to_string(factor));
+    EXPECT_TRUE(stats.incremental);
+  }
+}
+
+TEST(Incremental, BandwidthSwingMovesCandidatesInAndOutOfTheBeam) {
+  // Swinging one link's bandwidth across two orders of magnitude makes
+  // its transport term dominate or vanish, so the predecessor it feeds
+  // enters and leaves cells' beams — the "row widens/narrows" edge case.
+  Network net = make_network(31, 12, 70);
+  const pipeline::Pipeline pipeline = make_pipeline(32, 6);
+  IncrementalCheckpoint ckpt;
+  IncrementalStats stats;
+  expect_parity(pipeline, net, 0, 11, ckpt, nullptr, &stats, "initial");
+
+  const graph::Edge edge = net.out_edges(3).front();
+  for (const double factor :
+       {0.01, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0, 0.01, 100.0}) {
+    const std::vector<LinkUpdate> updates = {LinkUpdate{
+        edge.from, edge.to,
+        LinkAttr{edge.attr.bandwidth_mbps * factor, edge.attr.min_delay_s}}};
+    net.apply_link_updates(updates);
+    expect_parity(pipeline, net, 0, 11, ckpt, &updates, &stats,
+                  "factor " + std::to_string(factor));
+    EXPECT_TRUE(stats.incremental);
+  }
+}
+
+TEST(Incremental, NoOpUpdateReplaysAllColumns) {
+  Network net = make_network(41, 12, 70);
+  const pipeline::Pipeline pipeline = make_pipeline(42, 5);
+  IncrementalCheckpoint ckpt;
+  IncrementalStats stats;
+  expect_parity(pipeline, net, 0, 11, ckpt, nullptr, &stats, "initial");
+
+  // Re-publishing a link's existing attributes recomputes its target's
+  // cells but changes nothing, so no difference ever propagates.
+  const graph::Edge edge = net.out_edges(0).front();
+  const std::vector<LinkUpdate> updates = {
+      LinkUpdate{edge.from, edge.to, edge.attr}};
+  net.apply_link_updates(updates);
+  expect_parity(pipeline, net, 0, 11, ckpt, &updates, &stats, "no-op");
+  EXPECT_TRUE(stats.incremental);
+  EXPECT_EQ(stats.columns_reused, stats.columns_total);
+  EXPECT_GT(stats.cells_recomputed, 0u);
+  EXPECT_LT(stats.cells_recomputed, stats.cells_total);
+}
+
+TEST(Incremental, FallsBackWithoutDeltaAndRecaptures) {
+  Network net = make_network(51, 12, 70);
+  const pipeline::Pipeline pipeline = make_pipeline(52, 5);
+  IncrementalCheckpoint ckpt;
+  IncrementalStats stats;
+  expect_parity(pipeline, net, 0, 11, ckpt, nullptr, &stats, "initial");
+
+  const graph::Edge edge = net.out_edges(0).front();
+  std::vector<LinkUpdate> updates = {LinkUpdate{
+      edge.from, edge.to,
+      LinkAttr{edge.attr.bandwidth_mbps * 0.5, edge.attr.min_delay_s}}};
+  net.apply_link_updates(updates);
+  // Unknown delta: must not reuse, must recapture.
+  expect_parity(pipeline, net, 0, 11, ckpt, nullptr, &stats, "no delta");
+  EXPECT_FALSE(stats.incremental);
+  EXPECT_STREQ(stats.fallback, "no-delta");
+  // The recaptured checkpoint serves the next delta incrementally.
+  updates[0].attr.bandwidth_mbps = edge.attr.bandwidth_mbps * 2.0;
+  net.apply_link_updates(updates);
+  expect_parity(pipeline, net, 0, 11, ckpt, &updates, &stats, "after");
+  EXPECT_TRUE(stats.incremental);
+}
+
+TEST(Incremental, FallsBackOnStaleDeltaVersion) {
+  Network net = make_network(61, 12, 70);
+  const pipeline::Pipeline pipeline = make_pipeline(62, 5);
+  IncrementalCheckpoint ckpt;
+  IncrementalStats stats;
+  expect_parity(pipeline, net, 0, 11, ckpt, nullptr, &stats, "initial");
+
+  // Apply TWO update batches but only admit to the second: the version
+  // arithmetic catches the gap.
+  const graph::Edge edge = net.out_edges(0).front();
+  for (const double factor : {0.5, 0.25}) {
+    const std::vector<LinkUpdate> updates = {LinkUpdate{
+        edge.from, edge.to,
+        LinkAttr{edge.attr.bandwidth_mbps * factor, edge.attr.min_delay_s}}};
+    net.apply_link_updates(updates);
+    if (factor == 0.25) {
+      expect_parity(pipeline, net, 0, 11, ckpt, &updates, &stats, "stale");
+      EXPECT_FALSE(stats.incremental);
+      EXPECT_STREQ(stats.fallback, "network-version-mismatch");
+    }
+  }
+}
+
+TEST(Incremental, FallsBackOnWideUpdateAndEvictedCheckpoint) {
+  Network net = make_network(71, 12, 70);
+  const pipeline::Pipeline pipeline = make_pipeline(72, 5);
+  IncrementalCheckpoint ckpt;
+  IncrementalStats stats;
+  expect_parity(pipeline, net, 0, 11, ckpt, nullptr, &stats, "initial");
+
+  // Touch every link: far past the dirty-fraction bound.
+  std::vector<LinkUpdate> wide;
+  for (NodeId v = 0; v < net.node_count(); ++v) {
+    for (const graph::Edge& e : net.out_edges(v)) {
+      wide.push_back(LinkUpdate{
+          e.from, e.to,
+          LinkAttr{e.attr.bandwidth_mbps * 0.9, e.attr.min_delay_s}});
+    }
+  }
+  net.apply_link_updates(wide);
+  expect_parity(pipeline, net, 0, 11, ckpt, &wide, &stats, "wide");
+  EXPECT_FALSE(stats.incremental);
+  EXPECT_STREQ(stats.fallback, "wide-update");
+
+  // Invalidation (what a cache eviction amounts to mid-sequence): the
+  // next solve is a full recapture, and the one after reuses again.
+  ckpt.invalidate();
+  const graph::Edge edge = net.out_edges(0).front();
+  std::vector<LinkUpdate> updates = {LinkUpdate{
+      edge.from, edge.to,
+      LinkAttr{edge.attr.bandwidth_mbps * 3.0, edge.attr.min_delay_s}}};
+  net.apply_link_updates(updates);
+  expect_parity(pipeline, net, 0, 11, ckpt, &updates, &stats, "evicted");
+  EXPECT_FALSE(stats.incremental);
+  EXPECT_STREQ(stats.fallback, "no-checkpoint");
+  updates[0].attr.bandwidth_mbps = edge.attr.bandwidth_mbps;
+  net.apply_link_updates(updates);
+  expect_parity(pipeline, net, 0, 11, ckpt, &updates, &stats, "recovered");
+  EXPECT_TRUE(stats.incremental);
+}
+
+TEST(Incremental, FingerprintRejectsDifferentProblem) {
+  const Network net = make_network(81, 12, 70);
+  const pipeline::Pipeline pipeline_a = make_pipeline(82, 5);
+  const pipeline::Pipeline pipeline_b = make_pipeline(83, 5);
+  IncrementalCheckpoint ckpt;
+  IncrementalStats stats;
+  expect_parity(pipeline_a, net, 0, 11, ckpt, nullptr, &stats, "capture");
+
+  const std::vector<LinkUpdate> none;
+  // Different pipeline, different endpoints: both must refuse to replay.
+  expect_parity(pipeline_b, net, 0, 11, ckpt, &none, &stats, "pipeline");
+  EXPECT_STREQ(stats.fallback, "fingerprint-mismatch");
+  expect_parity(pipeline_b, net, 1, 11, ckpt, &none, &stats, "endpoints");
+  EXPECT_STREQ(stats.fallback, "fingerprint-mismatch");
+}
+
+TEST(Incremental, CheckpointBytesAreChargedAndBounded) {
+  const Network net = make_network(91, 12, 70);
+  const pipeline::Pipeline pipeline = make_pipeline(92, 5);
+  IncrementalCheckpoint ckpt;
+  EXPECT_LT(ckpt.approx_bytes(), std::size_t{4096});
+
+  ElpcOptions options;
+  options.checkpoint = &ckpt;
+  (void)ElpcMapper(options).max_frame_rate(
+      framerate_problem(pipeline, net, 0, 11));
+  // 5 columns x 12 nodes x beam 4: comfortably under a megabyte, but
+  // clearly charged.
+  EXPECT_GT(ckpt.approx_bytes(), std::size_t{5000});
+  EXPECT_LT(ckpt.approx_bytes(), std::size_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace elpc::core

@@ -36,6 +36,13 @@ service::SolveJob make_job(const std::string& id, std::uint64_t pseed,
   return job;
 }
 
+/// First out-edge of node 0 in the deterministic test network `seed` —
+/// for building link deltas without re-deriving the topology.
+graph::Edge first_edge(std::uint64_t seed) {
+  graph::Network net = make_network(seed);
+  return net.out_edges(0).front();
+}
+
 /// A unique socket path per test (paths must fit sun_path and not
 /// collide across parallel test shards).
 std::string socket_path(const std::string& tag) {
@@ -230,14 +237,9 @@ TEST(SocketServer, SessionBudgetBoundsRevisionsAndReportsEvictions) {
   sub.resolve_on_update = true;
   (void)client.wait(client.submit(sub));
 
-  std::vector<graph::LinkUpdate> delta;
-  {
-    service::BatchEngine probe;
-    probe.register_network("net", make_network(3));
-    const service::NetworkSnapshot snap = probe.session("net").snapshot();
-    const graph::Edge e = snap->out_edges(0).front();
-    delta.push_back(graph::LinkUpdate{e.from, e.to, e.attr});
-  }
+  const graph::Edge e = first_edge(3);
+  std::vector<graph::LinkUpdate> delta = {
+      graph::LinkUpdate{e.from, e.to, e.attr}};
   for (int i = 1; i <= 50; ++i) {
     delta[0].attr.bandwidth_mbps = static_cast<double>(i);
     const std::vector<util::Json> resolved =
@@ -251,6 +253,46 @@ TEST(SocketServer, SessionBudgetBoundsRevisionsAndReportsEvictions) {
   EXPECT_LE(stats.at("cached_revisions").as_int(), 8);
   EXPECT_GE(stats.at("cache_evictions").as_int(), 40);
   EXPECT_EQ(stats.at("subscriptions").as_int(), 1);
+  // Non-incremental daemon: the counters exist and stay zero.
+  EXPECT_EQ(stats.at("incremental_hits").as_int(), 0);
+  EXPECT_EQ(stats.at("checkpoints").as_int(), 0);
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+TEST(SocketServer, IncrementalDaemonReportsReuseAndPinDiagnostics) {
+  SocketServerOptions options;
+  options.incremental = true;
+  SocketServer server(socket_path("incremental"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+  DaemonClient client(server.socket_path());
+
+  client.register_network("net", make_network(5));
+  service::SolveJob sub =
+      make_job("sub", 71, service::Objective::kMaxFrameRate);
+  sub.resolve_on_update = true;
+  (void)client.wait(client.submit(sub));
+
+  const graph::Edge e = first_edge(5);
+  std::vector<graph::LinkUpdate> delta = {
+      graph::LinkUpdate{e.from, e.to, e.attr}};
+  for (int i = 1; i <= 3; ++i) {
+    delta[0].attr.bandwidth_mbps = 100.0 + i;
+    ASSERT_EQ(client.apply_link_updates("net", delta).size(), 1u);
+  }
+
+  const util::Json stats = client.stats();
+  // Capture on the first solve (one miss), column reuse on every delta.
+  EXPECT_EQ(stats.at("incremental_misses").as_int(), 1);
+  EXPECT_EQ(stats.at("incremental_hits").as_int(), 3);
+  EXPECT_GT(stats.at("incremental_columns_reused").as_int(), 0);
+  EXPECT_EQ(stats.at("checkpoints").as_int(), 1);
+  EXPECT_GT(stats.at("checkpoint_bytes").as_int(), 0);
+  // Steady state: the only pin is the subscription's CURRENT revision,
+  // which is not superseded — so no pinned superseded revisions.
+  EXPECT_EQ(stats.at("pinned_revisions").as_int(), 0);
+  EXPECT_EQ(stats.at("pinned_bytes").as_int(), 0);
 
   client.shutdown_server();
   serve_thread.join();

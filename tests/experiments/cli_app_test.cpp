@@ -187,6 +187,29 @@ TEST(Cli, BatchTimingFlagAddsMetadataAndOutWritesFile) {
   }
 }
 
+TEST(Cli, FuzzIncrementalParityByteForByte) {
+  // The CI incremental-parity job's core check, in-process and small:
+  // same seed, with and without --incremental, byte-identical documents
+  // — and the incremental run must actually have reused checkpoints.
+  const CliRun plain = run({"fuzz", "--seed", "5", "--rounds", "6"});
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  const CliRun incremental = run({"fuzz", "--seed", "5", "--rounds", "6",
+                                  "--incremental", "--min-hits", "1"});
+  ASSERT_EQ(incremental.code, 0) << incremental.err;
+  EXPECT_EQ(plain.out, incremental.out);
+  const util::Json doc = util::Json::parse(plain.out);
+  EXPECT_EQ(doc.at("resolves").as_array().size(), 6u);
+}
+
+TEST(Cli, FuzzMinHitsFailsWhenReuseCannotEngage) {
+  // Without --incremental there are no hits, so --min-hits must fail
+  // loudly instead of green-lighting a parity run that proved nothing.
+  const CliRun r =
+      run({"fuzz", "--seed", "5", "--rounds", "2", "--min-hits", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--min-hits"), std::string::npos);
+}
+
 TEST(Cli, BatchRequiresJobsFile) {
   const CliRun r = run({"batch"});
   EXPECT_EQ(r.code, 1);

@@ -188,5 +188,70 @@ TEST(SessionCache, PinnedRevisionSurvivesEvictionUntilReleased) {
   EXPECT_EQ(session.revision_snapshot(0), nullptr);
 }
 
+TEST(SessionCache, PinnedRevisionDiagnosticCountsOutsideReferences) {
+  NetworkSession session("net", small_network(), 1 << 20);
+  NetworkSnapshot held = session.snapshot();  // will pin revision 0
+  for (int i = 1; i <= 3; ++i) {
+    session.apply_link_updates(
+        one_delta(session.snapshot(), static_cast<double>(i)));
+  }
+  const SessionCacheStats pinned = session.cache_stats();
+  EXPECT_EQ(pinned.cached_revisions, 3u);
+  EXPECT_EQ(pinned.pinned_revisions, 1u);  // only revision 0 is held
+  EXPECT_GT(pinned.pinned_bytes, 0u);
+  held.reset();
+  const SessionCacheStats released = session.cache_stats();
+  EXPECT_EQ(released.pinned_revisions, 0u);
+  EXPECT_EQ(released.pinned_bytes, 0u);
+}
+
+TEST(SessionCache, CheckpointsShareTheBudgetAndEvictLru) {
+  NetworkSession session("net", small_network());  // budget 0
+  {
+    // Held entry: pinned, survives the sweep even at budget 0.
+    const NetworkSession::CheckpointEntryPtr entry =
+        session.checkpoint_entry("job");
+    entry->state.setup(core::IncrementalCheckpoint::Fingerprint{
+        .modules = 4, .nodes = 10, .beam = 4, .words = 1});
+    session.note_checkpoint_update("job", entry->state.approx_bytes());
+    const SessionCacheStats stats = session.cache_stats();
+    EXPECT_EQ(stats.checkpoints, 1u);
+    EXPECT_GT(stats.checkpoint_bytes, 0u);
+    // Re-requesting the same key returns the same entry, not a fresh one.
+    EXPECT_EQ(session.checkpoint_entry("job").get(), entry.get());
+  }
+  // Released: the next sweep reclaims it.
+  const SessionCacheStats swept = session.cache_stats();
+  EXPECT_EQ(swept.checkpoints, 0u);
+  EXPECT_EQ(swept.checkpoint_evictions, 1u);
+}
+
+TEST(SessionCache, PinnedRevisionsNeverYieldToCheckpointPressure) {
+  // Budget sized for roughly one revision; a pinned revision plus a
+  // checkpoint overflow it.  The sweep may only take the checkpoint —
+  // pinned revisions are exempt no matter who else wants the bytes.
+  const std::size_t one_revision = small_network().approx_bytes();
+  NetworkSession session("net", small_network(), one_revision);
+  NetworkSnapshot held = session.snapshot();  // pins revision 0
+  for (int i = 1; i <= 2; ++i) {
+    session.apply_link_updates(
+        one_delta(session.snapshot(), static_cast<double>(i)));
+  }
+  {
+    const NetworkSession::CheckpointEntryPtr entry =
+        session.checkpoint_entry("job");
+    // Size the checkpoint past the whole budget.
+    entry->state.setup(core::IncrementalCheckpoint::Fingerprint{
+        .modules = 64, .nodes = 256, .beam = 4, .words = 4});
+    session.note_checkpoint_update("job", entry->state.approx_bytes());
+  }
+  const SessionCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.checkpoints, 0u);  // the oversized checkpoint went
+  EXPECT_EQ(stats.checkpoint_evictions, 1u);
+  EXPECT_EQ(stats.pinned_revisions, 1u);
+  ASSERT_NE(session.revision_snapshot(0), nullptr);  // pinned: retained
+  EXPECT_EQ(session.revision_snapshot(0).get(), held.get());
+}
+
 }  // namespace
 }  // namespace elpc::service
