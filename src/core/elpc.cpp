@@ -57,6 +57,22 @@ inline bool cell_dead(const std::vector<std::size_t>& to_dest, NodeId v,
 /// Reconstructs the per-module assignment from column-parent pointers:
 /// parent[j * k + v] is the node running module j-1 when module j runs
 /// on v along the best partial solution ending at cell (j, v).
+/// The once-per-column abort poll (ElpcOptions::abort_probe): answers
+/// with an exception so one code path serves both DPs and every loop
+/// shape (full solve, incremental replay) without threading a flag.
+inline void check_abort(const ElpcOptions& options) {
+  if (!options.abort_probe) {
+    return;
+  }
+  const SolveAbort reason = options.abort_probe();
+  if (reason == SolveAbort::kCancelled) {
+    throw SolveAborted(reason, "solve cancelled mid-run");
+  }
+  if (reason == SolveAbort::kTimedOut) {
+    throw SolveAborted(reason, "solve deadline exceeded mid-run");
+  }
+}
+
 Mapping reconstruct(const std::vector<NodeId>& parent, std::size_t n,
                     std::size_t k, NodeId destination) {
   std::vector<NodeId> assignment(n, kInvalidNode);
@@ -107,6 +123,7 @@ MapResult ElpcMapper::min_delay(const Problem& problem) const {
   prev[problem.source] = 0.0;  // module 0 (source stage) computes nothing
 
   for (std::size_t j = 1; j < n; ++j) {
+    check_abort(options_);
     const double input_mb = problem.pipeline->input_mb(j);
     // Hoist the per-node computing times (one division each) out of the
     // edge sweep, and collect the reachable frontier: early columns touch
@@ -675,6 +692,7 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
 
   if (!run_incremental) {
     for (std::size_t j = 1; j < n; ++j) {
+      check_abort(options_);
       arena.clear_column(cur_p);
       const double input_mb = problem.pipeline->input_mb(j);
       if (pool != nullptr && j + 1 < n) {
@@ -724,6 +742,10 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
     std::vector<NodeId> next_changed;
     ParentRec* const ckpt_parents = ckpt->parents();
     for (std::size_t j = 1; j < n; ++j) {
+      // An abort here leaves the checkpoint invalidated (the upfront
+      // invalidate() — set_valid only runs below), so a torn replay can
+      // never be reused; the next re-solve recaptures from scratch.
+      check_abort(options_);
       load_column(cur_p, j);
       dirty_list.clear();
       for (const NodeId v : delta_targets) {

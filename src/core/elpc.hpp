@@ -20,6 +20,9 @@
 //    consumed it ("extremely rare" per the paper; quantified by the E7
 //    optimality-gap bench).
 
+#include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/incremental.hpp"
@@ -29,6 +32,29 @@
 namespace elpc::core {
 
 class FrameRateArena;
+
+/// Why a cooperative abort probe wants a running solve stopped.
+enum class SolveAbort { kNone = 0, kCancelled, kTimedOut };
+
+/// Polled once per DP column by both ELPC objectives (see
+/// ElpcOptions::abort_probe).  Must be cheap and thread-safe: the probe
+/// runs on whichever shard thread hosts the solve, many times per solve.
+using AbortProbe = std::function<SolveAbort()>;
+
+/// Thrown out of the DP when the abort probe reports a reason.  Column
+/// granularity bounds the latency: a deadline or cancellation stops a
+/// runaway solve within one column's work, not at the next job boundary.
+/// Any checkpoint being (re)captured is left invalidated, so the next
+/// re-solve recaptures cleanly.
+class SolveAborted : public std::runtime_error {
+ public:
+  SolveAborted(SolveAbort reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  [[nodiscard]] SolveAbort reason() const noexcept { return reason_; }
+
+ private:
+  SolveAbort reason_;
+};
 
 /// Tuning knobs for the ELPC mapper (defaults reproduce the paper).
 struct ElpcOptions {
@@ -108,6 +134,13 @@ struct ElpcOptions {
   /// When non-null, filled with this solve's incremental outcome
   /// (hit/fallback reason, columns replayed, cells recomputed).
   IncrementalStats* incremental_stats = nullptr;
+  /// Cooperative cancellation/deadline hook: checked once per DP column
+  /// in both objectives; a non-kNone answer throws SolveAborted carrying
+  /// the reason.  Null (the default) never aborts.  The serving layer
+  /// wires this to the job's cancel flag + deadline (see
+  /// service::MapperContext::abort); it never affects the values a
+  /// completed solve returns.
+  AbortProbe abort_probe = nullptr;
 };
 
 /// The paper's algorithm pair behind the common Mapper interface.

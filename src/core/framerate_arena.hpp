@@ -25,7 +25,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <vector>
+
+#include "util/fault_injector.hpp"
 
 namespace elpc::core {
 
@@ -59,6 +62,13 @@ class FrameRateArena {
   /// already covers the requested dimensions allocates nothing.
   void setup(std::size_t node_count, std::size_t beam, std::size_t columns,
              std::size_t chunks) {
+    // Fault point "arena_alloc": the survivability harness simulates the
+    // allocator failing right where the DP sizes its buffers; the solve
+    // fails like any other exception, the daemon must not.
+    if (util::FaultInjector::instance().enabled() &&
+        util::FaultInjector::instance().should_fire("arena_alloc")) {
+      throw std::bad_alloc();
+    }
     node_count_ = node_count;
     beam_ = beam;
     words_per_set_ = std::max<std::size_t>(1, (node_count + 63) / 64);

@@ -1,5 +1,7 @@
 #include "daemon/client.hpp"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "graph/serialize.hpp"
@@ -17,16 +19,47 @@ util::Json verb_frame(const std::string& verb) {
 
 }  // namespace
 
-DaemonClient::DaemonClient(const std::string& socket_path)
-    : socket_(util::UnixSocket::connect(socket_path)) {}
+DaemonClient::DaemonClient(const std::string& socket_path,
+                           DaemonClientOptions options)
+    : options_(options),
+      socket_path_(socket_path),
+      socket_(util::UnixSocket::connect(socket_path)),
+      rng_(std::random_device{}()) {}
 
 util::Json DaemonClient::request(const util::Json& frame) {
-  socket_.send_line(frame.dump());
-  const std::optional<std::string> line = socket_.recv_line();
-  if (!line.has_value()) {
-    throw util::SocketError("daemon closed the connection mid-request");
+  const std::string payload = frame.dump();
+  std::size_t attempt = 0;
+  for (;;) {
+    try {
+      if (!socket_.valid()) {
+        socket_ = util::UnixSocket::connect(socket_path_);
+      }
+      socket_.send_line(payload);
+      const std::optional<std::string> line = socket_.recv_line();
+      if (!line.has_value()) {
+        throw util::SocketError("daemon closed the connection mid-request");
+      }
+      return util::Json::parse(*line);
+    } catch (const util::SocketTimeout&) {
+      // The connection is healthy and the request may still be
+      // executing server-side; retrying would double-run it.
+      throw;
+    } catch (const util::SocketError&) {
+      socket_.close();  // half-exchanged bytes cannot be resumed
+      if (attempt >= options_.max_retries) {
+        throw;
+      }
+      // Exponential backoff, each step scaled by a uniform ±50% jitter
+      // so simultaneous failures do not retry in lockstep.
+      const double base =
+          static_cast<double>(options_.backoff_ms) *
+          static_cast<double>(std::uint64_t{1} << attempt);
+      std::uniform_real_distribution<double> jitter(0.5, 1.5);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(base * jitter(rng_)));
+      ++attempt;
+    }
   }
-  return util::Json::parse(*line);
 }
 
 util::Json DaemonClient::checked(util::Json frame) {
@@ -84,6 +117,12 @@ void DaemonClient::pause() { (void)checked(verb_frame("pause")); }
 void DaemonClient::resume() { (void)checked(verb_frame("resume")); }
 
 util::Json DaemonClient::stats() { return checked(verb_frame("stats")); }
+
+util::Json DaemonClient::drain(std::int64_t timeout_ms) {
+  util::Json frame = verb_frame("drain");
+  frame.set("timeout_ms", timeout_ms);
+  return checked(std::move(frame));
+}
 
 void DaemonClient::shutdown_server() {
   (void)checked(verb_frame("shutdown"));

@@ -8,8 +8,19 @@
 // server answers ok=false (carrying the server's diagnostic) and
 // util::SocketError on transport failures; request() is the raw escape
 // hatch returning the response frame verbatim.
+//
+// Transient-failure policy: a transport failure (util::SocketError —
+// dropped connection, injected EPIPE, torn frame) is retried up to
+// max_retries times with exponential backoff + jitter, reconnecting
+// each time.  util::SocketTimeout is NOT retried (the connection is
+// healthy; the caller chose the bound) and DaemonError is NOT retried
+// (the server answered — retrying re-runs a request that already
+// executed).  Retrying a `submit` whose response was lost CAN
+// double-submit; callers needing exactly-once should reconcile via
+// `stats`/`poll`, which is what the chaos driver's invariants do.
 
 #include <cstdint>
+#include <random>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,15 +39,28 @@ class DaemonError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+struct DaemonClientOptions {
+  /// Reconnect-and-resend attempts after a transport failure (0 = fail
+  /// on the first SocketError, the pre-retry behaviour for tests that
+  /// assert on transport faults directly).
+  std::size_t max_retries = 3;
+  /// First backoff; doubles per attempt, each scaled by a uniform
+  /// ±50% jitter so a fleet of retrying clients does not stampede.
+  std::int64_t backoff_ms = 25;
+};
+
 class DaemonClient {
  public:
   /// Connects immediately; throws util::SocketError when no daemon
   /// listens at `socket_path`.
-  explicit DaemonClient(const std::string& socket_path);
+  explicit DaemonClient(const std::string& socket_path,
+                        DaemonClientOptions options = {});
 
   /// Sends one frame and returns the response frame as-is (ok=false is
   /// NOT raised here — callers inspecting raw responses want the error
-  /// payload, not an exception).
+  /// payload, not an exception).  Transport failures reconnect + retry
+  /// per DaemonClientOptions (see the header comment for what is and
+  /// is not retried).
   [[nodiscard]] util::Json request(const util::Json& frame);
 
   void register_network(const std::string& id, const graph::Network& network);
@@ -52,13 +76,19 @@ class DaemonClient {
   void pause();
   void resume();
   [[nodiscard]] util::Json stats();
+  /// Graceful drain (see JobManager::drain); returns the report frame
+  /// ("drained", "completed", "timed_out", pin/lease counters).
+  [[nodiscard]] util::Json drain(std::int64_t timeout_ms);
   void shutdown_server();
 
  private:
   /// request() + raise DaemonError on ok=false.
   util::Json checked(util::Json frame);
 
+  const DaemonClientOptions options_;
+  const std::string socket_path_;  // retries reconnect here
   util::UnixSocket socket_;
+  std::mt19937 rng_;  // backoff jitter only — never affects results
 };
 
 }  // namespace elpc::daemon

@@ -36,6 +36,8 @@ std::string job_state_name(JobState state) {
       return "failed";
     case JobState::kCancelled:
       return "cancelled";
+    case JobState::kTimedOut:
+      return "timed_out";
   }
   return "unknown";
 }
@@ -51,10 +53,22 @@ JobManager::~JobManager() { stop(); }
 
 Ticket JobManager::submit(service::SolveJob job, int priority) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) {
+    throw std::runtime_error(
+        "JobManager: draining — new submissions are rejected");
+  }
   const Ticket ticket = next_ticket_++;
   Record record;
   record.job = std::move(job);
   record.priority = priority;
+  if (record.job.deadline_ms > 0) {
+    // The budget starts at admission, so queue wait counts against it —
+    // stricter than the engine's own solve-entry clock, and the reason
+    // an overdue job can expire without ever running.
+    record.deadline =
+        Clock::now() + std::chrono::milliseconds(record.job.deadline_ms);
+    record.has_deadline = true;
+  }
   records_.emplace(ticket, std::move(record));
   queue_.push_back(ticket);
   ++submitted_;
@@ -94,7 +108,8 @@ JobStatus JobManager::wait(Ticket ticket) {
     }
     const JobState s = it->second.state;
     return s == JobState::kDone || s == JobState::kFailed ||
-           s == JobState::kCancelled || stopping_;
+           s == JobState::kCancelled || s == JobState::kTimedOut ||
+           stopping_;
   });
   const auto it = records_.find(ticket);
   if (it == records_.end()) {
@@ -107,6 +122,9 @@ JobStatus JobManager::wait(Ticket ticket) {
   status.state = it->second.state;
   status.priority = it->second.priority;
   status.result = it->second.result;
+  // Released by stop() with the job still pending: tell the caller the
+  // state will never advance, so retrying wait() is pointless.
+  status.shutting_down = stopping_ && !status.terminal();
   return status;
 }
 
@@ -132,6 +150,7 @@ bool JobManager::cancel(Ticket ticket) {
     case JobState::kDone:
     case JobState::kFailed:
     case JobState::kCancelled:
+    case JobState::kTimedOut:
       return false;  // already terminal: cancellation is a no-op
   }
   return false;
@@ -158,7 +177,67 @@ JobManagerStats JobManager::stats() const {
   stats.done = done_total_;
   stats.failed = failed_total_;
   stats.cancelled = cancelled_total_;
+  stats.timed_out = timed_out_total_;
+  stats.draining = draining_;
   return stats;
+}
+
+DrainReport JobManager::drain(std::int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  // A paused manager would sit on its queue forever; draining means
+  // "finish the work", so the gate lifts.
+  paused_ = false;
+  const bool bounded = timeout_ms > 0;
+  const Clock::time_point cutoff =
+      bounded ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+              : Clock::time_point::max();
+  if (bounded) {
+    // The drain budget becomes a deadline on everything in flight or
+    // still queued (tightening, never loosening, a job's own): when it
+    // lapses, running solves abort per column and queued jobs expire.
+    for (auto& [ticket, record] : records_) {
+      if (record.state != JobState::kQueued &&
+          record.state != JobState::kRunning) {
+        continue;
+      }
+      if (!record.has_deadline || cutoff < record.deadline) {
+        record.deadline = cutoff;
+        record.has_deadline = true;
+      }
+    }
+  }
+  const std::uint64_t done_before = done_total_;
+  const std::uint64_t failed_before = failed_total_;
+  const std::uint64_t cancelled_before = cancelled_total_;
+  const std::uint64_t timed_out_before = timed_out_total_;
+  dispatch_cv_.notify_all();
+  const auto idle = [this]() {
+    return (queue_.empty() && running_count_ == 0) || stopping_;
+  };
+  if (bounded) {
+    // Grace beyond the cutoff: a job aborting AT the cutoff still needs
+    // its next column probe to fire and the batch to unwind.  A solve
+    // that ignores its abort probe leaves drained = false rather than
+    // wedging the drain forever.
+    done_cv_.wait_until(lock, cutoff + std::chrono::seconds(2), idle);
+  } else {
+    done_cv_.wait(lock, idle);
+  }
+  DrainReport report;
+  report.queued = queue_.size();
+  report.running = running_count_;
+  report.drained = queue_.empty() && running_count_ == 0;
+  report.completed = (done_total_ - done_before) +
+                     (failed_total_ - failed_before) +
+                     (cancelled_total_ - cancelled_before);
+  report.timed_out = timed_out_total_ - timed_out_before;
+  return report;
+}
+
+bool JobManager::draining() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
 }
 
 void JobManager::stop() {
@@ -211,6 +290,9 @@ void JobManager::mark_terminal(Ticket ticket, Record& record,
     case JobState::kCancelled:
       ++cancelled_total_;
       break;
+    case JobState::kTimedOut:
+      ++timed_out_total_;
+      break;
     case JobState::kQueued:
     case JobState::kRunning:
       break;  // not terminal; callers never pass these
@@ -224,17 +306,59 @@ void JobManager::mark_terminal(Ticket ticket, Record& record,
   }
 }
 
+bool JobManager::expire_overdue_queued() {
+  const Clock::time_point now = Clock::now();
+  bool any = false;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Record& record = records_.at(*it);
+    if (record.has_deadline && record.deadline <= now) {
+      record.result = unsolved_result(record.job, service::kTimedOutError);
+      mark_terminal(*it, record, JobState::kTimedOut);
+      it = queue_.erase(it);
+      any = true;
+    } else {
+      ++it;
+    }
+  }
+  return any;
+}
+
+JobManager::Clock::time_point JobManager::earliest_queued_deadline() const {
+  Clock::time_point earliest = Clock::time_point::max();
+  for (const Ticket ticket : queue_) {
+    const Record& record = records_.at(ticket);
+    if (record.has_deadline && record.deadline < earliest) {
+      earliest = record.deadline;
+    }
+  }
+  return earliest;
+}
+
 void JobManager::dispatch_loop() {
   for (;;) {
     std::vector<Ticket> batch;
     std::vector<service::SolveJob> jobs;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      dispatch_cv_.wait(lock, [this]() {
-        return stopping_ || (!paused_ && !queue_.empty());
-      });
-      if (stopping_) {
-        return;
+      for (;;) {
+        if (stopping_) {
+          return;
+        }
+        // Overdue queued jobs expire here regardless of the pause gate:
+        // a paused (or busy) dispatcher must not hold a deadline job in
+        // limbo past its budget.
+        if (expire_overdue_queued()) {
+          done_cv_.notify_all();
+        }
+        if (!paused_ && !queue_.empty()) {
+          break;
+        }
+        const Clock::time_point next = earliest_queued_deadline();
+        if (next == Clock::time_point::max()) {
+          dispatch_cv_.wait(lock);
+        } else {
+          dispatch_cv_.wait_until(lock, next);
+        }
       }
       batch = pop_batch();
       jobs.reserve(batch.size());
@@ -244,14 +368,23 @@ void JobManager::dispatch_loop() {
     }
 
     // The solve runs outside the manager mutex: poll/submit/cancel stay
-    // responsive for the whole batch.  The cancel predicate re-takes it
-    // per job boundary — a handful of uncontended acquisitions per batch.
+    // responsive for the whole batch.  The signal predicate re-takes it
+    // per check — uncontended in the common case.  The deadline check
+    // here (submission-clock) is stricter than the engine's own
+    // solve-entry clock and therefore fires first.
     std::vector<service::SolveResult> results;
     std::string batch_error;
     try {
       results = engine_->solve(jobs, [this, &batch](std::size_t i) {
         const std::lock_guard<std::mutex> lock(mutex_);
-        return records_.at(batch[i]).cancel_requested;
+        const Record& record = records_.at(batch[i]);
+        if (record.cancel_requested) {
+          return service::JobSignal::kCancel;
+        }
+        if (record.has_deadline && Clock::now() >= record.deadline) {
+          return service::JobSignal::kTimeout;
+        }
+        return service::JobSignal::kNone;
       });
     } catch (const std::exception& e) {
       // Batch-level rejection (e.g. a job naming an unregistered
@@ -271,6 +404,9 @@ void JobManager::dispatch_loop() {
           record.result = unsolved_result(record.job, batch_error);
         } else if (results[i].error == service::kCancelledError) {
           state = JobState::kCancelled;
+          record.result = std::move(results[i]);
+        } else if (results[i].error == service::kTimedOutError) {
+          state = JobState::kTimedOut;
           record.result = std::move(results[i]);
         } else if (!results[i].error.empty()) {
           state = JobState::kFailed;

@@ -30,7 +30,21 @@
 // pause()/resume() gate dispatch (drain-for-maintenance, deterministic
 // tests); stop() (and the destructor) finishes the in-flight batch,
 // leaves still-queued jobs QUEUED, and joins the dispatcher.
+//
+// Deadlines: a job submitted with deadline_ms > 0 gets an absolute
+// deadline measured FROM SUBMISSION — queue wait counts against the
+// budget.  An overdue queued job is expired by the dispatcher without
+// running (even while paused); a running one is stopped by the engine's
+// per-column abort probe.  Either way it reaches the terminal kTimedOut
+// state and its result carries service::kTimedOutError.
+//
+// drain(): the graceful path to a safe kill — permanently closes
+// admission (submit throws), lifts any pause, imposes the drain budget
+// as a deadline on everything queued or running, and blocks until the
+// manager is idle (or the budget + a small grace elapsed).  The report
+// says whether the daemon is now safe to stop().
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,24 +62,36 @@ namespace elpc::daemon {
 /// Opaque handle for a submitted job (monotonically increasing from 1).
 using Ticket = std::uint64_t;
 
-enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+  kTimedOut
+};
 
 /// Wire name of a state ("queued", "running", "done", "failed",
-/// "cancelled").
+/// "cancelled", "timed_out").
 [[nodiscard]] std::string job_state_name(JobState state);
 
 /// One poll() answer: where the job stands, and its outcome once
-/// terminal (kDone / kFailed — for kCancelled the result carries only
-/// the cancellation marker).
+/// terminal (kDone / kFailed — for kCancelled / kTimedOut the result
+/// carries only the marker).
 struct JobStatus {
   Ticket ticket = 0;
   JobState state = JobState::kQueued;
   int priority = 0;
   service::SolveResult result;
+  /// Set by wait() when it released the caller because the manager is
+  /// stopping and the job will never run — the `wait` verb forwards it
+  /// so a client can tell "still queued, daemon dying" from "still
+  /// queued, keep waiting".
+  bool shutting_down = false;
 
   [[nodiscard]] bool terminal() const {
     return state == JobState::kDone || state == JobState::kFailed ||
-           state == JobState::kCancelled;
+           state == JobState::kCancelled || state == JobState::kTimedOut;
   }
 };
 
@@ -92,8 +118,24 @@ struct JobManagerStats {
   std::uint64_t done = 0;
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
+  std::uint64_t timed_out = 0;
   std::uint64_t submitted = 0;
   bool paused = false;
+  bool draining = false;
+};
+
+/// What drain() accomplished: `drained` means the manager is idle —
+/// nothing queued, nothing running — and the daemon is safe to kill.
+/// The counters cover terminal transitions during the drain.
+struct DrainReport {
+  bool drained = false;
+  /// Jobs that reached kDone/kFailed/kCancelled while draining.
+  std::uint64_t completed = 0;
+  /// Jobs the drain budget expired (kTimedOut) while draining.
+  std::uint64_t timed_out = 0;
+  /// Still queued / running when drain() returned (0/0 iff drained).
+  std::size_t queued = 0;
+  std::size_t running = 0;
 };
 
 class JobManager {
@@ -109,7 +151,9 @@ class JobManager {
   /// Enqueues the job and returns its ticket immediately.  Higher
   /// priority dispatches first; ties dispatch in submission order.
   /// Unknown networks are NOT rejected here (registration may race
-  /// admission); the job fails at dispatch instead.
+  /// admission); the job fails at dispatch instead.  A deadline_ms > 0
+  /// starts the job's clock NOW — queue wait counts.  Throws
+  /// std::runtime_error once drain() closed admission.
   Ticket submit(service::SolveJob job, int priority = 0);
 
   /// Where the job stands.  Throws std::out_of_range for a ticket that
@@ -136,16 +180,36 @@ class JobManager {
 
   [[nodiscard]] JobManagerStats stats() const;
 
+  /// Graceful drain: permanently closes admission (submit throws from
+  /// now on), lifts any pause, and waits for everything queued or
+  /// running to reach a terminal state.  timeout_ms > 0 bounds the
+  /// wait: it becomes a deadline on every in-flight and queued job (so
+  /// stragglers finish as kTimedOut), and drain() returns within the
+  /// budget plus a small unwind grace either way.  timeout_ms <= 0
+  /// waits indefinitely.  Safe to call more than once; later calls just
+  /// re-wait.  Does NOT stop the dispatcher — call stop() (or destroy
+  /// the manager) once the report says drained.
+  DrainReport drain(std::int64_t timeout_ms);
+
+  /// True once drain() has closed admission.
+  [[nodiscard]] bool draining() const;
+
   /// Stops the dispatcher: finishes the in-flight batch, leaves queued
   /// jobs QUEUED, joins the thread.  Idempotent; the destructor calls it.
   void stop();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Record {
     service::SolveJob job;
     int priority = 0;
     JobState state = JobState::kQueued;
     bool cancel_requested = false;
+    /// Absolute deadline (from submission, or imposed by drain());
+    /// meaningful only when has_deadline.
+    Clock::time_point deadline{};
+    bool has_deadline = false;
     service::SolveResult result;
   };
 
@@ -153,6 +217,14 @@ class JobManager {
   /// Pops the next batch by (priority desc, ticket asc) and marks it
   /// RUNNING.  Caller holds mutex_.
   [[nodiscard]] std::vector<Ticket> pop_batch();
+  /// Expires queued jobs whose deadline has passed (terminal kTimedOut
+  /// without running; works while paused — a gated queue must not hold
+  /// deadline jobs in limbo).  Returns whether any expired.  Caller
+  /// holds mutex_ and notifies done_cv_ on true.
+  bool expire_overdue_queued();
+  /// Earliest deadline among queued jobs, or time_point::max().  Caller
+  /// holds mutex_.
+  [[nodiscard]] Clock::time_point earliest_queued_deadline() const;
   /// Marks a record terminal: bumps the cumulative counter, queues it
   /// for retention-cap eviction, prunes over-cap records.  Caller holds
   /// mutex_ and notifies done_cv_ afterwards.
@@ -175,7 +247,9 @@ class JobManager {
   std::uint64_t done_total_ = 0;
   std::uint64_t failed_total_ = 0;
   std::uint64_t cancelled_total_ = 0;
+  std::uint64_t timed_out_total_ = 0;
   bool paused_ = false;
+  bool draining_ = false;
   bool stopping_ = false;
 
   std::thread dispatcher_;  // last member: joins before state tears down

@@ -7,6 +7,7 @@
 
 #include "graph/serialize.hpp"
 #include "service/serialize.hpp"
+#include "util/fault_injector.hpp"
 
 namespace elpc::daemon {
 
@@ -35,6 +36,11 @@ util::Json status_response(const JobStatus& status) {
   if (status.terminal()) {
     response.set("result", service::result_entry_to_json(status.result));
   }
+  if (status.shutting_down) {
+    // `wait` released without a terminal state because the daemon is
+    // going down — the state will never advance, so don't re-wait.
+    response.set("shutting_down", true);
+  }
   return response;
 }
 
@@ -51,6 +57,10 @@ Ticket ticket_field(const util::Json& request) {
 SocketServer::SocketServer(std::string socket_path,
                            SocketServerOptions options)
     : listener_(socket_path) {
+  if (!options.faults.empty()) {
+    util::FaultInjector::instance().configure(options.faults,
+                                              options.fault_seed);
+  }
   service::BatchEngineOptions engine_options;
   engine_options.threads = options.threads;
   engine_options.shards = options.threads;
@@ -58,6 +68,8 @@ SocketServer::SocketServer(std::string socket_path,
   engine_options.session_history_bytes = options.session_history_bytes;
   engine_options.kernel = options.kernel;
   engine_options.incremental = options.incremental;
+  engine_options.revision_lease_ms = options.revision_lease_ms;
+  engine_options.lease_grace_ms = options.lease_grace_ms;
   engine_ = std::make_unique<service::BatchEngine>(engine_options);
 
   JobManagerOptions manager_options;
@@ -72,7 +84,27 @@ SocketServer::~SocketServer() {
 }
 
 void SocketServer::serve() {
-  std::vector<std::thread> handlers;
+  // Each handler flips its done flag as its last act, so the accept
+  // loop can join exactly the finished ones.  Without reaping, a
+  // long-lived daemon's thread list grows by one per connection EVER
+  // accepted — ten thousand short-lived clients = ten thousand zombie
+  // std::thread objects (and their unjoined OS threads) held until
+  // shutdown.
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Handler> handlers;
+  const auto reap = [&handlers](bool everything) {
+    for (auto it = handlers.begin(); it != handlers.end();) {
+      if (everything || it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = handlers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   while (!shutdown_requested_.load(std::memory_order_acquire)) {
     std::optional<util::UnixSocket> connection = listener_.accept();
     if (!connection.has_value()) {
@@ -83,18 +115,22 @@ void SocketServer::serve() {
     // re-check the flag, so every handler thread exits promptly after
     // shutdown and the joins below cannot hang.
     connection->set_recv_timeout(/*milliseconds=*/200);
-    handlers.emplace_back(
-        [this, conn = std::move(*connection)]() mutable {
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    Handler handler;
+    handler.done = done;
+    handler.thread = std::thread(
+        [this, done, conn = std::move(*connection)]() mutable {
           handle_connection(std::move(conn));
+          done->store(true, std::memory_order_release);
         });
+    handlers.push_back(std::move(handler));
+    reap(/*everything=*/false);
   }
   listener_.close();
   // Releases handler threads blocked in the `wait` verb (they answer
   // with the job's current, possibly non-terminal, status).
   manager_->stop();
-  for (std::thread& handler : handlers) {
-    handler.join();
-  }
+  reap(/*everything=*/true);
 }
 
 void SocketServer::stop() {
@@ -110,6 +146,14 @@ void SocketServer::handle_connection(util::UnixSocket connection) {
         line = connection.recv_line();
       } catch (const util::SocketTimeout&) {
         continue;  // idle interval — re-check the shutdown flag
+      } catch (const util::SocketFrameError& e) {
+        // Overlong unterminated frame: the stream cannot re-sync to a
+        // frame boundary, so answer once (best effort) and close THIS
+        // connection — the daemon itself keeps serving.
+        connection.send_line(
+            error_response(std::string("protocol error: ") + e.what())
+                .dump());
+        return;
       }
       if (!line.has_value()) {
         return;  // client closed its end
@@ -193,8 +237,10 @@ util::Json SocketServer::handle(const util::Json& request) {
       response.set("done", jobs.done);
       response.set("failed", jobs.failed);
       response.set("cancelled", jobs.cancelled);
+      response.set("timed_out", jobs.timed_out);
       response.set("submitted", jobs.submitted);
       response.set("paused", jobs.paused);
+      response.set("draining", jobs.draining);
       response.set("sessions", engine.sessions);
       response.set("subscriptions", engine.subscriptions);
       response.set("arenas_created", engine.arenas_created);
@@ -215,6 +261,9 @@ util::Json SocketServer::handle(const util::Json& request) {
       // means a solve hung and pins its revision forever.
       response.set("pinned_revisions", engine.pinned_revisions);
       response.set("pinned_bytes", engine.pinned_bytes);
+      // Lease health: pins force-released because a solve outlived its
+      // budget (always 0 with leases off).
+      response.set("lease_expirations", engine.lease_expirations);
       // Which frame-rate kernel serves this engine's jobs, plus how many
       // each kernel has served (operators check this after forcing a
       // kernel via ELPC_FORCE_KERNEL or serve --kernel).
@@ -224,6 +273,27 @@ util::Json SocketServer::handle(const util::Json& request) {
         kernel_jobs.set(name, served);
       }
       response.set("kernel_jobs", std::move(kernel_jobs));
+      return response;
+    }
+    if (verb == "drain") {
+      std::int64_t timeout_ms = 10000;
+      if (const util::Json* t = request.find("timeout_ms")) {
+        timeout_ms = t->as_int();
+      }
+      const DrainReport report = manager_->drain(timeout_ms);
+      // stats() sweeps every session cache — the final flush that also
+      // force-releases expired leases — so the pin counts below reflect
+      // the post-drain steady state, not stale bookkeeping.
+      const service::EngineStats engine = engine_->stats();
+      util::Json response = ok_response();
+      response.set("drained", report.drained);
+      response.set("completed", report.completed);
+      response.set("timed_out", report.timed_out);
+      response.set("queued", report.queued);
+      response.set("running", report.running);
+      response.set("pinned_revisions", engine.pinned_revisions);
+      response.set("pinned_bytes", engine.pinned_bytes);
+      response.set("lease_expirations", engine.lease_expirations);
       return response;
     }
     if (verb == "shutdown") {

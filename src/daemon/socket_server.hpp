@@ -16,20 +16,30 @@
 //                                            subscriptions)
 //   pause | resume   {}                   -> {}  (gate dispatch)
 //   stats            {}                   -> queue/engine/cache counters
+//   drain            {timeout_ms?}        -> {drained, ...} (stop
+//                                            admission, finish or time
+//                                            out in-flight work, report
+//                                            when safe to kill)
 //   shutdown         {}                   -> {} and the server exits
 //
 // A malformed or failing request answers ok=false on that frame; the
 // connection (and the daemon) stays up — clients must never be able to
-// crash the server with bad input.  Each connection gets its own
-// handler thread, so an idle persistent client or one blocked in the
-// `wait` verb never stalls other clients (or the shutdown path — a
-// paused daemon must still accept the `resume`).  Handler threads poll
-// the shutdown flag via a receive timeout and are joined before serve()
-// returns; request handling itself is thread-safe (JobManager and
-// BatchEngine carry their own locks).
+// crash the server with bad input.  An overlong unterminated frame
+// (util::SocketFrameError — the recv_line byte cap) answers one error
+// frame and closes that connection: the stream cannot re-sync.  Each
+// connection gets its own handler thread, so an idle persistent client
+// or one blocked in the `wait` verb never stalls other clients (or the
+// shutdown path — a paused daemon must still accept the `resume`).
+// Handler threads poll the shutdown flag via a receive timeout; each
+// finished handler is reaped (joined) on the next accept, so a long
+// daemon serving many short-lived clients holds threads proportional to
+// LIVE connections, not connections ever served.  The remainder joins
+// before serve() returns; request handling itself is thread-safe
+// (JobManager and BatchEngine carry their own locks).
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -57,6 +67,16 @@ struct SocketServerOptions {
   /// Mapper resolution for the engine (empty = built-in "ELPC" only;
   /// the CLI installs the full registry).
   service::MapperFactory factory;
+  /// Pinned-revision lease (service::BatchEngineOptions::
+  /// revision_lease_ms); 0 = leases off.
+  std::int64_t revision_lease_ms = 0;
+  /// Lease headroom per deadline job beyond its deadline_ms.
+  std::int64_t lease_grace_ms = 1000;
+  /// Fault-injection spec applied at construction (the ELPC_FAULTS
+  /// format, util::FaultInjector::configure); empty = leave the
+  /// process-global injector as it is.  Chaos/CI use only.
+  std::string faults;
+  std::uint64_t fault_seed = 1;
 };
 
 class SocketServer {

@@ -35,9 +35,10 @@ const char* kUsage =
     "  elpc generate --modules 8 --nodes 12 --links 90 --seed 7\n"
     "  elpc map --in scenario.json --algorithm ELPC --objective framerate\n"
     "  elpc batch --jobs jobs.json --out results.json --threads 4\n"
-    "  elpc serve --socket /tmp/elpc.sock --threads 4 --incremental\n"
+    "  elpc serve --socket /tmp/elpc.sock --threads 4 --incremental "
+    "--lease-ms 60000\n"
     "  elpc client <load|poll|wait|cancel|update|stats|pause|resume|"
-    "shutdown> --socket /tmp/elpc.sock [options]\n"
+    "drain|shutdown> --socket /tmp/elpc.sock [options]\n"
     "  elpc fuzz --seed 7 --rounds 20 --incremental --out parity.json\n"
     "  elpc simulate --in scenario.json --frames 200\n"
     "  elpc suite\n"
@@ -217,12 +218,24 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_flag("incremental",
                   "retain DP checkpoints for subscribed frame-rate jobs "
                   "and re-solve deltas by column reuse (bit-identical)");
+  parser.add_int("lease-ms", 0,
+                 "pinned-revision lease in milliseconds (0 = pins hold "
+                 "forever; >0 lets the cache reclaim entries a hung solve "
+                 "pinned past the lease)");
+  parser.add_int("lease-grace-ms", 1000,
+                 "extra lease headroom per deadline job beyond its "
+                 "deadline_ms");
+  parser.add_string("faults", "",
+                    "fault-injection spec, point=prob[:param_ms],... "
+                    "(chaos/CI only; also settable via ELPC_FAULTS)");
+  parser.add_int("fault-seed", 1, "fault-injection rng seed");
   parser.parse(args);
   if (parser.get_string("socket").empty()) {
     throw std::invalid_argument("elpc serve: --socket is required");
   }
   if (parser.get_int("session-cache-bytes") < 0 ||
-      parser.get_int("threads") < 0 || parser.get_int("max-batch") < 0) {
+      parser.get_int("threads") < 0 || parser.get_int("max-batch") < 0 ||
+      parser.get_int("lease-ms") < 0 || parser.get_int("lease-grace-ms") < 0) {
     throw std::invalid_argument("elpc serve: options must be >= 0");
   }
 
@@ -233,6 +246,11 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
       static_cast<std::size_t>(parser.get_int("session-cache-bytes"));
   options.kernel = core::kernels::kind_from_name(parser.get_string("kernel"));
   options.incremental = parser.flag("incremental");
+  options.revision_lease_ms = parser.get_int("lease-ms");
+  options.lease_grace_ms = parser.get_int("lease-grace-ms");
+  options.faults = parser.get_string("faults");
+  options.fault_seed =
+      static_cast<std::uint64_t>(parser.get_int("fault-seed"));
   options.factory = engine_mapper_factory();
   daemon::SocketServer server(parser.get_string("socket"), options);
   out << "elpc daemon listening on " << server.socket_path() << " (kernel "
@@ -254,7 +272,7 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   if (args.empty()) {
     throw std::invalid_argument(
         "elpc client: missing verb (load|poll|wait|cancel|update|stats|"
-        "pause|resume|shutdown)");
+        "pause|resume|drain|shutdown)");
   }
   const std::string verb = args.front();
   util::ArgParser parser("elpc client " + verb);
@@ -269,9 +287,14 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
                   "load: subscribe every submitted job to delta-driven "
                   "re-solves (sets resolve_on_update; a daemon started "
                   "with serve --incremental then reuses DP checkpoints)");
+  parser.add_int("deadline-ms", 0,
+                 "load: per-job deadline in milliseconds, measured from "
+                 "submission (0 = none; an over-budget job ends timed_out)");
   parser.add_int("ticket", -1, "poll/wait/cancel: job ticket");
   parser.add_string("network", "", "update: session id");
   parser.add_string("updates", "", "update: JSON file with link deltas");
+  parser.add_int("timeout-ms", 10000,
+                 "drain: budget for in-flight work (<= 0 waits forever)");
   parser.parse({args.begin() + 1, args.end()});
   if (parser.get_string("socket").empty()) {
     throw std::invalid_argument("elpc client: --socket is required");
@@ -308,6 +331,9 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
       if (parser.flag("incremental")) {
         job.resolve_on_update = true;
       }
+      if (parser.get_int("deadline-ms") > 0) {
+        job.deadline_ms = parser.get_int("deadline-ms");
+      }
       tickets.push_back(client.submit(
           job, static_cast<int>(parser.get_int("priority"))));
     }
@@ -319,8 +345,20 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
     }
     util::JsonArray entries;
     bool any_failed = false;
-    for (const daemon::Ticket ticket : tickets) {
-      const util::Json status = client.wait(ticket);
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const util::Json status = client.wait(tickets[i]);
+      const util::Json* dying = status.find("shutting_down");
+      if (dying != nullptr && dying->as_bool()) {
+        // The daemon released the wait because it is going down; the
+        // job will never finish.  Fail this entry deterministically
+        // instead of throwing on the absent "result".
+        util::Json entry = util::JsonObject{};
+        entry.set("id", spec.jobs[i].id);
+        entry.set("error", "daemon shutting down before job completed");
+        any_failed = true;
+        entries.push_back(std::move(entry));
+        continue;
+      }
       const util::Json& entry = status.at("result");
       any_failed = any_failed || entry.contains("error");
       entries.push_back(entry);
@@ -375,6 +413,13 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
     client.resume();
     out << "resumed\n";
     return 0;
+  }
+  if (verb == "drain") {
+    const util::Json report = client.drain(parser.get_int("timeout-ms"));
+    out << report.dump(2) << "\n";
+    // Exit status mirrors the report: nonzero when work is still stuck,
+    // so scripts can `client drain && kill` safely.
+    return report.at("drained").as_bool() ? 0 : 2;
   }
   if (verb == "shutdown") {
     client.shutdown_server();

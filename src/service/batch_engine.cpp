@@ -1,11 +1,13 @@
 #include "service/batch_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <utility>
 
 #include "core/elpc.hpp"
+#include "util/fault_injector.hpp"
 #include "util/timer.hpp"
 
 namespace elpc::service {
@@ -23,6 +25,7 @@ mapping::MapperPtr make_engine_elpc(const MapperContext& ctx) {
   options.checkpoint = ctx.checkpoint;
   options.delta = ctx.delta;
   options.incremental_stats = ctx.incremental_stats;
+  options.abort_probe = ctx.abort;
   return std::make_unique<core::ElpcMapper>(options);
 }
 
@@ -67,7 +70,8 @@ BatchEngine::BatchEngine(BatchEngineOptions options)
 NetworkSession& BatchEngine::register_network(std::string id,
                                               graph::Network network) {
   auto session = std::make_unique<NetworkSession>(
-      id, std::move(network), options_.session_history_bytes);
+      id, std::move(network), options_.session_history_bytes,
+      options_.revision_lease_ms);
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] =
       sessions_.emplace(std::move(id), std::move(session));
@@ -126,15 +130,19 @@ std::vector<SolveResult> BatchEngine::solve(const std::vector<SolveJob>& jobs,
       bindings[i].entry = session->checkpoint_entry(job.id);
     }
   }
+  const CancelFn effective =
+      with_deadlines(std::span<const SolveJob>(jobs), snapshots,
+                     std::span<const IncrementalBinding>(bindings), cancelled);
   std::vector<SolveResult> results = run_sharded(
-      std::span<const SolveJob>(jobs), snapshots, bindings, cancelled);
+      std::span<const SolveJob>(jobs), snapshots, bindings, effective);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const SolveJob& job = jobs[i];
-      // A cancelled job never ran, so it must not install or replace a
-      // subscription either.
-      if (results[i].error == kCancelledError) {
+      // A cancelled or timed-out job never ran (or never finished), so
+      // it must not install or replace a subscription either.
+      if (results[i].error == kCancelledError ||
+          results[i].error == kTimedOutError) {
         continue;
       }
       // Re-submitting a job replaces (or, with resolve_on_update off,
@@ -198,8 +206,13 @@ std::vector<SolveResult> BatchEngine::apply_link_updates(
       bindings[i].delta = delta;
     }
   }
+  // Subscribed jobs keep their deadlines on re-solves too (measured from
+  // the re-solve's start), so a delta storm cannot wedge a shard.
+  const CancelFn effective =
+      with_deadlines(std::span<const SolveJob>(subscribed), snapshots,
+                     std::span<const IncrementalBinding>(bindings), nullptr);
   std::vector<SolveResult> results = run_sharded(
-      std::span<const SolveJob>(subscribed), snapshots, bindings, nullptr);
+      std::span<const SolveJob>(subscribed), snapshots, bindings, effective);
   {
     // Re-pin exactly the subscriptions this call re-solved, releasing
     // their hold on the previous revision.  Matching on the captured
@@ -220,6 +233,49 @@ std::vector<SolveResult> BatchEngine::apply_link_updates(
     }
   }
   return results;
+}
+
+CancelFn BatchEngine::with_deadlines(
+    std::span<const SolveJob> jobs,
+    std::span<const NetworkSession::Current> snapshots,
+    std::span<const IncrementalBinding> bindings,
+    const CancelFn& user) const {
+  using Clock = std::chrono::steady_clock;
+  const bool any_deadline =
+      std::any_of(jobs.begin(), jobs.end(),
+                  [](const SolveJob& job) { return job.deadline_ms > 0; });
+  if (!any_deadline) {
+    return user;
+  }
+  const Clock::time_point start = Clock::now();
+  auto deadlines = std::make_shared<std::vector<Clock::time_point>>(
+      jobs.size(), Clock::time_point::max());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].deadline_ms <= 0) {
+      continue;
+    }
+    (*deadlines)[i] = start + std::chrono::milliseconds(jobs[i].deadline_ms);
+    // Keep the solved-against revision pinned for the job's budget plus
+    // grace: an on-schedule job (even one that times out on schedule)
+    // releases its own pin first; only a genuinely stalled solve loses
+    // the cache's obligation via lease expiry.
+    if (i < bindings.size() && bindings[i].session != nullptr) {
+      bindings[i].session->extend_lease(
+          snapshots[i].revision,
+          jobs[i].deadline_ms +
+              std::max<std::int64_t>(0, options_.lease_grace_ms));
+    }
+  }
+  return [user, deadlines](std::size_t i) {
+    if (user) {
+      const JobSignal signal = user(i);
+      if (signal != JobSignal::kNone) {
+        return signal;
+      }
+    }
+    return Clock::now() >= (*deadlines)[i] ? JobSignal::kTimeout
+                                           : JobSignal::kNone;
+  };
 }
 
 std::size_t BatchEngine::subscription_count() const {
@@ -253,6 +309,7 @@ EngineStats BatchEngine::stats() const {
     stats.checkpoint_evictions += cache.checkpoint_evictions;
     stats.pinned_revisions += cache.pinned_revisions;
     stats.pinned_bytes += cache.pinned_bytes;
+    stats.lease_expirations += cache.lease_expirations;
   }
   stats.incremental_hits = incremental_hits_.load(std::memory_order_relaxed);
   stats.incremental_misses =
@@ -291,25 +348,51 @@ std::vector<SolveResult> BatchEngine::run_sharded(
       // One arena per live shard; leases recycle through the pool, so
       // the engine never holds more arenas than its peak shard count.
       const core::ArenaPool::Lease lease = arenas_.acquire();
-      const MapperContext ctx{lease.get(), kernel_};
+      MapperContext ctx;
+      ctx.arena = lease.get();
+      ctx.kernel = kernel_;
       const std::size_t lo = s * jobs.size() / shards;
       const std::size_t hi = (s + 1) * jobs.size() / shards;
       for (std::size_t i = lo; i < hi; ++i) {
-        if (cancelled && cancelled(i)) {
-          // The job-boundary cancellation point: skipped jobs report a
-          // uniform marker instead of a solver outcome.
-          results[i].job_id = jobs[i].id;
-          results[i].network = jobs[i].network;
-          results[i].algorithm = jobs[i].algorithm;
-          results[i].objective = jobs[i].objective;
-          results[i].network_revision = snapshots[i].revision;
-          results[i].shard = s;
-          results[i].error = kCancelledError;
-          results[i].result = mapping::MapResult::infeasible(kCancelledError);
-          continue;
+        if (cancelled) {
+          const JobSignal signal = cancelled(i);
+          if (signal != JobSignal::kNone) {
+            // The job-boundary check: skipped jobs report a uniform
+            // marker instead of a solver outcome.
+            const char* marker = signal == JobSignal::kTimeout
+                                     ? kTimedOutError
+                                     : kCancelledError;
+            results[i].job_id = jobs[i].id;
+            results[i].network = jobs[i].network;
+            results[i].algorithm = jobs[i].algorithm;
+            results[i].objective = jobs[i].objective;
+            results[i].network_revision = snapshots[i].revision;
+            results[i].shard = s;
+            results[i].error = marker;
+            results[i].result = mapping::MapResult::infeasible(marker);
+            continue;
+          }
+        }
+        // The same signal, re-polled once per DP column inside the
+        // solve: a deadline or late cancel stops the job within one
+        // column's work instead of running it to completion.
+        core::AbortProbe abort;
+        if (cancelled) {
+          abort = [&cancelled, i]() {
+            switch (cancelled(i)) {
+              case JobSignal::kCancel:
+                return core::SolveAbort::kCancelled;
+              case JobSignal::kTimeout:
+                return core::SolveAbort::kTimedOut;
+              case JobSignal::kNone:
+                break;
+            }
+            return core::SolveAbort::kNone;
+          };
         }
         solve_one(jobs[i], snapshots[i], ctx, s,
-                  bindings.empty() ? nullptr : &bindings[i], results[i]);
+                  bindings.empty() ? nullptr : &bindings[i], abort,
+                  results[i]);
       }
     });
   }
@@ -321,7 +404,11 @@ void BatchEngine::solve_one(const SolveJob& job,
                             const NetworkSession::Current& snap,
                             const MapperContext& ctx, std::size_t shard,
                             const IncrementalBinding* binding,
-                            SolveResult& out) {
+                            const core::AbortProbe& abort, SolveResult& out) {
+  // Fault point "engine_stall": the shard thread wedges right here,
+  // snapshot pinned, before any abort probe can fire — exactly the hung
+  // solve the lease machinery exists to survive.
+  (void)util::FaultInjector::instance().maybe_stall("engine_stall");
   out.job_id = job.id;
   out.network = job.network;
   out.algorithm = job.algorithm;
@@ -344,6 +431,7 @@ void BatchEngine::solve_one(const SolveJob& job,
   // version either way.
   core::IncrementalStats inc_stats;
   MapperContext job_ctx = ctx;
+  job_ctx.abort = abort;
   std::unique_lock<std::mutex> checkpoint_lock;
   NetworkSession::CheckpointEntry* entry =
       binding != nullptr ? binding->entry.get() : nullptr;
@@ -397,7 +485,20 @@ void BatchEngine::solve_one(const SolveJob& job,
       // state invalidated so the next re-solve recaptures.
       entry->revision = snap.revision;
       entry->has_revision = true;
+      // Fault point "checkpoint_corrupt": silently desync the retained
+      // state's recorded network version (still under the solve lock).
+      // The incremental path's version check must catch it and fall
+      // back to a full solve + recapture, keeping results bit-identical
+      // — the parity invariant the chaos driver asserts.
+      util::FaultInjector& faults = util::FaultInjector::instance();
+      if (faults.enabled() && faults.should_fire("checkpoint_corrupt")) {
+        entry->state.set_network_version(entry->state.network_version() + 1);
+      }
     }
+  } catch (const core::SolveAborted& e) {
+    out.error = e.reason() == core::SolveAbort::kTimedOut ? kTimedOutError
+                                                          : kCancelledError;
+    out.result = mapping::MapResult::infeasible(out.error);
   } catch (const std::exception& e) {
     out.error = e.what();
     out.result = mapping::MapResult::infeasible(std::string("error: ") +

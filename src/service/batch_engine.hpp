@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/arena_pool.hpp"
+#include "core/elpc.hpp"
 #include "core/kernels/framerate_kernel.hpp"
 #include "graph/network.hpp"
 #include "mapping/mapper.hpp"
@@ -79,6 +80,13 @@ struct SolveJob {
   /// Retain this job as a subscription: apply_link_updates on its
   /// network re-solves it against the new revision.
   bool resolve_on_update = false;
+  /// Wall-clock budget for this job, in milliseconds; 0 = none.  The
+  /// clock starts when the batch (or re-solve) begins running, and the
+  /// engine checks it at the job boundary AND once per DP column inside
+  /// the solve, so an over-budget job stops within one column's work and
+  /// reports error = kTimedOutError.  The daemon's JobManager starts the
+  /// stricter clock at submission, so queue wait counts there too.
+  std::int64_t deadline_ms = 0;
 };
 
 /// One job's outcome plus serving metadata.
@@ -114,6 +122,11 @@ struct SolveResult {
 struct MapperContext {
   core::FrameRateArena* arena = nullptr;
   core::kernels::Kind kernel = core::kernels::Kind::kAuto;
+  /// Cooperative abort hook for THIS job (cancel flag + deadline fused):
+  /// factories must forward it to the mapper's per-column probe (see
+  /// core::ElpcOptions::abort_probe) or deadlines degrade to
+  /// job-boundary granularity.  Null when neither applies.
+  core::AbortProbe abort = nullptr;
   /// The job's retained DP checkpoint (null = plain full solve).
   core::IncrementalCheckpoint* checkpoint = nullptr;
   /// Link updates since the checkpoint's capture (null = unknown,
@@ -151,6 +164,19 @@ struct BatchEngineOptions {
   /// snapshots are retained up to this many bytes per session, LRU, with
   /// pinned revisions exempt.  0 = keep no unpinned history.
   std::size_t session_history_bytes = 0;
+  /// Lease every session grants a superseded-but-pinned revision, in
+  /// milliseconds; 0 = leases off (a pin holds forever — the pre-lease
+  /// behaviour).  When on, a pin outliving its lease is force-released
+  /// by the session's sweep: the revision becomes evictable and the
+  /// session's lease_expirations counter ticks, so a hung solve (or a
+  /// leaked snapshot) can no longer pin cache bytes indefinitely.
+  std::int64_t revision_lease_ms = 0;
+  /// Extra lease headroom granted per deadline job beyond its
+  /// deadline_ms: the engine extends the solved-against revision's lease
+  /// to deadline + grace, so a job that finishes (or times out) on
+  /// schedule always beats its lease, while a stalled one loses the pin
+  /// shortly after its deadline passes.
+  std::int64_t lease_grace_ms = 1000;
   /// Frame-rate row kernel for every ELPC solve this engine runs
   /// (core/kernels/framerate_kernel.hpp).  Resolved once at
   /// construction — kAuto honours ELPC_FORCE_KERNEL, then the widest
@@ -175,10 +201,22 @@ inline constexpr std::size_t kIncrementalDefaultHistoryBytes = 64ull << 20;
 /// SolveResult::error of a job skipped by a cancellation predicate.
 inline constexpr const char* kCancelledError = "cancelled";
 
-/// Checked at job boundaries inside a shard: return true to skip solving
-/// the job at `job_index` (its result gets error = kCancelledError).
-/// Must be thread-safe; called concurrently from every shard.
-using CancelFn = std::function<bool(std::size_t job_index)>;
+/// SolveResult::error of a job stopped by its deadline (either expired
+/// while queued/at the job boundary, or aborted mid-DP).
+inline constexpr const char* kTimedOutError = "deadline exceeded";
+
+/// What a cancellation predicate wants done with a job: nothing, skip it
+/// as cancelled, or skip it as timed out.  Inside a running solve the
+/// same signal maps onto core::SolveAbort and stops the DP at the next
+/// column.
+enum class JobSignal { kNone = 0, kCancel, kTimeout };
+
+/// Checked at job boundaries inside a shard AND once per DP column
+/// during the solve: a non-kNone answer for `job_index` skips (or
+/// aborts) the job, marking its result with kCancelledError or
+/// kTimedOutError.  Must be thread-safe; called concurrently — and
+/// frequently — from every shard.
+using CancelFn = std::function<JobSignal(std::size_t job_index)>;
 
 /// Aggregate serving counters across the engine and all its sessions
 /// (what the daemon's `stats` verb reports).
@@ -213,6 +251,11 @@ struct EngineStats {
   /// climbs exposes a leaked pin — e.g. a solve that hung.
   std::size_t pinned_revisions = 0;
   std::size_t pinned_bytes = 0;
+  /// Pins force-released because their lease expired (cumulative, summed
+  /// over sessions; always 0 with leases off).  A nonzero value means
+  /// some solve held a revision past its budget — expected under fault
+  /// injection, a bug report in production.
+  std::uint64_t lease_expirations = 0;
 };
 
 class BatchEngine {
@@ -241,12 +284,13 @@ class BatchEngine {
   /// its subscription instead of duplicating it, and re-submitting with
   /// resolve_on_update off removes it (the unsubscribe path).
   ///
-  /// `cancelled`, when set, is checked once per job at the job boundary
-  /// within its shard: a true return skips the solve and marks the
-  /// result with error = kCancelledError (a cancelled job also never
-  /// touches the subscription table).  This is the hook the daemon's
-  /// JobManager uses — a job already past its boundary check runs to
-  /// completion.
+  /// `cancelled`, when set, is checked at the job boundary within the
+  /// shard and then once per DP column while the job solves: kCancel
+  /// marks the result kCancelledError, kTimeout kTimedOutError, and a
+  /// job skipped or aborted either way never touches the subscription
+  /// table.  This is the hook the daemon's JobManager uses.  Jobs with
+  /// deadline_ms > 0 additionally get an engine-side deadline measured
+  /// from this call's entry, fused into the same signal.
   std::vector<SolveResult> solve(const std::vector<SolveJob>& jobs,
                                  const CancelFn& cancelled = nullptr);
 
@@ -313,7 +357,19 @@ class BatchEngine {
       const CancelFn& cancelled);
   void solve_one(const SolveJob& job, const NetworkSession::Current& snap,
                  const MapperContext& ctx, std::size_t shard,
-                 const IncrementalBinding* binding, SolveResult& out);
+                 const IncrementalBinding* binding,
+                 const core::AbortProbe& abort, SolveResult& out);
+  /// Fuses the caller's signal with per-job engine-side deadlines
+  /// (measured from now) into one CancelFn; returns `user` unchanged
+  /// when no job carries a deadline.  Also extends each deadline job's
+  /// solved-against revision lease to deadline + grace (via the
+  /// binding's session; leases permitting), so an on-schedule job
+  /// always outlives its pin's lease but a stalled one loses it.
+  [[nodiscard]] CancelFn with_deadlines(
+      std::span<const SolveJob> jobs,
+      std::span<const NetworkSession::Current> snapshots,
+      std::span<const IncrementalBinding> bindings,
+      const CancelFn& user) const;
 
   BatchEngineOptions options_;
   std::unique_ptr<util::ThreadPool> owned_pool_;

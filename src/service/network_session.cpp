@@ -1,13 +1,18 @@
 #include "service/network_session.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 #include <vector>
 
 namespace elpc::service {
 
 NetworkSession::NetworkSession(std::string id, graph::Network network,
-                               std::size_t history_budget_bytes)
-    : id_(std::move(id)), history_budget_bytes_(history_budget_bytes) {
+                               std::size_t history_budget_bytes,
+                               std::int64_t lease_ms)
+    : id_(std::move(id)),
+      history_budget_bytes_(history_budget_bytes),
+      lease_ms_(lease_ms) {
   network.finalize();
   current_ = std::make_shared<const graph::Network>(std::move(network));
 }
@@ -42,12 +47,48 @@ void NetworkSession::apply_link_updates(
   const std::lock_guard<std::mutex> lock(mutex_);
   auto next = std::make_shared<graph::Network>(*current_);
   next->apply_link_updates(updates);  // in-place CSR patch, no rebuild
-  history_.emplace(revision_,
-                   CachedRevision{current_, current_->approx_bytes(),
-                                  ++touch_clock_});
+  CachedRevision cached{current_, current_->approx_bytes(), ++touch_clock_};
+  if (lease_ms_ > 0) {
+    // The superseded revision's lease starts now: base lease, raised by
+    // any extension granted while it was still current (a deadline job
+    // mid-solve against it must keep its pin through its budget).
+    cached.lease_expiry =
+        LeaseClock::now() + std::chrono::milliseconds(lease_ms_);
+    const auto pending = pending_leases_.find(revision_);
+    if (pending != pending_leases_.end()) {
+      cached.lease_expiry = std::max(cached.lease_expiry, pending->second);
+    }
+    // Every pending extension at or below this revision is either
+    // consumed just above or stale; dropping them keeps the map at most
+    // one entry deep (only the current revision can accrue extensions).
+    pending_leases_.erase(pending_leases_.begin(),
+                          pending_leases_.upper_bound(revision_));
+  }
+  history_.emplace(revision_, std::move(cached));
   current_ = std::move(next);
   ++revision_;
   evict_over_budget();
+}
+
+void NetworkSession::extend_lease(std::uint64_t revision,
+                                  std::int64_t extra_ms) {
+  if (lease_ms_ <= 0 || extra_ms <= 0) {
+    return;
+  }
+  const LeaseClock::time_point until =
+      LeaseClock::now() + std::chrono::milliseconds(extra_ms);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (revision == revision_) {
+    auto [it, inserted] = pending_leases_.emplace(revision, until);
+    if (!inserted) {
+      it->second = std::max(it->second, until);
+    }
+    return;
+  }
+  const auto it = history_.find(revision);
+  if (it != history_.end()) {
+    it->second.lease_expiry = std::max(it->second.lease_expiry, until);
+  }
 }
 
 NetworkSnapshot NetworkSession::revision_snapshot(
@@ -83,6 +124,7 @@ SessionCacheStats NetworkSession::cache_stats() const {
   stats.current_bytes = current_->approx_bytes();
   stats.evictions = evictions_;
   stats.checkpoint_evictions = checkpoint_evictions_;
+  stats.lease_expirations = lease_expirations_;
   return stats;
 }
 
@@ -117,6 +159,23 @@ void NetworkSession::drop_checkpoint(const std::string& key) {
 }
 
 void NetworkSession::evict_over_budget() const {
+  // Lease pass first: a PINNED entry whose lease lapsed is
+  // force-released — erased from the cache so it stops being counted,
+  // pinned, or served.  The outside holder's shared_ptr keeps the
+  // snapshot itself alive (no dangling reads); what expires is the
+  // session's obligation to retain the revision on its behalf.
+  if (lease_ms_ > 0) {
+    const LeaseClock::time_point now = LeaseClock::now();
+    for (auto it = history_.begin(); it != history_.end();) {
+      if (it->second.network.use_count() > 1 &&
+          it->second.lease_expiry <= now) {
+        it = history_.erase(it);
+        ++lease_expirations_;
+      } else {
+        ++it;
+      }
+    }
+  }
   // A cache entry whose snapshot is referenced by anyone else (in-flight
   // solve, retained subscription) is pinned: evicting it would drop the
   // map entry but not the memory, under-reporting what is actually held

@@ -40,14 +40,21 @@
 // subscription never race on its checkpoint (the loser runs a plain
 // full solve).
 //
-// Pinned-revision diagnostics: cache_stats() reports how many
+// Pinned-revision diagnostics + leases: cache_stats() reports how many
 // superseded revisions are currently pinned and their byte total.  The
-// steady state is the live subscription count; a pinned count that only
-// ever grows means a leaked snapshot — typically a solve that hung and
-// will pin its revision forever (the full lease/timeout story is a
-// ROADMAP item; this counter makes the leak visible in the daemon's
-// `stats` verb).
+// steady state is the live subscription count.  With leases off
+// (lease_ms = 0, the default) a pinned count that only ever grows means
+// a leaked snapshot — typically a solve that hung and will pin its
+// revision forever.  With leases on, every pin is bounded: a superseded
+// revision's cache entry carries an expiry (granted at supersession,
+// extendable per job via extend_lease), and the budget sweep
+// force-releases any PINNED entry whose lease has lapsed — the entry is
+// dropped from the cache (the outside holder keeps its snapshot alive
+// privately, but the session stops counting, pinning, and serving it)
+// and lease_expirations ticks.  A hung solve therefore costs its own
+// snapshot's bytes, never an unbounded pile of cache entries.
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -85,6 +92,9 @@ struct SessionCacheStats {
   /// hung solve) — surfaced in the daemon `stats` verb.
   std::size_t pinned_revisions = 0;
   std::size_t pinned_bytes = 0;
+  /// Pinned entries force-released because their lease expired
+  /// (cumulative; always 0 with leases off).
+  std::uint64_t lease_expirations = 0;
 };
 
 class NetworkSession {
@@ -92,9 +102,12 @@ class NetworkSession {
   /// Takes ownership of the network and finalizes it (the session's one
   /// CSR build, unless the caller already built it).
   /// `history_budget_bytes` bounds the unpinned revision cache (0 = keep
-  /// no unpinned history).
+  /// no unpinned history).  `lease_ms` is the base lease every
+  /// superseded revision's cache entry gets (0 = leases off: pins hold
+  /// forever, the pre-lease behaviour).
   NetworkSession(std::string id, graph::Network network,
-                 std::size_t history_budget_bytes = 0);
+                 std::size_t history_budget_bytes = 0,
+                 std::int64_t lease_ms = 0);
 
   NetworkSession(const NetworkSession&) = delete;
   NetworkSession& operator=(const NetworkSession&) = delete;
@@ -138,6 +151,18 @@ class NetworkSession {
   /// only be reclaimed by a sweep) and reports occupancy.
   [[nodiscard]] SessionCacheStats cache_stats() const;
 
+  /// Base lease (ms) superseded revisions get; 0 = leases disabled.
+  [[nodiscard]] std::int64_t lease_ms() const noexcept { return lease_ms_; }
+
+  /// Guarantees `revision`'s cache entry stays pinned-and-served for at
+  /// least `extra_ms` from now (raising, never lowering, its expiry).
+  /// For the CURRENT revision the extension is remembered and applied
+  /// when a delta supersedes it — a deadline job solving against the
+  /// head must keep its pin through the job's budget even if the head
+  /// is superseded mid-solve.  No-op with leases off or for an unknown
+  /// revision.
+  void extend_lease(std::uint64_t revision, std::int64_t extra_ms);
+
   /// One subscription's retained incremental-DP state.  Solvers must
   /// hold solve_mutex (try_lock; fall back to a plain full solve on
   /// contention) while touching `state`, and record the session
@@ -166,10 +191,15 @@ class NetworkSession {
   void drop_checkpoint(const std::string& key);
 
  private:
+  using LeaseClock = std::chrono::steady_clock;
+
   struct CachedRevision {
     NetworkSnapshot network;
     std::size_t bytes = 0;
     std::uint64_t last_touch = 0;
+    /// When a PINNED entry is force-released by the sweep; max() with
+    /// leases off (never).  Unpinned entries ignore it (plain LRU).
+    LeaseClock::time_point lease_expiry = LeaseClock::time_point::max();
   };
   struct CachedCheckpoint {
     CheckpointEntryPtr entry;
@@ -183,6 +213,7 @@ class NetworkSession {
 
   const std::string id_;
   const std::size_t history_budget_bytes_;
+  const std::int64_t lease_ms_;
   mutable std::mutex mutex_;
   NetworkSnapshot current_;
   std::uint64_t revision_ = 0;
@@ -190,9 +221,13 @@ class NetworkSession {
   mutable std::map<std::uint64_t, CachedRevision> history_;
   /// Incremental checkpoints by subscription key, same budget + sweep.
   mutable std::map<std::string, CachedCheckpoint> checkpoints_;
+  /// Lease extensions granted while their revision was still current,
+  /// consumed when a delta supersedes it (keyed by revision number).
+  std::map<std::uint64_t, LeaseClock::time_point> pending_leases_;
   mutable std::uint64_t touch_clock_ = 0;
   mutable std::uint64_t evictions_ = 0;
   mutable std::uint64_t checkpoint_evictions_ = 0;
+  mutable std::uint64_t lease_expirations_ = 0;
 };
 
 }  // namespace elpc::service

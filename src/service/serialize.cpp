@@ -35,6 +35,9 @@ util::Json to_json(const SolveJob& job) {
   doc.set("repeats", job.repeats);
   doc.set("warmup", job.warmup);
   doc.set("resolve_on_update", job.resolve_on_update);
+  if (job.deadline_ms > 0) {
+    doc.set("deadline_ms", job.deadline_ms);
+  }
   return doc;
 }
 
@@ -67,6 +70,14 @@ SolveJob job_from_json(const util::Json& doc) {
   }
   if (const util::Json* resolve = doc.find("resolve_on_update")) {
     job.resolve_on_update = resolve->as_bool();
+  }
+  if (const util::Json* deadline = doc.find("deadline_ms")) {
+    const std::int64_t ms = deadline->as_int();
+    if (ms < 0) {
+      throw std::invalid_argument("job '" + job.id +
+                                  "': deadline_ms must be >= 0");
+    }
+    job.deadline_ms = ms;
   }
   return job;
 }

@@ -1,0 +1,155 @@
+#include "util/fault_injector.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+namespace elpc::util {
+
+namespace {
+
+/// splitmix64 — tiny, seedable, and good enough for fault dice; keeping
+/// it local avoids coupling the injector to util::Rng's stream contract.
+std::uint64_t next_u64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double unit_real(std::uint64_t& state) {
+  return static_cast<double>(next_u64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("ELPC_FAULTS");
+  if (spec == nullptr || *spec == '\0') {
+    return;
+  }
+  std::uint64_t seed = 1;
+  if (const char* seed_env = std::getenv("ELPC_FAULT_SEED")) {
+    seed = std::strtoull(seed_env, nullptr, 10);
+  }
+  configure(spec, seed);
+}
+
+void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
+  std::map<std::string, Point> points;
+  std::size_t begin = 0;
+  while (begin < spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument(
+          "FaultInjector: entry '" + entry +
+          "' is not point=probability[:param_ms]");
+    }
+    const std::string name = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    Point point;
+    try {
+      std::size_t parsed = 0;
+      point.probability = std::stod(value, &parsed);
+      if (parsed < value.size()) {
+        if (value[parsed] != ':') {
+          throw std::invalid_argument(value);
+        }
+        point.param_ms = std::stod(value.substr(parsed + 1));
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("FaultInjector: cannot parse '" + entry +
+                                  "' as point=probability[:param_ms]");
+    }
+    if (point.probability < 0.0 || point.probability > 1.0 ||
+        point.param_ms < 0.0) {
+      throw std::invalid_argument("FaultInjector: '" + entry +
+                                  "' needs probability in [0,1] and a "
+                                  "non-negative param");
+    }
+    points[name] = point;
+  }
+  bool any = false;
+  for (const auto& [name, point] : points) {
+    any = any || point.probability > 0.0;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  points_ = std::move(points);
+  rng_state_ = seed;
+  enabled_.store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::disable() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fire(const std::string& point) {
+  if (!enabled()) {
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  if (it == points_.end() || it->second.probability <= 0.0) {
+    return false;
+  }
+  if (unit_real(rng_state_) >= it->second.probability) {
+    return false;
+  }
+  ++it->second.fired;
+  return true;
+}
+
+bool FaultInjector::maybe_stall(const std::string& point) {
+  if (!should_fire(point)) {
+    return false;
+  }
+  const double ms = param_ms(point);
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0)));
+  }
+  return true;
+}
+
+double FaultInjector::param_ms(const std::string& point) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0.0 : it->second.param_ms;
+}
+
+std::uint64_t FaultInjector::fired(const std::string& point) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> FaultInjector::counters()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    out.emplace_back(name, point.fired);
+  }
+  return out;
+}
+
+}  // namespace elpc::util

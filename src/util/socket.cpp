@@ -6,9 +6,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
+
+#include "util/fault_injector.hpp"
 
 namespace elpc::util {
 
@@ -38,13 +41,16 @@ sockaddr_un make_address(const std::string& path) {
 UnixSocket::~UnixSocket() { close(); }
 
 UnixSocket::UnixSocket(UnixSocket&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      max_line_bytes_(other.max_line_bytes_) {}
 
 UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     buffer_ = std::move(other.buffer_);
+    max_line_bytes_ = other.max_line_bytes_;
   }
   return *this;
 }
@@ -67,7 +73,19 @@ void UnixSocket::send_line(const std::string& message) {
   if (!valid()) {
     throw SocketError("send_line on closed socket");
   }
-  const std::string framed = message + "\n";
+  FaultInjector& faults = FaultInjector::instance();
+  if (faults.enabled() && faults.should_fire("socket_send_epipe")) {
+    throw SocketError("send: injected EPIPE");
+  }
+  std::string framed = message + "\n";
+  // A torn frame: deliver a prefix with no terminator, then fail the
+  // send — the peer sees "closed mid-message", exactly what a process
+  // dying between write() calls produces.
+  const bool short_write =
+      faults.enabled() && faults.should_fire("socket_short_write");
+  if (short_write) {
+    framed.resize(std::max<std::size_t>(1, framed.size() / 2));
+  }
   std::size_t sent = 0;
   while (sent < framed.size()) {
     const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
@@ -80,18 +98,28 @@ void UnixSocket::send_line(const std::string& message) {
     }
     sent += static_cast<std::size_t>(n);
   }
+  if (short_write) {
+    throw SocketError("send: injected short write");
+  }
 }
 
 std::optional<std::string> UnixSocket::recv_line() {
   if (!valid()) {
     throw SocketError("recv_line on closed socket");
   }
+  (void)FaultInjector::instance().maybe_stall("socket_recv_slow");
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
       std::string line = buffer_.substr(0, newline);
       buffer_.erase(0, newline + 1);
       return line;
+    }
+    if (buffer_.size() > max_line_bytes_) {
+      throw SocketFrameError(
+          "frame exceeds " + std::to_string(max_line_bytes_) +
+          " bytes with no terminator (" + std::to_string(buffer_.size()) +
+          " buffered)");
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -114,6 +142,13 @@ std::optional<std::string> UnixSocket::recv_line() {
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+void UnixSocket::set_max_line_bytes(std::size_t bytes) {
+  if (bytes == 0) {
+    throw SocketError("set_max_line_bytes: cap must be > 0");
+  }
+  max_line_bytes_ = bytes;
 }
 
 void UnixSocket::set_recv_timeout(int milliseconds) {

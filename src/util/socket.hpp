@@ -32,6 +32,15 @@ class SocketTimeout : public SocketError {
   using SocketError::SocketError;
 };
 
+/// Thrown by recv_line when the peer streamed more than max_line_bytes
+/// without a terminator — a protocol violation (or an attack), never a
+/// transient condition.  The buffered bytes cannot re-sync to a frame
+/// boundary, so the right response is one error frame and a close.
+class SocketFrameError : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
 /// One connected Unix-domain stream socket (either end).  Move-only.
 class UnixSocket {
  public:
@@ -57,9 +66,19 @@ class UnixSocket {
 
   /// Receives the next '\n'-terminated message (terminator stripped);
   /// nullopt on clean EOF.  Throws SocketTimeout when a receive timeout
-  /// is set and expires, SocketError on IO errors or when the peer
-  /// closes mid-message.
+  /// is set and expires, SocketFrameError when the accumulated
+  /// unterminated bytes exceed max_line_bytes (OOM guard — a client may
+  /// not grow the server's buffer without bound), and SocketError on IO
+  /// errors or when the peer closes mid-message.
   [[nodiscard]] std::optional<std::string> recv_line();
+
+  /// Default recv_line buffer cap: generously above any real frame (a
+  /// register_network of a large topology is a few MiB), far below OOM.
+  static constexpr std::size_t kDefaultMaxLineBytes = 16ull << 20;
+
+  /// Adjusts the recv_line cap (0 is rejected — an uncapped buffer is
+  /// exactly the failure mode the cap exists for).
+  void set_max_line_bytes(std::size_t bytes);
 
   /// Bounds every subsequent recv_line wait (SO_RCVTIMEO): on expiry it
   /// throws SocketTimeout instead of blocking forever.  Lets a server
@@ -71,6 +90,7 @@ class UnixSocket {
  private:
   int fd_ = -1;
   std::string buffer_;  // bytes received past the last returned line
+  std::size_t max_line_bytes_ = kDefaultMaxLineBytes;
 };
 
 /// Listening Unix-domain socket bound to a filesystem path.  A stale

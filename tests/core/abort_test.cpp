@@ -1,0 +1,126 @@
+// Cooperative abort probe (ElpcOptions::abort_probe): per-column
+// cancellation/deadline checks in both ELPC objectives.  The probe must
+// stop a solve promptly (SolveAborted, carrying the reason) and — when
+// it never fires — must not perturb results at all.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/elpc.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace elpc::core {
+namespace {
+
+using mapping::MapResult;
+using mapping::Problem;
+
+workload::Scenario random_instance(std::uint64_t seed, std::size_t modules,
+                                   std::size_t nodes, std::size_t links) {
+  util::Rng rng(seed);
+  workload::Scenario s;
+  s.name = "abort" + std::to_string(seed);
+  s.pipeline = pipeline::random_pipeline(rng, modules, {});
+  s.network = graph::random_connected_network(rng, nodes, links, {});
+  s.source = 0;
+  s.destination = nodes - 1;
+  return s;
+}
+
+pipeline::CostOptions no_mld() { return {.include_link_delay = false}; }
+
+TEST(ElpcAbort, ImmediateTimeoutStopsBothObjectives) {
+  const workload::Scenario s = random_instance(11, 6, 12, 70);
+  ElpcOptions options;
+  options.abort_probe = []() { return SolveAbort::kTimedOut; };
+  const ElpcMapper mapper(options);
+  try {
+    (void)mapper.max_frame_rate(s.problem(no_mld()));
+    FAIL() << "frame-rate solve ignored the abort probe";
+  } catch (const SolveAborted& aborted) {
+    EXPECT_EQ(aborted.reason(), SolveAbort::kTimedOut);
+  }
+  try {
+    (void)mapper.min_delay(s.problem(no_mld()));
+    FAIL() << "min-delay solve ignored the abort probe";
+  } catch (const SolveAborted& aborted) {
+    EXPECT_EQ(aborted.reason(), SolveAbort::kTimedOut);
+  }
+}
+
+TEST(ElpcAbort, CancellationCarriesItsOwnReason) {
+  const workload::Scenario s = random_instance(12, 5, 10, 55);
+  ElpcOptions options;
+  options.abort_probe = []() { return SolveAbort::kCancelled; };
+  try {
+    (void)ElpcMapper(options).max_frame_rate(s.problem(no_mld()));
+    FAIL() << "solve ignored the abort probe";
+  } catch (const SolveAborted& aborted) {
+    EXPECT_EQ(aborted.reason(), SolveAbort::kCancelled);
+  }
+}
+
+TEST(ElpcAbort, ProbeIsPolledOncePerColumnNotOncePerSolve) {
+  // n modules => n - 1 computed DP columns (module 0 is the source
+  // stage) => at least n - 1 probe polls.  A probe that only ran at
+  // solve entry would defeat the latency bound the hook exists for.
+  const std::size_t modules = 6;
+  const workload::Scenario s = random_instance(13, modules, 12, 70);
+  std::atomic<std::size_t> polls{0};
+  ElpcOptions options;
+  options.abort_probe = [&polls]() {
+    polls.fetch_add(1, std::memory_order_relaxed);
+    return SolveAbort::kNone;
+  };
+  const MapResult r = ElpcMapper(options).max_frame_rate(s.problem(no_mld()));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(polls.load(), modules - 1);
+}
+
+TEST(ElpcAbort, NeverFiringProbeIsBitIdenticalToNoProbe) {
+  for (std::uint64_t seed = 30; seed < 35; ++seed) {
+    const workload::Scenario s = random_instance(seed, 5, 11, 60);
+    const Problem p = s.problem(no_mld());
+    const MapResult plain = ElpcMapper().max_frame_rate(p);
+    ElpcOptions options;
+    options.abort_probe = []() { return SolveAbort::kNone; };
+    const MapResult probed = ElpcMapper(options).max_frame_rate(p);
+    ASSERT_EQ(plain.feasible, probed.feasible) << seed;
+    EXPECT_EQ(plain.seconds, probed.seconds) << seed;
+    EXPECT_EQ(plain.mapping, probed.mapping) << seed;
+
+    const MapResult plain_delay = ElpcMapper().min_delay(p);
+    const MapResult probed_delay = ElpcMapper(options).min_delay(p);
+    EXPECT_EQ(plain_delay.seconds, probed_delay.seconds) << seed;
+    EXPECT_EQ(plain_delay.mapping, probed_delay.mapping) << seed;
+  }
+}
+
+TEST(ElpcAbort, MidSolveAbortLeavesMapperReusable) {
+  // Abort one solve partway through, then run the same mapper instance
+  // clean: the abort must not poison later solves (checkpoint-style
+  // state is invalidated up front, not left half-written).
+  const workload::Scenario s = random_instance(14, 6, 12, 70);
+  std::atomic<std::size_t> polls{0};
+  std::atomic<bool> arm{true};
+  ElpcOptions options;
+  options.abort_probe = [&polls, &arm]() {
+    const std::size_t n = polls.fetch_add(1, std::memory_order_relaxed);
+    return (arm.load() && n >= 2) ? SolveAbort::kTimedOut : SolveAbort::kNone;
+  };
+  const ElpcMapper mapper(options);
+  EXPECT_THROW((void)mapper.max_frame_rate(s.problem(no_mld())), SolveAborted);
+  arm.store(false);
+  const MapResult after = mapper.max_frame_rate(s.problem(no_mld()));
+  const MapResult reference = ElpcMapper().max_frame_rate(s.problem(no_mld()));
+  ASSERT_TRUE(after.feasible);
+  EXPECT_EQ(after.seconds, reference.seconds);
+  EXPECT_EQ(after.mapping, reference.mapping);
+}
+
+}  // namespace
+}  // namespace elpc::core

@@ -1,0 +1,186 @@
+// Hostile-client fuzzing of the wire front end: truncated JSON, wrong
+// field types, negative tickets, oversized unterminated frames, and
+// mid-frame disconnects.  The invariant under every input: the daemon
+// answers (or closes just that connection) and keeps serving real work
+// afterwards — plus the DaemonClient retry policy that papers over
+// transient connection loss.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/client.hpp"
+#include "daemon/socket_server.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace elpc::daemon {
+namespace {
+
+graph::Network make_network(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::random_connected_network(rng, 10, 50,
+                                         graph::AttributeRanges{});
+}
+
+service::SolveJob make_job(const std::string& id, std::uint64_t pseed) {
+  util::Rng rng(pseed);
+  service::SolveJob job;
+  job.id = id;
+  job.network = "net";
+  job.pipeline = pipeline::random_pipeline(rng, 4, {});
+  job.source = 0;
+  job.destination = 9;
+  job.objective = service::Objective::kMinDelay;
+  job.cost = service::default_cost(job.objective);
+  return job;
+}
+
+std::string socket_path(const std::string& tag) {
+  return ::testing::TempDir() + "/elpc_fuzz_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// Connects raw (no framing helper) so the test can write partial
+/// frames and slam the connection shut mid-byte.
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(SocketServer, SurvivesMalformedAndHostileFrames) {
+  SocketServer server(socket_path("hostile"), SocketServerOptions{});
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  // Every frame that parses — however wrong its shape — answers
+  // ok=false on the same connection.
+  const std::vector<std::string> bad_frames = {
+      R"({"verb": "sub)",                        // truncated JSON
+      R"("just a string")",                      // not an object
+      R"({"verb": 42})",                         // wrong-typed verb
+      R"({"verb": "poll"})",                     // missing ticket
+      R"({"verb": "poll", "ticket": "abc"})",    // wrong-typed ticket
+      R"({"verb": "poll", "ticket": -3})",       // negative ticket
+      R"({"verb": "submit", "job": 17})",        // wrong-typed job
+      R"({"verb": "submit", "job": {}})",        // empty job
+      R"({"verb": "drain", "timeout_ms": []})",  // wrong-typed timeout
+      R"({"verb": "apply_link_updates", "network": "nope", "updates": 3})",
+      "",                                        // empty line
+  };
+  {
+    util::UnixSocket hostile = util::UnixSocket::connect(server.socket_path());
+    for (const std::string& frame : bad_frames) {
+      hostile.send_line(frame);
+      const std::optional<std::string> answer = hostile.recv_line();
+      ASSERT_TRUE(answer.has_value()) << frame;
+      EXPECT_FALSE(util::Json::parse(*answer).at("ok").as_bool()) << frame;
+    }
+  }
+
+  // Mid-frame disconnects: a partial frame with no terminator, then an
+  // abrupt close.  Repeat a few times — each costs the daemon one
+  // handler thread that must wind down cleanly.
+  for (int i = 0; i < 5; ++i) {
+    const int fd = raw_connect(server.socket_path());
+    ASSERT_GE(fd, 0);
+    const char partial[] = "{\"verb\": \"submit\", \"job";
+    (void)::send(fd, partial, sizeof(partial) - 1, MSG_NOSIGNAL);
+    ::close(fd);
+  }
+
+  // An oversized unterminated frame trips the recv byte cap: the server
+  // answers one protocol-error frame (when the torn stream still lets
+  // it) and closes that connection — it must never buffer unboundedly.
+  {
+    const int fd = raw_connect(server.socket_path());
+    ASSERT_GE(fd, 0);
+    const std::string chunk(1 << 20, 'x');  // 1 MiB, no newline
+    for (int i = 0; i < 17; ++i) {          // past the 16 MiB default cap
+      if (::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL) < 0) {
+        break;  // server already gave up on us — the desired outcome
+      }
+    }
+    ::close(fd);
+  }
+
+  // After all of the above the daemon still serves real work.
+  DaemonClient client(server.socket_path());
+  client.register_network("net", make_network(3));
+  const Ticket ticket = client.submit(make_job("alive", 120));
+  EXPECT_EQ(client.wait(ticket).at("state").as_string(), "done");
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+TEST(DaemonClient, RetriesReconnectAfterTransientConnectionLoss) {
+  util::UnixListener listener(socket_path("retry"));
+  std::thread flaky_server([&listener]() {
+    // First connection: accepted, then dropped without an answer — the
+    // "daemon restarted under the client" shape.
+    {
+      std::optional<util::UnixSocket> first = listener.accept();
+      ASSERT_TRUE(first.has_value());
+    }  // closed on scope exit
+    // Second connection (the retry): answer one request properly.
+    std::optional<util::UnixSocket> second = listener.accept();
+    ASSERT_TRUE(second.has_value());
+    const std::optional<std::string> line = second->recv_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(util::Json::parse(*line).at("verb").as_string(), "noop");
+    second->send_line(R"({"ok": true, "echo": 1})");
+  });
+
+  DaemonClientOptions options;
+  options.max_retries = 3;
+  options.backoff_ms = 1;  // keep the test fast; jitter still applies
+  DaemonClient client(listener.path(), options);
+  util::Json frame = util::JsonObject{};
+  frame.set("verb", "noop");
+  const util::Json response = client.request(frame);
+  EXPECT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("echo").as_int(), 1);
+  flaky_server.join();
+}
+
+TEST(DaemonClient, ZeroRetriesSurfacesTheFirstFailure) {
+  util::UnixListener listener(socket_path("noretry"));
+  std::thread closing_server([&listener]() {
+    // Drop every connection unanswered until the listener closes.
+    while (std::optional<util::UnixSocket> peer = listener.accept()) {
+    }
+  });
+
+  DaemonClientOptions options;
+  options.max_retries = 0;
+  DaemonClient client(listener.path(), options);
+  util::Json frame = util::JsonObject{};
+  frame.set("verb", "noop");
+  EXPECT_THROW((void)client.request(frame), util::SocketError);
+
+  listener.close();
+  closing_server.join();
+}
+
+}  // namespace
+}  // namespace elpc::daemon

@@ -1,0 +1,328 @@
+// Daemon survivability: submission-clock deadlines (queued AND running
+// jobs), graceful drain, the wait-during-shutdown signal, and the
+// acceptance pin for pinned-revision leases — a stalled solve times out
+// and its revision pin returns to steady state via lease expiry.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/elpc.hpp"
+#include "daemon/client.hpp"
+#include "daemon/job_manager.hpp"
+#include "daemon/socket_server.hpp"
+#include "graph/generators.hpp"
+#include "mapping/mapper.hpp"
+#include "pipeline/generator.hpp"
+#include "service/batch_engine.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::daemon {
+namespace {
+
+graph::Network make_network(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::random_connected_network(rng, 10, 50,
+                                         graph::AttributeRanges{});
+}
+
+service::SolveJob make_job(const std::string& id, std::uint64_t pseed,
+                           service::Objective objective) {
+  util::Rng rng(pseed);
+  service::SolveJob job;
+  job.id = id;
+  job.network = "net";
+  job.pipeline = pipeline::random_pipeline(rng, 4, {});
+  job.source = 0;
+  job.destination = 9;
+  job.objective = objective;
+  job.cost = service::default_cost(objective);
+  return job;
+}
+
+std::string socket_path(const std::string& tag) {
+  return ::testing::TempDir() + "/elpc_surv_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// The hung-solve model: sleeps through its whole hang ignoring the
+/// abort probe (a genuinely stuck solve — a wedged syscall, a pathological
+/// input), then finally reaches a probe and aborts.  Long enough after
+/// the job's deadline + lease that the lease sweep must act first.
+class HungMapper final : public mapping::Mapper {
+ public:
+  HungMapper(core::AbortProbe abort, std::chrono::milliseconds hang)
+      : abort_(std::move(abort)), hang_(hang) {}
+
+  [[nodiscard]] std::string name() const override { return "hang"; }
+  [[nodiscard]] mapping::MapResult min_delay(
+      const mapping::Problem&) const override {
+    return stall();
+  }
+  [[nodiscard]] mapping::MapResult max_frame_rate(
+      const mapping::Problem&) const override {
+    return stall();
+  }
+
+ private:
+  mapping::MapResult stall() const {
+    std::this_thread::sleep_for(hang_);
+    if (abort_) {
+      const core::SolveAbort reason = abort_();
+      if (reason != core::SolveAbort::kNone) {
+        throw core::SolveAborted(reason, "hung solve reached a probe");
+      }
+    }
+    return mapping::MapResult::infeasible("hung mapper never solves");
+  }
+
+  core::AbortProbe abort_;
+  std::chrono::milliseconds hang_;
+};
+
+/// Factory stalling before the stock mapper is even built: the job burns
+/// its budget before the first DP column.
+service::BatchEngineOptions slow_start_factory(
+    std::chrono::milliseconds stall) {
+  service::BatchEngineOptions options;
+  options.factory = [stall](const service::SolveJob&,
+                            const service::MapperContext& ctx) {
+    std::this_thread::sleep_for(stall);
+    return service::make_engine_elpc(ctx);
+  };
+  return options;
+}
+
+TEST(JobManager, DeadlineExpiresQueuedJobEvenWhilePaused) {
+  service::BatchEngine engine;
+  engine.register_network("net", make_network(3));
+  JobManagerOptions options;
+  options.start_paused = true;  // the job can never dispatch
+  JobManager manager(engine, options);
+
+  service::SolveJob job = make_job("late", 80, service::Objective::kMinDelay);
+  job.deadline_ms = 30;
+  const Ticket ticket = manager.submit(job);
+
+  const JobStatus status = manager.wait(ticket);
+  EXPECT_EQ(status.state, JobState::kTimedOut);
+  EXPECT_EQ(status.result.error, service::kTimedOutError);
+  const JobManagerStats stats = manager.stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.queued, 0u);
+}
+
+TEST(JobManager, RunningJobStoppedByItsDeadline) {
+  service::BatchEngine engine(
+      slow_start_factory(std::chrono::milliseconds(100)));
+  engine.register_network("net", make_network(3));
+  JobManager manager(engine);
+
+  service::SolveJob job =
+      make_job("over", 81, service::Objective::kMaxFrameRate);
+  job.deadline_ms = 20;
+  const Ticket ticket = manager.submit(job);
+  const JobStatus status = manager.wait(ticket);
+  EXPECT_EQ(status.state, JobState::kTimedOut);
+  EXPECT_EQ(status.result.error, service::kTimedOutError);
+  EXPECT_EQ(manager.stats().timed_out, 1u);
+
+  // A deadline-free job right after is untouched.
+  const Ticket ok = manager.submit(
+      make_job("ok", 82, service::Objective::kMinDelay));
+  EXPECT_EQ(manager.wait(ok).state, JobState::kDone);
+}
+
+TEST(JobManager, DrainFinishesWorkAndClosesAdmission) {
+  service::BatchEngine engine;
+  engine.register_network("net", make_network(3));
+  JobManagerOptions options;
+  options.start_paused = true;  // everything queues until the drain
+  JobManager manager(engine, options);
+
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(manager.submit(
+        make_job("j" + std::to_string(i), 90 + i,
+                 service::Objective::kMinDelay)));
+  }
+
+  // Drain lifts the pause, runs the queue dry, and reports idle.
+  const DrainReport report = manager.drain(/*timeout_ms=*/20000);
+  EXPECT_TRUE(report.drained);
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.timed_out, 0u);
+  EXPECT_EQ(report.queued, 0u);
+  EXPECT_EQ(report.running, 0u);
+  for (const Ticket ticket : tickets) {
+    EXPECT_EQ(manager.poll(ticket).state, JobState::kDone);
+  }
+
+  // Admission is closed for good.
+  EXPECT_TRUE(manager.draining());
+  EXPECT_TRUE(manager.stats().draining);
+  EXPECT_THROW((void)manager.submit(make_job(
+                   "rejected", 99, service::Objective::kMinDelay)),
+               std::runtime_error);
+  // A second drain on an idle manager reports idle again.
+  EXPECT_TRUE(manager.drain(1000).drained);
+}
+
+TEST(JobManager, DrainBudgetTimesOutStragglers) {
+  service::BatchEngine engine(
+      slow_start_factory(std::chrono::milliseconds(300)));
+  engine.register_network("net", make_network(3));
+  JobManagerOptions options;
+  options.start_paused = true;
+  JobManager manager(engine, options);
+
+  const Ticket slow = manager.submit(
+      make_job("slow", 95, service::Objective::kMaxFrameRate));
+  // The drain budget is far below the 300 ms stall: the job must be
+  // forced to kTimedOut rather than holding the drain hostage.
+  const DrainReport report = manager.drain(/*timeout_ms=*/50);
+  EXPECT_TRUE(report.drained);
+  EXPECT_EQ(report.timed_out, 1u);
+  EXPECT_EQ(manager.poll(slow).state, JobState::kTimedOut);
+}
+
+TEST(JobManager, WaitReportsShutdownForAJobThatWillNeverRun) {
+  service::BatchEngine engine;
+  engine.register_network("net", make_network(3));
+  JobManagerOptions options;
+  options.start_paused = true;
+  JobManager manager(engine, options);
+
+  const Ticket ticket = manager.submit(
+      make_job("stuck", 96, service::Objective::kMinDelay));
+  JobStatus released;
+  std::thread waiter([&manager, ticket, &released]() {
+    released = manager.wait(ticket);
+  });
+  // Give the waiter time to block, then stop the manager under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  manager.stop();
+  waiter.join();
+  EXPECT_FALSE(released.terminal());
+  EXPECT_TRUE(released.shutting_down);
+}
+
+/// The PR's acceptance pin, end to end through the daemon's wire stats:
+/// a solve that stalls past its deadline (1) reaches the timed_out
+/// terminal state, and (2) loses its revision pin to lease expiry — so
+/// pinned_revisions/pinned_bytes return to steady state while the solve
+/// is still stuck, and lease_expirations records the forced release.
+TEST(SocketServer, StalledJobTimesOutAndLeaseReleasesItsPin) {
+  using Clock = std::chrono::steady_clock;
+  constexpr auto kHang = std::chrono::milliseconds(2000);
+
+  // Set by the factory, which the engine only reaches AFTER resolving
+  // the batch's snapshots: once true, the stuck solve provably holds
+  // revision 0, so superseding it below must produce a pin.
+  const auto solve_started = std::make_shared<std::atomic<bool>>(false);
+
+  SocketServerOptions options;
+  options.revision_lease_ms = 600;
+  options.lease_grace_ms = 550;  // deadline 50 + grace = 600 ms lease
+  options.factory = [solve_started, kHang](
+                        const service::SolveJob& job,
+                        const service::MapperContext& ctx) -> mapping::MapperPtr {
+    if (job.algorithm == "hang") {
+      solve_started->store(true);
+      return std::make_unique<HungMapper>(ctx.abort, kHang);
+    }
+    return service::make_engine_elpc(ctx);
+  };
+  SocketServer server(socket_path("lease"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+  DaemonClient client(server.socket_path());
+
+  graph::Network net = make_network(3);
+  const graph::Edge edge = net.out_edges(0).front();
+  client.register_network("net", std::move(net));
+
+  service::SolveJob job =
+      make_job("stall", 97, service::Objective::kMaxFrameRate);
+  job.algorithm = "hang";
+  job.deadline_ms = 50;
+  const Ticket ticket = client.submit(job);
+
+  // Wait for the solve to be running (holding revision 0's snapshot).
+  const Clock::time_point give_up = Clock::now() + std::chrono::seconds(10);
+  while (!solve_started->load()) {
+    ASSERT_LT(Clock::now(), give_up) << "job never started running";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Supersede revision 0: the stuck solve's snapshot now pins it.
+  const std::vector<graph::LinkUpdate> delta = {
+      graph::LinkUpdate{edge.from, edge.to, edge.attr}};
+  EXPECT_TRUE(client.apply_link_updates("net", delta).empty());
+  util::Json stats = client.stats();
+  EXPECT_EQ(stats.at("pinned_revisions").as_int(), 1);
+  EXPECT_GT(stats.at("pinned_bytes").as_int(), 0);
+
+  // The lease sweep must release the pin while the solve is still stuck
+  // (the mapper sleeps 2 s; the lease lapses at ~0.6 s).
+  for (;;) {
+    stats = client.stats();
+    if (stats.at("pinned_revisions").as_int() == 0) {
+      break;
+    }
+    ASSERT_LT(Clock::now(), give_up) << "lease never released the pin";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(stats.at("pinned_bytes").as_int(), 0);
+  EXPECT_GE(stats.at("lease_expirations").as_int(), 1);
+
+  // And the job itself lands in the timed_out terminal state.
+  const util::Json waited = client.wait(ticket);
+  EXPECT_EQ(waited.at("state").as_string(), "timed_out");
+  EXPECT_EQ(client.stats().at("timed_out").as_int(), 1);
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+TEST(SocketServer, DrainVerbStopsAdmissionAndReportsCacheState) {
+  SocketServer server(socket_path("drain"), SocketServerOptions{});
+  std::thread serve_thread([&server]() { server.serve(); });
+  DaemonClient client(server.socket_path());
+
+  client.register_network("net", make_network(3));
+  const Ticket ticket = client.submit(
+      make_job("before", 98, service::Objective::kMinDelay));
+  (void)client.wait(ticket);
+
+  const util::Json report = client.drain(/*timeout_ms=*/10000);
+  EXPECT_TRUE(report.at("drained").as_bool());
+  EXPECT_EQ(report.at("queued").as_int(), 0);
+  EXPECT_EQ(report.at("running").as_int(), 0);
+  EXPECT_EQ(report.at("timed_out").as_int(), 0);
+  // The drain answer carries the cache's end state so an operator can
+  // confirm nothing is left pinned before killing the process.
+  EXPECT_EQ(report.at("pinned_revisions").as_int(), 0);
+  EXPECT_EQ(report.at("lease_expirations").as_int(), 0);
+
+  // Admission is closed: a submit after drain answers an error frame.
+  EXPECT_THROW((void)client.submit(make_job(
+                   "after", 99, service::Objective::kMinDelay)),
+               DaemonError);
+  EXPECT_TRUE(client.stats().at("draining").as_bool());
+  // Read verbs keep answering while drained.
+  EXPECT_EQ(client.poll(ticket).at("state").as_string(), "done");
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+}  // namespace
+}  // namespace elpc::daemon

@@ -1,0 +1,196 @@
+// Engine-side job deadlines (SolveJob::deadline_ms) and pinned-revision
+// leases (NetworkSession lease_ms / extend_lease): an over-budget solve
+// must stop with kTimedOutError, and a pin outliving its lease must be
+// force-released so a hung solve cannot hold cache entries forever.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/elpc.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "service/batch_engine.hpp"
+#include "service/network_session.hpp"
+#include "service/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::service {
+namespace {
+
+graph::Network make_network(std::uint64_t seed, std::size_t nodes,
+                            std::size_t links) {
+  util::Rng rng(seed);
+  return graph::random_connected_network(rng, nodes, links,
+                                         graph::AttributeRanges{});
+}
+
+SolveJob make_job(const std::string& id, std::uint64_t pseed,
+                  Objective objective) {
+  util::Rng rng(pseed);
+  SolveJob job;
+  job.id = id;
+  job.network = "net";
+  job.pipeline = pipeline::random_pipeline(rng, 4, {});
+  job.source = 0;
+  job.destination = 9;
+  job.objective = objective;
+  job.cost = default_cost(objective);
+  return job;
+}
+
+/// Factory that sleeps before handing back the stock engine mapper: the
+/// job then burns its budget before the first DP column, so the
+/// per-column probe fires deterministically.
+BatchEngineOptions stalling_factory(std::chrono::milliseconds stall) {
+  BatchEngineOptions options;
+  options.factory = [stall](const SolveJob&, const MapperContext& ctx) {
+    std::this_thread::sleep_for(stall);
+    return make_engine_elpc(ctx);
+  };
+  return options;
+}
+
+TEST(BatchEngine, DeadlineExceededMidSolveReportsTimedOut) {
+  BatchEngine engine(stalling_factory(std::chrono::milliseconds(100)));
+  engine.register_network("net", make_network(3, 10, 50));
+
+  std::vector<SolveJob> jobs = {
+      make_job("over", 50, Objective::kMaxFrameRate)};
+  jobs[0].deadline_ms = 5;
+  const std::vector<SolveResult> results = engine.solve(jobs);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].error, kTimedOutError);
+  EXPECT_FALSE(results[0].result.feasible);
+}
+
+TEST(BatchEngine, DeadlineJobsNeverPerturbOnTimeResults) {
+  // A generous deadline (and a zero one) must leave results bit-identical
+  // to a plain solve: the deadline plumbing is pure control flow.
+  BatchEngine plain;
+  plain.register_network("net", make_network(3, 10, 50));
+  std::vector<SolveJob> jobs = {
+      make_job("a", 50, Objective::kMinDelay),
+      make_job("b", 51, Objective::kMaxFrameRate)};
+  const std::vector<SolveResult> expected = plain.solve(jobs);
+
+  BatchEngine engine;
+  engine.register_network("net", make_network(3, 10, 50));
+  jobs[0].deadline_ms = 60000;
+  jobs[1].deadline_ms = 0;
+  const std::vector<SolveResult> results = engine.solve(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].error.empty()) << results[i].error;
+    EXPECT_EQ(results[i].result.seconds, expected[i].result.seconds);
+    EXPECT_EQ(results[i].result.mapping, expected[i].result.mapping);
+  }
+}
+
+TEST(BatchEngine, TimedOutSubscriptionIsNotRetained) {
+  // A job that timed out never ran to completion; retaining it as a
+  // subscription would re-solve work the caller already wrote off.
+  BatchEngine engine(stalling_factory(std::chrono::milliseconds(100)));
+  engine.register_network("net", make_network(3, 10, 50));
+  std::vector<SolveJob> jobs = {
+      make_job("sub", 52, Objective::kMaxFrameRate)};
+  jobs[0].resolve_on_update = true;
+  jobs[0].deadline_ms = 5;
+  const std::vector<SolveResult> results = engine.solve(jobs);
+  ASSERT_EQ(results[0].error, kTimedOutError);
+  EXPECT_EQ(engine.subscription_count(), 0u);
+}
+
+TEST(NetworkSession, LeaseExpiryForceReleasesPinnedRevision) {
+  graph::Network net = make_network(3, 10, 50);
+  const graph::Edge edge = net.out_edges(0).front();
+  NetworkSession session("net", std::move(net),
+                         /*history_budget_bytes=*/0, /*lease_ms=*/50);
+
+  // Hold revision 0 like an in-flight solve would, then supersede it.
+  const NetworkSnapshot held = session.snapshot();
+  const std::vector<graph::LinkUpdate> delta = {
+      graph::LinkUpdate{edge.from, edge.to, edge.attr}};
+  session.apply_link_updates(delta);
+
+  SessionCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.pinned_revisions, 1u);
+  EXPECT_GT(stats.pinned_bytes, 0u);
+  EXPECT_EQ(stats.lease_expirations, 0u);
+
+  // Past the lease the sweep drops the entry even though we still hold
+  // the snapshot: the session stops accounting for the leak, and the
+  // holder keeps its own reference alive privately.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  stats = session.cache_stats();
+  EXPECT_EQ(stats.pinned_revisions, 0u);
+  EXPECT_EQ(stats.pinned_bytes, 0u);
+  EXPECT_EQ(stats.lease_expirations, 1u);
+  EXPECT_EQ(session.revision_snapshot(0), nullptr);
+  EXPECT_GT(held->node_count(), 0u);  // the private reference survives
+}
+
+TEST(NetworkSession, ExtendLeaseOnCurrentRevisionSurvivesSupersession) {
+  graph::Network net = make_network(3, 10, 50);
+  const graph::Edge edge = net.out_edges(0).front();
+  NetworkSession session("net", std::move(net),
+                         /*history_budget_bytes=*/0, /*lease_ms=*/10);
+
+  // Extend revision 0's lease while it is still current (what the
+  // engine does for a deadline job at solve entry)...
+  session.extend_lease(session.revision(), /*extra_ms=*/60000);
+  const NetworkSnapshot held = session.snapshot();
+  const std::vector<graph::LinkUpdate> delta = {
+      graph::LinkUpdate{edge.from, edge.to, edge.attr}};
+  session.apply_link_updates(delta);
+
+  // ...so the pin survives well past the 10 ms base lease.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const SessionCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.pinned_revisions, 1u);
+  EXPECT_EQ(stats.lease_expirations, 0u);
+}
+
+TEST(NetworkSession, LeasesOffKeepsPinsForever) {
+  graph::Network net = make_network(3, 10, 50);
+  const graph::Edge edge = net.out_edges(0).front();
+  NetworkSession session("net", std::move(net));  // lease_ms = 0
+
+  // extend_lease is a documented no-op with leases off (and for unknown
+  // revisions either way).
+  session.extend_lease(session.revision(), 1);
+  session.extend_lease(999, 1);
+
+  const NetworkSnapshot held = session.snapshot();
+  const std::vector<graph::LinkUpdate> delta = {
+      graph::LinkUpdate{edge.from, edge.to, edge.attr}};
+  session.apply_link_updates(delta);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const SessionCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.pinned_revisions, 1u);  // pre-lease behaviour: held
+  EXPECT_EQ(stats.lease_expirations, 0u);
+}
+
+TEST(BatchSerialize, DeadlineRoundTripsAndNegativeRejected) {
+  SolveJob job = make_job("d", 60, Objective::kMinDelay);
+  job.deadline_ms = 1234;
+  const SolveJob back = job_from_json(to_json(job));
+  EXPECT_EQ(back.deadline_ms, 1234);
+
+  // Absent on the wire (and omitted when 0): the default is "no
+  // deadline", keeping old clients byte-compatible.
+  job.deadline_ms = 0;
+  util::Json doc = to_json(job);
+  EXPECT_FALSE(doc.as_object().count("deadline_ms"));
+  EXPECT_EQ(job_from_json(doc).deadline_ms, 0);
+
+  doc.set("deadline_ms", -5);
+  EXPECT_THROW((void)job_from_json(doc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace elpc::service

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <string>
 #include <thread>
+#include <type_traits>
 
 namespace elpc::util {
 namespace {
@@ -42,6 +43,45 @@ TEST(UnixSocket, LineFramedEchoRoundTrip) {
   }
   client.close();
   server.join();
+}
+
+TEST(UnixSocket, OverlongUnterminatedLineThrowsFrameError) {
+  UnixListener listener(socket_path("cap"));
+  std::thread server([&listener]() {
+    std::optional<UnixSocket> peer = listener.accept();
+    ASSERT_TRUE(peer.has_value());
+    // A message under the cap still frames fine...
+    peer->send_line(std::string(32, 'a'));
+    // ...then one long unterminated burst; the peer will give up on us.
+    try {
+      peer->send_line(std::string(4096, 'b'));
+    } catch (const SocketError&) {
+      // The receiver may already have closed — also fine.
+    }
+  });
+
+  UnixSocket client = UnixSocket::connect(listener.path());
+  client.set_max_line_bytes(256);
+  EXPECT_EQ(client.recv_line(), std::string(32, 'a'));
+  // The 4 KiB frame exceeds the 256-byte cap long before its terminator
+  // arrives: a protocol violation, not a transient failure.
+  EXPECT_THROW((void)client.recv_line(), SocketFrameError);
+  client.close();
+  server.join();
+}
+
+TEST(UnixSocket, ZeroLineCapRejected) {
+  // An uncapped buffer is exactly the failure mode the cap exists for.
+  UnixSocket socket;
+  EXPECT_THROW(socket.set_max_line_bytes(0), SocketError);
+}
+
+TEST(UnixSocket, FrameErrorIsASocketError) {
+  // Callers catching SocketError (the transport failure umbrella) must
+  // also see frame violations; only code that needs the distinction
+  // catches the derived type.
+  static_assert(std::is_base_of_v<SocketError, SocketFrameError>);
+  static_assert(std::is_base_of_v<SocketError, SocketTimeout>);
 }
 
 TEST(UnixSocket, ConnectToNothingThrows) {

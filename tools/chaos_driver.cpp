@@ -1,0 +1,411 @@
+// Chaos driver for the mapping daemon: hammers a LIVE daemon (typically
+// started with fault injection, see util/fault_injector.hpp) with
+// concurrent submits, cancels, waits, link-update storms, pause/resume
+// flips, and malformed frames — then asserts the serving invariants
+// survived:
+//
+//   * no deadlock: the run finishes and the daemon still answers;
+//   * every ticket terminal: nothing stuck queued or running, and the
+//     cumulative counters balance (submitted = done + failed +
+//     cancelled + timed_out);
+//   * pins return to steady state: pinned superseded revisions settle
+//     back to at most the live subscription count (leases force-release
+//     what a fault stranded);
+//   * bit-identical answers: a control job on an untouched network
+//     solves to byte-identical JSON before and after the storm;
+//   * a final drain reports the daemon safe to kill.
+//
+// Prints one greppable line — "CHAOS SUMMARY ok=<0|1> ..." — and exits
+// nonzero on any violation.  CI runs this against a fault-injected
+// daemon under TSan (see .github/workflows/ci.yml).
+//
+//   chaos_driver --socket /tmp/elpc.sock --duration-s 15 --threads 4
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "daemon/client.hpp"
+#include "graph/generators.hpp"
+#include "graph/network.hpp"
+#include "pipeline/generator.hpp"
+#include "service/batch_engine.hpp"
+#include "util/cli.hpp"
+#include "util/fault_injector.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using namespace elpc;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kChaosNetSeed = 3;   // the storm target
+constexpr std::uint64_t kControlNetSeed = 11;  // never touched by deltas
+
+graph::Network make_network(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::random_connected_network(rng, 10, 50,
+                                         graph::AttributeRanges{});
+}
+
+service::SolveJob make_job(const std::string& id, const std::string& network,
+                           std::uint64_t pseed,
+                           service::Objective objective) {
+  util::Rng rng(pseed);
+  service::SolveJob job;
+  job.id = id;
+  job.network = network;
+  job.pipeline = pipeline::random_pipeline(rng, 4, {});
+  job.source = 0;
+  job.destination = 9;
+  job.objective = objective;
+  job.cost = service::default_cost(objective);
+  return job;
+}
+
+daemon::DaemonClientOptions client_options() {
+  daemon::DaemonClientOptions options;
+  options.max_retries = 6;  // the daemon's injected socket faults are
+  options.backoff_ms = 5;   // exactly what the retry policy is for
+  return options;
+}
+
+/// Tickets every worker submitted, shared so workers can poll/cancel
+/// each other's jobs (more interleavings than private lists).
+struct TicketBoard {
+  std::mutex mutex;
+  std::vector<daemon::Ticket> tickets;
+
+  void add(daemon::Ticket ticket) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    tickets.push_back(ticket);
+  }
+  std::optional<daemon::Ticket> pick(util::Rng& rng) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (tickets.empty()) {
+      return std::nullopt;
+    }
+    return tickets[rng.index(tickets.size())];
+  }
+  std::vector<daemon::Ticket> all() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return tickets;
+  }
+};
+
+struct WorkerCounters {
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> submits{0};
+  std::atomic<std::uint64_t> client_errors{0};
+};
+
+/// Solves the control job until it lands state=done (fault points like
+/// arena_alloc can legitimately fail attempts) and returns the canonical
+/// result JSON.  Empty optional when `attempts` runs out.
+std::optional<std::string> control_solve(const std::string& socket_path,
+                                         int attempts) {
+  for (int i = 0; i < attempts; ++i) {
+    try {
+      daemon::DaemonClient client(socket_path, client_options());
+      service::SolveJob job = make_job("control", "ctrl", 500,
+                                       service::Objective::kMaxFrameRate);
+      const daemon::Ticket ticket = client.submit(job, /*priority=*/100);
+      const util::Json status = client.wait(ticket);
+      if (status.at("state").as_string() == "done") {
+        return status.at("result").dump();
+      }
+    } catch (const std::exception&) {
+      // Connection churn or an injected failure — try again.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return std::nullopt;
+}
+
+void chaos_worker(const std::string& socket_path, std::uint64_t seed,
+                  Clock::time_point until, const graph::Edge edge,
+                  TicketBoard& board, WorkerCounters& counters) {
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> pipeline_seeds = {210, 211, 212, 213};
+  std::unique_ptr<daemon::DaemonClient> client;
+  std::uint64_t iteration = 0;
+  while (Clock::now() < until) {
+    ++iteration;
+    counters.ops.fetch_add(1, std::memory_order_relaxed);
+    try {
+      if (!client) {
+        client = std::make_unique<daemon::DaemonClient>(socket_path,
+                                                        client_options());
+      }
+      const std::int64_t op = rng.uniform_int(0, 99);
+      if (op < 35) {  // submit, mixed deadlines and priorities
+        service::SolveJob job = make_job(
+            "w" + std::to_string(seed) + "_" + std::to_string(iteration),
+            "net", rng.pick(pipeline_seeds),
+            rng.bernoulli(0.5) ? service::Objective::kMinDelay
+                               : service::Objective::kMaxFrameRate);
+        const std::int64_t deadline_choices[] = {0, 1, 10, 100, 5000};
+        job.deadline_ms = deadline_choices[rng.index(5)];
+        job.resolve_on_update = rng.bernoulli(0.1);
+        const daemon::Ticket ticket = client->submit(
+            job, static_cast<int>(rng.uniform_int(-2, 2)));
+        board.add(ticket);
+        counters.submits.fetch_add(1, std::memory_order_relaxed);
+      } else if (op < 55) {  // poll someone's ticket
+        if (const auto ticket = board.pick(rng)) {
+          (void)client->poll(*ticket);
+        }
+      } else if (op < 65) {  // cancel someone's ticket
+        if (const auto ticket = board.pick(rng)) {
+          (void)client->cancel(*ticket);
+        }
+      } else if (op < 72) {  // block on someone's ticket
+        if (const auto ticket = board.pick(rng)) {
+          (void)client->wait(*ticket);
+        }
+      } else if (op < 82) {  // link-update storm burst
+        const std::int64_t burst = rng.uniform_int(1, 3);
+        for (std::int64_t i = 0; i < burst; ++i) {
+          graph::LinkUpdate update{edge.from, edge.to, edge.attr};
+          update.attr.bandwidth_mbps = rng.uniform_real(10.0, 1000.0);
+          (void)client->apply_link_updates(
+              "net", std::vector<graph::LinkUpdate>{update});
+        }
+      } else if (op < 90) {  // stats probe
+        (void)client->stats();
+      } else if (op < 96) {  // malformed frames on a throwaway socket
+        util::UnixSocket hostile = util::UnixSocket::connect(socket_path);
+        const char* garbage[] = {
+            "{\"verb\": \"sub",
+            "{\"verb\": 42}",
+            "{\"verb\": \"poll\", \"ticket\": \"x\"}",
+            "not json at all",
+        };
+        hostile.send_line(garbage[rng.index(4)]);
+        if (rng.bernoulli(0.5)) {
+          (void)hostile.recv_line();  // sometimes read the error answer,
+        }                             // sometimes vanish mid-exchange
+        hostile.close();
+      } else if (op < 98) {  // pause/resume flip (resume-biased pairing)
+        client->pause();
+        client->resume();
+      } else {  // reconnect churn
+        client.reset();
+      }
+    } catch (const std::exception&) {
+      // Injected faults surface here (exhausted retries, DaemonError on
+      // a torn exchange).  The invariants are checked globally at the
+      // end; a worker never stops early.
+      counters.client_errors.fetch_add(1, std::memory_order_relaxed);
+      client.reset();
+    }
+  }
+}
+
+struct StatsSnapshot {
+  std::int64_t queued = 0;
+  std::int64_t running = 0;
+  std::int64_t submitted = 0;
+  std::int64_t done = 0;
+  std::int64_t failed = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t subscriptions = 0;
+  std::int64_t pinned_revisions = 0;
+  std::int64_t pinned_bytes = 0;
+  std::int64_t lease_expirations = 0;
+};
+
+StatsSnapshot read_stats(daemon::DaemonClient& client) {
+  const util::Json doc = client.stats();
+  StatsSnapshot s;
+  s.queued = doc.at("queued").as_int();
+  s.running = doc.at("running").as_int();
+  s.submitted = doc.at("submitted").as_int();
+  s.done = doc.at("done").as_int();
+  s.failed = doc.at("failed").as_int();
+  s.cancelled = doc.at("cancelled").as_int();
+  s.timed_out = doc.at("timed_out").as_int();
+  s.subscriptions = doc.at("subscriptions").as_int();
+  s.pinned_revisions = doc.at("pinned_revisions").as_int();
+  s.pinned_bytes = doc.at("pinned_bytes").as_int();
+  s.lease_expirations = doc.at("lease_expirations").as_int();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser parser("chaos_driver");
+  parser.add_string("socket", "", "socket path of the live daemon");
+  parser.add_int("duration-s", 15, "storm duration in seconds");
+  parser.add_int("threads", 4, "concurrent chaos workers");
+  parser.add_int("seed", 7, "base seed for the chaos streams");
+  parser.add_int("settle-s", 60,
+                 "budget for tickets/pins to reach steady state");
+
+  std::vector<std::string> violations;
+  const auto violate = [&violations](std::string what) {
+    std::fprintf(stderr, "violation: %s\n", what.c_str());
+    violations.push_back(std::move(what));
+  };
+
+  try {
+    parser.parse(argc, argv);
+    const std::string socket_path = parser.get_string("socket");
+    if (socket_path.empty()) {
+      std::fprintf(stderr, "chaos_driver: --socket is required\n%s",
+                   parser.usage().c_str());
+      return 2;
+    }
+    // Faults belong in the DAEMON process; an inherited ELPC_FAULTS must
+    // not sabotage the driver's own sockets and checks.
+    util::FaultInjector::instance().disable();
+
+    // --- Setup: register the storm target and the untouched control ---
+    {
+      daemon::DaemonClient client(socket_path, client_options());
+      const std::pair<const char*, std::uint64_t> nets[] = {
+          {"net", kChaosNetSeed}, {"ctrl", kControlNetSeed}};
+      for (const auto& [id, seed] : nets) {
+        try {
+          client.register_network(id, make_network(seed));
+        } catch (const daemon::DaemonError&) {
+          // Already registered (driver re-run against a live daemon).
+        }
+      }
+    }
+    const std::optional<std::string> control_before =
+        control_solve(socket_path, /*attempts=*/20);
+    if (!control_before) {
+      violate("control job never solved before the storm");
+    }
+
+    // --- Storm ---
+    const graph::Edge edge = make_network(kChaosNetSeed).out_edges(0).front();
+    const Clock::time_point until =
+        Clock::now() + std::chrono::seconds(parser.get_int("duration-s"));
+    TicketBoard board;
+    WorkerCounters counters;
+    std::vector<std::thread> workers;
+    const std::int64_t threads = parser.get_int("threads");
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(parser.get_int("seed"));
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (std::int64_t i = 0; i < threads; ++i) {
+      workers.emplace_back([&, i]() {
+        chaos_worker(socket_path, seed * 1000 + static_cast<std::uint64_t>(i),
+                     until, edge, board, counters);
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+    std::fprintf(stderr,
+                 "storm done: %llu ops, %llu submits, %llu client errors\n",
+                 static_cast<unsigned long long>(counters.ops.load()),
+                 static_cast<unsigned long long>(counters.submits.load()),
+                 static_cast<unsigned long long>(counters.client_errors.load()));
+
+    // --- Settle: queue empties, pins return to steady state ---
+    daemon::DaemonClient client(socket_path, client_options());
+    client.resume();  // a pause left behind must not wedge the settle
+    const Clock::time_point settle_until =
+        Clock::now() + std::chrono::seconds(parser.get_int("settle-s"));
+    StatsSnapshot stats = read_stats(client);
+    while (Clock::now() < settle_until) {
+      stats = read_stats(client);
+      if (stats.queued == 0 && stats.running == 0 &&
+          stats.pinned_revisions <= stats.subscriptions) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (stats.queued != 0 || stats.running != 0) {
+      violate("tickets not terminal after settle: queued=" +
+              std::to_string(stats.queued) +
+              " running=" + std::to_string(stats.running));
+    }
+    if (stats.submitted !=
+        stats.done + stats.failed + stats.cancelled + stats.timed_out) {
+      violate("ticket ledger does not balance: submitted=" +
+              std::to_string(stats.submitted) + " terminal=" +
+              std::to_string(stats.done + stats.failed + stats.cancelled +
+                             stats.timed_out));
+    }
+    if (stats.pinned_revisions > stats.subscriptions) {
+      violate("leaked pins: pinned_revisions=" +
+              std::to_string(stats.pinned_revisions) + " subscriptions=" +
+              std::to_string(stats.subscriptions) +
+              " pinned_bytes=" + std::to_string(stats.pinned_bytes));
+    }
+    // Every ticket this driver recorded must be terminal (a ticket the
+    // retention cap evicted was terminal by construction).
+    std::uint64_t verified = 0;
+    for (const daemon::Ticket ticket : board.all()) {
+      try {
+        const util::Json status = client.poll(ticket);
+        const std::string state = status.at("state").as_string();
+        if (state == "queued" || state == "running") {
+          violate("ticket " + std::to_string(ticket) +
+                  " stuck non-terminal in state " + state);
+        } else {
+          ++verified;
+        }
+      } catch (const daemon::DaemonError&) {
+        ++verified;  // evicted terminal record
+      }
+    }
+
+    // --- Control job answers byte-identically after the storm ---
+    const std::optional<std::string> control_after =
+        control_solve(socket_path, /*attempts=*/20);
+    if (!control_after) {
+      violate("control job never solved after the storm");
+    } else if (control_before && *control_before != *control_after) {
+      violate("control result changed across the storm");
+    }
+
+    // --- Drain: the daemon reports itself safe to kill ---
+    const util::Json drain = client.drain(/*timeout_ms=*/30000);
+    if (!drain.at("drained").as_bool()) {
+      violate("drain did not reach idle");
+    }
+
+    const bool ok = violations.empty();
+    std::printf(
+        "CHAOS SUMMARY ok=%d submitted=%lld done=%lld failed=%lld "
+        "cancelled=%lld timed_out=%lld queued=%lld running=%lld "
+        "pinned=%lld subscriptions=%lld lease_expirations=%lld "
+        "tickets_verified=%llu client_errors=%llu violations=%zu\n",
+        ok ? 1 : 0, static_cast<long long>(stats.submitted),
+        static_cast<long long>(stats.done),
+        static_cast<long long>(stats.failed),
+        static_cast<long long>(stats.cancelled),
+        static_cast<long long>(stats.timed_out),
+        static_cast<long long>(stats.queued),
+        static_cast<long long>(stats.running),
+        static_cast<long long>(stats.pinned_revisions),
+        static_cast<long long>(stats.subscriptions),
+        static_cast<long long>(stats.lease_expirations),
+        static_cast<unsigned long long>(verified),
+        static_cast<unsigned long long>(counters.client_errors.load()),
+        violations.size());
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos_driver: %s\n%s", e.what(),
+                 parser.usage().c_str());
+    return 2;
+  }
+}
