@@ -118,6 +118,14 @@ void DaemonClient::resume() { (void)checked(verb_frame("resume")); }
 
 util::Json DaemonClient::stats() { return checked(verb_frame("stats")); }
 
+std::string DaemonClient::metrics() {
+  return checked(verb_frame("metrics")).at("text").as_string();
+}
+
+util::Json DaemonClient::slowlog() {
+  return checked(verb_frame("slowlog"));
+}
+
 util::Json DaemonClient::drain(std::int64_t timeout_ms) {
   util::Json frame = verb_frame("drain");
   frame.set("timeout_ms", timeout_ms);

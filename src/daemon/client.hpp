@@ -76,6 +76,10 @@ class DaemonClient {
   void pause();
   void resume();
   [[nodiscard]] util::Json stats();
+  /// Prometheus text exposition from the daemon's metrics registry.
+  [[nodiscard]] std::string metrics();
+  /// Slow-solve ring dump: {"slow_ms", "total", "entries": [spans]}.
+  [[nodiscard]] util::Json slowlog();
   /// Graceful drain (see JobManager::drain); returns the report frame
   /// ("drained", "completed", "timed_out", pin/lease counters).
   [[nodiscard]] util::Json drain(std::int64_t timeout_ms);

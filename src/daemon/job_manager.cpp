@@ -46,6 +46,21 @@ JobManager::JobManager(service::BatchEngine& engine,
                        JobManagerOptions options)
     : engine_(&engine),
       options_(options),
+      owned_metrics_(options.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<util::MetricsRegistry>()),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : owned_metrics_.get()),
+      submitted_c_(&metrics_->counter("elpc_jobs_submitted_total",
+                                      "Jobs admitted to the queue")),
+      done_c_(&metrics_->counter("elpc_jobs_done_total",
+                                 "Jobs that completed successfully")),
+      failed_c_(&metrics_->counter("elpc_jobs_failed_total",
+                                   "Jobs that reached the failed state")),
+      cancelled_c_(&metrics_->counter("elpc_jobs_cancelled_total",
+                                      "Jobs cancelled before completing")),
+      timed_out_c_(&metrics_->counter("elpc_jobs_timed_out_total",
+                                      "Jobs expired by their deadline")),
       paused_(options.start_paused),
       dispatcher_([this]() { dispatch_loop(); }) {}
 
@@ -61,17 +76,18 @@ Ticket JobManager::submit(service::SolveJob job, int priority) {
   Record record;
   record.job = std::move(job);
   record.priority = priority;
+  record.submitted_at = Clock::now();
   if (record.job.deadline_ms > 0) {
     // The budget starts at admission, so queue wait counts against it —
     // stricter than the engine's own solve-entry clock, and the reason
     // an overdue job can expire without ever running.
-    record.deadline =
-        Clock::now() + std::chrono::milliseconds(record.job.deadline_ms);
+    record.deadline = record.submitted_at +
+                      std::chrono::milliseconds(record.job.deadline_ms);
     record.has_deadline = true;
   }
   records_.emplace(ticket, std::move(record));
   queue_.push_back(ticket);
-  ++submitted_;
+  submitted_c_->add();
   dispatch_cv_.notify_one();
   return ticket;
 }
@@ -170,14 +186,14 @@ void JobManager::resume() {
 JobManagerStats JobManager::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   JobManagerStats stats;
-  stats.submitted = submitted_;
+  stats.submitted = submitted_c_->value();
   stats.paused = paused_;
   stats.queued = queue_.size();
   stats.running = running_count_;
-  stats.done = done_total_;
-  stats.failed = failed_total_;
-  stats.cancelled = cancelled_total_;
-  stats.timed_out = timed_out_total_;
+  stats.done = done_c_->value();
+  stats.failed = failed_c_->value();
+  stats.cancelled = cancelled_c_->value();
+  stats.timed_out = timed_out_c_->value();
   stats.draining = draining_;
   return stats;
 }
@@ -207,10 +223,10 @@ DrainReport JobManager::drain(std::int64_t timeout_ms) {
       }
     }
   }
-  const std::uint64_t done_before = done_total_;
-  const std::uint64_t failed_before = failed_total_;
-  const std::uint64_t cancelled_before = cancelled_total_;
-  const std::uint64_t timed_out_before = timed_out_total_;
+  const std::uint64_t done_before = done_c_->value();
+  const std::uint64_t failed_before = failed_c_->value();
+  const std::uint64_t cancelled_before = cancelled_c_->value();
+  const std::uint64_t timed_out_before = timed_out_c_->value();
   dispatch_cv_.notify_all();
   const auto idle = [this]() {
     return (queue_.empty() && running_count_ == 0) || stopping_;
@@ -228,10 +244,10 @@ DrainReport JobManager::drain(std::int64_t timeout_ms) {
   report.queued = queue_.size();
   report.running = running_count_;
   report.drained = queue_.empty() && running_count_ == 0;
-  report.completed = (done_total_ - done_before) +
-                     (failed_total_ - failed_before) +
-                     (cancelled_total_ - cancelled_before);
-  report.timed_out = timed_out_total_ - timed_out_before;
+  report.completed = (done_c_->value() - done_before) +
+                     (failed_c_->value() - failed_before) +
+                     (cancelled_c_->value() - cancelled_before);
+  report.timed_out = timed_out_c_->value() - timed_out_before;
   return report;
 }
 
@@ -270,8 +286,12 @@ std::vector<Ticket> JobManager::pop_batch() {
                             queue_.begin() + static_cast<std::ptrdiff_t>(take));
   queue_.erase(queue_.begin(),
                queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  const Clock::time_point now = Clock::now();
   for (const Ticket ticket : batch) {
-    records_.at(ticket).state = JobState::kRunning;
+    Record& record = records_.at(ticket);
+    record.state = JobState::kRunning;
+    record.dispatched_at = now;
+    record.dispatched = true;
   }
   running_count_ += batch.size();
   return batch;
@@ -282,20 +302,69 @@ void JobManager::mark_terminal(Ticket ticket, Record& record,
   record.state = state;
   switch (state) {
     case JobState::kDone:
-      ++done_total_;
+      done_c_->add();
       break;
     case JobState::kFailed:
-      ++failed_total_;
+      failed_c_->add();
       break;
     case JobState::kCancelled:
-      ++cancelled_total_;
+      cancelled_c_->add();
       break;
     case JobState::kTimedOut:
-      ++timed_out_total_;
+      timed_out_c_->add();
       break;
     case JobState::kQueued:
     case JobState::kRunning:
       break;  // not terminal; callers never pass these
+  }
+  // The ticket's trace span: assembled here because every terminal
+  // transition passes through, whatever path took it there.
+  const Clock::time_point now = Clock::now();
+  const service::SolveResult& result = record.result;
+  TraceSpan span;
+  span.ticket = ticket;
+  span.job_id = record.job.id;
+  span.state = job_state_name(state);
+  span.objective = record.job.objective == service::Objective::kMinDelay
+                       ? "delay"
+                       : "framerate";
+  span.kernel = result.kernel.empty() ? "none" : result.kernel;
+  span.incremental = result.incremental;
+  const auto ms = [](Clock::duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  };
+  // A never-dispatched job's whole lifetime is queue wait.
+  span.queue_wait_ms =
+      ms((record.dispatched ? record.dispatched_at : now) -
+         record.submitted_at);
+  span.solve_ms = result.mean_runtime_ms;
+  span.e2e_ms = ms(now - record.submitted_at);
+  span.dp_columns = result.dp_columns;
+  span.columns_total = result.columns_total;
+  span.columns_reused = result.columns_reused;
+  span.completed_unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  const util::MetricLabels labels{
+      {"kernel", span.kernel},
+      {"objective", span.objective},
+      {"incremental", span.incremental ? "1" : "0"}};
+  metrics_
+      ->histogram("elpc_queue_wait_ms",
+                  "Submission to dispatch (ms), by kernel x objective x "
+                  "incremental",
+                  labels)
+      .record(span.queue_wait_ms);
+  metrics_
+      ->histogram("elpc_e2e_ms",
+                  "Submission to terminal state (ms), by kernel x objective "
+                  "x incremental",
+                  labels)
+      .record(span.e2e_ms);
+  if (options_.slowlog != nullptr && options_.slow_ms > 0 &&
+      span.e2e_ms >= static_cast<double>(options_.slow_ms)) {
+    options_.slowlog->add(span);
   }
   terminal_order_.push_back(ticket);
   if (options_.max_retained_results > 0) {

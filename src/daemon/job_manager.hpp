@@ -55,7 +55,9 @@
 #include <thread>
 #include <vector>
 
+#include "daemon/trace.hpp"
 #include "service/batch_engine.hpp"
+#include "util/metrics.hpp"
 
 namespace elpc::daemon {
 
@@ -107,6 +109,16 @@ struct JobManagerOptions {
   /// first (0 = unlimited).  A serving daemon must not grow per answered
   /// job forever; polling an evicted ticket reports it as unknown.
   std::size_t max_retained_results = 10000;
+  /// Registry the manager publishes to: terminal-state counters plus the
+  /// elpc_queue_wait_ms / elpc_e2e_ms trace histograms.  Null = a
+  /// manager-private registry (counters stay registry-backed either
+  /// way); the daemon shares SocketServer's.
+  util::MetricsRegistry* metrics = nullptr;
+  /// Slow-solve ring (borrowed, may be null): every terminal span whose
+  /// end-to-end time reaches slow_ms is added.  slow_ms <= 0 disables
+  /// slow logging even with a ring attached.
+  SlowLog* slowlog = nullptr;
+  std::int64_t slow_ms = 0;
 };
 
 /// Queue/throughput counters (daemon `stats` verb).  The terminal
@@ -210,6 +222,13 @@ class JobManager {
     /// meaningful only when has_deadline.
     Clock::time_point deadline{};
     bool has_deadline = false;
+    /// Trace phase timestamps: stamped at submit() and pop_batch().  A
+    /// job that turns terminal without ever dispatching (queue cancel,
+    /// queue expiry) leaves dispatched = false and its whole lifetime
+    /// counts as queue wait.
+    Clock::time_point submitted_at{};
+    Clock::time_point dispatched_at{};
+    bool dispatched = false;
     service::SolveResult result;
   };
 
@@ -225,13 +244,28 @@ class JobManager {
   /// Earliest deadline among queued jobs, or time_point::max().  Caller
   /// holds mutex_.
   [[nodiscard]] Clock::time_point earliest_queued_deadline() const;
-  /// Marks a record terminal: bumps the cumulative counter, queues it
-  /// for retention-cap eviction, prunes over-cap records.  Caller holds
-  /// mutex_ and notifies done_cv_ afterwards.
+  /// Marks a record terminal: bumps the cumulative counter, assembles
+  /// the ticket's TraceSpan (feeding the queue-wait / end-to-end
+  /// histograms, and the slowlog when it qualifies), queues the record
+  /// for retention-cap eviction, prunes over-cap records.  EVERY
+  /// terminal transition funnels through here — dispatcher results,
+  /// queue-side cancels, queue expiry — so histogram sample totals equal
+  /// terminal tickets by construction (the chaos driver's conservation
+  /// invariant).  Caller holds mutex_ and notifies done_cv_ afterwards.
   void mark_terminal(Ticket ticket, Record& record, JobState state);
 
   service::BatchEngine* engine_;
   const JobManagerOptions options_;
+  /// Metrics live in the registry (one source of truth); stats() and
+  /// drain() read the counters back.  All bumps happen under mutex_, so
+  /// cross-counter sums stay consistent at quiescence.
+  std::unique_ptr<util::MetricsRegistry> owned_metrics_;
+  util::MetricsRegistry* metrics_;
+  util::Counter* submitted_c_;
+  util::Counter* done_c_;
+  util::Counter* failed_c_;
+  util::Counter* cancelled_c_;
+  util::Counter* timed_out_c_;
 
   mutable std::mutex mutex_;
   std::condition_variable dispatch_cv_;  // queue non-empty / resume / stop
@@ -242,12 +276,7 @@ class JobManager {
   /// max_retained_results.
   std::deque<Ticket> terminal_order_;
   Ticket next_ticket_ = 1;
-  std::uint64_t submitted_ = 0;
   std::size_t running_count_ = 0;
-  std::uint64_t done_total_ = 0;
-  std::uint64_t failed_total_ = 0;
-  std::uint64_t cancelled_total_ = 0;
-  std::uint64_t timed_out_total_ = 0;
   bool paused_ = false;
   bool draining_ = false;
   bool stopping_ = false;

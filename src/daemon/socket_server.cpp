@@ -7,6 +7,7 @@
 
 #include "graph/serialize.hpp"
 #include "service/serialize.hpp"
+#include "util/cpu_features.hpp"
 #include "util/fault_injector.hpp"
 
 namespace elpc::daemon {
@@ -52,30 +53,173 @@ Ticket ticket_field(const util::Json& request) {
   return static_cast<Ticket>(raw);
 }
 
+/// Build/provenance block for `stats`: which toolchain produced this
+/// daemon, which SIMD kernels the build compiled in, and what the CPU it
+/// runs on actually supports — enough to explain a surprising `kernel`
+/// value from a snapshot alone.
+util::Json build_info_json() {
+  util::Json info = util::JsonObject{};
+#if defined(__clang__)
+  info.set("compiler", std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  info.set("compiler", std::string("gcc ") + __VERSION__);
+#else
+  info.set("compiler", "unknown");
+#endif
+  std::string compiled = "scalar";
+  if (core::kernels::avx2_cell_kernel() != nullptr) {
+    compiled += ",avx2";
+  }
+  if (core::kernels::avx512_cell_kernel() != nullptr) {
+    compiled += ",avx512";
+  }
+  info.set("simd_compiled", compiled);
+  const util::CpuFeatures cpu = util::CpuFeatures::get();
+  std::string features;
+  if (cpu.avx2) {
+    features += "avx2";
+  }
+  if (cpu.avx512f) {
+    features += features.empty() ? "avx512f" : ",avx512f";
+  }
+  info.set("cpu_features", features);
+  std::string runnable;
+  for (const core::kernels::Kind kind : core::kernels::available_kernels()) {
+    if (!runnable.empty()) {
+      runnable += ",";
+    }
+    runnable += core::kernels::kind_name(kind);
+  }
+  info.set("kernels_available", runnable);
+  return info;
+}
+
 }  // namespace
 
 SocketServer::SocketServer(std::string socket_path,
                            SocketServerOptions options)
-    : listener_(socket_path) {
-  if (!options.faults.empty()) {
-    util::FaultInjector::instance().configure(options.faults,
-                                              options.fault_seed);
+    : listener_(socket_path),
+      slowlog_(options.slowlog_capacity),
+      options_(std::move(options)),
+      started_(std::chrono::steady_clock::now()),
+      started_unix_ms_(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count()) {
+  if (!options_.faults.empty()) {
+    util::FaultInjector::instance().configure(options_.faults,
+                                              options_.fault_seed);
   }
   service::BatchEngineOptions engine_options;
-  engine_options.threads = options.threads;
-  engine_options.shards = options.threads;
-  engine_options.factory = std::move(options.factory);
-  engine_options.session_history_bytes = options.session_history_bytes;
-  engine_options.kernel = options.kernel;
-  engine_options.incremental = options.incremental;
-  engine_options.revision_lease_ms = options.revision_lease_ms;
-  engine_options.lease_grace_ms = options.lease_grace_ms;
+  engine_options.threads = options_.threads;
+  engine_options.shards = options_.threads;
+  engine_options.factory = std::move(options_.factory);
+  engine_options.session_history_bytes = options_.session_history_bytes;
+  engine_options.kernel = options_.kernel;
+  engine_options.incremental = options_.incremental;
+  engine_options.revision_lease_ms = options_.revision_lease_ms;
+  engine_options.lease_grace_ms = options_.lease_grace_ms;
+  // One registry across the engine, the manager, and the server's own
+  // gauges: the daemon's single metrics source of truth.
+  engine_options.metrics = &metrics_;
   engine_ = std::make_unique<service::BatchEngine>(engine_options);
 
   JobManagerOptions manager_options;
-  manager_options.max_batch = options.max_batch;
-  manager_options.start_paused = options.start_paused;
+  manager_options.max_batch = options_.max_batch;
+  manager_options.start_paused = options_.start_paused;
+  manager_options.metrics = &metrics_;
+  manager_options.slowlog = &slowlog_;
+  manager_options.slow_ms = options_.slow_ms;
   manager_ = std::make_unique<JobManager>(*engine_, manager_options);
+  register_collectors();
+}
+
+void SocketServer::register_collectors() {
+  // Gauges refresh at exposition time from live stats (never recorded on
+  // the solve path): resolve each child once here, set them in the
+  // collect callback.  Cumulative-at-source values sampled this way are
+  // declared with counter semantics for exposition.
+  struct Gauges {
+    util::Gauge* queued;
+    util::Gauge* running;
+    util::Gauge* paused;
+    util::Gauge* draining;
+    util::Gauge* sessions;
+    util::Gauge* subscriptions;
+    util::Gauge* cached_revisions;
+    util::Gauge* cached_bytes;
+    util::Gauge* pinned_revisions;
+    util::Gauge* pinned_bytes;
+    util::Gauge* checkpoints;
+    util::Gauge* checkpoint_bytes;
+    util::Gauge* uptime_ms;
+    util::Gauge* arenas_created;
+    util::Gauge* cache_evictions;
+    util::Gauge* checkpoint_evictions;
+    util::Gauge* lease_expirations;
+    util::Gauge* slowlog_spans;
+  };
+  auto g = std::make_shared<Gauges>();
+  g->queued = &metrics_.gauge("elpc_queued", "Jobs waiting for dispatch");
+  g->running = &metrics_.gauge("elpc_running", "Jobs currently dispatched");
+  g->paused = &metrics_.gauge("elpc_paused", "1 while dispatch is gated");
+  g->draining = &metrics_.gauge("elpc_draining", "1 once drain closed admission");
+  g->sessions = &metrics_.gauge("elpc_sessions", "Registered network sessions");
+  g->subscriptions =
+      &metrics_.gauge("elpc_subscriptions", "Jobs retained for re-solves");
+  g->cached_revisions = &metrics_.gauge("elpc_cached_revisions",
+                                        "Superseded revisions in cache");
+  g->cached_bytes =
+      &metrics_.gauge("elpc_cached_bytes", "Revision cache occupancy, bytes");
+  g->pinned_revisions = &metrics_.gauge(
+      "elpc_pinned_revisions", "Superseded revisions pinned by references");
+  g->pinned_bytes =
+      &metrics_.gauge("elpc_pinned_bytes", "Pinned revision bytes");
+  g->checkpoints =
+      &metrics_.gauge("elpc_checkpoints", "Incremental DP checkpoints held");
+  g->checkpoint_bytes =
+      &metrics_.gauge("elpc_checkpoint_bytes", "Checkpoint bytes held");
+  g->uptime_ms =
+      &metrics_.gauge("elpc_uptime_ms", "Milliseconds since daemon start");
+  g->arenas_created = &metrics_.gauge(
+      "elpc_arenas_created_total", "DP arenas ever constructed", {},
+      /*expose_as_counter=*/true);
+  g->cache_evictions = &metrics_.gauge(
+      "elpc_cache_evictions_total", "Revision cache evictions", {},
+      /*expose_as_counter=*/true);
+  g->checkpoint_evictions = &metrics_.gauge(
+      "elpc_checkpoint_evictions_total", "Checkpoint evictions", {},
+      /*expose_as_counter=*/true);
+  g->lease_expirations = &metrics_.gauge(
+      "elpc_lease_expirations_total", "Pins force-released by lease expiry",
+      {}, /*expose_as_counter=*/true);
+  g->slowlog_spans = &metrics_.gauge(
+      "elpc_slowlog_spans_total", "Spans ever added to the slowlog ring", {},
+      /*expose_as_counter=*/true);
+  metrics_.on_collect([this, g]() {
+    const JobManagerStats jobs = manager_->stats();
+    const service::EngineStats engine = engine_->stats();
+    g->queued->set(static_cast<double>(jobs.queued));
+    g->running->set(static_cast<double>(jobs.running));
+    g->paused->set(jobs.paused ? 1.0 : 0.0);
+    g->draining->set(jobs.draining ? 1.0 : 0.0);
+    g->sessions->set(static_cast<double>(engine.sessions));
+    g->subscriptions->set(static_cast<double>(engine.subscriptions));
+    g->cached_revisions->set(static_cast<double>(engine.cached_revisions));
+    g->cached_bytes->set(static_cast<double>(engine.cached_bytes));
+    g->pinned_revisions->set(static_cast<double>(engine.pinned_revisions));
+    g->pinned_bytes->set(static_cast<double>(engine.pinned_bytes));
+    g->checkpoints->set(static_cast<double>(engine.checkpoints));
+    g->checkpoint_bytes->set(static_cast<double>(engine.checkpoint_bytes));
+    g->uptime_ms->set(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - started_)
+                          .count());
+    g->arenas_created->set(static_cast<double>(engine.arenas_created));
+    g->cache_evictions->set(static_cast<double>(engine.cache_evictions));
+    g->checkpoint_evictions->set(
+        static_cast<double>(engine.checkpoint_evictions));
+    g->lease_expirations->set(static_cast<double>(engine.lease_expirations));
+    g->slowlog_spans->set(static_cast<double>(slowlog_.total_added()));
+  });
 }
 
 SocketServer::~SocketServer() {
@@ -273,6 +417,38 @@ util::Json SocketServer::handle(const util::Json& request) {
         kernel_jobs.set(name, served);
       }
       response.set("kernel_jobs", std::move(kernel_jobs));
+      // Daemon provenance + clock anchors: uptime for `client top`'s
+      // rate math, the wall-clock start for log correlation, and what
+      // this binary was built from.
+      response.set("uptime_ms",
+                   std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - started_)
+                       .count());
+      response.set("started_unix_ms", started_unix_ms_);
+      response.set("slow_ms", options_.slow_ms);
+      response.set("build", build_info_json());
+      // The same snapshot the `metrics` verb exposes, in compact JSON
+      // (per-family percentiles, no bucket arrays) — one round trip for
+      // `client top` and the chaos driver's invariants.
+      response.set("metrics", metrics_.json_snapshot());
+      return response;
+    }
+    if (verb == "metrics") {
+      // Prometheus text exposition, shipped as one JSON string field so
+      // the line-delimited framing stays intact.
+      util::Json response = ok_response();
+      response.set("text", metrics_.prometheus_text());
+      return response;
+    }
+    if (verb == "slowlog") {
+      util::Json response = ok_response();
+      response.set("slow_ms", options_.slow_ms);
+      response.set("total", slowlog_.total_added());
+      util::JsonArray entries;
+      for (const TraceSpan& span : slowlog_.entries()) {
+        entries.push_back(span_to_json(span));
+      }
+      response.set("entries", util::Json(std::move(entries)));
       return response;
     }
     if (verb == "drain") {

@@ -15,7 +15,11 @@
 //   apply_link_updates {network, updates} -> {results: [...]}  (re-solved
 //                                            subscriptions)
 //   pause | resume   {}                   -> {}  (gate dispatch)
-//   stats            {}                   -> queue/engine/cache counters
+//   stats            {}                   -> queue/engine/cache counters,
+//                                            uptime + build info, and the
+//                                            compact metrics snapshot
+//   metrics          {}                   -> {text} Prometheus exposition
+//   slowlog          {}                   -> {entries: [...]} slow spans
 //   drain            {timeout_ms?}        -> {drained, ...} (stop
 //                                            admission, finish or time
 //                                            out in-flight work, report
@@ -38,14 +42,17 @@
 // (JobManager and BatchEngine carry their own locks).
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "daemon/job_manager.hpp"
+#include "daemon/trace.hpp"
 #include "service/batch_engine.hpp"
 #include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/socket.hpp"
 
 namespace elpc::daemon {
@@ -77,6 +84,12 @@ struct SocketServerOptions {
   /// process-global injector as it is.  Chaos/CI use only.
   std::string faults;
   std::uint64_t fault_seed = 1;
+  /// Slow-solve threshold (`serve --slow-ms`): a terminal job whose
+  /// end-to-end time reaches this many milliseconds is retained in the
+  /// slowlog ring, dumpable via the `slowlog` verb.  0 = off.
+  std::int64_t slow_ms = 0;
+  /// Slowlog ring capacity (oldest evicted first).
+  std::size_t slowlog_capacity = 128;
 };
 
 class SocketServer {
@@ -104,6 +117,13 @@ class SocketServer {
   [[nodiscard]] service::BatchEngine& engine() { return *engine_; }
   [[nodiscard]] JobManager& manager() { return *manager_; }
 
+  /// The daemon's one metrics source of truth: the engine's and
+  /// manager's counters/histograms land here, and a collect callback
+  /// refreshes the queue/cache gauges from live stats at every
+  /// exposition (`metrics` verb, the snapshot embedded in `stats`).
+  [[nodiscard]] util::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] SlowLog& slowlog() { return slowlog_; }
+
   /// Handles one already-parsed request and returns the response frame —
   /// the protocol's pure core, shared by the handler threads and direct
   /// tests (thread-safe).  Never throws; failures become
@@ -112,8 +132,18 @@ class SocketServer {
 
  private:
   void handle_connection(util::UnixSocket connection);
+  /// Registers the collect callback that refreshes the daemon gauges
+  /// (queue depth, cache occupancy, pins, uptime) from live stats.
+  void register_collectors();
 
   util::UnixListener listener_;
+  /// Declared before the engine/manager so the metric references they
+  /// resolve at construction outlive them on teardown.
+  util::MetricsRegistry metrics_;
+  SlowLog slowlog_;
+  SocketServerOptions options_;
+  std::chrono::steady_clock::time_point started_;
+  std::int64_t started_unix_ms_ = 0;
   std::unique_ptr<service::BatchEngine> engine_;
   std::unique_ptr<JobManager> manager_;
   /// Set by the shutdown verb (any handler thread); read by all of them

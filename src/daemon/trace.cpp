@@ -1,0 +1,56 @@
+#include "daemon/trace.hpp"
+
+#include <utility>
+
+namespace elpc::daemon {
+
+util::Json span_to_json(const TraceSpan& span) {
+  util::Json doc{util::JsonObject{}};
+  doc.set("ticket", static_cast<std::int64_t>(span.ticket));
+  doc.set("job_id", span.job_id);
+  doc.set("state", span.state);
+  doc.set("objective", span.objective);
+  doc.set("kernel", span.kernel);
+  doc.set("incremental", span.incremental);
+  doc.set("queue_wait_ms", span.queue_wait_ms);
+  doc.set("solve_ms", span.solve_ms);
+  doc.set("e2e_ms", span.e2e_ms);
+  doc.set("dp_columns", static_cast<std::int64_t>(span.dp_columns));
+  doc.set("columns_total", static_cast<std::int64_t>(span.columns_total));
+  doc.set("columns_reused", static_cast<std::int64_t>(span.columns_reused));
+  doc.set("completed_unix_ms", span.completed_unix_ms);
+  return doc;
+}
+
+SlowLog::SlowLog(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void SlowLog::add(const TraceSpan& span) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+    return;
+  }
+  ring_[next_] = span;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceSpan> SlowLog::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, next_ points at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t SlowLog::total_added() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace elpc::daemon

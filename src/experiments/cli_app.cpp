@@ -1,7 +1,10 @@
 #include "experiments/cli_app.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/elpc.hpp"
@@ -36,9 +39,10 @@ const char* kUsage =
     "  elpc map --in scenario.json --algorithm ELPC --objective framerate\n"
     "  elpc batch --jobs jobs.json --out results.json --threads 4\n"
     "  elpc serve --socket /tmp/elpc.sock --threads 4 --incremental "
-    "--lease-ms 60000\n"
-    "  elpc client <load|poll|wait|cancel|update|stats|pause|resume|"
-    "drain|shutdown> --socket /tmp/elpc.sock [options]\n"
+    "--lease-ms 60000 --slow-ms 50\n"
+    "  elpc client <load|poll|wait|cancel|update|stats|metrics|slowlog|"
+    "top|pause|resume|drain|shutdown> --socket /tmp/elpc.sock [options]\n"
+    "  elpc client top --socket /tmp/elpc.sock --interval-ms 1000\n"
     "  elpc fuzz --seed 7 --rounds 20 --incremental --out parity.json\n"
     "  elpc simulate --in scenario.json --frames 200\n"
     "  elpc suite\n"
@@ -229,13 +233,20 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
                     "fault-injection spec, point=prob[:param_ms],... "
                     "(chaos/CI only; also settable via ELPC_FAULTS)");
   parser.add_int("fault-seed", 1, "fault-injection rng seed");
+  parser.add_int("slow-ms", 0,
+                 "slow-solve threshold: terminal jobs whose end-to-end time "
+                 "reaches this many ms land in the slowlog ring, dumpable "
+                 "via `client slowlog` (0 = off)");
+  parser.add_int("slowlog-capacity", 128,
+                 "slowlog ring size; oldest entries are evicted first");
   parser.parse(args);
   if (parser.get_string("socket").empty()) {
     throw std::invalid_argument("elpc serve: --socket is required");
   }
   if (parser.get_int("session-cache-bytes") < 0 ||
       parser.get_int("threads") < 0 || parser.get_int("max-batch") < 0 ||
-      parser.get_int("lease-ms") < 0 || parser.get_int("lease-grace-ms") < 0) {
+      parser.get_int("lease-ms") < 0 || parser.get_int("lease-grace-ms") < 0 ||
+      parser.get_int("slow-ms") < 0 || parser.get_int("slowlog-capacity") < 0) {
     throw std::invalid_argument("elpc serve: options must be >= 0");
   }
 
@@ -251,6 +262,9 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   options.faults = parser.get_string("faults");
   options.fault_seed =
       static_cast<std::uint64_t>(parser.get_int("fault-seed"));
+  options.slow_ms = parser.get_int("slow-ms");
+  options.slowlog_capacity =
+      static_cast<std::size_t>(parser.get_int("slowlog-capacity"));
   options.factory = engine_mapper_factory();
   daemon::SocketServer server(parser.get_string("socket"), options);
   out << "elpc daemon listening on " << server.socket_path() << " (kernel "
@@ -263,6 +277,68 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+/// `elpc client top`: live daemon view built from periodic `stats`
+/// snapshots.  Rates (jobs/s) come from diffing the terminal counters
+/// between consecutive snapshots against the daemon's own uptime clock;
+/// latency percentiles come from the embedded metrics snapshot
+/// (cumulative since daemon start, not per-interval — histograms are
+/// monotone).  One line per refresh so the output stays pipe/log
+/// friendly; --iterations > 0 bounds the loop for scripts and CI.
+int run_client_top(daemon::DaemonClient& client, std::int64_t interval_ms,
+                   std::int64_t iterations, std::ostream& out) {
+  if (interval_ms <= 0) {
+    throw std::invalid_argument("elpc client top: --interval-ms must be > 0");
+  }
+  const auto num = [](const util::Json& obj, const char* key) -> double {
+    const util::Json* value = obj.find(key);
+    return (value != nullptr && value->is_number()) ? value->as_number() : 0.0;
+  };
+  out << "   uptime   jobs/s  queued running  e2e p50/p99 ms  "
+         "queue p50/p99 ms  inc-hit%  pinned-MB\n";
+  double prev_terminal = -1.0;
+  double prev_uptime_ms = 0.0;
+  for (std::int64_t tick = 0;; ++tick) {
+    const util::Json stats = client.stats();
+    const double uptime_ms = num(stats, "uptime_ms");
+    const double terminal = num(stats, "done") + num(stats, "failed") +
+                            num(stats, "cancelled") + num(stats, "timed_out");
+    double rate = 0.0;
+    if (prev_terminal >= 0.0 && uptime_ms > prev_uptime_ms) {
+      rate = (terminal - prev_terminal) * 1000.0 / (uptime_ms - prev_uptime_ms);
+    }
+    double e2e_p50 = 0.0, e2e_p99 = 0.0, queue_p50 = 0.0, queue_p99 = 0.0;
+    if (const util::Json* metrics = stats.find("metrics")) {
+      if (const util::Json* histograms = metrics->find("histograms")) {
+        if (const util::Json* e2e = histograms->find("elpc_e2e_ms")) {
+          e2e_p50 = num(*e2e, "p50_ms");
+          e2e_p99 = num(*e2e, "p99_ms");
+        }
+        if (const util::Json* queue = histograms->find("elpc_queue_wait_ms")) {
+          queue_p50 = num(*queue, "p50_ms");
+          queue_p99 = num(*queue, "p99_ms");
+        }
+      }
+    }
+    const double hits = num(stats, "incremental_hits");
+    const double misses = num(stats, "incremental_misses");
+    const double hit_pct =
+        (hits + misses > 0.0) ? 100.0 * hits / (hits + misses) : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%8.1fs %8.1f %7.0f %7.0f %7.2f/%-8.2f %8.2f/%-8.2f %8.1f %10.3f\n",
+                  uptime_ms / 1000.0, rate, num(stats, "queued"),
+                  num(stats, "running"), e2e_p50, e2e_p99, queue_p50, queue_p99,
+                  hit_pct, num(stats, "pinned_bytes") / (1024.0 * 1024.0));
+    out << line << std::flush;
+    prev_terminal = terminal;
+    prev_uptime_ms = uptime_ms;
+    if (iterations > 0 && tick + 1 >= iterations) {
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 /// `elpc client <verb> --socket S [options]`: thin shell over
 /// daemon::DaemonClient.  `load` is the batch-shaped convenience — it
 /// registers a job file's networks, submits its jobs, and with --wait
@@ -272,7 +348,7 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   if (args.empty()) {
     throw std::invalid_argument(
         "elpc client: missing verb (load|poll|wait|cancel|update|stats|"
-        "pause|resume|drain|shutdown)");
+        "metrics|slowlog|top|pause|resume|drain|shutdown)");
   }
   const std::string verb = args.front();
   util::ArgParser parser("elpc client " + verb);
@@ -295,6 +371,9 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_string("updates", "", "update: JSON file with link deltas");
   parser.add_int("timeout-ms", 10000,
                  "drain: budget for in-flight work (<= 0 waits forever)");
+  parser.add_int("interval-ms", 1000, "top: refresh period");
+  parser.add_int("iterations", 0,
+                 "top: stop after this many refreshes (0 = run forever)");
   parser.parse({args.begin() + 1, args.end()});
   if (parser.get_string("socket").empty()) {
     throw std::invalid_argument("elpc client: --socket is required");
@@ -403,6 +482,19 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   if (verb == "stats") {
     out << client.stats().dump(2) << "\n";
     return 0;
+  }
+  if (verb == "metrics") {
+    // Raw Prometheus text exposition — pipe-friendly, no JSON wrapper.
+    out << client.metrics();
+    return 0;
+  }
+  if (verb == "slowlog") {
+    out << client.slowlog().dump(2) << "\n";
+    return 0;
+  }
+  if (verb == "top") {
+    return run_client_top(client, parser.get_int("interval-ms"),
+                          parser.get_int("iterations"), out);
   }
   if (verb == "pause") {
     client.pause();

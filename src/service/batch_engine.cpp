@@ -65,6 +65,39 @@ BatchEngine::BatchEngine(BatchEngineOptions options)
   // fails engine construction loudly instead of failing the first job,
   // and every shard/job sees the same concrete kind.
   kernel_ = core::kernels::resolve_kernel(options_.kernel);
+  // Counters resolve their registry slot once here; the solve path then
+  // pays one relaxed atomic add per event, never a registry lookup.
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<util::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  kernel_jobs_ = &metrics_->counter(
+      "elpc_kernel_jobs_total", "ELPC frame-rate solves served, by kernel",
+      {{"kernel", core::kernels::kind_name(kernel_)}});
+  incremental_hits_ = &metrics_->counter(
+      "elpc_incremental_hits_total",
+      "Re-solves that reused checkpoint columns");
+  incremental_misses_ = &metrics_->counter(
+      "elpc_incremental_misses_total",
+      "Checkpoint-eligible solves that fell back to a full solve");
+  incremental_columns_reused_ = &metrics_->counter(
+      "elpc_incremental_columns_reused_total",
+      "DP columns replayed from checkpoints instead of recomputed");
+}
+
+util::Histogram& BatchEngine::solve_histogram(const std::string& family,
+                                              const SolveResult& out) const {
+  static const char* kHelp =
+      "Latency histogram in milliseconds, labelled kernel x objective x "
+      "incremental";
+  return metrics_->histogram(
+      family, kHelp,
+      {{"kernel", out.kernel.empty() ? "none" : out.kernel},
+       {"objective",
+        out.objective == Objective::kMinDelay ? "delay" : "framerate"},
+       {"incremental", out.incremental ? "1" : "0"}});
 }
 
 NetworkSession& BatchEngine::register_network(std::string id,
@@ -179,6 +212,11 @@ std::vector<SolveResult> BatchEngine::solve(const std::vector<SolveJob>& jobs,
 std::vector<SolveResult> BatchEngine::apply_link_updates(
     const std::string& id, std::span<const graph::LinkUpdate> updates) {
   NetworkSession& session = this->session(id);
+  // Staleness epoch: the instant the delta lands.  Each subscribed job's
+  // re-solve records (its completion − this) as incremental staleness —
+  // how long results citing the superseded revision stayed current.
+  const std::chrono::steady_clock::time_point delta_landed =
+      std::chrono::steady_clock::now();
   session.apply_link_updates(updates);
   std::vector<SolveJob> subscribed;
   {
@@ -211,8 +249,9 @@ std::vector<SolveResult> BatchEngine::apply_link_updates(
   const CancelFn effective =
       with_deadlines(std::span<const SolveJob>(subscribed), snapshots,
                      std::span<const IncrementalBinding>(bindings), nullptr);
-  std::vector<SolveResult> results = run_sharded(
-      std::span<const SolveJob>(subscribed), snapshots, bindings, effective);
+  std::vector<SolveResult> results =
+      run_sharded(std::span<const SolveJob>(subscribed), snapshots, bindings,
+                  effective, &delta_landed);
   {
     // Re-pin exactly the subscriptions this call re-solved, releasing
     // their hold on the previous revision.  Matching on the captured
@@ -311,20 +350,14 @@ EngineStats BatchEngine::stats() const {
     stats.pinned_bytes += cache.pinned_bytes;
     stats.lease_expirations += cache.lease_expirations;
   }
-  stats.incremental_hits = incremental_hits_.load(std::memory_order_relaxed);
-  stats.incremental_misses =
-      incremental_misses_.load(std::memory_order_relaxed);
-  stats.incremental_columns_reused =
-      incremental_columns_reused_.load(std::memory_order_relaxed);
+  stats.incremental_hits = incremental_hits_->value();
+  stats.incremental_misses = incremental_misses_->value();
+  stats.incremental_columns_reused = incremental_columns_reused_->value();
   stats.kernel = core::kernels::kind_name(kernel_);
-  for (std::size_t i = 0; i < kernel_jobs_.size(); ++i) {
-    const std::uint64_t served =
-        kernel_jobs_[i].load(std::memory_order_relaxed);
-    if (served != 0) {
-      stats.kernel_jobs.emplace_back(
-          core::kernels::kind_name(static_cast<core::kernels::Kind>(i)),
-          served);
-    }
+  // The engine's kernel never changes after construction, so at most the
+  // one counter can be nonzero.
+  if (const std::uint64_t served = kernel_jobs_->value(); served != 0) {
+    stats.kernel_jobs.emplace_back(stats.kernel, served);
   }
   return stats;
 }
@@ -332,8 +365,8 @@ EngineStats BatchEngine::stats() const {
 std::vector<SolveResult> BatchEngine::run_sharded(
     std::span<const SolveJob> jobs,
     std::span<const NetworkSession::Current> snapshots,
-    std::span<const IncrementalBinding> bindings,
-    const CancelFn& cancelled) {
+    std::span<const IncrementalBinding> bindings, const CancelFn& cancelled,
+    const std::chrono::steady_clock::time_point* staleness_epoch) {
   std::vector<SolveResult> results(jobs.size());
   if (jobs.empty()) {
     return results;
@@ -344,7 +377,7 @@ std::vector<SolveResult> BatchEngine::run_sharded(
   util::JobGroup group(*pool_);
   for (std::size_t s = 0; s < shards; ++s) {
     group.submit([this, s, shards, jobs, snapshots, bindings, &cancelled,
-                  &results]() {
+                  staleness_epoch, &results]() {
       // One arena per live shard; leases recycle through the pool, so
       // the engine never holds more arenas than its peak shard count.
       const core::ArenaPool::Lease lease = arenas_.acquire();
@@ -375,10 +408,15 @@ std::vector<SolveResult> BatchEngine::run_sharded(
         }
         // The same signal, re-polled once per DP column inside the
         // solve: a deadline or late cancel stops the job within one
-        // column's work instead of running it to completion.
+        // column's work instead of running it to completion.  The probe
+        // doubles as the trace layer's per-column tick (dp_columns) —
+        // one increment of a local folded into an existing call, never a
+        // new hot-loop branch (probe-free solves stay probe-free).
         core::AbortProbe abort;
+        std::uint64_t dp_columns = 0;
         if (cancelled) {
-          abort = [&cancelled, i]() {
+          abort = [&cancelled, i, &dp_columns]() {
+            ++dp_columns;
             switch (cancelled(i)) {
               case JobSignal::kCancel:
                 return core::SolveAbort::kCancelled;
@@ -392,7 +430,8 @@ std::vector<SolveResult> BatchEngine::run_sharded(
         }
         solve_one(jobs[i], snapshots[i], ctx, s,
                   bindings.empty() ? nullptr : &bindings[i], abort,
-                  results[i]);
+                  staleness_epoch, results[i]);
+        results[i].dp_columns = dp_columns;
       }
     });
   }
@@ -400,11 +439,12 @@ std::vector<SolveResult> BatchEngine::run_sharded(
   return results;
 }
 
-void BatchEngine::solve_one(const SolveJob& job,
-                            const NetworkSession::Current& snap,
-                            const MapperContext& ctx, std::size_t shard,
-                            const IncrementalBinding* binding,
-                            const core::AbortProbe& abort, SolveResult& out) {
+void BatchEngine::solve_one(
+    const SolveJob& job, const NetworkSession::Current& snap,
+    const MapperContext& ctx, std::size_t shard,
+    const IncrementalBinding* binding, const core::AbortProbe& abort,
+    const std::chrono::steady_clock::time_point* staleness_epoch,
+    SolveResult& out) {
   // Fault point "engine_stall": the shard thread wedges right here,
   // snapshot pinned, before any abort probe can fire — exactly the hung
   // solve the lease machinery exists to survive.
@@ -476,8 +516,7 @@ void BatchEngine::solve_one(const SolveJob& job,
         timer.elapsed_ms() / static_cast<double>(repeats);
     out.result = std::move(result);
     if (kernel_serves) {
-      kernel_jobs_[static_cast<std::size_t>(ctx.kernel)].fetch_add(
-          1, std::memory_order_relaxed);
+      kernel_jobs_->add();
     }
     if (entry != nullptr) {
       // The checkpoint now reflects this revision's DP (captured or
@@ -515,11 +554,26 @@ void BatchEngine::solve_one(const SolveJob& job,
       binding->session->note_checkpoint_update(binding->key, bytes);
     }
     if (inc_stats.incremental) {
-      incremental_hits_.fetch_add(1, std::memory_order_relaxed);
-      incremental_columns_reused_.fetch_add(inc_stats.columns_reused,
-                                            std::memory_order_relaxed);
+      incremental_hits_->add();
+      incremental_columns_reused_->add(inc_stats.columns_reused);
     } else {
-      incremental_misses_.fetch_add(1, std::memory_order_relaxed);
+      incremental_misses_->add();
+    }
+  }
+  // Trace attribution: copy the incremental split into the result's
+  // non-canonical metadata and feed the latency histograms.  Skipped and
+  // aborted jobs never record a solve sample (their mean_runtime_ms is
+  // not a solve), matching "histogram totals == completed solves".
+  out.incremental = inc_stats.incremental;
+  out.columns_total = inc_stats.columns_total;
+  out.columns_reused = inc_stats.columns_reused;
+  if (out.error.empty()) {
+    solve_histogram("elpc_solve_ms", out).record(out.mean_runtime_ms);
+    if (staleness_epoch != nullptr) {
+      solve_histogram("elpc_resolve_staleness_ms", out)
+          .record(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - *staleness_epoch)
+                      .count());
     }
   }
 }

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -45,6 +46,7 @@
 #include "pipeline/cost_model.hpp"
 #include "pipeline/pipeline.hpp"
 #include "service/network_session.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace elpc::service {
@@ -109,6 +111,17 @@ struct SolveResult {
   std::string kernel;
   double mean_runtime_ms = 0.0;
   std::size_t shard = 0;
+  /// Solve-phase attribution for trace spans (also non-canonical — the
+  /// incremental path is bit-identical to a full solve, so whether it
+  /// fired must not change the serialized result): whether the solve
+  /// reused checkpoint columns, how the checkpoint split replay vs
+  /// recompute, and how many DP columns the solver advanced through
+  /// (counted at the existing per-column abort-probe point; 0 when no
+  /// probe was installed).
+  bool incremental = false;
+  std::uint64_t columns_total = 0;
+  std::uint64_t columns_reused = 0;
+  std::uint64_t dp_columns = 0;
 };
 
 /// Per-shard context the mapper factory may use: the shard's leased DP
@@ -191,6 +204,13 @@ struct BatchEngineOptions {
   /// kIncrementalDefaultHistoryBytes so checkpoints actually survive
   /// between re-solves.
   bool incremental = false;
+  /// Registry the engine publishes its serving metrics to (kernel-job
+  /// and incremental counters, `elpc_solve_ms` / `elpc_resolve_staleness_ms`
+  /// histograms labelled by kernel × objective × incremental).  Null =
+  /// the engine owns a private registry, so counters are always
+  /// registry-backed; the daemon passes its own so SocketServer,
+  /// JobManager, and engine share one source of truth.
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 /// Session-cache budget an incremental engine gets when the caller left
@@ -317,6 +337,10 @@ class BatchEngine {
   /// (options.kernel resolved at construction; never kAuto).
   [[nodiscard]] core::kernels::Kind kernel() const { return kernel_; }
 
+  /// The registry this engine publishes to (the caller's, or the
+  /// engine-private fallback).
+  [[nodiscard]] util::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   /// A retained resolve_on_update job.  `pinned` is the snapshot of the
   /// revision the job last solved against: holding it keeps that
@@ -350,15 +374,24 @@ class BatchEngine {
   /// on the calling thread — workers never touch the engine mutex, and
   /// all jobs of one batch solve against the revisions current at
   /// submission.
+  /// `staleness_epoch`, when non-null, marks the instant the triggering
+  /// delta landed: each job records (its completion − epoch) into the
+  /// elpc_resolve_staleness_ms histogram (the apply_link_updates path).
   std::vector<SolveResult> run_sharded(
       std::span<const SolveJob> jobs,
       std::span<const NetworkSession::Current> snapshots,
-      std::span<const IncrementalBinding> bindings,
-      const CancelFn& cancelled);
+      std::span<const IncrementalBinding> bindings, const CancelFn& cancelled,
+      const std::chrono::steady_clock::time_point* staleness_epoch = nullptr);
   void solve_one(const SolveJob& job, const NetworkSession::Current& snap,
                  const MapperContext& ctx, std::size_t shard,
                  const IncrementalBinding* binding,
-                 const core::AbortProbe& abort, SolveResult& out);
+                 const core::AbortProbe& abort,
+                 const std::chrono::steady_clock::time_point* staleness_epoch,
+                 SolveResult& out);
+  /// Histogram child for one solve's label set (kernel × objective ×
+  /// incremental); `family` is e.g. "elpc_solve_ms".
+  [[nodiscard]] util::Histogram& solve_histogram(const std::string& family,
+                                                 const SolveResult& out) const;
   /// Fuses the caller's signal with per-job engine-side deadlines
   /// (measured from now) into one CancelFn; returns `user` unchanged
   /// when no job carries a deadline.  Also extends each deadline job's
@@ -377,14 +410,18 @@ class BatchEngine {
   core::ArenaPool arenas_;
   /// options_.kernel resolved once; what MapperContext hands factories.
   core::kernels::Kind kernel_ = core::kernels::Kind::kScalar;
-  /// ELPC frame-rate solves per kernels::Kind (indexed by its integer
-  /// value); atomics because shards bump them concurrently.
-  std::array<std::atomic<std::uint64_t>, core::kernels::kKindCount>
-      kernel_jobs_{};
-  /// Incremental serving counters; atomics for the same reason.
-  std::atomic<std::uint64_t> incremental_hits_{0};
-  std::atomic<std::uint64_t> incremental_misses_{0};
-  std::atomic<std::uint64_t> incremental_columns_reused_{0};
+  /// Metrics live in the registry (the caller's via options.metrics, or
+  /// owned_metrics_) — one source of truth; EngineStats is populated from
+  /// these.  Counter references are resolved once at construction, so
+  /// shards pay one relaxed atomic add each.
+  std::unique_ptr<util::MetricsRegistry> owned_metrics_;
+  util::MetricsRegistry* metrics_ = nullptr;
+  /// ELPC frame-rate solves served by the engine's (fixed) kernel.
+  util::Counter* kernel_jobs_ = nullptr;
+  /// Incremental serving counters.
+  util::Counter* incremental_hits_ = nullptr;
+  util::Counter* incremental_misses_ = nullptr;
+  util::Counter* incremental_columns_reused_ = nullptr;
   mutable std::mutex mutex_;  // guards sessions_ and subscriptions_
   std::map<std::string, std::unique_ptr<NetworkSession>> sessions_;
   std::vector<Subscription> subscriptions_;

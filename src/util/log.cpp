@@ -1,14 +1,40 @@
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace elpc::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel initial_level() {
+  LogLevel level = LogLevel::kWarn;
+  if (const char* env = std::getenv("ELPC_LOG_LEVEL")) {
+    (void)parse_log_level(env, level);  // unrecognized keeps the default
+  }
+  return level;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_mutex;
+
+// Anchor for the monotonic line prefix; dynamic-initialized at load so
+// timestamps count from (roughly) process start.
+const std::chrono::steady_clock::time_point g_start =
+    std::chrono::steady_clock::now();
+
+/// Small dense thread ids ([T01], [T02], ...) in first-log order: readable
+/// where std::thread::id's opaque value is not.
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal = next.fetch_add(1) + 1;
+  return ordinal;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,7 +46,22 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
+
+bool parse_log_level(const std::string& name, LogLevel& out) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "debug") out = LogLevel::kDebug;
+  else if (lower == "info") out = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning") out = LogLevel::kWarn;
+  else if (lower == "error") out = LogLevel::kError;
+  else if (lower == "off" || lower == "none") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
@@ -30,8 +71,14 @@ void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) {
     return;
   }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - g_start)
+          .count();
+  const unsigned tid = thread_ordinal();
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[%10.3f] [T%02u] [%s] %s\n", elapsed_ms, tid,
+               level_name(level), message.c_str());
 }
 
 }  // namespace elpc::util

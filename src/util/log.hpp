@@ -11,11 +11,20 @@ namespace elpc::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are discarded.
+/// Global log threshold; messages below it are discarded.  The initial
+/// threshold honors the ELPC_LOG_LEVEL environment variable (debug, info,
+/// warn, error, off — case-insensitive), defaulting to warn.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emits one line to stderr with a level prefix (thread-safe).
+/// Parses a level name as accepted by ELPC_LOG_LEVEL.  Returns false (and
+/// leaves `out` untouched) for anything unrecognized.
+[[nodiscard]] bool parse_log_level(const std::string& name, LogLevel& out);
+
+/// Emits one line to stderr (thread-safe), prefixed with the monotonic
+/// milliseconds since process start, a compact per-thread id, and the
+/// level — `[   12.345] [T03] [INFO] ...` — so daemon and chaos logs can
+/// be correlated with trace spans and metrics timestamps.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -1,0 +1,318 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace elpc::util {
+
+namespace {
+
+constexpr double kMinMs = 1e-3;  // bucket 0 upper bound: 1 µs in ms
+constexpr double kBucketsPerOctave = 4.0;
+
+const std::array<double, Histogram::kFiniteBuckets>& bucket_bounds() {
+  static const auto bounds = [] {
+    std::array<double, Histogram::kFiniteBuckets> b{};
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = kMinMs * std::exp2(static_cast<double>(i) / kBucketsPerOctave);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+/// Shortest-round-trip double rendering, matching Json::dump numbers.
+std::string format_double(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = std::strtod(buf, nullptr);
+  if (parsed == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char probe[32];
+      std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+      if (std::strtod(probe, nullptr) == v) return probe;
+    }
+  }
+  return buf;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// `name{labels}` or bare `name`; also the child key inside a family.
+std::string child_name(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+/// `name{labels,extra}` where either part may be empty.
+std::string child_name(const std::string& name, const std::string& labels,
+                       const std::string& extra) {
+  std::string joined = labels;
+  if (!joined.empty() && !extra.empty()) joined += ",";
+  joined += extra;
+  return child_name(name, joined);
+}
+
+}  // namespace
+
+std::string format_labels(const MetricLabels& labels) {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += ",";
+    out += key + "=\"" + escape_label_value(value) + "\"";
+  }
+  return out;
+}
+
+// --- Histogram -------------------------------------------------------------
+
+double Histogram::bucket_upper_ms(std::size_t i) {
+  if (i >= kFiniteBuckets) return std::numeric_limits<double>::infinity();
+  return bucket_bounds()[i];
+}
+
+std::size_t Histogram::bucket_index(double ms) {
+  if (!(ms > kMinMs)) return 0;  // also catches NaN and negatives
+  const auto& bounds = bucket_bounds();
+  if (ms > bounds.back()) return kFiniteBuckets;  // +Inf overflow
+  // log2 gives the bucket up to FP error at the boundaries; the fixups
+  // make `value <= upper(i) && value > upper(i-1)` exact.
+  double raw = std::ceil(std::log2(ms / kMinMs) * kBucketsPerOctave);
+  std::size_t i = static_cast<std::size_t>(
+      std::clamp(raw, 0.0, static_cast<double>(kFiniteBuckets - 1)));
+  while (i > 0 && ms <= bounds[i - 1]) --i;
+  while (i < kFiniteBuckets - 1 && ms > bounds[i]) ++i;
+  return i;
+}
+
+void Histogram::record(double ms) {
+  if (!(ms >= 0.0)) ms = 0.0;  // NaN / negative clamp
+  buckets_[bucket_index(ms)].fetch_add(1, std::memory_order_relaxed);
+  sum_ms_.fetch_add(ms, std::memory_order_relaxed);
+  double seen = max_ms_.load(std::memory_order_relaxed);
+  while (ms > seen &&
+         !max_ms_.compare_exchange_weak(seen, ms, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum_ms = sum_ms_.load(std::memory_order_relaxed);
+  snap.max_ms = max_ms_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum_ms += other.sum_ms;
+  max_ms = std::max(max_ms, other.max_ms);
+}
+
+double Histogram::Snapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q=0 -> first, q=1 -> last.
+  double target = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    double lower = i == 0 ? 0.0 : bucket_upper_ms(i - 1);
+    double upper = i >= kFiniteBuckets ? max_ms : bucket_upper_ms(i);
+    double frac = (target - before) / static_cast<double>(buckets[i]);
+    double value = lower + frac * (upper - lower);
+    return std::clamp(value, 0.0, max_ms);
+  }
+  return max_ms;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                const std::string& help,
+                                                const std::string& type) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.type = type;
+  } else if (it->second.type != type) {
+    throw std::invalid_argument("metric '" + name + "' already registered as " +
+                                it->second.type + ", requested " + type);
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, help, "counter");
+  auto [it, inserted] = fam.counters.try_emplace(format_labels(labels));
+  if (inserted) {
+    it->second = std::make_unique<Counter>();
+    fam.labels[it->first] = labels;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const MetricLabels& labels,
+                              bool expose_as_counter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, help, "gauge");
+  fam.gauge_as_counter = expose_as_counter;
+  auto [it, inserted] = fam.gauges.try_emplace(format_labels(labels));
+  if (inserted) {
+    it->second = std::make_unique<Gauge>();
+    fam.labels[it->first] = labels;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, help, "histogram");
+  auto [it, inserted] = fam.histograms.try_emplace(format_labels(labels));
+  if (inserted) {
+    it->second = std::make_unique<Histogram>();
+    fam.labels[it->first] = labels;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::on_collect(std::function<void()> collector) {
+  std::lock_guard<std::mutex> lock(collect_mutex_);
+  collectors_.push_back(std::move(collector));
+}
+
+void MetricsRegistry::run_collectors() {
+  std::vector<std::function<void()>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(collect_mutex_);
+    collectors = collectors_;
+  }
+  for (const auto& fn : collectors) fn();
+}
+
+std::string MetricsRegistry::prometheus_text() {
+  run_collectors();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    const std::string exposed_type =
+        fam.type == "gauge" && fam.gauge_as_counter ? "counter" : fam.type;
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " " + exposed_type + "\n";
+    for (const auto& [labels, metric] : fam.counters) {
+      out += child_name(name, labels) + " " +
+             std::to_string(metric->value()) + "\n";
+    }
+    for (const auto& [labels, metric] : fam.gauges) {
+      out += child_name(name, labels) + " " + format_double(metric->value()) +
+             "\n";
+    }
+    for (const auto& [labels, metric] : fam.histograms) {
+      const Histogram::Snapshot snap = metric->snapshot();
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+        cumulative += snap.buckets[i];
+        // Sparse rendering: empty buckets are elided (cumulative values
+        // stay correct), the mandatory le="+Inf" bucket always appears.
+        if (snap.buckets[i] == 0 && i + 1 < Histogram::kBucketCount) {
+          continue;
+        }
+        const std::string le =
+            i + 1 < Histogram::kBucketCount
+                ? format_double(Histogram::bucket_upper_ms(i))
+                : std::string("+Inf");
+        out += child_name(name + "_bucket", labels, "le=\"" + le + "\"") + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += child_name(name + "_sum", labels) + " " +
+             format_double(snap.sum_ms) + "\n";
+      out += child_name(name + "_count", labels) + " " +
+             std::to_string(snap.count) + "\n";
+    }
+  }
+  return out;
+}
+
+Json MetricsRegistry::json_snapshot() {
+  run_collectors();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json counters{JsonObject{}};
+  Json gauges{JsonObject{}};
+  Json histograms{JsonObject{}};
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [labels, metric] : fam.counters) {
+      counters.set(child_name(name, labels),
+                   static_cast<std::int64_t>(metric->value()));
+    }
+    for (const auto& [labels, metric] : fam.gauges) {
+      gauges.set(child_name(name, labels), metric->value());
+    }
+    if (fam.histograms.empty()) continue;
+    Histogram::Snapshot total;
+    Json children{JsonObject{}};
+    for (const auto& [labels, metric] : fam.histograms) {
+      const Histogram::Snapshot snap = metric->snapshot();
+      total.merge(snap);
+      Json child{JsonObject{}};
+      child.set("count", static_cast<std::int64_t>(snap.count));
+      child.set("sum_ms", snap.sum_ms);
+      child.set("max_ms", snap.max_ms);
+      child.set("p50_ms", snap.percentile(0.50));
+      child.set("p90_ms", snap.percentile(0.90));
+      child.set("p99_ms", snap.percentile(0.99));
+      children.set(child_name(name, labels), std::move(child));
+    }
+    Json fam_obj{JsonObject{}};
+    fam_obj.set("count", static_cast<std::int64_t>(total.count));
+    fam_obj.set("sum_ms", total.sum_ms);
+    fam_obj.set("max_ms", total.max_ms);
+    fam_obj.set("p50_ms", total.percentile(0.50));
+    fam_obj.set("p90_ms", total.percentile(0.90));
+    fam_obj.set("p99_ms", total.percentile(0.99));
+    fam_obj.set("children", std::move(children));
+    histograms.set(name, std::move(fam_obj));
+  }
+  Json out{JsonObject{}};
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace elpc::util

@@ -1,0 +1,226 @@
+#include "daemon/trace.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/client.hpp"
+#include "daemon/socket_server.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "service/batch_engine.hpp"
+#include "service/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace elpc::daemon {
+namespace {
+
+graph::Network make_network(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::random_connected_network(rng, 10, 50,
+                                         graph::AttributeRanges{});
+}
+
+service::SolveJob make_job(const std::string& id, std::uint64_t pseed,
+                           service::Objective objective) {
+  util::Rng rng(pseed);
+  service::SolveJob job;
+  job.id = id;
+  job.network = "net";
+  job.pipeline = pipeline::random_pipeline(rng, 4, {});
+  job.source = 0;
+  job.destination = 9;
+  job.objective = objective;
+  job.cost = service::default_cost(objective);
+  return job;
+}
+
+std::string socket_path(const std::string& tag) {
+  return ::testing::TempDir() + "/elpc_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// Sums every `<metric> <value>` sample whose name starts with `metric`
+/// (i.e. across all label children) in a Prometheus text exposition.
+double sum_samples(const std::string& text, const std::string& metric) {
+  std::istringstream stream(text);
+  std::string line;
+  double total = 0.0;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind(metric, 0) != 0) {
+      continue;
+    }
+    // Next char must end the name: either the label brace or the value
+    // separator (so "elpc_e2e_ms" does not match "elpc_e2e_ms_count").
+    const char next = line[metric.size()];
+    if (next != '{' && next != ' ') {
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    total += std::stod(line.substr(space + 1));
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// SlowLog unit behaviour (deterministic, no daemon).
+
+TEST(DaemonMetrics, SlowLogRingEvictsOldestFirst) {
+  SlowLog log(3);
+  for (std::uint64_t ticket = 1; ticket <= 5; ++ticket) {
+    TraceSpan span;
+    span.ticket = ticket;
+    log.add(span);
+  }
+  EXPECT_EQ(log.total_added(), 5u);
+  EXPECT_EQ(log.capacity(), 3u);
+  const std::vector<TraceSpan> entries = log.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Oldest (tickets 1, 2) evicted; survivors in arrival order.
+  EXPECT_EQ(entries[0].ticket, 3u);
+  EXPECT_EQ(entries[1].ticket, 4u);
+  EXPECT_EQ(entries[2].ticket, 5u);
+}
+
+TEST(DaemonMetrics, SpanToJsonCarriesEveryField) {
+  TraceSpan span;
+  span.ticket = 42;
+  span.job_id = "job7";
+  span.state = "done";
+  span.objective = "framerate";
+  span.kernel = "scalar";
+  span.incremental = true;
+  span.queue_wait_ms = 1.5;
+  span.solve_ms = 2.5;
+  span.e2e_ms = 5.0;
+  span.dp_columns = 10;
+  span.columns_total = 8;
+  span.columns_reused = 6;
+  span.completed_unix_ms = 1700000000000;
+  const util::Json json = span_to_json(span);
+  EXPECT_EQ(json.at("ticket").as_int(), 42);
+  EXPECT_EQ(json.at("job_id").as_string(), "job7");
+  EXPECT_EQ(json.at("state").as_string(), "done");
+  EXPECT_EQ(json.at("objective").as_string(), "framerate");
+  EXPECT_EQ(json.at("kernel").as_string(), "scalar");
+  EXPECT_TRUE(json.at("incremental").as_bool());
+  EXPECT_DOUBLE_EQ(json.at("queue_wait_ms").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(json.at("solve_ms").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(json.at("e2e_ms").as_number(), 5.0);
+  EXPECT_EQ(json.at("dp_columns").as_int(), 10);
+  EXPECT_EQ(json.at("columns_total").as_int(), 8);
+  EXPECT_EQ(json.at("columns_reused").as_int(), 6);
+  EXPECT_EQ(json.at("completed_unix_ms").as_int(), 1700000000000);
+}
+
+// ---------------------------------------------------------------------------
+// End to end over a live daemon: spans feed the histograms, the `metrics`
+// verb serves a parseable exposition, `stats` embeds the snapshot plus
+// uptime/build info, and the slowlog captures the slow solves — all
+// without perturbing canonical results.
+
+TEST(DaemonMetrics, LifecycleSpansFeedHistogramsAndSlowlog) {
+  SocketServerOptions options;
+  options.threads = 2;
+  options.start_paused = true;  // guarantee measurable queue wait
+  options.slow_ms = 1;          // everything queued past the sleep is slow
+  SocketServer server(socket_path("metrics"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  DaemonClient client(server.socket_path());
+  client.register_network("net", make_network(3));
+
+  std::vector<service::SolveJob> jobs;
+  jobs.push_back(make_job("delay0", 80, service::Objective::kMinDelay));
+  jobs.push_back(make_job("fps0", 81, service::Objective::kMaxFrameRate));
+  const Ticket t0 = client.submit(jobs[0]);
+  const Ticket t1 = client.submit(jobs[1]);
+  const Ticket doomed =
+      client.submit(make_job("doomed", 82, service::Objective::kMinDelay));
+  EXPECT_TRUE(client.cancel(doomed));
+
+  // Everything sits queued through this sleep, so the surviving jobs'
+  // queue wait (and thus e2e) is at least ~5 ms — deterministically past
+  // the 1 ms slowlog threshold.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  client.resume();
+  EXPECT_EQ(client.wait(t0).at("state").as_string(), "done");
+  const util::Json fps_result = client.wait(t1);
+  EXPECT_EQ(fps_result.at("state").as_string(), "done");
+
+  // --- stats: counters, uptime, build info, embedded metrics snapshot.
+  const util::Json stats = client.stats();
+  EXPECT_EQ(stats.at("done").as_int(), 2);
+  EXPECT_EQ(stats.at("cancelled").as_int(), 1);
+  EXPECT_GE(stats.at("uptime_ms").as_number(), 5.0);
+  EXPECT_GT(stats.at("started_unix_ms").as_int(), 0);
+  EXPECT_EQ(stats.at("slow_ms").as_int(), 1);
+  const util::Json& build = stats.at("build");
+  EXPECT_FALSE(build.at("compiler").as_string().empty());
+  EXPECT_FALSE(build.at("kernels_available").as_string().empty());
+
+  // Span conservation in the embedded snapshot: one e2e/queue-wait sample
+  // per terminal ticket, including the cancelled one.
+  const util::Json& histograms = stats.at("metrics").at("histograms");
+  EXPECT_EQ(histograms.at("elpc_e2e_ms").at("count").as_int(), 3);
+  EXPECT_EQ(histograms.at("elpc_queue_wait_ms").at("count").as_int(), 3);
+  // The done jobs waited through the 5 ms paused window.
+  EXPECT_GE(histograms.at("elpc_queue_wait_ms").at("max_ms").as_number(), 5.0);
+  EXPECT_LE(histograms.at("elpc_e2e_ms").at("p99_ms").as_number(),
+            histograms.at("elpc_e2e_ms").at("max_ms").as_number());
+
+  // --- metrics verb: a valid exposition with the expected families and
+  // the same conservation property.
+  const std::string text = client.metrics();
+  for (const char* needle :
+       {"# TYPE elpc_e2e_ms histogram", "# TYPE elpc_queue_wait_ms histogram",
+        "# TYPE elpc_solve_ms histogram", "# TYPE elpc_jobs_submitted_total counter",
+        "# TYPE elpc_queued gauge", "objective=\"framerate\"",
+        "objective=\"delay\"", "kernel="}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_DOUBLE_EQ(sum_samples(text, "elpc_e2e_ms_count"), 3.0);
+  EXPECT_DOUBLE_EQ(sum_samples(text, "elpc_jobs_submitted_total"), 3.0);
+  EXPECT_DOUBLE_EQ(sum_samples(text, "elpc_jobs_done_total"), 2.0);
+  EXPECT_DOUBLE_EQ(sum_samples(text, "elpc_jobs_cancelled_total"), 1.0);
+  // Completed solves only: the cancelled job never ran.
+  EXPECT_DOUBLE_EQ(sum_samples(text, "elpc_solve_ms_count"), 2.0);
+
+  // --- slowlog: the two done jobs waited through the 5 ms paused window,
+  // so both deterministically crossed the 1 ms threshold (the instantly
+  // cancelled ticket may or may not have).
+  const util::Json slowlog = client.slowlog();
+  EXPECT_EQ(slowlog.at("slow_ms").as_int(), 1);
+  EXPECT_GE(slowlog.at("total").as_int(), 2);
+  const util::JsonArray& entries = slowlog.at("entries").as_array();
+  ASSERT_GE(entries.size(), 2u);
+  for (const util::Json& entry : entries) {
+    EXPECT_GE(entry.at("e2e_ms").as_number(), 1.0);
+    EXPECT_FALSE(entry.at("state").as_string().empty());
+  }
+
+  // --- tracing must not perturb answers: the daemon's canonical result
+  // JSON is byte-identical to a direct, untraced engine solve.
+  service::BatchEngine direct;
+  direct.register_network("net", make_network(3));
+  const std::vector<service::SolveResult> expected = direct.solve(jobs);
+  EXPECT_EQ(client.wait(t0).at("result").dump(),
+            service::result_entry_to_json(expected[0]).dump());
+  EXPECT_EQ(fps_result.at("result").dump(),
+            service::result_entry_to_json(expected[1]).dump());
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+}  // namespace
+}  // namespace elpc::daemon

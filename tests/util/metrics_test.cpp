@@ -1,0 +1,355 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace elpc::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket math
+
+TEST(Metrics, BucketBoundsAreLogScaleWithLeSemantics) {
+  // Bucket 0 covers (0, 1µs]; each later finite bucket multiplies the
+  // upper bound by 2^(1/4).
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_ms(0), 1e-3);
+  for (std::size_t i = 1; i < Histogram::kFiniteBuckets; ++i) {
+    EXPECT_NEAR(Histogram::bucket_upper_ms(i) / Histogram::bucket_upper_ms(i - 1),
+                std::pow(2.0, 0.25), 1e-12)
+        << "bucket " << i;
+  }
+  EXPECT_TRUE(std::isinf(
+      Histogram::bucket_upper_ms(Histogram::kBucketCount - 1)));
+
+  // `le` semantics must be exact: a sample equal to an upper bound lands
+  // IN that bucket; a hair above lands in the next.
+  for (std::size_t i = 0; i + 1 < Histogram::kFiniteBuckets; ++i) {
+    const double upper = Histogram::bucket_upper_ms(i);
+    EXPECT_EQ(Histogram::bucket_index(upper), i) << "at bound " << upper;
+    EXPECT_EQ(Histogram::bucket_index(upper * (1.0 + 1e-9)), i + 1)
+        << "above bound " << upper;
+  }
+}
+
+TEST(Metrics, BucketIndexEdgeCases) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e-12), 0u);  // sub-µs still bucket 0
+  // Beyond the last finite bound: the +Inf overflow bucket.
+  const double top = Histogram::bucket_upper_ms(Histogram::kFiniteBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(top), Histogram::kFiniteBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(top * 2.0), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_index(1e12), Histogram::kBucketCount - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Recording + snapshots
+
+TEST(Metrics, SnapshotCountDerivesFromBuckets) {
+  Histogram h;
+  h.record(0.5);
+  h.record(5.0);
+  h.record(5.0);
+  h.record(-3.0);  // clamps to 0 -> bucket 0, still one sample
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_NEAR(snap.sum_ms, 10.5, 1e-12);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 5.0);
+}
+
+TEST(Metrics, PercentileEmptyIsZero) {
+  const Histogram::Snapshot snap = Histogram{}.snapshot();
+  EXPECT_EQ(snap.percentile(0.5), 0.0);
+  EXPECT_EQ(snap.percentile(0.99), 0.0);
+}
+
+TEST(Metrics, PercentileInterpolatesWithinOneBucket) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.record(1.0);
+  }
+  const Histogram::Snapshot snap = h.snapshot();
+  // All mass sits in the bucket containing 1.0 ms, so any percentile must
+  // land inside that bucket's (lower, upper] range (the documented
+  // one-bucket accuracy bound), and never above the observed max.
+  const std::size_t bucket = Histogram::bucket_index(1.0);
+  const double lower = Histogram::bucket_upper_ms(bucket - 1);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double p = snap.percentile(q);
+    EXPECT_GE(p, lower) << "q=" << q;
+    EXPECT_LE(p, snap.max_ms) << "q=" << q;
+  }
+  // q=1 hits the bucket's top and clamps to the exact max.
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 1.0);
+}
+
+TEST(Metrics, PercentileSeparatesWellSpacedModes) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.record(1.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.record(1000.0);
+  }
+  const Histogram::Snapshot snap = h.snapshot();
+  // p50 resolves to the 1 ms mode, p99 to the 1000 ms mode.
+  EXPECT_LT(snap.percentile(0.5), 2.0);
+  const double lower_1000 =
+      Histogram::bucket_upper_ms(Histogram::bucket_index(1000.0) - 1);
+  EXPECT_GE(snap.percentile(0.99), lower_1000);
+  EXPECT_LE(snap.percentile(0.99), snap.max_ms);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 1000.0);
+}
+
+TEST(Metrics, OverflowBucketClampsToObservedMax) {
+  Histogram h;
+  const double huge = 1e9;  // far beyond the ~17.9 min top finite bound
+  h.record(huge);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.buckets[Histogram::kBucketCount - 1], 1u);
+  EXPECT_DOUBLE_EQ(snap.max_ms, huge);
+  // The overflow bucket has no finite upper bound; the percentile must
+  // use the observed max instead of inventing a value.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.99), huge);
+}
+
+TEST(Metrics, SnapshotMergeAccumulatesShards) {
+  Histogram a;
+  Histogram b;
+  a.record(1.0);
+  a.record(2.0);
+  b.record(1000.0);
+  Histogram::Snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_NEAR(merged.sum_ms, 1003.0, 1e-12);
+  EXPECT_DOUBLE_EQ(merged.max_ms, 1000.0);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t bucket : merged.buckets) {
+    bucket_total += bucket;
+  }
+  EXPECT_EQ(bucket_total, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+
+TEST(Metrics, RegistryResolvesSameChildForSameNameAndLabels) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("jobs_total", "jobs", {{"kernel", "avx2"}});
+  Counter& b = registry.counter("jobs_total", "jobs", {{"kernel", "avx2"}});
+  EXPECT_EQ(&a, &b);
+  Counter& c = registry.counter("jobs_total", "jobs", {{"kernel", "scalar"}});
+  EXPECT_NE(&a, &c);
+  a.add(2);
+  b.add();
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, RegistryRejectsTypeMismatch) {
+  MetricsRegistry registry;
+  (void)registry.counter("thing_total", "a counter");
+  EXPECT_THROW((void)registry.histogram("thing_total", "oops"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.gauge("thing_total", "oops"),
+               std::invalid_argument);
+}
+
+TEST(Metrics, FormatLabelsSortsAndEscapes) {
+  EXPECT_EQ(format_labels({}), "");
+  EXPECT_EQ(format_labels({{"b", "2"}, {"a", "1"}}), "a=\"1\",b=\"2\"");
+  // Backslash, quote, and newline must be escaped per the text format.
+  EXPECT_EQ(format_labels({{"k", "a\"b\\c\nd"}}), "k=\"a\\\"b\\\\c\\nd\"");
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition, validated by a small in-test parser.
+
+struct ParsedExposition {
+  std::map<std::string, std::string> help;  // family -> help text
+  std::map<std::string, std::string> type;  // family -> type
+  std::map<std::string, double> samples;    // full sample name -> value
+  std::vector<std::string> sample_order;
+};
+
+/// Minimal parser for the exposition grammar this repo emits; fails the
+/// surrounding test on any malformed line (gtest ASSERTs need a void
+/// function, hence the out-parameter).
+void parse_exposition(const std::string& text, ParsedExposition& parsed) {
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_help = line[2] == 'H';
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      (is_help ? parsed.help : parsed.type)[rest.substr(0, space)] =
+          rest.substr(space + 1);
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+    // `name{labels} value` or `name value`; the value is the last
+    // space-separated token (label values contain no raw spaces here).
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    parsed.samples[name] = std::stod(line.substr(space + 1));
+    parsed.sample_order.push_back(name);
+  }
+}
+
+TEST(Metrics, PrometheusTextRoundTripsThroughParser) {
+  MetricsRegistry registry;
+  registry.counter("elpc_demo_jobs_total", "jobs", {{"kernel", "avx2"}})
+      .add(3);
+  registry.gauge("elpc_demo_queue", "queue depth").set(2.0);
+  Histogram& h = registry.histogram("elpc_demo_lat_ms", "latency",
+                                    {{"objective", "delay"}});
+  h.record(0.5);
+  h.record(5.0);
+  h.record(5000.0);
+
+  const std::string text = registry.prometheus_text();
+  SCOPED_TRACE(text);
+  ParsedExposition parsed;
+  parse_exposition(text, parsed);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+
+  // Every family carries HELP + TYPE.
+  EXPECT_EQ(parsed.type.at("elpc_demo_jobs_total"), "counter");
+  EXPECT_EQ(parsed.type.at("elpc_demo_queue"), "gauge");
+  EXPECT_EQ(parsed.type.at("elpc_demo_lat_ms"), "histogram");
+  EXPECT_EQ(parsed.help.at("elpc_demo_lat_ms"), "latency");
+
+  EXPECT_DOUBLE_EQ(parsed.samples.at("elpc_demo_jobs_total{kernel=\"avx2\"}"),
+                   3.0);
+  EXPECT_DOUBLE_EQ(parsed.samples.at("elpc_demo_queue"), 2.0);
+
+  // Histogram grammar: cumulative monotone buckets ending at +Inf, which
+  // must equal _count; _sum matches the recorded total.
+  double last_bucket = 0.0;
+  double last_le = -1.0;
+  double inf_bucket = -1.0;
+  for (const std::string& name : parsed.sample_order) {
+    const std::string prefix = "elpc_demo_lat_ms_bucket{objective=\"delay\",le=\"";
+    if (name.rfind(prefix, 0) != 0) {
+      continue;
+    }
+    const std::string le_text =
+        name.substr(prefix.size(), name.size() - prefix.size() - 2);
+    const double value = parsed.samples.at(name);
+    EXPECT_GE(value, last_bucket) << "bucket counts must be cumulative";
+    last_bucket = value;
+    if (le_text == "+Inf") {
+      inf_bucket = value;
+    } else {
+      const double le = std::stod(le_text);
+      EXPECT_GT(le, last_le) << "le bounds must ascend";
+      last_le = le;
+    }
+  }
+  EXPECT_DOUBLE_EQ(inf_bucket, 3.0);
+  EXPECT_DOUBLE_EQ(
+      parsed.samples.at("elpc_demo_lat_ms_count{objective=\"delay\"}"), 3.0);
+  EXPECT_NEAR(parsed.samples.at("elpc_demo_lat_ms_sum{objective=\"delay\"}"),
+              5005.5, 1e-9);
+}
+
+TEST(Metrics, CollectorsRefreshGaugesOnExposition) {
+  MetricsRegistry registry;
+  Gauge& depth = registry.gauge("elpc_demo_depth", "depth");
+  std::atomic<int> live{7};
+  registry.on_collect([&]() { depth.set(static_cast<double>(live.load())); });
+  EXPECT_NE(registry.prometheus_text().find("elpc_demo_depth 7"),
+            std::string::npos);
+  live.store(9);
+  EXPECT_NE(registry.prometheus_text().find("elpc_demo_depth 9"),
+            std::string::npos);
+}
+
+TEST(Metrics, JsonSnapshotCarriesPercentiles) {
+  MetricsRegistry registry;
+  registry.counter("elpc_demo_total", "c").add(4);
+  Histogram& h = registry.histogram("elpc_demo_ms", "h", {{"k", "v"}});
+  for (int i = 0; i < 10; ++i) {
+    h.record(2.0);
+  }
+  const Json snap = registry.json_snapshot();
+  EXPECT_EQ(snap.at("counters").at("elpc_demo_total").as_int(), 4);
+  const Json& family = snap.at("histograms").at("elpc_demo_ms");
+  EXPECT_EQ(family.at("count").as_int(), 10);
+  EXPECT_NEAR(family.at("sum_ms").as_number(), 20.0, 1e-9);
+  EXPECT_GT(family.at("p50_ms").as_number(), 0.0);
+  EXPECT_LE(family.at("p99_ms").as_number(), family.at("max_ms").as_number());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: writers race recording while readers render — run under
+// TSan in CI (the .github workflow's tsan job includes this suite).
+
+TEST(Metrics, ConcurrentRecordAndRenderIsRaceFree) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("elpc_demo_ops_total", "ops");
+  Histogram& latency = registry.histogram("elpc_demo_race_ms", "lat");
+  Gauge& depth = registry.gauge("elpc_demo_race_depth", "depth");
+  registry.on_collect([&]() { depth.set(1.0); });
+
+  constexpr int kWriters = 4;
+  constexpr int kSamplesPerWriter = 5000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w]() {
+      for (int i = 0; i < kSamplesPerWriter; ++i) {
+        counter.add();
+        latency.record(0.001 * static_cast<double>((w * 31 + i) % 2000));
+      }
+    });
+  }
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      const Histogram::Snapshot snap = latency.snapshot();
+      std::uint64_t total = 0;
+      for (const std::uint64_t bucket : snap.buckets) {
+        total += bucket;
+      }
+      // Snapshot consistency: derived count always equals the bucket sum
+      // read in the same pass, even mid-race.
+      EXPECT_EQ(total, snap.count);
+      (void)registry.prometheus_text();
+      (void)registry.json_snapshot();
+    }
+  });
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kWriters) * kSamplesPerWriter);
+  EXPECT_EQ(latency.snapshot().count,
+            static_cast<std::uint64_t>(kWriters) * kSamplesPerWriter);
+}
+
+}  // namespace
+}  // namespace elpc::util

@@ -13,6 +13,12 @@
 //     what a fault stranded);
 //   * bit-identical answers: a control job on an untouched network
 //     solves to byte-identical JSON before and after the storm;
+//   * span conservation: the e2e/queue-wait trace histograms hold
+//     exactly one sample per terminal ticket — reconnect storms, torn
+//     frames, and injected faults must not lose or double-count spans;
+//   * latency sanity: queue-wait p99 is bounded by the daemon's own
+//     uptime (a wilder value means clock or bucket math broke);
+//   * the `metrics` verb still serves the expected families;
 //   * a final drain reports the daemon safe to kill.
 //
 // Prints one greppable line — "CHAOS SUMMARY ok=<0|1> ..." — and exits
@@ -225,6 +231,17 @@ struct StatsSnapshot {
   std::int64_t pinned_revisions = 0;
   std::int64_t pinned_bytes = 0;
   std::int64_t lease_expirations = 0;
+  std::int64_t uptime_ms = 0;
+  // From the embedded metrics snapshot: whole-family (all label children
+  // merged) trace-histogram counts and percentiles.  Counts stay 0 when
+  // the family has no samples yet.
+  std::int64_t e2e_spans = 0;
+  std::int64_t queue_spans = 0;
+  double queue_p99_ms = 0.0;
+
+  [[nodiscard]] std::int64_t terminal() const {
+    return done + failed + cancelled + timed_out;
+  }
 };
 
 StatsSnapshot read_stats(daemon::DaemonClient& client) {
@@ -241,6 +258,19 @@ StatsSnapshot read_stats(daemon::DaemonClient& client) {
   s.pinned_revisions = doc.at("pinned_revisions").as_int();
   s.pinned_bytes = doc.at("pinned_bytes").as_int();
   s.lease_expirations = doc.at("lease_expirations").as_int();
+  // Fractional on the wire (sub-ms precision); whole ms is plenty here.
+  s.uptime_ms = static_cast<std::int64_t>(doc.at("uptime_ms").as_number());
+  if (const util::Json* metrics = doc.find("metrics")) {
+    if (const util::Json* histograms = metrics->find("histograms")) {
+      if (const util::Json* e2e = histograms->find("elpc_e2e_ms")) {
+        s.e2e_spans = e2e->at("count").as_int();
+      }
+      if (const util::Json* queue = histograms->find("elpc_queue_wait_ms")) {
+        s.queue_spans = queue->at("count").as_int();
+        s.queue_p99_ms = queue->at("p99_ms").as_number();
+      }
+    }
+  }
   return s;
 }
 
@@ -337,12 +367,48 @@ int main(int argc, char** argv) {
               std::to_string(stats.queued) +
               " running=" + std::to_string(stats.running));
     }
-    if (stats.submitted !=
-        stats.done + stats.failed + stats.cancelled + stats.timed_out) {
+    if (stats.submitted != stats.terminal()) {
       violate("ticket ledger does not balance: submitted=" +
-              std::to_string(stats.submitted) + " terminal=" +
-              std::to_string(stats.done + stats.failed + stats.cancelled +
-                             stats.timed_out));
+              std::to_string(stats.submitted) +
+              " terminal=" + std::to_string(stats.terminal()));
+    }
+    // --- Span conservation: the trace path records exactly one span per
+    // terminal ticket into each lifecycle histogram, no matter how the
+    // ticket ended (result, cancel-in-queue, deadline expiry) or how many
+    // connections died around it.
+    if (stats.e2e_spans != stats.terminal()) {
+      violate("e2e span conservation broke: histogram=" +
+              std::to_string(stats.e2e_spans) +
+              " terminal=" + std::to_string(stats.terminal()));
+    }
+    if (stats.queue_spans != stats.terminal()) {
+      violate("queue-wait span conservation broke: histogram=" +
+              std::to_string(stats.queue_spans) +
+              " terminal=" + std::to_string(stats.terminal()));
+    }
+    // --- Latency sanity: no job can wait longer than the daemon has
+    // been alive, so a queue-wait p99 beyond uptime means the span
+    // timestamps or the bucket math are wrong (+1ms interpolation slack).
+    if (stats.queue_spans > 0 &&
+        stats.queue_p99_ms > static_cast<double>(stats.uptime_ms) + 1.0) {
+      violate("queue-wait p99 implausible: " +
+              std::to_string(stats.queue_p99_ms) +
+              "ms with uptime " + std::to_string(stats.uptime_ms) + "ms");
+    }
+    // --- The exposition endpoint survived the storm and still renders
+    // the families the scrape configs depend on.
+    try {
+      const std::string text = client.metrics();
+      for (const char* family :
+           {"# TYPE elpc_e2e_ms histogram",
+            "# TYPE elpc_queue_wait_ms histogram",
+            "elpc_jobs_submitted_total"}) {
+        if (text.find(family) == std::string::npos) {
+          violate(std::string("metrics exposition lost family: ") + family);
+        }
+      }
+    } catch (const std::exception& e) {
+      violate(std::string("metrics verb failed after the storm: ") + e.what());
     }
     if (stats.pinned_revisions > stats.subscriptions) {
       violate("leaked pins: pinned_revisions=" +
@@ -382,12 +448,21 @@ int main(int argc, char** argv) {
     if (!drain.at("drained").as_bool()) {
       violate("drain did not reach idle");
     }
+    // Conservation must still hold after drain forced the stragglers
+    // terminal (the control solves added spans too — recount both sides).
+    stats = read_stats(client);
+    if (stats.e2e_spans != stats.terminal()) {
+      violate("spans lost across drain: histogram=" +
+              std::to_string(stats.e2e_spans) +
+              " terminal=" + std::to_string(stats.terminal()));
+    }
 
     const bool ok = violations.empty();
     std::printf(
         "CHAOS SUMMARY ok=%d submitted=%lld done=%lld failed=%lld "
         "cancelled=%lld timed_out=%lld queued=%lld running=%lld "
         "pinned=%lld subscriptions=%lld lease_expirations=%lld "
+        "e2e_spans=%lld queue_spans=%lld queue_p99_ms=%.3f "
         "tickets_verified=%llu client_errors=%llu violations=%zu\n",
         ok ? 1 : 0, static_cast<long long>(stats.submitted),
         static_cast<long long>(stats.done),
@@ -399,6 +474,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(stats.pinned_revisions),
         static_cast<long long>(stats.subscriptions),
         static_cast<long long>(stats.lease_expirations),
+        static_cast<long long>(stats.e2e_spans),
+        static_cast<long long>(stats.queue_spans), stats.queue_p99_ms,
         static_cast<unsigned long long>(verified),
         static_cast<unsigned long long>(counters.client_errors.load()),
         violations.size());
