@@ -10,6 +10,7 @@
 #include "core/framerate_arena.hpp"
 #include "core/kernels/framerate_kernel.hpp"
 #include "graph/algorithms.hpp"
+#include "util/profiler.hpp"
 #include "util/thread_pool.hpp"
 
 namespace elpc::core {
@@ -122,8 +123,13 @@ MapResult ElpcMapper::min_delay(const Problem& problem) const {
 
   prev[problem.source] = 0.0;  // module 0 (source stage) computes nothing
 
+  // Segmented column profiling (one event pair per 64 columns, arg = the
+  // segment's first column): disabled cost is one branch per column —
+  // same class as the check_abort poll beside it.
+  util::PhaseSegments columns_phase("delay_columns", "dp");
   for (std::size_t j = 1; j < n; ++j) {
     check_abort(options_);
+    columns_phase.tick(j);
     const double input_mb = problem.pipeline->input_mb(j);
     // Hoist the per-node computing times (one division each) out of the
     // edge sweep, and collect the reachable frontier: early columns touch
@@ -413,7 +419,10 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   thread_local FrameRateArena tls_arena;
   FrameRateArena& arena =
       options_.arena != nullptr ? *options_.arena : tls_arena;
-  arena.setup(k, beam, n, chunks);
+  {
+    const util::ProfileScope arena_phase("arena_acquire", "dp", k);
+    arena.setup(k, beam, n, chunks);
+  }
   const std::size_t W = arena.words_per_set();
   const std::size_t realloc_baseline = arena.reallocations();
 
@@ -431,6 +440,8 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   bool run_incremental = false;
   std::vector<NodeId> delta_targets;  // distinct `to` nodes of the delta
   if (ckpt != nullptr) {
+    // Covers the fingerprint fold (O(n*k)) and the reuse decision.
+    const util::ProfileScope ckpt_phase("checkpoint_decide", "dp");
     inc.attempted = true;
     fp.modules = n;
     fp.nodes = k;
@@ -691,8 +702,13 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   };
 
   if (!run_incremental) {
+    // One event pair per 64 columns (arg = segment's first column); the
+    // per-cell beam top-k lives inside these segments — it runs in the
+    // cell kernel, far too hot for per-cell events.
+    util::PhaseSegments columns_phase("fps_columns", "dp");
     for (std::size_t j = 1; j < n; ++j) {
       check_abort(options_);
+      columns_phase.tick(j);
       arena.clear_column(cur_p);
       const double input_mb = problem.pipeline->input_mb(j);
       if (pool != nullptr && j + 1 < n) {
@@ -705,6 +721,9 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
           }
         });
       } else if (j + 1 == n) {
+        // The final column reduces to the destination cell: the beam's
+        // last top-k selection, worth its own slice.
+        const util::ProfileScope topk_phase("beam_topk", "dp", j);
         sweep_cell(j, problem.destination, input_mb, arena.scratch(0));
       } else {
         Candidate* cand = arena.scratch(0);
@@ -741,11 +760,16 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
     std::vector<NodeId> changed;  // cells of column j-1 whose state moved
     std::vector<NodeId> next_changed;
     ParentRec* const ckpt_parents = ckpt->parents();
+    // Checkpoint replay, segmented like the full-solve column loop; each
+    // column's dirty recompute gets its own slice below, so a timeline
+    // splits replay copies from kernel re-runs at a glance.
+    util::PhaseSegments replay_phase("replay_columns", "dp");
     for (std::size_t j = 1; j < n; ++j) {
       // An abort here leaves the checkpoint invalidated (the upfront
       // invalidate() — set_valid only runs below), so a torn replay can
       // never be reused; the next re-solve recaptures from scratch.
       check_abort(options_);
+      replay_phase.tick(j);
       load_column(cur_p, j);
       dirty_list.clear();
       for (const NodeId v : delta_targets) {
@@ -766,6 +790,8 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
       const double input_mb = problem.pipeline->input_mb(j);
       Candidate* cand = arena.scratch(0);
       next_changed.clear();
+      const util::ProfileScope dirty_phase("dirty_recompute", "dp",
+                                           dirty_list.size());
       for (const NodeId v : dirty_list) {
         dirty[v] = 0;  // reset for the next column's frontier build
         // sweep_cell's early-outs (dead cell, endpoint column rules)
@@ -838,6 +864,7 @@ MapResult ElpcMapper::max_frame_rate(const Problem& problem) const {
   double bottleneck =
       arena.bottleneck(prev_p)[problem.destination * beam];
   if (options_.framerate_local_search) {
+    const util::ProfileScope search_phase("local_search", "dp");
     improve_by_node_swaps(problem, model, assignment, bottleneck);
   }
 

@@ -1,5 +1,7 @@
 #include "daemon/client.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -62,7 +64,18 @@ util::Json DaemonClient::request(const util::Json& frame) {
   }
 }
 
+std::string DaemonClient::next_trace_id() {
+  return "c" + std::to_string(::getpid()) + "-" +
+         std::to_string(++trace_seq_);
+}
+
 util::Json DaemonClient::checked(util::Json frame) {
+  // Every typed-helper exchange gets a correlation id (unless the
+  // caller pre-stamped the frame): one retried request keeps ONE id, so
+  // a double-executed submit shows up as the same id twice server-side.
+  if (options_.auto_trace && !frame.contains("trace_id")) {
+    frame.set("trace_id", next_trace_id());
+  }
   util::Json response = request(frame);
   if (!response.at("ok").as_bool()) {
     throw DaemonError(response.at("error").as_string());
@@ -122,9 +135,21 @@ std::string DaemonClient::metrics() {
   return checked(verb_frame("metrics")).at("text").as_string();
 }
 
-util::Json DaemonClient::slowlog() {
-  return checked(verb_frame("slowlog"));
+util::Json DaemonClient::slowlog(const SlowlogFilter& filter) {
+  util::Json frame = verb_frame("slowlog");
+  if (!filter.state.empty()) {
+    frame.set("state", filter.state);
+  }
+  if (!filter.kernel.empty()) {
+    frame.set("kernel", filter.kernel);
+  }
+  if (filter.min_ms > 0.0) {
+    frame.set("min_ms", filter.min_ms);
+  }
+  return checked(std::move(frame));
 }
+
+util::Json DaemonClient::trace() { return checked(verb_frame("trace")); }
 
 util::Json DaemonClient::drain(std::int64_t timeout_ms) {
   util::Json frame = verb_frame("drain");

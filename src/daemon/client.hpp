@@ -47,6 +47,12 @@ struct DaemonClientOptions {
   /// First backoff; doubles per attempt, each scaled by a uniform
   /// ±50% jitter so a fleet of retrying clients does not stampede.
   std::int64_t backoff_ms = 25;
+  /// Stamp every typed-helper request with a generated trace id
+  /// ("c<pid>-<seq>") unless the frame already carries one.  The daemon
+  /// threads the id through its logs, the job's span, and the profiler
+  /// timeline, and echoes it on the response.  Off = wire frames
+  /// byte-identical to pre-trace clients.
+  bool auto_trace = true;
 };
 
 class DaemonClient {
@@ -78,21 +84,38 @@ class DaemonClient {
   [[nodiscard]] util::Json stats();
   /// Prometheus text exposition from the daemon's metrics registry.
   [[nodiscard]] std::string metrics();
+  /// Server-side slowlog narrowing: empty/zero fields mean "no filter".
+  struct SlowlogFilter {
+    std::string state;   // terminal state name, e.g. "timed_out"
+    std::string kernel;  // resolved kernel name, e.g. "avx2"
+    double min_ms = 0.0; // keep spans with e2e_ms >= this
+  };
   /// Slow-solve ring dump: {"slow_ms", "total", "entries": [spans]}.
-  [[nodiscard]] util::Json slowlog();
+  /// `total` is the unfiltered cumulative count either way.
+  [[nodiscard]] util::Json slowlog() { return slowlog(SlowlogFilter{}); }
+  [[nodiscard]] util::Json slowlog(const SlowlogFilter& filter);
+  /// Chrome-trace export: drains the daemon's profiler rings (each
+  /// event is returned exactly once across trace() calls) and attaches
+  /// the retained terminal spans.  The "trace" field is the document to
+  /// write to disk; the siblings carry ring accounting.
+  [[nodiscard]] util::Json trace();
   /// Graceful drain (see JobManager::drain); returns the report frame
   /// ("drained", "completed", "timed_out", pin/lease counters).
   [[nodiscard]] util::Json drain(std::int64_t timeout_ms);
   void shutdown_server();
 
  private:
-  /// request() + raise DaemonError on ok=false.
+  /// request() + raise DaemonError on ok=false.  Stamps the auto trace
+  /// id first (see DaemonClientOptions::auto_trace).
   util::Json checked(util::Json frame);
+  /// Next generated id: "c<pid>-<seq>".
+  [[nodiscard]] std::string next_trace_id();
 
   const DaemonClientOptions options_;
   const std::string socket_path_;  // retries reconnect here
   util::UnixSocket socket_;
   std::mt19937 rng_;  // backoff jitter only — never affects results
+  std::uint64_t trace_seq_ = 0;
 };
 
 }  // namespace elpc::daemon

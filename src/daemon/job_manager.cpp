@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/profiler.hpp"
+
 namespace elpc::daemon {
 
 namespace {
@@ -103,6 +105,7 @@ JobStatus JobManager::poll(Ticket ticket) const {
   status.ticket = ticket;
   status.state = it->second.state;
   status.priority = it->second.priority;
+  status.trace_id = it->second.job.trace_id;
   status.result = it->second.result;
   return status;
 }
@@ -137,6 +140,7 @@ JobStatus JobManager::wait(Ticket ticket) {
   status.ticket = ticket;
   status.state = it->second.state;
   status.priority = it->second.priority;
+  status.trace_id = it->second.job.trace_id;
   status.result = it->second.result;
   // Released by stop() with the job still pending: tell the caller the
   // state will never advance, so retrying wait() is pointless.
@@ -324,6 +328,7 @@ void JobManager::mark_terminal(Ticket ticket, Record& record,
   TraceSpan span;
   span.ticket = ticket;
   span.job_id = record.job.id;
+  span.trace_id = record.job.trace_id;
   span.state = job_state_name(state);
   span.objective = record.job.objective == service::Objective::kMinDelay
                        ? "delay"
@@ -346,6 +351,9 @@ void JobManager::mark_terminal(Ticket ticket, Record& record,
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count();
+  // Terminal instant on the profiler's clock, so the exporter can place
+  // this span on the same timeline as the phase events it parents.
+  span.end_mono_ns = util::monotonic_ns();
   const util::MetricLabels labels{
       {"kernel", span.kernel},
       {"objective", span.objective},
@@ -365,6 +373,9 @@ void JobManager::mark_terminal(Ticket ticket, Record& record,
   if (options_.slowlog != nullptr && options_.slow_ms > 0 &&
       span.e2e_ms >= static_cast<double>(options_.slow_ms)) {
     options_.slowlog->add(span);
+  }
+  if (options_.tracelog != nullptr) {
+    options_.tracelog->add(span);  // every terminal span, fast or slow
   }
   terminal_order_.push_back(ticket);
   if (options_.max_retained_results > 0) {

@@ -84,6 +84,10 @@ struct JobStatus {
   Ticket ticket = 0;
   JobState state = JobState::kQueued;
   int priority = 0;
+  /// The job's client-stamped correlation id ("" when the client sent
+  /// none) — echoed on every poll/wait answer so a caller can join the
+  /// response with its own logs and the daemon's trace timeline.
+  std::string trace_id;
   service::SolveResult result;
   /// Set by wait() when it released the caller because the manager is
   /// stopping and the job will never run — the `wait` verb forwards it
@@ -119,6 +123,13 @@ struct JobManagerOptions {
   /// slow logging even with a ring attached.
   SlowLog* slowlog = nullptr;
   std::int64_t slow_ms = 0;
+  /// Trace ring (borrowed, may be null): EVERY terminal span is added,
+  /// fast or slow — this is the `trace` verb's source of parent slices
+  /// for the Chrome-trace export, and its total_added equals the
+  /// cumulative terminal count by the mark_terminal funnel (a chaos
+  /// conservation invariant).  Distinct from slowlog, which keeps only
+  /// spans crossing slow_ms.
+  SlowLog* tracelog = nullptr;
 };
 
 /// Queue/throughput counters (daemon `stats` verb).  The terminal

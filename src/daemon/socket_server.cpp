@@ -5,10 +5,13 @@
 #include <utility>
 #include <vector>
 
+#include "daemon/trace_export.hpp"
 #include "graph/serialize.hpp"
 #include "service/serialize.hpp"
 #include "util/cpu_features.hpp"
 #include "util/fault_injector.hpp"
+#include "util/profiler.hpp"
+#include "util/trace_context.hpp"
 
 namespace elpc::daemon {
 
@@ -34,7 +37,11 @@ util::Json status_response(const JobStatus& status) {
   response.set("ticket", status.ticket);
   response.set("state", job_state_name(status.state));
   response.set("priority", status.priority);
+  if (!status.trace_id.empty()) {
+    response.set("trace_id", status.trace_id);
+  }
   if (status.terminal()) {
+    const util::ProfileScope serialize_phase("serialize", "daemon");
     response.set("result", service::result_entry_to_json(status.result));
   }
   if (status.shutting_down) {
@@ -100,6 +107,7 @@ SocketServer::SocketServer(std::string socket_path,
                            SocketServerOptions options)
     : listener_(socket_path),
       slowlog_(options.slowlog_capacity),
+      tracelog_(options.tracelog_capacity),
       options_(std::move(options)),
       started_(std::chrono::steady_clock::now()),
       started_unix_ms_(std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -108,6 +116,9 @@ SocketServer::SocketServer(std::string socket_path,
   if (!options_.faults.empty()) {
     util::FaultInjector::instance().configure(options_.faults,
                                               options_.fault_seed);
+  }
+  if (options_.profile) {
+    util::Profiler::set_enabled(true);
   }
   service::BatchEngineOptions engine_options;
   engine_options.threads = options_.threads;
@@ -129,6 +140,7 @@ SocketServer::SocketServer(std::string socket_path,
   manager_options.metrics = &metrics_;
   manager_options.slowlog = &slowlog_;
   manager_options.slow_ms = options_.slow_ms;
+  manager_options.tracelog = &tracelog_;
   manager_ = std::make_unique<JobManager>(*engine_, manager_options);
   register_collectors();
 }
@@ -309,7 +321,10 @@ void SocketServer::handle_connection(util::UnixSocket connection) {
         response = error_response(std::string("malformed request: ") +
                                   e.what());
       }
-      connection.send_line(response.dump());
+      {
+        const util::ProfileScope write_phase("socket_write", "daemon");
+        connection.send_line(response.dump());
+      }
     }
   } catch (const util::SocketError&) {
     // A client vanishing mid-exchange must not take the daemon down;
@@ -318,6 +333,25 @@ void SocketServer::handle_connection(util::UnixSocket connection) {
 }
 
 util::Json SocketServer::handle(const util::Json& request) {
+  // The request's trace id scopes the whole exchange: log lines and
+  // profiler events emitted while dispatching the verb carry it, and
+  // the response echoes it so the client can match frames to ids.  A
+  // request without one runs (and responds) without.
+  std::string request_trace;
+  if (const util::Json* trace = request.find("trace_id")) {
+    if (trace->is_string()) {
+      request_trace = trace->as_string();
+    }
+  }
+  const util::ScopedTraceContext trace_scope(request_trace);
+  util::Json response = handle_verb(request);
+  if (!request_trace.empty() && !response.contains("trace_id")) {
+    response.set("trace_id", request_trace);
+  }
+  return response;
+}
+
+util::Json SocketServer::handle_verb(const util::Json& request) {
   try {
     const std::string verb = request.at("verb").as_string();
     if (verb == "register_network") {
@@ -327,8 +361,13 @@ util::Json SocketServer::handle(const util::Json& request) {
       return ok_response();
     }
     if (verb == "submit") {
-      const service::SolveJob job =
-          service::job_from_json(request.at("job"));
+      service::SolveJob job = service::job_from_json(request.at("job"));
+      // The job inherits the request's trace id unless the client
+      // stamped the job itself (the job-level id wins: it is what the
+      // span, the solve's log lines, and poll/wait echoes will carry).
+      if (job.trace_id.empty()) {
+        job.trace_id = util::trace_context();
+      }
       int priority = 0;
       if (const util::Json* p = request.find("priority")) {
         priority = static_cast<int>(p->as_int());
@@ -358,8 +397,12 @@ util::Json SocketServer::handle(const util::Json& request) {
                                       updates);
       util::Json response = ok_response();
       util::JsonArray results;
-      for (const service::SolveResult& r : resolved) {
-        results.push_back(service::result_entry_to_json(r));
+      {
+        const util::ProfileScope serialize_phase("serialize", "daemon",
+                                                 resolved.size());
+        for (const service::SolveResult& r : resolved) {
+          results.push_back(service::result_entry_to_json(r));
+        }
       }
       response.set("results", util::Json(std::move(results)));
       return response;
@@ -441,14 +484,58 @@ util::Json SocketServer::handle(const util::Json& request) {
       return response;
     }
     if (verb == "slowlog") {
+      // Server-side filters: entries leave the ring already narrowed, so
+      // a client chasing one state/kernel over a fat slowlog doesn't
+      // ship (or parse) the rest.  `total` stays the unfiltered
+      // cumulative count — it is the conservation anchor.
+      std::string state_filter;
+      std::string kernel_filter;
+      double min_ms = 0.0;
+      if (const util::Json* s = request.find("state")) {
+        state_filter = s->as_string();
+      }
+      if (const util::Json* k = request.find("kernel")) {
+        kernel_filter = k->as_string();
+      }
+      if (const util::Json* m = request.find("min_ms")) {
+        min_ms = m->as_number();
+      }
       util::Json response = ok_response();
       response.set("slow_ms", options_.slow_ms);
       response.set("total", slowlog_.total_added());
       util::JsonArray entries;
       for (const TraceSpan& span : slowlog_.entries()) {
+        if (!state_filter.empty() && span.state != state_filter) {
+          continue;
+        }
+        if (!kernel_filter.empty() && span.kernel != kernel_filter) {
+          continue;
+        }
+        if (span.e2e_ms < min_ms) {
+          continue;
+        }
         entries.push_back(span_to_json(span));
       }
       response.set("entries", util::Json(std::move(entries)));
+      return response;
+    }
+    if (verb == "trace") {
+      // Draining consumes the rings: each event is exported exactly
+      // once, so periodic `trace` pulls tile the timeline instead of
+      // repeating it.  Spans are not consumed (the ring keeps its
+      // retention window); spans_total counts every terminal job ever.
+      const util::ProfilerSnapshot snapshot = util::Profiler::drain();
+      const std::vector<TraceSpan> spans = tracelog_.entries();
+      util::Json response = ok_response();
+      response.set("profiling", util::Profiler::enabled());
+      response.set("events", snapshot.events.size());
+      response.set("recorded", snapshot.recorded);
+      response.set("dropped", snapshot.dropped);
+      response.set("drained", snapshot.drained);
+      response.set("threads", snapshot.threads);
+      response.set("spans", spans.size());
+      response.set("spans_total", tracelog_.total_added());
+      response.set("trace", chrome_trace_json(snapshot, spans));
       return response;
     }
     if (verb == "drain") {

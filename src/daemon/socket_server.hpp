@@ -19,12 +19,22 @@
 //                                            uptime + build info, and the
 //                                            compact metrics snapshot
 //   metrics          {}                   -> {text} Prometheus exposition
-//   slowlog          {}                   -> {entries: [...]} slow spans
+//   slowlog          {state?, kernel?,    -> {entries: [...]} slow spans,
+//                     min_ms?}               filtered server-side
+//   trace            {}                   -> {trace: {...}} Chrome-trace
+//                                            JSON: drains the profiler
+//                                            rings and attaches every
+//                                            retained terminal span
 //   drain            {timeout_ms?}        -> {drained, ...} (stop
 //                                            admission, finish or time
 //                                            out in-flight work, report
 //                                            when safe to kill)
 //   shutdown         {}                   -> {} and the server exits
+//
+// Trace ids: a request carrying "trace_id" is handled with that id as
+// the thread's util::trace_context (so its log lines and profiler
+// events carry it), a submitted job inherits it unless the job set its
+// own, and the id is echoed on the response frame.
 //
 // A malformed or failing request answers ok=false on that frame; the
 // connection (and the daemon) stays up — clients must never be able to
@@ -90,6 +100,15 @@ struct SocketServerOptions {
   std::int64_t slow_ms = 0;
   /// Slowlog ring capacity (oldest evicted first).
   std::size_t slowlog_capacity = 128;
+  /// Enable the phase profiler at construction (`serve --profile`):
+  /// solves record begin/end events into the per-thread rings that the
+  /// `trace` verb drains.  Off, the instrumentation costs one relaxed
+  /// atomic load per scope; the `trace` verb still answers (spans only).
+  bool profile = false;
+  /// Trace ring capacity: terminal spans retained for the `trace`
+  /// verb's timeline export (EVERY terminal job lands here, unlike the
+  /// slowlog's threshold).
+  std::size_t tracelog_capacity = 2048;
 };
 
 class SocketServer {
@@ -123,6 +142,9 @@ class SocketServer {
   /// exposition (`metrics` verb, the snapshot embedded in `stats`).
   [[nodiscard]] util::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] SlowLog& slowlog() { return slowlog_; }
+  /// Every terminal span (the `trace` verb's parent slices), not just
+  /// the slow ones.
+  [[nodiscard]] SlowLog& tracelog() { return tracelog_; }
 
   /// Handles one already-parsed request and returns the response frame —
   /// the protocol's pure core, shared by the handler threads and direct
@@ -131,6 +153,9 @@ class SocketServer {
   [[nodiscard]] util::Json handle(const util::Json& request);
 
  private:
+  /// The verb dispatch behind handle(), which wraps it with the
+  /// request's trace context and echoes the id on the response.
+  [[nodiscard]] util::Json handle_verb(const util::Json& request);
   void handle_connection(util::UnixSocket connection);
   /// Registers the collect callback that refreshes the daemon gauges
   /// (queue depth, cache occupancy, pins, uptime) from live stats.
@@ -141,6 +166,7 @@ class SocketServer {
   /// resolve at construction outlive them on teardown.
   util::MetricsRegistry metrics_;
   SlowLog slowlog_;
+  SlowLog tracelog_;
   SocketServerOptions options_;
   std::chrono::steady_clock::time_point started_;
   std::int64_t started_unix_ms_ = 0;

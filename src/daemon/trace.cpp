@@ -8,6 +8,9 @@ util::Json span_to_json(const TraceSpan& span) {
   util::Json doc{util::JsonObject{}};
   doc.set("ticket", static_cast<std::int64_t>(span.ticket));
   doc.set("job_id", span.job_id);
+  if (!span.trace_id.empty()) {
+    doc.set("trace_id", span.trace_id);
+  }
   doc.set("state", span.state);
   doc.set("objective", span.objective);
   doc.set("kernel", span.kernel);

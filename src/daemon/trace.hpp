@@ -29,6 +29,7 @@ namespace elpc::daemon {
 struct TraceSpan {
   std::uint64_t ticket = 0;
   std::string job_id;
+  std::string trace_id;     // client-stamped correlation id ("" = none)
   std::string state;        // terminal state name: done/failed/cancelled/...
   std::string objective;    // wire name: "delay" / "framerate"
   std::string kernel;       // resolved frame-rate kernel, or "none"
@@ -40,6 +41,11 @@ struct TraceSpan {
   std::uint64_t columns_total = 0;   // columns considered by the checkpoint
   std::uint64_t columns_reused = 0;  // replayed instead of recomputed
   std::int64_t completed_unix_ms = 0;  // wall clock at terminal
+  // Terminal instant on util::monotonic_ns()'s clock — the profiler's
+  // time base.  Lets the Chrome-trace exporter place the span as a
+  // complete slice ending here and spanning e2e_ms, on the same axis as
+  // the phase events it parents.
+  std::uint64_t end_mono_ns = 0;
 };
 
 [[nodiscard]] util::Json span_to_json(const TraceSpan& span);

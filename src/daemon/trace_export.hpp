@@ -1,0 +1,45 @@
+#pragma once
+// Chrome-trace export: turns one Profiler drain plus the daemon's
+// terminal spans into a trace-event JSON document loadable by Perfetto
+// (ui.perfetto.dev) and chrome://tracing.
+//
+// Mapping:
+//  * profiler begin/end events become ph "B"/"E" duration pairs on
+//    pid 1 / tid = the recording thread's util::thread_ordinal(), with
+//    ts in microseconds on util::monotonic_ns()'s axis and the trace id
+//    and phase arg under "args";
+//  * each TraceSpan becomes one ph "X" complete slice of e2e_ms ending
+//    at its end_mono_ns, on a per-ticket virtual tid (1000000 + ticket)
+//    — spans overlap freely across tickets, so giving each its own row
+//    sidesteps B/E nesting rules while keeping them on the shared time
+//    axis, visually parenting the phase events they caused.
+//
+// Only matched B/E pairs are exported: a ring wrap can evict a begin
+// whose end survives (or vice versa), and an unmatched half would break
+// every viewer's stack.  Pairing happens per tid in recording order;
+// whatever cannot pair is silently dropped from the export (the
+// snapshot's dropped counter already accounts for ring evictions).
+
+#include <span>
+#include <string>
+
+#include "daemon/trace.hpp"
+#include "util/json.hpp"
+#include "util/profiler.hpp"
+
+namespace elpc::daemon {
+
+/// Builds the trace document: {"traceEvents": [...], "displayTimeUnit":
+/// "ms", "elpc": {accounting}}.  Events are sorted by timestamp.
+[[nodiscard]] util::Json chrome_trace_json(const util::ProfilerSnapshot& snapshot,
+                                           std::span<const TraceSpan> spans);
+
+/// Structural validator (also the CI gate): every event has ph/name/
+/// ts/pid/tid of the right types; per tid, timestamps never decrease in
+/// array order and "B"/"E" events form a properly nested stack with
+/// matching names; "X" events carry a non-negative dur.  On failure
+/// returns false and, when `error` is non-null, says what broke.
+[[nodiscard]] bool validate_chrome_trace(const util::Json& doc,
+                                         std::string* error = nullptr);
+
+}  // namespace elpc::daemon

@@ -11,6 +11,7 @@
 #include "core/kernels/framerate_kernel.hpp"
 #include "daemon/client.hpp"
 #include "daemon/socket_server.hpp"
+#include "daemon/trace_export.hpp"
 #include "experiments/registry.hpp"
 #include "experiments/report.hpp"
 #include "experiments/runner.hpp"
@@ -39,10 +40,15 @@ const char* kUsage =
     "  elpc map --in scenario.json --algorithm ELPC --objective framerate\n"
     "  elpc batch --jobs jobs.json --out results.json --threads 4\n"
     "  elpc serve --socket /tmp/elpc.sock --threads 4 --incremental "
-    "--lease-ms 60000 --slow-ms 50\n"
+    "--lease-ms 60000 --slow-ms 50 --profile\n"
     "  elpc client <load|poll|wait|cancel|update|stats|metrics|slowlog|"
-    "top|pause|resume|drain|shutdown> --socket /tmp/elpc.sock [options]\n"
+    "trace|top|pause|resume|drain|shutdown> --socket /tmp/elpc.sock "
+    "[options]\n"
     "  elpc client top --socket /tmp/elpc.sock --interval-ms 1000\n"
+    "  elpc client trace --socket /tmp/elpc.sock --out trace.json  "
+    "# Chrome/Perfetto timeline\n"
+    "  elpc client slowlog --socket /tmp/elpc.sock --state timed_out "
+    "--min-ms 100\n"
     "  elpc fuzz --seed 7 --rounds 20 --incremental --out parity.json\n"
     "  elpc simulate --in scenario.json --frames 200\n"
     "  elpc suite\n"
@@ -239,6 +245,14 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
                  "via `client slowlog` (0 = off)");
   parser.add_int("slowlog-capacity", 128,
                  "slowlog ring size; oldest entries are evicted first");
+  parser.add_flag("profile",
+                  "enable the phase profiler: solves record begin/end "
+                  "events into per-thread rings, exported as a Chrome "
+                  "trace via `client trace` (off: ~one atomic load per "
+                  "phase)");
+  parser.add_int("tracelog-capacity", 2048,
+                 "terminal spans retained for the trace timeline; oldest "
+                 "evicted first");
   parser.parse(args);
   if (parser.get_string("socket").empty()) {
     throw std::invalid_argument("elpc serve: --socket is required");
@@ -246,7 +260,8 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   if (parser.get_int("session-cache-bytes") < 0 ||
       parser.get_int("threads") < 0 || parser.get_int("max-batch") < 0 ||
       parser.get_int("lease-ms") < 0 || parser.get_int("lease-grace-ms") < 0 ||
-      parser.get_int("slow-ms") < 0 || parser.get_int("slowlog-capacity") < 0) {
+      parser.get_int("slow-ms") < 0 || parser.get_int("slowlog-capacity") < 0 ||
+      parser.get_int("tracelog-capacity") < 0) {
     throw std::invalid_argument("elpc serve: options must be >= 0");
   }
 
@@ -265,6 +280,9 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   options.slow_ms = parser.get_int("slow-ms");
   options.slowlog_capacity =
       static_cast<std::size_t>(parser.get_int("slowlog-capacity"));
+  options.profile = parser.flag("profile");
+  options.tracelog_capacity =
+      static_cast<std::size_t>(parser.get_int("tracelog-capacity"));
   options.factory = engine_mapper_factory();
   daemon::SocketServer server(parser.get_string("socket"), options);
   out << "elpc daemon listening on " << server.socket_path() << " (kernel "
@@ -294,7 +312,7 @@ int run_client_top(daemon::DaemonClient& client, std::int64_t interval_ms,
     return (value != nullptr && value->is_number()) ? value->as_number() : 0.0;
   };
   out << "   uptime   jobs/s  queued running  e2e p50/p99 ms  "
-         "queue p50/p99 ms  inc-hit%  pinned-MB\n";
+         "queue p50/p99 ms  stale p50/p99 ms  inc-hit%  pinned-MB\n";
   double prev_terminal = -1.0;
   double prev_uptime_ms = 0.0;
   for (std::int64_t tick = 0;; ++tick) {
@@ -307,6 +325,7 @@ int run_client_top(daemon::DaemonClient& client, std::int64_t interval_ms,
       rate = (terminal - prev_terminal) * 1000.0 / (uptime_ms - prev_uptime_ms);
     }
     double e2e_p50 = 0.0, e2e_p99 = 0.0, queue_p50 = 0.0, queue_p99 = 0.0;
+    double stale_p50 = 0.0, stale_p99 = 0.0;
     if (const util::Json* metrics = stats.find("metrics")) {
       if (const util::Json* histograms = metrics->find("histograms")) {
         if (const util::Json* e2e = histograms->find("elpc_e2e_ms")) {
@@ -317,18 +336,28 @@ int run_client_top(daemon::DaemonClient& client, std::int64_t interval_ms,
           queue_p50 = num(*queue, "p50_ms");
           queue_p99 = num(*queue, "p99_ms");
         }
+        // Incremental re-solve staleness: how long results citing a
+        // superseded revision stayed current after the delta landed.
+        // All zeros until the daemon serves delta-driven re-solves.
+        if (const util::Json* stale =
+                histograms->find("elpc_resolve_staleness_ms")) {
+          stale_p50 = num(*stale, "p50_ms");
+          stale_p99 = num(*stale, "p99_ms");
+        }
       }
     }
     const double hits = num(stats, "incremental_hits");
     const double misses = num(stats, "incremental_misses");
     const double hit_pct =
         (hits + misses > 0.0) ? 100.0 * hits / (hits + misses) : 0.0;
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof(line),
-                  "%8.1fs %8.1f %7.0f %7.0f %7.2f/%-8.2f %8.2f/%-8.2f %8.1f %10.3f\n",
+                  "%8.1fs %8.1f %7.0f %7.0f %7.2f/%-8.2f %8.2f/%-8.2f "
+                  "%8.2f/%-8.2f %8.1f %10.3f\n",
                   uptime_ms / 1000.0, rate, num(stats, "queued"),
                   num(stats, "running"), e2e_p50, e2e_p99, queue_p50, queue_p99,
-                  hit_pct, num(stats, "pinned_bytes") / (1024.0 * 1024.0));
+                  stale_p50, stale_p99, hit_pct,
+                  num(stats, "pinned_bytes") / (1024.0 * 1024.0));
     out << line << std::flush;
     prev_terminal = terminal;
     prev_uptime_ms = uptime_ms;
@@ -348,7 +377,7 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   if (args.empty()) {
     throw std::invalid_argument(
         "elpc client: missing verb (load|poll|wait|cancel|update|stats|"
-        "metrics|slowlog|top|pause|resume|drain|shutdown)");
+        "metrics|slowlog|trace|top|pause|resume|drain|shutdown)");
   }
   const std::string verb = args.front();
   util::ArgParser parser("elpc client " + verb);
@@ -371,6 +400,17 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_string("updates", "", "update: JSON file with link deltas");
   parser.add_int("timeout-ms", 10000,
                  "drain: budget for in-flight work (<= 0 waits forever)");
+  parser.add_string("out", "",
+                    "trace: write the Chrome-trace JSON here (default: "
+                    "stdout; load into ui.perfetto.dev)");
+  parser.add_string("state", "",
+                    "slowlog: keep spans in this terminal state only "
+                    "(done|failed|cancelled|timed_out)");
+  parser.add_string("filter-kernel", "",
+                    "slowlog: keep spans served by this kernel only");
+  parser.add_double("min-ms", 0.0,
+                    "slowlog: keep spans with e2e_ms >= this");
+  parser.add_flag("json", "slowlog: full JSON dump instead of the table");
   parser.add_int("interval-ms", 1000, "top: refresh period");
   parser.add_int("iterations", 0,
                  "top: stop after this many refreshes (0 = run forever)");
@@ -489,7 +529,68 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
     return 0;
   }
   if (verb == "slowlog") {
-    out << client.slowlog().dump(2) << "\n";
+    daemon::DaemonClient::SlowlogFilter filter;
+    filter.state = parser.get_string("state");
+    filter.kernel = parser.get_string("filter-kernel");
+    filter.min_ms = parser.get_double("min-ms");
+    const util::Json response = client.slowlog(filter);
+    if (parser.flag("json")) {
+      out << response.dump(2) << "\n";
+      return 0;
+    }
+    const auto num = [](const util::Json& obj, const char* key) -> double {
+      const util::Json* value = obj.find(key);
+      return (value != nullptr && value->is_number()) ? value->as_number()
+                                                      : 0.0;
+    };
+    const util::JsonArray& entries = response.at("entries").as_array();
+    out << "slowlog: threshold " << response.at("slow_ms").as_int()
+        << " ms, " << entries.size() << " span(s) shown, "
+        << response.at("total").as_int() << " ever logged\n";
+    for (const util::Json& span : entries) {
+      char line[320];
+      std::snprintf(
+          line, sizeof(line),
+          "  ticket %-6lld %-9s e2e %9.2fms queue %9.2fms solve %9.2fms "
+          "%-7s %s%s%s\n",
+          static_cast<long long>(span.at("ticket").as_int()),
+          span.at("state").as_string().c_str(), num(span, "e2e_ms"),
+          num(span, "queue_wait_ms"), num(span, "solve_ms"),
+          span.at("kernel").as_string().c_str(),
+          span.at("job_id").as_string().c_str(),
+          span.contains("trace_id") ? " trace=" : "",
+          span.contains("trace_id") ? span.at("trace_id").as_string().c_str()
+                                    : "");
+      out << line;
+    }
+    return 0;
+  }
+  if (verb == "trace") {
+    const util::Json response = client.trace();
+    const util::Json& trace = response.at("trace");
+    // Validate before anything touches disk: a malformed document here
+    // is a daemon bug, and CI greps the "trace ok" line below.
+    std::string error;
+    if (!daemon::validate_chrome_trace(trace, &error)) {
+      throw std::runtime_error(
+          "elpc client trace: daemon returned an invalid trace document: " +
+          error);
+    }
+    const std::string doc = trace.dump(2) + "\n";
+    if (parser.get_string("out").empty()) {
+      out << doc;
+      return 0;
+    }
+    util::write_text_file(parser.get_string("out"), doc);
+    const auto count = [&response](const char* key) -> std::int64_t {
+      const util::Json* value = response.find(key);
+      return (value != nullptr && value->is_number()) ? value->as_int() : 0;
+    };
+    out << "trace ok: " << count("events") << " events, " << count("spans")
+        << " spans -> " << parser.get_string("out") << " (recorded "
+        << count("recorded") << ", dropped " << count("dropped")
+        << ", profiling "
+        << (response.at("profiling").as_bool() ? "on" : "off") << ")\n";
     return 0;
   }
   if (verb == "top") {

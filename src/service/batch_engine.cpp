@@ -8,7 +8,9 @@
 
 #include "core/elpc.hpp"
 #include "util/fault_injector.hpp"
+#include "util/profiler.hpp"
 #include "util/timer.hpp"
+#include "util/trace_context.hpp"
 
 namespace elpc::service {
 
@@ -378,6 +380,9 @@ std::vector<SolveResult> BatchEngine::run_sharded(
   for (std::size_t s = 0; s < shards; ++s) {
     group.submit([this, s, shards, jobs, snapshots, bindings, &cancelled,
                   staleness_epoch, &results]() {
+      // One timeline slice per shard: everything the worker does for its
+      // job range (arena acquire, each solve) nests under it.
+      const util::ProfileScope dispatch_phase("dispatch", "engine", s);
       // One arena per live shard; leases recycle through the pool, so
       // the engine never holds more arenas than its peak shard count.
       const core::ArenaPool::Lease lease = arenas_.acquire();
@@ -449,6 +454,12 @@ void BatchEngine::solve_one(
   // snapshot pinned, before any abort probe can fire — exactly the hung
   // solve the lease machinery exists to survive.
   (void)util::FaultInjector::instance().maybe_stall("engine_stall");
+  // The job's trace id scopes the whole solve: every log line and every
+  // profiler event (here through the DP kernels) carries it until the
+  // scope unwinds, and the daemon's span for this ticket cites the same
+  // id — one key to join wire, log, and timeline views.
+  const util::ScopedTraceContext trace_scope(job.trace_id);
+  const util::ProfileScope solve_phase("solve", "engine");
   out.job_id = job.id;
   out.network = job.network;
   out.algorithm = job.algorithm;

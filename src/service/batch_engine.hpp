@@ -89,6 +89,13 @@ struct SolveJob {
   /// reports error = kTimedOutError.  The daemon's JobManager starts the
   /// stricter clock at submission, so queue wait counts there too.
   std::int64_t deadline_ms = 0;
+  /// Client-stamped request correlation id (optional, never semantic):
+  /// the engine installs it as the util::trace_context for the solve, so
+  /// profiler events and log lines it causes carry the id, and the
+  /// daemon echoes it in responses and the ticket's TraceSpan.  It never
+  /// enters the canonical result serialization — answers stay
+  /// byte-identical with or without it.
+  std::string trace_id;
 };
 
 /// One job's outcome plus serving metadata.

@@ -38,6 +38,9 @@ util::Json to_json(const SolveJob& job) {
   if (job.deadline_ms > 0) {
     doc.set("deadline_ms", job.deadline_ms);
   }
+  if (!job.trace_id.empty()) {
+    doc.set("trace_id", job.trace_id);
+  }
   return doc;
 }
 
@@ -78,6 +81,9 @@ SolveJob job_from_json(const util::Json& doc) {
                                   "': deadline_ms must be >= 0");
     }
     job.deadline_ms = ms;
+  }
+  if (const util::Json* trace = doc.find("trace_id")) {
+    job.trace_id = trace->as_string();
   }
   return job;
 }

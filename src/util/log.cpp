@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "util/trace_context.hpp"
+
 namespace elpc::util {
 
 namespace {
@@ -28,14 +30,6 @@ std::mutex g_mutex;
 const std::chrono::steady_clock::time_point g_start =
     std::chrono::steady_clock::now();
 
-/// Small dense thread ids ([T01], [T02], ...) in first-log order: readable
-/// where std::thread::id's opaque value is not.
-unsigned thread_ordinal() {
-  static std::atomic<unsigned> next{0};
-  thread_local const unsigned ordinal = next.fetch_add(1) + 1;
-  return ordinal;
-}
-
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -48,6 +42,12 @@ const char* level_name(LogLevel level) {
 }
 
 }  // namespace
+
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal = next.fetch_add(1) + 1;
+  return ordinal;
+}
 
 bool parse_log_level(const std::string& name, LogLevel& out) {
   std::string lower = name;
@@ -76,9 +76,15 @@ void log_line(LogLevel level, const std::string& message) {
           std::chrono::steady_clock::now() - g_start)
           .count();
   const unsigned tid = thread_ordinal();
+  const std::string& trace = trace_context();
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%10.3f] [T%02u] [%s] %s\n", elapsed_ms, tid,
-               level_name(level), message.c_str());
+  if (trace.empty()) {
+    std::fprintf(stderr, "[%10.3f] [T%02u] [%s] %s\n", elapsed_ms, tid,
+                 level_name(level), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%10.3f] [T%02u] [%s] [trace=%s] %s\n", elapsed_ms,
+                 tid, level_name(level), trace.c_str(), message.c_str());
+  }
 }
 
 }  // namespace elpc::util

@@ -22,10 +22,17 @@ void set_log_level(LogLevel level);
 [[nodiscard]] bool parse_log_level(const std::string& name, LogLevel& out);
 
 /// Emits one line to stderr (thread-safe), prefixed with the monotonic
-/// milliseconds since process start, a compact per-thread id, and the
-/// level — `[   12.345] [T03] [INFO] ...` — so daemon and chaos logs can
-/// be correlated with trace spans and metrics timestamps.
+/// milliseconds since process start, a compact per-thread id, the level,
+/// and — when the calling thread has a util::trace_context — the trace
+/// id: `[   12.345] [T03] [INFO] [trace=c81-4] ...`.  The shared prefix
+/// is what correlates daemon logs with trace spans, profiler timelines,
+/// and metrics timestamps.
 void log_line(LogLevel level, const std::string& message);
+
+/// Small dense per-thread ordinal in first-use order (1, 2, ...): the
+/// `[T03]` of the log prefix and the `tid` of profiler events, readable
+/// where std::thread::id's opaque value is not.
+[[nodiscard]] unsigned thread_ordinal();
 
 namespace detail {
 

@@ -19,6 +19,10 @@
 //   * latency sanity: queue-wait p99 is bounded by the daemon's own
 //     uptime (a wilder value means clock or bucket math broke);
 //   * the `metrics` verb still serves the expected families;
+//   * with --profile (against a daemon serving with --profile): the
+//     `trace` verb exports a structurally valid Chrome trace, profiler
+//     ring accounting stays conservative, and the tracelog retains one
+//     span per terminal ticket;
 //   * a final drain reports the daemon safe to kill.
 //
 // Prints one greppable line — "CHAOS SUMMARY ok=<0|1> ..." — and exits
@@ -41,6 +45,7 @@
 #include <vector>
 
 #include "daemon/client.hpp"
+#include "daemon/trace_export.hpp"
 #include "graph/generators.hpp"
 #include "graph/network.hpp"
 #include "pipeline/generator.hpp"
@@ -284,6 +289,12 @@ int main(int argc, char** argv) {
   parser.add_int("seed", 7, "base seed for the chaos streams");
   parser.add_int("settle-s", 60,
                  "budget for tickets/pins to reach steady state");
+  parser.add_flag("profile",
+                  "assert the trace/profiler invariants too (the daemon "
+                  "must be serving with --profile): the trace verb "
+                  "answers a valid Chrome trace, ring accounting stays "
+                  "conservative, and the tracelog holds one span per "
+                  "terminal ticket");
 
   std::vector<std::string> violations;
   const auto violate = [&violations](std::string what) {
@@ -457,12 +468,55 @@ int main(int argc, char** argv) {
               " terminal=" + std::to_string(stats.terminal()));
     }
 
+    // --- Trace/profiler invariants (only meaningful against a daemon
+    // serving with --profile): the storm's solves recorded phase events,
+    // the export is structurally valid, ring accounting never counts an
+    // event both drained and dropped, and the always-on tracelog holds
+    // exactly one span per terminal ticket — the mark_terminal funnel's
+    // conservation, now visible on the wire.
+    std::int64_t trace_recorded = 0;
+    std::int64_t trace_spans_total = 0;
+    if (parser.flag("profile")) {
+      try {
+        const util::Json trace = client.trace();
+        std::string error;
+        if (!daemon::validate_chrome_trace(trace.at("trace"), &error)) {
+          violate("chrome trace export invalid: " + error);
+        }
+        if (!trace.at("profiling").as_bool()) {
+          violate("daemon is not profiling (serve needs --profile)");
+        }
+        trace_recorded = trace.at("recorded").as_int();
+        trace_spans_total = trace.at("spans_total").as_int();
+        const std::int64_t dropped = trace.at("dropped").as_int();
+        const std::int64_t drained = trace.at("drained").as_int();
+        if (trace_recorded == 0) {
+          violate("profiler recorded no events across the storm");
+        }
+        if (drained + dropped > trace_recorded) {
+          violate("profiler ring accounting broke: recorded=" +
+                  std::to_string(trace_recorded) +
+                  " drained=" + std::to_string(drained) +
+                  " dropped=" + std::to_string(dropped));
+        }
+        if (trace_spans_total != stats.terminal()) {
+          violate("tracelog span conservation broke: spans_total=" +
+                  std::to_string(trace_spans_total) +
+                  " terminal=" + std::to_string(stats.terminal()));
+        }
+      } catch (const std::exception& e) {
+        violate(std::string("trace verb failed after the storm: ") +
+                e.what());
+      }
+    }
+
     const bool ok = violations.empty();
     std::printf(
         "CHAOS SUMMARY ok=%d submitted=%lld done=%lld failed=%lld "
         "cancelled=%lld timed_out=%lld queued=%lld running=%lld "
         "pinned=%lld subscriptions=%lld lease_expirations=%lld "
         "e2e_spans=%lld queue_spans=%lld queue_p99_ms=%.3f "
+        "trace_recorded=%lld trace_spans_total=%lld "
         "tickets_verified=%llu client_errors=%llu violations=%zu\n",
         ok ? 1 : 0, static_cast<long long>(stats.submitted),
         static_cast<long long>(stats.done),
@@ -476,6 +530,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(stats.lease_expirations),
         static_cast<long long>(stats.e2e_spans),
         static_cast<long long>(stats.queue_spans), stats.queue_p99_ms,
+        static_cast<long long>(trace_recorded),
+        static_cast<long long>(trace_spans_total),
         static_cast<unsigned long long>(verified),
         static_cast<unsigned long long>(counters.client_errors.load()),
         violations.size());
