@@ -23,10 +23,40 @@ util::Json verb_frame(const std::string& verb) {
 
 DaemonClient::DaemonClient(const std::string& socket_path,
                            DaemonClientOptions options)
-    : options_(options),
-      socket_path_(socket_path),
-      socket_(util::UnixSocket::connect(socket_path)),
-      rng_(std::random_device{}()) {}
+    : DaemonClient(DaemonEndpoint::unix_path_at(socket_path),
+                   std::move(options)) {}
+
+DaemonClient::DaemonClient(const DaemonEndpoint& endpoint,
+                           DaemonClientOptions options)
+    : options_(std::move(options)),
+      endpoint_(endpoint),
+      rng_(std::random_device{}()) {
+  connect_socket();
+}
+
+void DaemonClient::connect_socket() {
+  socket_ = endpoint_.is_tcp()
+                ? util::StreamSocket::connect_tcp(endpoint_.tcp_host,
+                                                  endpoint_.tcp_port)
+                : util::StreamSocket::connect(endpoint_.unix_path);
+  if (options_.auth_token.empty()) {
+    return;
+  }
+  // Auth is per-connection server state: present the token before
+  // anything else rides this socket.  A rejected token is a definitive
+  // server answer (DaemonError), never retried.
+  util::Json frame = verb_frame("auth");
+  frame.set("token", options_.auth_token);
+  socket_.send_line(frame.dump());
+  const std::optional<std::string> line = socket_.recv_line();
+  if (!line.has_value()) {
+    throw util::SocketError("daemon closed the connection during auth");
+  }
+  const util::Json response = util::Json::parse(*line);
+  if (!response.at("ok").as_bool()) {
+    throw DaemonError(response.at("error").as_string());
+  }
+}
 
 util::Json DaemonClient::request(const util::Json& frame) {
   const std::string payload = frame.dump();
@@ -34,7 +64,7 @@ util::Json DaemonClient::request(const util::Json& frame) {
   for (;;) {
     try {
       if (!socket_.valid()) {
-        socket_ = util::UnixSocket::connect(socket_path_);
+        connect_socket();
       }
       socket_.send_line(payload);
       const std::optional<std::string> line = socket_.recv_line();

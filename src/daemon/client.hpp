@@ -53,6 +53,33 @@ struct DaemonClientOptions {
   /// timeline, and echoes it on the response.  Off = wire frames
   /// byte-identical to pre-trace clients.
   bool auto_trace = true;
+  /// Shared auth token (daemon `serve --auth-token`): when non-empty,
+  /// an `auth` frame is exchanged first thing after EVERY (re)connect —
+  /// auth is connection state server-side, so a transparent retry
+  /// reconnect must re-present the token or every retried request would
+  /// bounce with code "unauthenticated".
+  std::string auth_token;
+};
+
+/// Where the daemon listens: a Unix-domain path (default, and what the
+/// tests use) or a TCP host:port — the protocol is identical over both.
+struct DaemonEndpoint {
+  std::string unix_path;
+  std::string tcp_host;
+  int tcp_port = 0;
+
+  [[nodiscard]] bool is_tcp() const { return unix_path.empty(); }
+  [[nodiscard]] static DaemonEndpoint unix_path_at(std::string path) {
+    DaemonEndpoint e;
+    e.unix_path = std::move(path);
+    return e;
+  }
+  [[nodiscard]] static DaemonEndpoint tcp_at(std::string host, int port) {
+    DaemonEndpoint e;
+    e.tcp_host = std::move(host);
+    e.tcp_port = port;
+    return e;
+  }
 };
 
 class DaemonClient {
@@ -60,6 +87,11 @@ class DaemonClient {
   /// Connects immediately; throws util::SocketError when no daemon
   /// listens at `socket_path`.
   explicit DaemonClient(const std::string& socket_path,
+                        DaemonClientOptions options = {});
+  /// Connects to a Unix-domain or TCP endpoint (with TCP_NODELAY);
+  /// throws util::SocketError when nothing listens there.  DaemonError
+  /// when auth_token is set and rejected — that is not retried.
+  explicit DaemonClient(const DaemonEndpoint& endpoint,
                         DaemonClientOptions options = {});
 
   /// Sends one frame and returns the response frame as-is (ok=false is
@@ -110,10 +142,13 @@ class DaemonClient {
   util::Json checked(util::Json frame);
   /// Next generated id: "c<pid>-<seq>".
   [[nodiscard]] std::string next_trace_id();
+  /// (Re)connects socket_ to endpoint_ and runs the auth handshake when
+  /// a token is configured.
+  void connect_socket();
 
   const DaemonClientOptions options_;
-  const std::string socket_path_;  // retries reconnect here
-  util::UnixSocket socket_;
+  const DaemonEndpoint endpoint_;  // retries reconnect here
+  util::StreamSocket socket_;
   std::mt19937 rng_;  // backoff jitter only — never affects results
   std::uint64_t trace_seq_ = 0;
 };

@@ -1,0 +1,520 @@
+#include "daemon/connection_mux.hpp"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace elpc::daemon {
+
+namespace {
+
+// Epoll tags below the first connection id.
+constexpr std::uint64_t kWakeTag = 0;
+constexpr std::uint64_t kUnixListenerTag = 1;
+constexpr std::uint64_t kTcpListenerTag = 2;
+
+/// Read budget per connection per wakeup: big enough to swallow a burst
+/// in one syscall batch, small enough that one fat connection cannot
+/// monopolize its worker's pass.
+constexpr std::size_t kRecvBudgetBytes = 256u << 10;
+
+}  // namespace
+
+void MuxConnection::send_line(const std::string& line) {
+  {
+    const std::lock_guard<std::mutex> lock(write_mutex_);
+    if (closed_ || closing_) {
+      return;  // the client is gone (or going); nothing to deliver to
+    }
+    write_buffer_.append(line);
+    write_buffer_.push_back('\n');
+    if (write_buffer_.size() > mux_->options_.max_write_queue_bytes) {
+      overflowed_ = true;
+      close_reason_ = "write queue overflow (" +
+                      std::to_string(write_buffer_.size()) + " bytes > " +
+                      std::to_string(mux_->options_.max_write_queue_bytes) +
+                      " cap) — slow consumer";
+    }
+  }
+  mux_->mark_dirty(shared_from_this());
+}
+
+void MuxConnection::close_after_flush(const std::string& reason) {
+  {
+    const std::lock_guard<std::mutex> lock(write_mutex_);
+    if (closed_ || closing_) {
+      return;
+    }
+    closing_ = true;
+    close_reason_ = reason;
+  }
+  mux_->mark_dirty(shared_from_this());
+}
+
+ConnectionMux::ConnectionMux(MuxOptions options, MuxCallbacks callbacks)
+    : options_(std::move(options)), callbacks_(std::move(callbacks)) {
+  const std::size_t workers = std::max<std::size_t>(1, options_.io_workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->poller.add(worker->wake.fd(), util::Poller::kReadable, kWakeTag);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+ConnectionMux::~ConnectionMux() { stop(); }
+
+void ConnectionMux::add_listener(util::UnixListener* listener) {
+  unix_listener_ = listener;
+}
+
+void ConnectionMux::add_listener(util::TcpListener* listener) {
+  tcp_listener_ = listener;
+}
+
+void ConnectionMux::start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  // Worker 0 owns the listeners: accepts are serialized there, and the
+  // accepted sockets fan out round-robin.
+  if (unix_listener_ != nullptr) {
+    workers_[0]->poller.add(unix_listener_->fd(), util::Poller::kReadable,
+                            kUnixListenerTag);
+  }
+  if (tcp_listener_ != nullptr) {
+    workers_[0]->poller.add(tcp_listener_->fd(), util::Poller::kReadable,
+                            kTcpListenerTag);
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i]() { worker_loop(i); });
+  }
+}
+
+void ConnectionMux::stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller: the joins below may still be in progress on the
+    // first caller's thread; just don't join twice.
+    return;
+  }
+  for (const auto& worker : workers_) {
+    worker->wake.signal();
+  }
+  for (const auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+}
+
+std::size_t ConnectionMux::connection_count() const {
+  return live_unix_.load(std::memory_order_relaxed) +
+         live_tcp_.load(std::memory_order_relaxed);
+}
+
+std::size_t ConnectionMux::connection_count(
+    const std::string& transport) const {
+  return transport == "tcp" ? live_tcp_.load(std::memory_order_relaxed)
+                            : live_unix_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ConnectionMux::connections_total(
+    const std::string& transport) const {
+  return transport == "tcp" ? total_tcp_.load(std::memory_order_relaxed)
+                            : total_unix_.load(std::memory_order_relaxed);
+}
+
+void ConnectionMux::schedule_after(std::int64_t delay_ms,
+                                   std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(timer_mutex_);
+    Timer timer;
+    timer.due = Clock::now() +
+                std::chrono::milliseconds(std::max<std::int64_t>(0, delay_ms));
+    timer.fn = std::move(fn);
+    timers_.push_back(std::move(timer));
+  }
+  if (!workers_.empty()) {
+    workers_[0]->wake.signal();  // worker 0 recomputes its wait bound
+  }
+}
+
+int ConnectionMux::run_due_timers() {
+  std::vector<std::function<void()>> due;
+  int next_ms = -1;
+  {
+    const std::lock_guard<std::mutex> lock(timer_mutex_);
+    const Clock::time_point now = Clock::now();
+    std::vector<Timer> remaining;
+    remaining.reserve(timers_.size());
+    for (Timer& timer : timers_) {
+      if (timer.due <= now || stopping_.load(std::memory_order_relaxed)) {
+        due.push_back(std::move(timer.fn));
+      } else {
+        const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            timer.due - now)
+                            .count() +
+                        1;
+        if (next_ms < 0 || ms < next_ms) {
+          next_ms = static_cast<int>(std::min<std::int64_t>(
+              ms, std::numeric_limits<int>::max()));
+        }
+        remaining.push_back(std::move(timer));
+      }
+    }
+    timers_.swap(remaining);
+  }
+  for (const auto& fn : due) {
+    fn();
+  }
+  return next_ms;
+}
+
+void ConnectionMux::assign_connection(util::StreamSocket socket,
+                                      const std::string& transport) {
+  const std::size_t target =
+      next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  const std::uint64_t id =
+      next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<MuxConnection> conn(
+      new MuxConnection(this, target, id, transport, std::move(socket)));
+  if (transport == "tcp") {
+    total_tcp_.fetch_add(1, std::memory_order_relaxed);
+    live_tcp_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    total_unix_.fetch_add(1, std::memory_order_relaxed);
+    live_unix_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Worker& worker = *workers_[target];
+  {
+    const std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.incoming.push_back(std::move(conn));
+  }
+  worker.wake.signal();
+}
+
+void ConnectionMux::mark_dirty(const std::shared_ptr<MuxConnection>& conn) {
+  Worker& worker = *workers_[conn->worker_];
+  {
+    const std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.dirty.push_back(conn);
+  }
+  worker.wake.signal();
+}
+
+void ConnectionMux::adopt_incoming(Worker& worker) {
+  std::vector<std::shared_ptr<MuxConnection>> incoming;
+  std::vector<std::shared_ptr<MuxConnection>> dirty;
+  {
+    const std::lock_guard<std::mutex> lock(worker.mutex);
+    incoming.swap(worker.incoming);
+    dirty.swap(worker.dirty);
+  }
+  for (auto& conn : incoming) {
+    try {
+      conn->socket_.set_nonblocking(true);
+      worker.poller.add(conn->socket_.fd(), util::Poller::kReadable,
+                        conn->id_);
+    } catch (const util::SocketError& e) {
+      ELPC_LOG(util::LogLevel::kWarn)
+          << "mux: dropping fresh connection: " << e.what();
+      // Was counted live at assign time; keep the books straight.
+      {
+        const std::lock_guard<std::mutex> lock(conn->write_mutex_);
+        conn->closed_ = true;
+      }
+      auto& live = conn->transport_ == "tcp" ? live_tcp_ : live_unix_;
+      live.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    worker.conns.emplace(conn->id_, std::move(conn));
+  }
+  for (const auto& conn : dirty) {
+    // A dirty entry may trail the connection's close; flush_writes
+    // no-ops on closed connections.
+    flush_writes(worker, conn);
+  }
+}
+
+void ConnectionMux::flush_writes(Worker& worker,
+                                 const std::shared_ptr<MuxConnection>& conn) {
+  enum class Action { kNone, kClose } action = Action::kNone;
+  std::string reason;
+  bool want_epollout = false;
+  {
+    const std::lock_guard<std::mutex> lock(conn->write_mutex_);
+    if (conn->closed_) {
+      return;
+    }
+    if (conn->overflowed_) {
+      // The slow consumer already owes us more memory than the cap;
+      // there is no point (and no room) in a goodbye frame.
+      action = Action::kClose;
+      reason = "backpressure";
+      ELPC_LOG(util::LogLevel::kWarn)
+          << "mux: disconnecting " << conn->transport_ << " conn "
+          << conn->id_ << ": " << conn->close_reason_;
+    } else {
+      switch (conn->socket_.send_pending(conn->write_buffer_)) {
+        case util::StreamSocket::IoStatus::kOk:
+          if (conn->closing_) {
+            action = Action::kClose;
+            reason = conn->close_reason_;
+          }
+          break;
+        case util::StreamSocket::IoStatus::kWouldBlock:
+          want_epollout = true;
+          break;
+        case util::StreamSocket::IoStatus::kEof:
+        case util::StreamSocket::IoStatus::kError:
+          action = Action::kClose;
+          reason = "error";
+          break;
+      }
+    }
+  }
+  if (action == Action::kClose) {
+    finish_close(worker, conn, reason);
+    return;
+  }
+  if (want_epollout != conn->epollout_armed_) {
+    conn->epollout_armed_ = want_epollout;
+    const std::uint32_t interest =
+        (conn->reading_paused_ ? 0 : util::Poller::kReadable) |
+        (want_epollout ? util::Poller::kWritable : 0);
+    try {
+      worker.poller.mod(conn->socket_.fd(), interest, conn->id_);
+    } catch (const util::SocketError&) {
+      finish_close(worker, conn, "error");
+    }
+  }
+}
+
+void ConnectionMux::finish_close(Worker& worker,
+                                 const std::shared_ptr<MuxConnection>& conn,
+                                 const std::string& reason) {
+  {
+    const std::lock_guard<std::mutex> lock(conn->write_mutex_);
+    if (conn->closed_) {
+      return;
+    }
+    conn->closed_ = true;
+  }
+  try {
+    worker.poller.del(conn->socket_.fd());
+  } catch (const util::SocketError&) {
+    // Already deregistered (or the fd died under us) — harmless here.
+  }
+  conn->socket_.close();
+  worker.conns.erase(conn->id_);
+  auto& live = conn->transport_ == "tcp" ? live_tcp_ : live_unix_;
+  live.fetch_sub(1, std::memory_order_relaxed);
+  if (callbacks_.on_disconnect) {
+    callbacks_.on_disconnect(conn, reason);
+  }
+}
+
+void ConnectionMux::process_frames(Worker& worker,
+                                   const std::shared_ptr<MuxConnection>& conn,
+                                   bool drain_all) {
+  conn->in_ready_ = false;
+  std::size_t handled = 0;
+  while (drain_all || handled < options_.max_frames_per_wake) {
+    const std::size_t newline = conn->read_buffer_.find('\n');
+    if (newline == std::string::npos) {
+      break;
+    }
+    std::string line = conn->read_buffer_.substr(0, newline);
+    conn->read_buffer_.erase(0, newline + 1);
+    if (callbacks_.on_frame) {
+      callbacks_.on_frame(conn, line);
+    }
+    ++handled;
+    {
+      const std::lock_guard<std::mutex> lock(conn->write_mutex_);
+      if (conn->closed_ || conn->closing_) {
+        return;  // the handler decided this connection is done
+      }
+    }
+  }
+  if (conn->read_buffer_.find('\n') != std::string::npos) {
+    // More complete frames buffered: rotate to the back of the ready
+    // ring instead of hogging this pass (round-robin fairness).
+    if (!conn->in_ready_) {
+      conn->in_ready_ = true;
+      worker.ready.push_back(conn->id_);
+    }
+    return;
+  }
+  if (conn->read_buffer_.size() > options_.max_line_bytes) {
+    // Same contract as the blocking server: one error frame (best
+    // effort), then close — an unterminated over-cap stream can never
+    // re-sync to a frame boundary.
+    const std::string diagnostic =
+        "frame exceeds " + std::to_string(options_.max_line_bytes) +
+        " bytes with no terminator (" +
+        std::to_string(conn->read_buffer_.size()) + " buffered)";
+    conn->read_buffer_.clear();
+    conn->reading_paused_ = true;
+    const std::uint32_t interest =
+        conn->epollout_armed_ ? util::Poller::kWritable : 0;
+    try {
+      worker.poller.mod(conn->socket_.fd(), interest, conn->id_);
+    } catch (const util::SocketError&) {
+      finish_close(worker, conn, "error");
+      return;
+    }
+    if (callbacks_.frame_error_line) {
+      conn->send_line(callbacks_.frame_error_line(diagnostic));
+    }
+    conn->close_after_flush("protocol");
+  }
+}
+
+void ConnectionMux::handle_readable(Worker& worker,
+                                    const std::shared_ptr<MuxConnection>& conn) {
+  if (conn->reading_paused_) {
+    return;
+  }
+  switch (conn->socket_.recv_available(conn->read_buffer_, kRecvBudgetBytes)) {
+    case util::StreamSocket::IoStatus::kOk:
+      process_frames(worker, conn, /*drain_all=*/false);
+      return;
+    case util::StreamSocket::IoStatus::kWouldBlock:
+      return;
+    case util::StreamSocket::IoStatus::kEof: {
+      // The client finished sending.  Whatever complete frames it
+      // pipelined before closing still get handled (and their responses
+      // flushed) — matching the blocking server, which drained its
+      // buffer before seeing EOF.  An unterminated tail is dropped
+      // silently, exactly like a peer dying between write() calls.
+      process_frames(worker, conn, /*drain_all=*/true);
+      conn->reading_paused_ = true;  // EOF stays readable level-triggered
+      bool closed;
+      {
+        const std::lock_guard<std::mutex> lock(conn->write_mutex_);
+        closed = conn->closed_;
+      }
+      if (closed) {
+        return;
+      }
+      const std::uint32_t interest =
+          conn->epollout_armed_ ? util::Poller::kWritable : 0;
+      try {
+        worker.poller.mod(conn->socket_.fd(), interest, conn->id_);
+      } catch (const util::SocketError&) {
+        finish_close(worker, conn, "error");
+        return;
+      }
+      conn->close_after_flush("eof");
+      return;
+    }
+    case util::StreamSocket::IoStatus::kError:
+      finish_close(worker, conn, "error");
+      return;
+  }
+}
+
+void ConnectionMux::worker_loop(std::size_t index) {
+  Worker& worker = *workers_[index];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int timeout_ms = worker.ready.empty() ? -1 : 0;
+    if (index == 0) {
+      const int timer_ms = run_due_timers();
+      if (timer_ms >= 0 && (timeout_ms < 0 || timer_ms < timeout_ms)) {
+        timeout_ms = timer_ms;
+      }
+    }
+    const std::vector<util::Poller::Event> events =
+        worker.poller.wait(timeout_ms);
+    if (stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    // Reset the wake BEFORE swapping the inboxes.  An inbox push
+    // happens-before its signal, so everything a consumed signal
+    // announced is visible to the swap below; a signal landing after
+    // this drain leaves the eventfd readable and the next wait returns
+    // immediately.  Draining inside the event loop (after the swap)
+    // loses exactly that wakeup: a push+signal racing between swap and
+    // drain is consumed with nothing left pending, and the worker
+    // parks in epoll_wait over a stranded connection or response.
+    worker.wake.drain();
+    adopt_incoming(worker);
+    for (const util::Poller::Event& event : events) {
+      if (event.tag == kWakeTag) {
+        continue;  // drained above
+      }
+      if (event.tag == kUnixListenerTag) {
+        while (auto socket = unix_listener_->try_accept()) {
+          assign_connection(std::move(*socket), "unix");
+        }
+        continue;
+      }
+      if (event.tag == kTcpListenerTag) {
+        while (auto socket = tcp_listener_->try_accept()) {
+          assign_connection(std::move(*socket), "tcp");
+        }
+        continue;
+      }
+      const auto it = worker.conns.find(event.tag);
+      if (it == worker.conns.end()) {
+        continue;  // closed earlier in this pass
+      }
+      const std::shared_ptr<MuxConnection> conn = it->second;
+      if ((event.events & util::Poller::kWritable) != 0) {
+        flush_writes(worker, conn);
+      }
+      if (worker.conns.find(event.tag) == worker.conns.end()) {
+        continue;  // the flush closed it
+      }
+      if ((event.events &
+           (util::Poller::kReadable | EPOLLHUP | EPOLLERR)) != 0) {
+        handle_readable(worker, conn);
+      }
+    }
+    // Fairness pass over connections with buffered frames: one quantum
+    // each, re-queued behind the others while more remain.
+    std::size_t pending = worker.ready.size();
+    while (pending-- > 0 && !worker.ready.empty()) {
+      const std::uint64_t id = worker.ready.front();
+      worker.ready.pop_front();
+      const auto it = worker.conns.find(id);
+      if (it == worker.conns.end()) {
+        continue;
+      }
+      process_frames(worker, it->second, /*drain_all=*/false);
+    }
+  }
+  // Shutdown: flush what can be flushed without waiting, then close
+  // every connection this worker still owns.  The flush matters for
+  // protocol correctness, not just politeness — the `shutdown` verb's
+  // own response (and any wait responses released by the manager
+  // stopping first) were queued moments before this and a client is
+  // blocking on them; dropping those bytes turns a clean shutdown into
+  // a client-side transport error.
+  adopt_incoming(worker);  // pick up writes queued since the last pass
+  std::vector<std::shared_ptr<MuxConnection>> remaining;
+  remaining.reserve(worker.conns.size());
+  for (const auto& [id, conn] : worker.conns) {
+    remaining.push_back(conn);
+  }
+  for (const auto& conn : remaining) {
+    {
+      const std::lock_guard<std::mutex> lock(conn->write_mutex_);
+      if (!conn->closed_ && !conn->write_buffer_.empty()) {
+        // One non-blocking attempt: small frames (the common case — a
+        // response or two) drain in full; a slow consumer's backlog is
+        // abandoned rather than blocking teardown.
+        (void)conn->socket_.send_pending(conn->write_buffer_);
+      }
+    }
+    finish_close(worker, conn, "shutdown");
+  }
+}
+
+}  // namespace elpc::daemon

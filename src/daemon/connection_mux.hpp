@@ -1,0 +1,257 @@
+#pragma once
+// ConnectionMux — the daemon's epoll front end: a small fixed pool of IO
+// workers multiplexing every client connection, replacing the old
+// thread-per-connection accept loop whose thread count grew with LIVE
+// clients (a thousand idle subscribers = a thousand parked threads).
+//
+// Shape:
+//   * Worker 0 owns the listeners (Unix-domain, optionally TCP) and the
+//     timer wheel; accepted connections are assigned round-robin across
+//     all workers.
+//   * Each worker owns an epoll set, an eventfd wake, and its
+//     connections' read side: non-blocking sockets, a per-connection
+//     read buffer that frames the existing line-delimited protocol
+//     (torn frames across wakeups just accumulate), and a fairness cap
+//     of max_frames_per_wake frames per connection per pass — a chatty
+//     pipeliner is rotated behind its neighbours, never ahead of them.
+//   * The write side is a per-connection buffer any thread may append
+//     to (send_line — completion callbacks land here from dispatcher
+//     threads); the owning worker flushes it, arming EPOLLOUT only
+//     while the kernel buffer is full.  A consumer that stops reading
+//     grows that buffer; at max_write_queue_bytes it is disconnected
+//     with a diagnostic ("backpressure") rather than allowed to pin
+//     daemon memory or stall the loop.
+//
+// The mux knows framing and flow control, nothing about verbs: the
+// owner supplies on_frame / on_disconnect callbacks and attaches its
+// per-connection protocol state via MuxConnection::user_state.
+// Lifetime: workers hold the only strong refs to connections; anything
+// asynchronous (a wait completion racing a disconnect) holds a
+// weak_ptr, so delivering into a dead connection degrades to a no-op.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/poller.hpp"
+#include "util/socket.hpp"
+
+namespace elpc::daemon {
+
+class ConnectionMux;
+
+/// One multiplexed client connection.  Created by the mux on accept;
+/// workers hold the strong references.  send_line / close_after_flush
+/// are safe from any thread at any time (after close they are no-ops).
+class MuxConnection : public std::enable_shared_from_this<MuxConnection> {
+ public:
+  /// Queues one response frame (newline appended) and wakes the owning
+  /// worker to flush it.  Dropped silently once the connection closed —
+  /// the client is gone, there is nowhere to report to.
+  void send_line(const std::string& line);
+
+  /// Flushes everything queued, then closes with `reason` (the
+  /// disconnect-counter label).  The polite goodbye after an error
+  /// frame the client should still receive.
+  void close_after_flush(const std::string& reason);
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  /// "unix" or "tcp" — the metrics label of the accepting listener.
+  [[nodiscard]] const std::string& transport() const noexcept {
+    return transport_;
+  }
+
+  /// Owner-attached per-connection protocol state (auth flag, quota
+  /// counters).  Touched only from on_frame — i.e. only by the owning
+  /// worker — so it needs no lock of its own here; share it into
+  /// completion callbacks explicitly if they must reach it.
+  std::shared_ptr<void> user_state;
+
+ private:
+  friend class ConnectionMux;
+
+  MuxConnection(ConnectionMux* mux, std::size_t worker, std::uint64_t id,
+                std::string transport, util::StreamSocket socket)
+      : mux_(mux),
+        worker_(worker),
+        id_(id),
+        transport_(std::move(transport)),
+        socket_(std::move(socket)) {}
+
+  ConnectionMux* mux_;
+  const std::size_t worker_;
+  const std::uint64_t id_;
+  const std::string transport_;
+
+  // ---- owning-worker-only state (no locks) ----
+  util::StreamSocket socket_;
+  std::string read_buffer_;
+  /// Set after a frame-cap violation: the stream cannot re-sync, so the
+  /// worker stops extracting (and polling for) input while the error
+  /// frame drains.
+  bool reading_paused_ = false;
+  bool epollout_armed_ = false;
+  bool in_ready_ = false;  // already queued on the fairness ring
+
+  // ---- cross-thread write state (guarded by write_mutex_) ----
+  std::mutex write_mutex_;
+  std::string write_buffer_;
+  bool closing_ = false;       // close_after_flush requested
+  std::string close_reason_;
+  bool overflowed_ = false;    // write_buffer_ crossed the cap
+  bool closed_ = false;        // fd gone; everything else is a no-op
+};
+
+struct MuxOptions {
+  /// IO worker threads — the daemon's steady-state thread bill for ANY
+  /// number of connections.  Two keeps accept latency isolated from a
+  /// worker busy parsing a fat frame; more rarely pays below tens of
+  /// thousands of active clients.
+  std::size_t io_workers = 2;
+  /// Per-connection pending-response cap; crossing it disconnects the
+  /// slow consumer (reason "backpressure").
+  std::size_t max_write_queue_bytes = 8ull << 20;
+  /// Per-connection unterminated-frame cap, mirroring
+  /// StreamSocket::kDefaultMaxLineBytes semantics.
+  std::size_t max_line_bytes = util::StreamSocket::kDefaultMaxLineBytes;
+  /// Fairness: complete frames handled per connection per pass before
+  /// the connection is rotated to the back of the ready ring.
+  std::size_t max_frames_per_wake = 16;
+};
+
+struct MuxCallbacks {
+  /// One complete frame (terminator stripped), on the owning worker.
+  std::function<void(const std::shared_ptr<MuxConnection>&,
+                     const std::string& line)>
+      on_frame;
+  /// Connection fully closed; `reason` is the disconnect label ("eof",
+  /// "error", "backpressure", "protocol", "shutdown", or whatever the
+  /// owner passed to close_after_flush).  On the owning worker.
+  std::function<void(const std::shared_ptr<MuxConnection>&,
+                     const std::string& reason)>
+      on_disconnect;
+  /// Builds the single error frame sent before a frame-cap disconnect
+  /// (the owner knows the wire error shape; the mux does not).  May be
+  /// null = close without a frame.
+  std::function<std::string(const std::string& diagnostic)> frame_error_line;
+};
+
+class ConnectionMux {
+ public:
+  ConnectionMux(MuxOptions options, MuxCallbacks callbacks);
+  ~ConnectionMux();
+
+  ConnectionMux(const ConnectionMux&) = delete;
+  ConnectionMux& operator=(const ConnectionMux&) = delete;
+
+  /// Listeners are borrowed and must outlive the mux; call before
+  /// start().  Either may be omitted (a TCP-only or Unix-only daemon).
+  void add_listener(util::UnixListener* listener);
+  void add_listener(util::TcpListener* listener);
+
+  void start();
+  /// Closes every connection (on_disconnect reason "shutdown"), joins
+  /// the workers.  Idempotent; the destructor calls it.
+  void stop();
+
+  /// Live connections, total and per transport label.
+  [[nodiscard]] std::size_t connection_count() const;
+  [[nodiscard]] std::size_t connection_count(
+      const std::string& transport) const;
+  /// Cumulative accepted connections per transport label.
+  [[nodiscard]] std::uint64_t connections_total(
+      const std::string& transport) const;
+
+  /// Runs `fn` on worker 0 after roughly delay_ms (the drain verb's
+  /// budget timer).  Fires promptly with the mux stopping, too — the
+  /// callback must tolerate a dead server by itself.
+  void schedule_after(std::int64_t delay_ms, std::function<void()> fn);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Worker {
+    util::Poller poller;
+    util::WakeFd wake;
+    std::thread thread;
+    /// Worker-only: id -> connection (the strong refs).
+    std::unordered_map<std::uint64_t, std::shared_ptr<MuxConnection>> conns;
+    /// Worker-only: ids with buffered complete frames awaiting a
+    /// fairness pass.
+    std::deque<std::uint64_t> ready;
+    /// Cross-thread inbox (guarded by mutex): freshly accepted
+    /// connections to adopt, and connections with new pending writes.
+    std::mutex mutex;
+    std::vector<std::shared_ptr<MuxConnection>> incoming;
+    std::vector<std::shared_ptr<MuxConnection>> dirty;
+  };
+
+  struct Timer {
+    Clock::time_point due;
+    std::function<void()> fn;
+  };
+
+  void worker_loop(std::size_t index);
+  void adopt_incoming(Worker& worker);
+  /// Reads whatever is available and processes frames; returns false if
+  /// the connection died.
+  void handle_readable(Worker& worker,
+                       const std::shared_ptr<MuxConnection>& conn);
+  /// Extracts up to max_frames_per_wake frames (all of them with
+  /// drain_all — the EOF path, where no later wakeup is coming);
+  /// re-queues the connection on the ready ring when more remain.
+  void process_frames(Worker& worker,
+                      const std::shared_ptr<MuxConnection>& conn,
+                      bool drain_all);
+  /// Flushes the write buffer; handles backpressure overflow, EPOLLOUT
+  /// arming, and deferred close-after-flush.
+  void flush_writes(Worker& worker,
+                    const std::shared_ptr<MuxConnection>& conn);
+  /// Tears the connection down (worker thread only): epoll dereg, fd
+  /// close, map erase, on_disconnect.
+  void finish_close(Worker& worker,
+                    const std::shared_ptr<MuxConnection>& conn,
+                    const std::string& reason);
+  /// Routes a freshly accepted socket to the next worker round-robin.
+  void assign_connection(util::StreamSocket socket,
+                         const std::string& transport);
+  /// Queues `conn` on its worker's dirty list and wakes the worker.
+  void mark_dirty(const std::shared_ptr<MuxConnection>& conn);
+  /// Runs due timers (worker 0) and returns the ms until the next one
+  /// (-1 = none pending).
+  int run_due_timers();
+
+  const MuxOptions options_;
+  const MuxCallbacks callbacks_;
+  util::UnixListener* unix_listener_ = nullptr;
+  util::TcpListener* tcp_listener_ = nullptr;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  /// Ids double as epoll tags; low values are reserved for the wake fd
+  /// and the listeners.
+  std::atomic<std::uint64_t> next_conn_id_{16};
+  std::atomic<std::size_t> next_worker_{0};
+
+  mutable std::mutex timer_mutex_;
+  std::vector<Timer> timers_;
+
+  std::atomic<std::size_t> live_unix_{0};
+  std::atomic<std::size_t> live_tcp_{0};
+  std::atomic<std::uint64_t> total_unix_{0};
+  std::atomic<std::uint64_t> total_tcp_{0};
+
+  friend class MuxConnection;
+};
+
+}  // namespace elpc::daemon

@@ -94,6 +94,16 @@ Ticket JobManager::submit(service::SolveJob job, int priority) {
   return ticket;
 }
 
+JobStatus JobManager::status_of(Ticket ticket, const Record& record) const {
+  JobStatus status;
+  status.ticket = ticket;
+  status.state = record.state;
+  status.priority = record.priority;
+  status.trace_id = record.job.trace_id;
+  status.result = record.result;
+  return status;
+}
+
 JobStatus JobManager::poll(Ticket ticket) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = records_.find(ticket);
@@ -101,13 +111,7 @@ JobStatus JobManager::poll(Ticket ticket) const {
     throw std::out_of_range("JobManager: unknown ticket " +
                             std::to_string(ticket));
   }
-  JobStatus status;
-  status.ticket = ticket;
-  status.state = it->second.state;
-  status.priority = it->second.priority;
-  status.trace_id = it->second.job.trace_id;
-  status.result = it->second.result;
-  return status;
+  return status_of(ticket, it->second);
 }
 
 JobStatus JobManager::wait(Ticket ticket) {
@@ -136,16 +140,53 @@ JobStatus JobManager::wait(Ticket ticket) {
         "JobManager: ticket " + std::to_string(ticket) +
         " completed but its record was evicted (max_retained_results)");
   }
-  JobStatus status;
-  status.ticket = ticket;
-  status.state = it->second.state;
-  status.priority = it->second.priority;
-  status.trace_id = it->second.job.trace_id;
-  status.result = it->second.result;
+  JobStatus status = status_of(ticket, it->second);
   // Released by stop() with the job still pending: tell the caller the
   // state will never advance, so retrying wait() is pointless.
   status.shutting_down = stopping_ && !status.terminal();
   return status;
+}
+
+void JobManager::wait_async(Ticket ticket,
+                            std::function<void(const JobStatus&)> callback) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(ticket);
+  if (it == records_.end()) {
+    throw std::out_of_range("JobManager: unknown ticket " +
+                            std::to_string(ticket));
+  }
+  JobStatus status = status_of(ticket, it->second);
+  if (status.terminal() || stopping_) {
+    status.shutting_down = stopping_ && !status.terminal();
+    callback(status);  // inline: nothing left to wait for
+    return;
+  }
+  waiters_[ticket].push_back(std::move(callback));
+}
+
+void JobManager::notify_when_idle(std::function<void()> callback) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if ((queue_.empty() && running_count_ == 0) || stopping_) {
+    callback();
+    return;
+  }
+  idle_watchers_.push_back(std::move(callback));
+}
+
+void JobManager::fire_idle_watchers_if_idle() {
+  if (idle_watchers_.empty()) {
+    return;
+  }
+  if (!(queue_.empty() && running_count_ == 0) && !stopping_) {
+    return;
+  }
+  // Steal the list first: a callback may re-register (a second drain
+  // request) and must land on the fresh list, not the one being walked.
+  std::vector<std::function<void()>> watchers;
+  watchers.swap(idle_watchers_);
+  for (const auto& watcher : watchers) {
+    watcher();
+  }
 }
 
 bool JobManager::cancel(Ticket ticket) {
@@ -162,6 +203,7 @@ bool JobManager::cancel(Ticket ticket) {
       record.result = unsolved_result(record.job, service::kCancelledError);
       record.cancel_requested = true;
       mark_terminal(ticket, record, JobState::kCancelled);
+      fire_idle_watchers_if_idle();
       done_cv_.notify_all();
       return true;
     case JobState::kRunning:
@@ -202,20 +244,19 @@ JobManagerStats JobManager::stats() const {
   return stats;
 }
 
-DrainReport JobManager::drain(std::int64_t timeout_ms) {
+JobManager::DrainBaseline JobManager::begin_drain(std::int64_t timeout_ms) {
   std::unique_lock<std::mutex> lock(mutex_);
   draining_ = true;
   // A paused manager would sit on its queue forever; draining means
   // "finish the work", so the gate lifts.
   paused_ = false;
   const bool bounded = timeout_ms > 0;
-  const Clock::time_point cutoff =
-      bounded ? Clock::now() + std::chrono::milliseconds(timeout_ms)
-              : Clock::time_point::max();
   if (bounded) {
     // The drain budget becomes a deadline on everything in flight or
     // still queued (tightening, never loosening, a job's own): when it
     // lapses, running solves abort per column and queued jobs expire.
+    const Clock::time_point cutoff =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
     for (auto& [ticket, record] : records_) {
       if (record.state != JobState::kQueued &&
           record.state != JobState::kRunning) {
@@ -227,11 +268,35 @@ DrainReport JobManager::drain(std::int64_t timeout_ms) {
       }
     }
   }
-  const std::uint64_t done_before = done_c_->value();
-  const std::uint64_t failed_before = failed_c_->value();
-  const std::uint64_t cancelled_before = cancelled_c_->value();
-  const std::uint64_t timed_out_before = timed_out_c_->value();
+  DrainBaseline baseline;
+  baseline.done = done_c_->value();
+  baseline.failed = failed_c_->value();
+  baseline.cancelled = cancelled_c_->value();
+  baseline.timed_out = timed_out_c_->value();
   dispatch_cv_.notify_all();
+  return baseline;
+}
+
+DrainReport JobManager::drain_progress(const DrainBaseline& baseline) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  DrainReport report;
+  report.queued = queue_.size();
+  report.running = running_count_;
+  report.drained = queue_.empty() && running_count_ == 0;
+  report.completed = (done_c_->value() - baseline.done) +
+                     (failed_c_->value() - baseline.failed) +
+                     (cancelled_c_->value() - baseline.cancelled);
+  report.timed_out = timed_out_c_->value() - baseline.timed_out;
+  return report;
+}
+
+DrainReport JobManager::drain(std::int64_t timeout_ms) {
+  const bool bounded = timeout_ms > 0;
+  const Clock::time_point cutoff =
+      bounded ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+              : Clock::time_point::max();
+  const DrainBaseline baseline = begin_drain(timeout_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
   const auto idle = [this]() {
     return (queue_.empty() && running_count_ == 0) || stopping_;
   };
@@ -244,15 +309,8 @@ DrainReport JobManager::drain(std::int64_t timeout_ms) {
   } else {
     done_cv_.wait(lock, idle);
   }
-  DrainReport report;
-  report.queued = queue_.size();
-  report.running = running_count_;
-  report.drained = queue_.empty() && running_count_ == 0;
-  report.completed = (done_c_->value() - done_before) +
-                     (failed_c_->value() - failed_before) +
-                     (cancelled_c_->value() - cancelled_before);
-  report.timed_out = timed_out_c_->value() - timed_out_before;
-  return report;
+  lock.unlock();
+  return drain_progress(baseline);
 }
 
 bool JobManager::draining() const {
@@ -267,6 +325,22 @@ void JobManager::stop() {
       return;
     }
     stopping_ = true;
+    // Async waiters get the same release a blocked wait() does: the
+    // current (possibly non-terminal) status with shutting_down set, so
+    // the front end can answer instead of leaking the callback.
+    for (auto& [ticket, callbacks] : waiters_) {
+      const auto it = records_.find(ticket);
+      if (it == records_.end()) {
+        continue;  // unreachable: terminal records fired at eviction time
+      }
+      JobStatus status = status_of(ticket, it->second);
+      status.shutting_down = !status.terminal();
+      for (const auto& callback : callbacks) {
+        callback(status);
+      }
+    }
+    waiters_.clear();
+    fire_idle_watchers_if_idle();  // stopping_ counts as released
     dispatch_cv_.notify_all();
     done_cv_.notify_all();
   }
@@ -377,6 +451,16 @@ void JobManager::mark_terminal(Ticket ticket, Record& record,
   if (options_.tracelog != nullptr) {
     options_.tracelog->add(span);  // every terminal span, fast or slow
   }
+  // Completion callbacks fire before the eviction sweep below could
+  // drop this (or any) record out from under a registered waiter.
+  const auto waiters = waiters_.find(ticket);
+  if (waiters != waiters_.end()) {
+    const JobStatus status = status_of(ticket, record);
+    for (const auto& callback : waiters->second) {
+      callback(status);
+    }
+    waiters_.erase(waiters);
+  }
   terminal_order_.push_back(ticket);
   if (options_.max_retained_results > 0) {
     while (terminal_order_.size() > options_.max_retained_results) {
@@ -428,6 +512,7 @@ void JobManager::dispatch_loop() {
         // a paused (or busy) dispatcher must not hold a deadline job in
         // limbo past its budget.
         if (expire_overdue_queued()) {
+          fire_idle_watchers_if_idle();
           done_cv_.notify_all();
         }
         if (!paused_ && !queue_.empty()) {
@@ -497,6 +582,7 @@ void JobManager::dispatch_loop() {
         }
         mark_terminal(batch[i], record, state);
       }
+      fire_idle_watchers_if_idle();
       done_cv_.notify_all();
     }
   }

@@ -48,6 +48,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <span>
@@ -188,6 +189,20 @@ class JobManager {
   /// Blocks until the job reaches a terminal state and returns it.
   JobStatus wait(Ticket ticket);
 
+  /// Non-parking wait: registers `callback` to run exactly once with the
+  /// job's terminal status — the epoll front end's replacement for a
+  /// handler thread blocked in wait().  Fires inline (from this call)
+  /// when the job is already terminal or the manager is stopping;
+  /// otherwise from whichever thread drives the terminal transition
+  /// (dispatcher, a cancel caller) or from stop(), with shutting_down
+  /// set when the state will never advance.  Callbacks run with the
+  /// manager mutex held: they must not call back into the JobManager
+  /// (send a frame, signal an event loop — nothing re-entrant).  Throws
+  /// std::out_of_range for a ticket that was never issued or whose
+  /// record was already evicted.
+  void wait_async(Ticket ticket,
+                  std::function<void(const JobStatus&)> callback);
+
   /// True when the request was accepted: a queued job is cancelled
   /// outright (terminal immediately); a running one is flagged, and the
   /// engine skips it if its shard has not yet passed the job boundary —
@@ -213,6 +228,32 @@ class JobManager {
   /// re-wait.  Does NOT stop the dispatcher — call stop() (or destroy
   /// the manager) once the report says drained.
   DrainReport drain(std::int64_t timeout_ms);
+
+  /// Counter snapshot taken when a drain started; drain_progress diffs
+  /// against it so the report covers only the drain window.
+  struct DrainBaseline {
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t timed_out = 0;
+  };
+
+  /// The non-blocking half of drain(): closes admission, lifts any
+  /// pause, imposes the budget deadline on everything in flight, and
+  /// returns immediately with the baseline.  Pair with notify_when_idle
+  /// (plus the caller's own timeout timer) and drain_progress — the
+  /// epoll front end's drain verb, which must not park an IO worker for
+  /// the whole budget.  Safe to call more than once.
+  [[nodiscard]] DrainBaseline begin_drain(std::int64_t timeout_ms);
+
+  /// The report drain() would return right now, relative to `baseline`.
+  [[nodiscard]] DrainReport drain_progress(const DrainBaseline& baseline)
+      const;
+
+  /// Runs `callback` once when the manager is idle (nothing queued,
+  /// nothing running) or stopping — inline when that already holds.
+  /// Same re-entrancy rule as wait_async: the mutex is held.
+  void notify_when_idle(std::function<void()> callback);
 
   /// True once drain() has closed admission.
   [[nodiscard]] bool draining() const;
@@ -262,8 +303,16 @@ class JobManager {
   /// terminal transition funnels through here — dispatcher results,
   /// queue-side cancels, queue expiry — so histogram sample totals equal
   /// terminal tickets by construction (the chaos driver's conservation
-  /// invariant).  Caller holds mutex_ and notifies done_cv_ afterwards.
+  /// invariant).  Also fires the ticket's wait_async callbacks (before
+  /// any eviction can drop the record).  Caller holds mutex_ and
+  /// notifies done_cv_ afterwards.
   void mark_terminal(Ticket ticket, Record& record, JobState state);
+  /// Builds the poll()-shaped status for a record.  Caller holds mutex_.
+  [[nodiscard]] JobStatus status_of(Ticket ticket,
+                                    const Record& record) const;
+  /// Fires and clears the idle watchers when idle-or-stopping holds.
+  /// Caller holds mutex_; call wherever done_cv_ gets notified.
+  void fire_idle_watchers_if_idle();
 
   service::BatchEngine* engine_;
   const JobManagerOptions options_;
@@ -282,6 +331,12 @@ class JobManager {
   std::condition_variable dispatch_cv_;  // queue non-empty / resume / stop
   std::condition_variable done_cv_;      // any job reached terminal state
   std::map<Ticket, Record> records_;
+  /// Pending wait_async callbacks, fired (and erased) at the ticket's
+  /// terminal transition or at stop().
+  std::map<Ticket, std::vector<std::function<void(const JobStatus&)>>>
+      waiters_;
+  /// Pending notify_when_idle callbacks.
+  std::vector<std::function<void()>> idle_watchers_;
   std::vector<Ticket> queue_;  // tickets in QUEUED state, unordered
   /// Terminal tickets in completion order — the eviction queue for
   /// max_retained_results.

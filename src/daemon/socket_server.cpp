@@ -1,7 +1,7 @@
 #include "daemon/socket_server.hpp"
 
+#include <cstdio>
 #include <exception>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -11,6 +11,7 @@
 #include "util/cpu_features.hpp"
 #include "util/fault_injector.hpp"
 #include "util/profiler.hpp"
+#include "util/strings.hpp"
 #include "util/trace_context.hpp"
 
 namespace elpc::daemon {
@@ -27,6 +28,17 @@ util::Json error_response(const std::string& message) {
   util::Json response = util::JsonObject{};
   response.set("ok", false);
   response.set("error", message);
+  return response;
+}
+
+/// Error frame with a stable machine-readable code — used only by the
+/// error classes introduced with the multiplexed front end (auth,
+/// quotas, protocol framing), so pre-existing error texts stay
+/// byte-identical for clients that match on them.
+util::Json error_response(const std::string& message,
+                          const std::string& code) {
+  util::Json response = error_response(message);
+  response.set("code", code);
   return response;
 }
 
@@ -58,6 +70,45 @@ Ticket ticket_field(const util::Json& request) {
     throw std::invalid_argument("ticket must be >= 0");
   }
   return static_cast<Ticket>(raw);
+}
+
+/// The request's trace id ("" when absent/not a string).
+std::string trace_field(const util::Json& request) {
+  if (const util::Json* trace = request.find("trace_id")) {
+    if (trace->is_string()) {
+      return trace->as_string();
+    }
+  }
+  return "";
+}
+
+/// Echo the request's trace id onto an out-of-band response (the async
+/// and gate paths, which bypass handle()'s echo).
+void echo_trace(const std::string& trace_id, util::Json& response) {
+  if (!trace_id.empty() && !response.contains("trace_id")) {
+    response.set("trace_id", trace_id);
+  }
+}
+
+/// Current OS thread count of this process (/proc/self/status), the
+/// `stats` field the 1000-idle-connection smoke asserts on: it must
+/// stay at the fixed worker-pool size however many clients connect.
+/// 0 when the proc file is unavailable.
+std::int64_t os_thread_count() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  std::int64_t threads = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "Threads: %lld",
+                    reinterpret_cast<long long*>(&threads)) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return threads;
 }
 
 /// Build/provenance block for `stats`: which toolchain produced this
@@ -106,6 +157,9 @@ util::Json build_info_json() {
 SocketServer::SocketServer(std::string socket_path,
                            SocketServerOptions options)
     : listener_(socket_path),
+      tcp_listener_(options.tcp ? std::make_unique<util::TcpListener>(
+                                      options.tcp_host, options.tcp_port)
+                                : nullptr),
       slowlog_(options.slowlog_capacity),
       tracelog_(options.tracelog_capacity),
       options_(std::move(options)),
@@ -142,7 +196,38 @@ SocketServer::SocketServer(std::string socket_path,
   manager_options.slow_ms = options_.slow_ms;
   manager_options.tracelog = &tracelog_;
   manager_ = std::make_unique<JobManager>(*engine_, manager_options);
+
+  auth_failures_c_ = &metrics_.counter("elpc_auth_failures_total",
+                                       "Auth attempts with a bad token");
+  quota_rejections_c_ =
+      &metrics_.counter("elpc_quota_rejections_total",
+                        "Requests rejected by per-connection quotas");
   register_collectors();
+
+  MuxOptions mux_options;
+  mux_options.io_workers = options_.io_workers;
+  mux_options.max_write_queue_bytes = options_.max_write_queue_bytes;
+  MuxCallbacks callbacks;
+  callbacks.on_frame = [this](const std::shared_ptr<MuxConnection>& conn,
+                              const std::string& line) {
+    handle_frame(conn, line);
+  };
+  callbacks.on_disconnect = [this](const std::shared_ptr<MuxConnection>&,
+                                   const std::string& reason) {
+    metrics_
+        .counter("elpc_disconnects_total", "Connections closed, by reason",
+                 {{"reason", reason}})
+        .add();
+  };
+  callbacks.frame_error_line = [](const std::string& diagnostic) {
+    return error_response("protocol error: " + diagnostic, "protocol")
+        .dump();
+  };
+  mux_ = std::make_unique<ConnectionMux>(mux_options, std::move(callbacks));
+  mux_->add_listener(&listener_);
+  if (tcp_listener_) {
+    mux_->add_listener(tcp_listener_.get());
+  }
 }
 
 void SocketServer::register_collectors() {
@@ -169,6 +254,11 @@ void SocketServer::register_collectors() {
     util::Gauge* checkpoint_evictions;
     util::Gauge* lease_expirations;
     util::Gauge* slowlog_spans;
+    util::Gauge* connections_unix;
+    util::Gauge* connections_tcp;
+    util::Gauge* connections_total_unix;
+    util::Gauge* connections_total_tcp;
+    util::Gauge* threads_os;
   };
   auto g = std::make_shared<Gauges>();
   g->queued = &metrics_.gauge("elpc_queued", "Jobs waiting for dispatch");
@@ -207,6 +297,19 @@ void SocketServer::register_collectors() {
   g->slowlog_spans = &metrics_.gauge(
       "elpc_slowlog_spans_total", "Spans ever added to the slowlog ring", {},
       /*expose_as_counter=*/true);
+  g->connections_unix = &metrics_.gauge(
+      "elpc_connections", "Live client connections", {{"transport", "unix"}});
+  g->connections_tcp = &metrics_.gauge(
+      "elpc_connections", "Live client connections", {{"transport", "tcp"}});
+  g->connections_total_unix = &metrics_.gauge(
+      "elpc_connections_accepted_total", "Connections ever accepted",
+      {{"transport", "unix"}}, /*expose_as_counter=*/true);
+  g->connections_total_tcp = &metrics_.gauge(
+      "elpc_connections_accepted_total", "Connections ever accepted",
+      {{"transport", "tcp"}}, /*expose_as_counter=*/true);
+  g->threads_os = &metrics_.gauge(
+      "elpc_os_threads", "OS threads of the daemon process (fixed-pool "
+      "invariant: independent of connection count)");
   metrics_.on_collect([this, g]() {
     const JobManagerStats jobs = manager_->stats();
     const service::EngineStats engine = engine_->stats();
@@ -231,105 +334,278 @@ void SocketServer::register_collectors() {
         static_cast<double>(engine.checkpoint_evictions));
     g->lease_expirations->set(static_cast<double>(engine.lease_expirations));
     g->slowlog_spans->set(static_cast<double>(slowlog_.total_added()));
+    if (mux_) {
+      g->connections_unix->set(
+          static_cast<double>(mux_->connection_count("unix")));
+      g->connections_tcp->set(
+          static_cast<double>(mux_->connection_count("tcp")));
+      g->connections_total_unix->set(
+          static_cast<double>(mux_->connections_total("unix")));
+      g->connections_total_tcp->set(
+          static_cast<double>(mux_->connections_total("tcp")));
+    }
+    g->threads_os->set(static_cast<double>(os_thread_count()));
   });
 }
 
 SocketServer::~SocketServer() {
   stop();
-  manager_->stop();  // releases any still-blocked `wait` verbs
+  mux_->stop();      // joins the IO workers before anything they use dies
+  manager_->stop();  // releases any still-pending wait callbacks
 }
 
 void SocketServer::serve() {
-  // Each handler flips its done flag as its last act, so the accept
-  // loop can join exactly the finished ones.  Without reaping, a
-  // long-lived daemon's thread list grows by one per connection EVER
-  // accepted — ten thousand short-lived clients = ten thousand zombie
-  // std::thread objects (and their unjoined OS threads) held until
-  // shutdown.
-  struct Handler {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-  std::vector<Handler> handlers;
-  const auto reap = [&handlers](bool everything) {
-    for (auto it = handlers.begin(); it != handlers.end();) {
-      if (everything || it->done->load(std::memory_order_acquire)) {
-        it->thread.join();
-        it = handlers.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-  while (!shutdown_requested_.load(std::memory_order_acquire)) {
-    std::optional<util::UnixSocket> connection = listener_.accept();
-    if (!connection.has_value()) {
-      break;  // stop() or the shutdown verb closed the listener
-    }
-    // The receive timeout is the handler's shutdown poll: an idle client
-    // holding its connection open wakes the handler every interval to
-    // re-check the flag, so every handler thread exits promptly after
-    // shutdown and the joins below cannot hang.
-    connection->set_recv_timeout(/*milliseconds=*/200);
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    Handler handler;
-    handler.done = done;
-    handler.thread = std::thread(
-        [this, done, conn = std::move(*connection)]() mutable {
-          handle_connection(std::move(conn));
-          done->store(true, std::memory_order_release);
-        });
-    handlers.push_back(std::move(handler));
-    reap(/*everything=*/false);
+  mux_->start();
+  {
+    std::unique_lock<std::mutex> lock(serve_mutex_);
+    serve_cv_.wait(lock, [this]() {
+      return shutdown_requested_.load(std::memory_order_acquire);
+    });
   }
   listener_.close();
-  // Releases handler threads blocked in the `wait` verb (they answer
-  // with the job's current, possibly non-terminal, status).
+  if (tcp_listener_) {
+    tcp_listener_->close();
+  }
+  // Stop the manager FIRST: pending `wait` callbacks fire with
+  // shutting_down set and their responses enter the write queues, which
+  // the mux flushes best-effort while tearing down.
   manager_->stop();
-  reap(/*everything=*/true);
+  mux_->stop();
 }
 
 void SocketServer::stop() {
   shutdown_requested_.store(true, std::memory_order_release);
+  serve_cv_.notify_all();
   listener_.close();
+  if (tcp_listener_) {
+    tcp_listener_->close();
+  }
 }
 
-void SocketServer::handle_connection(util::UnixSocket connection) {
+void SocketServer::handle_frame(const std::shared_ptr<MuxConnection>& conn,
+                                const std::string& line) {
+  util::Json request;
   try {
-    while (!shutdown_requested_.load(std::memory_order_acquire)) {
-      std::optional<std::string> line;
-      try {
-        line = connection.recv_line();
-      } catch (const util::SocketTimeout&) {
-        continue;  // idle interval — re-check the shutdown flag
-      } catch (const util::SocketFrameError& e) {
-        // Overlong unterminated frame: the stream cannot re-sync to a
-        // frame boundary, so answer once (best effort) and close THIS
-        // connection — the daemon itself keeps serving.
-        connection.send_line(
-            error_response(std::string("protocol error: ") + e.what())
-                .dump());
-        return;
-      }
-      if (!line.has_value()) {
-        return;  // client closed its end
-      }
-      util::Json response;
-      try {
-        response = handle(util::Json::parse(*line));
-      } catch (const util::JsonError& e) {
-        response = error_response(std::string("malformed request: ") +
-                                  e.what());
-      }
-      {
-        const util::ProfileScope write_phase("socket_write", "daemon");
-        connection.send_line(response.dump());
-      }
-    }
-  } catch (const util::SocketError&) {
-    // A client vanishing mid-exchange must not take the daemon down;
-    // drop the connection and keep serving.
+    request = util::Json::parse(line);
+  } catch (const util::JsonError& e) {
+    conn->send_line(
+        error_response(std::string("malformed request: ") + e.what())
+            .dump());
+    return;
   }
+  auto state = std::static_pointer_cast<ConnState>(conn->user_state);
+  if (!state) {
+    state = std::make_shared<ConnState>();
+    conn->user_state = state;
+  }
+  std::string verb;
+  if (const util::Json* v = request.find("verb")) {
+    if (v->is_string()) {
+      verb = v->as_string();
+    }
+  }
+  if (verb == "auth") {
+    handle_auth(conn, *state, request);
+    return;
+  }
+  if (!options_.auth_token.empty() && !state->authenticated &&
+      verb != "stats") {
+    util::Json response = error_response(
+        "authentication required: send {\"verb\": \"auth\", \"token\": ...} "
+        "first (only `stats` is served unauthenticated)",
+        "unauthenticated");
+    echo_trace(trace_field(request), response);
+    conn->send_line(response.dump());
+    return;
+  }
+  try {
+    if (verb == "submit") {
+      handle_submit_framed(conn, state, request, line.size());
+      return;
+    }
+    if (verb == "wait") {
+      handle_wait_framed(conn, request);
+      return;
+    }
+    if (verb == "drain") {
+      handle_drain_framed(conn, request);
+      return;
+    }
+  } catch (const std::exception& e) {
+    // The framed handlers run outside handle()'s catch-all; a client
+    // must no more crash an IO worker than it could the old per-
+    // connection thread.
+    util::Json response = error_response(e.what());
+    echo_trace(trace_field(request), response);
+    conn->send_line(response.dump());
+    return;
+  }
+  util::Json response = handle(request);
+  {
+    const util::ProfileScope write_phase("socket_write", "daemon");
+    conn->send_line(response.dump());
+  }
+  if (verb == "shutdown") {
+    // The response is queued; the serve() teardown flushes it
+    // best-effort on the way down, like the old close-after-answer.
+    stop();
+  }
+}
+
+void SocketServer::handle_auth(const std::shared_ptr<MuxConnection>& conn,
+                               ConnState& state, const util::Json& request) {
+  std::string token;
+  if (const util::Json* t = request.find("token")) {
+    if (t->is_string()) {
+      token = t->as_string();
+    }
+  }
+  util::Json response;
+  if (options_.auth_token.empty() ||
+      util::constant_time_equals(token, options_.auth_token)) {
+    // With auth off every connection is born authorized; accepting the
+    // verb anyway lets one client config speak to both deployments.
+    state.authenticated = true;
+    response = ok_response();
+    response.set("authenticated", true);
+  } else {
+    auth_failures_c_->add();
+    response = error_response("invalid auth token", "auth_failed");
+  }
+  echo_trace(trace_field(request), response);
+  conn->send_line(response.dump());
+}
+
+void SocketServer::handle_submit_framed(
+    const std::shared_ptr<MuxConnection>& conn,
+    const std::shared_ptr<ConnState>& state, const util::Json& request,
+    std::size_t frame_bytes) {
+  // Quota gate: what THIS connection already has in flight, checked
+  // before the job touches the queue.  The counters come back down via
+  // a completion callback, so a client that submits and walks away
+  // cannot ratchet its budget shut forever.
+  if (options_.max_inflight_jobs > 0 &&
+      state->inflight_jobs.load(std::memory_order_relaxed) >=
+          options_.max_inflight_jobs) {
+    quota_rejections_c_->add();
+    util::Json response = error_response(
+        "per-connection in-flight job quota exceeded (" +
+            std::to_string(options_.max_inflight_jobs) + " jobs)",
+        "quota_jobs");
+    echo_trace(trace_field(request), response);
+    conn->send_line(response.dump());
+    return;
+  }
+  if (options_.max_inflight_bytes > 0 &&
+      state->inflight_bytes.load(std::memory_order_relaxed) + frame_bytes >
+          options_.max_inflight_bytes) {
+    quota_rejections_c_->add();
+    util::Json response = error_response(
+        "per-connection in-flight byte quota exceeded (" +
+            std::to_string(options_.max_inflight_bytes) + " bytes)",
+        "quota_bytes");
+    echo_trace(trace_field(request), response);
+    conn->send_line(response.dump());
+    return;
+  }
+  util::Json response = handle(request);
+  if (response.at("ok").as_bool()) {
+    const Ticket ticket =
+        static_cast<Ticket>(response.at("ticket").as_int());
+    state->inflight_jobs.fetch_add(1, std::memory_order_relaxed);
+    state->inflight_bytes.fetch_add(frame_bytes, std::memory_order_relaxed);
+    // The release hook: fires exactly once at the terminal transition
+    // (or manager stop), wherever the submitting connection is by then.
+    try {
+      manager_->wait_async(
+          ticket, [state, frame_bytes](const JobStatus&) {
+            state->inflight_jobs.fetch_sub(1, std::memory_order_relaxed);
+            state->inflight_bytes.fetch_sub(frame_bytes,
+                                            std::memory_order_relaxed);
+          });
+    } catch (const std::exception&) {
+      // Ticket already evicted (terminal and swept): in-flight is over.
+      state->inflight_jobs.fetch_sub(1, std::memory_order_relaxed);
+      state->inflight_bytes.fetch_sub(frame_bytes,
+                                      std::memory_order_relaxed);
+    }
+  }
+  const util::ProfileScope write_phase("socket_write", "daemon");
+  conn->send_line(response.dump());
+}
+
+void SocketServer::handle_wait_framed(
+    const std::shared_ptr<MuxConnection>& conn, const util::Json& request) {
+  const std::string trace_id = trace_field(request);
+  try {
+    const Ticket ticket = ticket_field(request);
+    // Completion-driven wait: no thread parks.  The callback may fire
+    // inline (already terminal), from the dispatcher, or from stop();
+    // the connection may be long gone by then, hence the weak_ptr.
+    std::weak_ptr<MuxConnection> weak = conn;
+    manager_->wait_async(ticket, [weak, trace_id](const JobStatus& status) {
+      const std::shared_ptr<MuxConnection> target = weak.lock();
+      if (!target) {
+        return;  // submitter hung up; the result stays pollable
+      }
+      util::Json response = status_response(status);
+      echo_trace(trace_id, response);
+      target->send_line(response.dump());
+    });
+  } catch (const std::exception& e) {
+    util::Json response = error_response(e.what());
+    echo_trace(trace_id, response);
+    conn->send_line(response.dump());
+  }
+}
+
+void SocketServer::handle_drain_framed(
+    const std::shared_ptr<MuxConnection>& conn, const util::Json& request) {
+  const std::string trace_id = trace_field(request);
+  std::int64_t timeout_ms = 10000;
+  if (const util::Json* t = request.find("timeout_ms")) {
+    timeout_ms = t->as_int();
+  }
+  const JobManager::DrainBaseline baseline =
+      manager_->begin_drain(timeout_ms);
+  // Two racing triggers — the manager going idle, or the budget (plus
+  // the same 2s unwind grace the blocking drain used) lapsing — and the
+  // first one answers.  `answered` makes that exactly-once.
+  auto answered = std::make_shared<std::atomic<bool>>(false);
+  std::weak_ptr<MuxConnection> weak = conn;
+  auto respond = [this, weak, trace_id, baseline, answered]() {
+    if (answered->exchange(true)) {
+      return;
+    }
+    const DrainReport report = manager_->drain_progress(baseline);
+    // stats() sweeps every session cache — the final flush that also
+    // force-releases expired leases — so the pin counts below reflect
+    // the post-drain steady state, not stale bookkeeping.
+    const service::EngineStats engine = engine_->stats();
+    const std::shared_ptr<MuxConnection> target = weak.lock();
+    if (!target) {
+      return;
+    }
+    util::Json response = ok_response();
+    response.set("drained", report.drained);
+    response.set("completed", report.completed);
+    response.set("timed_out", report.timed_out);
+    response.set("queued", report.queued);
+    response.set("running", report.running);
+    response.set("pinned_revisions", engine.pinned_revisions);
+    response.set("pinned_bytes", engine.pinned_bytes);
+    response.set("lease_expirations", engine.lease_expirations);
+    echo_trace(trace_id, response);
+    target->send_line(response.dump());
+  };
+  if (timeout_ms > 0) {
+    mux_->schedule_after(timeout_ms + 2000, respond);
+  }
+  // NB: notify_when_idle may fire inline under the manager mutex;
+  // respond() then calls drain_progress, which re-locks it — so defer
+  // through the mux timer wheel (delay 0) instead of invoking directly.
+  manager_->notify_when_idle(
+      [this, respond]() { mux_->schedule_after(0, respond); });
 }
 
 util::Json SocketServer::handle(const util::Json& request) {
@@ -337,12 +613,7 @@ util::Json SocketServer::handle(const util::Json& request) {
   // profiler events emitted while dispatching the verb carry it, and
   // the response echoes it so the client can match frames to ids.  A
   // request without one runs (and responds) without.
-  std::string request_trace;
-  if (const util::Json* trace = request.find("trace_id")) {
-    if (trace->is_string()) {
-      request_trace = trace->as_string();
-    }
-  }
+  const std::string request_trace = trace_field(request);
   const util::ScopedTraceContext trace_scope(request_trace);
   util::Json response = handle_verb(request);
   if (!request_trace.empty() && !response.contains("trace_id")) {
@@ -354,6 +625,14 @@ util::Json SocketServer::handle(const util::Json& request) {
 util::Json SocketServer::handle_verb(const util::Json& request) {
   try {
     const std::string verb = request.at("verb").as_string();
+    if (verb == "auth") {
+      // The connection-scoped auth state lives in the framing layer
+      // (handle_frame); through the direct path the verb is a no-op
+      // acknowledgement so both entry points accept the same script.
+      util::Json response = ok_response();
+      response.set("authenticated", true);
+      return response;
+    }
     if (verb == "register_network") {
       (void)engine_->register_network(
           request.at("id").as_string(),
@@ -460,6 +739,25 @@ util::Json SocketServer::handle_verb(const util::Json& request) {
         kernel_jobs.set(name, served);
       }
       response.set("kernel_jobs", std::move(kernel_jobs));
+      // Front-end health: who is connected over what, whether auth
+      // gates them, and the fixed-pool thread invariant (threads_os
+      // must not scale with connections — the 1000-idle-client smoke
+      // asserts exactly this field).
+      response.set("connections", mux_ ? mux_->connection_count() : 0);
+      response.set("connections_unix",
+                   mux_ ? mux_->connection_count("unix") : 0);
+      response.set("connections_tcp",
+                   mux_ ? mux_->connection_count("tcp") : 0);
+      response.set("connections_accepted",
+                   mux_ ? mux_->connections_total("unix") +
+                              mux_->connections_total("tcp")
+                        : 0);
+      response.set("auth_required", !options_.auth_token.empty());
+      response.set("auth_failures", auth_failures_c_->value());
+      response.set("quota_rejections", quota_rejections_c_->value());
+      response.set("io_workers", options_.io_workers);
+      response.set("threads_os", os_thread_count());
+      response.set("tcp_port", tcp_port());
       // Daemon provenance + clock anchors: uptime for `client top`'s
       // rate math, the wall-clock start for log correlation, and what
       // this binary was built from.
@@ -543,10 +841,10 @@ util::Json SocketServer::handle_verb(const util::Json& request) {
       if (const util::Json* t = request.find("timeout_ms")) {
         timeout_ms = t->as_int();
       }
+      // The blocking form — the direct handle() path for tests and
+      // legacy callers; the mux route (handle_drain_framed) answers the
+      // same payload completion-driven.
       const DrainReport report = manager_->drain(timeout_ms);
-      // stats() sweeps every session cache — the final flush that also
-      // force-releases expired leases — so the pin counts below reflect
-      // the post-drain steady state, not stale bookkeeping.
       const service::EngineStats engine = engine_->stats();
       util::Json response = ok_response();
       response.set("drained", report.drained);
@@ -561,9 +859,12 @@ util::Json SocketServer::handle_verb(const util::Json& request) {
     }
     if (verb == "shutdown") {
       shutdown_requested_.store(true, std::memory_order_release);
-      // The accept loop may be blocked with no further connections
-      // coming; closing the listener is what actually wakes it.
+      serve_cv_.notify_all();
+      // New connections must find a closed door while teardown runs.
       listener_.close();
+      if (tcp_listener_) {
+        tcp_listener_->close();
+      }
       return ok_response();
     }
     return error_response("unknown verb '" + verb + "'");

@@ -1,21 +1,30 @@
 #pragma once
 // SocketServer — the mapping daemon's wire front end: line-delimited
-// JSON request/response frames over a Unix-domain socket, one verb per
-// line, dispatched onto a JobManager + BatchEngine pair the server owns.
+// JSON request/response frames, one verb per line, dispatched onto a
+// JobManager + BatchEngine pair the server owns.  Connections arrive
+// over a Unix-domain socket (always) and, when enabled, a TCP listener
+// speaking the identical protocol.
 //
 // Request:  {"verb": "...", ...verb fields}
 // Response: {"ok": true, ...payload} | {"ok": false, "error": "..."}
+//           (new error classes — auth, quotas, protocol — also carry a
+//           stable "code" field; see docs/protocol.md, the normative
+//           wire reference)
 //
-// Verbs (full field reference in src/daemon/README.md):
+// Verbs (normative field reference in docs/protocol.md):
+//   auth             {token}               -> {} (marks the connection
+//                                            authenticated)
 //   register_network {id, network}        -> {}
 //   submit           {job, priority?}     -> {ticket}
 //   poll             {ticket}             -> {state, result?}
-//   wait             {ticket}             -> {state, result?} (blocking)
+//   wait             {ticket}             -> {state, result?} (answered
+//                                            when the job turns terminal)
 //   cancel           {ticket}             -> {cancelled}
 //   apply_link_updates {network, updates} -> {results: [...]}  (re-solved
 //                                            subscriptions)
 //   pause | resume   {}                   -> {}  (gate dispatch)
 //   stats            {}                   -> queue/engine/cache counters,
+//                                            connection/auth counters,
 //                                            uptime + build info, and the
 //                                            compact metrics snapshot
 //   metrics          {}                   -> {text} Prometheus exposition
@@ -39,25 +48,39 @@
 // A malformed or failing request answers ok=false on that frame; the
 // connection (and the daemon) stays up — clients must never be able to
 // crash the server with bad input.  An overlong unterminated frame
-// (util::SocketFrameError — the recv_line byte cap) answers one error
-// frame and closes that connection: the stream cannot re-sync.  Each
-// connection gets its own handler thread, so an idle persistent client
-// or one blocked in the `wait` verb never stalls other clients (or the
-// shutdown path — a paused daemon must still accept the `resume`).
-// Handler threads poll the shutdown flag via a receive timeout; each
-// finished handler is reaped (joined) on the next accept, so a long
-// daemon serving many short-lived clients holds threads proportional to
-// LIVE connections, not connections ever served.  The remainder joins
-// before serve() returns; request handling itself is thread-safe
-// (JobManager and BatchEngine carry their own locks).
+// (the 16MiB byte cap) answers one error frame and closes that
+// connection: the stream cannot re-sync.
+//
+// Concurrency model: a fixed pool of epoll IO workers (ConnectionMux)
+// multiplexes every connection — the daemon's thread count is constant
+// in the number of clients, where the previous thread-per-connection
+// loop grew one OS thread per LIVE client.  The formerly blocking verbs
+// are completion-driven instead of thread-parking: `wait` registers a
+// JobManager callback that sends the response when the job turns
+// terminal, `drain` arms an idle notification plus a budget timer.  An
+// idle persistent client or a pending `wait` therefore costs a buffer,
+// not a thread, and never stalls other clients.  Request handling
+// itself is thread-safe (JobManager and BatchEngine carry their own
+// locks).
+//
+// Optional shared-token auth (auth_token option / serve --auth-token):
+// until a connection presents the token via the `auth` verb
+// (constant-time compare), every verb except `auth` and `stats`
+// answers {"ok": false, "code": "unauthenticated"}.  Per-connection
+// quotas (max_inflight_jobs / max_inflight_bytes) bound what one
+// client may keep in flight; rejections carry code "quota_jobs" /
+// "quota_bytes" and bump elpc_quota_rejections_total.
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "daemon/connection_mux.hpp"
 #include "daemon/job_manager.hpp"
 #include "daemon/trace.hpp"
 #include "service/batch_engine.hpp"
@@ -109,19 +132,43 @@ struct SocketServerOptions {
   /// verb's timeline export (EVERY terminal job lands here, unlike the
   /// slowlog's threshold).
   std::size_t tracelog_capacity = 2048;
+
+  // ---- front-end (multiplexer / TCP / auth / quota) options ----
+  /// Serve the same protocol over TCP as well (`serve --tcp host:port`).
+  /// Port 0 binds an ephemeral port; tcp_port() reports the result.
+  bool tcp = false;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = 0;
+  /// Shared-token auth (empty = off).  Compared constant-time; failed
+  /// attempts bump elpc_auth_failures_total.
+  std::string auth_token;
+  /// Epoll IO worker threads (ConnectionMux; the daemon's steady-state
+  /// thread cost for any number of connections).
+  std::size_t io_workers = 2;
+  /// Per-connection pending-response cap before a slow consumer is
+  /// disconnected (reason "backpressure").
+  std::size_t max_write_queue_bytes = 8ull << 20;
+  /// Per-connection quota on jobs submitted and not yet terminal
+  /// (0 = unlimited); exceeded submits answer code "quota_jobs".
+  std::size_t max_inflight_jobs = 0;
+  /// Per-connection quota on the summed request bytes of in-flight
+  /// jobs (0 = unlimited); exceeded submits answer code "quota_bytes".
+  std::size_t max_inflight_bytes = 0;
 };
 
 class SocketServer {
  public:
-  /// Binds `socket_path` immediately (throws util::SocketError when the
-  /// path is unusable); serving starts with serve().
+  /// Binds `socket_path` (and the TCP endpoint when enabled)
+  /// immediately — throws util::SocketError when either is unusable;
+  /// serving starts with serve().
   SocketServer(std::string socket_path, SocketServerOptions options = {});
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Accept-and-handle loop; returns after a `shutdown` verb or stop().
+  /// Starts the IO workers and blocks until a `shutdown` verb or
+  /// stop(); tears the multiplexer down before returning.
   void serve();
 
   /// Unblocks serve() from another thread (idempotent).
@@ -129,6 +176,10 @@ class SocketServer {
 
   [[nodiscard]] const std::string& socket_path() const {
     return listener_.path();
+  }
+  /// The bound TCP port (resolves a port-0 request), or -1 with TCP off.
+  [[nodiscard]] int tcp_port() const {
+    return tcp_listener_ ? tcp_listener_->port() : -1;
   }
 
   /// The owned engine/manager, exposed for in-process tests that compare
@@ -138,8 +189,9 @@ class SocketServer {
 
   /// The daemon's one metrics source of truth: the engine's and
   /// manager's counters/histograms land here, and a collect callback
-  /// refreshes the queue/cache gauges from live stats at every
-  /// exposition (`metrics` verb, the snapshot embedded in `stats`).
+  /// refreshes the queue/cache/connection gauges from live stats at
+  /// every exposition (`metrics` verb, the snapshot embedded in
+  /// `stats`).
   [[nodiscard]] util::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] SlowLog& slowlog() { return slowlog_; }
   /// Every terminal span (the `trace` verb's parent slices), not just
@@ -147,21 +199,49 @@ class SocketServer {
   [[nodiscard]] SlowLog& tracelog() { return tracelog_; }
 
   /// Handles one already-parsed request and returns the response frame —
-  /// the protocol's pure core, shared by the handler threads and direct
+  /// the protocol's pure core, shared by the IO workers and direct
   /// tests (thread-safe).  Never throws; failures become
-  /// {"ok": false, "error": ...}.
+  /// {"ok": false, "error": ...}.  Connection-scoped concerns (auth,
+  /// quotas, the async wait/drain paths) live in the framing layer
+  /// above — this entry point behaves as a fully-authorized connection.
   [[nodiscard]] util::Json handle(const util::Json& request);
 
  private:
+  /// Per-connection protocol state, attached to MuxConnection::
+  /// user_state.  The flags are worker-only; the quota counters are
+  /// atomics because completion callbacks decrement them from
+  /// dispatcher threads.
+  struct ConnState {
+    bool authenticated = false;
+    std::atomic<std::size_t> inflight_jobs{0};
+    std::atomic<std::size_t> inflight_bytes{0};
+  };
+
   /// The verb dispatch behind handle(), which wraps it with the
   /// request's trace context and echoes the id on the response.
   [[nodiscard]] util::Json handle_verb(const util::Json& request);
-  void handle_connection(util::UnixSocket connection);
+  /// The mux's on_frame callback: parse, auth/quota gate, dispatch —
+  /// synchronously through handle() for most verbs, via completion
+  /// callbacks for wait/drain.
+  void handle_frame(const std::shared_ptr<MuxConnection>& conn,
+                    const std::string& line);
+  void handle_auth(const std::shared_ptr<MuxConnection>& conn,
+                   ConnState& state, const util::Json& request);
+  void handle_submit_framed(const std::shared_ptr<MuxConnection>& conn,
+                            const std::shared_ptr<ConnState>& state,
+                            const util::Json& request,
+                            std::size_t frame_bytes);
+  void handle_wait_framed(const std::shared_ptr<MuxConnection>& conn,
+                          const util::Json& request);
+  void handle_drain_framed(const std::shared_ptr<MuxConnection>& conn,
+                           const util::Json& request);
   /// Registers the collect callback that refreshes the daemon gauges
-  /// (queue depth, cache occupancy, pins, uptime) from live stats.
+  /// (queue depth, cache occupancy, pins, connections, uptime) from
+  /// live stats.
   void register_collectors();
 
   util::UnixListener listener_;
+  std::unique_ptr<util::TcpListener> tcp_listener_;
   /// Declared before the engine/manager so the metric references they
   /// resolve at construction outlive them on teardown.
   util::MetricsRegistry metrics_;
@@ -172,9 +252,15 @@ class SocketServer {
   std::int64_t started_unix_ms_ = 0;
   std::unique_ptr<service::BatchEngine> engine_;
   std::unique_ptr<JobManager> manager_;
-  /// Set by the shutdown verb (any handler thread); read by all of them
-  /// and the accept loop.
+  util::Counter* auth_failures_c_ = nullptr;
+  util::Counter* quota_rejections_c_ = nullptr;
+  /// Set by the shutdown verb (any IO worker); wakes serve().
   std::atomic<bool> shutdown_requested_{false};
+  std::mutex serve_mutex_;
+  std::condition_variable serve_cv_;
+  /// Last member: its workers call back into everything above, so it
+  /// must die (stop) first.
+  std::unique_ptr<ConnectionMux> mux_;
 };
 
 }  // namespace elpc::daemon

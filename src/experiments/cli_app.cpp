@@ -41,9 +41,12 @@ const char* kUsage =
     "  elpc batch --jobs jobs.json --out results.json --threads 4\n"
     "  elpc serve --socket /tmp/elpc.sock --threads 4 --incremental "
     "--lease-ms 60000 --slow-ms 50 --profile\n"
+    "  elpc serve --socket /tmp/elpc.sock --tcp 0.0.0.0:7447 "
+    "--auth-token SECRET --max-inflight-jobs 64\n"
     "  elpc client <load|poll|wait|cancel|update|stats|metrics|slowlog|"
     "trace|top|pause|resume|drain|shutdown> --socket /tmp/elpc.sock "
     "[options]\n"
+    "  elpc client stats --tcp daemon-host:7447 --auth-token SECRET\n"
     "  elpc client top --socket /tmp/elpc.sock --interval-ms 1000\n"
     "  elpc client trace --socket /tmp/elpc.sock --out trace.json  "
     "# Chrome/Perfetto timeline\n"
@@ -57,6 +60,28 @@ const char* kUsage =
 workload::Scenario load_scenario(const std::string& path) {
   return workload::scenario_from_json(
       util::Json::parse(util::read_text_file(path)));
+}
+
+/// Splits "host:port" on the LAST colon (bracketless IPv6 literals keep
+/// their inner colons); throws on a missing or non-numeric port.
+std::pair<std::string, int> parse_host_port(const std::string& endpoint,
+                                            const std::string& flag) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 == endpoint.size()) {
+    throw std::invalid_argument(flag + " expects host:port, got '" +
+                                endpoint + "'");
+  }
+  int port = 0;
+  try {
+    port = std::stoi(endpoint.substr(colon + 1));
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + " expects a numeric port, got '" +
+                                endpoint.substr(colon + 1) + "'");
+  }
+  if (port < 0 || port > 65535) {
+    throw std::invalid_argument(flag + ": port out of range");
+  }
+  return {endpoint.substr(0, colon), port};
 }
 
 int cmd_generate(const std::vector<std::string>& args, std::ostream& out) {
@@ -253,6 +278,26 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_int("tracelog-capacity", 2048,
                  "terminal spans retained for the trace timeline; oldest "
                  "evicted first");
+  parser.add_string("tcp", "",
+                    "also serve the protocol on this TCP host:port "
+                    "(port 0 binds an ephemeral port, printed at startup)");
+  parser.add_string("auth-token", "",
+                    "require this shared token via the auth verb before "
+                    "serving anything but `stats` (constant-time compare; "
+                    "empty = auth off)");
+  parser.add_int("io-workers", 2,
+                 "epoll IO worker threads multiplexing every connection "
+                 "(the daemon's thread count is constant in clients)");
+  parser.add_int("max-write-queue-bytes", 8 << 20,
+                 "per-connection pending-response cap before a slow "
+                 "consumer is disconnected (reason \"backpressure\")");
+  parser.add_int("max-inflight-jobs", 0,
+                 "per-connection cap on submitted-and-not-yet-terminal "
+                 "jobs (0 = unlimited; over-cap submits answer code "
+                 "\"quota_jobs\")");
+  parser.add_int("max-inflight-bytes", 0,
+                 "per-connection cap on summed request bytes of in-flight "
+                 "jobs (0 = unlimited; code \"quota_bytes\")");
   parser.parse(args);
   if (parser.get_string("socket").empty()) {
     throw std::invalid_argument("elpc serve: --socket is required");
@@ -261,7 +306,11 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
       parser.get_int("threads") < 0 || parser.get_int("max-batch") < 0 ||
       parser.get_int("lease-ms") < 0 || parser.get_int("lease-grace-ms") < 0 ||
       parser.get_int("slow-ms") < 0 || parser.get_int("slowlog-capacity") < 0 ||
-      parser.get_int("tracelog-capacity") < 0) {
+      parser.get_int("tracelog-capacity") < 0 ||
+      parser.get_int("io-workers") < 1 ||
+      parser.get_int("max-write-queue-bytes") < 1 ||
+      parser.get_int("max-inflight-jobs") < 0 ||
+      parser.get_int("max-inflight-bytes") < 0) {
     throw std::invalid_argument("elpc serve: options must be >= 0");
   }
 
@@ -284,12 +333,34 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   options.tracelog_capacity =
       static_cast<std::size_t>(parser.get_int("tracelog-capacity"));
   options.factory = engine_mapper_factory();
+  if (!parser.get_string("tcp").empty()) {
+    const auto [host, port] =
+        parse_host_port(parser.get_string("tcp"), "elpc serve: --tcp");
+    options.tcp = true;
+    options.tcp_host = host;
+    options.tcp_port = port;
+  }
+  options.auth_token = parser.get_string("auth-token");
+  options.io_workers = static_cast<std::size_t>(parser.get_int("io-workers"));
+  options.max_write_queue_bytes =
+      static_cast<std::size_t>(parser.get_int("max-write-queue-bytes"));
+  options.max_inflight_jobs =
+      static_cast<std::size_t>(parser.get_int("max-inflight-jobs"));
+  options.max_inflight_bytes =
+      static_cast<std::size_t>(parser.get_int("max-inflight-bytes"));
   daemon::SocketServer server(parser.get_string("socket"), options);
   out << "elpc daemon listening on " << server.socket_path() << " (kernel "
       << core::kernels::kind_name(
              core::kernels::resolve_kernel(options.kernel))
       << ")\n"
       << std::flush;
+  if (options.tcp) {
+    // The resolved port matters when --tcp asked for port 0.
+    out << "elpc daemon listening on tcp " << options.tcp_host << ":"
+        << server.tcp_port()
+        << (options.auth_token.empty() ? "" : " (auth required)") << "\n"
+        << std::flush;
+  }
   server.serve();  // returns on the shutdown verb
   out << "elpc daemon shut down\n";
   return 0;
@@ -381,7 +452,15 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   }
   const std::string verb = args.front();
   util::ArgParser parser("elpc client " + verb);
-  parser.add_string("socket", "", "daemon socket path (required)");
+  parser.add_string("socket", "",
+                    "daemon socket path (this or --tcp is required)");
+  parser.add_string("tcp", "",
+                    "daemon TCP endpoint host:port (alternative to "
+                    "--socket; same protocol either way)");
+  parser.add_string("auth-token", "",
+                    "shared token presented via the auth verb after every "
+                    "(re)connect, for daemons started with serve "
+                    "--auth-token");
   parser.add_string("jobs", "", "load: batch job file (networks + jobs)");
   parser.add_int("priority", 0, "load: priority for all submitted jobs");
   parser.add_flag("wait", "load: wait for every job and print results");
@@ -415,10 +494,22 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   parser.add_int("iterations", 0,
                  "top: stop after this many refreshes (0 = run forever)");
   parser.parse({args.begin() + 1, args.end()});
-  if (parser.get_string("socket").empty()) {
-    throw std::invalid_argument("elpc client: --socket is required");
+  if (parser.get_string("socket").empty() == parser.get_string("tcp").empty()) {
+    throw std::invalid_argument(
+        "elpc client: exactly one of --socket or --tcp is required");
   }
-  daemon::DaemonClient client(parser.get_string("socket"));
+  daemon::DaemonEndpoint endpoint;
+  if (!parser.get_string("tcp").empty()) {
+    const auto [host, port] =
+        parse_host_port(parser.get_string("tcp"), "elpc client: --tcp");
+    endpoint = daemon::DaemonEndpoint::tcp_at(host, port);
+  } else {
+    endpoint =
+        daemon::DaemonEndpoint::unix_path_at(parser.get_string("socket"));
+  }
+  daemon::DaemonClientOptions client_options;
+  client_options.auth_token = parser.get_string("auth-token");
+  daemon::DaemonClient client(endpoint, client_options);
 
   const auto require_ticket = [&parser]() -> daemon::Ticket {
     if (parser.get_int("ticket") < 0) {

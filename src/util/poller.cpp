@@ -1,0 +1,102 @@
+#include "util/poller.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/socket.hpp"
+
+namespace elpc::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw SocketError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+const std::uint32_t Poller::kReadable = EPOLLIN;
+const std::uint32_t Poller::kWritable = EPOLLOUT;
+
+Poller::Poller() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (epoll_fd_ < 0) {
+    throw_errno("epoll_create1");
+  }
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
+}
+
+void Poller::add(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl ADD");
+  }
+}
+
+void Poller::mod(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl MOD");
+  }
+}
+
+void Poller::del(int fd) {
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    throw_errno("epoll_ctl DEL");
+  }
+}
+
+std::vector<Poller::Event> Poller::wait(int timeout_ms) {
+  epoll_event raw[64];
+  int ready;
+  do {
+    ready = ::epoll_wait(epoll_fd_, raw, 64, timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) {
+    throw_errno("epoll_wait");
+  }
+  std::vector<Event> events;
+  events.reserve(static_cast<std::size_t>(ready));
+  for (int i = 0; i < ready; ++i) {
+    events.push_back(Event{raw[i].data.u64, raw[i].events});
+  }
+  return events;
+}
+
+WakeFd::WakeFd() : fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  if (fd_ < 0) {
+    throw_errno("eventfd");
+  }
+}
+
+WakeFd::~WakeFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void WakeFd::signal() noexcept {
+  const std::uint64_t one = 1;
+  // A full counter (EAGAIN) still leaves the fd readable — the wake is
+  // already pending, so dropping this increment is harmless.
+  [[maybe_unused]] const ssize_t n = ::write(fd_, &one, sizeof(one));
+}
+
+void WakeFd::drain() noexcept {
+  std::uint64_t count = 0;
+  [[maybe_unused]] const ssize_t n = ::read(fd_, &count, sizeof(count));
+}
+
+}  // namespace elpc::util

@@ -1,0 +1,80 @@
+#pragma once
+// Thin RAII wrappers over the two kernel primitives the daemon's
+// connection multiplexer is built on:
+//
+//   Poller  — an epoll instance.  Callers register fds with an interest
+//             mask and an opaque 64-bit tag; wait() returns the tags of
+//             the ready fds.  Level-triggered on purpose: a handler that
+//             leaves bytes unread (fairness caps) is simply woken again,
+//             no starvation bookkeeping required.
+//   WakeFd  — an eventfd.  signal() from any thread makes the fd
+//             readable, unblocking an epoll_wait on it; drain() resets
+//             it.  Coalescing is fine (eventfd adds), so N signals wake
+//             the loop at least once — exactly the "check your inbox"
+//             semantics a cross-thread command queue needs.
+//
+// Both throw util::SocketError on OS failures (the daemon's one
+// transport-error currency); neither owns the fds registered with it.
+
+#include <cstdint>
+#include <vector>
+
+namespace elpc::util {
+
+class Poller {
+ public:
+  /// One ready notification: the tag passed at add()/mod() time plus the
+  /// raw EPOLL* event bits.
+  struct Event {
+    std::uint64_t tag = 0;
+    std::uint32_t events = 0;
+  };
+
+  /// Event-mask bits, re-exported so callers need not include
+  /// <sys/epoll.h> (values match EPOLLIN / EPOLLOUT).
+  static const std::uint32_t kReadable;
+  static const std::uint32_t kWritable;
+
+  Poller();
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Registers `fd` with the interest mask; `tag` comes back verbatim in
+  /// wait() events (callers typically pack a connection id).
+  void add(int fd, std::uint32_t events, std::uint64_t tag);
+  /// Replaces the interest mask (and tag) of an already-registered fd.
+  void mod(int fd, std::uint32_t events, std::uint64_t tag);
+  /// Deregisters; safe only for fds previously add()ed.
+  void del(int fd);
+
+  /// Blocks up to timeout_ms for readiness (-1 = indefinitely, 0 = poll)
+  /// and returns the ready set (empty on timeout).  EINTR retries
+  /// internally.
+  [[nodiscard]] std::vector<Event> wait(int timeout_ms);
+
+ private:
+  int epoll_fd_ = -1;
+};
+
+class WakeFd {
+ public:
+  WakeFd();
+  ~WakeFd();
+
+  WakeFd(const WakeFd&) = delete;
+  WakeFd& operator=(const WakeFd&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Makes fd() readable; callable from any thread, async-signal cheap.
+  void signal() noexcept;
+  /// Consumes all pending signals so the next epoll_wait blocks again.
+  void drain() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace elpc::util

@@ -1,5 +1,9 @@
 #include "util/socket.hpp"
 
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -36,16 +40,99 @@ sockaddr_un make_address(const std::string& path) {
   return address;
 }
 
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  // Failure is harmless (the frames still flow, just lazier); never
+  // worth killing a connection over.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// getaddrinfo for a numeric-or-named host; "" means the wildcard
+/// address (bind-everything listeners).
+addrinfo* resolve(const std::string& host, int port, bool for_bind) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (for_bind) {
+    hints.ai_flags = AI_PASSIVE;
+  }
+  const std::string service = std::to_string(port);
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &result);
+  if (rc != 0) {
+    throw SocketError("resolve " + (host.empty() ? "*" : host) + ":" +
+                      std::to_string(port) + ": " + ::gai_strerror(rc));
+  }
+  return result;
+}
+
+/// Shared poll-until-closed accept loop for both listener flavours.
+std::optional<StreamSocket> poll_accept(int fd,
+                                        const std::atomic<bool>& closed,
+                                        bool tcp) {
+  while (!closed.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("poll");
+    }
+    if (ready == 0) {
+      continue;  // timeout: re-check the closed flag
+    }
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EINVAL) {
+        continue;  // EINVAL: a concurrent close() shut the listener down
+      }
+      throw_errno("accept");
+    }
+    if (tcp) {
+      set_tcp_nodelay(client);
+    }
+    return StreamSocket(client);
+  }
+  return std::nullopt;
+}
+
+/// Non-blocking variant: one poll(0ms) probe, then accept or nullopt.
+std::optional<StreamSocket> probe_accept(int fd,
+                                         const std::atomic<bool>& closed,
+                                         bool tcp) {
+  if (closed.load(std::memory_order_acquire)) {
+    return std::nullopt;
+  }
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  if (::poll(&pfd, 1, /*timeout_ms=*/0) <= 0) {
+    return std::nullopt;
+  }
+  const int client = ::accept(fd, nullptr, nullptr);
+  if (client < 0) {
+    return std::nullopt;  // raced with another accept or the close path
+  }
+  if (tcp) {
+    set_tcp_nodelay(client);
+  }
+  return StreamSocket(client);
+}
+
 }  // namespace
 
-UnixSocket::~UnixSocket() { close(); }
+StreamSocket::~StreamSocket() { close(); }
 
-UnixSocket::UnixSocket(UnixSocket&& other) noexcept
+StreamSocket::StreamSocket(StreamSocket&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       buffer_(std::move(other.buffer_)),
       max_line_bytes_(other.max_line_bytes_) {}
 
-UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
+StreamSocket& StreamSocket::operator=(StreamSocket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
@@ -55,7 +142,7 @@ UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
   return *this;
 }
 
-UnixSocket UnixSocket::connect(const std::string& path) {
+StreamSocket StreamSocket::connect(const std::string& path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     throw_errno("socket");
@@ -66,10 +153,36 @@ UnixSocket UnixSocket::connect(const std::string& path) {
     ::close(fd);
     throw_errno("connect " + path);
   }
-  return UnixSocket(fd);
+  return StreamSocket(fd);
 }
 
-void UnixSocket::send_line(const std::string& message) {
+StreamSocket StreamSocket::connect_tcp(const std::string& host, int port) {
+  addrinfo* candidates = resolve(host, port, /*for_bind=*/false);
+  int fd = -1;
+  int last_errno = ECONNREFUSED;
+  for (addrinfo* ai = candidates; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    last_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(candidates);
+  if (fd < 0) {
+    errno = last_errno;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  set_tcp_nodelay(fd);
+  return StreamSocket(fd);
+}
+
+void StreamSocket::send_line(const std::string& message) {
   if (!valid()) {
     throw SocketError("send_line on closed socket");
   }
@@ -103,7 +216,7 @@ void UnixSocket::send_line(const std::string& message) {
   }
 }
 
-std::optional<std::string> UnixSocket::recv_line() {
+std::optional<std::string> StreamSocket::recv_line() {
   if (!valid()) {
     throw SocketError("recv_line on closed socket");
   }
@@ -144,14 +257,14 @@ std::optional<std::string> UnixSocket::recv_line() {
   }
 }
 
-void UnixSocket::set_max_line_bytes(std::size_t bytes) {
+void StreamSocket::set_max_line_bytes(std::size_t bytes) {
   if (bytes == 0) {
     throw SocketError("set_max_line_bytes: cap must be > 0");
   }
   max_line_bytes_ = bytes;
 }
 
-void UnixSocket::set_recv_timeout(int milliseconds) {
+void StreamSocket::set_recv_timeout(int milliseconds) {
   if (!valid()) {
     throw SocketError("set_recv_timeout on closed socket");
   }
@@ -164,7 +277,76 @@ void UnixSocket::set_recv_timeout(int milliseconds) {
   }
 }
 
-void UnixSocket::close() noexcept {
+void StreamSocket::set_nonblocking(bool enabled) {
+  if (!valid()) {
+    throw SocketError("set_nonblocking on closed socket");
+  }
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) {
+    throw_errno("fcntl F_GETFL");
+  }
+  const int updated = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, updated) < 0) {
+    throw_errno("fcntl F_SETFL");
+  }
+}
+
+StreamSocket::IoStatus StreamSocket::recv_available(std::string& buffer,
+                                                    std::size_t max_bytes) {
+  if (!valid()) {
+    return IoStatus::kError;
+  }
+  std::size_t received = 0;
+  char chunk[16384];
+  while (received < max_bytes) {
+    const std::size_t want =
+        std::min(sizeof(chunk), max_bytes - received);
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      received += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return IoStatus::kEof;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return received > 0 ? IoStatus::kOk : IoStatus::kWouldBlock;
+    }
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;  // hit the per-wake byte budget with bytes in hand
+}
+
+StreamSocket::IoStatus StreamSocket::send_pending(std::string& buffer) {
+  if (!valid()) {
+    return IoStatus::kError;
+  }
+  std::size_t sent = 0;
+  while (sent < buffer.size()) {
+    const ssize_t n = ::send(fd_, buffer.data() + sent, buffer.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      buffer.erase(0, sent);
+      return IoStatus::kWouldBlock;
+    }
+    return IoStatus::kError;
+  }
+  buffer.clear();
+  return IoStatus::kOk;
+}
+
+void StreamSocket::close() noexcept {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -183,7 +365,7 @@ UnixListener::UnixListener(const std::string& path) : path_(path) {
   // delete the successor's socket too.
   bool occupied = false;
   try {
-    (void)UnixSocket::connect(path_);
+    (void)StreamSocket::connect(path_);
     occupied = true;
   } catch (const SocketError&) {
     // Nothing accepting there (ECONNREFUSED/ENOENT/...): safe to claim.
@@ -202,7 +384,7 @@ UnixListener::UnixListener(const std::string& path) : path_(path) {
     fd_ = -1;
     throw_errno("bind " + path_);
   }
-  if (::listen(fd_, 64) != 0) {
+  if (::listen(fd_, 256) != 0) {
     ::close(fd_);
     fd_ = -1;
     ::unlink(path_.c_str());
@@ -219,31 +401,12 @@ UnixListener::~UnixListener() {
   ::unlink(path_.c_str());
 }
 
-std::optional<UnixSocket> UnixListener::accept() {
-  while (!closed_.load(std::memory_order_acquire)) {
-    pollfd pfd{};
-    pfd.fd = fd_;
-    pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      throw_errno("poll");
-    }
-    if (ready == 0) {
-      continue;  // timeout: re-check the closed flag
-    }
-    const int client = ::accept(fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR || errno == ECONNABORTED || errno == EINVAL) {
-        continue;  // EINVAL: a concurrent close() shut the listener down
-      }
-      throw_errno("accept");
-    }
-    return UnixSocket(client);
-  }
-  return std::nullopt;
+std::optional<StreamSocket> UnixListener::accept() {
+  return poll_accept(fd_, closed_, /*tcp=*/false);
+}
+
+std::optional<StreamSocket> UnixListener::try_accept() {
+  return probe_accept(fd_, closed_, /*tcp=*/false);
 }
 
 void UnixListener::close() noexcept {
@@ -252,6 +415,80 @@ void UnixListener::close() noexcept {
     // Wakes a blocked poll immediately instead of waiting out the
     // interval; errors (e.g. ENOTCONN on some kernels) are harmless —
     // the flag alone suffices within one poll period.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+TcpListener::TcpListener(const std::string& host, int port) : host_(host) {
+  addrinfo* candidates = resolve(host, port, /*for_bind=*/true);
+  int last_errno = EADDRNOTAVAIL;
+  for (addrinfo* ai = candidates; ai != nullptr; ai = ai->ai_next) {
+    fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd_ < 0) {
+      last_errno = errno;
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd_, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd_, 256) == 0) {
+      break;
+    }
+    last_errno = errno;
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::freeaddrinfo(candidates);
+  if (fd_ < 0) {
+    errno = last_errno;
+    throw_errno("bind " + (host.empty() ? "*" : host) + ":" +
+                std::to_string(port));
+  }
+  // Read back the bound address: with port 0 the kernel chose one, and
+  // callers (tests, the serve banner) need the real number.
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  if (bound.ss_family == AF_INET) {
+    port_ = ntohs(reinterpret_cast<const sockaddr_in&>(bound).sin_port);
+  } else if (bound.ss_family == AF_INET6) {
+    port_ = ntohs(reinterpret_cast<const sockaddr_in6&>(bound).sin6_port);
+  } else {
+    port_ = port;
+  }
+}
+
+TcpListener::~TcpListener() {
+  close();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string TcpListener::endpoint() const {
+  return (host_.empty() ? std::string("0.0.0.0") : host_) + ":" +
+         std::to_string(port_);
+}
+
+std::optional<StreamSocket> TcpListener::accept() {
+  return poll_accept(fd_, closed_, /*tcp=*/true);
+}
+
+std::optional<StreamSocket> TcpListener::try_accept() {
+  return probe_accept(fd_, closed_, /*tcp=*/true);
+}
+
+void TcpListener::close() noexcept {
+  closed_.store(true, std::memory_order_release);
+  if (fd_ >= 0) {
     ::shutdown(fd_, SHUT_RDWR);
   }
 }

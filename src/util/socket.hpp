@@ -1,7 +1,7 @@
 #pragma once
-// Minimal Unix-domain stream-socket primitives for the mapping daemon:
-// an RAII connection with newline-framed message IO and a listener whose
-// accept loop can be unblocked from another thread.
+// Minimal stream-socket primitives for the mapping daemon: an RAII
+// connection with newline-framed message IO, and listeners (Unix-domain
+// and TCP) whose accept loops can be unblocked from another thread.
 //
 // Framing is one message per line (the daemon speaks line-delimited JSON
 // request/response pairs; JSON never contains a raw newline, so '\n' is
@@ -9,6 +9,13 @@
 // returns nullopt on clean EOF.  All operations throw SocketError on OS
 // failures; SIGPIPE is avoided via MSG_NOSIGNAL, so a peer vanishing
 // mid-send surfaces as an exception, not a process kill.
+//
+// The same StreamSocket serves both transports — every operation is
+// fd-generic; only the connect/listen entry points know the address
+// family.  The blocking calls (send_line/recv_line) are the client and
+// test surface; the non-throwing chunked calls (recv_available/
+// send_pending) are the daemon multiplexer's surface, where readiness
+// is epoll's job and partial progress is the normal case.
 
 #include <atomic>
 #include <cstddef>
@@ -41,24 +48,33 @@ class SocketFrameError : public SocketError {
   using SocketError::SocketError;
 };
 
-/// One connected Unix-domain stream socket (either end).  Move-only.
-class UnixSocket {
+/// One connected stream socket (either end, either transport).
+/// Move-only.
+class StreamSocket {
  public:
-  UnixSocket() = default;
+  StreamSocket() = default;
   /// Adopts an already-connected fd (listener accept path).
-  explicit UnixSocket(int fd) : fd_(fd) {}
-  ~UnixSocket();
+  explicit StreamSocket(int fd) : fd_(fd) {}
+  ~StreamSocket();
 
-  UnixSocket(UnixSocket&& other) noexcept;
-  UnixSocket& operator=(UnixSocket&& other) noexcept;
-  UnixSocket(const UnixSocket&) = delete;
-  UnixSocket& operator=(const UnixSocket&) = delete;
+  StreamSocket(StreamSocket&& other) noexcept;
+  StreamSocket& operator=(StreamSocket&& other) noexcept;
+  StreamSocket(const StreamSocket&) = delete;
+  StreamSocket& operator=(const StreamSocket&) = delete;
 
-  /// Connects to the listener at `path`; throws SocketError when nothing
-  /// listens there.
-  [[nodiscard]] static UnixSocket connect(const std::string& path);
+  /// Connects to the Unix-domain listener at `path`; throws SocketError
+  /// when nothing listens there.
+  [[nodiscard]] static StreamSocket connect(const std::string& path);
+
+  /// Connects to a TCP listener (numeric IPv4/IPv6 or resolvable host).
+  /// TCP_NODELAY is set — the protocol is small request/response frames,
+  /// where Nagle coalescing only adds latency.
+  [[nodiscard]] static StreamSocket connect_tcp(const std::string& host,
+                                                int port);
 
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// The raw descriptor (epoll registration); -1 when closed.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
 
   /// Sends `message` plus the '\n' terminator (message must not itself
   /// contain '\n' — the framing invariant).
@@ -85,6 +101,29 @@ class UnixSocket {
   /// poll a shutdown flag while an idle client holds the connection.
   void set_recv_timeout(int milliseconds);
 
+  /// O_NONBLOCK toggle — the multiplexer's mode, where recv_available/
+  /// send_pending report would-block instead of parking the thread.
+  void set_nonblocking(bool enabled);
+
+  /// Outcome of one non-throwing chunked IO step (the epoll path, where
+  /// partial progress and would-block are normal, not exceptional).
+  enum class IoStatus {
+    kOk,          // made progress (recv: appended bytes; send: drained all)
+    kWouldBlock,  // nothing to do right now — wait for epoll readiness
+    kEof,         // recv only: peer closed its end
+    kError        // connection is dead; close it
+  };
+
+  /// Appends whatever the kernel has buffered (up to max_bytes) to
+  /// `buffer` without blocking.  kOk means at least one byte arrived.
+  [[nodiscard]] IoStatus recv_available(std::string& buffer,
+                                        std::size_t max_bytes);
+
+  /// Sends as much of `buffer` as the kernel accepts without blocking
+  /// and erases the sent prefix.  kOk means the buffer fully drained;
+  /// kWouldBlock means bytes remain — arm EPOLLOUT and retry later.
+  [[nodiscard]] IoStatus send_pending(std::string& buffer);
+
   void close() noexcept;
 
  private:
@@ -92,6 +131,11 @@ class UnixSocket {
   std::string buffer_;  // bytes received past the last returned line
   std::size_t max_line_bytes_ = kDefaultMaxLineBytes;
 };
+
+/// The pre-TCP name, kept so call sites (and test suites) predating the
+/// transport split keep reading naturally where the socket really is
+/// Unix-domain.
+using UnixSocket = StreamSocket;
 
 /// Listening Unix-domain socket bound to a filesystem path.  A stale
 /// socket file from a crashed daemon is unlinked before bind — but only
@@ -110,11 +154,16 @@ class UnixListener {
   UnixListener& operator=(const UnixListener&) = delete;
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
 
   /// Blocks for the next connection; nullopt once close() was called
   /// (the shutdown path — accept polls, so a concurrent close() is seen
   /// within the poll interval).
-  [[nodiscard]] std::optional<UnixSocket> accept();
+  [[nodiscard]] std::optional<StreamSocket> accept();
+
+  /// Non-blocking accept (the epoll path): nullopt when no connection
+  /// is pending or the listener was closed.
+  [[nodiscard]] std::optional<StreamSocket> try_accept();
 
   /// Unblocks pending and future accept() calls; safe to call from a
   /// thread other than the accept loop's, and idempotent.
@@ -126,6 +175,40 @@ class UnixListener {
   /// Set by close(); the accept loop polls with a short timeout, so a
   /// concurrent close is observed within one interval even if the
   /// wake-up shutdown() is missed.
+  std::atomic<bool> closed_{false};
+};
+
+/// Listening TCP socket.  Host "" or "0.0.0.0" binds every interface;
+/// port 0 asks the kernel for an ephemeral port, reported by port() —
+/// the test-friendly way to avoid fixture port collisions.  Accepted
+/// connections get TCP_NODELAY (see connect_tcp).
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, int port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The actually-bound port (resolves port 0 requests).
+  [[nodiscard]] int port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+  /// "host:port" with the resolved port, for log lines.
+  [[nodiscard]] std::string endpoint() const;
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Blocking accept with the same close()-aware polling contract as
+  /// UnixListener::accept.
+  [[nodiscard]] std::optional<StreamSocket> accept();
+  /// Non-blocking accept (the epoll path).
+  [[nodiscard]] std::optional<StreamSocket> try_accept();
+
+  void close() noexcept;
+
+ private:
+  std::string host_;
+  int port_ = 0;
+  int fd_ = -1;
   std::atomic<bool> closed_{false};
 };
 

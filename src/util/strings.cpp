@@ -56,4 +56,19 @@ std::string join(const std::vector<std::string>& items,
   return out;
 }
 
+bool constant_time_equals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  // Accumulate differences with | so the loop never branches on data;
+  // volatile keeps the compiler from collapsing it back into memcmp.
+  volatile unsigned char acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<unsigned char>(
+        acc | (static_cast<unsigned char>(a[i]) ^
+               static_cast<unsigned char>(b[i])));
+  }
+  return acc == 0;
+}
+
 }  // namespace elpc::util

@@ -27,4 +27,12 @@ namespace elpc::util {
 [[nodiscard]] std::string join(const std::vector<std::string>& items,
                                std::string_view sep);
 
+/// Equality whose running time depends only on the lengths, never on
+/// WHERE the inputs differ — the compare for shared-secret tokens, where
+/// an early-exit memcmp would leak the matching prefix length one timing
+/// sample at a time.  (Length inequality returns false immediately; the
+/// length of the right token is not a secret here, its bytes are.)
+[[nodiscard]] bool constant_time_equals(std::string_view a,
+                                        std::string_view b);
+
 }  // namespace elpc::util

@@ -1,0 +1,396 @@
+// Edge cases of the epoll connection multiplexer front end: torn and
+// pipelined frames, write-queue backpressure, auth gating, per-client
+// quotas, waits outliving their submitter's connection, TCP transport
+// byte-identity, and the fixed-pool thread invariant idle connections
+// must not break.  The happy-path protocol flow lives in
+// socket_server_test.cpp; hostile-input robustness in
+// protocol_fuzz_test.cpp.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/client.hpp"
+#include "daemon/socket_server.hpp"
+#include "graph/generators.hpp"
+#include "pipeline/generator.hpp"
+#include "service/serialize.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace elpc::daemon {
+namespace {
+
+graph::Network make_network(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::random_connected_network(rng, 10, 50,
+                                         graph::AttributeRanges{});
+}
+
+service::SolveJob make_job(const std::string& id, std::uint64_t pseed,
+                           service::Objective objective) {
+  util::Rng rng(pseed);
+  service::SolveJob job;
+  job.id = id;
+  job.network = "net";
+  job.pipeline = pipeline::random_pipeline(rng, 4, {});
+  job.source = 0;
+  job.destination = 9;
+  job.objective = objective;
+  job.cost = service::default_cost(objective);
+  return job;
+}
+
+std::string socket_path(const std::string& tag) {
+  return ::testing::TempDir() + "/elpc_mux_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+util::Json verb_frame(const std::string& verb) {
+  util::Json frame = util::JsonObject{};
+  frame.set("verb", verb);
+  return frame;
+}
+
+/// Writes exactly `text` to the raw fd (blocking socket), bypassing the
+/// line framing — the tool for torn and pipelined frame tests.
+void send_raw(util::StreamSocket& socket, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::send(socket.fd(), text.data() + sent,
+                             text.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// A frame arriving in byte dribbles across many socket wakeups must be
+/// reassembled and answered exactly as if it arrived whole — and a
+/// burst of frames in ONE write must produce one response per frame, in
+/// order (the fairness path re-queues the connection between quanta).
+TEST(ConnectionMux, TornAndPipelinedFramesReassemble) {
+  SocketServer server(socket_path("torn"), SocketServerOptions{});
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  util::StreamSocket raw = util::StreamSocket::connect(server.socket_path());
+  const std::string request = verb_frame("stats").dump() + "\n";
+  // Dribble: one byte per send, with pauses long enough that each lands
+  // in its own epoll wakeup at least some of the time.
+  for (const char byte : request) {
+    send_raw(raw, std::string(1, byte));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::optional<std::string> torn_response = raw.recv_line();
+  ASSERT_TRUE(torn_response.has_value());
+  EXPECT_TRUE(util::Json::parse(*torn_response).at("ok").as_bool());
+
+  // Pipelined burst: 40 frames in one write exceeds the per-wake frame
+  // quantum, so the tail is served via the ready-ring fairness pass.
+  std::string burst;
+  for (int i = 0; i < 40; ++i) {
+    util::Json frame = verb_frame("stats");
+    frame.set("trace_id", "burst-" + std::to_string(i));
+    burst += frame.dump() + "\n";
+  }
+  send_raw(raw, burst);
+  for (int i = 0; i < 40; ++i) {
+    const std::optional<std::string> line = raw.recv_line();
+    ASSERT_TRUE(line.has_value()) << "response " << i;
+    const util::Json response = util::Json::parse(*line);
+    EXPECT_TRUE(response.at("ok").as_bool());
+    // In-order responses: the echoed trace id pins the pairing.
+    EXPECT_EQ(response.at("trace_id").as_string(),
+              "burst-" + std::to_string(i));
+  }
+  raw.close();
+
+  DaemonClient client(server.socket_path());
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+/// A client that sends requests but never reads responses must be
+/// disconnected once its pending-response queue passes the cap — with
+/// the disconnect visible in elpc_disconnects_total{reason=
+/// "backpressure"} — instead of growing daemon memory without bound.
+TEST(ConnectionMux, BackpressureDisconnectsSlowConsumer) {
+  SocketServerOptions options;
+  // Big enough that one response fits with room to spare (a well-behaved
+  // client is never tripped), small enough that a non-reading client
+  // trips it long before the 8MiB default would.
+  options.max_write_queue_bytes = 64u << 10;
+  SocketServer server(socket_path("bp"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  util::StreamSocket slow = util::StreamSocket::connect(server.socket_path());
+  // Each metrics exposition is kilobytes; never reading lets responses
+  // pile up first in the kernel socket buffer, then in the daemon's
+  // write queue until it passes the cap.
+  const std::string request = verb_frame("metrics").dump() + "\n";
+  bool disconnected = false;
+  for (int i = 0; i < 2000 && !disconnected; ++i) {
+    const ssize_t n =
+        ::send(slow.fd(), request.data(), request.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      disconnected = true;  // EPIPE/ECONNRESET: the daemon hung up
+    }
+  }
+  if (!disconnected) {
+    // Sends kept landing (request frames are tiny); the disconnect then
+    // surfaces on the read side as EOF/reset after the queued tail.
+    for (int i = 0; i < 5000; ++i) {
+      try {
+        if (!slow.recv_line().has_value()) {
+          disconnected = true;
+          break;
+        }
+      } catch (const util::SocketError&) {
+        disconnected = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(disconnected);
+  slow.close();
+
+  // The daemon survived, still answers, and recorded why it hung up.
+  DaemonClient client(server.socket_path());
+  const std::string text = client.metrics();
+  EXPECT_NE(text.find("elpc_disconnects_total{reason=\"backpressure\"}"),
+            std::string::npos);
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+/// With --auth-token set: `stats` serves unauthenticated (liveness
+/// probes), every other verb answers code "unauthenticated", a wrong
+/// token answers code "auth_failed" (and bumps the counter), and the
+/// right token unlocks the connection — per connection, not per client.
+TEST(ConnectionMux, AuthGatesVerbsPerConnection) {
+  SocketServerOptions options;
+  options.auth_token = "s3cret";
+  SocketServer server(socket_path("auth"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  util::StreamSocket raw = util::StreamSocket::connect(server.socket_path());
+  // stats: exempt, so unauthenticated monitoring keeps working.
+  raw.send_line(verb_frame("stats").dump());
+  ASSERT_TRUE(raw.recv_line().has_value());
+
+  // Anything else: refused with the stable machine-readable code.
+  util::Json poll = verb_frame("poll");
+  poll.set("ticket", 1);
+  raw.send_line(poll.dump());
+  std::optional<std::string> line = raw.recv_line();
+  ASSERT_TRUE(line.has_value());
+  util::Json refused = util::Json::parse(*line);
+  EXPECT_FALSE(refused.at("ok").as_bool());
+  EXPECT_EQ(refused.at("code").as_string(), "unauthenticated");
+
+  // Wrong token: refused, connection stays open (no oracle drip).
+  util::Json bad = verb_frame("auth");
+  bad.set("token", "guess");
+  raw.send_line(bad.dump());
+  line = raw.recv_line();
+  ASSERT_TRUE(line.has_value());
+  refused = util::Json::parse(*line);
+  EXPECT_FALSE(refused.at("ok").as_bool());
+  EXPECT_EQ(refused.at("code").as_string(), "auth_failed");
+
+  // Right token on the same connection: unlocked.
+  util::Json good = verb_frame("auth");
+  good.set("token", "s3cret");
+  raw.send_line(good.dump());
+  line = raw.recv_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_TRUE(util::Json::parse(*line).at("ok").as_bool());
+  raw.send_line(poll.dump());
+  line = raw.recv_line();
+  ASSERT_TRUE(line.has_value());
+  const util::Json after = util::Json::parse(*line);
+  EXPECT_FALSE(after.at("ok").as_bool());  // unknown ticket...
+  EXPECT_FALSE(after.contains("code"));    // ...but past the auth gate
+  raw.close();
+
+  // The typed client authenticates transparently (and re-auths after
+  // reconnects); the failed attempt above is on the books.
+  DaemonClientOptions client_options;
+  client_options.auth_token = "s3cret";
+  DaemonClient client(DaemonEndpoint::unix_path_at(server.socket_path()),
+                      client_options);
+  const util::Json stats = client.stats();
+  EXPECT_TRUE(stats.at("auth_required").as_bool());
+  EXPECT_EQ(stats.at("auth_failures").as_int(), 1);
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+/// Per-connection quotas answer stable codes and release as jobs turn
+/// terminal: max_inflight_jobs rejects the N+1th in-flight submit with
+/// "quota_jobs", and a fresh submit is admitted again after the backlog
+/// completes.
+TEST(ConnectionMux, InflightJobQuotaRejectsAndReleases) {
+  SocketServerOptions options;
+  options.start_paused = true;  // keep submissions in flight
+  options.max_inflight_jobs = 2;
+  SocketServer server(socket_path("quota"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  DaemonClient client(server.socket_path());
+  client.register_network("net", make_network(3));
+  const Ticket t0 =
+      client.submit(make_job("q0", 80, service::Objective::kMinDelay));
+  const Ticket t1 =
+      client.submit(make_job("q1", 81, service::Objective::kMinDelay));
+
+  util::Json over = verb_frame("submit");
+  over.set("job",
+           service::to_json(make_job("q2", 82, service::Objective::kMinDelay)));
+  const util::Json rejected = client.request(over);
+  EXPECT_FALSE(rejected.at("ok").as_bool());
+  EXPECT_EQ(rejected.at("code").as_string(), "quota_jobs");
+
+  client.resume();
+  EXPECT_EQ(client.wait(t0).at("state").as_string(), "done");
+  EXPECT_EQ(client.wait(t1).at("state").as_string(), "done");
+  // Terminal jobs released their quota slots; the same frame passes.
+  EXPECT_TRUE(client.request(over).at("ok").as_bool());
+  EXPECT_EQ(client.stats().at("quota_rejections").as_int(), 1);
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+/// The byte quota guards daemon memory against one client submitting
+/// huge jobs: a submit whose in-flight request bytes would pass the cap
+/// answers "quota_bytes".
+TEST(ConnectionMux, InflightByteQuotaRejects) {
+  SocketServerOptions options;
+  options.start_paused = true;
+  options.max_inflight_bytes = 64;  // smaller than any submit frame
+  SocketServer server(socket_path("quotab"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  DaemonClient client(server.socket_path());
+  client.register_network("net", make_network(3));
+  util::Json frame = verb_frame("submit");
+  frame.set("job",
+            service::to_json(make_job("b0", 83, service::Objective::kMinDelay)));
+  const util::Json rejected = client.request(frame);
+  EXPECT_FALSE(rejected.at("ok").as_bool());
+  EXPECT_EQ(rejected.at("code").as_string(), "quota_bytes");
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+/// A completion-driven wait belongs to the waiter's connection, not the
+/// submitter's: the submitter hanging up while its job is still queued
+/// must not disturb another client's pending wait on that ticket.
+TEST(ConnectionMux, WaitAnsweredAfterSubmitterDisconnects) {
+  SocketServerOptions options;
+  options.start_paused = true;
+  SocketServer server(socket_path("orphan"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  Ticket ticket = 0;
+  {
+    DaemonClient submitter(server.socket_path());
+    submitter.register_network("net", make_network(3));
+    ticket = submitter.submit(
+        make_job("orphaned", 84, service::Objective::kMinDelay));
+  }  // submitter's connection closes with the job still queued
+
+  util::Json waited;
+  std::thread waiter([&server, ticket, &waited]() {
+    DaemonClient blocked(server.socket_path());
+    waited = blocked.wait(ticket);
+  });
+  // Give the wait a moment to register before dispatch opens.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  DaemonClient control(server.socket_path());
+  control.resume();
+  waiter.join();
+  EXPECT_EQ(waited.at("state").as_string(), "done");
+
+  control.shutdown_server();
+  serve_thread.join();
+}
+
+/// The TCP listener speaks the identical protocol: the same job solved
+/// over the Unix socket and over TCP answers byte-identical canonical
+/// result JSON.
+TEST(ConnectionMux, TcpTransportIsByteIdenticalToUnix) {
+  SocketServerOptions options;
+  options.tcp = true;
+  options.tcp_host = "127.0.0.1";
+  options.tcp_port = 0;  // ephemeral; resolved below
+  SocketServer server(socket_path("tcp"), options);
+  std::thread serve_thread([&server]() { server.serve(); });
+  ASSERT_GT(server.tcp_port(), 0);
+
+  DaemonClient unix_client(server.socket_path());
+  unix_client.register_network("net", make_network(3));
+  const Ticket unix_ticket = unix_client.submit(
+      make_job("xport", 85, service::Objective::kMaxFrameRate));
+  const util::Json unix_done = unix_client.wait(unix_ticket);
+  ASSERT_EQ(unix_done.at("state").as_string(), "done");
+
+  DaemonClient tcp_client(
+      DaemonEndpoint::tcp_at("127.0.0.1", server.tcp_port()));
+  const Ticket tcp_ticket = tcp_client.submit(
+      make_job("xport", 85, service::Objective::kMaxFrameRate));
+  const util::Json tcp_done = tcp_client.wait(tcp_ticket);
+  ASSERT_EQ(tcp_done.at("state").as_string(), "done");
+
+  EXPECT_EQ(unix_done.at("result").dump(), tcp_done.at("result").dump());
+  EXPECT_GE(tcp_client.stats().at("connections_tcp").as_int(), 1);
+
+  tcp_client.shutdown_server();
+  serve_thread.join();
+}
+
+/// The reason the multiplexer exists: connections must cost buffers,
+/// not threads.  Holding N idle connections leaves the process thread
+/// count exactly where it was, while the stats gauge reports them.
+TEST(ConnectionMux, IdleConnectionsCostNoThreads) {
+  SocketServer server(socket_path("idle"), SocketServerOptions{});
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  DaemonClient client(server.socket_path());
+  const std::int64_t threads_before =
+      client.stats().at("threads_os").as_int();
+
+  std::vector<util::StreamSocket> fleet;
+  fleet.reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    fleet.push_back(util::StreamSocket::connect(server.socket_path()));
+  }
+  // Accepts are asynchronous; poll the gauge until the fleet is seen.
+  std::int64_t live = 0;
+  for (int i = 0; i < 100; ++i) {
+    live = client.stats().at("connections").as_int();
+    if (live >= 51) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(live, 51) << "gauge lost idle connections";
+  EXPECT_EQ(client.stats().at("threads_os").as_int(), threads_before);
+  fleet.clear();
+
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+}  // namespace
+}  // namespace elpc::daemon

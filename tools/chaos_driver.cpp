@@ -30,6 +30,13 @@
 // daemon under TSan (see .github/workflows/ci.yml).
 //
 //   chaos_driver --socket /tmp/elpc.sock --duration-s 15 --threads 4
+//
+// The storm can instead target a TCP daemon (--tcp host:port, with
+// --auth-token when the daemon requires one), and --idle-conns N holds
+// N idle connections open across the storm to assert the epoll front
+// end's fixed-pool invariant: the daemon's OS thread count (stats
+// threads_os) must not grow with connections, while the stats
+// connection gauge must report them.
 
 #include <atomic>
 #include <chrono>
@@ -85,11 +92,32 @@ service::SolveJob make_job(const std::string& id, const std::string& network,
   return job;
 }
 
-daemon::DaemonClientOptions client_options() {
+/// Where the storm lands: a Unix path or a TCP host:port, plus the
+/// shared auth token when the daemon demands one.
+struct Target {
+  daemon::DaemonEndpoint endpoint;
+  std::string auth_token;
+};
+
+daemon::DaemonClientOptions client_options(const Target& target) {
   daemon::DaemonClientOptions options;
   options.max_retries = 6;  // the daemon's injected socket faults are
   options.backoff_ms = 5;   // exactly what the retry policy is for
+  options.auth_token = target.auth_token;
   return options;
+}
+
+daemon::DaemonClient make_client(const Target& target) {
+  return daemon::DaemonClient(target.endpoint, client_options(target));
+}
+
+/// A raw framed socket to the target (no client retry/auth machinery) —
+/// the hostile-frames and idle-connection paths.
+util::StreamSocket raw_stream(const Target& target) {
+  return target.endpoint.is_tcp()
+             ? util::StreamSocket::connect_tcp(target.endpoint.tcp_host,
+                                               target.endpoint.tcp_port)
+             : util::StreamSocket::connect(target.endpoint.unix_path);
 }
 
 /// Tickets every worker submitted, shared so workers can poll/cancel
@@ -124,11 +152,11 @@ struct WorkerCounters {
 /// Solves the control job until it lands state=done (fault points like
 /// arena_alloc can legitimately fail attempts) and returns the canonical
 /// result JSON.  Empty optional when `attempts` runs out.
-std::optional<std::string> control_solve(const std::string& socket_path,
+std::optional<std::string> control_solve(const Target& target,
                                          int attempts) {
   for (int i = 0; i < attempts; ++i) {
     try {
-      daemon::DaemonClient client(socket_path, client_options());
+      daemon::DaemonClient client = make_client(target);
       service::SolveJob job = make_job("control", "ctrl", 500,
                                        service::Objective::kMaxFrameRate);
       const daemon::Ticket ticket = client.submit(job, /*priority=*/100);
@@ -144,7 +172,7 @@ std::optional<std::string> control_solve(const std::string& socket_path,
   return std::nullopt;
 }
 
-void chaos_worker(const std::string& socket_path, std::uint64_t seed,
+void chaos_worker(const Target& target, std::uint64_t seed,
                   Clock::time_point until, const graph::Edge edge,
                   TicketBoard& board, WorkerCounters& counters) {
   util::Rng rng(seed);
@@ -156,8 +184,8 @@ void chaos_worker(const std::string& socket_path, std::uint64_t seed,
     counters.ops.fetch_add(1, std::memory_order_relaxed);
     try {
       if (!client) {
-        client = std::make_unique<daemon::DaemonClient>(socket_path,
-                                                        client_options());
+        client = std::make_unique<daemon::DaemonClient>(
+            target.endpoint, client_options(target));
       }
       const std::int64_t op = rng.uniform_int(0, 99);
       if (op < 35) {  // submit, mixed deadlines and priorities
@@ -196,7 +224,7 @@ void chaos_worker(const std::string& socket_path, std::uint64_t seed,
       } else if (op < 90) {  // stats probe
         (void)client->stats();
       } else if (op < 96) {  // malformed frames on a throwaway socket
-        util::UnixSocket hostile = util::UnixSocket::connect(socket_path);
+        util::StreamSocket hostile = raw_stream(target);
         const char* garbage[] = {
             "{\"verb\": \"sub",
             "{\"verb\": 42}",
@@ -284,6 +312,18 @@ StatsSnapshot read_stats(daemon::DaemonClient& client) {
 int main(int argc, char** argv) {
   util::ArgParser parser("chaos_driver");
   parser.add_string("socket", "", "socket path of the live daemon");
+  parser.add_string("tcp", "",
+                    "target a TCP daemon at host:port instead of --socket");
+  parser.add_string("auth-token", "",
+                    "shared token for daemons serving with --auth-token");
+  parser.add_int("idle-conns", 0,
+                 "hold this many idle connections open across the storm "
+                 "and assert the fixed-pool invariant: stats threads_os "
+                 "must not grow with them while the connection gauge "
+                 "reports them");
+  parser.add_int("max-threads", 0,
+                 "absolute cap asserted on stats threads_os while the "
+                 "idle connections are held (0 = only assert no growth)");
   parser.add_int("duration-s", 15, "storm duration in seconds");
   parser.add_int("threads", 4, "concurrent chaos workers");
   parser.add_int("seed", 7, "base seed for the chaos streams");
@@ -305,10 +345,26 @@ int main(int argc, char** argv) {
   try {
     parser.parse(argc, argv);
     const std::string socket_path = parser.get_string("socket");
-    if (socket_path.empty()) {
-      std::fprintf(stderr, "chaos_driver: --socket is required\n%s",
+    const std::string tcp = parser.get_string("tcp");
+    if (socket_path.empty() == tcp.empty()) {
+      std::fprintf(stderr,
+                   "chaos_driver: exactly one of --socket or --tcp is "
+                   "required\n%s",
                    parser.usage().c_str());
       return 2;
+    }
+    Target target;
+    target.auth_token = parser.get_string("auth-token");
+    if (!tcp.empty()) {
+      const std::size_t colon = tcp.rfind(':');
+      if (colon == std::string::npos || colon + 1 == tcp.size()) {
+        std::fprintf(stderr, "chaos_driver: --tcp expects host:port\n");
+        return 2;
+      }
+      target.endpoint = daemon::DaemonEndpoint::tcp_at(
+          tcp.substr(0, colon), std::stoi(tcp.substr(colon + 1)));
+    } else {
+      target.endpoint = daemon::DaemonEndpoint::unix_path_at(socket_path);
     }
     // Faults belong in the DAEMON process; an inherited ELPC_FAULTS must
     // not sabotage the driver's own sockets and checks.
@@ -316,7 +372,7 @@ int main(int argc, char** argv) {
 
     // --- Setup: register the storm target and the untouched control ---
     {
-      daemon::DaemonClient client(socket_path, client_options());
+      daemon::DaemonClient client = make_client(target);
       const std::pair<const char*, std::uint64_t> nets[] = {
           {"net", kChaosNetSeed}, {"ctrl", kControlNetSeed}};
       for (const auto& [id, seed] : nets) {
@@ -328,9 +384,29 @@ int main(int argc, char** argv) {
       }
     }
     const std::optional<std::string> control_before =
-        control_solve(socket_path, /*attempts=*/20);
+        control_solve(target, /*attempts=*/20);
     if (!control_before) {
       violate("control job never solved before the storm");
+    }
+
+    // --- Idle-client fleet: connections that never send a byte.  Under
+    // the epoll front end each costs a buffer, not a thread, so the
+    // daemon's OS thread count must stay flat however many we hold.
+    const std::int64_t idle_conns = parser.get_int("idle-conns");
+    std::int64_t threads_before_idle = 0;
+    std::vector<util::StreamSocket> idle_fleet;
+    if (idle_conns > 0) {
+      {
+        daemon::DaemonClient probe = make_client(target);
+        threads_before_idle = probe.stats().at("threads_os").as_int();
+      }
+      idle_fleet.reserve(static_cast<std::size_t>(idle_conns));
+      for (std::int64_t i = 0; i < idle_conns; ++i) {
+        idle_fleet.push_back(raw_stream(target));
+      }
+      std::fprintf(stderr, "holding %lld idle connections (threads_os=%lld)\n",
+                   static_cast<long long>(idle_conns),
+                   static_cast<long long>(threads_before_idle));
     }
 
     // --- Storm ---
@@ -346,7 +422,7 @@ int main(int argc, char** argv) {
     workers.reserve(static_cast<std::size_t>(threads));
     for (std::int64_t i = 0; i < threads; ++i) {
       workers.emplace_back([&, i]() {
-        chaos_worker(socket_path, seed * 1000 + static_cast<std::uint64_t>(i),
+        chaos_worker(target, seed * 1000 + static_cast<std::uint64_t>(i),
                      until, edge, board, counters);
       });
     }
@@ -360,8 +436,35 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(counters.client_errors.load()));
 
     // --- Settle: queue empties, pins return to steady state ---
-    daemon::DaemonClient client(socket_path, client_options());
+    daemon::DaemonClient client = make_client(target);
     client.resume();  // a pause left behind must not wedge the settle
+
+    // --- Fixed-pool invariant, measured with the idle fleet still
+    // connected and the storm's reconnect churn behind us.
+    if (idle_conns > 0) {
+      const util::Json s = client.stats();
+      const std::int64_t live = s.at("connections").as_int();
+      const std::int64_t threads_os = s.at("threads_os").as_int();
+      if (live < idle_conns) {
+        violate("connection gauge lost idle clients: connections=" +
+                std::to_string(live) + " with " +
+                std::to_string(idle_conns) + " held open");
+      }
+      // The whole point of the multiplexer: N idle clients cost zero
+      // threads.  Allow +1 for unrelated runtime noise.
+      if (threads_os > threads_before_idle + 1) {
+        violate("daemon threads grew with idle connections: " +
+                std::to_string(threads_before_idle) + " -> " +
+                std::to_string(threads_os) + " holding " +
+                std::to_string(idle_conns));
+      }
+      const std::int64_t max_threads = parser.get_int("max-threads");
+      if (max_threads > 0 && threads_os > max_threads) {
+        violate("threads_os=" + std::to_string(threads_os) +
+                " above --max-threads=" + std::to_string(max_threads));
+      }
+      idle_fleet.clear();  // hang up; the daemon should reap them all
+    }
     const Clock::time_point settle_until =
         Clock::now() + std::chrono::seconds(parser.get_int("settle-s"));
     StatsSnapshot stats = read_stats(client);
@@ -447,7 +550,7 @@ int main(int argc, char** argv) {
 
     // --- Control job answers byte-identically after the storm ---
     const std::optional<std::string> control_after =
-        control_solve(socket_path, /*attempts=*/20);
+        control_solve(target, /*attempts=*/20);
     if (!control_after) {
       violate("control job never solved after the storm");
     } else if (control_before && *control_before != *control_after) {

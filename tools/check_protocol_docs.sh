@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Docs-consistency gate: every verb the daemon dispatches must be
+# documented in docs/protocol.md.
+#
+# The source of truth is the dispatch comparisons in
+# src/daemon/socket_server.cpp (`verb == "..."`); the doc must mention
+# each verb name somewhere (section headers use the bare name, tables
+# and prose use `backticks`).  Run from anywhere:
+#
+#   sh tools/check_protocol_docs.sh
+#
+# Exits non-zero listing the undocumented verbs.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+server="$repo_root/src/daemon/socket_server.cpp"
+doc="$repo_root/docs/protocol.md"
+
+[ -f "$server" ] || { echo "check_protocol_docs: missing $server" >&2; exit 2; }
+[ -f "$doc" ] || { echo "check_protocol_docs: missing $doc" >&2; exit 2; }
+
+verbs=$(grep -oE 'verb == "[a-z_]+"' "$server" | sed 's/.*"\(.*\)"/\1/' | sort -u)
+[ -n "$verbs" ] || { echo "check_protocol_docs: no dispatched verbs found in $server (pattern drift?)" >&2; exit 2; }
+
+missing=""
+for verb in $verbs; do
+  if ! grep -qw "$verb" "$doc"; then
+    missing="$missing $verb"
+  fi
+done
+
+count=$(printf '%s\n' "$verbs" | wc -l | tr -d ' ')
+if [ -n "$missing" ]; then
+  echo "check_protocol_docs: verbs dispatched in src/daemon/socket_server.cpp but missing from docs/protocol.md:" >&2
+  for verb in $missing; do
+    echo "  - $verb" >&2
+  done
+  echo "Document them in docs/protocol.md (section 3, Verbs)." >&2
+  exit 1
+fi
+
+echo "check_protocol_docs: ok ($count verbs documented)"
