@@ -21,6 +21,69 @@ util::Json verb_frame(const std::string& verb) {
 
 }  // namespace
 
+util::Json JobStatusView::to_json() const {
+  util::Json frame = util::JsonObject{};
+  frame.set("ok", true);
+  frame.set("ticket", ticket);
+  frame.set("state", state);
+  frame.set("priority", priority);
+  if (!trace_id.empty()) {
+    frame.set("trace_id", trace_id);
+  }
+  if (result.has_value()) {
+    frame.set("result", service::result_entry_to_json(*result));
+  }
+  if (shutting_down) {
+    frame.set("shutting_down", true);
+  }
+  return frame;
+}
+
+JobStatusView JobStatusView::from_json(const util::Json& frame) {
+  JobStatusView view;
+  view.ticket = static_cast<Ticket>(frame.at("ticket").as_int());
+  view.state = frame.at("state").as_string();
+  view.priority = static_cast<int>(frame.at("priority").as_int());
+  if (const util::Json* trace = frame.find("trace_id")) {
+    view.trace_id = trace->as_string();
+  }
+  if (const util::Json* dying = frame.find("shutting_down")) {
+    view.shutting_down = dying->as_bool();
+  }
+  if (const util::Json* result = frame.find("result")) {
+    view.result = service::result_entry_from_json(*result);
+  }
+  return view;
+}
+
+StatsView StatsView::from_json(util::Json frame) {
+  StatsView view;
+  const auto field = [&frame](const char* name) -> std::int64_t {
+    const util::Json* v = frame.find(name);
+    return v != nullptr ? v->as_int() : 0;
+  };
+  view.queued = field("queued");
+  view.running = field("running");
+  view.submitted = field("submitted");
+  view.done = field("done");
+  view.failed = field("failed");
+  view.cancelled = field("cancelled");
+  view.timed_out = field("timed_out");
+  view.subscriptions = field("subscriptions");
+  view.pinned_revisions = field("pinned_revisions");
+  view.pinned_bytes = field("pinned_bytes");
+  view.lease_expirations = field("lease_expirations");
+  view.connections = field("connections");
+  view.connections_v1 = field("connections_v1");
+  view.connections_v2 = field("connections_v2");
+  view.threads_os = field("threads_os");
+  if (const util::Json* uptime = frame.find("uptime_ms")) {
+    view.uptime_ms = uptime->as_number();
+  }
+  view.raw = std::move(frame);
+  return view;
+}
+
 DaemonClient::DaemonClient(const std::string& socket_path,
                            DaemonClientOptions options)
     : DaemonClient(DaemonEndpoint::unix_path_at(socket_path),
@@ -39,6 +102,35 @@ void DaemonClient::connect_socket() {
                 ? util::StreamSocket::connect_tcp(endpoint_.tcp_host,
                                                   endpoint_.tcp_port)
                 : util::StreamSocket::connect(endpoint_.unix_path);
+  // Version is per-connection server state, like the auth flag: every
+  // (re)connect renegotiates from scratch.
+  hello_ = HelloInfo{};
+  if (options_.protocol != ProtocolPreference::kV1) {
+    util::Json frame = verb_frame("hello");
+    frame.set("min_version",
+              options_.protocol == ProtocolPreference::kV2 ? 2 : 1);
+    frame.set("max_version", wire::kProtocolVersionMax);
+    socket_.send_line(frame.dump());
+    const std::optional<std::string> line = socket_.recv_line();
+    if (!line.has_value()) {
+      throw util::SocketError("daemon closed the connection during hello");
+    }
+    const util::Json response = util::Json::parse(*line);
+    if (response.at("ok").as_bool()) {
+      hello_.version = static_cast<int>(response.at("version").as_int());
+      hello_.server_min =
+          static_cast<int>(response.at("min_version").as_int());
+      hello_.server_max =
+          static_cast<int>(response.at("max_version").as_int());
+    } else if (options_.protocol == ProtocolPreference::kV2) {
+      // The caller demanded v2; a server that cannot speak it (version
+      // mismatch, or a pre-hello server answering unknown-verb) is a
+      // definitive answer, not a transport fault.
+      throw DaemonError(response.at("error").as_string());
+    }
+    // kAuto falls back to v1 on any ok=false: the connection stays
+    // usable, just on the universal protocol.
+  }
   if (options_.auth_token.empty()) {
     return;
   }
@@ -58,6 +150,68 @@ void DaemonClient::connect_socket() {
   }
 }
 
+util::Json DaemonClient::recv_response() {
+  const std::optional<std::string> line = socket_.recv_line();
+  if (!line.has_value()) {
+    throw util::SocketError("daemon closed the connection mid-request");
+  }
+  util::Json response = util::Json::parse(*line);
+  const util::Json* marker = response.find("payload");
+  if (hello_.version < 2 || marker == nullptr || !marker->is_string()) {
+    return response;
+  }
+  // v2 control line announcing an adjacent binary frame: read it,
+  // decode the result table, and reinflate the response into the v1
+  // JSON shape — raw-frame callers never see a protocol difference
+  // (and the reinflated bytes are identical: %.17g doubles round-trip,
+  // the binary f64s are bit-exact).
+  const std::string where = marker->as_string();
+  const std::string header_bytes = socket_.recv_bytes(wire::kHeaderBytes);
+  std::vector<service::SolveResult> results;
+  try {
+    const std::optional<wire::FrameHeader> header =
+        wire::parse_header(header_bytes);
+    const std::string payload = socket_.recv_bytes(header->length);
+    if (header->type != wire::FrameType::kResultTable) {
+      throw wire::WireFormatError(
+          "unexpected binary response frame type " +
+          std::to_string(static_cast<int>(header->type)));
+    }
+    results = wire::decode_result_table(payload);
+  } catch (const wire::WireFormatError& e) {
+    // A malformed payload is a server-side defect, not a transient
+    // transport fault — close (the stream position is unknown) but
+    // surface it as a definitive answer so it is never retried.
+    socket_.close();
+    throw DaemonError(std::string("malformed v2 binary payload: ") +
+                      e.what());
+  }
+  util::JsonObject reinflated = response.as_object();
+  reinflated.erase("payload");
+  if (where == "result") {
+    if (results.size() != 1) {
+      socket_.close();
+      throw DaemonError("v2 result payload carried " +
+                        std::to_string(results.size()) +
+                        " entries where exactly 1 was announced");
+    }
+    reinflated.insert_or_assign(
+        "result", service::result_entry_to_json(results.front()));
+  } else if (where == "results") {
+    util::JsonArray entries;
+    entries.reserve(results.size());
+    for (const service::SolveResult& r : results) {
+      entries.push_back(service::result_entry_to_json(r));
+    }
+    reinflated.insert_or_assign("results",
+                                util::Json(std::move(entries)));
+  } else {
+    socket_.close();
+    throw DaemonError("unknown v2 payload marker '" + where + "'");
+  }
+  return util::Json(std::move(reinflated));
+}
+
 util::Json DaemonClient::request(const util::Json& frame) {
   const std::string payload = frame.dump();
   std::size_t attempt = 0;
@@ -67,11 +221,7 @@ util::Json DaemonClient::request(const util::Json& frame) {
         connect_socket();
       }
       socket_.send_line(payload);
-      const std::optional<std::string> line = socket_.recv_line();
-      if (!line.has_value()) {
-        throw util::SocketError("daemon closed the connection mid-request");
-      }
-      return util::Json::parse(*line);
+      return recv_response();
     } catch (const util::SocketTimeout&) {
       // The connection is healthy and the request may still be
       // executing server-side; retrying would double-run it.
@@ -81,17 +231,20 @@ util::Json DaemonClient::request(const util::Json& frame) {
       if (attempt >= options_.max_retries) {
         throw;
       }
-      // Exponential backoff, each step scaled by a uniform ±50% jitter
-      // so simultaneous failures do not retry in lockstep.
-      const double base =
-          static_cast<double>(options_.backoff_ms) *
-          static_cast<double>(std::uint64_t{1} << attempt);
-      std::uniform_real_distribution<double> jitter(0.5, 1.5);
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(base * jitter(rng_)));
+      retry_backoff(attempt);
       ++attempt;
     }
   }
+}
+
+void DaemonClient::retry_backoff(std::size_t attempt) {
+  // Exponential backoff, each step scaled by a uniform ±50% jitter so
+  // simultaneous failures do not retry in lockstep.
+  const double base = static_cast<double>(options_.backoff_ms) *
+                      static_cast<double>(std::uint64_t{1} << attempt);
+  std::uniform_real_distribution<double> jitter(0.5, 1.5);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(base * jitter(rng_)));
 }
 
 std::string DaemonClient::next_trace_id() {
@@ -141,6 +294,14 @@ util::Json DaemonClient::wait(Ticket ticket) {
   return checked(std::move(frame));
 }
 
+JobStatusView DaemonClient::poll_status(Ticket ticket) {
+  return JobStatusView::from_json(poll(ticket));
+}
+
+JobStatusView DaemonClient::wait_status(Ticket ticket) {
+  return JobStatusView::from_json(wait(ticket));
+}
+
 bool DaemonClient::cancel(Ticket ticket) {
   util::Json frame = verb_frame("cancel");
   frame.set("ticket", ticket);
@@ -153,6 +314,59 @@ std::vector<util::Json> DaemonClient::apply_link_updates(
   frame.set("network", network);
   frame.set("updates", service::link_updates_to_json(updates));
   return checked(std::move(frame)).at("results").as_array();
+}
+
+std::vector<service::SolveResult> DaemonClient::resolve_link_updates(
+    const std::string& network, std::span<const graph::LinkUpdate> updates) {
+  std::size_t attempt = 0;
+  for (;;) {
+    try {
+      if (!socket_.valid()) {
+        connect_socket();
+      }
+      util::Json response;
+      if (hello_.version >= 2) {
+        // The bulk data plane: the request leaves as one binary
+        // link-update table frame, the response comes back as a control
+        // line plus a binary result table (recv_response reinflates).
+        const std::string table =
+            wire::encode_link_update_table(network, updates);
+        socket_.send_bytes(wire::encode_header(
+            wire::FrameType::kLinkUpdateTable, 0,
+            static_cast<std::uint32_t>(table.size())));
+        socket_.send_bytes(table);
+        response = recv_response();
+      } else {
+        // The connection of the moment speaks v1 (preference kV1, or a
+        // fallback after reconnect): same verb as the raw helper.
+        util::Json frame = verb_frame("apply_link_updates");
+        frame.set("network", network);
+        frame.set("updates", service::link_updates_to_json(updates));
+        if (options_.auto_trace && !frame.contains("trace_id")) {
+          frame.set("trace_id", next_trace_id());
+        }
+        socket_.send_line(frame.dump());
+        response = recv_response();
+      }
+      if (!response.at("ok").as_bool()) {
+        throw DaemonError(response.at("error").as_string());
+      }
+      std::vector<service::SolveResult> results;
+      for (const util::Json& entry : response.at("results").as_array()) {
+        results.push_back(service::result_entry_from_json(entry));
+      }
+      return results;
+    } catch (const util::SocketTimeout&) {
+      throw;
+    } catch (const util::SocketError&) {
+      socket_.close();
+      if (attempt >= options_.max_retries) {
+        throw;
+      }
+      retry_backoff(attempt);
+      ++attempt;
+    }
+  }
 }
 
 void DaemonClient::pause() { (void)checked(verb_frame("pause")); }
@@ -185,6 +399,20 @@ util::Json DaemonClient::drain(std::int64_t timeout_ms) {
   util::Json frame = verb_frame("drain");
   frame.set("timeout_ms", timeout_ms);
   return checked(std::move(frame));
+}
+
+DrainOutcome DaemonClient::drain_report(std::int64_t timeout_ms) {
+  const util::Json frame = drain(timeout_ms);
+  DrainOutcome report;
+  report.drained = frame.at("drained").as_bool();
+  report.completed = frame.at("completed").as_int();
+  report.timed_out = frame.at("timed_out").as_int();
+  report.queued = frame.at("queued").as_int();
+  report.running = frame.at("running").as_int();
+  report.pinned_revisions = frame.at("pinned_revisions").as_int();
+  report.pinned_bytes = frame.at("pinned_bytes").as_int();
+  report.lease_expirations = frame.at("lease_expirations").as_int();
+  return report;
 }
 
 void DaemonClient::shutdown_server() {

@@ -20,12 +20,14 @@
 // `stats`/`poll`, which is what the chaos driver's invariants do.
 
 #include <cstdint>
+#include <optional>
 #include <random>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "daemon/job_manager.hpp"
+#include "daemon/wire_format.hpp"
 #include "graph/network.hpp"
 #include "service/batch_engine.hpp"
 #include "util/json.hpp"
@@ -37,6 +39,20 @@ namespace elpc::daemon {
 class DaemonError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Which wire protocol this client speaks (DaemonClientOptions::
+/// protocol).
+enum class ProtocolPreference {
+  /// Negotiate via `hello`: the highest version both sides speak, v1
+  /// when the server predates negotiation (answers unknown-verb).
+  kAuto,
+  /// Never send `hello` — the connection is byte-identical to a
+  /// pre-negotiation client.
+  kV1,
+  /// Demand v2: a server that cannot speak it fails the connect with
+  /// DaemonError instead of silently downgrading.
+  kV2,
 };
 
 struct DaemonClientOptions {
@@ -59,6 +75,80 @@ struct DaemonClientOptions {
   /// reconnect must re-present the token or every retried request would
   /// bounce with code "unauthenticated".
   std::string auth_token;
+  /// Wire protocol selection; negotiation (when not kV1) runs first
+  /// thing after every (re)connect, before even auth — version is
+  /// per-connection server state, exactly like the auth flag.
+  ProtocolPreference protocol = ProtocolPreference::kAuto;
+};
+
+/// What `hello` negotiated for this connection.
+struct HelloInfo {
+  /// The version both ends speak (1 when negotiation was skipped or the
+  /// server predates it).
+  int version = 1;
+  /// The server's advertised range (both 1 for a pre-hello server).
+  int server_min = 1;
+  int server_max = 1;
+};
+
+/// Typed poll/wait answer — the decoded status frame.  `result` is set
+/// exactly when the job is terminal; to_json() reproduces the v1 wire
+/// frame byte-for-byte (sorted keys, %.17g doubles), which is what lets
+/// typed callers print output byte-identical to raw-frame callers.
+struct JobStatusView {
+  Ticket ticket = 0;
+  std::string state;
+  int priority = 0;
+  /// The correlation id echoed on the frame ("" when none).
+  std::string trace_id;
+  /// The daemon released a wait without a terminal state because it is
+  /// shutting down; the state will never advance.
+  bool shutting_down = false;
+  std::optional<service::SolveResult> result;
+
+  [[nodiscard]] bool terminal() const { return result.has_value(); }
+  [[nodiscard]] util::Json to_json() const;
+  [[nodiscard]] static JobStatusView from_json(const util::Json& frame);
+};
+
+/// Typed drain report (the `drain` verb's answer).
+struct DrainOutcome {
+  bool drained = false;
+  /// Jobs that turned terminal while draining / jobs the drain budget
+  /// expired (mirrors JobManager::DrainReport).
+  std::int64_t completed = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t queued = 0;
+  std::int64_t running = 0;
+  std::int64_t pinned_revisions = 0;
+  std::int64_t pinned_bytes = 0;
+  std::int64_t lease_expirations = 0;
+};
+
+/// Typed view of the `stats` frame: the counters in-repo consumers
+/// (chaos driver, CLI) actually branch on, plus the full frame in `raw`
+/// for everything else (the stats payload grows too often to mirror
+/// field-for-field).
+struct StatsView {
+  std::int64_t queued = 0;
+  std::int64_t running = 0;
+  std::int64_t submitted = 0;
+  std::int64_t done = 0;
+  std::int64_t failed = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t subscriptions = 0;
+  std::int64_t pinned_revisions = 0;
+  std::int64_t pinned_bytes = 0;
+  std::int64_t lease_expirations = 0;
+  std::int64_t connections = 0;
+  std::int64_t connections_v1 = 0;
+  std::int64_t connections_v2 = 0;
+  std::int64_t threads_os = 0;
+  double uptime_ms = 0.0;
+  util::Json raw;
+
+  [[nodiscard]] static StatsView from_json(util::Json frame);
 };
 
 /// Where the daemon listens: a Unix-domain path (default, and what the
@@ -101,19 +191,38 @@ class DaemonClient {
   /// is not retried).
   [[nodiscard]] util::Json request(const util::Json& frame);
 
+  /// What the current connection negotiated (1 before any hello, after
+  /// a fallback, or under ProtocolPreference::kV1).
+  [[nodiscard]] int protocol_version() const { return hello_.version; }
+  [[nodiscard]] const HelloInfo& hello_info() const { return hello_; }
+
   void register_network(const std::string& id, const graph::Network& network);
   [[nodiscard]] Ticket submit(const service::SolveJob& job, int priority = 0);
   /// Non-blocking status; "result" present once terminal.
   [[nodiscard]] util::Json poll(Ticket ticket);
   /// Blocks server-side until the job is terminal.
   [[nodiscard]] util::Json wait(Ticket ticket);
+  /// Typed poll/wait: the decoded status frame (result set once
+  /// terminal); to_json() round-trips to the raw frame byte-for-byte.
+  [[nodiscard]] JobStatusView poll_status(Ticket ticket);
+  [[nodiscard]] JobStatusView wait_status(Ticket ticket);
   [[nodiscard]] bool cancel(Ticket ticket);
-  /// Returns the re-solved subscription result entries.
+  /// Returns the re-solved subscription result entries as raw JSON (the
+  /// wire shape — what byte-compat comparisons diff).
   [[nodiscard]] std::vector<util::Json> apply_link_updates(
+      const std::string& network, std::span<const graph::LinkUpdate> updates);
+  /// Typed apply_link_updates.  On a v2 connection the request itself
+  /// leaves as one binary link-update table frame (the bulk data plane)
+  /// instead of a JSON array.
+  [[nodiscard]] std::vector<service::SolveResult> resolve_link_updates(
       const std::string& network, std::span<const graph::LinkUpdate> updates);
   void pause();
   void resume();
   [[nodiscard]] util::Json stats();
+  /// Typed stats: the counters consumers branch on, full frame in .raw.
+  [[nodiscard]] StatsView stats_view() {
+    return StatsView::from_json(stats());
+  }
   /// Prometheus text exposition from the daemon's metrics registry.
   [[nodiscard]] std::string metrics();
   /// Server-side slowlog narrowing: empty/zero fields mean "no filter".
@@ -134,6 +243,8 @@ class DaemonClient {
   /// Graceful drain (see JobManager::drain); returns the report frame
   /// ("drained", "completed", "timed_out", pin/lease counters).
   [[nodiscard]] util::Json drain(std::int64_t timeout_ms);
+  /// Typed drain report.
+  [[nodiscard]] DrainOutcome drain_report(std::int64_t timeout_ms);
   void shutdown_server();
 
  private:
@@ -142,13 +253,23 @@ class DaemonClient {
   util::Json checked(util::Json frame);
   /// Next generated id: "c<pid>-<seq>".
   [[nodiscard]] std::string next_trace_id();
-  /// (Re)connects socket_ to endpoint_ and runs the auth handshake when
-  /// a token is configured.
+  /// (Re)connects socket_ to endpoint_, negotiates the protocol (unless
+  /// pinned to v1), and runs the auth handshake when a token is
+  /// configured.
   void connect_socket();
+  /// Receives one response line and, when it carries a v2 "payload"
+  /// marker, the adjacent binary frame — returning the response
+  /// reinflated into its v1 JSON shape, so raw callers never see a
+  /// difference between protocols.
+  [[nodiscard]] util::Json recv_response();
+  /// Sleeps the exponential-backoff-with-jitter step for `attempt` (the
+  /// shared tail of every transparent-retry loop).
+  void retry_backoff(std::size_t attempt);
 
   const DaemonClientOptions options_;
   const DaemonEndpoint endpoint_;  // retries reconnect here
   util::StreamSocket socket_;
+  HelloInfo hello_;  // what the CURRENT connection negotiated
   std::mt19937 rng_;  // backoff jitter only — never affects results
   std::uint64_t trace_seq_ = 0;
 };

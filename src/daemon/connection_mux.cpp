@@ -22,20 +22,64 @@ constexpr std::uint64_t kTcpListenerTag = 2;
 /// monopolize its worker's pass.
 constexpr std::size_t kRecvBudgetBytes = 256u << 10;
 
+/// True when the read buffer holds something process_frames can act on
+/// without more input: a complete text line, a complete binary frame,
+/// a malformed binary header, or a binary frame whose declared length
+/// already exceeds the cap (rejected without buffering it).
+bool has_actionable_frame(const std::string& buf,
+                          std::size_t max_line_bytes) {
+  if (buf.empty()) {
+    return false;
+  }
+  if (wire::is_frame_start(static_cast<unsigned char>(buf[0]))) {
+    try {
+      const std::optional<wire::FrameHeader> header = wire::parse_header(buf);
+      if (!header.has_value()) {
+        return false;  // torn header
+      }
+      return header->length > max_line_bytes ||
+             buf.size() >= wire::kHeaderBytes + header->length;
+    } catch (const wire::WireFormatError&) {
+      return true;  // malformed magic/flags: actionable as an error
+    }
+  }
+  return buf.find('\n') != std::string::npos;
+}
+
 }  // namespace
 
 void MuxConnection::send_line(const std::string& line) {
+  std::vector<std::string> chunks;
+  chunks.push_back(line + "\n");
+  enqueue_chunks(std::move(chunks));
+}
+
+void MuxConnection::send_line_with_frame(const std::string& line,
+                                         wire::FrameType type,
+                                         std::string payload) {
+  std::vector<std::string> chunks;
+  chunks.reserve(3);
+  chunks.push_back(line + "\n");
+  chunks.push_back(wire::encode_header(
+      type, 0, static_cast<std::uint32_t>(payload.size())));
+  chunks.push_back(std::move(payload));
+  enqueue_chunks(std::move(chunks));
+}
+
+void MuxConnection::enqueue_chunks(std::vector<std::string> chunks) {
   {
     const std::lock_guard<std::mutex> lock(write_mutex_);
     if (closed_ || closing_) {
       return;  // the client is gone (or going); nothing to deliver to
     }
-    write_buffer_.append(line);
-    write_buffer_.push_back('\n');
-    if (write_buffer_.size() > mux_->options_.max_write_queue_bytes) {
+    for (std::string& chunk : chunks) {
+      write_queue_bytes_ += chunk.size();
+      write_queue_.push_back(std::move(chunk));
+    }
+    if (write_queue_bytes_ > mux_->options_.max_write_queue_bytes) {
       overflowed_ = true;
       close_reason_ = "write queue overflow (" +
-                      std::to_string(write_buffer_.size()) + " bytes > " +
+                      std::to_string(write_queue_bytes_) + " bytes > " +
                       std::to_string(mux_->options_.max_write_queue_bytes) +
                       " cap) — slow consumer";
     }
@@ -260,16 +304,24 @@ void ConnectionMux::flush_writes(Worker& worker,
           << "mux: disconnecting " << conn->transport_ << " conn "
           << conn->id_ << ": " << conn->close_reason_;
     } else {
-      switch (conn->socket_.send_pending(conn->write_buffer_)) {
+      switch (conn->socket_.send_pending(conn->write_queue_,
+                                         conn->write_front_offset_)) {
         case util::StreamSocket::IoStatus::kOk:
+          conn->write_queue_bytes_ = 0;
           if (conn->closing_) {
             action = Action::kClose;
             reason = conn->close_reason_;
           }
           break;
-        case util::StreamSocket::IoStatus::kWouldBlock:
+        case util::StreamSocket::IoStatus::kWouldBlock: {
+          std::size_t left = 0;
+          for (const std::string& chunk : conn->write_queue_) {
+            left += chunk.size();
+          }
+          conn->write_queue_bytes_ = left - conn->write_front_offset_;
           want_epollout = true;
           break;
+        }
         case util::StreamSocket::IoStatus::kEof:
         case util::StreamSocket::IoStatus::kError:
           action = Action::kClose;
@@ -319,20 +371,85 @@ void ConnectionMux::finish_close(Worker& worker,
   }
 }
 
+void ConnectionMux::frame_violation(Worker& worker,
+                                    const std::shared_ptr<MuxConnection>& conn,
+                                    const std::string& diagnostic) {
+  // Same contract for every unrecoverable framing failure (over-cap
+  // unterminated text, bad binary magic, over-cap declared length):
+  // one error frame (best effort), then close — the stream can never
+  // re-sync to a frame boundary.
+  conn->read_buffer_.clear();
+  conn->reading_paused_ = true;
+  const std::uint32_t interest =
+      conn->epollout_armed_ ? util::Poller::kWritable : 0;
+  try {
+    worker.poller.mod(conn->socket_.fd(), interest, conn->id_);
+  } catch (const util::SocketError&) {
+    finish_close(worker, conn, "error");
+    return;
+  }
+  if (callbacks_.frame_error_line) {
+    conn->send_line(callbacks_.frame_error_line(diagnostic));
+  }
+  conn->close_after_flush("protocol");
+}
+
 void ConnectionMux::process_frames(Worker& worker,
                                    const std::shared_ptr<MuxConnection>& conn,
                                    bool drain_all) {
   conn->in_ready_ = false;
   std::size_t handled = 0;
   while (drain_all || handled < options_.max_frames_per_wake) {
-    const std::size_t newline = conn->read_buffer_.find('\n');
-    if (newline == std::string::npos) {
+    std::string& buf = conn->read_buffer_;
+    if (buf.empty()) {
       break;
     }
-    std::string line = conn->read_buffer_.substr(0, newline);
-    conn->read_buffer_.erase(0, newline + 1);
-    if (callbacks_.on_frame) {
-      callbacks_.on_frame(conn, line);
+    if (wire::is_frame_start(static_cast<unsigned char>(buf[0]))) {
+      // Binary frame: the length is declared up front, so torn frames
+      // just accumulate (like torn lines) while an over-cap or
+      // malformed header is rejected immediately — no buffering 16 MiB
+      // to discover a violation.
+      std::optional<wire::FrameHeader> header;
+      try {
+        header = wire::parse_header(buf);
+      } catch (const wire::WireFormatError& e) {
+        frame_violation(worker, conn, e.what());
+        return;
+      }
+      if (!header.has_value()) {
+        break;  // torn header: keep accumulating
+      }
+      if (header->length > options_.max_line_bytes) {
+        frame_violation(
+            worker, conn,
+            "binary frame declares " + std::to_string(header->length) +
+                " payload bytes (cap " +
+                std::to_string(options_.max_line_bytes) + ")");
+        return;
+      }
+      const std::size_t total = wire::kHeaderBytes + header->length;
+      if (buf.size() < total) {
+        break;  // torn payload: keep accumulating
+      }
+      if (!callbacks_.on_binary_frame) {
+        frame_violation(worker, conn,
+                        "binary frame on a text-only endpoint");
+        return;
+      }
+      callbacks_.on_binary_frame(
+          conn, *header,
+          std::string_view(buf.data() + wire::kHeaderBytes, header->length));
+      buf.erase(0, total);
+    } else {
+      const std::size_t newline = buf.find('\n');
+      if (newline == std::string::npos) {
+        break;
+      }
+      std::string line = buf.substr(0, newline);
+      buf.erase(0, newline + 1);
+      if (callbacks_.on_frame) {
+        callbacks_.on_frame(conn, line);
+      }
     }
     ++handled;
     {
@@ -342,7 +459,7 @@ void ConnectionMux::process_frames(Worker& worker,
       }
     }
   }
-  if (conn->read_buffer_.find('\n') != std::string::npos) {
+  if (has_actionable_frame(conn->read_buffer_, options_.max_line_bytes)) {
     // More complete frames buffered: rotate to the back of the ready
     // ring instead of hogging this pass (round-robin fairness).
     if (!conn->in_ready_) {
@@ -351,28 +468,18 @@ void ConnectionMux::process_frames(Worker& worker,
     }
     return;
   }
-  if (conn->read_buffer_.size() > options_.max_line_bytes) {
-    // Same contract as the blocking server: one error frame (best
-    // effort), then close — an unterminated over-cap stream can never
-    // re-sync to a frame boundary.
-    const std::string diagnostic =
-        "frame exceeds " + std::to_string(options_.max_line_bytes) +
-        " bytes with no terminator (" +
-        std::to_string(conn->read_buffer_.size()) + " buffered)";
-    conn->read_buffer_.clear();
-    conn->reading_paused_ = true;
-    const std::uint32_t interest =
-        conn->epollout_armed_ ? util::Poller::kWritable : 0;
-    try {
-      worker.poller.mod(conn->socket_.fd(), interest, conn->id_);
-    } catch (const util::SocketError&) {
-      finish_close(worker, conn, "error");
-      return;
-    }
-    if (callbacks_.frame_error_line) {
-      conn->send_line(callbacks_.frame_error_line(diagnostic));
-    }
-    conn->close_after_flush("protocol");
+  if (!conn->read_buffer_.empty() &&
+      !wire::is_frame_start(
+          static_cast<unsigned char>(conn->read_buffer_[0])) &&
+      conn->read_buffer_.size() > options_.max_line_bytes) {
+    // Over-cap unterminated TEXT tail (binary declared lengths were
+    // already bounded at header parse above).
+    frame_violation(worker, conn,
+                    "frame exceeds " +
+                        std::to_string(options_.max_line_bytes) +
+                        " bytes with no terminator (" +
+                        std::to_string(conn->read_buffer_.size()) +
+                        " buffered)");
   }
 }
 
@@ -506,11 +613,12 @@ void ConnectionMux::worker_loop(std::size_t index) {
   for (const auto& conn : remaining) {
     {
       const std::lock_guard<std::mutex> lock(conn->write_mutex_);
-      if (!conn->closed_ && !conn->write_buffer_.empty()) {
+      if (!conn->closed_ && !conn->write_queue_.empty()) {
         // One non-blocking attempt: small frames (the common case — a
         // response or two) drain in full; a slow consumer's backlog is
         // abandoned rather than blocking teardown.
-        (void)conn->socket_.send_pending(conn->write_buffer_);
+        (void)conn->socket_.send_pending(conn->write_queue_,
+                                         conn->write_front_offset_);
       }
     }
     finish_close(worker, conn, "shutdown");

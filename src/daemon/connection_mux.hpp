@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "daemon/wire_format.hpp"
 #include "util/poller.hpp"
 #include "util/socket.hpp"
 
@@ -59,6 +60,14 @@ class MuxConnection : public std::enable_shared_from_this<MuxConnection> {
   /// worker to flush it.  Dropped silently once the connection closed —
   /// the client is gone, there is nowhere to report to.
   void send_line(const std::string& line);
+
+  /// Queues a JSON control line immediately followed by one binary
+  /// frame (the protocol-v2 bulk-payload shape), atomically — no frame
+  /// from another thread can interleave between the pair.  The payload
+  /// is moved into the write queue as its own chunk and leaves via
+  /// writev, never copied into a flat buffer.
+  void send_line_with_frame(const std::string& line, wire::FrameType type,
+                            std::string payload);
 
   /// Flushes everything queued, then closes with `reason` (the
   /// disconnect-counter label).  The polite goodbye after an error
@@ -103,12 +112,20 @@ class MuxConnection : public std::enable_shared_from_this<MuxConnection> {
   bool epollout_armed_ = false;
   bool in_ready_ = false;  // already queued on the fairness ring
 
+  /// Queues `chunks` back-to-back under one lock hold (the atomicity
+  /// send_line_with_frame relies on) and wakes the owning worker.
+  void enqueue_chunks(std::vector<std::string> chunks);
+
   // ---- cross-thread write state (guarded by write_mutex_) ----
   std::mutex write_mutex_;
-  std::string write_buffer_;
+  /// Pending output as discrete chunks (writev gathers them): one chunk
+  /// per text line, and binary payloads as their own moved-in chunks.
+  std::deque<std::string> write_queue_;
+  std::size_t write_front_offset_ = 0;  // partial progress into front()
+  std::size_t write_queue_bytes_ = 0;   // total queued (cap accounting)
   bool closing_ = false;       // close_after_flush requested
   std::string close_reason_;
-  bool overflowed_ = false;    // write_buffer_ crossed the cap
+  bool overflowed_ = false;    // write_queue_bytes_ crossed the cap
   bool closed_ = false;        // fd gone; everything else is a no-op
 };
 
@@ -134,6 +151,15 @@ struct MuxCallbacks {
   std::function<void(const std::shared_ptr<MuxConnection>&,
                      const std::string& line)>
       on_frame;
+  /// One complete binary frame (header already parsed and validated),
+  /// on the owning worker.  Null = the owner speaks no binary protocol:
+  /// any binary frame is a protocol error (error frame + close), which
+  /// is also what a malformed header or an over-cap declared length
+  /// gets regardless.
+  std::function<void(const std::shared_ptr<MuxConnection>&,
+                     const wire::FrameHeader& header,
+                     std::string_view payload)>
+      on_binary_frame;
   /// Connection fully closed; `reason` is the disconnect label ("eof",
   /// "error", "backpressure", "protocol", "shutdown", or whatever the
   /// owner passed to close_after_flush).  On the owning worker.
@@ -217,6 +243,12 @@ class ConnectionMux {
   /// arming, and deferred close-after-flush.
   void flush_writes(Worker& worker,
                     const std::shared_ptr<MuxConnection>& conn);
+  /// The unrecoverable-framing path shared by text and binary framing:
+  /// stop reading, answer one error frame (best effort), close with
+  /// reason "protocol".
+  void frame_violation(Worker& worker,
+                       const std::shared_ptr<MuxConnection>& conn,
+                       const std::string& diagnostic);
   /// Tears the connection down (worker thread only): epoll dereg, fd
   /// close, map erase, on_disconnect.
   void finish_close(Worker& worker,

@@ -1,10 +1,13 @@
 #include "daemon/socket_server.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "daemon/error_codes.hpp"
 #include "daemon/trace_export.hpp"
 #include "graph/serialize.hpp"
 #include "service/serialize.hpp"
@@ -61,6 +64,67 @@ util::Json status_response(const JobStatus& status) {
     // going down — the state will never advance, so don't re-wait.
     response.set("shutting_down", true);
   }
+  return response;
+}
+
+/// The v2 counterpart of status_response for terminal statuses: the
+/// same fields minus "result", plus the "payload" marker announcing the
+/// adjacent binary result-table frame that carries the entry instead.
+/// A v2 client reinflates {control, frame} into exactly the v1 JSON.
+util::Json status_control_v2(const JobStatus& status) {
+  util::Json response = ok_response();
+  response.set("ticket", status.ticket);
+  response.set("state", job_state_name(status.state));
+  response.set("priority", status.priority);
+  if (!status.trace_id.empty()) {
+    response.set("trace_id", status.trace_id);
+  }
+  response.set("payload", "result");
+  if (status.shutting_down) {
+    response.set("shutting_down", true);
+  }
+  return response;
+}
+
+/// Negotiation math shared by the framed hello handler and the direct
+/// handle() path: intersect the client's advertised range with ours.
+/// `negotiated` is 0 when the ranges do not overlap (the response then
+/// carries code "version_mismatch" and the connection stays at v1).
+util::Json hello_response(const util::Json& request, int& negotiated) {
+  negotiated = 0;
+  std::int64_t client_min = 1;
+  std::int64_t client_max = 1;
+  if (const util::Json* v = request.find("min_version")) {
+    client_min = v->as_int();
+  }
+  if (const util::Json* v = request.find("max_version")) {
+    client_max = v->as_int();
+  }
+  if (client_min > client_max) {
+    return error_response("malformed hello: min_version " +
+                              std::to_string(client_min) +
+                              " > max_version " + std::to_string(client_max),
+                          codes::kProtocol);
+  }
+  const std::int64_t lo = std::max<std::int64_t>(
+      client_min, static_cast<std::int64_t>(wire::kProtocolVersionMin));
+  const std::int64_t hi = std::min<std::int64_t>(
+      client_max, static_cast<std::int64_t>(wire::kProtocolVersionMax));
+  util::Json response;
+  if (lo > hi) {
+    response = error_response(
+        "no common protocol version (client speaks " +
+            std::to_string(client_min) + ".." + std::to_string(client_max) +
+            ", server speaks " + std::to_string(wire::kProtocolVersionMin) +
+            ".." + std::to_string(wire::kProtocolVersionMax) + ")",
+        codes::kVersionMismatch);
+  } else {
+    negotiated = static_cast<int>(hi);
+    response = ok_response();
+    response.set("version", negotiated);
+  }
+  response.set("min_version", wire::kProtocolVersionMin);
+  response.set("max_version", wire::kProtocolVersionMax);
   return response;
 }
 
@@ -212,15 +276,26 @@ SocketServer::SocketServer(std::string socket_path,
                               const std::string& line) {
     handle_frame(conn, line);
   };
-  callbacks.on_disconnect = [this](const std::shared_ptr<MuxConnection>&,
+  callbacks.on_binary_frame =
+      [this](const std::shared_ptr<MuxConnection>& conn,
+             const wire::FrameHeader& header, std::string_view payload) {
+        handle_binary_frame(conn, header, payload);
+      };
+  callbacks.on_disconnect = [this](const std::shared_ptr<MuxConnection>& conn,
                                    const std::string& reason) {
+    if (const auto state =
+            std::static_pointer_cast<ConnState>(conn->user_state)) {
+      if (state->version.load(std::memory_order_relaxed) >= 2) {
+        live_v2_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
     metrics_
         .counter("elpc_disconnects_total", "Connections closed, by reason",
                  {{"reason", reason}})
         .add();
   };
   callbacks.frame_error_line = [](const std::string& diagnostic) {
-    return error_response("protocol error: " + diagnostic, "protocol")
+    return error_response("protocol error: " + diagnostic, codes::kProtocol)
         .dump();
   };
   mux_ = std::make_unique<ConnectionMux>(mux_options, std::move(callbacks));
@@ -258,6 +333,8 @@ void SocketServer::register_collectors() {
     util::Gauge* connections_tcp;
     util::Gauge* connections_total_unix;
     util::Gauge* connections_total_tcp;
+    util::Gauge* connections_v1;
+    util::Gauge* connections_v2;
     util::Gauge* threads_os;
   };
   auto g = std::make_shared<Gauges>();
@@ -307,6 +384,16 @@ void SocketServer::register_collectors() {
   g->connections_total_tcp = &metrics_.gauge(
       "elpc_connections_accepted_total", "Connections ever accepted",
       {{"transport", "tcp"}}, /*expose_as_counter=*/true);
+  // A separate family from elpc_connections{transport=...}: mixing a
+  // proto label into the transport family would fork its label set.
+  g->connections_v1 = &metrics_.gauge(
+      "elpc_connections_proto",
+      "Live client connections by negotiated protocol version",
+      {{"proto", "v1"}});
+  g->connections_v2 = &metrics_.gauge(
+      "elpc_connections_proto",
+      "Live client connections by negotiated protocol version",
+      {{"proto", "v2"}});
   g->threads_os = &metrics_.gauge(
       "elpc_os_threads", "OS threads of the daemon process (fixed-pool "
       "invariant: independent of connection count)");
@@ -343,6 +430,10 @@ void SocketServer::register_collectors() {
           static_cast<double>(mux_->connections_total("unix")));
       g->connections_total_tcp->set(
           static_cast<double>(mux_->connections_total("tcp")));
+      const std::size_t live = mux_->connection_count();
+      const std::size_t v2 = live_v2_.load(std::memory_order_relaxed);
+      g->connections_v1->set(static_cast<double>(live >= v2 ? live - v2 : 0));
+      g->connections_v2->set(static_cast<double>(v2));
     }
     g->threads_os->set(static_cast<double>(os_thread_count()));
   });
@@ -408,27 +499,43 @@ void SocketServer::handle_frame(const std::shared_ptr<MuxConnection>& conn,
     handle_auth(conn, *state, request);
     return;
   }
+  if (verb == "hello") {
+    // Like `stats`, negotiation is served unauthenticated: a client
+    // must be able to learn what the endpoint speaks before deciding
+    // how (or whether) to authenticate.
+    handle_hello(conn, *state, request);
+    return;
+  }
   if (!options_.auth_token.empty() && !state->authenticated &&
       verb != "stats") {
     util::Json response = error_response(
         "authentication required: send {\"verb\": \"auth\", \"token\": ...} "
         "first (only `stats` is served unauthenticated)",
-        "unauthenticated");
+        codes::kUnauthenticated);
     echo_trace(trace_field(request), response);
     conn->send_line(response.dump());
     return;
   }
+  const int version = state->version.load(std::memory_order_relaxed);
   try {
     if (verb == "submit") {
       handle_submit_framed(conn, state, request, line.size());
       return;
     }
     if (verb == "wait") {
-      handle_wait_framed(conn, request);
+      handle_wait_framed(conn, request, version);
       return;
     }
     if (verb == "drain") {
       handle_drain_framed(conn, request);
+      return;
+    }
+    if (version >= 2 && verb == "poll") {
+      handle_poll_v2(conn, request);
+      return;
+    }
+    if (version >= 2 && verb == "apply_link_updates") {
+      handle_link_updates_v2(conn, request);
       return;
     }
   } catch (const std::exception& e) {
@@ -470,7 +577,31 @@ void SocketServer::handle_auth(const std::shared_ptr<MuxConnection>& conn,
     response.set("authenticated", true);
   } else {
     auth_failures_c_->add();
-    response = error_response("invalid auth token", "auth_failed");
+    response = error_response("invalid auth token", codes::kAuthFailed);
+  }
+  echo_trace(trace_field(request), response);
+  conn->send_line(response.dump());
+}
+
+void SocketServer::handle_hello(const std::shared_ptr<MuxConnection>& conn,
+                                ConnState& state, const util::Json& request) {
+  int negotiated = 0;
+  util::Json response;
+  try {
+    response = hello_response(request, negotiated);
+  } catch (const std::exception& e) {
+    response = error_response(e.what());
+  }
+  if (negotiated != 0) {
+    const int previous =
+        state.version.exchange(negotiated, std::memory_order_relaxed);
+    // The per-proto gauge tracks the connection's CURRENT version, so a
+    // renegotiation moves it between buckets instead of double-counting.
+    if (previous < 2 && negotiated >= 2) {
+      live_v2_.fetch_add(1, std::memory_order_relaxed);
+    } else if (previous >= 2 && negotiated < 2) {
+      live_v2_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   echo_trace(trace_field(request), response);
   conn->send_line(response.dump());
@@ -491,7 +622,7 @@ void SocketServer::handle_submit_framed(
     util::Json response = error_response(
         "per-connection in-flight job quota exceeded (" +
             std::to_string(options_.max_inflight_jobs) + " jobs)",
-        "quota_jobs");
+        codes::kQuotaJobs);
     echo_trace(trace_field(request), response);
     conn->send_line(response.dump());
     return;
@@ -503,7 +634,7 @@ void SocketServer::handle_submit_framed(
     util::Json response = error_response(
         "per-connection in-flight byte quota exceeded (" +
             std::to_string(options_.max_inflight_bytes) + " bytes)",
-        "quota_bytes");
+        codes::kQuotaBytes);
     echo_trace(trace_field(request), response);
     conn->send_line(response.dump());
     return;
@@ -535,27 +666,159 @@ void SocketServer::handle_submit_framed(
 }
 
 void SocketServer::handle_wait_framed(
-    const std::shared_ptr<MuxConnection>& conn, const util::Json& request) {
+    const std::shared_ptr<MuxConnection>& conn, const util::Json& request,
+    int version) {
   const std::string trace_id = trace_field(request);
   try {
     const Ticket ticket = ticket_field(request);
     // Completion-driven wait: no thread parks.  The callback may fire
     // inline (already terminal), from the dispatcher, or from stop();
     // the connection may be long gone by then, hence the weak_ptr.
+    // `version` rides along by value: the response speaks the protocol
+    // the connection had when it asked.
     std::weak_ptr<MuxConnection> weak = conn;
-    manager_->wait_async(ticket, [weak, trace_id](const JobStatus& status) {
-      const std::shared_ptr<MuxConnection> target = weak.lock();
-      if (!target) {
-        return;  // submitter hung up; the result stays pollable
-      }
-      util::Json response = status_response(status);
-      echo_trace(trace_id, response);
-      target->send_line(response.dump());
-    });
+    manager_->wait_async(
+        ticket, [weak, trace_id, version](const JobStatus& status) {
+          const std::shared_ptr<MuxConnection> target = weak.lock();
+          if (!target) {
+            return;  // submitter hung up; the result stays pollable
+          }
+          if (version >= 2 && status.terminal()) {
+            util::Json control = status_control_v2(status);
+            echo_trace(trace_id, control);
+            std::string payload;
+            {
+              const util::ProfileScope serialize_phase("serialize", "daemon");
+              payload = wire::encode_result_table(
+                  std::span<const service::SolveResult>(&status.result, 1));
+            }
+            target->send_line_with_frame(control.dump(),
+                                         wire::FrameType::kResultTable,
+                                         std::move(payload));
+            return;
+          }
+          util::Json response = status_response(status);
+          echo_trace(trace_id, response);
+          target->send_line(response.dump());
+        });
   } catch (const std::exception& e) {
     util::Json response = error_response(e.what());
     echo_trace(trace_id, response);
     conn->send_line(response.dump());
+  }
+}
+
+void SocketServer::handle_poll_v2(const std::shared_ptr<MuxConnection>& conn,
+                                  const util::Json& request) {
+  const std::string trace_id = trace_field(request);
+  const util::ScopedTraceContext trace_scope(trace_id);
+  try {
+    const JobStatus status = manager_->poll(ticket_field(request));
+    if (!status.terminal()) {
+      // Nothing bulky to ship — the status stays a plain JSON line even
+      // on v2 (control frames are JSON on every version).
+      util::Json response = status_response(status);
+      echo_trace(trace_id, response);
+      conn->send_line(response.dump());
+      return;
+    }
+    util::Json control = status_control_v2(status);
+    echo_trace(trace_id, control);
+    std::string payload;
+    {
+      const util::ProfileScope serialize_phase("serialize", "daemon");
+      payload = wire::encode_result_table(
+          std::span<const service::SolveResult>(&status.result, 1));
+    }
+    const util::ProfileScope write_phase("socket_write", "daemon");
+    conn->send_line_with_frame(control.dump(), wire::FrameType::kResultTable,
+                               std::move(payload));
+  } catch (const std::exception& e) {
+    util::Json response = error_response(e.what());
+    echo_trace(trace_id, response);
+    conn->send_line(response.dump());
+  }
+}
+
+void SocketServer::handle_link_updates_v2(
+    const std::shared_ptr<MuxConnection>& conn, const util::Json& request) {
+  const std::string trace_id = trace_field(request);
+  const util::ScopedTraceContext trace_scope(trace_id);
+  try {
+    const std::vector<graph::LinkUpdate> updates =
+        service::link_updates_from_json(request.at("updates"));
+    const std::vector<service::SolveResult> resolved =
+        engine_->apply_link_updates(request.at("network").as_string(),
+                                    updates);
+    util::Json control = ok_response();
+    control.set("payload", "results");
+    echo_trace(trace_id, control);
+    std::string payload;
+    {
+      const util::ProfileScope serialize_phase("serialize", "daemon",
+                                               resolved.size());
+      payload = wire::encode_result_table(resolved);
+    }
+    const util::ProfileScope write_phase("socket_write", "daemon");
+    conn->send_line_with_frame(control.dump(), wire::FrameType::kResultTable,
+                               std::move(payload));
+  } catch (const std::exception& e) {
+    util::Json response = error_response(e.what());
+    echo_trace(trace_id, response);
+    conn->send_line(response.dump());
+  }
+}
+
+void SocketServer::handle_binary_frame(
+    const std::shared_ptr<MuxConnection>& conn,
+    const wire::FrameHeader& header, std::string_view payload) {
+  // A well-formed frame arrived, so the stream is still in sync — these
+  // failures answer one error line and keep the connection, unlike the
+  // mux-level framing violations (bad magic, over-cap) that must close.
+  const auto state = std::static_pointer_cast<ConnState>(conn->user_state);
+  if (!state || state->version.load(std::memory_order_relaxed) < 2) {
+    conn->send_line(
+        error_response("binary frame before a v2 hello", codes::kProtocol)
+            .dump());
+    return;
+  }
+  if (!options_.auth_token.empty() && !state->authenticated) {
+    conn->send_line(
+        error_response(
+            "authentication required: send {\"verb\": \"auth\", \"token\": "
+            "...} first (only `stats` is served unauthenticated)",
+            codes::kUnauthenticated)
+            .dump());
+    return;
+  }
+  if (header.type != wire::FrameType::kLinkUpdateTable) {
+    conn->send_line(error_response(
+                        "unexpected binary frame type " +
+                            std::to_string(static_cast<int>(header.type)),
+                        codes::kProtocol)
+                        .dump());
+    return;
+  }
+  try {
+    const wire::LinkUpdateTable table =
+        wire::decode_link_update_table(payload);
+    const std::vector<service::SolveResult> resolved =
+        engine_->apply_link_updates(table.network, table.updates);
+    util::Json control = ok_response();
+    control.set("payload", "results");
+    std::string out;
+    {
+      const util::ProfileScope serialize_phase("serialize", "daemon",
+                                               resolved.size());
+      out = wire::encode_result_table(resolved);
+    }
+    const util::ProfileScope write_phase("socket_write", "daemon");
+    conn->send_line_with_frame(control.dump(), wire::FrameType::kResultTable,
+                               std::move(out));
+  } catch (const wire::WireFormatError& e) {
+    conn->send_line(error_response(e.what(), codes::kProtocol).dump());
+  } catch (const std::exception& e) {
+    conn->send_line(error_response(e.what()).dump());
   }
 }
 
@@ -632,6 +895,13 @@ util::Json SocketServer::handle_verb(const util::Json& request) {
       util::Json response = ok_response();
       response.set("authenticated", true);
       return response;
+    }
+    if (verb == "hello") {
+      // Same negotiation math as the framed path, minus the connection
+      // state flip (the direct path has no connection) — both entry
+      // points accept the same script and answer the same frame.
+      int negotiated = 0;
+      return hello_response(request, negotiated);
     }
     if (verb == "register_network") {
       (void)engine_->register_network(
@@ -743,11 +1013,20 @@ util::Json SocketServer::handle_verb(const util::Json& request) {
       // gates them, and the fixed-pool thread invariant (threads_os
       // must not scale with connections — the 1000-idle-client smoke
       // asserts exactly this field).
-      response.set("connections", mux_ ? mux_->connection_count() : 0);
+      const std::size_t live = mux_ ? mux_->connection_count() : 0;
+      const std::size_t live_v2 = live_v2_.load(std::memory_order_relaxed);
+      response.set("connections", live);
       response.set("connections_unix",
                    mux_ ? mux_->connection_count("unix") : 0);
       response.set("connections_tcp",
                    mux_ ? mux_->connection_count("tcp") : 0);
+      // Per-protocol split of the same live count: v2 = connections
+      // that negotiated via `hello`, v1 = everyone else (including
+      // clients predating negotiation entirely).
+      response.set("connections_v1", live >= live_v2 ? live - live_v2 : 0);
+      response.set("connections_v2", live_v2);
+      response.set("protocol_min", wire::kProtocolVersionMin);
+      response.set("protocol_max", wire::kProtocolVersionMax);
       response.set("connections_accepted",
                    mux_ ? mux_->connections_total("unix") +
                               mux_->connections_total("tcp")

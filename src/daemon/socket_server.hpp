@@ -12,6 +12,16 @@
 //           wire reference)
 //
 // Verbs (normative field reference in docs/protocol.md):
+//   hello            {min_version?,        -> {version, min_version,
+//                     max_version?}           max_version} — protocol
+//                                            negotiation: the connection
+//                                            switches to min(client max,
+//                                            server max) when the ranges
+//                                            overlap, else answers code
+//                                            "version_mismatch" and stays
+//                                            at v1.  Never sending hello
+//                                            keeps the v1 JSON-lines
+//                                            protocol byte-for-byte.
 //   auth             {token}               -> {} (marks the connection
 //                                            authenticated)
 //   register_network {id, network}        -> {}
@@ -79,6 +89,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "daemon/connection_mux.hpp"
 #include "daemon/job_manager.hpp"
@@ -213,6 +224,10 @@ class SocketServer {
   /// dispatcher threads.
   struct ConnState {
     bool authenticated = false;
+    /// Negotiated wire protocol version (1 until a successful `hello`).
+    /// Atomic because async completion callbacks (wait) read it from
+    /// dispatcher threads while the owning worker may renegotiate.
+    std::atomic<int> version{1};
     std::atomic<std::size_t> inflight_jobs{0};
     std::atomic<std::size_t> inflight_bytes{0};
   };
@@ -227,12 +242,33 @@ class SocketServer {
                     const std::string& line);
   void handle_auth(const std::shared_ptr<MuxConnection>& conn,
                    ConnState& state, const util::Json& request);
+  /// Protocol-version negotiation (framed path: flips the connection's
+  /// ConnState::version and the per-proto gauges on success).
+  void handle_hello(const std::shared_ptr<MuxConnection>& conn,
+                    ConnState& state, const util::Json& request);
   void handle_submit_framed(const std::shared_ptr<MuxConnection>& conn,
                             const std::shared_ptr<ConnState>& state,
                             const util::Json& request,
                             std::size_t frame_bytes);
+  /// `version` is the connection's negotiated protocol at request time —
+  /// captured by value so a later renegotiation cannot change how an
+  /// already-armed completion encodes its response.
   void handle_wait_framed(const std::shared_ptr<MuxConnection>& conn,
-                          const util::Json& request);
+                          const util::Json& request, int version);
+  /// v2 poll: terminal statuses ship the result entry as a binary
+  /// result-table frame behind a JSON control line.
+  void handle_poll_v2(const std::shared_ptr<MuxConnection>& conn,
+                      const util::Json& request);
+  /// v2 apply_link_updates: the re-solved subscription results leave as
+  /// one binary result-table frame instead of a JSON array.
+  void handle_link_updates_v2(const std::shared_ptr<MuxConnection>& conn,
+                              const util::Json& request);
+  /// The mux's on_binary_frame callback: v2 binary requests (today the
+  /// kLinkUpdateTable bulk apply_link_updates).  A binary frame on a
+  /// connection that never negotiated v2 answers code "protocol".
+  void handle_binary_frame(const std::shared_ptr<MuxConnection>& conn,
+                           const wire::FrameHeader& header,
+                           std::string_view payload);
   void handle_drain_framed(const std::shared_ptr<MuxConnection>& conn,
                            const util::Json& request);
   /// Registers the collect callback that refreshes the daemon gauges
@@ -254,6 +290,10 @@ class SocketServer {
   std::unique_ptr<JobManager> manager_;
   util::Counter* auth_failures_c_ = nullptr;
   util::Counter* quota_rejections_c_ = nullptr;
+  /// Live connections that negotiated protocol v2 (incremented on a
+  /// successful hello, decremented on that connection's disconnect);
+  /// live v1 = mux connection count minus this.
+  std::atomic<std::size_t> live_v2_{0};
   /// Set by the shutdown verb (any IO worker); wakes serve().
   std::atomic<bool> shutdown_requested_{false};
   std::mutex serve_mutex_;

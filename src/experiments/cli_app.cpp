@@ -387,17 +387,20 @@ int run_client_top(daemon::DaemonClient& client, std::int64_t interval_ms,
   double prev_terminal = -1.0;
   double prev_uptime_ms = 0.0;
   for (std::int64_t tick = 0;; ++tick) {
-    const util::Json stats = client.stats();
-    const double uptime_ms = num(stats, "uptime_ms");
-    const double terminal = num(stats, "done") + num(stats, "failed") +
-                            num(stats, "cancelled") + num(stats, "timed_out");
+    // Typed stats for the counters this loop branches on; the metrics
+    // histogram snapshot rides along in .raw (it is too wide to type).
+    const daemon::StatsView stats = client.stats_view();
+    const double uptime_ms = stats.uptime_ms;
+    const double terminal =
+        static_cast<double>(stats.done + stats.failed + stats.cancelled +
+                            stats.timed_out);
     double rate = 0.0;
     if (prev_terminal >= 0.0 && uptime_ms > prev_uptime_ms) {
       rate = (terminal - prev_terminal) * 1000.0 / (uptime_ms - prev_uptime_ms);
     }
     double e2e_p50 = 0.0, e2e_p99 = 0.0, queue_p50 = 0.0, queue_p99 = 0.0;
     double stale_p50 = 0.0, stale_p99 = 0.0;
-    if (const util::Json* metrics = stats.find("metrics")) {
+    if (const util::Json* metrics = stats.raw.find("metrics")) {
       if (const util::Json* histograms = metrics->find("histograms")) {
         if (const util::Json* e2e = histograms->find("elpc_e2e_ms")) {
           e2e_p50 = num(*e2e, "p50_ms");
@@ -417,18 +420,18 @@ int run_client_top(daemon::DaemonClient& client, std::int64_t interval_ms,
         }
       }
     }
-    const double hits = num(stats, "incremental_hits");
-    const double misses = num(stats, "incremental_misses");
+    const double hits = num(stats.raw, "incremental_hits");
+    const double misses = num(stats.raw, "incremental_misses");
     const double hit_pct =
         (hits + misses > 0.0) ? 100.0 * hits / (hits + misses) : 0.0;
     char line[320];
     std::snprintf(line, sizeof(line),
                   "%8.1fs %8.1f %7.0f %7.0f %7.2f/%-8.2f %8.2f/%-8.2f "
                   "%8.2f/%-8.2f %8.1f %10.3f\n",
-                  uptime_ms / 1000.0, rate, num(stats, "queued"),
-                  num(stats, "running"), e2e_p50, e2e_p99, queue_p50, queue_p99,
-                  stale_p50, stale_p99, hit_pct,
-                  num(stats, "pinned_bytes") / (1024.0 * 1024.0));
+                  uptime_ms / 1000.0, rate, static_cast<double>(stats.queued),
+                  static_cast<double>(stats.running), e2e_p50, e2e_p99,
+                  queue_p50, queue_p99, stale_p50, stale_p99, hit_pct,
+                  static_cast<double>(stats.pinned_bytes) / (1024.0 * 1024.0));
     out << line << std::flush;
     prev_terminal = terminal;
     prev_uptime_ms = uptime_ms;
@@ -461,6 +464,11 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
                     "shared token presented via the auth verb after every "
                     "(re)connect, for daemons started with serve "
                     "--auth-token");
+  parser.add_string("protocol", "auto",
+                    "wire protocol: auto (negotiate the highest shared "
+                    "version via hello), v1 (byte-identical to pre-"
+                    "negotiation clients), or v2 (fail unless the daemon "
+                    "speaks the binary data plane)");
   parser.add_string("jobs", "", "load: batch job file (networks + jobs)");
   parser.add_int("priority", 0, "load: priority for all submitted jobs");
   parser.add_flag("wait", "load: wait for every job and print results");
@@ -509,6 +517,18 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   }
   daemon::DaemonClientOptions client_options;
   client_options.auth_token = parser.get_string("auth-token");
+  const std::string protocol = parser.get_string("protocol");
+  if (protocol == "v1") {
+    client_options.protocol = daemon::ProtocolPreference::kV1;
+  } else if (protocol == "v2") {
+    client_options.protocol = daemon::ProtocolPreference::kV2;
+  } else if (protocol == "auto") {
+    client_options.protocol = daemon::ProtocolPreference::kAuto;
+  } else {
+    throw std::invalid_argument(
+        "elpc client: --protocol must be auto, v1, or v2 (got '" + protocol +
+        "')");
+  }
   daemon::DaemonClient client(endpoint, client_options);
 
   const auto require_ticket = [&parser]() -> daemon::Ticket {
@@ -556,12 +576,15 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
     util::JsonArray entries;
     bool any_failed = false;
     for (std::size_t i = 0; i < tickets.size(); ++i) {
-      const util::Json status = client.wait(tickets[i]);
-      const util::Json* dying = status.find("shutting_down");
-      if (dying != nullptr && dying->as_bool()) {
+      // Typed wait: the result crosses the wire as whatever the
+      // negotiated protocol prefers (v1 JSON entry or a v2 binary
+      // result table) and re-serializes to the identical canonical
+      // bytes either way.
+      const daemon::JobStatusView status = client.wait_status(tickets[i]);
+      if (status.shutting_down) {
         // The daemon released the wait because it is going down; the
         // job will never finish.  Fail this entry deterministically
-        // instead of throwing on the absent "result".
+        // instead of throwing on the absent result.
         util::Json entry = util::JsonObject{};
         entry.set("id", spec.jobs[i].id);
         entry.set("error", "daemon shutting down before job completed");
@@ -569,9 +592,9 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
         entries.push_back(std::move(entry));
         continue;
       }
-      const util::Json& entry = status.at("result");
-      any_failed = any_failed || entry.contains("error");
-      entries.push_back(entry);
+      const service::SolveResult& result = status.result.value();
+      any_failed = any_failed || !result.error.empty();
+      entries.push_back(service::result_entry_to_json(result));
     }
     util::Json doc = util::JsonObject{};
     doc.set("results", util::Json(std::move(entries)));
@@ -579,11 +602,12 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
     return any_failed ? 2 : 0;
   }
   if (verb == "poll") {
-    out << client.poll(require_ticket()).dump(2) << "\n";
+    // Typed status view; to_json() reproduces the raw frame exactly.
+    out << client.poll_status(require_ticket()).to_json().dump(2) << "\n";
     return 0;
   }
   if (verb == "wait") {
-    out << client.wait(require_ticket()).dump(2) << "\n";
+    out << client.wait_status(require_ticket()).to_json().dump(2) << "\n";
     return 0;
   }
   if (verb == "cancel") {
@@ -601,9 +625,9 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
         service::link_updates_from_json(util::Json::parse(
             util::read_text_file(parser.get_string("updates"))));
     util::JsonArray entries;
-    for (util::Json& entry :
-         client.apply_link_updates(parser.get_string("network"), updates)) {
-      entries.push_back(std::move(entry));
+    for (const service::SolveResult& result :
+         client.resolve_link_updates(parser.get_string("network"), updates)) {
+      entries.push_back(service::result_entry_to_json(result));
     }
     util::Json doc = util::JsonObject{};
     doc.set("results", util::Json(std::move(entries)));

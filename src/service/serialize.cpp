@@ -166,6 +166,36 @@ util::Json results_to_json(std::span<const SolveResult> results,
   return doc;
 }
 
+SolveResult result_entry_from_json(const util::Json& entry) {
+  SolveResult r;
+  r.job_id = entry.at("job").as_string();
+  r.network = entry.at("network").as_string();
+  r.network_revision =
+      static_cast<std::uint64_t>(entry.at("revision").as_int());
+  r.algorithm = entry.at("algorithm").as_string();
+  r.objective = objective_from_name(entry.at("objective").as_string());
+  r.result.feasible = entry.at("feasible").as_bool();
+  if (const util::Json* error = entry.find("error")) {
+    r.error = error->as_string();
+  }
+  if (const util::Json* seconds = entry.find("seconds")) {
+    r.result.seconds = seconds->as_number();
+  }
+  if (const util::Json* mapping = entry.find("mapping")) {
+    std::vector<graph::NodeId> assignment;
+    for (const util::Json& node : mapping->as_array()) {
+      assignment.push_back(static_cast<graph::NodeId>(node.as_int()));
+    }
+    if (!assignment.empty()) {
+      r.result.mapping = mapping::Mapping(std::move(assignment));
+    }
+  }
+  if (const util::Json* reason = entry.find("reason")) {
+    r.result.reason = reason->as_string();
+  }
+  return r;
+}
+
 util::Json to_json(const graph::LinkUpdate& update) {
   util::Json doc = util::JsonObject{};
   doc.set("from", update.from);

@@ -56,6 +56,14 @@ struct BatchSpec {
 [[nodiscard]] util::Json results_to_json(
     std::span<const SolveResult> results, bool include_timing = false);
 
+/// Inverse of result_entry_to_json over the canonical fields (the
+/// non-canonical timing block, when present, is ignored): what the
+/// typed client decodes wire result entries through.  Re-serializing
+/// the returned value is byte-identical to the input entry — %.17g
+/// doubles round-trip exactly — which is what keeps `elpc client load
+/// --wait` output byte-equal to `elpc batch` through the typed API.
+[[nodiscard]] SolveResult result_entry_from_json(const util::Json& entry);
+
 /// Wire form of one metric delta:
 /// {"from", "to", "bandwidth_mbps", "min_delay_s"} — the link-update
 /// payload of the daemon's apply_link_updates verb.

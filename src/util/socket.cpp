@@ -1,12 +1,14 @@
 #include "util/socket.hpp"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -216,6 +218,58 @@ void StreamSocket::send_line(const std::string& message) {
   }
 }
 
+void StreamSocket::send_bytes(const std::string& bytes) {
+  if (!valid()) {
+    throw SocketError("send_bytes on closed socket");
+  }
+  FaultInjector& faults = FaultInjector::instance();
+  if (faults.enabled() && faults.should_fire("socket_send_epipe")) {
+    throw SocketError("send: injected EPIPE");
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string StreamSocket::recv_bytes(std::size_t count) {
+  if (!valid()) {
+    throw SocketError("recv_bytes on closed socket");
+  }
+  // The recv_line read-ahead buffer may already hold (part of) these
+  // bytes — binary frames share the stream with JSON lines.
+  while (buffer_.size() < count) {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw SocketTimeout("recv timed out");
+      }
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      throw SocketError("peer closed mid-payload (" +
+                        std::to_string(buffer_.size()) + " of " +
+                        std::to_string(count) + " bytes)");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::string bytes = buffer_.substr(0, count);
+  buffer_.erase(0, count);
+  return bytes;
+}
+
 std::optional<std::string> StreamSocket::recv_line() {
   if (!valid()) {
     throw SocketError("recv_line on closed socket");
@@ -343,6 +397,60 @@ StreamSocket::IoStatus StreamSocket::send_pending(std::string& buffer) {
     return IoStatus::kError;
   }
   buffer.clear();
+  return IoStatus::kOk;
+}
+
+StreamSocket::IoStatus StreamSocket::send_pending(
+    std::deque<std::string>& chunks, std::size_t& front_offset) {
+  if (!valid()) {
+    return IoStatus::kError;
+  }
+  while (!chunks.empty()) {
+    // Gather up to IOV_MAX chunks per writev: many small line frames
+    // still drain in one syscall, and a fat binary payload goes out
+    // straight from its own buffer — never copied into a flat queue.
+    iovec iov[64];
+    const std::size_t batch =
+        std::min<std::size_t>(chunks.size(),
+                              std::min<std::size_t>(64, IOV_MAX));
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::string& chunk = chunks[i];
+      const std::size_t skip = i == 0 ? front_offset : 0;
+      iov[i].iov_base = const_cast<char*>(chunk.data() + skip);
+      iov[i].iov_len = chunk.size() - skip;
+      total += iov[i].iov_len;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = batch;
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoStatus::kWouldBlock;
+      }
+      return IoStatus::kError;
+    }
+    std::size_t sent = static_cast<std::size_t>(n);
+    while (sent > 0 && !chunks.empty()) {
+      const std::size_t front_left = chunks.front().size() - front_offset;
+      if (sent >= front_left) {
+        sent -= front_left;
+        front_offset = 0;
+        chunks.pop_front();
+      } else {
+        front_offset += sent;
+        sent = 0;
+      }
+    }
+    if (static_cast<std::size_t>(n) < total) {
+      return IoStatus::kWouldBlock;  // kernel buffer full mid-batch
+    }
+  }
+  front_offset = 0;
   return IoStatus::kOk;
 }
 

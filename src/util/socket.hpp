@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <deque>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -80,6 +81,18 @@ class StreamSocket {
   /// contain '\n' — the framing invariant).
   void send_line(const std::string& message);
 
+  /// Sends `bytes` verbatim — the protocol-v2 binary frame path, where
+  /// the payload is length-prefixed by its header instead of
+  /// newline-terminated.  Same blocking/exception contract as
+  /// send_line.
+  void send_bytes(const std::string& bytes);
+
+  /// Receives exactly `count` bytes (consuming any recv_line
+  /// read-ahead first) — the blocking client's binary-payload read.
+  /// Throws SocketError when the peer closes short, SocketTimeout on an
+  /// expired receive timeout.
+  [[nodiscard]] std::string recv_bytes(std::size_t count);
+
   /// Receives the next '\n'-terminated message (terminator stripped);
   /// nullopt on clean EOF.  Throws SocketTimeout when a receive timeout
   /// is set and expires, SocketFrameError when the accumulated
@@ -123,6 +136,15 @@ class StreamSocket {
   /// and erases the sent prefix.  kOk means the buffer fully drained;
   /// kWouldBlock means bytes remain — arm EPOLLOUT and retry later.
   [[nodiscard]] IoStatus send_pending(std::string& buffer);
+
+  /// Chunked-queue variant: writev's the queued chunks front-to-back
+  /// without concatenating them (the mux's zero-copy write path — a
+  /// binary payload is queued as its own chunk, never copied into a
+  /// contiguous buffer).  Fully-sent chunks are popped; `front_offset`
+  /// tracks the partial progress into the new front chunk across
+  /// would-block boundaries.  kOk means the queue fully drained.
+  [[nodiscard]] IoStatus send_pending(std::deque<std::string>& chunks,
+                                      std::size_t& front_offset);
 
   void close() noexcept;
 

@@ -18,7 +18,9 @@
 
 #include "daemon/client.hpp"
 #include "daemon/socket_server.hpp"
+#include "daemon/wire_format.hpp"
 #include "graph/generators.hpp"
+#include "graph/serialize.hpp"
 #include "pipeline/generator.hpp"
 #include "service/serialize.hpp"
 #include "util/json.hpp"
@@ -388,6 +390,124 @@ TEST(ConnectionMux, IdleConnectionsCostNoThreads) {
   EXPECT_EQ(client.stats().at("threads_os").as_int(), threads_before);
   fleet.clear();
 
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+/// Reads one v2 response: the JSON control line plus, when it carries a
+/// "payload" marker, the adjacent binary frame (header + payload).
+struct FramedResponse {
+  util::Json control;
+  std::string frame;  // raw header+payload bytes, "" when none
+};
+
+FramedResponse recv_framed(util::StreamSocket& socket) {
+  const std::optional<std::string> line = socket.recv_line();
+  EXPECT_TRUE(line.has_value());
+  FramedResponse response{util::Json::parse(line.value()), ""};
+  const util::Json* marker = response.control.find("payload");
+  if (marker != nullptr && marker->is_string()) {
+    const std::string header = socket.recv_bytes(wire::kHeaderBytes);
+    const std::optional<wire::FrameHeader> parsed = wire::parse_header(header);
+    EXPECT_TRUE(parsed.has_value());
+    response.frame = header + socket.recv_bytes(parsed->length);
+  }
+  return response;
+}
+
+/// A binary link-update frame arriving in byte dribbles must reassemble
+/// into exactly the answer a whole-frame send gets — and two frames
+/// pipelined in ONE write must answer twice, in order, each with its
+/// own result-table frame.
+TEST(ConnectionMux, BinaryFramesReassembleTornAndPipelined) {
+  SocketServer server(socket_path("binary"), SocketServerOptions{});
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  util::StreamSocket raw = util::StreamSocket::connect(server.socket_path());
+  util::Json hello = verb_frame("hello");
+  hello.set("min_version", 1);
+  hello.set("max_version", 2);
+  raw.send_line(hello.dump());
+  EXPECT_EQ(util::Json::parse(raw.recv_line().value()).at("version").as_int(),
+            2);
+  util::Json reg = verb_frame("register_network");
+  reg.set("id", "net");
+  reg.set("network", graph::to_json(make_network(3)));
+  raw.send_line(reg.dump());
+  ASSERT_TRUE(util::Json::parse(raw.recv_line().value()).at("ok").as_bool());
+
+  const std::string table = wire::encode_link_update_table("net", {});
+  const std::string frame =
+      wire::encode_header(wire::FrameType::kLinkUpdateTable, 0,
+                          static_cast<std::uint32_t>(table.size())) +
+      table;
+
+  // Torn: a few bytes per send, each likely its own epoll wakeup.
+  for (std::size_t i = 0; i < frame.size(); i += 3) {
+    send_raw(raw, frame.substr(i, 3));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const FramedResponse torn = recv_framed(raw);
+  EXPECT_TRUE(torn.control.at("ok").as_bool());
+  EXPECT_EQ(torn.control.at("payload").as_string(), "results");
+  ASSERT_FALSE(torn.frame.empty());
+
+  // Pipelined: two frames in one write answer twice, byte-identically.
+  send_raw(raw, frame + frame);
+  const FramedResponse first = recv_framed(raw);
+  const FramedResponse second = recv_framed(raw);
+  EXPECT_EQ(first.control.dump(), torn.control.dump());
+  EXPECT_EQ(second.control.dump(), torn.control.dump());
+  EXPECT_EQ(first.frame, torn.frame);
+  EXPECT_EQ(second.frame, torn.frame);
+  raw.close();
+
+  DaemonClient client(server.socket_path());
+  client.shutdown_server();
+  serve_thread.join();
+}
+
+/// Framing violations that cannot re-sync — a bad second magic byte, a
+/// declared payload length beyond the line cap — answer one
+/// code="protocol" error frame and close that connection; the daemon
+/// keeps serving everyone else.
+TEST(ConnectionMux, MalformedBinaryFramesAnswerProtocolErrorAndClose) {
+  SocketServer server(socket_path("badframe"), SocketServerOptions{});
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  const std::string bad_frames[] = {
+      std::string("\xE1\x00\x01\x00\x00\x00\x00\x00", 8),  // wrong magic1
+      std::string("\xE1\x5C\x02\x00\xFF\xFF\xFF\xFF", 8),  // 4GiB declared
+  };
+  for (const std::string& bytes : bad_frames) {
+    util::StreamSocket raw = util::StreamSocket::connect(server.socket_path());
+    send_raw(raw, bytes);
+    const std::optional<std::string> line = raw.recv_line();
+    ASSERT_TRUE(line.has_value());
+    const util::Json error = util::Json::parse(*line);
+    EXPECT_FALSE(error.at("ok").as_bool());
+    EXPECT_EQ(error.at("code").as_string(), "protocol");
+    // Then EOF: the violating connection is closed, not re-synced.
+    EXPECT_FALSE(raw.recv_line().has_value());
+  }
+
+  // A well-formed binary frame on a connection that never negotiated v2
+  // answers code "protocol" but stays OPEN — the stream is still in
+  // sync, only the request was out of order.
+  util::StreamSocket early = util::StreamSocket::connect(server.socket_path());
+  const std::string table = wire::encode_link_update_table("net", {});
+  send_raw(early,
+           wire::encode_header(wire::FrameType::kLinkUpdateTable, 0,
+                               static_cast<std::uint32_t>(table.size())) +
+               table);
+  const std::optional<std::string> refused = early.recv_line();
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(util::Json::parse(*refused).at("code").as_string(), "protocol");
+  early.send_line(verb_frame("stats").dump());
+  EXPECT_TRUE(util::Json::parse(early.recv_line().value()).at("ok").as_bool());
+  early.close();
+
+  DaemonClient client(server.socket_path());
   client.shutdown_server();
   serve_thread.join();
 }

@@ -154,6 +154,10 @@ TEST(DaemonClient, RetriesReconnectAfterTransientConnectionLoss) {
   DaemonClientOptions options;
   options.max_retries = 3;
   options.backoff_ms = 1;  // keep the test fast; jitter still applies
+  // The hand-rolled flaky server above speaks no `hello`; pin v1 so the
+  // constructor does not block negotiating against it (this test is
+  // about the retry policy, not the protocol version).
+  options.protocol = ProtocolPreference::kV1;
   DaemonClient client(listener.path(), options);
   util::Json frame = util::JsonObject{};
   frame.set("verb", "noop");
@@ -173,6 +177,7 @@ TEST(DaemonClient, ZeroRetriesSurfacesTheFirstFailure) {
 
   DaemonClientOptions options;
   options.max_retries = 0;
+  options.protocol = ProtocolPreference::kV1;  // fake server, no hello
   DaemonClient client(listener.path(), options);
   util::Json frame = util::JsonObject{};
   frame.set("verb", "noop");

@@ -298,5 +298,134 @@ TEST(SocketServer, IncrementalDaemonReportsReuseAndPinDiagnostics) {
   serve_thread.join();
 }
 
+/// Version negotiation end to end: kAuto negotiates the server's best
+/// (v2), kV1 never sends hello, and a v1-pinned and a v2 client — live
+/// CONCURRENTLY — observe byte-identical results for the same job while
+/// the per-version stats gauges count one connection each.
+TEST(SocketServer, HelloNegotiatesAndMixedVersionsAnswerIdentically) {
+  SocketServer server(socket_path("hello"), SocketServerOptions{});
+  std::thread serve_thread([&server]() { server.serve(); });
+
+  DaemonClientOptions v1_options;
+  v1_options.protocol = ProtocolPreference::kV1;
+  DaemonClient v1_client(server.socket_path(), v1_options);
+  DaemonClientOptions v2_options;
+  v2_options.protocol = ProtocolPreference::kV2;
+  DaemonClient v2_client(server.socket_path(), v2_options);
+  DaemonClient auto_client(server.socket_path());  // kAuto default
+
+  EXPECT_EQ(v1_client.protocol_version(), 1);
+  EXPECT_EQ(v2_client.protocol_version(), 2);
+  EXPECT_EQ(auto_client.protocol_version(), 2);
+  EXPECT_EQ(v2_client.hello_info().server_min, wire::kProtocolVersionMin);
+  EXPECT_EQ(v2_client.hello_info().server_max, wire::kProtocolVersionMax);
+
+  const StatsView live = v1_client.stats_view();
+  EXPECT_GE(live.connections_v1, 1);
+  EXPECT_GE(live.connections_v2, 2);
+  EXPECT_EQ(live.connections_v1 + live.connections_v2, live.connections);
+
+  // Same job through both protocols: the v2 result crosses as a binary
+  // table and must reinflate to the exact v1 bytes.
+  v1_client.register_network("net", make_network(3));
+  const Ticket v1_ticket = v1_client.submit(
+      make_job("mixed", 85, service::Objective::kMaxFrameRate));
+  const Ticket v2_ticket = v2_client.submit(
+      make_job("mixed", 85, service::Objective::kMaxFrameRate));
+  const util::Json v1_done = v1_client.wait(v1_ticket);
+  const util::Json v2_done = v2_client.wait(v2_ticket);
+  ASSERT_EQ(v1_done.at("state").as_string(), "done");
+  ASSERT_EQ(v2_done.at("state").as_string(), "done");
+  EXPECT_EQ(v1_done.at("result").dump(), v2_done.at("result").dump());
+
+  // Typed status views decode the same bytes on either protocol.
+  const JobStatusView v1_view = v1_client.poll_status(v1_ticket);
+  const JobStatusView v2_view = v2_client.poll_status(v2_ticket);
+  ASSERT_TRUE(v1_view.terminal());
+  ASSERT_TRUE(v2_view.terminal());
+  EXPECT_EQ(service::result_entry_to_json(*v1_view.result).dump(),
+            service::result_entry_to_json(*v2_view.result).dump());
+
+  // The typed bulk path answers the same entries as the raw JSON verb.
+  const graph::Edge edge = first_edge(3);
+  std::vector<graph::LinkUpdate> updates = {{edge.from, edge.to, edge.attr}};
+  const std::vector<util::Json> raw_entries =
+      v1_client.apply_link_updates("net", updates);
+  const std::vector<service::SolveResult> typed_entries =
+      v2_client.resolve_link_updates("net", updates);
+  ASSERT_EQ(raw_entries.size(), typed_entries.size());
+  for (std::size_t i = 0; i < raw_entries.size(); ++i) {
+    EXPECT_EQ(raw_entries[i].dump(),
+              service::result_entry_to_json(typed_entries[i]).dump());
+  }
+
+  v1_client.shutdown_server();
+  serve_thread.join();
+}
+
+/// Hello edge cases through the direct handle() path: defaults (1..1),
+/// a disjoint range (code version_mismatch), and min > max (code
+/// protocol) — plus the stats frame advertising the server's range.
+TEST(SocketServer, HelloEdgeCasesAnswerStableCodes) {
+  SocketServer server(socket_path("helloedge"), SocketServerOptions{});
+
+  util::Json plain = util::JsonObject{};
+  plain.set("verb", "hello");
+  const util::Json defaulted = server.handle(plain);
+  EXPECT_TRUE(defaulted.at("ok").as_bool());
+  EXPECT_EQ(defaulted.at("version").as_int(), 1);
+
+  util::Json disjoint = util::JsonObject{};
+  disjoint.set("verb", "hello");
+  disjoint.set("min_version", 3);
+  disjoint.set("max_version", 9);
+  const util::Json mismatch = server.handle(disjoint);
+  EXPECT_FALSE(mismatch.at("ok").as_bool());
+  EXPECT_EQ(mismatch.at("code").as_string(), "version_mismatch");
+  EXPECT_EQ(mismatch.at("min_version").as_int(), wire::kProtocolVersionMin);
+  EXPECT_EQ(mismatch.at("max_version").as_int(), wire::kProtocolVersionMax);
+
+  util::Json inverted = util::JsonObject{};
+  inverted.set("verb", "hello");
+  inverted.set("min_version", 2);
+  inverted.set("max_version", 1);
+  const util::Json malformed = server.handle(inverted);
+  EXPECT_FALSE(malformed.at("ok").as_bool());
+  EXPECT_EQ(malformed.at("code").as_string(), "protocol");
+
+  util::Json stats_frame = util::JsonObject{};
+  stats_frame.set("verb", "stats");
+  const util::Json stats = server.handle(stats_frame);
+  EXPECT_EQ(stats.at("protocol_min").as_int(), wire::kProtocolVersionMin);
+  EXPECT_EQ(stats.at("protocol_max").as_int(), wire::kProtocolVersionMax);
+}
+
+/// A client demanding v2 from a server that cannot speak it must fail
+/// the connect loudly (DaemonError) instead of silently downgrading —
+/// simulated with a hand-rolled listener answering hello like a v1-only
+/// build would (unknown verb).
+TEST(SocketServer, DemandingV2FromAV1OnlyServerFailsLoudly) {
+  const std::string path = socket_path("v1only");
+  util::UnixListener listener(path);
+  std::thread old_server([&listener]() {
+    std::optional<util::UnixSocket> peer = listener.accept();
+    ASSERT_TRUE(peer.has_value());
+    const std::optional<std::string> line = peer->recv_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(util::Json::parse(*line).at("verb").as_string(), "hello");
+    peer->send_line(R"({"ok": false, "error": "unknown verb 'hello'"})");
+    // Hold the connection until the client gives up.
+    (void)peer->recv_line();
+  });
+
+  DaemonClientOptions options;
+  options.protocol = ProtocolPreference::kV2;
+  options.max_retries = 0;
+  EXPECT_THROW(DaemonClient(path, options), DaemonError);
+
+  listener.close();
+  old_server.join();
+}
+
 }  // namespace
 }  // namespace elpc::daemon

@@ -1,0 +1,199 @@
+// Protocol-v2 binary codec unit tests: header parsing, the result
+// descriptor table, and the link-update table.  The load-bearing
+// property is BYTE-identity — decoding a table and re-serializing the
+// entries as canonical JSON must reproduce the v1 wire bytes exactly,
+// doubles included — plus strict rejection of every truncation and
+// out-of-range descriptor (a malformed frame must never decode to a
+// plausible-looking result).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "daemon/wire_format.hpp"
+#include "mapping/mapping.hpp"
+#include "service/serialize.hpp"
+
+namespace elpc::daemon::wire {
+namespace {
+
+service::SolveResult feasible_result() {
+  service::SolveResult r;
+  r.job_id = "job-α";  // UTF-8 crosses the blob verbatim
+  r.network = "net";
+  r.network_revision = 7;
+  r.algorithm = "ELPC";
+  r.objective = service::Objective::kMaxFrameRate;
+  r.result.feasible = true;
+  r.result.seconds = 0.1;  // not exactly representable — bit-exactness bait
+  r.result.mapping = mapping::Mapping({0, 3, 3, 9});
+  return r;
+}
+
+service::SolveResult infeasible_result() {
+  service::SolveResult r;
+  r.job_id = "j2";
+  r.network = "net";
+  r.network_revision = 2;
+  r.algorithm = "Greedy";
+  r.objective = service::Objective::kMinDelay;
+  r.result.feasible = false;
+  r.result.reason = "no feasible path";
+  return r;
+}
+
+service::SolveResult failed_result() {
+  service::SolveResult r;
+  r.job_id = "j3";
+  r.network = "net";
+  r.algorithm = "NoSuch";
+  r.error = "unknown algorithm 'NoSuch'";
+  return r;
+}
+
+TEST(WireFormat, HeaderRoundTripsAndRejectsGarbage) {
+  const std::string header =
+      encode_header(FrameType::kResultTable, 0, 0xDEADBEEFu);
+  ASSERT_EQ(header.size(), kHeaderBytes);
+  EXPECT_TRUE(is_frame_start(static_cast<unsigned char>(header[0])));
+  EXPECT_FALSE(is_frame_start('{'));
+
+  const std::optional<FrameHeader> parsed = parse_header(header);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kResultTable);
+  EXPECT_EQ(parsed->flags, 0);
+  EXPECT_EQ(parsed->length, 0xDEADBEEFu);
+
+  // Fewer than 8 bytes buffered: keep reading, not an error.
+  EXPECT_FALSE(parse_header(header.substr(0, kHeaderBytes - 1)).has_value());
+  EXPECT_FALSE(parse_header("").has_value());
+
+  // Wrong second magic byte: the stream is not a frame.
+  std::string bad_magic = header;
+  bad_magic[1] = '\x00';
+  EXPECT_THROW((void)parse_header(bad_magic), WireFormatError);
+
+  // Reserved flags must be zero until a version defines them.
+  std::string bad_flags = header;
+  bad_flags[3] = '\x01';
+  EXPECT_THROW((void)parse_header(bad_flags), WireFormatError);
+}
+
+TEST(WireFormat, ResultTableRoundTripsEveryEntryShape) {
+  const std::vector<service::SolveResult> results = {
+      feasible_result(), infeasible_result(), failed_result()};
+  const std::string payload = encode_result_table(results);
+  const std::vector<service::SolveResult> decoded =
+      decode_result_table(payload);
+  ASSERT_EQ(decoded.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // Field-level equality AND canonical-JSON byte identity: the wire
+    // contract is that a v2 table re-serializes exactly as v1 would
+    // have sent the same entry.
+    EXPECT_EQ(decoded[i].job_id, results[i].job_id);
+    EXPECT_EQ(decoded[i].network, results[i].network);
+    EXPECT_EQ(decoded[i].network_revision, results[i].network_revision);
+    EXPECT_EQ(decoded[i].algorithm, results[i].algorithm);
+    EXPECT_EQ(decoded[i].objective, results[i].objective);
+    EXPECT_EQ(decoded[i].result.feasible, results[i].result.feasible);
+    EXPECT_EQ(decoded[i].result.reason, results[i].result.reason);
+    EXPECT_EQ(decoded[i].result.mapping.assignment(),
+              results[i].result.mapping.assignment());
+    EXPECT_EQ(decoded[i].error, results[i].error);
+    EXPECT_EQ(service::result_entry_to_json(decoded[i]).dump(),
+              service::result_entry_to_json(results[i]).dump())
+        << "entry " << i;
+  }
+}
+
+TEST(WireFormat, SecondsCrossBitExact) {
+  // %.17g JSON already round-trips doubles; the binary path must be
+  // bit-exact too, including values JSON text would render awkwardly.
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           1e-300,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           -0.0};
+  for (const double seconds : values) {
+    service::SolveResult r = feasible_result();
+    r.result.seconds = seconds;
+    const std::vector<service::SolveResult> decoded =
+        decode_result_table(encode_result_table({&r, 1}));
+    ASSERT_EQ(decoded.size(), 1u);
+    std::uint64_t sent = 0, got = 0;
+    std::memcpy(&sent, &seconds, sizeof(sent));
+    std::memcpy(&got, &decoded[0].result.seconds, sizeof(got));
+    EXPECT_EQ(sent, got) << "seconds=" << seconds;
+  }
+}
+
+TEST(WireFormat, EmptyTableRoundTrips) {
+  const std::string payload = encode_result_table({});
+  EXPECT_TRUE(decode_result_table(payload).empty());
+}
+
+TEST(WireFormat, EveryTruncationOfAResultTableIsRejected) {
+  const std::vector<service::SolveResult> results = {feasible_result(),
+                                                     infeasible_result()};
+  const std::string payload = encode_result_table(results);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_THROW((void)decode_result_table(payload.substr(0, cut)),
+                 WireFormatError)
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(WireFormat, OutOfRangeDescriptorIsRejected) {
+  const service::SolveResult result = feasible_result();
+  std::string payload = encode_result_table({&result, 1});
+  // Corrupt the first descriptor's length (bytes 8..11: u32 count, then
+  // {u32 offset, u32 length}) to reach past the blob region.
+  payload[8] = '\xFF';
+  payload[9] = '\xFF';
+  payload[10] = '\xFF';
+  payload[11] = '\x7F';
+  EXPECT_THROW((void)decode_result_table(payload), WireFormatError);
+}
+
+TEST(WireFormat, NodeIdsBeyond32BitsRefuseToEncode) {
+  service::SolveResult r = feasible_result();
+  r.result.mapping = mapping::Mapping({0, (std::uint64_t{1} << 33)});
+  EXPECT_THROW((void)encode_result_table({&r, 1}), WireFormatError);
+}
+
+TEST(WireFormat, LinkUpdateTableRoundTrips) {
+  std::vector<graph::LinkUpdate> updates;
+  for (int i = 0; i < 3; ++i) {
+    graph::LinkUpdate update;
+    update.from = static_cast<graph::NodeId>(i);
+    update.to = static_cast<graph::NodeId>(i + 1);
+    update.attr.bandwidth_mbps = 100.5 + i;
+    update.attr.min_delay_s = 0.001 * (i + 1);
+    updates.push_back(update);
+  }
+  const std::string payload = encode_link_update_table("net-0", updates);
+  const LinkUpdateTable table = decode_link_update_table(payload);
+  EXPECT_EQ(table.network, "net-0");
+  ASSERT_EQ(table.updates.size(), updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(table.updates[i].from, updates[i].from);
+    EXPECT_EQ(table.updates[i].to, updates[i].to);
+    EXPECT_EQ(table.updates[i].attr.bandwidth_mbps,
+              updates[i].attr.bandwidth_mbps);
+    EXPECT_EQ(table.updates[i].attr.min_delay_s, updates[i].attr.min_delay_s);
+  }
+
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_THROW((void)decode_link_update_table(payload.substr(0, cut)),
+                 WireFormatError)
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+}  // namespace
+}  // namespace elpc::daemon::wire

@@ -57,6 +57,7 @@
 #include "graph/network.hpp"
 #include "pipeline/generator.hpp"
 #include "service/batch_engine.hpp"
+#include "service/serialize.hpp"
 #include "util/cli.hpp"
 #include "util/fault_injector.hpp"
 #include "util/json.hpp"
@@ -99,11 +100,14 @@ struct Target {
   std::string auth_token;
 };
 
-daemon::DaemonClientOptions client_options(const Target& target) {
+daemon::DaemonClientOptions client_options(
+    const Target& target,
+    daemon::ProtocolPreference protocol = daemon::ProtocolPreference::kAuto) {
   daemon::DaemonClientOptions options;
   options.max_retries = 6;  // the daemon's injected socket faults are
   options.backoff_ms = 5;   // exactly what the retry policy is for
   options.auth_token = target.auth_token;
+  options.protocol = protocol;
   return options;
 }
 
@@ -160,9 +164,9 @@ std::optional<std::string> control_solve(const Target& target,
       service::SolveJob job = make_job("control", "ctrl", 500,
                                        service::Objective::kMaxFrameRate);
       const daemon::Ticket ticket = client.submit(job, /*priority=*/100);
-      const util::Json status = client.wait(ticket);
-      if (status.at("state").as_string() == "done") {
-        return status.at("result").dump();
+      const daemon::JobStatusView status = client.wait_status(ticket);
+      if (status.state == "done" && status.result.has_value()) {
+        return service::result_entry_to_json(*status.result).dump();
       }
     } catch (const std::exception&) {
       // Connection churn or an injected failure — try again.
@@ -177,6 +181,11 @@ void chaos_worker(const Target& target, std::uint64_t seed,
                   TicketBoard& board, WorkerCounters& counters) {
   util::Rng rng(seed);
   std::vector<std::uint64_t> pipeline_seeds = {210, 211, 212, 213};
+  // Half the fleet pins v1, half negotiates v2 — the storm exercises
+  // mixed-protocol connections against one daemon the whole run.
+  const daemon::ProtocolPreference protocol =
+      (seed % 2 == 0) ? daemon::ProtocolPreference::kV1
+                      : daemon::ProtocolPreference::kAuto;
   std::unique_ptr<daemon::DaemonClient> client;
   std::uint64_t iteration = 0;
   while (Clock::now() < until) {
@@ -185,7 +194,7 @@ void chaos_worker(const Target& target, std::uint64_t seed,
     try {
       if (!client) {
         client = std::make_unique<daemon::DaemonClient>(
-            target.endpoint, client_options(target));
+            target.endpoint, client_options(target, protocol));
       }
       const std::int64_t op = rng.uniform_int(0, 99);
       if (op < 35) {  // submit, mixed deadlines and priorities
@@ -203,7 +212,7 @@ void chaos_worker(const Target& target, std::uint64_t seed,
         counters.submits.fetch_add(1, std::memory_order_relaxed);
       } else if (op < 55) {  // poll someone's ticket
         if (const auto ticket = board.pick(rng)) {
-          (void)client->poll(*ticket);
+          (void)client->poll_status(*ticket);
         }
       } else if (op < 65) {  // cancel someone's ticket
         if (const auto ticket = board.pick(rng)) {
@@ -211,18 +220,19 @@ void chaos_worker(const Target& target, std::uint64_t seed,
         }
       } else if (op < 72) {  // block on someone's ticket
         if (const auto ticket = board.pick(rng)) {
-          (void)client->wait(*ticket);
+          (void)client->wait_status(*ticket);
         }
-      } else if (op < 82) {  // link-update storm burst
+      } else if (op < 82) {  // link-update storm burst (on v2 this is
+        // the binary data plane: request AND response cross as frames)
         const std::int64_t burst = rng.uniform_int(1, 3);
         for (std::int64_t i = 0; i < burst; ++i) {
           graph::LinkUpdate update{edge.from, edge.to, edge.attr};
           update.attr.bandwidth_mbps = rng.uniform_real(10.0, 1000.0);
-          (void)client->apply_link_updates(
+          (void)client->resolve_link_updates(
               "net", std::vector<graph::LinkUpdate>{update});
         }
       } else if (op < 90) {  // stats probe
-        (void)client->stats();
+        (void)client->stats_view();
       } else if (op < 96) {  // malformed frames on a throwaway socket
         util::StreamSocket hostile = raw_stream(target);
         const char* garbage[] = {
@@ -252,48 +262,27 @@ void chaos_worker(const Target& target, std::uint64_t seed,
   }
 }
 
+/// The typed stats view plus the trace-histogram counters this driver's
+/// span-conservation invariants diff (whole-family counts from the
+/// embedded metrics snapshot, which the typed view keeps in .raw).
 struct StatsSnapshot {
-  std::int64_t queued = 0;
-  std::int64_t running = 0;
-  std::int64_t submitted = 0;
-  std::int64_t done = 0;
-  std::int64_t failed = 0;
-  std::int64_t cancelled = 0;
-  std::int64_t timed_out = 0;
-  std::int64_t subscriptions = 0;
-  std::int64_t pinned_revisions = 0;
-  std::int64_t pinned_bytes = 0;
-  std::int64_t lease_expirations = 0;
+  daemon::StatsView view;
   std::int64_t uptime_ms = 0;
-  // From the embedded metrics snapshot: whole-family (all label children
-  // merged) trace-histogram counts and percentiles.  Counts stay 0 when
-  // the family has no samples yet.
   std::int64_t e2e_spans = 0;
   std::int64_t queue_spans = 0;
   double queue_p99_ms = 0.0;
 
   [[nodiscard]] std::int64_t terminal() const {
-    return done + failed + cancelled + timed_out;
+    return view.done + view.failed + view.cancelled + view.timed_out;
   }
 };
 
 StatsSnapshot read_stats(daemon::DaemonClient& client) {
-  const util::Json doc = client.stats();
   StatsSnapshot s;
-  s.queued = doc.at("queued").as_int();
-  s.running = doc.at("running").as_int();
-  s.submitted = doc.at("submitted").as_int();
-  s.done = doc.at("done").as_int();
-  s.failed = doc.at("failed").as_int();
-  s.cancelled = doc.at("cancelled").as_int();
-  s.timed_out = doc.at("timed_out").as_int();
-  s.subscriptions = doc.at("subscriptions").as_int();
-  s.pinned_revisions = doc.at("pinned_revisions").as_int();
-  s.pinned_bytes = doc.at("pinned_bytes").as_int();
-  s.lease_expirations = doc.at("lease_expirations").as_int();
+  s.view = client.stats_view();
   // Fractional on the wire (sub-ms precision); whole ms is plenty here.
-  s.uptime_ms = static_cast<std::int64_t>(doc.at("uptime_ms").as_number());
-  if (const util::Json* metrics = doc.find("metrics")) {
+  s.uptime_ms = static_cast<std::int64_t>(s.view.uptime_ms);
+  if (const util::Json* metrics = s.view.raw.find("metrics")) {
     if (const util::Json* histograms = metrics->find("histograms")) {
       if (const util::Json* e2e = histograms->find("elpc_e2e_ms")) {
         s.e2e_spans = e2e->at("count").as_int();
@@ -398,7 +387,7 @@ int main(int argc, char** argv) {
     if (idle_conns > 0) {
       {
         daemon::DaemonClient probe = make_client(target);
-        threads_before_idle = probe.stats().at("threads_os").as_int();
+        threads_before_idle = probe.stats_view().threads_os;
       }
       idle_fleet.reserve(static_cast<std::size_t>(idle_conns));
       for (std::int64_t i = 0; i < idle_conns; ++i) {
@@ -442,9 +431,9 @@ int main(int argc, char** argv) {
     // --- Fixed-pool invariant, measured with the idle fleet still
     // connected and the storm's reconnect churn behind us.
     if (idle_conns > 0) {
-      const util::Json s = client.stats();
-      const std::int64_t live = s.at("connections").as_int();
-      const std::int64_t threads_os = s.at("threads_os").as_int();
+      const daemon::StatsView s = client.stats_view();
+      const std::int64_t live = s.connections;
+      const std::int64_t threads_os = s.threads_os;
       if (live < idle_conns) {
         violate("connection gauge lost idle clients: connections=" +
                 std::to_string(live) + " with " +
@@ -470,20 +459,20 @@ int main(int argc, char** argv) {
     StatsSnapshot stats = read_stats(client);
     while (Clock::now() < settle_until) {
       stats = read_stats(client);
-      if (stats.queued == 0 && stats.running == 0 &&
-          stats.pinned_revisions <= stats.subscriptions) {
+      if (stats.view.queued == 0 && stats.view.running == 0 &&
+          stats.view.pinned_revisions <= stats.view.subscriptions) {
         break;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
-    if (stats.queued != 0 || stats.running != 0) {
+    if (stats.view.queued != 0 || stats.view.running != 0) {
       violate("tickets not terminal after settle: queued=" +
-              std::to_string(stats.queued) +
-              " running=" + std::to_string(stats.running));
+              std::to_string(stats.view.queued) +
+              " running=" + std::to_string(stats.view.running));
     }
-    if (stats.submitted != stats.terminal()) {
+    if (stats.view.submitted != stats.terminal()) {
       violate("ticket ledger does not balance: submitted=" +
-              std::to_string(stats.submitted) +
+              std::to_string(stats.view.submitted) +
               " terminal=" + std::to_string(stats.terminal()));
     }
     // --- Span conservation: the trace path records exactly one span per
@@ -524,22 +513,21 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       violate(std::string("metrics verb failed after the storm: ") + e.what());
     }
-    if (stats.pinned_revisions > stats.subscriptions) {
+    if (stats.view.pinned_revisions > stats.view.subscriptions) {
       violate("leaked pins: pinned_revisions=" +
-              std::to_string(stats.pinned_revisions) + " subscriptions=" +
-              std::to_string(stats.subscriptions) +
-              " pinned_bytes=" + std::to_string(stats.pinned_bytes));
+              std::to_string(stats.view.pinned_revisions) + " subscriptions=" +
+              std::to_string(stats.view.subscriptions) +
+              " pinned_bytes=" + std::to_string(stats.view.pinned_bytes));
     }
     // Every ticket this driver recorded must be terminal (a ticket the
     // retention cap evicted was terminal by construction).
     std::uint64_t verified = 0;
     for (const daemon::Ticket ticket : board.all()) {
       try {
-        const util::Json status = client.poll(ticket);
-        const std::string state = status.at("state").as_string();
-        if (state == "queued" || state == "running") {
+        const daemon::JobStatusView status = client.poll_status(ticket);
+        if (status.state == "queued" || status.state == "running") {
           violate("ticket " + std::to_string(ticket) +
-                  " stuck non-terminal in state " + state);
+                  " stuck non-terminal in state " + status.state);
         } else {
           ++verified;
         }
@@ -558,8 +546,8 @@ int main(int argc, char** argv) {
     }
 
     // --- Drain: the daemon reports itself safe to kill ---
-    const util::Json drain = client.drain(/*timeout_ms=*/30000);
-    if (!drain.at("drained").as_bool()) {
+    const daemon::DrainOutcome drain = client.drain_report(/*timeout_ms=*/30000);
+    if (!drain.drained) {
       violate("drain did not reach idle");
     }
     // Conservation must still hold after drain forced the stragglers
@@ -621,16 +609,16 @@ int main(int argc, char** argv) {
         "e2e_spans=%lld queue_spans=%lld queue_p99_ms=%.3f "
         "trace_recorded=%lld trace_spans_total=%lld "
         "tickets_verified=%llu client_errors=%llu violations=%zu\n",
-        ok ? 1 : 0, static_cast<long long>(stats.submitted),
-        static_cast<long long>(stats.done),
-        static_cast<long long>(stats.failed),
-        static_cast<long long>(stats.cancelled),
-        static_cast<long long>(stats.timed_out),
-        static_cast<long long>(stats.queued),
-        static_cast<long long>(stats.running),
-        static_cast<long long>(stats.pinned_revisions),
-        static_cast<long long>(stats.subscriptions),
-        static_cast<long long>(stats.lease_expirations),
+        ok ? 1 : 0, static_cast<long long>(stats.view.submitted),
+        static_cast<long long>(stats.view.done),
+        static_cast<long long>(stats.view.failed),
+        static_cast<long long>(stats.view.cancelled),
+        static_cast<long long>(stats.view.timed_out),
+        static_cast<long long>(stats.view.queued),
+        static_cast<long long>(stats.view.running),
+        static_cast<long long>(stats.view.pinned_revisions),
+        static_cast<long long>(stats.view.subscriptions),
+        static_cast<long long>(stats.view.lease_expirations),
         static_cast<long long>(stats.e2e_spans),
         static_cast<long long>(stats.queue_spans), stats.queue_p99_ms,
         static_cast<long long>(trace_recorded),

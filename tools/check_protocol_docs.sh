@@ -1,22 +1,25 @@
 #!/usr/bin/env sh
-# Docs-consistency gate: every verb the daemon dispatches must be
-# documented in docs/protocol.md.
+# Docs-consistency gate: every verb the daemon dispatches AND every
+# stable error code it answers must be documented in docs/protocol.md.
 #
-# The source of truth is the dispatch comparisons in
-# src/daemon/socket_server.cpp (`verb == "..."`); the doc must mention
-# each verb name somewhere (section headers use the bare name, tables
-# and prose use `backticks`).  Run from anywhere:
+# The sources of truth are the dispatch comparisons in
+# src/daemon/socket_server.cpp (`verb == "..."`) and the code constants
+# in src/daemon/error_codes.hpp; the doc must mention each name
+# somewhere (section headers use the bare name, tables and prose use
+# `backticks`).  Run from anywhere:
 #
 #   sh tools/check_protocol_docs.sh
 #
-# Exits non-zero listing the undocumented verbs.
+# Exits non-zero listing the undocumented verbs/codes.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 server="$repo_root/src/daemon/socket_server.cpp"
+codes="$repo_root/src/daemon/error_codes.hpp"
 doc="$repo_root/docs/protocol.md"
 
 [ -f "$server" ] || { echo "check_protocol_docs: missing $server" >&2; exit 2; }
+[ -f "$codes" ] || { echo "check_protocol_docs: missing $codes" >&2; exit 2; }
 [ -f "$doc" ] || { echo "check_protocol_docs: missing $doc" >&2; exit 2; }
 
 verbs=$(grep -oE 'verb == "[a-z_]+"' "$server" | sed 's/.*"\(.*\)"/\1/' | sort -u)
@@ -39,4 +42,26 @@ if [ -n "$missing" ]; then
   exit 1
 fi
 
-echo "check_protocol_docs: ok ($count verbs documented)"
+# Error codes: every string literal defined in error_codes.hpp must
+# appear in the doc's error-code table.
+code_names=$(grep -oE '"[a-z_]+"' "$codes" | tr -d '"' | sort -u)
+[ -n "$code_names" ] || { echo "check_protocol_docs: no codes found in $codes (pattern drift?)" >&2; exit 2; }
+
+missing_codes=""
+for code in $code_names; do
+  if ! grep -qw "$code" "$doc"; then
+    missing_codes="$missing_codes $code"
+  fi
+done
+
+code_count=$(printf '%s\n' "$code_names" | wc -l | tr -d ' ')
+if [ -n "$missing_codes" ]; then
+  echo "check_protocol_docs: codes defined in src/daemon/error_codes.hpp but missing from docs/protocol.md:" >&2
+  for code in $missing_codes; do
+    echo "  - $code" >&2
+  done
+  echo "Document them in docs/protocol.md (Error codes)." >&2
+  exit 1
+fi
+
+echo "check_protocol_docs: ok ($count verbs, $code_count error codes documented)"

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Regenerates the protocol conformance corpus under
+# tests/conformance/sessions/ by running the conformance driver's
+# record mode against a freshly built daemon.
+#
+# Run this ONLY after an intentional wire-protocol change; the diff of
+# the recorded sessions is the review artifact showing exactly which
+# bytes moved.  CI replays the checked-in corpus byte-for-byte
+# (conformance_driver --mode replay), so an unrecorded change fails the
+# gate.
+#
+#   sh tools/record_conformance_corpus.sh [build_dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" -j --target conformance_driver >/dev/null
+
+cd "$repo_root"
+"$build_dir/conformance_driver" --mode record --corpus tests/conformance/sessions
+
+# Sanity: the fresh recording must replay green immediately.
+"$build_dir/conformance_driver" --mode replay --corpus tests/conformance/sessions
+echo "record_conformance_corpus: corpus refreshed and replay-verified"
